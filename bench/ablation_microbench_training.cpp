@@ -1,0 +1,114 @@
+// Ablation: microbenchmark-driven training vs the paper's workload mix.
+//
+// Paper §III-A: training data is "ideally ... optimized workloads
+// specifically designed to exercise each metric (e.g., microbenchmarks).
+// However, as our evaluation demonstrates, good model accuracy can also be
+// achieved by collecting many samples from a variety of workloads." This
+// bench runs both regimes: SPIRE trained on the targeted sweep suite, on
+// the 23-workload mix, and on their union, then compares (a) per-metric
+// intensity coverage of the training data and (b) the analysis each model
+// produces for the four test workloads.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_util.h"
+#include "spire/analyzer.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workloads/microbench.h"
+
+using namespace spire;
+
+namespace {
+
+sampling::Dataset collect_microbench_data() {
+  sampling::Dataset data;
+  const auto config = bench::default_collector_config();
+  for (const auto& mb : workloads::microbenchmark_suite(6)) {
+    const auto collected =
+        bench::collect_workload({mb.profile, counters::TmaArea::kOther, false},
+                                config, /*max_cycles=*/1'500'000);
+    data.merge(collected.samples);
+  }
+  return data;
+}
+
+/// Decades of finite intensity spanned by a metric's samples, averaged
+/// over metrics — the coverage a roofline fit depends on.
+double mean_intensity_decades(const sampling::Dataset& data) {
+  std::vector<double> decades;
+  for (const auto metric : data.metrics()) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = 0.0;
+    for (const auto& s : data.samples(metric)) {
+      if (s.t <= 0.0) continue;
+      const double i = s.intensity();
+      if (!std::isfinite(i) || i <= 0.0) continue;
+      lo = std::min(lo, i);
+      hi = std::max(hi, i);
+    }
+    if (hi > 0.0 && lo < hi) decades.push_back(std::log10(hi / lo));
+  }
+  return util::mean(decades);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: microbenchmark vs workload-mix training ===\n\n");
+  const auto suite = bench::collect_suite();
+  const auto workload_data = bench::training_dataset(suite);
+  std::printf("collecting the microbenchmark sweep suite (%zu kernels)...\n",
+              workloads::microbenchmark_suite(6).size());
+  const auto micro_data = collect_microbench_data();
+  auto union_data = workload_data;
+  union_data.merge(micro_data);
+
+  struct Regime {
+    const char* name;
+    const sampling::Dataset* data;
+  };
+  const Regime regimes[] = {{"microbenchmarks", &micro_data},
+                            {"23-workload mix", &workload_data},
+                            {"union", &union_data}};
+
+  util::TextTable cover({"Training regime", "Samples", "Metrics",
+                         "Mean I coverage (decades)"});
+  for (const auto& r : regimes) {
+    cover.add_row({r.name,
+                   util::format_count(static_cast<long long>(r.data->size())),
+                   std::to_string(r.data->metrics().size()),
+                   util::format_fixed(mean_intensity_decades(*r.data), 2)});
+  }
+  std::printf("%s\n", cover.render().c_str());
+
+  // Compare test-workload analyses under each regime.
+  util::TextTable results({"Test workload", "Regime", "Estimate",
+                           "Top-10 in TMA majors", "Top metric"});
+  for (const auto& cw : suite) {
+    if (!cw.entry.testing) continue;
+    const auto tma_result = tma::analyze(cw.counters);
+    for (const auto& r : regimes) {
+      const auto ensemble = model::Ensemble::train(*r.data);
+      model::Analyzer analyzer(ensemble);
+      const auto analysis = analyzer.analyze(cw.samples);
+      const int overlap = bench::tma_agreement(analysis, tma_result).overlap;
+      results.add_row(
+          {cw.entry.profile.name + " / " + cw.entry.profile.config, r.name,
+           util::format_fixed(analysis.estimated_throughput, 3),
+           std::to_string(overlap) + "/10",
+           std::string(analysis.ranking.front().name)});
+    }
+    results.add_separator();
+  }
+  std::printf("%s\n", results.render().c_str());
+  std::printf(
+      "Reading: microbenchmarks cover each metric's intensity range more\n"
+      "widely per sample, matching the paper's 'ideal' training recipe; the\n"
+      "workload mix reaches similar agreement with far less targeted\n"
+      "effort, which is the accessibility claim the paper demonstrates.\n");
+  return 0;
+}

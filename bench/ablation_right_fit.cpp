@@ -1,0 +1,108 @@
+// Ablation: Dijkstra's minimum-error right fit vs a greedy alternative.
+//
+// The paper fits the right region by finding the minimum-squared-error
+// path through the segment graph. The obvious cheaper alternative simply
+// connects EVERY adjacent Pareto-front pair ("staircase" fit). The
+// staircase always touches every front sample but is usually NOT concave-up
+// -- it loses the diminishing-returns shape assumption -- while Dijkstra
+// pays a small overestimation error to keep it. This bench quantifies the
+// trade on the trained ensemble's metrics.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "geom/pareto.h"
+#include "spire/metric_roofline.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace spire;
+using geom::Point;
+
+namespace {
+
+/// Greedy staircase: connect consecutive Pareto points directly.
+struct StaircaseFit {
+  std::vector<Point> front;  // descending I
+  double at(double x) const {
+    if (front.empty()) return 0.0;
+    if (x >= front.front().x) return front.front().y;
+    if (x <= front.back().x) return front.back().y;
+    for (std::size_t i = 1; i < front.size(); ++i) {
+      if (x >= front[i].x) {  // between front[i] (left) and front[i-1]
+        const Point& hi = front[i];
+        const Point& lo = front[i - 1];
+        const double t = (x - lo.x) / (hi.x - lo.x);
+        return lo.y + t * (hi.y - lo.y);
+      }
+    }
+    return front.back().y;
+  }
+  bool concave_up() const {
+    // Walking right to left, slopes must keep getting steeper.
+    double prev = 0.0;
+    bool first = true;
+    for (std::size_t i = 1; i < front.size(); ++i) {
+      const double s =
+          (front[i].y - front[i - 1].y) / (front[i].x - front[i - 1].x);
+      if (!first && s > prev + 1e-12) return false;
+      prev = s;
+      first = false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: Dijkstra right fit vs greedy Pareto staircase ===\n\n");
+  const auto suite = bench::collect_suite();
+  const auto training = bench::training_dataset(suite);
+
+  int metrics = 0;
+  int staircase_concave = 0;
+  util::RunningStats dijkstra_error;
+  util::RunningStats extra_over_staircase;
+  for (const auto metric : training.metrics()) {
+    const auto points = model::fitting::sample_points(training.samples(metric));
+    std::vector<Point> finite;
+    for (const auto& p : points) {
+      if (std::isfinite(p.x)) finite.push_back(p);
+    }
+    if (finite.size() < 8) continue;
+    const auto dbg = model::fitting::fit_right_debug(points);
+    if (dbg.front.size() < 3) continue;
+
+    StaircaseFit staircase{dbg.front};
+    ++metrics;
+    if (staircase.concave_up()) ++staircase_concave;
+    dijkstra_error.add(dbg.total_error);
+
+    // Average overestimation of front samples (the price of concavity).
+    double extra = 0.0;
+    for (const auto& p : dbg.front) {
+      extra += dbg.function.at(p.x) - staircase.at(p.x);
+    }
+    extra_over_staircase.add(extra / static_cast<double>(dbg.front.size()));
+  }
+
+  util::TextTable table({"Quantity", "Value"});
+  table.add_row({"metrics with non-trivial right regions",
+                 std::to_string(metrics)});
+  table.add_row({"staircase fits that happen to be concave-up",
+                 std::to_string(staircase_concave) + "/" +
+                     std::to_string(metrics)});
+  table.add_row({"mean Dijkstra squared-error per metric",
+                 util::format_fixed(dijkstra_error.mean(), 4)});
+  table.add_row({"mean IPC overestimation vs staircase (at front samples)",
+                 util::format_fixed(extra_over_staircase.mean(), 4)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: the greedy staircase violates concave-up on most metrics\n"
+      "(it inherits every noise wiggle of the front), while the Dijkstra\n"
+      "fit enforces the paper's diminishing-returns shape at a small,\n"
+      "explicitly minimized overestimation cost.\n");
+  return 0;
+}

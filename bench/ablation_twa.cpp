@@ -1,0 +1,65 @@
+// Ablation: Eq. (1)'s time-weighted average vs an unweighted mean.
+//
+// The paper merges per-sample estimates with a time-weighted average so
+// that long measurement periods dominate short ones. This ablation
+// compares both merges on every test workload and reports how much the
+// rankings move (Spearman correlation of per-metric averages) and whether
+// the dominant bottleneck area changes. With equal-length windows the two
+// coincide; the trailing partial windows and per-phase variation introduce
+// the differences shown.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "spire/analyzer.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace spire;
+
+int main() {
+  std::printf("=== Ablation: time-weighted average (Eq. 1) vs unweighted mean ===\n\n");
+  const auto suite = bench::collect_suite();
+  const auto ensemble = bench::trained_ensemble(suite);
+
+  util::TextTable table({"Workload", "min(TWA)", "min(mean)", "Spearman",
+                         "Top-1 same", "Top-10 overlap"});
+  for (const auto& cw : suite) {
+    if (!cw.entry.testing) continue;
+    const auto twa = ensemble.estimate(cw.samples, model::Merge::kTimeWeighted);
+    const auto flat = ensemble.estimate(cw.samples, model::Merge::kUnweighted);
+
+    // Pair up per-metric values for correlation.
+    std::vector<double> a;
+    std::vector<double> b;
+    for (const auto& ma : twa.ranking) {
+      for (const auto& mb : flat.ranking) {
+        if (ma.metric == mb.metric) {
+          a.push_back(ma.p_bar);
+          b.push_back(mb.p_bar);
+        }
+      }
+    }
+    int overlap = 0;
+    for (std::size_t i = 0; i < 10 && i < twa.ranking.size(); ++i) {
+      for (std::size_t j = 0; j < 10 && j < flat.ranking.size(); ++j) {
+        if (twa.ranking[i].metric == flat.ranking[j].metric) ++overlap;
+      }
+    }
+    table.add_row({cw.entry.profile.name + " / " + cw.entry.profile.config,
+                   util::format_fixed(twa.throughput, 3),
+                   util::format_fixed(flat.throughput, 3),
+                   util::format_fixed(util::spearman(a, b), 3),
+                   twa.ranking.front().metric == flat.ranking.front().metric
+                       ? "yes"
+                       : "no",
+                   std::to_string(overlap) + "/10"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Reading: high Spearman + high overlap means the conclusion is\n"
+              "robust to the merge choice on steady workloads; the TWA matters\n"
+              "most when sample periods are uneven (phase changes, partial\n"
+              "windows), which is why the paper specifies Eq. (1).\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/core.h"
+#include "spire/model_io.h"
+#include "workloads/profile_stream.h"
+
+namespace spire::bench {
+
+using counters::CounterSet;
+using counters::Event;
+
+sampling::CollectorConfig default_collector_config() {
+  sampling::CollectorConfig cc;
+  cc.window_cycles = 50'000;   // the "2 seconds" analogue
+  cc.slice_cycles = 2'000;     // multiplex rotation grain
+  cc.group_size = 6;           // programmable counters per group
+  cc.switch_overhead_cycles = 30;
+  return cc;
+}
+
+std::vector<counters::TmaArea> tma_major_losses(const tma::Result& result) {
+  std::vector<std::pair<double, counters::TmaArea>> losses = {
+      {result.level1.front_end_bound, counters::TmaArea::kFrontEnd},
+      {result.level1.bad_speculation, counters::TmaArea::kBadSpeculation},
+      {result.level2.memory_bound, counters::TmaArea::kMemory},
+      {result.level2.core_bound, counters::TmaArea::kCore},
+  };
+  std::sort(losses.begin(), losses.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<counters::TmaArea> out{losses[0].second};
+  for (std::size_t i = 1; i < losses.size(); ++i) {
+    if (losses[i].first >= 0.15) out.push_back(losses[i].second);
+  }
+  return out;
+}
+
+Agreement tma_agreement(const model::Analyzer::Analysis& analysis,
+                        const tma::Result& result) {
+  Agreement out;
+  out.major_losses = tma_major_losses(result);
+  for (std::size_t i = 0; i < out.major_losses.size(); ++i) {
+    const int count =
+        model::Analyzer::area_count_in_top(analysis, out.major_losses[i]);
+    out.overlap += count;
+    if (i == 0 && count > 0) out.top_loss_found = true;
+  }
+  return out;
+}
+
+std::string cache_dir() {
+  const std::string dir = "spire_bench_cache";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+CollectedWorkload collect_workload(const workloads::SuiteEntry& entry,
+                                   const sampling::CollectorConfig& config,
+                                   std::uint64_t max_cycles) {
+  CollectedWorkload out;
+  out.entry = entry;
+  workloads::ProfileStream stream(entry.profile);
+  sim::Core core(sim::CoreConfig{}, stream, /*seed=*/7);
+  sampling::SampleCollector collector(config);
+  const CounterSet before = core.counters();
+  out.stats = collector.collect(core, out.samples, max_cycles);
+  out.counters = core.counters().since(before);
+  return out;
+}
+
+namespace {
+
+void save_counters(const CounterSet& c, const std::string& path) {
+  std::ofstream out(path);
+  for (const auto& info : counters::event_catalog()) {
+    out << info.name << ' ' << c.get(info.event) << '\n';
+  }
+}
+
+bool load_counters(CounterSet& c, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string name;
+  std::uint64_t value = 0;
+  while (in >> name >> value) {
+    const auto event = counters::event_by_name(name);
+    if (!event) return false;
+    c.add(*event, value);
+  }
+  return true;
+}
+
+void save_stats(const sampling::CollectionStats& s, const std::string& path) {
+  std::ofstream out(path);
+  out << s.windows << ' ' << s.samples << ' ' << s.group_switches << ' '
+      << s.measured_cycles << ' ' << s.overhead_cycles << ' '
+      << s.instructions << '\n';
+}
+
+bool load_stats(sampling::CollectionStats& s, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  return static_cast<bool>(in >> s.windows >> s.samples >> s.group_switches >>
+                           s.measured_cycles >> s.overhead_cycles >>
+                           s.instructions);
+}
+
+}  // namespace
+
+std::vector<CollectedWorkload> collect_suite(bool use_cache) {
+  const auto& suite = workloads::hpc_suite();
+  std::vector<CollectedWorkload> out;
+  out.reserve(suite.size());
+  const auto config = default_collector_config();
+
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const std::string stem = cache_dir() + "/wl" + std::to_string(i) + "_v" +
+                             std::to_string(kCacheVersion);
+    CollectedWorkload cw;
+    cw.entry = suite[i];
+    bool loaded = false;
+    if (use_cache) {
+      std::ifstream samples_in(stem + ".csv");
+      if (samples_in && load_counters(cw.counters, stem + ".counters") &&
+          load_stats(cw.stats, stem + ".stats")) {
+        cw.samples = sampling::Dataset::load_csv(samples_in);
+        loaded = !cw.samples.empty();
+      }
+    }
+    if (!loaded) {
+      cw = collect_workload(suite[i], config);
+      std::ofstream samples_out(stem + ".csv");
+      cw.samples.save_csv(samples_out);
+      save_counters(cw.counters, stem + ".counters");
+      save_stats(cw.stats, stem + ".stats");
+    }
+    out.push_back(std::move(cw));
+  }
+  return out;
+}
+
+sampling::Dataset training_dataset(
+    const std::vector<CollectedWorkload>& suite) {
+  sampling::Dataset out;
+  for (const auto& cw : suite) {
+    if (!cw.entry.testing) out.merge(cw.samples);
+  }
+  return out;
+}
+
+model::Ensemble trained_ensemble(const std::vector<CollectedWorkload>& suite,
+                                 bool use_cache) {
+  const std::string path =
+      cache_dir() + "/model_v" + std::to_string(kCacheVersion) + ".txt";
+  if (use_cache && std::filesystem::exists(path)) {
+    return model::load_model_file(path);
+  }
+  const auto ensemble = model::Ensemble::train(training_dataset(suite));
+  model::save_model_file(ensemble, path);
+  return ensemble;
+}
+
+}  // namespace spire::bench

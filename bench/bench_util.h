@@ -1,0 +1,79 @@
+// Shared infrastructure for the paper-reproduction bench harnesses.
+//
+// Collecting the 27-workload dataset and training the ensemble takes tens
+// of seconds, so results are cached on disk (under ./spire_bench_cache/)
+// keyed by a cache version; delete the directory after changing the
+// simulator or suite to force regeneration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sampling/collector.h"
+#include "sampling/dataset.h"
+#include "spire/analyzer.h"
+#include "spire/ensemble.h"
+#include "tma/tma.h"
+#include "workloads/suite.h"
+
+namespace spire::bench {
+
+/// Bump when the simulator, suite, or collector semantics change.
+inline constexpr int kCacheVersion = 11;
+
+/// Cycle budget per workload (the paper's "up to 10 minutes" analogue).
+inline constexpr std::uint64_t kRunCycles = 8'000'000;
+
+/// One fully collected workload: samples plus the whole-run counter delta
+/// (for TMA) and basic stats.
+struct CollectedWorkload {
+  workloads::SuiteEntry entry;
+  sampling::Dataset samples;
+  counters::CounterSet counters;  // whole-run delta
+  sampling::CollectionStats stats;
+};
+
+/// Collects one workload with the given collector config (fresh core).
+CollectedWorkload collect_workload(const workloads::SuiteEntry& entry,
+                                   const sampling::CollectorConfig& config,
+                                   std::uint64_t max_cycles = kRunCycles);
+
+/// All 27 suite workloads with the default collector config, cached on
+/// disk. `use_cache = false` forces regeneration.
+std::vector<CollectedWorkload> collect_suite(bool use_cache = true);
+
+/// Merged training dataset (the 23 training workloads) from collect_suite.
+sampling::Dataset training_dataset(const std::vector<CollectedWorkload>& suite);
+
+/// The SPIRE ensemble trained on the training dataset, cached on disk.
+model::Ensemble trained_ensemble(const std::vector<CollectedWorkload>& suite,
+                                 bool use_cache = true);
+
+/// Default collector config used for the reproduction.
+sampling::CollectorConfig default_collector_config();
+
+/// TMA's substantial performance-loss categories for a workload: every
+/// area carrying at least 15% of the slots, and always the largest one.
+std::vector<counters::TmaArea> tma_major_losses(const tma::Result& result);
+
+/// Quantitative reading of the paper's "identified many of the same
+/// bottlenecks" claim, per workload.
+struct Agreement {
+  int overlap = 0;        // top-10 SPIRE metrics in TMA's major loss areas
+  bool top_loss_found = false;  // TMA's largest loss area is represented
+  std::vector<counters::TmaArea> major_losses;
+
+  /// Agreement: the dominant TMA loss shows up, and at least 4 of the top
+  /// 10 metrics point at TMA's major loss categories.
+  bool agrees() const { return top_loss_found && overlap >= 4; }
+};
+
+Agreement tma_agreement(const model::Analyzer::Analysis& analysis,
+                        const tma::Result& result);
+
+/// Directory used for cache files (created on demand).
+std::string cache_dir();
+
+}  // namespace spire::bench

@@ -1,0 +1,129 @@
+// Reproduces paper Fig. 2: a conventional roofline plot with ceilings and
+// two measured applications -- one memory-bound (App A) and one
+// compute-bound (App B).
+//
+// Instantiation for the simulated core: throughput P is IPC, operational
+// intensity I is instructions per byte of DRAM traffic. The roofs come
+// from the core's configuration (4-wide allocation; one 64-byte line per
+// dram_service_interval cycles), and the apps are measured by running two
+// synthetic workloads and reading their counters.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "roofline/roofline.h"
+#include "sim/core.h"
+#include "util/ascii_plot.h"
+#include "workloads/profile_stream.h"
+
+using namespace spire;
+using counters::Event;
+
+namespace {
+
+roofline::AppPoint measure(const char* name, workloads::WorkloadProfile p) {
+  p.instruction_count = 600'000;
+  workloads::ProfileStream stream(p);
+  sim::Core core(sim::CoreConfig{}, stream, 7);
+  core.run(30'000'000);
+  const auto& c = core.counters();
+  const auto cycles = static_cast<double>(c.get(Event::kCpuClkUnhaltedThread));
+  const auto inst = static_cast<double>(c.get(Event::kInstRetiredAny));
+  const auto dram_bytes =
+      64.0 * static_cast<double>(c.get(Event::kLongestLatCacheMiss));
+  return {name, inst / std::max(dram_bytes, 1.0), inst / cycles};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 2 reproduction: conventional roofline with 2 apps ===\n\n");
+
+  const sim::CoreConfig cfg;
+  const double pi = cfg.allocate_width;  // peak IPC
+  const double beta = 64.0 / cfg.dram_service_interval;  // DRAM bytes/cycle
+  roofline::RooflineModel model(pi, beta);
+  model.add_ceiling({"scalar execution (1 op/cycle)", 1.0, true});
+  model.add_ceiling({"single outstanding miss",
+                     64.0 / (cfg.lat_dram + cfg.dram_service_interval), false});
+
+  // App A: streaming loads over a DRAM-sized set (low intensity).
+  workloads::WorkloadProfile a;
+  a.name = "app-a";
+  a.load_fraction = 0.34;
+  a.data_working_set_bytes = 96ull << 20;
+  a.mem_pattern = workloads::MemPattern::kSequential;
+  a.seed = 5;
+  // App B: dense compute in cache (high intensity).
+  workloads::WorkloadProfile b;
+  b.name = "app-b";
+  b.load_fraction = 0.15;
+  b.data_working_set_bytes = 16 * 1024;
+  b.dep_fraction = 0.05;
+  b.seed = 6;
+
+  const auto app_a = measure("App A", a);
+  const auto app_b = measure("App B", b);
+
+  std::printf("model: pi = %.2f IPC, beta = %.2f B/cycle, ridge at I = %.3f inst/B\n\n",
+              model.peak_throughput(), model.peak_bandwidth(),
+              model.ridge_intensity());
+
+  // Tabulate the roofline and ceilings across intensities.
+  std::vector<util::Series> series;
+  util::Series roof{.name = "roofline min(pi; beta*I)", .xs = {}, .ys = {},
+                    .marker = 'R', .connect = true};
+  std::vector<util::Series> ceiling_series;
+  for (double i = 1e-3; i <= 100.0; i *= 1.2) {
+    roof.xs.push_back(i);
+    roof.ys.push_back(model.attainable(i));
+  }
+  series.push_back(roof);
+  char marker = '1';
+  for (const auto& ceiling : model.ceilings()) {
+    util::Series s{.name = std::string("ceiling: ") + ceiling.name, .xs = {}, .ys = {},
+                   .marker = marker++,
+                   .connect = true};
+    for (double i = 1e-3; i <= 100.0; i *= 1.2) {
+      s.xs.push_back(i);
+      s.ys.push_back(model.attainable_under(i, ceiling));
+    }
+    series.push_back(s);
+  }
+  series.push_back({.name = "App A (memory-bound)",
+                    .xs = {app_a.intensity},
+                    .ys = {app_a.performance},
+                    .marker = 'A'});
+  series.push_back({.name = "App B (compute-bound)",
+                    .xs = {app_b.intensity},
+                    .ys = {app_b.performance},
+                    .marker = 'B'});
+
+  util::PlotOptions opts;
+  opts.title = "Roofline (log-log): IPC vs instructions per DRAM byte";
+  opts.x_scale = util::Scale::kLog10;
+  opts.y_scale = util::Scale::kLog10;
+  opts.x_label = "operational intensity I (inst/byte)";
+  opts.y_label = "P (IPC)";
+  opts.width = 76;
+  opts.height = 22;
+  std::printf("%s\n", util::render_plot(series, opts).c_str());
+
+  const auto classify = [&](const roofline::AppPoint& app) {
+    std::printf("%s: I = %.4f inst/B, P = %.2f IPC -> %s-bound "
+                "(attainable %.2f, achieving %.0f%%)\n",
+                app.name.c_str(), app.intensity, app.performance,
+                model.memory_bound(app.intensity) ? "memory" : "compute",
+                model.attainable(app.intensity),
+                100.0 * app.performance / model.attainable(app.intensity));
+  };
+  classify(app_a);
+  classify(app_b);
+
+  const bool shape_ok = model.memory_bound(app_a.intensity) &&
+                        !model.memory_bound(app_b.intensity);
+  std::printf("\nshape check (A memory-bound, B compute-bound): %s\n",
+              shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}

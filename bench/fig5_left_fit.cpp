@@ -1,0 +1,88 @@
+// Reproduces paper Fig. 5: the left-region fitting algorithm walkthrough.
+//
+// Starting at the origin, repeatedly compute slopes to all samples up and
+// right of the current point, step to the one with the highest slope, and
+// stop at the highest-throughput sample. The output shows each step's
+// candidate slopes and the final increasing, concave-down chain.
+#include <cstdio>
+#include <vector>
+
+#include "geom/convex_hull.h"
+#include "spire/metric_roofline.h"
+#include "util/ascii_plot.h"
+
+using namespace spire;
+using geom::Point;
+
+int main() {
+  std::printf("=== Fig. 5 reproduction: left-region convex-hull fitting ===\n\n");
+
+  // A sample cloud shaped like the figure's: throughput rises with
+  // intensity toward an apex.
+  const std::vector<Point> samples{
+      {0.5, 1.2}, {1.0, 2.8}, {1.5, 2.0}, {2.0, 3.6}, {2.5, 2.4},
+      {3.0, 4.4}, {3.5, 3.1}, {4.0, 4.9}, {4.5, 3.9}, {5.0, 5.5},
+      {5.5, 4.2}, {6.0, 5.9}, {7.0, 6.0}, {8.0, 5.0},
+  };
+
+  // Narrate the gift-wrapping walk exactly as the figure does.
+  Point cur{0.0, 0.0};
+  std::printf("step-by-step walk (paper Fig. 5, left to right):\n");
+  int step = 1;
+  for (;;) {
+    const Point* best = nullptr;
+    double best_slope = -1.0;
+    for (const auto& p : samples) {
+      if (p.y <= cur.y || p.x <= cur.x) continue;
+      const double s = geom::slope(cur, p);
+      if (best == nullptr || s > best_slope ||
+          (s == best_slope && p.x > best->x)) {
+        best = &p;
+        best_slope = s;
+      }
+    }
+    if (best == nullptr) break;
+    std::printf("  step %d: from (%.2f, %.2f) the max slope is %.3f -> "
+                "segment to (%.2f, %.2f)\n",
+                step++, cur.x, cur.y, best_slope, best->x, best->y);
+    cur = *best;
+  }
+
+  const auto chain = geom::left_roofline_hull(samples);
+  std::printf("\nfinal hull chain (%zu segments):\n", chain.size() - 1);
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    std::printf("  (%.2f, %.2f) -> (%.2f, %.2f), slope %.3f\n",
+                chain[i - 1].x, chain[i - 1].y, chain[i].x, chain[i].y,
+                geom::slope(chain[i - 1], chain[i]));
+  }
+
+  const auto fit = model::fitting::fit_left(samples);
+  util::Series cloud{.name = "training samples", .xs = {}, .ys = {}, .marker = 'o'};
+  for (const auto& p : samples) {
+    cloud.xs.push_back(p.x);
+    cloud.ys.push_back(p.y);
+  }
+  util::Series line{.name = "left-region fit", .xs = {}, .ys = {}, .marker = '*', .connect = true};
+  for (const auto& p : fit->sample(0.0, 8.0, 60)) {
+    line.xs.push_back(p.x);
+    line.ys.push_back(p.y);
+  }
+  util::PlotOptions opts;
+  opts.title = "Left-region fit: increasing, concave-down, on/above all samples";
+  opts.x_label = "operational intensity I_x";
+  opts.y_label = "max throughput P";
+  std::printf("\n%s", util::render_plot({line, cloud}, opts).c_str());
+
+  // Validate the figure's contract.
+  bool ok = fit.has_value() && fit->non_decreasing() && fit->continuous();
+  for (const auto& p : samples) {
+    if (p.x <= chain.back().x && fit->at(p.x) + 1e-9 < p.y) ok = false;
+  }
+  const auto& pieces = fit->pieces();
+  for (std::size_t i = 1; i < pieces.size(); ++i) {
+    if (pieces[i].slope() > pieces[i - 1].slope() + 1e-12) ok = false;
+  }
+  std::printf("\ncontract check (increasing, concave-down, upper bound): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

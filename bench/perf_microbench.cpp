@@ -1,0 +1,155 @@
+// google-benchmark microbenchmarks: the computational cost of SPIRE's
+// moving parts (hull fit, Pareto front, right-fit graph search, ensemble
+// estimation) and of the simulator itself. These back the paper's
+// "minimal deployment effort" claim with concrete fit/estimate costs.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "geom/convex_hull.h"
+#include "geom/pareto.h"
+#include "sampling/collector.h"
+#include "sim/core.h"
+#include "spire/ensemble.h"
+#include "spire/metric_roofline.h"
+#include "util/rng.h"
+#include "workloads/profile_stream.h"
+#include "workloads/suite.h"
+
+namespace {
+
+using namespace spire;
+using geom::Point;
+using sampling::Sample;
+
+std::vector<Sample> random_samples(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Sample> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = rng.uniform(0.05, 4.0);
+    if (rng.chance(0.05)) {
+      samples.push_back({1.0, p, 0.0});
+    } else {
+      const double intensity = std::pow(10.0, rng.uniform(-2.0, 4.0));
+      samples.push_back({1.0, p, p / intensity});
+    }
+  }
+  return samples;
+}
+
+std::vector<Point> random_points(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, 1000.0), rng.uniform(0.0, 4.0)});
+  }
+  return pts;
+}
+
+void BM_LeftHull(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::left_roofline_hull(pts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LeftHull)->Range(64, 8192);
+
+void BM_ParetoFront(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::pareto_front_max_xy(pts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParetoFront)->Range(64, 8192);
+
+void BM_MetricRooflineFit(benchmark::State& state) {
+  const auto samples =
+      random_samples(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::MetricRoofline::fit(samples));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MetricRooflineFit)->Range(64, 8192);
+
+void BM_RooflineEstimate(benchmark::State& state) {
+  const auto samples = random_samples(2048, 4);
+  const auto model = model::MetricRoofline::fit(samples);
+  util::Rng rng(5);
+  std::vector<double> queries;
+  for (int i = 0; i < 1024; ++i) {
+    queries.push_back(std::pow(10.0, rng.uniform(-2.0, 4.0)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.estimate(queries[i++ & 1023]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RooflineEstimate);
+
+void BM_EnsembleTrain(benchmark::State& state) {
+  sampling::Dataset data;
+  const auto& metrics = counters::metric_events();
+  const auto per_metric = static_cast<std::size_t>(state.range(0));
+  for (std::size_t m = 0; m < 16; ++m) {
+    for (const auto& s : random_samples(per_metric, 100 + m)) {
+      data.add(metrics[m], s);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::Ensemble::train(data));
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * state.range(0));
+}
+BENCHMARK(BM_EnsembleTrain)->Range(128, 2048);
+
+void BM_EnsembleEstimate(benchmark::State& state) {
+  sampling::Dataset train;
+  sampling::Dataset workload;
+  const auto& metrics = counters::metric_events();
+  for (std::size_t m = 0; m < 32; ++m) {
+    for (const auto& s : random_samples(512, 200 + m)) train.add(metrics[m], s);
+    for (const auto& s : random_samples(128, 900 + m)) workload.add(metrics[m], s);
+  }
+  const auto ensemble = model::Ensemble::train(train);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ensemble.estimate(workload));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 128);
+}
+BENCHMARK(BM_EnsembleEstimate);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  const auto& entry = workloads::hpc_suite()[17];  // tensorflow-lite: high IPC
+  for (auto _ : state) {
+    workloads::ProfileStream stream(entry.profile);
+    sim::Core core(sim::CoreConfig{}, stream, 7);
+    core.run(static_cast<std::uint64_t>(state.range(0)));
+    benchmark::DoNotOptimize(core.cycle());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("items = simulated cycles");
+}
+BENCHMARK(BM_SimulatorThroughput)->Arg(100000);
+
+void BM_SampleCollection(benchmark::State& state) {
+  const auto& entry = workloads::hpc_suite()[0];
+  for (auto _ : state) {
+    workloads::ProfileStream stream(entry.profile);
+    sim::Core core(sim::CoreConfig{}, stream, 7);
+    sampling::SampleCollector collector{sampling::CollectorConfig{}};
+    sampling::Dataset data;
+    collector.collect(core, data, 200000);
+    benchmark::DoNotOptimize(data.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 200000);
+  state.SetLabel("items = simulated cycles");
+}
+BENCHMARK(BM_SampleCollection);
+
+}  // namespace

@@ -1,0 +1,44 @@
+// Reproduces paper Table III: performance metric abbreviations and names,
+// organized by microarchitecture area, plus the extra events this
+// implementation exposes beyond the paper's abbreviated subset.
+#include <cstdio>
+#include <string>
+
+#include "counters/events.h"
+#include "util/table.h"
+
+using namespace spire;
+using counters::TmaArea;
+
+int main() {
+  std::printf("=== Table III reproduction: metric abbreviations by area ===\n\n");
+
+  for (const TmaArea area : {TmaArea::kFrontEnd, TmaArea::kBadSpeculation,
+                             TmaArea::kMemory, TmaArea::kCore}) {
+    util::TextTable table({"Abbr.", "Expanded metric name", "Description"});
+    int rows = 0;
+    for (const auto& info : counters::event_catalog()) {
+      if (info.area != area || info.abbrev.empty()) continue;
+      table.add_row({std::string(info.abbrev), std::string(info.name),
+                     std::string(info.description)});
+      ++rows;
+    }
+    std::printf("-- %s (%d metrics) --\n%s\n",
+                std::string(counters::tma_area_name(area)).c_str(), rows,
+                table.render().c_str());
+  }
+
+  int extras = 0;
+  for (const auto& info : counters::event_catalog()) {
+    if (info.abbrev.empty() && info.event != counters::Event::kInstRetiredAny &&
+        info.event != counters::Event::kCpuClkUnhaltedThread) {
+      ++extras;
+    }
+  }
+  std::printf("Table III subset: %zu abbreviated metrics; this implementation\n"
+              "additionally samples %d unabbreviated events (the paper used 424\n"
+              "raw counter values in total), plus the fixed work/time counters\n"
+              "inst_retired.any and cpu_clk_unhalted.thread.\n",
+              counters::table3_events().size(), extras);
+  return 0;
+}

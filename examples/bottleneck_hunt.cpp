@@ -1,0 +1,104 @@
+// Bottleneck hunt: iteratively tune a workload using SPIRE's ranking.
+//
+// This example mimics how a performance engineer would use SPIRE: start
+// from a slow configuration, look at the lowest-estimate metrics, apply
+// the matching "optimization" (here: changing the workload profile, as a
+// stand-in for a code change), and repeat. Three rounds of fixes guided by
+// the ranking lift IPC substantially.
+//
+// Build and run:  ./build/examples/bottleneck_hunt
+#include <cstdio>
+#include <string>
+
+#include "sampling/collector.h"
+#include "sim/core.h"
+#include "spire/analyzer.h"
+#include "spire/ensemble.h"
+#include "workloads/profile_stream.h"
+#include "workloads/suite.h"
+
+using namespace spire;
+
+namespace {
+
+model::Ensemble train_on_suite() {
+  sampling::Dataset training;
+  sampling::SampleCollector collector{sampling::CollectorConfig{}};
+  for (const auto& entry : workloads::training_workloads()) {
+    auto profile = entry.profile;
+    profile.instruction_count = 400'000;  // quick demo-scale training
+    workloads::ProfileStream stream(profile);
+    sim::Core core(sim::CoreConfig{}, stream);
+    collector.collect(core, training, 1'500'000);
+  }
+  return model::Ensemble::train(training);
+}
+
+model::Analyzer::Analysis analyze(const model::Ensemble& ensemble,
+                                  const workloads::WorkloadProfile& profile) {
+  workloads::ProfileStream stream(profile);
+  sim::Core core(sim::CoreConfig{}, stream);
+  sampling::SampleCollector collector{sampling::CollectorConfig{}};
+  sampling::Dataset samples;
+  collector.collect(core, samples, 4'000'000);
+  return model::Analyzer(ensemble).analyze(samples);
+}
+
+void report(const char* stage, const model::Analyzer::Analysis& analysis) {
+  std::printf("\n== %s: measured IPC %.3f ==\n", stage,
+              analysis.measured_throughput);
+  for (std::size_t i = 0; i < 5 && i < analysis.ranking.size(); ++i) {
+    const auto& r = analysis.ranking[i];
+    std::printf("  %.3f  %-48s [%s]\n", r.p_bar, std::string(r.name).c_str(),
+                std::string(counters::tma_area_name(r.area)).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("training SPIRE on the 23-workload suite (demo scale)...\n");
+  const auto ensemble = train_on_suite();
+  std::printf("trained %zu rooflines\n", ensemble.metric_count());
+
+  // A deliberately awful workload: huge code footprint (front-end bound),
+  // random branches (bad speculation), DRAM-sized working set (memory
+  // bound) and a serial dependency chain (core bound).
+  workloads::WorkloadProfile p;
+  p.name = "hot-loop";
+  p.instruction_count = 800'000;
+  p.code_footprint_bytes = 256 * 1024;
+  p.branch_fraction = 0.2;
+  p.branch_entropy = 0.7;
+  p.load_fraction = 0.3;
+  p.data_working_set_bytes = 64ull << 20;
+  p.mem_pattern = workloads::MemPattern::kRandom;
+  p.dep_fraction = 0.5;
+  p.dep_chain = 1;
+  p.seed = 1234;
+
+  auto analysis = analyze(ensemble, p);
+  report("baseline", analysis);
+
+  // Round 1: the ranking flags front-end / DSB metrics -> "shrink the hot
+  // code" (outlining cold paths, PGO, etc.).
+  p.code_footprint_bytes = 8 * 1024;
+  analysis = analyze(ensemble, p);
+  report("after shrinking hot code", analysis);
+
+  // Round 2: branch metrics dominate -> "make branches predictable"
+  // (sorting inputs / branchless rewrites).
+  p.branch_entropy = 0.02;
+  analysis = analyze(ensemble, p);
+  report("after removing data-dependent branches", analysis);
+
+  // Round 3: memory metrics dominate -> "block the working set"
+  // (cache-aware tiling turns random DRAM traffic into L2 hits).
+  p.data_working_set_bytes = 512 * 1024;
+  p.mem_pattern = workloads::MemPattern::kSequential;
+  analysis = analyze(ensemble, p);
+  report("after cache blocking", analysis);
+
+  std::printf("\ndone: the ranking guided three targeted fixes.\n");
+  return 0;
+}

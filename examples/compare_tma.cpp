@@ -1,0 +1,71 @@
+// SPIRE vs Top-Down Analysis, side by side (the paper's §V validation).
+//
+// For each of the four test workloads this prints VTune-style TMA level-1/2
+// fractions next to SPIRE's metric ranking, so you can see how the two
+// methods attribute the same execution.
+//
+// Build and run:  ./build/examples/compare_tma
+#include <cstdio>
+#include <string>
+
+#include "sampling/collector.h"
+#include "sim/core.h"
+#include "spire/analyzer.h"
+#include "spire/ensemble.h"
+#include "tma/tma.h"
+#include "workloads/profile_stream.h"
+#include "workloads/suite.h"
+
+using namespace spire;
+
+int main() {
+  // Train on the full 23-workload training suite.
+  sampling::Dataset training;
+  sampling::SampleCollector collector{sampling::CollectorConfig{}};
+  std::printf("training on 23 workloads...\n");
+  for (const auto& entry : workloads::training_workloads()) {
+    workloads::ProfileStream stream(entry.profile);
+    sim::Core core(sim::CoreConfig{}, stream);
+    collector.collect(core, training, 4'000'000);
+  }
+  const auto ensemble = model::Ensemble::train(training);
+  model::Analyzer analyzer(ensemble);
+
+  for (const auto& entry : workloads::testing_workloads()) {
+    workloads::ProfileStream stream(entry.profile);
+    sim::Core core(sim::CoreConfig{}, stream);
+    sampling::Dataset samples;
+    const auto before = core.counters();
+    collector.collect(core, samples, 5'000'000);
+    const auto tma_result = tma::analyze(core.counters().since(before));
+    const auto analysis = analyzer.analyze(samples);
+
+    std::printf("\n================ %s / %s ================\n",
+                entry.profile.name.c_str(), entry.profile.config.c_str());
+    std::printf("--- VTune-style TMA ---\n%s", tma_result.describe().c_str());
+    std::printf("TMA main bottleneck:   %s\n",
+                std::string(counters::tma_area_name(tma_result.main_bottleneck()))
+                    .c_str());
+
+    std::printf("--- SPIRE ---\n");
+    std::printf("measured IPC %.3f, estimated max %.3f\n",
+                analysis.measured_throughput, analysis.estimated_throughput);
+    for (std::size_t i = 0; i < 10 && i < analysis.ranking.size(); ++i) {
+      const auto& r = analysis.ranking[i];
+      std::printf("  %5.2f  %-5s %-48s [%s]\n", r.p_bar,
+                  std::string(r.abbrev.empty() ? "-" : r.abbrev).c_str(),
+                  std::string(r.name).c_str(),
+                  std::string(counters::tma_area_name(r.area)).c_str());
+    }
+    const auto spire_area = model::Analyzer::dominant_area(analysis);
+    const auto tma_area = tma_result.main_bottleneck();
+    const int hits = model::Analyzer::area_count_in_top(analysis, tma_area);
+    std::printf("SPIRE dominant area:   %s\n",
+                std::string(counters::tma_area_name(spire_area)).c_str());
+    std::printf("top-10 metrics in TMA's main area (%s): %d/10 -> %s\n",
+                std::string(counters::tma_area_name(tma_area)).c_str(), hits,
+                hits > 0 ? "SPIRE surfaces the same bottleneck"
+                         : "no overlap");
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Bring your own counter data: SPIRE on a hand-written CSV.
+//
+// SPIRE is architecture-agnostic — it only needs (T, W, M_x) triples. This
+// example builds a dataset from inline CSV text (the same format
+// Dataset::save_csv writes, i.e. what you would produce from `perf stat`
+// logs on real hardware), trains a model, saves it to disk, reloads it, and
+// analyzes a second CSV of "production" samples.
+//
+// Build and run:  ./build/examples/custom_counters
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "sampling/dataset.h"
+#include "spire/analyzer.h"
+#include "spire/ensemble.h"
+#include "spire/model_io.h"
+
+using namespace spire;
+
+namespace {
+
+// Synthetic "perf stat" export: three metrics, ten 2-second windows each.
+// t is in cycles, w in instructions, m in metric events.
+constexpr const char* kTrainingCsv = R"(metric,t,w,m
+br_misp_retired.all_branches,1000,3900,2
+br_misp_retired.all_branches,1000,3500,10
+br_misp_retired.all_branches,1000,3000,40
+br_misp_retired.all_branches,1000,2200,110
+br_misp_retired.all_branches,1000,1500,160
+br_misp_retired.all_branches,1000,900,170
+br_misp_retired.all_branches,1000,600,150
+br_misp_retired.all_branches,1000,2800,60
+br_misp_retired.all_branches,1000,1100,150
+br_misp_retired.all_branches,1000,3700,6
+longest_lat_cache.miss,1000,3900,1
+longest_lat_cache.miss,1000,3600,8
+longest_lat_cache.miss,1000,2900,30
+longest_lat_cache.miss,1000,2000,90
+longest_lat_cache.miss,1000,1200,150
+longest_lat_cache.miss,1000,700,180
+longest_lat_cache.miss,1000,400,190
+longest_lat_cache.miss,1000,2500,50
+longest_lat_cache.miss,1000,1000,160
+longest_lat_cache.miss,1000,3800,3
+cycle_activity.stalls_total,1000,3900,80
+cycle_activity.stalls_total,1000,3400,220
+cycle_activity.stalls_total,1000,2800,420
+cycle_activity.stalls_total,1000,2000,600
+cycle_activity.stalls_total,1000,1300,760
+cycle_activity.stalls_total,1000,800,860
+cycle_activity.stalls_total,1000,500,920
+cycle_activity.stalls_total,1000,2400,500
+cycle_activity.stalls_total,1000,1000,820
+cycle_activity.stalls_total,1000,3700,140
+)";
+
+// The workload to diagnose: healthy branch behaviour, healthy cache
+// behaviour, but stalls everywhere - a core-bound profile.
+constexpr const char* kProductionCsv = R"(metric,t,w,m
+br_misp_retired.all_branches,1000,1000,3
+br_misp_retired.all_branches,1000,1050,4
+longest_lat_cache.miss,1000,1000,5
+longest_lat_cache.miss,1000,1050,4
+cycle_activity.stalls_total,1000,1000,800
+cycle_activity.stalls_total,1000,1050,790
+)";
+
+}  // namespace
+
+int main() {
+  // Load the "collected on real hardware" training data.
+  std::istringstream training_csv(kTrainingCsv);
+  const auto training = sampling::Dataset::load_csv(training_csv);
+  std::printf("loaded %zu training samples over %zu metrics\n",
+              training.size(), training.metrics().size());
+
+  model::Ensemble::TrainOptions options;
+  options.min_samples = 5;
+  const auto ensemble = model::Ensemble::train(training, options);
+
+  // Persist and reload, as a deployment would.
+  const std::string path = "/tmp/spire_custom_model.txt";
+  model::save_model_file(ensemble, path);
+  const auto deployed = model::load_model_file(path);
+  std::printf("model saved to %s and reloaded (%zu rooflines)\n\n",
+              path.c_str(), deployed.metric_count());
+
+  // Analyze the production capture.
+  std::istringstream production_csv(kProductionCsv);
+  const auto production = sampling::Dataset::load_csv(production_csv);
+  const auto analysis = model::Analyzer(deployed).analyze(production);
+
+  std::printf("production workload: measured IPC %.2f, estimated max %.2f\n",
+              analysis.measured_throughput, analysis.estimated_throughput);
+  std::printf("metric ranking (lowest = likeliest bottleneck):\n");
+  for (const auto& r : analysis.ranking) {
+    std::printf("  %5.2f  %-34s [%s]\n", r.p_bar, std::string(r.name).c_str(),
+                std::string(counters::tma_area_name(r.area)).c_str());
+  }
+  std::printf(
+      "\nexpected: cycle_activity.stalls_total ranks first (the workload\n"
+      "stalls constantly while branches and caches behave), pointing the\n"
+      "investigation at the core/back-end rather than memory or\n"
+      "speculation.\n");
+  return 0;
+}

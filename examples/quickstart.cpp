@@ -1,0 +1,66 @@
+// Quickstart: the SPIRE workflow in ~60 lines.
+//
+// 1. Run a workload on the simulated core and collect counter samples.
+// 2. Train a SPIRE ensemble on those samples.
+// 3. Analyze a new workload: estimate its attainable IPC and rank the
+//    performance metrics most likely to be its bottleneck.
+//
+// Build and run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "sampling/collector.h"
+#include "sim/core.h"
+#include "spire/analyzer.h"
+#include "spire/ensemble.h"
+#include "workloads/profile_stream.h"
+#include "workloads/suite.h"
+
+int main() {
+  using namespace spire;
+
+  // --- 1. Collect training samples from a few workloads -----------------
+  sampling::Dataset training;
+  sampling::SampleCollector collector{sampling::CollectorConfig{}};  // default: every metric event
+  for (const char* name : {"tensorflow-lite", "graph500", "numenta-nab",
+                           "qmcpack", "mafft", "parboil"}) {
+    for (const auto& entry : workloads::hpc_suite()) {
+      if (entry.profile.name != name || entry.testing) continue;
+      workloads::ProfileStream stream(entry.profile);
+      sim::Core core(sim::CoreConfig{}, stream);
+      const auto stats = collector.collect(core, training, 3'000'000);
+      std::printf("collected %-16s %-20s  %6llu samples, IPC %.2f\n",
+                  entry.profile.name.c_str(), entry.profile.config.c_str(),
+                  static_cast<unsigned long long>(stats.samples),
+                  static_cast<double>(stats.instructions) /
+                      static_cast<double>(stats.measured_cycles));
+    }
+  }
+
+  // --- 2. Train the ensemble: one roofline model per metric --------------
+  const auto ensemble = model::Ensemble::train(training);
+  std::printf("\ntrained a SPIRE ensemble with %zu metric rooflines\n\n",
+              ensemble.metric_count());
+
+  // --- 3. Analyze an unseen workload -------------------------------------
+  const auto& test = workloads::find_workload("onnx", "T5 Encoder, Std.");
+  workloads::ProfileStream stream(test.profile);
+  sim::Core core(sim::CoreConfig{}, stream);
+  sampling::Dataset samples;
+  collector.collect(core, samples, 3'000'000);
+
+  model::Analyzer analyzer(ensemble);
+  const auto analysis = analyzer.analyze(samples);
+
+  std::printf("workload: %s / %s\n", test.profile.name.c_str(),
+              test.profile.config.c_str());
+  std::printf("measured IPC:  %.3f\n", analysis.measured_throughput);
+  std::printf("estimated max: %.3f\n\n", analysis.estimated_throughput);
+  std::printf("top bottleneck candidates (lowest estimates first):\n");
+  for (std::size_t i = 0; i < 5 && i < analysis.ranking.size(); ++i) {
+    const auto& r = analysis.ranking[i];
+    std::printf("  %zu. %-48s  P = %.3f  [%s]\n", i + 1,
+                std::string(r.name).c_str(), r.p_bar,
+                std::string(counters::tma_area_name(r.area)).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+#include "counters/counter_set.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace spire::counters {
+
+CounterSet CounterSet::since(const CounterSet& earlier) const {
+  CounterSet out;
+  for (std::size_t i = 0; i < kEventCount; ++i) {
+    if (counts_[i] < earlier.counts_[i]) {
+      throw std::logic_error(
+          "counter went backwards: " +
+          std::string(event_name(static_cast<Event>(i))));
+    }
+    out.counts_[i] = counts_[i] - earlier.counts_[i];
+  }
+  return out;
+}
+
+}  // namespace spire::counters

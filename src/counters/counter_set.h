@@ -1,0 +1,40 @@
+// The counter register file the simulated core writes into, plus snapshot
+// arithmetic for windowed sampling (perf-stat style).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "counters/events.h"
+
+namespace spire::counters {
+
+/// All hardware counters of one core. The simulator increments these every
+/// cycle; the sampling layer takes snapshots and differences them.
+class CounterSet {
+ public:
+  CounterSet() { counts_.fill(0); }
+
+  /// Adds `delta` to an event's counter.
+  void add(Event e, std::uint64_t delta = 1) {
+    counts_[static_cast<std::size_t>(e)] += delta;
+  }
+
+  std::uint64_t get(Event e) const {
+    return counts_[static_cast<std::size_t>(e)];
+  }
+
+  void reset() { counts_.fill(0); }
+
+  /// Element-wise difference (this - earlier). Counters are monotonic, so
+  /// callers pass the older snapshot; underflow indicates a logic error and
+  /// throws std::logic_error.
+  CounterSet since(const CounterSet& earlier) const;
+
+  const std::array<std::uint64_t, kEventCount>& raw() const { return counts_; }
+
+ private:
+  std::array<std::uint64_t, kEventCount> counts_;
+};
+
+}  // namespace spire::counters

@@ -1,0 +1,305 @@
+#include "counters/events.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace spire::counters {
+
+std::string_view tma_area_name(TmaArea area) {
+  switch (area) {
+    case TmaArea::kFrontEnd: return "Front-End";
+    case TmaArea::kBadSpeculation: return "Bad Speculation";
+    case TmaArea::kMemory: return "Memory";
+    case TmaArea::kCore: return "Core";
+    case TmaArea::kRetiring: return "Retiring";
+    case TmaArea::kOther: return "Other";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::array<EventInfo, kEventCount> kCatalog = {{
+    {Event::kInstRetiredAny, "inst_retired.any", "", TmaArea::kOther,
+     "Retired instructions (the work measure W)"},
+    {Event::kCpuClkUnhaltedThread, "cpu_clk_unhalted.thread", "",
+     TmaArea::kOther, "Unhalted core cycles (the time measure T)"},
+
+    {Event::kFrontendRetiredLatencyGe2BubblesGe1,
+     "frontend_retired.latency_ge_2_bubbles_ge_1", "FE.1", TmaArea::kFrontEnd,
+     "Retired ops after >=1 fetch bubble lasting >=2 cycles"},
+    {Event::kFrontendRetiredLatencyGe2BubblesGe2,
+     "frontend_retired.latency_ge_2_bubbles_ge_2", "FE.2", TmaArea::kFrontEnd,
+     "Retired ops after >=2 fetch bubbles lasting >=2 cycles"},
+    {Event::kFrontendRetiredLatencyGe2BubblesGe3,
+     "frontend_retired.latency_ge_2_bubbles_ge_3", "FE.3", TmaArea::kFrontEnd,
+     "Retired ops after >=3 fetch bubbles lasting >=2 cycles"},
+    {Event::kIdqDsbCycles, "idq.dsb_cycles", "DB.1", TmaArea::kFrontEnd,
+     "Cycles the decoded stream buffer delivered uops to the IDQ"},
+    {Event::kIdqDsbUops, "idq.dsb_uops", "DB.2", TmaArea::kFrontEnd,
+     "Uops delivered from the decoded stream buffer"},
+    {Event::kFrontendRetiredDsbMiss, "frontend_retired.dsb_miss", "DB.3",
+     TmaArea::kFrontEnd, "Retired ops whose fetch missed the DSB"},
+    {Event::kIdqAllDsbCyclesAnyUops, "idq.all_dsb_cycles_any_uops", "DB.4",
+     TmaArea::kFrontEnd, "Cycles with any uop delivered by the DSB path"},
+    {Event::kIdqMsSwitches, "idq.ms_switches", "MS.1", TmaArea::kFrontEnd,
+     "Switches into the microcode sequencer"},
+    {Event::kIdqMsDsbCycles, "idq.ms_dsb_cycles", "MS.2", TmaArea::kFrontEnd,
+     "Cycles the MS was busy after a DSB-initiated entry"},
+    {Event::kIdqUopsNotDeliveredCyclesLe1UopDelivCore,
+     "idq_uops_not_delivered.cycles_le_1_uop_deliv.core", "DQ.1",
+     TmaArea::kFrontEnd, "Cycles the front-end delivered <=1 uop"},
+    {Event::kIdqUopsNotDeliveredCyclesLe2UopDelivCore,
+     "idq_uops_not_delivered.cycles_le_2_uop_deliv.core", "DQ.2",
+     TmaArea::kFrontEnd, "Cycles the front-end delivered <=2 uops"},
+    {Event::kIdqUopsNotDeliveredCyclesLe3UopDelivCore,
+     "idq_uops_not_delivered.cycles_le_3_uop_deliv.core", "DQ.3",
+     TmaArea::kFrontEnd, "Cycles the front-end delivered <=3 uops"},
+    {Event::kIdqUopsNotDeliveredCore, "idq_uops_not_delivered.core", "DQ.C",
+     TmaArea::kFrontEnd, "Allocation slots not filled by the front-end"},
+    {Event::kIdqUopsNotDeliveredCyclesFeWasOk,
+     "idq_uops_not_delivered.cycles_fe_was_ok", "DQ.K", TmaArea::kFrontEnd,
+     "Cycles the front-end kept up (delivered 4 or back-end stalled)"},
+    {Event::kIdqMiteCycles, "idq.mite_cycles", "", TmaArea::kFrontEnd,
+     "Cycles the legacy decode pipeline delivered uops"},
+    {Event::kIdqMiteUops, "idq.mite_uops", "", TmaArea::kFrontEnd,
+     "Uops delivered by the legacy decode pipeline"},
+    {Event::kIdqMsCycles, "idq.ms_cycles", "", TmaArea::kFrontEnd,
+     "Cycles the microcode sequencer delivered uops"},
+    {Event::kIdqMsUops, "idq.ms_uops", "", TmaArea::kFrontEnd,
+     "Uops delivered by the microcode sequencer"},
+    {Event::kDsb2MiteSwitchesPenaltyCycles,
+     "dsb2mite_switches.penalty_cycles", "", TmaArea::kFrontEnd,
+     "Penalty cycles for DSB-to-legacy-decode switches"},
+    {Event::kIcache16bIfdataStall, "icache_16b.ifdata_stall", "",
+     TmaArea::kFrontEnd, "Cycles fetch stalled on an I-cache data miss"},
+    {Event::kIcache64bIftagStall, "icache_64b.iftag_stall", "",
+     TmaArea::kFrontEnd, "Cycles fetch stalled on an I-cache tag miss"},
+    {Event::kItlbMissesWalkPending, "itlb_misses.walk_pending", "",
+     TmaArea::kFrontEnd, "Cycles an ITLB page walk was in progress"},
+    {Event::kBaclearsAny, "baclears.any", "", TmaArea::kFrontEnd,
+     "Front-end re-steers from branch address calculation"},
+    {Event::kLsdUops, "lsd.uops", "", TmaArea::kFrontEnd,
+     "Uops delivered by the loop stream detector"},
+    {Event::kLsdCyclesActive, "lsd.cycles_active", "", TmaArea::kFrontEnd,
+     "Cycles the loop stream detector was delivering"},
+    {Event::kIldStallLcp, "ild_stall.lcp", "", TmaArea::kFrontEnd,
+     "Stall cycles from length-changing prefixes"},
+
+    {Event::kBrMispRetiredAllBranches, "br_misp_retired.all_branches", "BP.1",
+     TmaArea::kBadSpeculation, "Retired mispredicted branches"},
+    {Event::kIntMiscRecoveryCycles, "int_misc.recovery_cycles", "BP.2",
+     TmaArea::kBadSpeculation, "Recovery cycles after any machine clear"},
+    {Event::kIntMiscRecoveryCyclesAny, "int_misc.recovery_cycles_any", "BP.3",
+     TmaArea::kBadSpeculation, "Recovery cycles, counted for any thread"},
+    {Event::kBrMispRetiredConditional, "br_misp_retired.conditional", "",
+     TmaArea::kBadSpeculation, "Retired mispredicted conditional branches"},
+    {Event::kMachineClearsCount, "machine_clears.count", "",
+     TmaArea::kBadSpeculation, "Machine clears of any kind"},
+    {Event::kMachineClearsMemoryOrdering, "machine_clears.memory_ordering", "",
+     TmaArea::kBadSpeculation, "Machine clears from memory ordering"},
+
+    {Event::kCycleActivityCyclesMemAny, "cycle_activity.cycles_mem_any", "M",
+     TmaArea::kMemory, "Cycles with an in-flight memory load"},
+    {Event::kCycleActivityCyclesL1dMiss, "cycle_activity.cycles_l1d_miss",
+     "L1.1", TmaArea::kMemory, "Cycles with an outstanding L1D miss"},
+    {Event::kCycleActivityStallsL1dMiss, "cycle_activity.stalls_l1d_miss",
+     "L1.2", TmaArea::kMemory,
+     "Execution stall cycles with an outstanding L1D miss"},
+    {Event::kL1dPendMissPendingCycles, "l1d_pend_miss.pending_cycles", "L1.3",
+     TmaArea::kMemory, "Cycles with at least one L1D miss pending"},
+    {Event::kLongestLatCacheMiss, "longest_lat_cache.miss", "L3",
+     TmaArea::kMemory, "Demand misses in the last-level cache"},
+    {Event::kMemInstRetiredLockLoads, "mem_inst_retired.lock_loads", "LK",
+     TmaArea::kMemory, "Retired locked load instructions"},
+    {Event::kCycleActivityStallsMemAny, "cycle_activity.stalls_mem_any", "",
+     TmaArea::kMemory, "Execution stall cycles with an in-flight load"},
+    {Event::kCycleActivityStallsL2Miss, "cycle_activity.stalls_l2_miss", "",
+     TmaArea::kMemory, "Execution stall cycles with an outstanding L2 miss"},
+    {Event::kCycleActivityStallsL3Miss, "cycle_activity.stalls_l3_miss", "",
+     TmaArea::kMemory, "Execution stall cycles with an outstanding L3 miss"},
+    {Event::kMemLoadRetiredL1Hit, "mem_load_retired.l1_hit", "",
+     TmaArea::kMemory, "Retired loads that hit the L1D"},
+    {Event::kMemLoadRetiredL1Miss, "mem_load_retired.l1_miss", "",
+     TmaArea::kMemory, "Retired loads that missed the L1D"},
+    {Event::kMemLoadRetiredL2Hit, "mem_load_retired.l2_hit", "",
+     TmaArea::kMemory, "Retired loads that hit the L2"},
+    {Event::kMemLoadRetiredL2Miss, "mem_load_retired.l2_miss", "",
+     TmaArea::kMemory, "Retired loads that missed the L2"},
+    {Event::kMemLoadRetiredL3Hit, "mem_load_retired.l3_hit", "",
+     TmaArea::kMemory, "Retired loads that hit the L3"},
+    {Event::kMemLoadRetiredL3Miss, "mem_load_retired.l3_miss", "",
+     TmaArea::kMemory, "Retired loads that missed the L3"},
+    {Event::kMemLoadRetiredFbHit, "mem_load_retired.fb_hit", "",
+     TmaArea::kMemory, "Retired loads that hit a pending-miss fill buffer"},
+    {Event::kMemInstRetiredAllLoads, "mem_inst_retired.all_loads", "",
+     TmaArea::kMemory, "Retired load instructions"},
+    {Event::kMemInstRetiredAllStores, "mem_inst_retired.all_stores", "",
+     TmaArea::kMemory, "Retired store instructions"},
+    {Event::kDtlbLoadMissesWalkPending, "dtlb_load_misses.walk_pending", "",
+     TmaArea::kMemory, "Cycles a DTLB load page walk was in progress"},
+    {Event::kL1dReplacement, "l1d.replacement", "", TmaArea::kMemory,
+     "L1D cache lines replaced"},
+    {Event::kL2RqstsAllDemandMiss, "l2_rqsts.all_demand_miss", "",
+     TmaArea::kMemory, "Demand requests that missed the L2"},
+    {Event::kLongestLatCacheReference, "longest_lat_cache.reference", "",
+     TmaArea::kMemory, "Demand references to the last-level cache"},
+    {Event::kOffcoreRequestsDemandDataRd,
+     "offcore_requests.demand_data_rd", "", TmaArea::kMemory,
+     "Demand data reads sent off-core"},
+
+    {Event::kCycleActivityStallsTotal, "cycle_activity.stalls_total", "CS.1",
+     TmaArea::kCore, "Cycles with no uop executed"},
+    {Event::kUopsRetiredStallCycles, "uops_retired.stall_cycles", "CS.2",
+     TmaArea::kCore, "Cycles with no uop retired"},
+    {Event::kUopsIssuedStallCycles, "uops_issued.stall_cycles", "CS.3",
+     TmaArea::kCore, "Cycles with no uop issued"},
+    {Event::kUopsExecutedStallCycles, "uops_executed.stall_cycles", "CS.4",
+     TmaArea::kCore, "Cycles with no uop dispatched to a port"},
+    {Event::kResourceStallsAny, "resource_stalls.any", "CS.5", TmaArea::kCore,
+     "Allocation stalls from any back-end resource"},
+    {Event::kExeActivityExeBound0Ports, "exe_activity.exe_bound_0_ports",
+     "CS.6", TmaArea::kCore,
+     "Cycles with no port utilized while uops were ready"},
+    {Event::kUopsExecutedCoreCyclesGe1, "uops_executed.core_cycles_ge_1",
+     "C1.1", TmaArea::kCore, "Cycles the core executed >=1 uop"},
+    {Event::kUopsExecutedCyclesGe1UopExec,
+     "uops_executed.cycles_ge_1_uop_exec", "C1.2", TmaArea::kCore,
+     "Cycles this thread executed >=1 uop"},
+    {Event::kExeActivity1PortsUtil, "exe_activity.1_ports_util", "C1.3",
+     TmaArea::kCore, "Cycles exactly 1 port was utilized"},
+    {Event::kUopsIssuedVectorWidthMismatch,
+     "uops_issued.vector_width_mismatch", "VW", TmaArea::kCore,
+     "Uops issued with a SIMD vector width transition penalty"},
+    {Event::kExeActivity2PortsUtil, "exe_activity.2_ports_util", "",
+     TmaArea::kCore, "Cycles exactly 2 ports were utilized"},
+    {Event::kExeActivity3PortsUtil, "exe_activity.3_ports_util", "",
+     TmaArea::kCore, "Cycles exactly 3 ports were utilized"},
+    {Event::kExeActivity4PortsUtil, "exe_activity.4_ports_util", "",
+     TmaArea::kCore, "Cycles 4 or more ports were utilized"},
+    {Event::kExeActivityBoundOnStores, "exe_activity.bound_on_stores", "",
+     TmaArea::kCore, "Cycles stalled with the store buffer full"},
+    {Event::kArithDividerActive, "arith.divider_active", "", TmaArea::kCore,
+     "Cycles the divide unit was busy"},
+    {Event::kResourceStallsSb, "resource_stalls.sb", "", TmaArea::kCore,
+     "Allocation stalls from a full store buffer"},
+    {Event::kRsEventsEmptyCycles, "rs_events.empty_cycles", "",
+     TmaArea::kCore, "Cycles the reservation station was empty"},
+    {Event::kUopsDispatchedPort0, "uops_dispatched_port.port_0", "",
+     TmaArea::kCore, "Uops dispatched to port 0 (ALU/vector/div)"},
+    {Event::kUopsDispatchedPort1, "uops_dispatched_port.port_1", "",
+     TmaArea::kCore, "Uops dispatched to port 1 (ALU/vector)"},
+    {Event::kUopsDispatchedPort2, "uops_dispatched_port.port_2", "",
+     TmaArea::kCore, "Uops dispatched to port 2 (load)"},
+    {Event::kUopsDispatchedPort3, "uops_dispatched_port.port_3", "",
+     TmaArea::kCore, "Uops dispatched to port 3 (load)"},
+    {Event::kUopsDispatchedPort4, "uops_dispatched_port.port_4", "",
+     TmaArea::kCore, "Uops dispatched to port 4 (store data)"},
+    {Event::kUopsDispatchedPort5, "uops_dispatched_port.port_5", "",
+     TmaArea::kCore, "Uops dispatched to port 5 (ALU/shuffle)"},
+    {Event::kUopsDispatchedPort6, "uops_dispatched_port.port_6", "",
+     TmaArea::kCore, "Uops dispatched to port 6 (ALU/branch)"},
+    {Event::kUopsDispatchedPort7, "uops_dispatched_port.port_7", "",
+     TmaArea::kCore, "Uops dispatched to port 7 (store address)"},
+
+    {Event::kUopsIssuedAny, "uops_issued.any", "", TmaArea::kRetiring,
+     "Uops issued by the rename/allocate stage"},
+    {Event::kUopsRetiredRetireSlots, "uops_retired.retire_slots", "",
+     TmaArea::kRetiring, "Retirement slots used"},
+    {Event::kUopsExecutedThread, "uops_executed.thread", "",
+     TmaArea::kRetiring, "Uops executed by this thread"},
+    {Event::kBrInstRetiredAllBranches, "br_inst_retired.all_branches", "",
+     TmaArea::kRetiring, "Retired branch instructions"},
+    {Event::kBrInstRetiredNearTaken, "br_inst_retired.near_taken", "",
+     TmaArea::kRetiring, "Retired taken branches"},
+}};
+
+}  // namespace
+
+const std::array<EventInfo, kEventCount>& event_catalog() {
+  // Cross-check that the table is ordered by Event value (compile-time size
+  // is already enforced by the array type).
+  static const bool checked = [] {
+    for (std::size_t i = 0; i < kEventCount; ++i) {
+      if (static_cast<std::size_t>(kCatalog[i].event) != i) {
+        throw std::logic_error("event catalog out of order at index " +
+                               std::to_string(i));
+      }
+    }
+    return true;
+  }();
+  (void)checked;
+  return kCatalog;
+}
+
+const EventInfo& event_info(Event e) {
+  const auto idx = static_cast<std::size_t>(e);
+  if (idx >= kEventCount) throw std::out_of_range("event_info: bad event");
+  return event_catalog()[idx];
+}
+
+std::string_view event_name(Event e) { return event_info(e).name; }
+
+namespace {
+
+const std::unordered_map<std::string_view, Event>& name_index() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string_view, Event>();
+    for (const auto& info : event_catalog()) m->emplace(info.name, info.event);
+    return m;
+  }();
+  return *map;
+}
+
+const std::unordered_map<std::string_view, Event>& abbrev_index() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string_view, Event>();
+    for (const auto& info : event_catalog()) {
+      if (!info.abbrev.empty()) m->emplace(info.abbrev, info.event);
+    }
+    return m;
+  }();
+  return *map;
+}
+
+}  // namespace
+
+std::optional<Event> event_by_name(std::string_view name) {
+  const auto it = name_index().find(name);
+  if (it == name_index().end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Event> event_by_abbrev(std::string_view abbrev) {
+  const auto it = abbrev_index().find(abbrev);
+  if (it == abbrev_index().end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<Event>& metric_events() {
+  static const auto* events = [] {
+    auto* v = new std::vector<Event>();
+    for (const auto& info : event_catalog()) {
+      if (info.event == Event::kInstRetiredAny ||
+          info.event == Event::kCpuClkUnhaltedThread) {
+        continue;
+      }
+      v->push_back(info.event);
+    }
+    return v;
+  }();
+  return *events;
+}
+
+const std::vector<Event>& table3_events() {
+  static const auto* events = [] {
+    auto* v = new std::vector<Event>();
+    for (const auto& info : event_catalog()) {
+      if (!info.abbrev.empty()) v->push_back(info.event);
+    }
+    return v;
+  }();
+  return *events;
+}
+
+}  // namespace spire::counters

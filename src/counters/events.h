@@ -1,0 +1,179 @@
+// Hardware performance event catalog.
+//
+// Event names follow the Skylake-SP events the paper's Table III uses (the
+// evaluation machine is a Xeon Gold 6126); abbreviations match the paper
+// (FE.n, DB.n, MS.n, DQ.n, BP.n, M, L1.n, L3, LK, CS.n, C1.n, VW). Extra
+// events beyond Table III are included because the paper samples 424 metrics
+// and the TMA baseline needs issue/retire slot counts.
+//
+// The simulator updates these counters; SPIRE consumes them opaquely as
+// "performance metrics" — nothing in the model depends on their semantics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace spire::counters {
+
+/// High-level TMA area a metric is most closely associated with
+/// (paper Table III's color coding).
+enum class TmaArea : std::uint8_t {
+  kFrontEnd,
+  kBadSpeculation,
+  kMemory,
+  kCore,
+  kRetiring,
+  kOther,  // fixed counters and events with no single TMA home
+};
+
+/// Human-readable name of a TMA area.
+std::string_view tma_area_name(TmaArea area);
+
+/// Every hardware event the simulated core exposes. Order is stable and is
+/// the counter index in CounterSet.
+enum class Event : std::uint16_t {
+  // Fixed counters (work and time; never used as SPIRE metrics).
+  kInstRetiredAny,
+  kCpuClkUnhaltedThread,
+
+  // Front-end: fetch bubbles seen by retired ops (FE.n).
+  kFrontendRetiredLatencyGe2BubblesGe1,
+  kFrontendRetiredLatencyGe2BubblesGe2,
+  kFrontendRetiredLatencyGe2BubblesGe3,
+  // Front-end: decoded stream buffer (DB.n).
+  kIdqDsbCycles,
+  kIdqDsbUops,
+  kFrontendRetiredDsbMiss,
+  kIdqAllDsbCyclesAnyUops,
+  // Front-end: microcode sequencer (MS.n).
+  kIdqMsSwitches,
+  kIdqMsDsbCycles,
+  // Front-end: delivery shortfall into the IDQ (DQ.n).
+  kIdqUopsNotDeliveredCyclesLe1UopDelivCore,
+  kIdqUopsNotDeliveredCyclesLe2UopDelivCore,
+  kIdqUopsNotDeliveredCyclesLe3UopDelivCore,
+  kIdqUopsNotDeliveredCore,
+  kIdqUopsNotDeliveredCyclesFeWasOk,
+  // Front-end: extras.
+  kIdqMiteCycles,
+  kIdqMiteUops,
+  kIdqMsCycles,
+  kIdqMsUops,
+  kDsb2MiteSwitchesPenaltyCycles,
+  kIcache16bIfdataStall,
+  kIcache64bIftagStall,
+  kItlbMissesWalkPending,
+  kBaclearsAny,
+  kLsdUops,
+  kLsdCyclesActive,
+  kIldStallLcp,
+
+  // Bad speculation (BP.n).
+  kBrMispRetiredAllBranches,
+  kIntMiscRecoveryCycles,
+  kIntMiscRecoveryCyclesAny,
+  kBrMispRetiredConditional,
+  kMachineClearsCount,
+  kMachineClearsMemoryOrdering,
+
+  // Memory (M, L1.n, L3, LK).
+  kCycleActivityCyclesMemAny,
+  kCycleActivityCyclesL1dMiss,
+  kCycleActivityStallsL1dMiss,
+  kL1dPendMissPendingCycles,
+  kLongestLatCacheMiss,
+  kMemInstRetiredLockLoads,
+  // Memory: extras.
+  kCycleActivityStallsMemAny,
+  kCycleActivityStallsL2Miss,
+  kCycleActivityStallsL3Miss,
+  kMemLoadRetiredL1Hit,
+  kMemLoadRetiredL1Miss,
+  kMemLoadRetiredL2Hit,
+  kMemLoadRetiredL2Miss,
+  kMemLoadRetiredL3Hit,
+  kMemLoadRetiredL3Miss,
+  kMemLoadRetiredFbHit,
+  kMemInstRetiredAllLoads,
+  kMemInstRetiredAllStores,
+  kDtlbLoadMissesWalkPending,
+  kL1dReplacement,
+  kL2RqstsAllDemandMiss,
+  kLongestLatCacheReference,
+  kOffcoreRequestsDemandDataRd,
+
+  // Core (CS.n, C1.n, VW).
+  kCycleActivityStallsTotal,
+  kUopsRetiredStallCycles,
+  kUopsIssuedStallCycles,
+  kUopsExecutedStallCycles,
+  kResourceStallsAny,
+  kExeActivityExeBound0Ports,
+  kUopsExecutedCoreCyclesGe1,
+  kUopsExecutedCyclesGe1UopExec,
+  kExeActivity1PortsUtil,
+  kUopsIssuedVectorWidthMismatch,
+  // Core: extras.
+  kExeActivity2PortsUtil,
+  kExeActivity3PortsUtil,
+  kExeActivity4PortsUtil,
+  kExeActivityBoundOnStores,
+  kArithDividerActive,
+  kResourceStallsSb,
+  kRsEventsEmptyCycles,
+  kUopsDispatchedPort0,
+  kUopsDispatchedPort1,
+  kUopsDispatchedPort2,
+  kUopsDispatchedPort3,
+  kUopsDispatchedPort4,
+  kUopsDispatchedPort5,
+  kUopsDispatchedPort6,
+  kUopsDispatchedPort7,
+
+  // Retiring / pipeline slot accounting (needed by TMA).
+  kUopsIssuedAny,
+  kUopsRetiredRetireSlots,
+  kUopsExecutedThread,
+  kBrInstRetiredAllBranches,
+  kBrInstRetiredNearTaken,
+
+  kCount,
+};
+
+inline constexpr std::size_t kEventCount = static_cast<std::size_t>(Event::kCount);
+
+/// Static description of one event.
+struct EventInfo {
+  Event event;
+  std::string_view name;    // perf-style event name
+  std::string_view abbrev;  // paper Table III abbreviation; "" if not in it
+  TmaArea area;
+  std::string_view description;
+};
+
+/// The full catalog, indexed by Event value.
+const std::array<EventInfo, kEventCount>& event_catalog();
+
+/// Info for one event.
+const EventInfo& event_info(Event e);
+
+/// Perf-style name of an event.
+std::string_view event_name(Event e);
+
+/// Looks up an event by its perf-style name.
+std::optional<Event> event_by_name(std::string_view name);
+
+/// Looks up an event by its paper abbreviation (e.g. "DB.2").
+std::optional<Event> event_by_abbrev(std::string_view abbrev);
+
+/// All events usable as SPIRE performance metrics, i.e. everything except
+/// the fixed work/time counters.
+const std::vector<Event>& metric_events();
+
+/// Events appearing in the paper's Table III (the abbreviated subset).
+const std::vector<Event>& table3_events();
+
+}  // namespace spire::counters

@@ -1,0 +1,73 @@
+#include "geom/convex_hull.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spire::geom {
+
+std::vector<Point> left_roofline_hull(const std::vector<Point>& points) {
+  for (const auto& p : points) {
+    if (!std::isfinite(p.x) || !std::isfinite(p.y) || p.x < 0.0 || p.y < 0.0) {
+      throw std::invalid_argument("hull: points must be finite, non-negative");
+    }
+  }
+
+  // Apex: maximum y, ties toward smaller x so the left region is as narrow
+  // as possible (same-height samples to the right belong to the right fit).
+  const Point* apex = nullptr;
+  for (const auto& p : points) {
+    if (apex == nullptr || p.y > apex->y || (p.y == apex->y && p.x < apex->x)) {
+      apex = &p;
+    }
+  }
+
+  std::vector<Point> chain{{0.0, 0.0}};
+  if (apex == nullptr || apex->y <= 0.0) return chain;
+
+  Point cur = chain.back();
+  while (!(cur == *apex)) {
+    // Candidates strictly up-and-right of the current point. A candidate at
+    // the same x counts as slope +infinity (only reachable from the origin).
+    const Point* best = nullptr;
+    double best_slope = -kInfinity;
+    for (const auto& p : points) {
+      if (p.y <= cur.y || p.x < cur.x) continue;
+      const double s = p.x > cur.x ? slope(cur, p) : kInfinity;
+      // On ties prefer the farther point (larger x, then larger y) so that
+      // collinear middles are skipped in one step.
+      if (best == nullptr || s > best_slope ||
+          (s == best_slope && (p.x > best->x || (p.x == best->x && p.y > best->y)))) {
+        best = &p;
+        best_slope = s;
+      }
+    }
+    // `best` cannot be null while cur != apex: the apex itself is strictly
+    // up-and-right of every chain point (chain y strictly ascends below it).
+    if (best == nullptr) break;
+    chain.push_back(*best);
+    cur = *best;
+  }
+  return chain;
+}
+
+std::vector<Point> upper_hull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  if (points.size() <= 2) return points;
+
+  std::vector<Point> hull;
+  for (const auto& p : points) {
+    // Pop while the turn through the last two hull points is not clockwise.
+    while (hull.size() >= 2 &&
+           cross(hull[hull.size() - 2], hull.back(), p) >= 0.0) {
+      hull.pop_back();
+    }
+    hull.push_back(p);
+  }
+  return hull;
+}
+
+}  // namespace spire::geom

@@ -1,0 +1,29 @@
+// Convex hull construction for SPIRE's left-region fit (paper Fig. 5).
+//
+// The fit is a gift-wrapping (Jarvis-march) walk: starting from the origin,
+// repeatedly step to the sample strictly up-and-right of the current point
+// with the maximum slope from it, until the globally highest-throughput
+// sample (the apex) is reached. The resulting chain is increasing and
+// concave-down, and lies on-or-above every sample with x <= x(apex).
+#pragma once
+
+#include <vector>
+
+#include "geom/point.h"
+
+namespace spire::geom {
+
+/// Returns the hull chain [(0,0), p1, ..., apex] over `points`, where apex
+/// is the maximum-y point (ties broken toward smaller x). Points must have
+/// finite, non-negative coordinates. Returns just {(0,0)} when `points` is
+/// empty or no point lies strictly up-and-right of the origin.
+///
+/// Collinear intermediate points are skipped: on slope ties the walk takes
+/// the farthest point, so consecutive chain slopes strictly decrease.
+std::vector<Point> left_roofline_hull(const std::vector<Point>& points);
+
+/// Classic upper convex hull of a point set, sorted by x (Andrew monotone
+/// chain). Used as a test oracle and by the classic roofline module.
+std::vector<Point> upper_hull(std::vector<Point> points);
+
+}  // namespace spire::geom

@@ -1,0 +1,38 @@
+#include "geom/pareto.h"
+
+#include <algorithm>
+
+namespace spire::geom {
+
+std::vector<Point> pareto_front_max_xy(const std::vector<Point>& points) {
+  std::vector<Point> sorted = points;
+  // Descending x; for equal x keep the largest y first.
+  std::sort(sorted.begin(), sorted.end(), [](const Point& a, const Point& b) {
+    return a.x > b.x || (a.x == b.x && a.y > b.y);
+  });
+
+  std::vector<Point> front;
+  double best_y = -kInfinity;
+  double last_x = kInfinity;
+  bool have_last = false;
+  for (const auto& p : sorted) {
+    if (have_last && p.x == last_x) continue;  // dominated by equal-x, higher-y
+    if (p.y > best_y) {
+      front.push_back(p);
+      best_y = p.y;
+    }
+    last_x = p.x;
+    have_last = true;
+  }
+  return front;
+}
+
+bool is_dominated(const Point& p, const std::vector<Point>& points) {
+  for (const auto& q : points) {
+    if (q == p) continue;
+    if (q.x >= p.x && q.y >= p.y) return true;
+  }
+  return false;
+}
+
+}  // namespace spire::geom

@@ -1,0 +1,26 @@
+// Pareto front extraction for SPIRE's right-region fit (paper Fig. 6).
+//
+// The right fit only considers samples that are Pareto-optimal when jointly
+// maximizing intensity (x) and throughput (y); all other samples lie strictly
+// below-left of a front sample and cannot touch a valid decreasing fit.
+#pragma once
+
+#include <vector>
+
+#include "geom/point.h"
+
+namespace spire::geom {
+
+/// Returns the Pareto front of `points` under joint maximization of x and y,
+/// sorted by DESCENDING x (so ascending y). Points with x = +infinity are
+/// allowed and, when present, the maximal-y one leads the front. Exact
+/// duplicates collapse to a single entry.
+///
+/// Postconditions on the result: x strictly decreases, y strictly increases.
+std::vector<Point> pareto_front_max_xy(const std::vector<Point>& points);
+
+/// True when `p` is dominated by some point in `points` (some q != p with
+/// q.x >= p.x and q.y >= p.y). Brute-force; used as a test oracle.
+bool is_dominated(const Point& p, const std::vector<Point>& points);
+
+}  // namespace spire::geom

@@ -1,0 +1,137 @@
+#include "geom/piecewise_linear.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace spire::geom {
+
+double LinearPiece::at(double x) const {
+  if (!std::isfinite(x1)) return y0;  // horizontal tail
+  if (x1 == x0) return y0;
+  const double t = (x - x0) / (x1 - x0);
+  return y0 + t * (y1 - y0);
+}
+
+double LinearPiece::slope() const {
+  if (!std::isfinite(x1)) return 0.0;
+  return (y1 - y0) / (x1 - x0);
+}
+
+PiecewiseLinear::PiecewiseLinear(std::vector<LinearPiece> pieces)
+    : pieces_(std::move(pieces)) {
+  if (pieces_.empty()) {
+    throw std::invalid_argument("piecewise: no pieces");
+  }
+  for (std::size_t i = 0; i < pieces_.size(); ++i) {
+    const auto& p = pieces_[i];
+    if (!(p.x0 < p.x1)) {
+      throw std::invalid_argument("piecewise: degenerate piece");
+    }
+    if (!std::isfinite(p.x0) || !std::isfinite(p.y0) || !std::isfinite(p.y1)) {
+      throw std::invalid_argument("piecewise: non-finite coordinates");
+    }
+    if (!std::isfinite(p.x1)) {
+      if (p.y1 != p.y0) {
+        throw std::invalid_argument("piecewise: infinite piece must be horizontal");
+      }
+      if (i + 1 != pieces_.size()) {
+        throw std::invalid_argument("piecewise: infinite piece must be last");
+      }
+    }
+    if (i > 0 && pieces_[i - 1].x1 != p.x0) {
+      throw std::invalid_argument("piecewise: pieces not contiguous");
+    }
+  }
+}
+
+PiecewiseLinear PiecewiseLinear::from_knots(const std::vector<Point>& knots) {
+  if (knots.size() < 2) {
+    throw std::invalid_argument("piecewise: need at least 2 knots");
+  }
+  std::vector<LinearPiece> pieces;
+  pieces.reserve(knots.size() - 1);
+  for (std::size_t i = 0; i + 1 < knots.size(); ++i) {
+    pieces.push_back({knots[i].x, knots[i].y, knots[i + 1].x, knots[i + 1].y});
+  }
+  return PiecewiseLinear(std::move(pieces));
+}
+
+double PiecewiseLinear::domain_min() const {
+  if (pieces_.empty()) throw std::logic_error("piecewise: empty");
+  return pieces_.front().x0;
+}
+
+double PiecewiseLinear::domain_max() const {
+  if (pieces_.empty()) throw std::logic_error("piecewise: empty");
+  return pieces_.back().x1;
+}
+
+double PiecewiseLinear::at(double x) const {
+  if (pieces_.empty()) throw std::logic_error("piecewise: empty");
+  if (x <= pieces_.front().x0) return pieces_.front().y0;
+  // First piece whose right edge reaches x; the left segment wins at shared
+  // boundaries (see header).
+  const auto it = std::lower_bound(
+      pieces_.begin(), pieces_.end(), x,
+      [](const LinearPiece& p, double v) { return p.x1 < v; });
+  if (it == pieces_.end()) return pieces_.back().y1;
+  return it->at(x);
+}
+
+bool PiecewiseLinear::non_decreasing() const {
+  for (std::size_t i = 0; i < pieces_.size(); ++i) {
+    if (pieces_[i].y1 < pieces_[i].y0) return false;
+    if (i > 0 && pieces_[i].y0 < pieces_[i - 1].y1) return false;
+  }
+  return true;
+}
+
+bool PiecewiseLinear::non_increasing() const {
+  for (std::size_t i = 0; i < pieces_.size(); ++i) {
+    if (pieces_[i].y1 > pieces_[i].y0) return false;
+    if (i > 0 && pieces_[i].y0 > pieces_[i - 1].y1) return false;
+  }
+  return true;
+}
+
+bool PiecewiseLinear::continuous() const {
+  for (std::size_t i = 1; i < pieces_.size(); ++i) {
+    if (pieces_[i].y0 != pieces_[i - 1].y1) return false;
+  }
+  return true;
+}
+
+std::vector<Point> PiecewiseLinear::sample(double lo, double hi, int n) const {
+  std::vector<Point> out;
+  if (n < 2 || pieces_.empty() || !(lo < hi)) return out;
+  for (int i = 0; i < n; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) /
+                              static_cast<double>(n - 1);
+    out.push_back({x, at(x)});
+  }
+  // Add explicit step points at interior discontinuities inside [lo, hi].
+  for (std::size_t i = 1; i < pieces_.size(); ++i) {
+    if (pieces_[i].y0 == pieces_[i - 1].y1) continue;
+    const double x = pieces_[i].x0;
+    if (x <= lo || x >= hi) continue;
+    out.push_back({x, pieces_[i - 1].y1});
+    out.push_back({std::nextafter(x, hi), pieces_[i].y0});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Point& a, const Point& b) { return a.x < b.x; });
+  return out;
+}
+
+std::string PiecewiseLinear::describe() const {
+  std::ostringstream os;
+  os.precision(6);
+  for (const auto& p : pieces_) {
+    os << "[" << p.x0 << ", " << p.x1 << "] : " << p.y0 << " -> " << p.y1
+       << "  (slope " << p.slope() << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace spire::geom

@@ -1,0 +1,80 @@
+// Piecewise linear functions over the intensity axis.
+//
+// SPIRE's rooflines are piecewise linear upper bounds P(I). The right-fit's
+// horizontal cap introduces jump discontinuities, so the representation is a
+// sorted list of closed segments rather than a knot list. Contiguity is
+// enforced on construction; at a shared boundary the LEFT segment's value
+// wins, which keeps right-region fits non-increasing across upward jumps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace spire::geom {
+
+/// One linear piece over [x0, x1]. x1 may be +infinity, in which case the
+/// piece must be horizontal (y1 == y0).
+struct LinearPiece {
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 0.0;
+  double y1 = 0.0;
+
+  /// Value at x; requires x0 <= x <= x1.
+  double at(double x) const;
+
+  /// Slope; 0 for horizontal pieces that extend to infinity.
+  double slope() const;
+
+  friend bool operator==(const LinearPiece&, const LinearPiece&) = default;
+};
+
+/// An ordered, contiguous sequence of linear pieces.
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+
+  /// Builds from pieces. Throws std::invalid_argument when pieces are empty,
+  /// unsorted, non-contiguous (piece[i].x1 != piece[i+1].x0), degenerate
+  /// (x0 >= x1), or an infinite piece is not horizontal / not last.
+  explicit PiecewiseLinear(std::vector<LinearPiece> pieces);
+
+  /// Builds a continuous function from knots (x strictly increasing).
+  static PiecewiseLinear from_knots(const std::vector<Point>& knots);
+
+  bool empty() const { return pieces_.empty(); }
+  const std::vector<LinearPiece>& pieces() const { return pieces_; }
+
+  double domain_min() const;
+  double domain_max() const;  // may be +infinity
+
+  /// Evaluates at x. Outside the domain the nearest endpoint value is
+  /// returned (clamping), which matches roofline semantics: the bound is
+  /// flat beyond observed intensities. Throws std::logic_error when empty.
+  double at(double x) const;
+
+  /// True when evaluation never decreases / never increases over the domain
+  /// (checks piece slopes and boundary jumps). Used by invariant tests.
+  bool non_decreasing() const;
+  bool non_increasing() const;
+
+  /// True when the function is continuous at every interior boundary.
+  bool continuous() const;
+
+  /// Samples n points across [lo, hi] for plotting, inserting a pair of
+  /// points around each jump so discontinuities render as steps.
+  std::vector<Point> sample(double lo, double hi, int n) const;
+
+  /// Compact human-readable description, one piece per line.
+  std::string describe() const;
+
+  friend bool operator==(const PiecewiseLinear&, const PiecewiseLinear&) =
+      default;
+
+ private:
+  std::vector<LinearPiece> pieces_;
+};
+
+}  // namespace spire::geom

@@ -1,0 +1,36 @@
+// 2-D point primitives shared by the fitting algorithms.
+//
+// Throughout the roofline code the x axis is an operational intensity (I_x)
+// and the y axis a throughput (P); x may be +infinity for samples whose
+// metric count is zero (I_x = W / M_x with M_x = 0).
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace spire::geom {
+
+/// A point in the (intensity, throughput) plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Slope of the line through a and b; +-infinity for vertical lines.
+inline double slope(const Point& a, const Point& b) {
+  return (b.y - a.y) / (b.x - a.x);
+}
+
+/// True when x is finite (samples at I = infinity need special casing).
+inline bool finite_x(const Point& p) { return std::isfinite(p.x); }
+
+/// Cross product (b - a) x (c - a); > 0 when c is left of the a->b ray.
+inline double cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+}  // namespace spire::geom

@@ -1,0 +1,35 @@
+#include "graph/digraph.h"
+
+#include <stdexcept>
+
+namespace spire::graph {
+
+Digraph::Digraph(VertexId vertex_count) {
+  if (vertex_count < 0) throw std::invalid_argument("digraph: negative size");
+  adjacency_.resize(static_cast<std::size_t>(vertex_count));
+}
+
+VertexId Digraph::add_vertex() {
+  adjacency_.emplace_back();
+  return static_cast<VertexId>(adjacency_.size() - 1);
+}
+
+void Digraph::add_edge(VertexId from, VertexId to, double weight) {
+  check(from);
+  check(to);
+  adjacency_[static_cast<std::size_t>(from)].push_back({to, weight});
+  ++edge_count_;
+}
+
+std::span<const Edge> Digraph::out_edges(VertexId v) const {
+  check(v);
+  return adjacency_[static_cast<std::size_t>(v)];
+}
+
+void Digraph::check(VertexId v) const {
+  if (v < 0 || v >= vertex_count()) {
+    throw std::out_of_range("digraph: bad vertex id");
+  }
+}
+
+}  // namespace spire::graph

@@ -1,0 +1,46 @@
+// A compact weighted directed graph used by the right-region fitting
+// algorithm (paper Fig. 6), where vertices are candidate line segments and
+// the minimum-error fit is a shortest path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spire::graph {
+
+using VertexId = std::int32_t;
+
+/// One outgoing edge.
+struct Edge {
+  VertexId to = 0;
+  double weight = 0.0;
+};
+
+/// Adjacency-list digraph with non-negative edge weights expected by
+/// Dijkstra (negative weights are accepted by the structure itself; the
+/// shortest-path routines state their own requirements).
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(VertexId vertex_count);
+
+  /// Adds a vertex, returning its id.
+  VertexId add_vertex();
+
+  /// Adds a directed edge. Throws std::out_of_range on bad vertex ids.
+  void add_edge(VertexId from, VertexId to, double weight);
+
+  VertexId vertex_count() const { return static_cast<VertexId>(adjacency_.size()); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  std::span<const Edge> out_edges(VertexId v) const;
+
+ private:
+  void check(VertexId v) const;
+
+  std::vector<std::vector<Edge>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace spire::graph

@@ -1,0 +1,93 @@
+#include "graph/shortest_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace spire::graph {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::vector<VertexId> ShortestPathResult::path_to(VertexId target) const {
+  const auto t = static_cast<std::size_t>(target);
+  if (t >= dist.size() || dist[t] == kInf) return {};
+  std::vector<VertexId> path;
+  for (VertexId v = target; v != -1; v = prev[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPathResult dijkstra(const Digraph& g, VertexId source) {
+  const auto n = static_cast<std::size_t>(g.vertex_count());
+  ShortestPathResult result;
+  result.dist.assign(n, kInf);
+  result.prev.assign(n, -1);
+  result.dist[static_cast<std::size_t>(source)] = 0.0;
+
+  using Entry = std::pair<double, VertexId>;  // (distance, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.push({0.0, source});
+
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > result.dist[static_cast<std::size_t>(v)]) continue;  // stale entry
+    for (const Edge& e : g.out_edges(v)) {
+      if (e.weight < 0.0) {
+        throw std::invalid_argument("dijkstra: negative edge weight");
+      }
+      const double nd = d + e.weight;
+      auto& dist_to = result.dist[static_cast<std::size_t>(e.to)];
+      if (nd < dist_to) {
+        dist_to = nd;
+        result.prev[static_cast<std::size_t>(e.to)] = v;
+        heap.push({nd, e.to});
+      }
+    }
+  }
+  return result;
+}
+
+std::optional<ShortestPathResult> bellman_ford(const Digraph& g,
+                                               VertexId source) {
+  const auto n = static_cast<std::size_t>(g.vertex_count());
+  ShortestPathResult result;
+  result.dist.assign(n, kInf);
+  result.prev.assign(n, -1);
+  result.dist[static_cast<std::size_t>(source)] = 0.0;
+
+  for (std::size_t round = 0; round + 1 < n || (n == 1 && round == 0); ++round) {
+    bool changed = false;
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+      const double dv = result.dist[static_cast<std::size_t>(v)];
+      if (dv == kInf) continue;
+      for (const Edge& e : g.out_edges(v)) {
+        auto& dist_to = result.dist[static_cast<std::size_t>(e.to)];
+        if (dv + e.weight < dist_to) {
+          dist_to = dv + e.weight;
+          result.prev[static_cast<std::size_t>(e.to)] = v;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) return result;
+  }
+  // One more relaxation round detects reachable negative cycles.
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const double dv = result.dist[static_cast<std::size_t>(v)];
+    if (dv == kInf) continue;
+    for (const Edge& e : g.out_edges(v)) {
+      if (dv + e.weight < result.dist[static_cast<std::size_t>(e.to)]) {
+        return std::nullopt;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace spire::graph

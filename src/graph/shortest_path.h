@@ -1,0 +1,33 @@
+// Shortest-path algorithms over Digraph.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace spire::graph {
+
+/// Result of a single-source shortest-path computation.
+struct ShortestPathResult {
+  /// dist[v] is the shortest distance from the source, +infinity when
+  /// unreachable.
+  std::vector<double> dist;
+  /// prev[v] is the predecessor on a shortest path, -1 for the source and
+  /// unreachable vertices.
+  std::vector<VertexId> prev;
+
+  /// Reconstructs the path source -> target (inclusive); empty when target
+  /// is unreachable.
+  std::vector<VertexId> path_to(VertexId target) const;
+};
+
+/// Dijkstra with a binary heap; requires non-negative edge weights and
+/// throws std::invalid_argument if a negative weight is encountered.
+ShortestPathResult dijkstra(const Digraph& g, VertexId source);
+
+/// Bellman-Ford; handles negative weights (used as a test oracle). Returns
+/// std::nullopt when a negative cycle is reachable from the source.
+std::optional<ShortestPathResult> bellman_ford(const Digraph& g, VertexId source);
+
+}  // namespace spire::graph

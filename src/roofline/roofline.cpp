@@ -1,0 +1,33 @@
+#include "roofline/roofline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spire::roofline {
+
+RooflineModel::RooflineModel(double pi, double beta) : pi_(pi), beta_(beta) {
+  if (pi <= 0.0 || beta <= 0.0) {
+    throw std::invalid_argument("roofline: pi and beta must be positive");
+  }
+}
+
+void RooflineModel::add_ceiling(Ceiling ceiling) {
+  if (ceiling.value <= 0.0) {
+    throw std::invalid_argument("roofline: ceiling must be positive");
+  }
+  ceilings_.push_back(std::move(ceiling));
+}
+
+double RooflineModel::attainable(double intensity) const {
+  if (intensity < 0.0) throw std::invalid_argument("roofline: negative I");
+  return std::min(pi_, beta_ * intensity);
+}
+
+double RooflineModel::attainable_under(double intensity,
+                                       const Ceiling& ceiling) const {
+  const double pi = ceiling.is_compute ? std::min(pi_, ceiling.value) : pi_;
+  const double beta = ceiling.is_compute ? beta_ : std::min(beta_, ceiling.value);
+  return std::min(pi, beta * intensity);
+}
+
+}  // namespace spire::roofline

@@ -1,0 +1,62 @@
+// The conventional roofline model (Williams et al., CACM 2009) — the
+// baseline SPIRE builds upon, reproduced for the paper's Fig. 2.
+//
+// P(I) = min(pi, beta * I), optionally with extra compute/memory ceilings
+// (scalar-only execution, DRAM-only bandwidth, ...). Units are generic:
+// the paper's figure uses FLOP/s over FLOP/byte; our instantiation on the
+// simulated core uses IPC over instructions-per-DRAM-byte.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spire::roofline {
+
+/// One additional ceiling below the main roof.
+struct Ceiling {
+  std::string name;
+  double value = 0.0;  // throughput cap (compute) or bandwidth (memory)
+  bool is_compute = true;
+};
+
+/// A measured application point for plotting.
+struct AppPoint {
+  std::string name;
+  double intensity = 0.0;
+  double performance = 0.0;
+};
+
+class RooflineModel {
+ public:
+  /// pi: peak throughput; beta: peak memory bandwidth (both > 0).
+  RooflineModel(double pi, double beta);
+
+  void add_ceiling(Ceiling ceiling);
+
+  double peak_throughput() const { return pi_; }
+  double peak_bandwidth() const { return beta_; }
+  const std::vector<Ceiling>& ceilings() const { return ceilings_; }
+
+  /// Attainable performance at intensity I: min(pi, beta * I).
+  double attainable(double intensity) const;
+
+  /// Attainable under a specific ceiling combination: compute ceilings cap
+  /// pi, memory ceilings cap beta.
+  double attainable_under(double intensity, const Ceiling& ceiling) const;
+
+  /// The ridge point pi / beta where the model transitions from
+  /// memory-bound to compute-bound.
+  double ridge_intensity() const { return pi_ / beta_; }
+
+  /// True when a workload at `intensity` is memory-bound (left of ridge).
+  bool memory_bound(double intensity) const {
+    return intensity < ridge_intensity();
+  }
+
+ private:
+  double pi_;
+  double beta_;
+  std::vector<Ceiling> ceilings_;
+};
+
+}  // namespace spire::roofline

@@ -1,0 +1,109 @@
+#include "sampling/dataset.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace spire::sampling {
+
+using counters::Event;
+
+void Dataset::add(Event metric, const Sample& sample) {
+  by_metric_[metric].push_back(sample);
+}
+
+const std::vector<Sample>& Dataset::samples(Event metric) const {
+  static const std::vector<Sample> kEmpty;
+  const auto it = by_metric_.find(metric);
+  return it == by_metric_.end() ? kEmpty : it->second;
+}
+
+std::vector<Event> Dataset::metrics() const {
+  std::vector<Event> out;
+  for (const auto& info : counters::event_catalog()) {
+    const auto it = by_metric_.find(info.event);
+    if (it != by_metric_.end() && !it->second.empty()) out.push_back(info.event);
+  }
+  return out;
+}
+
+std::size_t Dataset::size() const {
+  std::size_t n = 0;
+  for (const auto& [metric, samples] : by_metric_) n += samples.size();
+  return n;
+}
+
+void Dataset::merge(const Dataset& other) {
+  for (const auto& [metric, samples] : other.by_metric_) {
+    auto& mine = by_metric_[metric];
+    mine.insert(mine.end(), samples.begin(), samples.end());
+  }
+}
+
+void Dataset::save_csv(std::ostream& out) const {
+  out << "metric,t,w,m\n";
+  out.precision(17);
+  for (const Event metric : metrics()) {
+    const auto name = counters::event_name(metric);
+    for (const Sample& s : samples(metric)) {
+      out << name << ',' << s.t << ',' << s.w << ',' << s.m << '\n';
+    }
+  }
+}
+
+namespace {
+
+double parse_double(const std::string& field, const char* what) {
+  double value = 0.0;
+  const auto* begin = field.data();
+  const auto* end = begin + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::runtime_error(std::string("dataset: bad ") + what + " value '" +
+                             field + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Dataset Dataset::load_csv(std::istream& in) {
+  Dataset out;
+  std::string line;
+  if (!std::getline(in, line)) return out;  // empty stream
+  if (line != "metric,t,w,m" && line != "metric,t,w,m\r") {
+    throw std::runtime_error("dataset: unexpected header '" + line + "'");
+  }
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::string fields[4];
+    std::size_t start = 0;
+    for (int i = 0; i < 4; ++i) {
+      const std::size_t comma = line.find(',', start);
+      if (i < 3) {
+        if (comma == std::string::npos) {
+          throw std::runtime_error("dataset: short row '" + line + "'");
+        }
+        fields[i] = line.substr(start, comma - start);
+        start = comma + 1;
+      } else {
+        if (comma != std::string::npos) {
+          throw std::runtime_error("dataset: long row '" + line + "'");
+        }
+        fields[i] = line.substr(start);
+      }
+    }
+    const auto metric = counters::event_by_name(fields[0]);
+    if (!metric) {
+      throw std::runtime_error("dataset: unknown metric '" + fields[0] + "'");
+    }
+    out.add(*metric, Sample{parse_double(fields[1], "t"),
+                            parse_double(fields[2], "w"),
+                            parse_double(fields[3], "m")});
+  }
+  return out;
+}
+
+}  // namespace spire::sampling

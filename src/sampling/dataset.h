@@ -1,0 +1,45 @@
+// A collection of samples grouped by performance metric, with CSV
+// persistence so datasets can be collected once and reused.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "counters/events.h"
+#include "sampling/sample.h"
+
+namespace spire::sampling {
+
+class Dataset {
+ public:
+  /// Appends one sample for a metric.
+  void add(counters::Event metric, const Sample& sample);
+
+  /// Samples recorded for a metric (empty vector if none).
+  const std::vector<Sample>& samples(counters::Event metric) const;
+
+  /// Metrics that have at least one sample, in catalog order.
+  std::vector<counters::Event> metrics() const;
+
+  /// Total sample count across all metrics.
+  std::size_t size() const;
+
+  bool empty() const { return size() == 0; }
+
+  /// Appends all samples of `other` into this dataset.
+  void merge(const Dataset& other);
+
+  /// Writes as CSV with header metric,t,w,m.
+  void save_csv(std::ostream& out) const;
+
+  /// Parses the save_csv format. Throws std::runtime_error on bad input
+  /// (unknown metric names, non-numeric fields).
+  static Dataset load_csv(std::istream& in);
+
+ private:
+  std::unordered_map<counters::Event, std::vector<Sample>> by_metric_;
+};
+
+}  // namespace spire::sampling

@@ -1,0 +1,32 @@
+// The SPIRE input element (paper §III-A).
+//
+// A sample describes one measurement period: its length T, the work W
+// completed, and the increase M_x of one performance metric. Throughput
+// P = W/T and metric-specific operational intensity I_x = W/M_x are derived.
+// In this repository's evaluation W is retired instructions and T is core
+// cycles, making P an IPC — exactly the paper's instantiation.
+#pragma once
+
+#include <limits>
+
+namespace spire::sampling {
+
+struct Sample {
+  double t = 0.0;  // period length (e.g. cycles)
+  double w = 0.0;  // work completed (e.g. instructions)
+  double m = 0.0;  // metric increase within the period
+
+  /// Average throughput P = W/T. Requires t > 0.
+  double throughput() const { return w / t; }
+
+  /// Operational intensity I_x = W/M_x; +infinity when the metric did not
+  /// fire at all during the period (M_x = 0).
+  double intensity() const {
+    if (m <= 0.0) return std::numeric_limits<double>::infinity();
+    return w / m;
+  }
+
+  friend bool operator==(const Sample&, const Sample&) = default;
+};
+
+}  // namespace spire::sampling

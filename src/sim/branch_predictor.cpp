@@ -1,0 +1,60 @@
+#include "sim/branch_predictor.h"
+
+namespace spire::sim {
+
+BranchPredictor::BranchPredictor(const CoreConfig& config)
+    : history_mask_((1u << config.gshare_history_bits) - 1),
+      counters_(std::size_t{1} << config.gshare_history_bits, 2),
+      btb_sets_(config.btb_sets),
+      btb_ways_(config.btb_ways),
+      btb_(static_cast<std::size_t>(config.btb_sets) * config.btb_ways) {}
+
+std::size_t BranchPredictor::table_index(std::uint64_t pc) const {
+  return ((pc >> 2) ^ history_) & history_mask_;
+}
+
+bool BranchPredictor::predict_taken(std::uint64_t pc) const {
+  return counters_[table_index(pc)] >= 2;
+}
+
+bool BranchPredictor::has_target(std::uint64_t pc, std::uint64_t target) const {
+  const std::size_t set = (pc >> 2) % btb_sets_;
+  for (std::uint32_t w = 0; w < btb_ways_; ++w) {
+    const auto& e = btb_[set * btb_ways_ + w];
+    if (e.valid && e.pc == pc && e.target == target) return true;
+  }
+  return false;
+}
+
+void BranchPredictor::update(std::uint64_t pc, bool taken,
+                             std::uint64_t target) {
+  auto& counter = counters_[table_index(pc)];
+  if (taken) {
+    if (counter < 3) ++counter;
+  } else {
+    if (counter > 0) --counter;
+  }
+  history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+
+  if (taken) {
+    const std::size_t set = (pc >> 2) % btb_sets_;
+    BtbEntry* victim = nullptr;
+    for (std::uint32_t w = 0; w < btb_ways_; ++w) {
+      auto& e = btb_[set * btb_ways_ + w];
+      if (e.valid && e.pc == pc) {
+        victim = &e;
+        break;
+      }
+      if (victim == nullptr || !e.valid ||
+          (victim->valid && e.stamp < victim->stamp)) {
+        victim = &e;
+      }
+    }
+    victim->pc = pc;
+    victim->target = target;
+    victim->valid = true;
+    victim->stamp = ++stamp_;
+  }
+}
+
+}  // namespace spire::sim

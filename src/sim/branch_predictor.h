@@ -1,0 +1,49 @@
+// Direction and target prediction for the simulated front-end.
+//
+// A gshare predictor (global history XOR pc indexing a 2-bit counter table)
+// plus a set-associative BTB. Loopy, stable branch behaviour predicts well;
+// data-dependent random branches mispredict at close to the entropy rate,
+// which is exactly the gradient the bad-speculation workloads need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.h"
+
+namespace spire::sim {
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const CoreConfig& config);
+
+  /// Predicts the direction of the branch at `pc` (does not update state).
+  bool predict_taken(std::uint64_t pc) const;
+
+  /// True when the BTB knows a target for `pc` (a miss on a taken branch
+  /// costs a fetch redirect even when the direction was right).
+  bool has_target(std::uint64_t pc, std::uint64_t target) const;
+
+  /// Commits the actual outcome, updating history, counters and the BTB.
+  void update(std::uint64_t pc, bool taken, std::uint64_t target);
+
+ private:
+  std::size_t table_index(std::uint64_t pc) const;
+
+  std::uint32_t history_ = 0;
+  std::uint32_t history_mask_;
+  std::vector<std::uint8_t> counters_;  // 2-bit saturating
+
+  struct BtbEntry {
+    std::uint64_t pc = 0;
+    std::uint64_t target = 0;
+    bool valid = false;
+    std::uint64_t stamp = 0;
+  };
+  std::uint32_t btb_sets_;
+  std::uint32_t btb_ways_;
+  std::vector<BtbEntry> btb_;
+  std::uint64_t stamp_ = 0;
+};
+
+}  // namespace spire::sim

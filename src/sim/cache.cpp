@@ -1,0 +1,76 @@
+#include "sim/cache.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace spire::sim {
+
+Cache::Cache(const CacheGeometry& geometry)
+    : sets_(geometry.sets),
+      ways_(geometry.ways),
+      line_bytes_(geometry.line_bytes),
+      lines_(static_cast<std::size_t>(geometry.sets) * geometry.ways) {
+  if (sets_ == 0 || ways_ == 0 || line_bytes_ == 0 ||
+      !std::has_single_bit(line_bytes_)) {
+    throw std::invalid_argument("cache: bad geometry");
+  }
+  line_shift_ = std::countr_zero(line_bytes_);
+}
+
+std::size_t Cache::set_of(std::uint64_t addr) const {
+  return static_cast<std::size_t>((addr >> line_shift_) % sets_);
+}
+
+std::uint64_t Cache::tag_of(std::uint64_t addr) const {
+  return (addr >> line_shift_) / sets_;
+}
+
+bool Cache::lookup(std::uint64_t addr) {
+  const std::size_t base = set_of(addr) * ways_;
+  const std::uint64_t tag = tag_of(addr);
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    auto& line = lines_[base + w];
+    if (line.valid && line.tag == tag) {
+      line.stamp = ++stamp_;
+      ++hits_;
+      return true;
+    }
+  }
+  ++misses_;
+  return false;
+}
+
+bool Cache::fill(std::uint64_t addr) {
+  const std::size_t base = set_of(addr) * ways_;
+  const std::uint64_t tag = tag_of(addr);
+  Line* victim = nullptr;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    auto& line = lines_[base + w];
+    if (line.valid && line.tag == tag) {
+      line.stamp = ++stamp_;  // already present
+      return false;
+    }
+    if (victim == nullptr || !line.valid ||
+        (victim->valid && line.stamp < victim->stamp)) {
+      if (victim == nullptr || victim->valid) victim = &line;
+    }
+  }
+  const bool evicted = victim->valid;
+  if (evicted) ++replacements_;
+  victim->tag = tag;
+  victim->valid = true;
+  victim->stamp = ++stamp_;
+  return evicted;
+}
+
+bool Cache::access(std::uint64_t addr) {
+  if (lookup(addr)) return true;
+  fill(addr);
+  return false;
+}
+
+void Cache::flush() {
+  for (auto& line : lines_) line.valid = false;
+}
+
+}  // namespace spire::sim

@@ -1,0 +1,77 @@
+// Core configuration. Defaults approximate one Skylake-SP core (the paper's
+// Xeon Gold 6126) at the level of detail the counter model needs: pipeline
+// widths, queue capacities, cache geometry, and latencies.
+#pragma once
+
+#include <cstdint>
+
+namespace spire::sim {
+
+/// Geometry of one set-associative cache.
+struct CacheGeometry {
+  std::uint32_t sets = 64;
+  std::uint32_t ways = 8;
+  std::uint32_t line_bytes = 64;
+};
+
+/// All tunables of the simulated core.
+struct CoreConfig {
+  // Pipeline widths.
+  int fetch_width_dsb = 6;   // uops/cycle from the decoded stream buffer
+  int fetch_width_mite = 4;  // uops/cycle from the legacy decode pipeline
+  int fetch_width_ms = 4;    // uops/cycle from the microcode sequencer
+  int allocate_width = 4;    // uops/cycle into the back-end (TMA slot width)
+  int retire_width = 4;      // uops/cycle leaving the ROB
+  int dispatch_width = 8;    // max uops dispatched to ports per cycle
+
+  // Queue capacities.
+  int idq_capacity = 64;
+  int rob_capacity = 224;
+  int rs_capacity = 97;
+  int load_buffer_capacity = 72;
+  int store_buffer_capacity = 56;
+  int mshr_capacity = 10;  // L1D fill buffers (outstanding misses)
+
+  // Front-end behaviour.
+  int dsb_to_mite_penalty = 2;   // bubble cycles on a DSB->MITE switch
+  int ms_switch_penalty = 2;     // bubble cycles entering the MS
+  int branch_redirect_penalty = 5;   // fetch bubble after a taken-branch BTB miss
+  int mispredict_recovery_cycles = 12;  // allocation blocked after a flush
+  int lsd_min_streak = 64;       // uops within a tiny loop before LSD engages
+  std::uint32_t dsb_window_bytes = 32;  // uop-cache indexing granularity
+
+  // Execution latencies (cycles).
+  int lat_alu = 1;
+  int lat_fp = 4;
+  int lat_vec256 = 4;
+  int lat_vec512 = 6;
+  int lat_mul = 3;
+  int lat_div = 24;           // also occupies the divider, unpipelined
+  int lat_store = 1;          // STA/STD execute latency
+  int lat_branch = 1;
+  int vector_width_mismatch_penalty = 6;  // extra latency on width transition
+  int lock_latency = 20;      // extra serialization for locked loads
+
+  // Memory hierarchy.
+  CacheGeometry l1i{64, 8, 64};      // 32 KiB
+  CacheGeometry l1d{64, 8, 64};      // 32 KiB
+  CacheGeometry l2{1024, 16, 64};    // 1 MiB
+  CacheGeometry l3{16384, 11, 64};   // ~11 MiB single-core slice share
+  int lat_l1 = 5;
+  int lat_l2 = 14;
+  int lat_l3 = 50;
+  int lat_dram = 180;
+  int dram_service_interval = 12;  // min cycles between DRAM line transfers
+  int page_walk_latency = 30;
+  // TLB reach models L1 TLB + STLB combined: 64 I-side pages (256 KiB of
+  // code) and 1536 D-side pages (6 MiB of data).
+  CacheGeometry itlb{16, 4, 4096};
+  CacheGeometry dtlb{384, 4, 4096};
+
+  // Branch prediction.
+  int gshare_history_bits = 12;
+  std::uint32_t btb_sets = 1024;
+  std::uint32_t btb_ways = 4;
+};
+
+}  // namespace spire::sim

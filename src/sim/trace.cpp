@@ -1,0 +1,90 @@
+#include "sim/trace.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace spire::sim {
+
+namespace {
+constexpr std::string_view kHeader = "spire-trace v1";
+constexpr int kMaxOpClass = static_cast<int>(OpClass::kNop);
+}  // namespace
+
+std::size_t save_trace(InstructionStream& stream, std::ostream& out,
+                       std::size_t max_ops) {
+  out << kHeader << '\n';
+  MacroOp op;
+  std::size_t written = 0;
+  while (written < max_ops && stream.next(op)) {
+    out << op.pc << ' ' << static_cast<int>(op.cls) << ' '
+        << static_cast<int>(op.uop_count) << ' ' << op.dep_distance << ' '
+        << op.addr << ' ' << (op.taken ? 1 : 0) << ' ' << op.target << '\n';
+    ++written;
+  }
+  return written;
+}
+
+TraceStream TraceStream::load(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw std::runtime_error("trace: bad header");
+  }
+  std::vector<MacroOp> ops;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    MacroOp op;
+    int cls = 0;
+    int uops = 0;
+    int taken = 0;
+    if (!(fields >> op.pc >> cls >> uops >> op.dep_distance >> op.addr >>
+          taken >> op.target)) {
+      throw std::runtime_error("trace: bad row at line " +
+                               std::to_string(line_number));
+    }
+    std::string extra;
+    if (fields >> extra) {
+      throw std::runtime_error("trace: trailing fields at line " +
+                               std::to_string(line_number));
+    }
+    if (cls < 0 || cls > kMaxOpClass) {
+      throw std::runtime_error("trace: unknown op class at line " +
+                               std::to_string(line_number));
+    }
+    if (uops < 1 || uops > 255) {
+      throw std::runtime_error("trace: bad uop count at line " +
+                               std::to_string(line_number));
+    }
+    op.cls = static_cast<OpClass>(cls);
+    op.uop_count = static_cast<std::uint8_t>(uops);
+    op.taken = taken != 0;
+    ops.push_back(op);
+  }
+  return TraceStream(std::move(ops));
+}
+
+bool TraceStream::next(MacroOp& op) {
+  if (pos_ >= ops_.size()) return false;
+  op = ops_[pos_++];
+  return true;
+}
+
+std::size_t save_trace_file(InstructionStream& stream, const std::string& path,
+                            std::size_t max_ops) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("trace: cannot write " + path);
+  return save_trace(stream, out, max_ops);
+}
+
+TraceStream load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("trace: cannot read " + path);
+  return TraceStream::load(in);
+}
+
+}  // namespace spire::sim

@@ -1,0 +1,53 @@
+// Instruction-trace capture and replay.
+//
+// Workload generators are procedural, but sharing a workload with someone
+// else (or re-running the exact same instruction sequence against a
+// modified core) wants a serialized form. A trace is the exact macro-op
+// sequence a stream produced; replaying it through TraceStream drives the
+// core identically to the original generator, which the tests verify by
+// comparing full counter files.
+//
+// Format: one op per line,
+//   pc cls uops dep addr taken target
+// with a "spire-trace v1" header. Text, diffable, compresses well.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace spire::sim {
+
+/// Drains up to `max_ops` macro-ops from `stream` and writes them as a
+/// trace. Returns the number of ops written.
+std::size_t save_trace(InstructionStream& stream, std::ostream& out,
+                       std::size_t max_ops);
+
+/// A stream that replays a recorded trace.
+class TraceStream final : public InstructionStream {
+ public:
+  /// Parses a trace. Throws std::runtime_error on bad headers or rows.
+  static TraceStream load(std::istream& in);
+
+  /// Builds directly from ops (for programmatic construction).
+  explicit TraceStream(std::vector<MacroOp> ops) : ops_(std::move(ops)) {}
+
+  bool next(MacroOp& op) override;
+  void reset() override { pos_ = 0; }
+
+  std::size_t size() const { return ops_.size(); }
+  const std::vector<MacroOp>& ops() const { return ops_; }
+
+ private:
+  std::vector<MacroOp> ops_;
+  std::size_t pos_ = 0;
+};
+
+/// File wrappers; throw std::runtime_error on I/O failure.
+std::size_t save_trace_file(InstructionStream& stream, const std::string& path,
+                            std::size_t max_ops);
+TraceStream load_trace_file(const std::string& path);
+
+}  // namespace spire::sim

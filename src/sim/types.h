@@ -1,0 +1,55 @@
+// Instruction-stream types consumed by the simulated core.
+//
+// Workloads are procedural generators of macro-op descriptors; the core
+// decodes them into uops, schedules them onto ports, and retires them. The
+// descriptors carry exactly the information a trace would: program counter,
+// operation class, memory address, branch outcome, and the program-order
+// distance to the producing instruction (the ILP knob).
+#pragma once
+
+#include <cstdint>
+
+namespace spire::sim {
+
+/// Operation classes, each with its own port affinity and latency.
+enum class OpClass : std::uint8_t {
+  kAluInt,     // scalar integer ALU op
+  kAluFp,      // scalar floating-point op
+  kVec256,     // 256-bit SIMD op
+  kVec512,     // 512-bit SIMD op
+  kMul,        // integer/fp multiply
+  kDiv,        // divide / sqrt (long latency, unpipelined)
+  kLoad,       // memory load
+  kStore,      // memory store (splits into address + data uops)
+  kLockedLoad, // atomic read-modify-write load half
+  kBranch,     // conditional or unconditional branch
+  kMicrocoded, // complex op expanded by the microcode sequencer
+  kNop,        // no-op (still occupies pipeline slots)
+};
+
+/// One macro-instruction produced by a workload.
+struct MacroOp {
+  std::uint64_t pc = 0;          // byte address of the instruction
+  OpClass cls = OpClass::kAluInt;
+  std::uint8_t uop_count = 1;    // decoded uops (>=1; stores >=2; ucode many)
+  std::int32_t dep_distance = 0; // 0 = independent; k = depends on the op
+                                 // issued k macro-ops earlier
+  std::uint64_t addr = 0;        // effective address for memory ops
+  bool taken = false;            // branch outcome
+  std::uint64_t target = 0;      // branch target (taken branches)
+};
+
+/// A pull-based generator of macro-ops. Implementations must be
+/// deterministic for a fixed construction seed.
+class InstructionStream {
+ public:
+  virtual ~InstructionStream() = default;
+
+  /// Produces the next op; returns false at end of stream.
+  virtual bool next(MacroOp& op) = 0;
+
+  /// Rewinds to the beginning of the stream.
+  virtual void reset() = 0;
+};
+
+}  // namespace spire::sim

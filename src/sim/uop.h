@@ -1,0 +1,36 @@
+// The micro-op record that flows from the front-end through the back-end.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace spire::sim {
+
+/// Macro-id shared by all wrong-path phantom uops (they carry no
+/// dependencies, so they need no producer tracking).
+inline constexpr std::uint64_t kPhantomMacroId = ~std::uint64_t{0};
+
+/// One scheduled micro-op. Fields tagged at fetch time ride along to retire,
+/// where they drive the *_retired counters.
+struct Uop {
+  OpClass cls = OpClass::kAluInt;
+  std::uint64_t macro_id = 0;  // global macro-op sequence number
+  std::uint64_t pc = 0;
+  std::uint64_t addr = 0;
+  std::int32_t dep_distance = 0;  // macro-op distance to the producer, 0=none
+  bool first_of_macro = true;
+  bool last_of_macro = true;
+  bool is_branch = false;
+  bool taken = false;
+  bool mispredicted = false;   // resolved at execute; set at fetch from trace
+  bool phantom = false;        // wrong-path filler; never retires
+  bool locked = false;         // locked load (atomic RMW)
+  bool is_store_addr = false;
+  bool is_store_data = false;
+  bool chain_prev = false;     // depends on the previous uop of its macro-op
+  bool dsb_miss = false;       // macro-op was fetched via the legacy decoder
+  std::uint8_t fe_bubbles = 0; // recent >=2-cycle fetch-bubble episodes (0-3)
+};
+
+}  // namespace spire::sim

@@ -1,0 +1,89 @@
+#include "spire/analyzer.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace spire::model {
+
+using counters::Event;
+using counters::TmaArea;
+using sampling::Dataset;
+using sampling::Sample;
+
+double measured_throughput(const Dataset& workload) {
+  const auto metrics = workload.metrics();
+  if (metrics.empty()) {
+    throw std::invalid_argument("analyzer: empty workload dataset");
+  }
+  // All metrics share the window T and W values; any series works, but the
+  // one with the most samples covers the most execution.
+  const std::vector<Sample>* best = nullptr;
+  for (const Event metric : metrics) {
+    const auto& s = workload.samples(metric);
+    if (best == nullptr || s.size() > best->size()) best = &s;
+  }
+  double work = 0.0;
+  double time = 0.0;
+  for (const Sample& s : *best) {
+    work += s.w;
+    time += s.t;
+  }
+  if (time <= 0.0) throw std::invalid_argument("analyzer: zero total time");
+  return work / time;
+}
+
+Analyzer::Analysis Analyzer::analyze(const Dataset& workload) const {
+  Analysis out;
+  out.measured_throughput = measured_throughput(workload);
+  const Estimate estimate = ensemble_->estimate(workload);
+  out.estimated_throughput = estimate.throughput;
+  out.ranking.reserve(estimate.ranking.size());
+  for (const MetricEstimate& me : estimate.ranking) {
+    const auto& info = counters::event_info(me.metric);
+    out.ranking.push_back(
+        {me.metric, me.p_bar, info.area, info.name, info.abbrev});
+  }
+  return out;
+}
+
+std::vector<RankedMetric> Analyzer::bottleneck_pool(const Analysis& analysis,
+                                                    double tolerance) {
+  std::vector<RankedMetric> pool;
+  if (analysis.ranking.empty()) return pool;
+  const double floor = analysis.ranking.front().p_bar;
+  for (const RankedMetric& rm : analysis.ranking) {
+    if (rm.p_bar <= floor * (1.0 + tolerance)) pool.push_back(rm);
+  }
+  return pool;
+}
+
+int Analyzer::area_count_in_top(const Analysis& analysis, TmaArea area,
+                                int k) {
+  int count = 0;
+  const int limit = std::min<int>(k, static_cast<int>(analysis.ranking.size()));
+  for (int i = 0; i < limit; ++i) {
+    if (analysis.ranking[static_cast<std::size_t>(i)].area == area) ++count;
+  }
+  return count;
+}
+
+TmaArea Analyzer::dominant_area(const Analysis& analysis, int k) {
+  // Rank-weighted vote: the metric ranked first says the most about the
+  // bottleneck, so areas are scored by sum(1 / rank) over the top k.
+  // Retiring/Other metrics do not vote for a bottleneck class.
+  std::array<double, 6> votes{};
+  const int limit = std::min<int>(k, static_cast<int>(analysis.ranking.size()));
+  for (int i = 0; i < limit; ++i) {
+    const auto area = analysis.ranking[static_cast<std::size_t>(i)].area;
+    if (area == TmaArea::kRetiring || area == TmaArea::kOther) continue;
+    votes[static_cast<std::size_t>(area)] += 1.0 / static_cast<double>(i + 1);
+  }
+  int best = 0;
+  for (int a = 1; a < 4; ++a) {
+    if (votes[static_cast<std::size_t>(a)] > votes[static_cast<std::size_t>(best)]) best = a;
+  }
+  return static_cast<TmaArea>(best);
+}
+
+}  // namespace spire::model

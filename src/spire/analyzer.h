@@ -1,0 +1,61 @@
+// Bottleneck analysis on top of a trained ensemble (paper §III-C,
+// "Performance analysis"): rank metrics by their average estimates, keep a
+// pool of low-valued metrics as bottleneck candidates, and aggregate the
+// pool by microarchitecture area for comparison against TMA.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "counters/events.h"
+#include "sampling/dataset.h"
+#include "spire/ensemble.h"
+
+namespace spire::model {
+
+/// One ranked metric with its catalog metadata attached.
+struct RankedMetric {
+  counters::Event metric{};
+  double p_bar = 0.0;
+  counters::TmaArea area{};
+  std::string_view name;
+  std::string_view abbrev;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(const Ensemble& ensemble) : ensemble_(&ensemble) {}
+
+  /// All metrics ranked ascending by average estimate (lowest first =
+  /// likeliest bottleneck), with measured throughput attached.
+  struct Analysis {
+    double measured_throughput = 0.0;  // time-weighted measured P
+    double estimated_throughput = 0.0; // ensemble estimate (min of averages)
+    std::vector<RankedMetric> ranking;
+  };
+  Analysis analyze(const sampling::Dataset& workload) const;
+
+  /// The paper's "pool of low-valued metrics": every metric whose average
+  /// estimate is within `tolerance` (relative) of the minimum.
+  static std::vector<RankedMetric> bottleneck_pool(const Analysis& analysis,
+                                                   double tolerance = 0.25);
+
+  /// Majority TMA area among the top `k` ranked metrics — the coarse
+  /// bottleneck class used to compare against TMA's classification.
+  static counters::TmaArea dominant_area(const Analysis& analysis, int k = 10);
+
+  /// How many of the top `k` ranked metrics belong to `area`. The paper's
+  /// agreement claim is qualitative ("identified many of the same
+  /// bottlenecks"); this is its quantitative reading.
+  static int area_count_in_top(const Analysis& analysis,
+                               counters::TmaArea area, int k = 10);
+
+ private:
+  const Ensemble* ensemble_;
+};
+
+/// Time-weighted measured throughput of a workload dataset (uses any
+/// metric's samples; they all share T and W per window).
+double measured_throughput(const sampling::Dataset& workload);
+
+}  // namespace spire::model

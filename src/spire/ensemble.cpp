@@ -1,0 +1,91 @@
+#include "spire/ensemble.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "spire/polarity.h"
+
+namespace spire::model {
+
+using counters::Event;
+using sampling::Dataset;
+using sampling::Sample;
+
+Ensemble::Ensemble(std::map<Event, MetricRoofline> rooflines)
+    : rooflines_(std::move(rooflines)) {}
+
+Ensemble Ensemble::train(const Dataset& data, TrainOptions options) {
+  std::map<Event, MetricRoofline> rooflines;
+  for (const Event metric : data.metrics()) {
+    const auto& samples = data.samples(metric);
+    std::size_t usable = 0;
+    for (const Sample& s : samples) {
+      if (s.t > 0.0) ++usable;
+    }
+    if (usable < options.min_samples) continue;
+    if (options.polarity_constrained) {
+      rooflines.emplace(metric,
+                        fit_with_polarity(samples, options.polarity_threshold));
+    } else {
+      rooflines.emplace(metric, MetricRoofline::fit(samples));
+    }
+  }
+  if (rooflines.empty()) {
+    throw std::invalid_argument("ensemble: no trainable metric");
+  }
+  return Ensemble(std::move(rooflines));
+}
+
+namespace {
+
+std::optional<double> merge_samples(const MetricRoofline& roofline,
+                                    const std::vector<Sample>& samples,
+                                    Merge merge, std::size_t* count_out) {
+  double weighted = 0.0;
+  double weight = 0.0;
+  std::size_t count = 0;
+  for (const Sample& s : samples) {
+    if (s.t <= 0.0) continue;
+    const double p = roofline.estimate(s.intensity());
+    const double w = merge == Merge::kTimeWeighted ? s.t : 1.0;
+    weighted += w * p;
+    weight += w;
+    ++count;
+  }
+  if (count == 0 || weight <= 0.0) return std::nullopt;
+  if (count_out != nullptr) *count_out = count;
+  return weighted / weight;
+}
+
+}  // namespace
+
+std::optional<double> Ensemble::metric_estimate(Event metric,
+                                                const Dataset& workload,
+                                                Merge merge) const {
+  const auto it = rooflines_.find(metric);
+  if (it == rooflines_.end()) return std::nullopt;
+  return merge_samples(it->second, workload.samples(metric), merge, nullptr);
+}
+
+Estimate Ensemble::estimate(const Dataset& workload, Merge merge) const {
+  Estimate out;
+  for (const auto& [metric, roofline] : rooflines_) {
+    std::size_t count = 0;
+    const auto p_bar =
+        merge_samples(roofline, workload.samples(metric), merge, &count);
+    if (!p_bar.has_value()) continue;
+    out.ranking.push_back({metric, *p_bar, count});
+  }
+  if (out.ranking.empty()) {
+    throw std::invalid_argument(
+        "ensemble: workload shares no metric with the model");
+  }
+  std::sort(out.ranking.begin(), out.ranking.end(),
+            [](const MetricEstimate& a, const MetricEstimate& b) {
+              return a.p_bar < b.p_bar;
+            });
+  out.throughput = out.ranking.front().p_bar;
+  return out;
+}
+
+}  // namespace spire::model

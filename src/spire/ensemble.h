@@ -1,0 +1,87 @@
+// The SPIRE ensemble (paper §III-C, Figs. 3-4).
+//
+// Training groups samples by performance metric and fits one MetricRoofline
+// per metric. Estimation gives each sample a per-metric estimate, merges
+// them with the time-weighted average of Eq. (1), and takes the minimum
+// across metrics as the ensemble-wide attainable-throughput estimate.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "counters/events.h"
+#include "sampling/dataset.h"
+#include "spire/metric_roofline.h"
+
+namespace spire::model {
+
+/// How per-sample estimates merge into a per-metric value. The paper uses
+/// the time-weighted average (Eq. 1); the unweighted mean exists for the
+/// ablation bench.
+enum class Merge { kTimeWeighted, kUnweighted };
+
+/// One metric's merged estimate for a workload.
+struct MetricEstimate {
+  counters::Event metric{};
+  double p_bar = 0.0;        // Eq. (1) average estimate
+  std::size_t samples = 0;   // samples that contributed
+};
+
+/// A full ensemble estimation result.
+struct Estimate {
+  /// Ensemble-wide attainable throughput: min over per-metric averages.
+  double throughput = 0.0;
+  /// Per-metric averages sorted ascending by p_bar (the paper's ranking:
+  /// lowest values are the likeliest bottlenecks).
+  std::vector<MetricEstimate> ranking;
+};
+
+class Ensemble {
+ public:
+  /// Options controlling training.
+  struct TrainOptions {
+    /// Metrics with fewer usable samples than this are skipped (a roofline
+    /// fit to a handful of points is noise).
+    std::size_t min_samples = 8;
+    /// Apply the robust polarity constraint (spire/polarity.h): negative
+    /// metrics keep a flat right region, positive metrics drop the
+    /// confounded left region. Off by default — the paper's base model.
+    bool polarity_constrained = false;
+    /// |Spearman| needed for a polarity call when constraining.
+    double polarity_threshold = 0.3;
+  };
+
+  /// Fits one roofline per metric present in `data`.
+  /// Throws std::invalid_argument when no metric is trainable.
+  static Ensemble train(const sampling::Dataset& data, TrainOptions options);
+  static Ensemble train(const sampling::Dataset& data) {
+    return train(data, TrainOptions{});
+  }
+
+  /// Builds an ensemble from pre-fitted rooflines (deserialization path).
+  explicit Ensemble(std::map<counters::Event, MetricRoofline> rooflines);
+
+  /// Estimates a workload's attainable throughput from its samples.
+  /// Metrics absent from the ensemble or without samples are skipped.
+  /// Throws std::invalid_argument when nothing overlaps.
+  Estimate estimate(const sampling::Dataset& workload,
+                    Merge merge = Merge::kTimeWeighted) const;
+
+  /// Per-metric average estimate for one metric, or nullopt when the
+  /// ensemble has no roofline for it or the workload has no samples.
+  std::optional<double> metric_estimate(
+      counters::Event metric, const sampling::Dataset& workload,
+      Merge merge = Merge::kTimeWeighted) const;
+
+  const std::map<counters::Event, MetricRoofline>& rooflines() const {
+    return rooflines_;
+  }
+
+  std::size_t metric_count() const { return rooflines_.size(); }
+
+ private:
+  std::map<counters::Event, MetricRoofline> rooflines_;
+};
+
+}  // namespace spire::model

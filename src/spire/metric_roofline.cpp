@@ -1,0 +1,323 @@
+#include "spire/metric_roofline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "geom/convex_hull.h"
+#include "geom/pareto.h"
+#include "graph/digraph.h"
+#include "graph/shortest_path.h"
+
+namespace spire::model {
+
+using geom::kInfinity;
+using geom::LinearPiece;
+using geom::PiecewiseLinear;
+using geom::Point;
+
+namespace fitting {
+
+std::vector<Point> sample_points(std::span<const sampling::Sample> samples) {
+  std::vector<Point> points;
+  points.reserve(samples.size());
+  for (const auto& s : samples) {
+    if (s.t <= 0.0 || s.w < 0.0 || s.m < 0.0) continue;
+    points.push_back({s.intensity(), s.throughput()});
+  }
+  return points;
+}
+
+std::optional<PiecewiseLinear> fit_left(const std::vector<Point>& finite_points) {
+  std::vector<Point> chain = geom::left_roofline_hull(finite_points);
+  if (chain.size() < 2) return std::nullopt;
+  // A sample exactly at I = 0 replaces the origin (a vertical segment from
+  // the origin is not a function piece; f(0) is simply that sample's P).
+  if (chain.size() >= 2 && chain[1].x == 0.0) {
+    chain.erase(chain.begin());
+    if (chain.size() < 2) return std::nullopt;
+  }
+  return PiecewiseLinear::from_knots(chain);
+}
+
+namespace {
+
+/// Caps the Pareto front size for the O(n^3) segment search. Thinning only
+/// restricts segment ENDPOINTS; validity and error are still evaluated
+/// against the full front, so the fit stays a true upper bound.
+constexpr std::size_t kMaxFrontEndpoints = 96;
+
+struct FrontData {
+  std::vector<Point> front;      // full Pareto front, descending I (finite)
+  std::vector<std::size_t> ends; // endpoint-eligible indices into front
+  bool has_infinite = false;     // a sample with I = infinity exists
+  double p_infinite = 0.0;       // max P among infinite-I samples
+};
+
+FrontData build_front(const std::vector<Point>& points) {
+  FrontData data;
+  std::vector<Point> finite;
+  finite.reserve(points.size());
+  for (const Point& p : points) {
+    if (std::isfinite(p.x)) {
+      finite.push_back(p);
+    } else {
+      data.p_infinite = data.has_infinite ? std::max(data.p_infinite, p.y) : p.y;
+      data.has_infinite = true;
+    }
+  }
+  data.front = geom::pareto_front_max_xy(finite);
+
+  const std::size_t n = data.front.size();
+  if (n <= kMaxFrontEndpoints) {
+    data.ends.resize(n);
+    for (std::size_t i = 0; i < n; ++i) data.ends[i] = i;
+  } else {
+    // Uniform thinning, always keeping the extremes.
+    for (std::size_t k = 0; k < kMaxFrontEndpoints; ++k) {
+      data.ends.push_back(k * (n - 1) / (kMaxFrontEndpoints - 1));
+    }
+    data.ends.erase(std::unique(data.ends.begin(), data.ends.end()),
+                    data.ends.end());
+  }
+  return data;
+}
+
+double line_at(const Point& a, const Point& b, double x) {
+  const double t = (x - a.x) / (b.x - a.x);
+  return a.y + t * (b.y - a.y);
+}
+
+}  // namespace
+
+RightFitDebug fit_right_debug(const std::vector<Point>& points) {
+  RightFitDebug out;
+  const FrontData data = build_front(points);
+  out.front = data.front;
+  out.dummy_start = !data.has_infinite;
+
+  const auto& front = data.front;
+  const std::size_t n = front.size();
+
+  if (n == 0) {
+    // Only infinite-intensity samples: the bound is flat at their best P.
+    if (!data.has_infinite) {
+      throw std::invalid_argument("fit_right: no samples");
+    }
+    out.start_throughput = data.p_infinite;
+    out.function = PiecewiseLinear(
+        {{0.0, data.p_infinite, kInfinity, data.p_infinite}});
+    return out;
+  }
+
+  const Point apex = front.back();  // maximum P (leftmost on the front)
+  out.start_throughput = data.has_infinite ? data.p_infinite : front[0].y;
+
+  if (n == 1) {
+    // The bound is flat; it must also cover the infinite-intensity samples.
+    const double level = data.has_infinite ? std::max(apex.y, data.p_infinite)
+                                           : apex.y;
+    if (data.has_infinite && level == apex.y) {
+      const double d = apex.y - data.p_infinite;
+      out.total_error = d * d;
+    }
+    out.path = {0};
+    out.function = PiecewiseLinear({{apex.x, level, kInfinity, level}});
+    return out;
+  }
+
+  // --- Build the segment graph (paper Fig. 6) ---------------------------
+  // m endpoint-eligible front indices; vertex 0 = Start, 1 = End,
+  // 2 + a*m + b = "segment from ends[a] to ends[b]" (a <= b along
+  // descending I; a == b encodes the horizontal Start segment at ends[a]).
+  // Validity and error are always evaluated against the FULL front.
+  const auto& ends = data.ends;
+  const std::size_t m = ends.size();
+  const auto vid = [m](std::size_t a, std::size_t b) {
+    return static_cast<graph::VertexId>(2 + a * m + b);
+  };
+  graph::Digraph g(static_cast<graph::VertexId>(2 + m * m));
+
+  // Precompute validity, squared overestimation, and slope for every
+  // endpoint pair (a < b in `ends` order, i.e. I descending).
+  std::vector<std::uint8_t> valid(m * m, 0);
+  std::vector<double> err(m * m, 0.0);
+  std::vector<double> slope(m * m, 0.0);
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a + 1; b < m; ++b) {
+      const Point& pa = front[ends[a]];
+      const Point& pb = front[ends[b]];
+      bool ok = true;
+      double e = 0.0;
+      for (std::size_t k = ends[a] + 1; k < ends[b]; ++k) {
+        const double d = line_at(pa, pb, front[k].x) - front[k].y;
+        if (d < 0.0) {
+          ok = false;
+          break;
+        }
+        e += d * d;
+      }
+      valid[a * m + b] = ok ? 1 : 0;
+      err[a * m + b] = e;
+      slope[a * m + b] = (pb.y - pa.y) / (pb.x - pa.x);
+    }
+  }
+
+  // Start edges: a horizontal line through ends[j] covering [I_j, inf)
+  // overestimates every front point to its right (and the I = inf samples;
+  // a dummy start adds no error). The line must lie on-or-above the
+  // infinite-intensity samples too — a start below them would break the
+  // upper-bound property.
+  bool any_start = false;
+  for (std::size_t j = 0; j < m; ++j) {
+    if (data.has_infinite && front[ends[j]].y < data.p_infinite) continue;
+    double error = 0.0;
+    for (std::size_t k = 0; k < ends[j]; ++k) {
+      const double d = front[ends[j]].y - front[k].y;
+      error += d * d;
+    }
+    if (data.has_infinite) {
+      const double d = front[ends[j]].y - data.p_infinite;
+      error += d * d;
+    }
+    g.add_edge(0, vid(j, j), error);
+    any_start = true;
+  }
+  if (!any_start) {
+    // Every finite sample sits below the best infinite-intensity sample:
+    // the only valid bound right of the apex is flat at that sample's P.
+    out.path = {static_cast<int>(n - 1)};
+    out.function =
+        PiecewiseLinear({{apex.x, data.p_infinite, kInfinity, data.p_infinite}});
+    return out;
+  }
+
+  // Interior edges: (a,b) -> (b,c) when bc is steeper than ab (more
+  // negative slope: the concave-up rule walking leftward) and bc is valid.
+  // The Start pseudo-segment has slope 0, so every valid bc follows it.
+  for (std::size_t b = 0; b < m; ++b) {
+    for (std::size_t c = b + 1; c < m; ++c) {
+      if (!valid[b * m + c]) continue;
+      const double s_bc = slope[b * m + c];
+      const double e_bc = err[b * m + c];
+      if (s_bc <= 0.0) g.add_edge(vid(b, b), vid(b, c), e_bc);
+      for (std::size_t a = 0; a < b; ++a) {
+        if (valid[a * m + b] && s_bc <= slope[a * m + b]) {
+          g.add_edge(vid(a, b), vid(b, c), e_bc);
+        }
+      }
+    }
+  }
+
+  // End edges: the horizontal apex cap over [I_apex, I_j], overestimating
+  // every front point it passes over INCLUDING the junction sample j (the
+  // evaluated fit takes the cap's value at I_j, so the overestimation is
+  // real there too; this also makes "cap over a sample" never free).
+  for (std::size_t j = 0; j < m; ++j) {
+    double error = 0.0;
+    for (std::size_t k = ends[j]; k + 1 < n; ++k) {
+      const double d = apex.y - front[k].y;
+      error += d * d;
+    }
+    for (std::size_t i = 0; i < j; ++i) {
+      if (valid[i * m + j]) g.add_edge(vid(i, j), 1, error);
+    }
+    g.add_edge(vid(j, j), 1, error);  // from the Start segment at j
+  }
+
+  const auto sp = graph::dijkstra(g, 0);
+  const auto path = sp.path_to(1);
+  if (path.empty()) {
+    throw std::logic_error("fit_right: no Start->End path");
+  }
+  out.total_error = sp.dist[1];
+
+  // Decode the vertex path into visited front indices (right to left).
+  for (std::size_t k = 1; k + 1 < path.size(); ++k) {
+    const auto v = static_cast<std::size_t>(path[k]) - 2;
+    const std::size_t b = ends[v % m];
+    if (out.path.empty() || out.path.back() != static_cast<int>(b)) {
+      out.path.push_back(static_cast<int>(b));
+    }
+  }
+
+  // Assemble pieces in ascending I.
+  std::vector<LinearPiece> pieces;
+  const std::size_t last = static_cast<std::size_t>(out.path.back());
+  if (last != n - 1) {
+    pieces.push_back({apex.x, apex.y, front[last].x, apex.y});  // cap
+  }
+  for (std::size_t k = out.path.size(); k-- > 1;) {
+    const Point& lo = front[static_cast<std::size_t>(out.path[k])];
+    const Point& hi = front[static_cast<std::size_t>(out.path[k - 1])];
+    pieces.push_back({lo.x, lo.y, hi.x, hi.y});
+  }
+  const Point& first = front[static_cast<std::size_t>(out.path.front())];
+  pieces.push_back({first.x, first.y, kInfinity, first.y});
+  out.function = PiecewiseLinear(std::move(pieces));
+  return out;
+}
+
+PiecewiseLinear fit_right(const std::vector<Point>& points) {
+  return fit_right_debug(points).function;
+}
+
+}  // namespace fitting
+
+MetricRoofline::MetricRoofline(std::optional<PiecewiseLinear> left,
+                               PiecewiseLinear right, Point apex,
+                               std::size_t trained_on)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      apex_(apex),
+      trained_on_(trained_on) {}
+
+MetricRoofline MetricRoofline::fit(std::span<const sampling::Sample> samples) {
+  const std::vector<Point> points = fitting::sample_points(samples);
+  if (points.empty()) {
+    throw std::invalid_argument("MetricRoofline: no usable samples");
+  }
+  std::vector<Point> finite;
+  finite.reserve(points.size());
+  for (const Point& p : points) {
+    if (std::isfinite(p.x)) finite.push_back(p);
+  }
+
+  auto left = fitting::fit_left(finite);
+  auto right_debug = fitting::fit_right_debug(points);
+
+  Point apex{0.0, 0.0};
+  if (!right_debug.front.empty()) {
+    apex = right_debug.front.back();
+  } else {
+    apex = {kInfinity, right_debug.start_throughput};
+  }
+  return MetricRoofline(std::move(left), std::move(right_debug.function), apex,
+                        points.size());
+}
+
+double MetricRoofline::estimate(double intensity) const {
+  if (std::isnan(intensity) || intensity < 0.0) {
+    throw std::invalid_argument("MetricRoofline: bad intensity");
+  }
+  if (left_.has_value() && intensity <= left_->domain_max()) {
+    return left_->at(intensity);
+  }
+  return right_.at(intensity);
+}
+
+std::string MetricRoofline::describe() const {
+  std::ostringstream os;
+  os << "apex: (I=" << apex_.x << ", P=" << apex_.y << "), trained on "
+     << trained_on_ << " samples\n";
+  if (left_.has_value()) {
+    os << "left region:\n" << left_->describe();
+  } else {
+    os << "left region: (absent)\n";
+  }
+  os << "right region:\n" << right_.describe();
+  return os.str();
+}
+
+}  // namespace spire::model

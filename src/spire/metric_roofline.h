@@ -1,0 +1,99 @@
+// One SPIRE roofline: a learned piecewise-linear upper bound on throughput
+// as a function of one metric's operational intensity (paper §III-B, §III-D).
+//
+// The function splits at the apex — the highest-throughput training sample:
+//  * left region [0, I_apex]: increasing, concave-down; fit with a
+//    gift-wrapping convex hull from the origin (paper Fig. 5);
+//  * right region [I_apex, inf): decreasing (with the horizontal apex cap
+//    as the one sanctioned exception to concave-up), fit by a Dijkstra
+//    shortest path over candidate segments between Pareto-front samples,
+//    where edge weights are squared overestimation errors (paper Fig. 6).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/piecewise_linear.h"
+#include "sampling/sample.h"
+
+namespace spire::model {
+
+class MetricRoofline {
+ public:
+  /// Fits a roofline to training samples. Samples with t <= 0 are ignored;
+  /// throws std::invalid_argument when no usable sample remains.
+  static MetricRoofline fit(std::span<const sampling::Sample> samples);
+
+  /// Estimated maximum throughput at operational intensity `intensity`
+  /// (which may be +infinity, meaning the metric never fired).
+  /// Throws std::invalid_argument for negative or NaN intensities.
+  double estimate(double intensity) const;
+
+  /// Convenience: estimate for one sample (uses its I_x).
+  double estimate(const sampling::Sample& sample) const {
+    return estimate(sample.intensity());
+  }
+
+  /// The apex: the highest-throughput training sample's coordinates.
+  double apex_intensity() const { return apex_.x; }
+  double apex_throughput() const { return apex_.y; }
+
+  /// The fitted regions (left may be absent when the apex sits at I = 0 or
+  /// only infinite-intensity samples exist).
+  const std::optional<geom::PiecewiseLinear>& left() const { return left_; }
+  const geom::PiecewiseLinear& right() const { return right_; }
+
+  std::size_t training_sample_count() const { return trained_on_; }
+
+  /// Human-readable dump of both regions.
+  std::string describe() const;
+
+  /// Direct construction from fitted pieces (deserialization path).
+  MetricRoofline(std::optional<geom::PiecewiseLinear> left,
+                 geom::PiecewiseLinear right, geom::Point apex,
+                 std::size_t trained_on);
+
+  friend bool operator==(const MetricRoofline&, const MetricRoofline&) =
+      default;
+
+ private:
+  std::optional<geom::PiecewiseLinear> left_;
+  geom::PiecewiseLinear right_;
+  geom::Point apex_;
+  std::size_t trained_on_ = 0;
+};
+
+/// Exposed pieces of the fitting pipeline, used by tests and the Fig. 5/6
+/// reproduction benches.
+namespace fitting {
+
+/// Converts samples to (I, P) points, dropping unusable ones (t <= 0).
+/// Points with m == 0 get I = +infinity.
+std::vector<geom::Point> sample_points(std::span<const sampling::Sample> samples);
+
+/// Left-region fit over the finite points: the hull chain from the origin
+/// to the apex, as a function, or nullopt when the chain is trivial.
+std::optional<geom::PiecewiseLinear> fit_left(
+    const std::vector<geom::Point>& finite_points);
+
+/// Right-region fit over all points (finite and infinite): the
+/// minimum-squared-error valid segment series from the apex rightward.
+geom::PiecewiseLinear fit_right(const std::vector<geom::Point>& points);
+
+/// The weighted-graph search underlying fit_right, exposed with its
+/// intermediate artifacts for inspection (Fig. 6 reproduction).
+struct RightFitDebug {
+  std::vector<geom::Point> front;       // Pareto samples, descending I
+  double start_throughput = 0.0;        // P_S (real or dummy)
+  bool dummy_start = true;              // no sample had I = infinity
+  std::vector<int> path;                // chosen front indices, right-to-left
+  double total_error = 0.0;             // shortest-path cost
+  geom::PiecewiseLinear function;
+};
+RightFitDebug fit_right_debug(const std::vector<geom::Point>& points);
+
+}  // namespace fitting
+
+}  // namespace spire::model

@@ -1,0 +1,173 @@
+#include "spire/model_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace spire::model {
+
+using counters::Event;
+using geom::LinearPiece;
+using geom::PiecewiseLinear;
+
+namespace {
+
+constexpr std::string_view kHeader = "spire-model v1";
+
+void write_value(std::ostream& out, double v) {
+  if (std::isinf(v)) {
+    out << (v > 0 ? "inf" : "-inf");
+  } else {
+    out << v;
+  }
+}
+
+double read_value(std::istream& in, const char* what) {
+  std::string token;
+  if (!(in >> token)) {
+    throw std::runtime_error(std::string("model: missing ") + what);
+  }
+  if (token == "inf") return std::numeric_limits<double>::infinity();
+  if (token == "-inf") return -std::numeric_limits<double>::infinity();
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(token, &pos);
+    if (pos != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("model: bad ") + what + " '" + token +
+                             "'");
+  }
+}
+
+}  // namespace
+
+void save_model(const Ensemble& ensemble, std::ostream& out) {
+  out.precision(17);
+  out << kHeader << '\n';
+  for (const auto& [metric, roofline] : ensemble.rooflines()) {
+    out << "metric " << counters::event_name(metric)
+        << " trained_on=" << roofline.training_sample_count() << " apex=";
+    write_value(out, roofline.apex_intensity());
+    out << ' ';
+    write_value(out, roofline.apex_throughput());
+    out << '\n';
+
+    if (roofline.left().has_value()) {
+      const auto& pieces = roofline.left()->pieces();
+      out << "left " << pieces.size() + 1;
+      out << ' ' << pieces.front().x0 << ' ' << pieces.front().y0;
+      for (const auto& p : pieces) out << ' ' << p.x1 << ' ' << p.y1;
+      out << '\n';
+    } else {
+      out << "left 0\n";
+    }
+
+    const auto& pieces = roofline.right().pieces();
+    out << "right " << pieces.size();
+    for (const auto& p : pieces) {
+      out << ' ';
+      write_value(out, p.x0);
+      out << ' ';
+      write_value(out, p.y0);
+      out << ' ';
+      write_value(out, p.x1);
+      out << ' ';
+      write_value(out, p.y1);
+    }
+    out << '\n';
+  }
+}
+
+Ensemble load_model(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw std::runtime_error("model: bad header");
+  }
+  std::map<Event, MetricRoofline> rooflines;
+  std::string keyword;
+  while (in >> keyword) {
+    if (keyword != "metric") {
+      throw std::runtime_error("model: expected 'metric', got '" + keyword + "'");
+    }
+    std::string name;
+    std::string trained_field;
+    if (!(in >> name >> trained_field)) {
+      throw std::runtime_error("model: truncated metric line");
+    }
+    const auto metric = counters::event_by_name(name);
+    if (!metric) throw std::runtime_error("model: unknown metric '" + name + "'");
+    if (trained_field.rfind("trained_on=", 0) != 0) {
+      throw std::runtime_error("model: expected trained_on field");
+    }
+    const std::size_t trained_on =
+        static_cast<std::size_t>(std::stoull(trained_field.substr(11)));
+    std::string apex_field;
+    if (!(in >> apex_field) || apex_field != "apex=") {
+      // apex= is glued to the first value by the writer; handle both forms.
+      if (apex_field.rfind("apex=", 0) != 0) {
+        throw std::runtime_error("model: expected apex field");
+      }
+    }
+    double apex_x = 0.0;
+    if (apex_field == "apex=") {
+      apex_x = read_value(in, "apex intensity");
+    } else {
+      std::istringstream field(apex_field.substr(5));
+      apex_x = read_value(field, "apex intensity");
+    }
+    const double apex_y = read_value(in, "apex throughput");
+
+    std::string left_kw;
+    std::size_t left_count = 0;
+    if (!(in >> left_kw >> left_count) || left_kw != "left") {
+      throw std::runtime_error("model: expected left region");
+    }
+    std::optional<PiecewiseLinear> left;
+    if (left_count > 0) {
+      std::vector<geom::Point> knots(left_count);
+      for (auto& k : knots) {
+        k.x = read_value(in, "left knot x");
+        k.y = read_value(in, "left knot y");
+      }
+      left = PiecewiseLinear::from_knots(knots);
+    }
+
+    std::string right_kw;
+    std::size_t right_count = 0;
+    if (!(in >> right_kw >> right_count) || right_kw != "right") {
+      throw std::runtime_error("model: expected right region");
+    }
+    if (right_count == 0) throw std::runtime_error("model: empty right region");
+    std::vector<LinearPiece> pieces(right_count);
+    for (auto& p : pieces) {
+      p.x0 = read_value(in, "right x0");
+      p.y0 = read_value(in, "right y0");
+      p.x1 = read_value(in, "right x1");
+      p.y1 = read_value(in, "right y1");
+    }
+    rooflines.emplace(
+        *metric, MetricRoofline(std::move(left), PiecewiseLinear(std::move(pieces)),
+                                {apex_x, apex_y}, trained_on));
+  }
+  if (rooflines.empty()) throw std::runtime_error("model: no metrics");
+  return Ensemble(std::move(rooflines));
+}
+
+void save_model_file(const Ensemble& ensemble, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("model: cannot write " + path);
+  save_model(ensemble, out);
+}
+
+Ensemble load_model_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("model: cannot read " + path);
+  return load_model(in);
+}
+
+}  // namespace spire::model

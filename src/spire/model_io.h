@@ -1,0 +1,29 @@
+// Ensemble persistence: save a trained SPIRE model to a text stream and
+// load it back. The format is line-oriented and versioned:
+//
+//   spire-model v1
+//   metric <perf-event-name> trained_on=<n> apex=<I> <P>
+//   left <k> x0 y0 x1 y1 ... (knots; "left 0" when absent)
+//   right <k> x0 y0 x1 y1 ... (piece corners; x of the last corner may be
+//                              "inf"; pieces may be discontinuous)
+//
+// Exact round-trip is guaranteed: values are written with max precision.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "spire/ensemble.h"
+
+namespace spire::model {
+
+void save_model(const Ensemble& ensemble, std::ostream& out);
+
+/// Throws std::runtime_error on malformed input or unknown metric names.
+Ensemble load_model(std::istream& in);
+
+/// Convenience file wrappers; throw std::runtime_error on I/O failure.
+void save_model_file(const Ensemble& ensemble, const std::string& path);
+Ensemble load_model_file(const std::string& path);
+
+}  // namespace spire::model

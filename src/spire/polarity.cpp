@@ -1,0 +1,131 @@
+#include "spire/polarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace spire::model {
+
+using geom::kInfinity;
+using geom::LinearPiece;
+using geom::PiecewiseLinear;
+using sampling::Sample;
+
+std::string_view polarity_name(Polarity polarity) {
+  switch (polarity) {
+    case Polarity::kNegative: return "negative";
+    case Polarity::kPositive: return "positive";
+    case Polarity::kAmbiguous: return "ambiguous";
+  }
+  return "?";
+}
+
+TrendAnalysis detect_polarity(std::span<const Sample> samples,
+                              double threshold) {
+  TrendAnalysis out;
+  std::vector<double> intensity;
+  std::vector<double> throughput;
+  for (const Sample& s : samples) {
+    if (s.t <= 0.0) continue;
+    const double i = s.intensity();
+    if (!std::isfinite(i) || i <= 0.0) continue;
+    intensity.push_back(i);
+    throughput.push_back(s.throughput());
+  }
+  out.finite_samples = intensity.size();
+  if (out.finite_samples < 8) return out;
+
+  // A raw correlation over all samples is easily washed out by workloads
+  // where OTHER metrics are the binding constraint (many low-P samples at
+  // every intensity). The roofline question is about the UPPER ENVELOPE:
+  // does the best-achievable throughput rise or fall with intensity? So
+  // bucket intensities into log-spaced bins and correlate the per-bin
+  // maxima with the bin positions.
+  double lo = intensity[0];
+  double hi = intensity[0];
+  for (const double i : intensity) {
+    lo = std::min(lo, i);
+    hi = std::max(hi, i);
+  }
+  if (!(hi > lo)) return out;  // a single intensity value has no trend
+
+  constexpr int kBins = 12;
+  const double log_lo = std::log(lo);
+  const double span = std::log(hi) - log_lo;
+  std::vector<double> bin_max(kBins, -1.0);
+  for (std::size_t k = 0; k < intensity.size(); ++k) {
+    int bin = static_cast<int>((std::log(intensity[k]) - log_lo) / span *
+                               kBins);
+    bin = std::clamp(bin, 0, kBins - 1);
+    bin_max[static_cast<std::size_t>(bin)] =
+        std::max(bin_max[static_cast<std::size_t>(bin)], throughput[k]);
+  }
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int b = 0; b < kBins; ++b) {
+    if (bin_max[static_cast<std::size_t>(b)] < 0.0) continue;
+    xs.push_back(static_cast<double>(b));
+    ys.push_back(bin_max[static_cast<std::size_t>(b)]);
+  }
+  if (xs.size() < 5) return out;  // not enough distinct regimes
+
+  // Effect-size guard: a flat envelope's rank order is pure noise, so a
+  // trend call also requires a material spread between the highest and
+  // lowest bin maxima.
+  double env_lo = ys[0];
+  double env_hi = ys[0];
+  for (const double y : ys) {
+    env_lo = std::min(env_lo, y);
+    env_hi = std::max(env_hi, y);
+  }
+  if (env_lo <= 0.0 || env_hi / env_lo < 1.15) return out;
+
+  out.spearman = util::spearman(xs, ys);
+  if (out.spearman >= threshold) {
+    // The attainable bound rises as events get rarer: the events hurt.
+    out.polarity = Polarity::kNegative;
+  } else if (out.spearman <= -threshold) {
+    out.polarity = Polarity::kPositive;
+  }
+  return out;
+}
+
+MetricRoofline fit_with_polarity(std::span<const Sample> samples,
+                                 double threshold) {
+  MetricRoofline base = MetricRoofline::fit(samples);
+  const TrendAnalysis trend = detect_polarity(samples, threshold);
+
+  switch (trend.polarity) {
+    case Polarity::kAmbiguous:
+      return base;
+
+    case Polarity::kNegative: {
+      // Throughput must not drop as events become rarer: flatten the right
+      // region at the fit's own value at the apex boundary, which already
+      // upper-bounds every sample at or beyond the apex (it is the maximum
+      // of the apex throughput and any I = infinity samples' bound).
+      const double apex_i = base.apex_intensity();
+      const double level = std::max(base.apex_throughput(),
+                                    base.right().at(kInfinity));
+      const double start = std::isfinite(apex_i) ? apex_i : 0.0;
+      PiecewiseLinear flat({LinearPiece{start, level, kInfinity, level}});
+      return MetricRoofline(base.left(), std::move(flat),
+                            {apex_i, base.apex_throughput()},
+                            base.training_sample_count());
+    }
+
+    case Polarity::kPositive: {
+      // The rising left side is the confounded one (wrong-path decodes and
+      // similar artifacts): drop it so estimates below the apex clamp to
+      // the apex bound instead of collapsing toward the origin.
+      return MetricRoofline(std::nullopt, base.right(),
+                            {base.apex_intensity(), base.apex_throughput()},
+                            base.training_sample_count());
+    }
+  }
+  return base;
+}
+
+}  // namespace spire::model

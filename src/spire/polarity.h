@@ -1,0 +1,54 @@
+// Robust metric-polarity detection — the paper's stated improvement path.
+//
+// Paper §V (Fig. 7 discussion): BP.1's roofline correctly rises with I
+// (mispredictions are harmful), but "the right fitting algorithm kicked in
+// for high I values and caused this estimation to drop, inaccurately...
+// it shows that our method for detecting positive and negative metrics can
+// be more robust." This module implements that more robust method: a rank
+// correlation between intensity and throughput classifies each metric as
+// negative (more events hurt), positive (more events help), or ambiguous,
+// and the constrained fit prunes the implausible region:
+//   * negative metric: throughput must be non-decreasing in I_x, so the
+//     descending right region is replaced by a flat cap at the apex;
+//   * positive metric: the rising left region is the confounded side
+//     (e.g. DB.2's wrong-path decodes), so it is dropped;
+//   * ambiguous: the unconstrained fit is kept.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "sampling/sample.h"
+#include "spire/metric_roofline.h"
+
+namespace spire::model {
+
+/// Learned association between a metric and performance (paper §III-B's
+/// "qualitative model trends").
+enum class Polarity {
+  kNegative,   // more events per unit work hurt throughput (stalls, misses)
+  kPositive,   // more events accompany higher throughput (DSB uops, hits)
+  kAmbiguous,  // no reliable monotone trend in the training data
+};
+
+std::string_view polarity_name(Polarity polarity);
+
+/// The evidence behind a polarity call.
+struct TrendAnalysis {
+  Polarity polarity = Polarity::kAmbiguous;
+  double spearman = 0.0;        // rank corr. of (I_x, P) over finite samples
+  std::size_t finite_samples = 0;
+};
+
+/// Classifies a metric from its training samples. |spearman| must reach
+/// `threshold` (and at least 8 finite samples must exist) for a call;
+/// anything weaker is ambiguous.
+TrendAnalysis detect_polarity(std::span<const sampling::Sample> samples,
+                              double threshold = 0.3);
+
+/// MetricRoofline::fit with the polarity constraint applied (see above).
+/// Throws like MetricRoofline::fit on unusable input.
+MetricRoofline fit_with_polarity(std::span<const sampling::Sample> samples,
+                                 double threshold = 0.3);
+
+}  // namespace spire::model

@@ -1,0 +1,85 @@
+#include "spire/validation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace spire::model {
+
+using sampling::Dataset;
+using sampling::Sample;
+
+CoverageReport coverage(const Ensemble& ensemble, const Dataset& data,
+                        double tolerance) {
+  CoverageReport report;
+  report.worst_excess = 1.0;
+  for (const auto& [metric, roofline] : ensemble.rooflines()) {
+    for (const Sample& s : data.samples(metric)) {
+      if (s.t <= 0.0) continue;
+      ++report.total;
+      const double bound = roofline.estimate(s.intensity());
+      if (s.throughput() <= bound + tolerance) {
+        ++report.covered;
+      } else if (bound > 0.0) {
+        report.worst_excess = std::max(report.worst_excess,
+                                       s.throughput() / bound);
+      }
+    }
+  }
+  return report;
+}
+
+RankAgreement compare_rankings(const Analyzer::Analysis& a,
+                               const Analyzer::Analysis& b, int k) {
+  RankAgreement out;
+  out.k = k;
+  std::vector<double> av;
+  std::vector<double> bv;
+  for (const auto& ra : a.ranking) {
+    for (const auto& rb : b.ranking) {
+      if (ra.metric == rb.metric) {
+        av.push_back(ra.p_bar);
+        bv.push_back(rb.p_bar);
+      }
+    }
+  }
+  out.spearman = util::spearman(av, bv);
+  const auto limit_a = std::min<std::size_t>(static_cast<std::size_t>(k),
+                                             a.ranking.size());
+  const auto limit_b = std::min<std::size_t>(static_cast<std::size_t>(k),
+                                             b.ranking.size());
+  for (std::size_t i = 0; i < limit_a; ++i) {
+    for (std::size_t j = 0; j < limit_b; ++j) {
+      if (a.ranking[i].metric == b.ranking[j].metric) ++out.top_k_overlap;
+    }
+  }
+  return out;
+}
+
+std::vector<LeaveOneOutResult> leave_one_out(
+    const std::vector<LabelledDataset>& workloads,
+    Ensemble::TrainOptions options) {
+  if (workloads.size() < 2) {
+    throw std::invalid_argument("leave_one_out: need at least 2 workloads");
+  }
+  std::vector<LeaveOneOutResult> out;
+  out.reserve(workloads.size());
+  for (std::size_t held = 0; held < workloads.size(); ++held) {
+    Dataset training;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      if (i != held) training.merge(workloads[i].data);
+    }
+    const Ensemble ensemble = Ensemble::train(training, options);
+    LeaveOneOutResult result;
+    result.label = workloads[held].label;
+    result.coverage = coverage(ensemble, workloads[held].data);
+    result.measured_throughput = measured_throughput(workloads[held].data);
+    result.estimated_throughput =
+        ensemble.estimate(workloads[held].data).throughput;
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace spire::model

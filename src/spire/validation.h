@@ -1,0 +1,68 @@
+// Model validation utilities: bound-coverage measurement, ranking
+// agreement, and leave-one-workload-out cross-validation.
+//
+// A SPIRE roofline is an upper bound learned from finite data, so its
+// quality question is statistical: how often do HELD-OUT samples stay at or
+// below their per-sample bound, and how stable are the metric rankings
+// across training sets? These utilities quantify both; the cross-validation
+// bench (bench/validation_loo) applies them to the full suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sampling/dataset.h"
+#include "spire/analyzer.h"
+#include "spire/ensemble.h"
+
+namespace spire::model {
+
+/// Fraction of a dataset's samples lying on-or-below their roofline bound.
+struct CoverageReport {
+  std::size_t total = 0;    // usable samples of metrics the model knows
+  std::size_t covered = 0;  // samples with P <= bound(I) (+tolerance)
+  double worst_excess = 0.0;  // max P/bound among violators (1.0 if none)
+
+  double fraction() const {
+    return total > 0 ? static_cast<double>(covered) / static_cast<double>(total)
+                     : 1.0;
+  }
+};
+
+/// Measures bound coverage of `data` under `ensemble`.
+CoverageReport coverage(const Ensemble& ensemble,
+                        const sampling::Dataset& data,
+                        double tolerance = 1e-9);
+
+/// Agreement between two analyses of the same workload.
+struct RankAgreement {
+  double spearman = 0.0;  // rank correlation over shared metrics
+  int top_k_overlap = 0;  // shared metrics among both top-k lists
+  int k = 10;
+};
+
+RankAgreement compare_rankings(const Analyzer::Analysis& a,
+                               const Analyzer::Analysis& b, int k = 10);
+
+/// One labelled workload dataset for cross-validation.
+struct LabelledDataset {
+  std::string label;
+  sampling::Dataset data;
+};
+
+/// Result of holding one workload out.
+struct LeaveOneOutResult {
+  std::string label;
+  CoverageReport coverage;          // held-out coverage
+  double measured_throughput = 0.0;
+  double estimated_throughput = 0.0;  // ensemble min on the held-out data
+};
+
+/// Leave-one-out cross-validation: for each workload, train on all the
+/// others and evaluate the bound on the held-out one. Throws
+/// std::invalid_argument for fewer than 2 workloads.
+std::vector<LeaveOneOutResult> leave_one_out(
+    const std::vector<LabelledDataset>& workloads,
+    Ensemble::TrainOptions options = {});
+
+}  // namespace spire::model

@@ -1,0 +1,132 @@
+#include "tma/tma.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.h"
+
+namespace spire::tma {
+
+using counters::CounterSet;
+using counters::Event;
+using counters::TmaArea;
+
+Result analyze(const CounterSet& delta, int slots_per_cycle) {
+  const auto cycles = static_cast<double>(delta.get(Event::kCpuClkUnhaltedThread));
+  if (cycles <= 0.0) throw std::invalid_argument("tma: zero-cycle window");
+  const double slots = slots_per_cycle * cycles;
+
+  const auto get = [&](Event e) { return static_cast<double>(delta.get(e)); };
+
+  Result r;
+  r.ipc = get(Event::kInstRetiredAny) / cycles;
+
+  // --- Level 1 (Yasin's slot accounting) --------------------------------
+  const double retired_slots = get(Event::kUopsRetiredRetireSlots);
+  const double issued = get(Event::kUopsIssuedAny);
+  const double recovery = get(Event::kIntMiscRecoveryCycles);
+  const double not_delivered = get(Event::kIdqUopsNotDeliveredCore);
+
+  r.level1.retiring = retired_slots / slots;
+  r.level1.front_end_bound = not_delivered / slots;
+  r.level1.bad_speculation =
+      std::max(0.0, (issued - retired_slots + slots_per_cycle * recovery) / slots);
+  r.level1.back_end_bound =
+      std::max(0.0, 1.0 - r.level1.retiring - r.level1.front_end_bound -
+                        r.level1.bad_speculation);
+
+  // --- Level 2: front-end latency vs bandwidth --------------------------
+  // Latency component: cycles fetch delivered nothing because it was
+  // waiting (I-cache, ITLB, decode-switch penalties, re-steers).
+  const double fetch_latency_cycles =
+      get(Event::kIcache16bIfdataStall) + get(Event::kItlbMissesWalkPending) +
+      get(Event::kDsb2MiteSwitchesPenaltyCycles) + get(Event::kIldStallLcp) +
+      5.0 * get(Event::kBaclearsAny);
+  r.level2.fe_latency =
+      std::min(r.level1.front_end_bound, fetch_latency_cycles / cycles);
+  r.level2.fe_bandwidth = r.level1.front_end_bound - r.level2.fe_latency;
+
+  // --- Level 2: bad speculation split -----------------------------------
+  const double mispredicts = get(Event::kBrMispRetiredAllBranches);
+  const double clears = get(Event::kMachineClearsCount);
+  const double events = mispredicts + clears;
+  const double mispredict_share = events > 0.0 ? mispredicts / events : 1.0;
+  r.level2.branch_mispredicts = r.level1.bad_speculation * mispredict_share;
+  r.level2.machine_clears = r.level1.bad_speculation - r.level2.branch_mispredicts;
+
+  // --- Level 2: memory vs core ------------------------------------------
+  const double stalls_total = get(Event::kCycleActivityStallsTotal);
+  const double stalls_mem = get(Event::kCycleActivityStallsMemAny) +
+                            get(Event::kExeActivityBoundOnStores);
+  const double mem_share =
+      stalls_total > 0.0 ? std::min(1.0, stalls_mem / stalls_total) : 0.0;
+  r.level2.memory_bound = r.level1.back_end_bound * mem_share;
+  r.level2.core_bound = r.level1.back_end_bound - r.level2.memory_bound;
+
+  // --- Memory breakdown ---------------------------------------------------
+  const double stalls_l1d = get(Event::kCycleActivityStallsL1dMiss);
+  const double stalls_l2 = get(Event::kCycleActivityStallsL2Miss);
+  const double stalls_l3 = get(Event::kCycleActivityStallsL3Miss);
+  const double bound_stores = get(Event::kExeActivityBoundOnStores);
+  // Nested stall counters peel into exclusive levels.
+  const double l1_cycles = std::max(0.0, stalls_mem - bound_stores - stalls_l1d);
+  const double l2_cycles = std::max(0.0, stalls_l1d - stalls_l2);
+  const double l3_cycles = std::max(0.0, stalls_l2 - stalls_l3);
+  const double dram_cycles = stalls_l3;
+  const double mem_total =
+      l1_cycles + l2_cycles + l3_cycles + dram_cycles + bound_stores;
+  if (mem_total > 0.0) {
+    const double unit = r.level2.memory_bound / mem_total;
+    r.memory.l1_bound = l1_cycles * unit;
+    r.memory.l2_bound = l2_cycles * unit;
+    r.memory.l3_bound = l3_cycles * unit;
+    r.memory.dram_bound = dram_cycles * unit;
+    r.memory.store_bound = bound_stores * unit;
+  }
+  return r;
+}
+
+TmaArea Result::main_bottleneck() const {
+  // The dominant performance-loss category; "retiring" wins only when no
+  // loss category comes within a whisker of it.
+  struct Entry {
+    TmaArea area;
+    double value;
+  };
+  const Entry losses[] = {
+      {TmaArea::kFrontEnd, level1.front_end_bound},
+      {TmaArea::kBadSpeculation, level1.bad_speculation},
+      {TmaArea::kMemory, level2.memory_bound},
+      {TmaArea::kCore, level2.core_bound},
+  };
+  const Entry* best = &losses[0];
+  for (const Entry& e : losses) {
+    if (e.value > best->value) best = &e;
+  }
+  if (level1.retiring > best->value * 2.0) return TmaArea::kRetiring;
+  return best->area;
+}
+
+std::string Result::describe() const {
+  std::ostringstream os;
+  os << "IPC " << util::format_fixed(ipc, 3) << "\n"
+     << "  Retiring        " << util::format_percent(level1.retiring) << "\n"
+     << "  Front-End Bound " << util::format_percent(level1.front_end_bound)
+     << "  (latency " << util::format_percent(level2.fe_latency)
+     << ", bandwidth " << util::format_percent(level2.fe_bandwidth) << ")\n"
+     << "  Bad Speculation " << util::format_percent(level1.bad_speculation)
+     << "  (mispredicts " << util::format_percent(level2.branch_mispredicts)
+     << ", clears " << util::format_percent(level2.machine_clears) << ")\n"
+     << "  Back-End Bound  " << util::format_percent(level1.back_end_bound)
+     << "  (memory " << util::format_percent(level2.memory_bound) << ", core "
+     << util::format_percent(level2.core_bound) << ")\n"
+     << "    Memory: L1 " << util::format_percent(memory.l1_bound) << ", L2 "
+     << util::format_percent(memory.l2_bound) << ", L3 "
+     << util::format_percent(memory.l3_bound) << ", DRAM "
+     << util::format_percent(memory.dram_bound) << ", stores "
+     << util::format_percent(memory.store_bound) << "\n";
+  return os.str();
+}
+
+}  // namespace spire::tma

@@ -1,0 +1,63 @@
+// Top-Down Microarchitecture Analysis (Yasin, ISPASS 2014).
+//
+// This is the counter-based baseline the paper validates SPIRE against
+// (VTune implements the same method). Level 1 splits the core's issue
+// slots into Retiring / Front-End Bound / Bad Speculation / Back-End
+// Bound; level 2 refines front-end into latency vs bandwidth, bad
+// speculation into mispredicts vs machine clears, and back-end into
+// memory vs core (with a cache-level breakdown of memory).
+#pragma once
+
+#include <string>
+
+#include "counters/counter_set.h"
+#include "counters/events.h"
+
+namespace spire::tma {
+
+/// Level-1 slot fractions; the four categories sum to ~1.
+struct Level1 {
+  double retiring = 0.0;
+  double front_end_bound = 0.0;
+  double bad_speculation = 0.0;
+  double back_end_bound = 0.0;
+};
+
+/// Level-2 refinements; each group's members sum to its level-1 parent.
+struct Level2 {
+  double fe_latency = 0.0;
+  double fe_bandwidth = 0.0;
+  double branch_mispredicts = 0.0;
+  double machine_clears = 0.0;
+  double memory_bound = 0.0;
+  double core_bound = 0.0;
+};
+
+/// Level-3-style memory breakdown (fractions of total slots).
+struct MemoryBreakdown {
+  double l1_bound = 0.0;
+  double l2_bound = 0.0;
+  double l3_bound = 0.0;
+  double dram_bound = 0.0;
+  double store_bound = 0.0;
+};
+
+struct Result {
+  Level1 level1;
+  Level2 level2;
+  MemoryBreakdown memory;
+  double ipc = 0.0;
+
+  /// The dominant non-retiring category (the paper Table I color), or
+  /// kRetiring when useful work dominates everything else.
+  counters::TmaArea main_bottleneck() const;
+
+  /// Multi-line human-readable report.
+  std::string describe() const;
+};
+
+/// Analyzes a counter delta (one measurement window or a whole run).
+/// Requires a nonzero cycle count; throws std::invalid_argument otherwise.
+Result analyze(const counters::CounterSet& delta, int slots_per_cycle = 4);
+
+}  // namespace spire::tma

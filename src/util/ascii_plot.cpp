@@ -1,0 +1,157 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace spire::util {
+
+namespace {
+
+double transform(double v, Scale scale) {
+  return scale == Scale::kLog10 ? std::log10(v) : v;
+}
+
+bool usable(double v, Scale scale) {
+  if (!std::isfinite(v)) return false;
+  return scale != Scale::kLog10 || v > 0.0;
+}
+
+struct Bounds {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  bool valid() const { return lo <= hi; }
+};
+
+}  // namespace
+
+std::string render_plot(const std::vector<Series>& series,
+                        const PlotOptions& options) {
+  const int w = std::max(8, options.width);
+  const int h = std::max(4, options.height);
+
+  Bounds bx;
+  Bounds by;
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.xs.size() && i < s.ys.size(); ++i) {
+      if (!usable(s.xs[i], options.x_scale) || !usable(s.ys[i], options.y_scale))
+        continue;
+      bx.include(transform(s.xs[i], options.x_scale));
+      by.include(transform(s.ys[i], options.y_scale));
+    }
+  }
+  if (!bx.valid() || !by.valid()) return "(empty plot)\n";
+  // Degenerate ranges still need a nonzero span to map onto the canvas.
+  if (bx.hi == bx.lo) {
+    bx.lo -= 0.5;
+    bx.hi += 0.5;
+  }
+  if (by.hi == by.lo) {
+    by.lo -= 0.5;
+    by.hi += 0.5;
+  }
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(h),
+                                  std::string(static_cast<std::size_t>(w), ' '));
+
+  auto to_col = [&](double x) {
+    const double t = (transform(x, options.x_scale) - bx.lo) / (bx.hi - bx.lo);
+    return static_cast<int>(std::lround(t * (w - 1)));
+  };
+  auto to_row = [&](double y) {
+    const double t = (transform(y, options.y_scale) - by.lo) / (by.hi - by.lo);
+    return (h - 1) - static_cast<int>(std::lround(t * (h - 1)));
+  };
+  auto put = [&](int col, int row, char marker) {
+    if (col < 0 || col >= w || row < 0 || row >= h) return;
+    canvas[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = marker;
+  };
+
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.xs.size(), s.ys.size());
+    int prev_col = -1;
+    int prev_row = -1;
+    bool have_prev = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!usable(s.xs[i], options.x_scale) ||
+          !usable(s.ys[i], options.y_scale)) {
+        have_prev = false;
+        continue;
+      }
+      const int col = to_col(s.xs[i]);
+      const int row = to_row(s.ys[i]);
+      if (s.connect && have_prev) {
+        // Bresenham-style interpolation between consecutive points.
+        const int steps = std::max(std::abs(col - prev_col), std::abs(row - prev_row));
+        for (int k = 1; k < steps; ++k) {
+          const int c = prev_col + (col - prev_col) * k / steps;
+          const int r = prev_row + (row - prev_row) * k / steps;
+          put(c, r, s.marker);
+        }
+      }
+      put(col, row, s.marker);
+      prev_col = col;
+      prev_row = row;
+      have_prev = true;
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  auto fmt = [](double v) {
+    std::ostringstream os;
+    os.precision(4);
+    os << v;
+    return os.str();
+  };
+  const std::string y_hi = fmt(options.y_scale == Scale::kLog10
+                                   ? std::pow(10.0, by.hi)
+                                   : by.hi);
+  const std::string y_lo = fmt(options.y_scale == Scale::kLog10
+                                   ? std::pow(10.0, by.lo)
+                                   : by.lo);
+  const std::size_t label_w = std::max(y_hi.size(), y_lo.size());
+
+  out << std::string(label_w, ' ') << "+" << std::string(static_cast<std::size_t>(w), '-')
+      << "+\n";
+  for (int r = 0; r < h; ++r) {
+    std::string label;
+    if (r == 0) label = y_hi;
+    else if (r == h - 1) label = y_lo;
+    out << label << std::string(label_w - label.size(), ' ') << "|"
+        << canvas[static_cast<std::size_t>(r)] << "|\n";
+  }
+  out << std::string(label_w, ' ') << "+" << std::string(static_cast<std::size_t>(w), '-')
+      << "+\n";
+  const std::string x_lo = fmt(options.x_scale == Scale::kLog10
+                                   ? std::pow(10.0, bx.lo)
+                                   : bx.lo);
+  const std::string x_hi = fmt(options.x_scale == Scale::kLog10
+                                   ? std::pow(10.0, bx.hi)
+                                   : bx.hi);
+  out << std::string(label_w + 1, ' ') << x_lo;
+  const std::size_t used = label_w + 1 + x_lo.size();
+  const std::size_t right_edge = label_w + 1 + static_cast<std::size_t>(w);
+  if (right_edge > used + x_hi.size()) {
+    out << std::string(right_edge - used - x_hi.size(), ' ');
+  } else {
+    out << ' ';
+  }
+  out << x_hi << '\n';
+  if (!options.x_label.empty() || !options.y_label.empty()) {
+    out << "x: " << options.x_label;
+    if (!options.y_label.empty()) out << "   y: " << options.y_label;
+    out << '\n';
+  }
+  for (const auto& s : series) {
+    out << "  '" << s.marker << "' " << s.name << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace spire::util

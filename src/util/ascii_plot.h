@@ -1,0 +1,40 @@
+// Text scatter/line plotting so bench binaries can render figure analogues
+// (paper Figs. 2, 5, 6, 7) directly into the terminal and log files.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spire::util {
+
+/// One plottable series: points drawn with `marker`; when `connect` is true
+/// the series is rasterized as line segments between consecutive points.
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  char marker = '*';
+  bool connect = false;
+};
+
+/// Axis scale for a plot dimension.
+enum class Scale { kLinear, kLog10 };
+
+/// Configuration for an ASCII plot canvas.
+struct PlotOptions {
+  int width = 72;    // interior columns
+  int height = 20;   // interior rows
+  Scale x_scale = Scale::kLinear;
+  Scale y_scale = Scale::kLinear;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders all series into a framed plot with min/max axis annotations and a
+/// legend. Non-finite points (and non-positive points on log axes) are
+/// skipped. Returns the multi-line string.
+std::string render_plot(const std::vector<Series>& series,
+                        const PlotOptions& options);
+
+}  // namespace spire::util

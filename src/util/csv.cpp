@@ -1,0 +1,138 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace spire::util {
+
+int CsvDocument::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+// Parses one record starting at `pos`; advances pos past the trailing
+// newline. Returns false at end of input.
+bool parse_record(std::string_view text, std::size_t& pos,
+                  std::vector<std::string>& out) {
+  out.clear();
+  if (pos >= text.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          field.push_back('"');
+          pos += 2;
+        } else {
+          in_quotes = false;
+          ++pos;
+        }
+      } else {
+        field.push_back(c);
+        ++pos;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        saw_any = true;
+        ++pos;
+        break;
+      case ',':
+        out.push_back(std::move(field));
+        field.clear();
+        saw_any = true;
+        ++pos;
+        break;
+      case '\r':
+        ++pos;
+        break;
+      case '\n':
+        ++pos;
+        out.push_back(std::move(field));
+        return true;
+      default:
+        field.push_back(c);
+        saw_any = true;
+        ++pos;
+        break;
+    }
+  }
+  if (in_quotes) throw std::runtime_error("csv: unterminated quoted field");
+  if (!saw_any && field.empty() && out.empty()) return false;
+  out.push_back(std::move(field));
+  return true;
+}
+
+}  // namespace
+
+CsvDocument parse_csv(std::string_view text) {
+  CsvDocument doc;
+  std::size_t pos = 0;
+  std::vector<std::string> record;
+  if (!parse_record(text, pos, record)) return doc;
+  doc.header = std::move(record);
+  while (parse_record(text, pos, record)) {
+    if (record.size() == 1 && record[0].empty()) continue;  // blank line
+    if (record.size() != doc.header.size()) {
+      throw std::runtime_error("csv: ragged row (expected " +
+                               std::to_string(doc.header.size()) + " fields, got " +
+                               std::to_string(record.size()) + ")");
+    }
+    doc.rows.push_back(std::move(record));
+  }
+  return doc;
+}
+
+CsvDocument read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("csv: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_csv(buf.str());
+}
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& fields) {
+  std::vector<std::string> text;
+  text.reserve(fields.size());
+  for (double x : fields) {
+    std::ostringstream os;
+    os.precision(17);
+    os << x;
+    text.push_back(os.str());
+  }
+  row(text);
+}
+
+}  // namespace spire::util

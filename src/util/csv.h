@@ -1,0 +1,49 @@
+// Minimal CSV reading/writing for sample datasets and experiment output.
+//
+// The dialect is deliberately small: comma separator, double-quote quoting
+// with "" escapes, and a mandatory header row. This is enough to round-trip
+// our own datasets and to hand results to external plotting tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spire::util {
+
+/// A parsed CSV document: one header row plus data rows of equal arity.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or -1 if absent.
+  int column(std::string_view name) const;
+};
+
+/// Parses a CSV document from text. Throws std::runtime_error on ragged
+/// rows or unterminated quotes.
+CsvDocument parse_csv(std::string_view text);
+
+/// Reads and parses a CSV file. Throws std::runtime_error if unreadable.
+CsvDocument read_csv_file(const std::string& path);
+
+/// Incremental CSV writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one row, quoting fields that need it.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with max_digits10 precision.
+  void row_numeric(const std::vector<double>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Escapes one field per the CSV quoting rules (exposed for tests).
+std::string csv_escape(std::string_view field);
+
+}  // namespace spire::util

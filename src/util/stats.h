@@ -1,0 +1,70 @@
+// Small descriptive-statistics helpers used across sampling, analysis and
+// the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace spire::util {
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(std::span<const double> xs);
+
+/// Population variance; 0 for fewer than 2 elements.
+double variance(std::span<const double> xs);
+
+/// Population standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Minimum; 0 for an empty range.
+double min(std::span<const double> xs);
+
+/// Maximum; 0 for an empty range.
+double max(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]; 0 for an empty range.
+double quantile(std::span<const double> xs, double q);
+
+/// Median (quantile 0.5).
+double median(std::span<const double> xs);
+
+/// Weighted mean: sum(w*x)/sum(w); 0 if weights sum to 0 or sizes mismatch.
+double weighted_mean(std::span<const double> xs, std::span<const double> ws);
+
+/// Pearson correlation coefficient; 0 when either side has no variance.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman rank correlation; ties receive average ranks.
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Root-mean-square error between two equal-length series.
+double rmse(std::span<const double> a, std::span<const double> b);
+
+/// Mean absolute percentage error, skipping entries where the reference is 0.
+double mape(std::span<const double> reference, std::span<const double> got);
+
+/// Average ranks for a series (1-based, ties averaged). Exposed for the
+/// Spearman implementation and for ranking-agreement analyses.
+std::vector<double> ranks(std::span<const double> xs);
+
+/// Streaming accumulator for mean/variance (Welford) plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace spire::util

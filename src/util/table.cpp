@@ -1,0 +1,92 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace spire::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)), aligns_(header_.size(), Align::kLeft) {}
+
+void TextTable::set_align(std::size_t col, Align align) {
+  if (col >= aligns_.size()) throw std::invalid_argument("table: bad column");
+  aligns_[col] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("table: row arity mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t w : widths) s += std::string(w + 2, '-') + "+";
+    s += '\n';
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const std::size_t pad = widths[i] - cells[i].size();
+      s += ' ';
+      if (aligns_[i] == Align::kRight) s += std::string(pad, ' ');
+      s += cells[i];
+      if (aligns_[i] == Align::kLeft) s += std::string(pad, ' ');
+      s += " |";
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : line(row);
+  }
+  out += rule();
+  return out;
+}
+
+std::string format_fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string format_count(long long value) {
+  const bool negative = value < 0;
+  std::string digits = std::to_string(negative ? -value : value);
+  std::string out;
+  int since_sep = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (since_sep == 3) {
+      out.push_back(',');
+      since_sep = 0;
+    }
+    out.push_back(*it);
+    ++since_sep;
+  }
+  if (negative) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string format_percent(double ratio, int digits) {
+  return format_fixed(ratio * 100.0, digits) + "%";
+}
+
+}  // namespace spire::util

@@ -1,0 +1,54 @@
+// ASCII table rendering for the paper-reproduction harnesses.
+//
+// The bench binaries print Table I/II/III analogues; this renderer keeps
+// their formatting consistent and column-aligned.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spire::util {
+
+/// Column alignment within a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple text table: set a header, add rows, render.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers. Alignment defaults to
+  /// left for every column.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Sets the alignment of column `col` (0-based).
+  void set_align(std::size_t col, Align align);
+
+  /// Adds a row; must have the same arity as the header.
+  /// Throws std::invalid_argument otherwise.
+  void add_row(std::vector<std::string> row);
+
+  /// Adds a horizontal separator line at the current position.
+  void add_separator();
+
+  /// Renders the table with a border and a header rule.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  // A row is either cells (size == header) or empty (separator marker).
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals, trimming to a
+/// compact fixed representation (e.g. 1.2345 -> "1.23").
+std::string format_fixed(double value, int digits);
+
+/// Formats large counts with thousands separators (e.g. 1300000 -> "1,300,000").
+std::string format_count(long long value);
+
+/// Formats a ratio in [0,1] as a percentage string (e.g. 0.512 -> "51.2%").
+std::string format_percent(double ratio, int digits = 1);
+
+}  // namespace spire::util

@@ -1,0 +1,155 @@
+#include "workloads/microbench.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace spire::workloads {
+
+std::string_view microbench_axis_name(MicrobenchAxis axis) {
+  switch (axis) {
+    case MicrobenchAxis::kBranchEntropy: return "branch-entropy";
+    case MicrobenchAxis::kCodeFootprint: return "code-footprint";
+    case MicrobenchAxis::kWorkingSet: return "working-set";
+    case MicrobenchAxis::kMemoryPattern: return "memory-pattern";
+    case MicrobenchAxis::kDependencyChain: return "dependency-chain";
+    case MicrobenchAxis::kDividerPressure: return "divider";
+    case MicrobenchAxis::kVectorWidthMix: return "vector-width-mix";
+    case MicrobenchAxis::kMicrocode: return "microcode";
+    case MicrobenchAxis::kLockedOps: return "locked-ops";
+    case MicrobenchAxis::kStorePressure: return "stores";
+  }
+  return "?";
+}
+
+namespace {
+
+/// A lean, fast base kernel: mostly independent ALU work that retires near
+/// the machine width, so the swept axis is the only bottleneck.
+WorkloadProfile lean_base(MicrobenchAxis axis, int index, double level) {
+  WorkloadProfile p;
+  p.name = "ubench-" + std::string(microbench_axis_name(axis));
+  p.config = "level " + std::to_string(level);
+  p.instruction_count = 250'000;
+  p.seed = 7'000 + static_cast<std::uint64_t>(axis) * 100 +
+           static_cast<std::uint64_t>(index);
+  p.load_fraction = 0.05;
+  p.store_fraction = 0.0;
+  p.branch_fraction = 0.04;
+  p.branch_entropy = 0.0;
+  p.mul_fraction = 0.0;
+  p.dep_fraction = 0.0;
+  p.code_footprint_bytes = 2048;
+  p.data_working_set_bytes = 8 * 1024;
+  return p;
+}
+
+/// Log-spaced value in [lo, hi] at position i of n.
+double log_space(double lo, double hi, int i, int n) {
+  const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+  return lo * std::pow(hi / lo, t);
+}
+
+/// Linear value in [lo, hi] at position i of n.
+double lin_space(double lo, double hi, int i, int n) {
+  const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+  return lo + (hi - lo) * t;
+}
+
+}  // namespace
+
+std::vector<Microbench> microbenchmark_suite(int points_per_axis) {
+  if (points_per_axis < 2) {
+    throw std::invalid_argument("microbench: need at least 2 points per axis");
+  }
+  const int n = points_per_axis;
+  std::vector<Microbench> out;
+
+  for (int i = 0; i < n; ++i) {
+    {  // Branch entropy sweep: a fixed branch rate with rising randomness.
+      const double level = lin_space(0.0, 1.0, i, n);
+      auto p = lean_base(MicrobenchAxis::kBranchEntropy, i, level);
+      p.branch_fraction = 0.20;
+      p.branch_entropy = level;
+      out.push_back({MicrobenchAxis::kBranchEntropy, level, p});
+    }
+    {  // Code footprint sweep: 2 KiB (DSB) to 512 KiB (past L1I).
+      const double level = log_space(2048.0, 512.0 * 1024.0, i, n);
+      auto p = lean_base(MicrobenchAxis::kCodeFootprint, i, level);
+      p.code_footprint_bytes = static_cast<std::uint64_t>(level);
+      out.push_back({MicrobenchAxis::kCodeFootprint, level, p});
+    }
+    {  // Working-set sweep: 8 KiB (L1) to 256 MiB (DRAM), random access.
+      const double level = log_space(8.0 * 1024.0, 256.0 * 1024.0 * 1024.0, i, n);
+      auto p = lean_base(MicrobenchAxis::kWorkingSet, i, level);
+      p.load_fraction = 0.30;
+      p.data_working_set_bytes = static_cast<std::uint64_t>(level);
+      p.mem_pattern = MemPattern::kRandom;
+      out.push_back({MicrobenchAxis::kWorkingSet, level, p});
+    }
+    {  // Dependency sweep: fraction of chained ops from 0 to ~1.
+      const double level = lin_space(0.0, 0.98, i, n);
+      auto p = lean_base(MicrobenchAxis::kDependencyChain, i, level);
+      p.fp_fraction = 0.30;
+      p.dep_fraction = level;
+      p.dep_chain = 1;
+      out.push_back({MicrobenchAxis::kDependencyChain, level, p});
+    }
+    {  // Divider sweep: up to 1 divide per 10 instructions.
+      const double level = lin_space(0.0, 0.10, i, n);
+      auto p = lean_base(MicrobenchAxis::kDividerPressure, i, level);
+      p.div_fraction = level;
+      out.push_back({MicrobenchAxis::kDividerPressure, level, p});
+    }
+    {  // Vector width mix: pure 256-bit at 0, alternating at 0.5, pure
+       // 512-bit at 1 (the middle maximizes VW transitions).
+      const double level = lin_space(0.0, 1.0, i, n);
+      auto p = lean_base(MicrobenchAxis::kVectorWidthMix, i, level);
+      const double vec_total = 0.5;
+      p.vec512_fraction = vec_total * level;
+      p.vec256_fraction = vec_total * (1.0 - level);
+      out.push_back({MicrobenchAxis::kVectorWidthMix, level, p});
+    }
+    {  // Microcode sweep: up to 1 microcoded op per 12 instructions.
+      const double level = lin_space(0.0, 0.08, i, n);
+      auto p = lean_base(MicrobenchAxis::kMicrocode, i, level);
+      p.microcoded_fraction = level;
+      out.push_back({MicrobenchAxis::kMicrocode, level, p});
+    }
+    {  // Locked-op sweep.
+      const double level = lin_space(0.0, 0.06, i, n);
+      auto p = lean_base(MicrobenchAxis::kLockedOps, i, level);
+      p.locked_fraction = level;
+      out.push_back({MicrobenchAxis::kLockedOps, level, p});
+    }
+    {  // Store sweep: streaming stores up to store-buffer saturation.
+      const double level = lin_space(0.0, 0.40, i, n);
+      auto p = lean_base(MicrobenchAxis::kStorePressure, i, level);
+      p.store_fraction = level;
+      p.data_working_set_bytes = 32ull << 20;
+      p.mem_pattern = MemPattern::kSequential;
+      out.push_back({MicrobenchAxis::kStorePressure, level, p});
+    }
+  }
+
+  // Memory patterns are categorical rather than a numeric sweep: one
+  // microbenchmark per pattern at two working-set sizes.
+  int pattern_index = 0;
+  for (const MemPattern pattern :
+       {MemPattern::kSequential, MemPattern::kStrided, MemPattern::kRandom,
+        MemPattern::kPointerChase}) {
+    for (const std::uint64_t ws : {512ull * 1024, 64ull * 1024 * 1024}) {
+      auto p = lean_base(MicrobenchAxis::kMemoryPattern, pattern_index,
+                         static_cast<double>(pattern_index));
+      p.load_fraction = 0.30;
+      p.mem_pattern = pattern;
+      p.data_working_set_bytes = ws;
+      p.mem_stride_bytes = pattern == MemPattern::kStrided ? 512 : 64;
+      out.push_back({MicrobenchAxis::kMemoryPattern,
+                     static_cast<double>(pattern_index), p});
+      ++pattern_index;
+    }
+  }
+  return out;
+}
+
+}  // namespace spire::workloads

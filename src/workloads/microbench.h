@@ -1,0 +1,50 @@
+// Targeted microbenchmarks for SPIRE training (paper §III-A).
+//
+// The paper notes that training data is ideally gathered from "optimized
+// workloads specifically designed to exercise each metric (e.g.,
+// microbenchmarks)" and falls back to a workload mix. This module builds
+// that ideal: parameter sweeps that stress one microarchitectural axis at
+// a time, pushing each counter family across a wide operational-intensity
+// range with near-maximal throughput at every point — exactly the samples
+// a roofline upper bound wants. The microbenchmark-vs-workload training
+// comparison lives in bench/ablation_microbench_training.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/profile.h"
+
+namespace spire::workloads {
+
+/// Which axis a microbenchmark sweeps.
+enum class MicrobenchAxis {
+  kBranchEntropy,   // predictable -> coin-flip branches (BP.*)
+  kCodeFootprint,   // DSB-resident -> I-cache-thrashing code (FE.*, DB.*)
+  kWorkingSet,      // L1-resident -> DRAM-resident data (M, L1.*, L3)
+  kMemoryPattern,   // streaming / strided / random / pointer chase
+  kDependencyChain, // wide ILP -> serial chain (CS.*, C1.*)
+  kDividerPressure, // none -> divider saturated
+  kVectorWidthMix,  // pure 256b / pure 512b / alternating (VW)
+  kMicrocode,       // none -> MS-heavy (MS.*)
+  kLockedOps,       // none -> lock-heavy (LK)
+  kStorePressure,   // none -> store-buffer-bound
+};
+
+/// Human-readable name of a sweep axis.
+std::string_view microbench_axis_name(MicrobenchAxis axis);
+
+/// One generated microbenchmark: a point on one axis.
+struct Microbench {
+  MicrobenchAxis axis{};
+  double level = 0.0;  // the swept parameter's value (axis-specific units)
+  WorkloadProfile profile;
+};
+
+/// The full microbenchmark suite: every axis swept over `points_per_axis`
+/// levels (log-spaced where the axis is a size). Instruction counts are
+/// kept small — each point is meant to be sampled briefly, like a real
+/// microbenchmark run. Throws std::invalid_argument for points < 2.
+std::vector<Microbench> microbenchmark_suite(int points_per_axis = 6);
+
+}  // namespace spire::workloads

@@ -1,0 +1,65 @@
+// Parameterized synthetic workload profiles.
+//
+// The paper's evaluation runs 27 Phoronix HPC workloads on real hardware.
+// Here each workload is a behaviour profile: an instruction mix, a code
+// footprint (front-end pressure), a data working set and access pattern
+// (memory pressure), branch entropy (speculation pressure), and dependency
+// structure (core pressure). The knobs are chosen per workload so that the
+// simulated core exhibits the same TMA bottleneck class the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spire::workloads {
+
+/// Data access pattern of a profile's loads/stores.
+enum class MemPattern : std::uint8_t {
+  kSequential,   // streaming: unit-ish stride through the working set
+  kStrided,      // fixed large stride (cache-line skipping)
+  kRandom,       // uniform random within the working set
+  kPointerChase, // each load's address depends on the previous load
+};
+
+/// Behaviour knobs for one synthetic workload. Fractions are of macro-ops
+/// and should sum to <= 1; the remainder becomes scalar ALU work.
+struct WorkloadProfile {
+  std::string name;
+  std::string config;
+
+  // Instruction mix.
+  double load_fraction = 0.2;
+  double store_fraction = 0.08;
+  double branch_fraction = 0.12;
+  double fp_fraction = 0.0;
+  double vec256_fraction = 0.0;
+  double vec512_fraction = 0.0;
+  double mul_fraction = 0.02;
+  double div_fraction = 0.0;
+  double microcoded_fraction = 0.0;
+  double locked_fraction = 0.0;
+  double nop_fraction = 0.0;
+
+  // Branch behaviour: fraction of branch sites whose outcome is a coin
+  // flip (data-dependent); the rest are 90% biased and easily predicted.
+  double branch_entropy = 0.05;
+
+  // Front-end pressure: bytes of hot code looped over (4 B/instruction).
+  std::uint64_t code_footprint_bytes = 4096;
+
+  // Memory behaviour.
+  std::uint64_t data_working_set_bytes = 16 * 1024;
+  MemPattern mem_pattern = MemPattern::kSequential;
+  std::uint32_t mem_stride_bytes = 64;
+
+  // Dependency structure: dep_fraction of non-load ops depend on the op
+  // dep_chain macro-ops earlier (1 = serial chain).
+  double dep_fraction = 0.2;
+  int dep_chain = 4;
+
+  // Stream length.
+  std::uint64_t instruction_count = 2'000'000;
+  std::uint64_t seed = 1;
+};
+
+}  // namespace spire::workloads

@@ -1,0 +1,373 @@
+#include "workloads/suite.h"
+
+#include <stdexcept>
+
+namespace spire::workloads {
+
+using counters::TmaArea;
+
+namespace {
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * 1024;
+
+// Builder helpers keep the table below readable.
+WorkloadProfile base(std::string name, std::string config, std::uint64_t seed) {
+  WorkloadProfile p;
+  p.name = std::move(name);
+  p.config = std::move(config);
+  p.seed = seed;
+  p.instruction_count = 1'500'000;
+  return p;
+}
+
+std::vector<SuiteEntry> build_suite() {
+  std::vector<SuiteEntry> suite;
+
+  // ----- Training workloads (paper Table I, top) ------------------------
+
+  {  // Streaming-entropy scoring over windows: branchy, data dependent.
+    auto p = base("numenta-nab", "Relative Entropy", 11);
+    p.code_footprint_bytes = 128 * kKiB;
+    p.branch_fraction = 0.24;
+    p.branch_entropy = 0.65;
+    p.load_fraction = 0.18;
+    p.data_working_set_bytes = 512 * kKiB;
+    p.mem_pattern = MemPattern::kRandom;
+    suite.push_back({p, TmaArea::kBadSpeculation, false});
+  }
+  {  // 3-D stencil sweep: streaming loads/stores over a huge grid.
+    auto p = base("parboil", "Stencil", 12);
+    p.code_footprint_bytes = 8 * kKiB;
+    p.load_fraction = 0.34;
+    p.store_fraction = 0.12;
+    p.vec256_fraction = 0.10;
+    p.data_working_set_bytes = 96 * kMiB;
+    p.mem_pattern = MemPattern::kSequential;
+    p.mem_stride_bytes = 64;
+    suite.push_back({p, TmaArea::kMemory, false});
+  }
+  {  // Quantum Monte Carlo: FP-dense with divides and long chains.
+    auto p = base("qmcpack", "O_ae_pyscf_UHF", 13);
+    p.code_footprint_bytes = 24 * kKiB;
+    p.microcoded_fraction = 0.008;
+    p.fp_fraction = 0.34;
+    p.vec256_fraction = 0.10;
+    p.div_fraction = 0.030;
+    p.dep_fraction = 0.75;
+    p.dep_chain = 1;
+    p.load_fraction = 0.10;
+    p.data_working_set_bytes = 24 * kKiB;
+    suite.push_back({p, TmaArea::kCore, false});
+  }
+  {  // Dense inner-product layers: wide SIMD, cache blocked.
+    auto p = base("onednn", "IP Shapes 3D", 14);
+    p.code_footprint_bytes = 12 * kKiB;
+    p.vec512_fraction = 0.40;
+    p.load_fraction = 0.22;
+    p.data_working_set_bytes = 640 * kKiB;
+    p.mem_pattern = MemPattern::kSequential;
+    p.dep_fraction = 0.10;
+    suite.push_back({p, TmaArea::kRetiring, false});
+  }
+  {  // Remap pass: gathers across a large mesh.
+    auto p = base("remhos", "Sample Remap", 15);
+    p.code_footprint_bytes = 48 * kKiB;
+    p.load_fraction = 0.30;
+    p.store_fraction = 0.10;
+    p.data_working_set_bytes = 48 * kMiB;
+    p.mem_pattern = MemPattern::kStrided;
+    p.mem_stride_bytes = 384;
+    suite.push_back({p, TmaArea::kMemory, false});
+  }
+  {  // LLM token generation: streaming weight reads, SIMD dot products.
+    auto p = base("llamafile", "wizardcoder-python", 16);
+    p.code_footprint_bytes = 40 * kKiB;
+    p.load_fraction = 0.36;
+    p.vec256_fraction = 0.22;
+    p.data_working_set_bytes = 128 * kMiB;
+    p.mem_pattern = MemPattern::kSequential;
+    p.mem_stride_bytes = 64;
+    suite.push_back({p, TmaArea::kMemory, false});
+  }
+  {  // SGD one-class SVM: branchy sparse updates.
+    auto p = base("scikit-learn", "SGDOneClassSVM", 17);
+    p.code_footprint_bytes = 20 * kKiB;
+    p.branch_fraction = 0.20;
+    p.branch_entropy = 0.45;
+    p.load_fraction = 0.22;
+    p.fp_fraction = 0.12;
+    p.data_working_set_bytes = 4 * kMiB;
+    p.mem_pattern = MemPattern::kRandom;
+    suite.push_back({p, TmaArea::kBadSpeculation, false});
+  }
+  {  // Distributed FFT: strided butterflies, moderate working set.
+    auto p = base("heffte", "r2c, FFTW, F64, 256", 18);
+    p.code_footprint_bytes = 20 * kKiB;
+    p.vec256_fraction = 0.25;
+    p.load_fraction = 0.26;
+    p.store_fraction = 0.12;
+    p.data_working_set_bytes = 24 * kMiB;
+    p.mem_pattern = MemPattern::kStrided;
+    p.mem_stride_bytes = 1024;
+    suite.push_back({p, TmaArea::kMemory, false});
+  }
+  {  // Multiple sequence alignment: data-dependent comparisons.
+    auto p = base("mafft", "", 19);
+    p.code_footprint_bytes = 24 * kKiB;
+    p.branch_fraction = 0.26;
+    p.branch_entropy = 0.55;
+    p.load_fraction = 0.20;
+    p.data_working_set_bytes = 1 * kMiB;
+    suite.push_back({p, TmaArea::kBadSpeculation, false});
+  }
+  {  // Polynomial feature expansion: streaming writes dominate.
+    auto p = base("scikit-learn", "Feature Expansions", 20);
+    p.code_footprint_bytes = 16 * kKiB;
+    p.load_fraction = 0.26;
+    p.store_fraction = 0.22;
+    p.data_working_set_bytes = 64 * kMiB;
+    p.mem_pattern = MemPattern::kSequential;
+    suite.push_back({p, TmaArea::kMemory, false});
+  }
+  {  // Molecular dynamics: FP neighbor loops, decent locality.
+    auto p = base("lammps", "Model: 20k Atoms", 21);
+    p.branch_fraction = 0.05;
+    p.branch_entropy = 0.0;
+    p.div_fraction = 0.022;
+    p.code_footprint_bytes = 12 * kKiB;
+    p.locked_fraction = 0.004;
+    p.fp_fraction = 0.32;
+    p.vec256_fraction = 0.08;
+    p.load_fraction = 0.04;
+    p.dep_fraction = 0.94;
+    p.dep_chain = 1;
+    p.data_working_set_bytes = 28 * kKiB;
+    p.mem_pattern = MemPattern::kStrided;
+    p.mem_stride_bytes = 192;
+    suite.push_back({p, TmaArea::kCore, false});
+  }
+  {  // NAS BT pseudo-app: FP block solves, chained.
+    auto p = base("npb", "BT.C", 22);
+    p.branch_fraction = 0.05;
+    p.branch_entropy = 0.0;
+    p.div_fraction = 0.010;
+    p.code_footprint_bytes = 8 * kKiB;
+    p.microcoded_fraction = 0.004;
+    p.fp_fraction = 0.38;
+    p.dep_fraction = 0.94;
+    p.dep_chain = 1;
+    p.load_fraction = 0.08;
+    p.data_working_set_bytes = 20 * kKiB;
+    p.mem_pattern = MemPattern::kSequential;
+    suite.push_back({p, TmaArea::kCore, false});
+  }
+  {  // BFS on a scale-29 graph: the canonical pointer chase.
+    auto p = base("graph500", "Scale: 29", 23);
+    p.code_footprint_bytes = 10 * kKiB;
+    p.locked_fraction = 0.010;
+    p.load_fraction = 0.32;
+    p.branch_fraction = 0.14;
+    p.branch_entropy = 0.30;
+    p.data_working_set_bytes = 256 * kMiB;
+    p.mem_pattern = MemPattern::kPointerChase;
+    suite.push_back({p, TmaArea::kMemory, false});
+  }
+  {  // Vector search, flat index: streaming SIMD distance scans.
+    auto p = base("faiss", "demo_sift1M", 24);
+    p.code_footprint_bytes = 56 * kKiB;
+    p.load_fraction = 0.34;
+    p.vec256_fraction = 0.24;
+    p.data_working_set_bytes = 160 * kMiB;
+    p.mem_pattern = MemPattern::kSequential;
+    suite.push_back({p, TmaArea::kMemory, false});
+  }
+  {  // Polysemous codes: table lookups plus branchy filtering.
+    auto p = base("faiss", "polysemous_sift1m", 25);
+    p.code_footprint_bytes = 80 * kKiB;
+    p.load_fraction = 0.30;
+    p.branch_fraction = 0.16;
+    p.branch_entropy = 0.35;
+    p.data_working_set_bytes = 96 * kMiB;
+    p.mem_pattern = MemPattern::kRandom;
+    suite.push_back({p, TmaArea::kMemory, false});
+  }
+  {  // MRI gridding: FP gather-scatter with chains.
+    auto p = base("parboil", "MRI Gridding", 26);
+    p.branch_fraction = 0.05;
+    p.branch_entropy = 0.0;
+    p.code_footprint_bytes = 14 * kKiB;
+    p.div_fraction = 0.030;
+    p.fp_fraction = 0.30;
+    p.load_fraction = 0.12;
+    p.store_fraction = 0.06;
+    p.dep_fraction = 0.90;
+    p.dep_chain = 1;
+    p.data_working_set_bytes = 24 * kKiB;
+    p.mem_pattern = MemPattern::kRandom;
+    suite.push_back({p, TmaArea::kCore, false});
+  }
+  {  // Vision model inference: dense 512-bit SIMD, tight loops.
+    auto p = base("openvino", "Age Gen. Recog. F16", 27);
+    p.code_footprint_bytes = 6 * kKiB;
+    p.vec512_fraction = 0.44;
+    p.load_fraction = 0.20;
+    p.data_working_set_bytes = 768 * kKiB;
+    p.dep_fraction = 0.08;
+    suite.push_back({p, TmaArea::kRetiring, false});
+  }
+  {  // Quantized mobile CNN: dense int ALU, very predictable.
+    auto p = base("tensorflow-lite", "Mobilenet Quant", 28);
+    p.code_footprint_bytes = 3 * kKiB;
+    p.load_fraction = 0.18;
+    p.mul_fraction = 0.10;
+    p.data_working_set_bytes = 256 * kKiB;
+    p.dep_fraction = 0.05;
+    suite.push_back({p, TmaArea::kRetiring, false});
+  }
+  {  // Mixed-precision detector: 256/512-bit width transitions.
+    auto p = base("openvino", "Face Detect. F16-I8", 29);
+    p.branch_fraction = 0.05;
+    p.branch_entropy = 0.0;
+    p.code_footprint_bytes = 10 * kKiB;
+    p.vec512_fraction = 0.24;
+    p.vec256_fraction = 0.24;
+    p.load_fraction = 0.10;
+    p.data_working_set_bytes = 24 * kKiB;
+    p.dep_fraction = 0.88;
+    p.dep_chain = 1;
+    suite.push_back({p, TmaArea::kCore, false});
+  }
+  {  // Dense BLAS: wide SIMD, L2-blocked.
+    auto p = base("arrayfire", "BLAS CPU", 30);
+    p.code_footprint_bytes = 5 * kKiB;
+    p.vec512_fraction = 0.38;
+    p.load_fraction = 0.24;
+    p.data_working_set_bytes = 896 * kKiB;
+    p.dep_fraction = 0.06;
+    suite.push_back({p, TmaArea::kRetiring, false});
+  }
+  {  // Random projections: dense streaming multiply-accumulate.
+    auto p = base("scikit-learn", "Random Projections", 31);
+    p.code_footprint_bytes = 9 * kKiB;
+    p.load_fraction = 0.30;
+    p.mul_fraction = 0.10;
+    p.data_working_set_bytes = 80 * kMiB;
+    p.mem_pattern = MemPattern::kSequential;
+    suite.push_back({p, TmaArea::kMemory, false});
+  }
+  {  // Unstructured CFD: indirect addressing over a big mesh.
+    auto p = base("rodinia", "CFD Solver", 32);
+    p.code_footprint_bytes = 72 * kKiB;
+    p.locked_fraction = 0.002;
+    p.fp_fraction = 0.18;
+    p.load_fraction = 0.30;
+    p.data_working_set_bytes = 40 * kMiB;
+    p.mem_pattern = MemPattern::kRandom;
+    suite.push_back({p, TmaArea::kMemory, false});
+  }
+  {  // In-cache FFT: strided but small; core-latency bound.
+    auto p = base("fftw", "Stock, 1D FFT, 4096", 33);
+    p.div_fraction = 0.025;
+    p.code_footprint_bytes = 7 * kKiB;
+    p.microcoded_fraction = 0.006;
+    p.vec256_fraction = 0.30;
+    p.branch_fraction = 0.06;
+    p.branch_entropy = 0.01;
+    p.load_fraction = 0.14;
+    p.store_fraction = 0.06;
+    p.dep_fraction = 0.90;
+    p.dep_chain = 1;
+    p.data_working_set_bytes = 28 * kKiB;
+    p.mem_pattern = MemPattern::kStrided;
+    p.mem_stride_bytes = 512;
+    suite.push_back({p, TmaArea::kCore, false});
+  }
+
+  // ----- Testing workloads (paper Table I, bottom) -----------------------
+
+  {  // TNN SqueezeNet: the front-end-bound test case. A large generated
+     // code footprint defeats the DSB and L1I, forcing legacy decode
+     // (paper: 51% front-end bound, DSB supplied only 5.4% of uops).
+    auto p = base("tnn", "SqueezeNet v1.1", 41);
+    p.code_footprint_bytes = 320 * kKiB;
+    p.load_fraction = 0.18;
+    p.vec256_fraction = 0.10;
+    p.branch_fraction = 0.10;
+    p.branch_entropy = 0.04;
+    p.data_working_set_bytes = 512 * kKiB;
+    p.dep_fraction = 0.10;
+    suite.push_back({p, TmaArea::kFrontEnd, true});
+  }
+  {  // Scikit sparsify: the bad-speculation test case. Value-dependent
+     // sparsity tests flip coins (paper: 35% bad speculation).
+    auto p = base("scikit-learn", "Sparsify", 42);
+    p.branch_fraction = 0.28;
+    p.branch_entropy = 0.85;
+    p.load_fraction = 0.20;
+    p.data_working_set_bytes = 2 * kMiB;
+    p.dep_fraction = 0.15;
+    suite.push_back({p, TmaArea::kBadSpeculation, true});
+  }
+  {  // ONNX T5 encoder: the memory-bound test case. Attention and MLP
+     // weights stream from DRAM; mixes 256/512-bit SIMD (paper: 82%
+     // memory bound, VW metric surfaced).
+    auto p = base("onnx", "T5 Encoder, Std.", 43);
+    p.load_fraction = 0.38;
+    p.vec512_fraction = 0.10;
+    p.vec256_fraction = 0.10;
+    p.data_working_set_bytes = 192 * kMiB;
+    p.mem_pattern = MemPattern::kSequential;
+    p.mem_stride_bytes = 64;
+    suite.push_back({p, TmaArea::kMemory, true});
+  }
+  {  // Parboil CUTCP: the core-bound test case. Long FP dependency
+     // chains, divides, microcoded ops and locked accumulator updates
+     // (paper: 40% core bound; MS and lock metrics surfaced).
+    auto p = base("parboil", "CUTCP", 44);
+    p.fp_fraction = 0.30;
+    p.div_fraction = 0.045;
+    p.dep_fraction = 0.60;
+    p.dep_chain = 1;
+    p.microcoded_fraction = 0.015;
+    p.locked_fraction = 0.012;
+    p.load_fraction = 0.14;
+    p.data_working_set_bytes = 48 * kKiB;
+    suite.push_back({p, TmaArea::kCore, true});
+  }
+
+  return suite;
+}
+
+}  // namespace
+
+const std::vector<SuiteEntry>& hpc_suite() {
+  static const auto* suite = new std::vector<SuiteEntry>(build_suite());
+  return *suite;
+}
+
+std::vector<SuiteEntry> training_workloads() {
+  std::vector<SuiteEntry> out;
+  for (const auto& e : hpc_suite()) {
+    if (!e.testing) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<SuiteEntry> testing_workloads() {
+  std::vector<SuiteEntry> out;
+  for (const auto& e : hpc_suite()) {
+    if (e.testing) out.push_back(e);
+  }
+  return out;
+}
+
+const SuiteEntry& find_workload(const std::string& name,
+                                const std::string& config) {
+  for (const auto& e : hpc_suite()) {
+    if (e.profile.name == name && e.profile.config == config) return e;
+  }
+  throw std::out_of_range("workload not found: " + name + " / " + config);
+}
+
+}  // namespace spire::workloads

@@ -1,0 +1,32 @@
+// The evaluation workload suite: synthetic analogues of the paper's
+// Table I (23 training + 4 testing Phoronix HPC workloads), each tuned to
+// exhibit a particular top-level TMA bottleneck on the simulated core.
+#pragma once
+
+#include <vector>
+
+#include "counters/events.h"
+#include "workloads/profile.h"
+
+namespace spire::workloads {
+
+/// One suite member: a profile plus the paper's labels.
+struct SuiteEntry {
+  WorkloadProfile profile;
+  counters::TmaArea expected_bottleneck;  // Table I color coding
+  bool testing = false;                   // bottom section of Table I
+};
+
+/// All 27 workloads (training first, then the 4 testing workloads, in the
+/// paper's order).
+const std::vector<SuiteEntry>& hpc_suite();
+
+/// Just the training / testing subsets.
+std::vector<SuiteEntry> training_workloads();
+std::vector<SuiteEntry> testing_workloads();
+
+/// Finds a suite entry by name + config; throws std::out_of_range.
+const SuiteEntry& find_workload(const std::string& name,
+                                const std::string& config);
+
+}  // namespace spire::workloads

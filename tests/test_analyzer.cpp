@@ -1,0 +1,106 @@
+#include "spire/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spire::model {
+namespace {
+
+using counters::Event;
+using counters::TmaArea;
+using sampling::Dataset;
+using sampling::Sample;
+
+Sample sample_at(double intensity, double throughput, double t = 1.0) {
+  if (std::isinf(intensity)) return {t, throughput * t, 0.0};
+  return {t, throughput * t, throughput * t / intensity};
+}
+
+Dataset training() {
+  Dataset d;
+  // Three metrics with distinct shapes so rankings are deterministic.
+  for (const auto& [i, p] : std::vector<std::pair<double, double>>{
+           {1.0, 1.0}, {2.0, 2.0}, {4.0, 3.5}, {8.0, 3.9}, {16.0, 4.0},
+           {32.0, 4.0}, {3.0, 3.0}, {6.0, 3.7}, {12.0, 3.95}, {24.0, 4.0}}) {
+    d.add(Event::kBrMispRetiredAllBranches, sample_at(i, p));    // bad spec
+    d.add(Event::kLongestLatCacheMiss, sample_at(i * 10.0, p));  // memory
+    d.add(Event::kCycleActivityStallsTotal, sample_at(i * 0.5, p));  // core
+  }
+  return d;
+}
+
+TEST(Analyzer, MeasuredThroughputIsTimeWeighted) {
+  Dataset workload;
+  workload.add(Event::kBrMispRetiredAllBranches, {100.0, 100.0, 1.0});  // P=1
+  workload.add(Event::kBrMispRetiredAllBranches, {300.0, 900.0, 1.0});  // P=3
+  EXPECT_DOUBLE_EQ(measured_throughput(workload), 1000.0 / 400.0);
+  EXPECT_THROW(measured_throughput(Dataset{}), std::invalid_argument);
+}
+
+TEST(Analyzer, MeasuredThroughputUsesLargestSeries) {
+  Dataset workload;
+  workload.add(Event::kLsdUops, {1.0, 100.0, 1.0});  // only a partial window
+  workload.add(Event::kBrMispRetiredAllBranches, {10.0, 10.0, 1.0});
+  workload.add(Event::kBrMispRetiredAllBranches, {10.0, 10.0, 1.0});
+  EXPECT_DOUBLE_EQ(measured_throughput(workload), 1.0);
+}
+
+TEST(Analyzer, RankingCarriesCatalogMetadata) {
+  const auto ens = Ensemble::train(training());
+  Analyzer analyzer(ens);
+  Dataset workload;
+  // Low misprediction intensity (many mispredicts) drags that metric down.
+  workload.add(Event::kBrMispRetiredAllBranches, sample_at(1.0, 0.9));
+  workload.add(Event::kLongestLatCacheMiss, sample_at(320.0, 0.9));
+  workload.add(Event::kCycleActivityStallsTotal, sample_at(16.0, 0.9));
+  const auto analysis = analyzer.analyze(workload);
+  ASSERT_EQ(analysis.ranking.size(), 3u);
+  EXPECT_EQ(analysis.ranking.front().metric, Event::kBrMispRetiredAllBranches);
+  EXPECT_EQ(analysis.ranking.front().area, TmaArea::kBadSpeculation);
+  EXPECT_EQ(analysis.ranking.front().abbrev, "BP.1");
+  EXPECT_DOUBLE_EQ(analysis.measured_throughput, 0.9);
+  EXPECT_DOUBLE_EQ(analysis.estimated_throughput,
+                   analysis.ranking.front().p_bar);
+}
+
+TEST(Analyzer, BottleneckPoolRespectsTolerance) {
+  Analyzer::Analysis analysis;
+  analysis.ranking = {
+      {Event::kBrMispRetiredAllBranches, 1.0, TmaArea::kBadSpeculation, "", ""},
+      {Event::kLongestLatCacheMiss, 1.2, TmaArea::kMemory, "", ""},
+      {Event::kCycleActivityStallsTotal, 2.0, TmaArea::kCore, "", ""},
+  };
+  const auto pool = Analyzer::bottleneck_pool(analysis, 0.25);
+  ASSERT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool[1].metric, Event::kLongestLatCacheMiss);
+  EXPECT_EQ(Analyzer::bottleneck_pool(analysis, 0.0).size(), 1u);
+  EXPECT_EQ(Analyzer::bottleneck_pool(analysis, 5.0).size(), 3u);
+  EXPECT_TRUE(Analyzer::bottleneck_pool(Analyzer::Analysis{}).empty());
+}
+
+TEST(Analyzer, DominantAreaWeightsTopRanks) {
+  Analyzer::Analysis analysis;
+  // One memory metric at rank 1 outweighs two core metrics at ranks 3-4.
+  analysis.ranking = {
+      {Event::kLongestLatCacheMiss, 1.0, TmaArea::kMemory, "", ""},
+      {Event::kInstRetiredAny, 1.1, TmaArea::kRetiring, "", ""},
+      {Event::kCycleActivityStallsTotal, 1.2, TmaArea::kCore, "", ""},
+      {Event::kResourceStallsAny, 1.3, TmaArea::kCore, "", ""},
+  };
+  EXPECT_EQ(Analyzer::dominant_area(analysis), TmaArea::kMemory);
+  // 1/3 + 1/4 < 1: still memory even with k limited.
+  EXPECT_EQ(Analyzer::dominant_area(analysis, 1), TmaArea::kMemory);
+}
+
+TEST(Analyzer, DominantAreaIgnoresRetiringMetrics) {
+  Analyzer::Analysis analysis;
+  analysis.ranking = {
+      {Event::kUopsRetiredRetireSlots, 1.0, TmaArea::kRetiring, "", ""},
+      {Event::kBrMispRetiredAllBranches, 1.5, TmaArea::kBadSpeculation, "", ""},
+  };
+  EXPECT_EQ(Analyzer::dominant_area(analysis), TmaArea::kBadSpeculation);
+}
+
+}  // namespace
+}  // namespace spire::model

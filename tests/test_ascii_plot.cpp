@@ -1,0 +1,75 @@
+#include "util/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+namespace spire::util {
+namespace {
+
+TEST(AsciiPlot, EmptySeriesRendersPlaceholder) {
+  EXPECT_EQ(render_plot({}, {}), "(empty plot)\n");
+  Series s{.name = "empty", .xs = {}, .ys = {}};
+  EXPECT_EQ(render_plot({s}, {}), "(empty plot)\n");
+}
+
+TEST(AsciiPlot, MarksPoints) {
+  Series s{.name = "pts", .xs = {0.0, 1.0}, .ys = {0.0, 1.0}, .marker = '#'};
+  PlotOptions opts;
+  opts.width = 20;
+  opts.height = 8;
+  const std::string out = render_plot({s}, opts);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("'#' pts"), std::string::npos);
+}
+
+TEST(AsciiPlot, TitleAndLabelsAppear) {
+  Series s{.name = "a", .xs = {1.0, 2.0}, .ys = {1.0, 2.0}};
+  PlotOptions opts;
+  opts.title = "My Plot";
+  opts.x_label = "intensity";
+  opts.y_label = "throughput";
+  const std::string out = render_plot({s}, opts);
+  EXPECT_NE(out.find("My Plot"), std::string::npos);
+  EXPECT_NE(out.find("intensity"), std::string::npos);
+  EXPECT_NE(out.find("throughput"), std::string::npos);
+}
+
+TEST(AsciiPlot, LogScaleSkipsNonPositive) {
+  Series s{.name = "log", .xs = {0.0, 1.0, 10.0}, .ys = {-1.0, 1.0, 100.0}};
+  PlotOptions opts;
+  opts.x_scale = Scale::kLog10;
+  opts.y_scale = Scale::kLog10;
+  const std::string out = render_plot({s}, opts);
+  EXPECT_NE(out.find('*'), std::string::npos);  // surviving points plotted
+}
+
+TEST(AsciiPlot, ConnectedSeriesDrawsLine) {
+  Series line{.name = "line",
+              .xs = {0.0, 10.0},
+              .ys = {0.0, 10.0},
+              .marker = '.',
+              .connect = true};
+  PlotOptions opts;
+  opts.width = 30;
+  opts.height = 15;
+  const std::string out = render_plot({line}, opts);
+  // Interpolation should produce far more marks than the 2 endpoints.
+  const auto count = std::count(out.begin(), out.end(), '.');
+  EXPECT_GT(count, 10);
+}
+
+TEST(AsciiPlot, DegenerateSinglePoint) {
+  Series s{.name = "one", .xs = {5.0}, .ys = {5.0}};
+  const std::string out = render_plot({s}, {});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, NonFinitePointsSkipped) {
+  Series s{.name = "bad",
+           .xs = {1.0, std::numeric_limits<double>::quiet_NaN(), 2.0},
+           .ys = {1.0, 1.0, std::numeric_limits<double>::infinity()}};
+  const std::string out = render_plot({s}, {});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spire::util

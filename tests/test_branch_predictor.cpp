@@ -1,0 +1,106 @@
+#include "sim/branch_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace spire::sim {
+namespace {
+
+CoreConfig config() { return CoreConfig{}; }
+
+TEST(BranchPredictor, LearnsAlwaysTaken) {
+  BranchPredictor bp(config());
+  const std::uint64_t pc = 0x400100;
+  int wrong = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (!bp.predict_taken(pc)) ++wrong;
+    bp.update(pc, true, 0x400000);
+  }
+  EXPECT_LT(wrong, 5);  // warms up almost immediately
+}
+
+TEST(BranchPredictor, LearnsAlwaysNotTaken) {
+  BranchPredictor bp(config());
+  const std::uint64_t pc = 0x400104;
+  int wrong = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (bp.predict_taken(pc)) ++wrong;
+    bp.update(pc, false, 0);
+  }
+  EXPECT_LT(wrong, 5);
+}
+
+TEST(BranchPredictor, LearnsAlternatingViaHistory) {
+  // A strict T/N/T/N pattern is perfectly predictable with global history.
+  BranchPredictor bp(config());
+  const std::uint64_t pc = 0x400200;
+  int wrong = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const bool actual = (i % 2) == 0;
+    if (bp.predict_taken(pc) != actual) ++wrong;
+    bp.update(pc, actual, 0x400000);
+  }
+  // Allow generous warm-up; steady state should be near-perfect.
+  EXPECT_LT(wrong, 200);
+}
+
+TEST(BranchPredictor, RandomBranchesNearCoinFlip) {
+  BranchPredictor bp(config());
+  util::Rng rng(3);
+  const std::uint64_t pc = 0x400300;
+  int wrong = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    const bool actual = rng.chance(0.5);
+    if (bp.predict_taken(pc) != actual) ++wrong;
+    bp.update(pc, actual, 0x400000);
+  }
+  const double rate = static_cast<double>(wrong) / kTrials;
+  EXPECT_GT(rate, 0.35);
+  EXPECT_LT(rate, 0.65);
+}
+
+TEST(BranchPredictor, BiasedBranchesMostlyRight) {
+  BranchPredictor bp(config());
+  util::Rng rng(4);
+  const std::uint64_t pc = 0x400400;
+  int wrong = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    const bool actual = rng.chance(0.97);
+    if (bp.predict_taken(pc) != actual) ++wrong;
+    bp.update(pc, actual, 0x400000);
+  }
+  EXPECT_LT(static_cast<double>(wrong) / kTrials, 0.12);
+}
+
+TEST(BranchPredictor, BtbRemembersTargets) {
+  BranchPredictor bp(config());
+  EXPECT_FALSE(bp.has_target(0x400500, 0x400000));
+  bp.update(0x400500, true, 0x400000);
+  EXPECT_TRUE(bp.has_target(0x400500, 0x400000));
+  EXPECT_FALSE(bp.has_target(0x400500, 0x999999));  // different target
+}
+
+TEST(BranchPredictor, NotTakenDoesNotAllocateBtb) {
+  BranchPredictor bp(config());
+  bp.update(0x400600, false, 0x400000);
+  EXPECT_FALSE(bp.has_target(0x400600, 0x400000));
+}
+
+TEST(BranchPredictor, BtbEvictsUnderConflict) {
+  CoreConfig cfg;
+  cfg.btb_sets = 1;
+  cfg.btb_ways = 2;
+  BranchPredictor bp(cfg);
+  bp.update(0x100, true, 0x1);
+  bp.update(0x200, true, 0x2);
+  bp.update(0x300, true, 0x3);  // evicts the LRU (0x100)
+  EXPECT_FALSE(bp.has_target(0x100, 0x1));
+  EXPECT_TRUE(bp.has_target(0x200, 0x2));
+  EXPECT_TRUE(bp.has_target(0x300, 0x3));
+}
+
+}  // namespace
+}  // namespace spire::sim

@@ -1,0 +1,86 @@
+#include "sim/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace spire::sim {
+namespace {
+
+TEST(Cache, GeometryValidation) {
+  EXPECT_THROW(Cache({0, 8, 64}), std::invalid_argument);
+  EXPECT_THROW(Cache({64, 0, 64}), std::invalid_argument);
+  EXPECT_THROW(Cache({64, 8, 0}), std::invalid_argument);
+  EXPECT_THROW(Cache({64, 8, 48}), std::invalid_argument);  // not a power of 2
+}
+
+TEST(Cache, MissThenHit) {
+  Cache c({4, 2, 64});
+  EXPECT_FALSE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1004));  // same line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, DistinctLinesMiss) {
+  Cache c({4, 2, 64});
+  EXPECT_FALSE(c.access(0x1000));
+  EXPECT_FALSE(c.access(0x1040));  // next line
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  // 1 set, 2 ways: three conflicting lines exercise LRU.
+  Cache c({1, 2, 64});
+  c.access(0x000);  // A
+  c.access(0x040);  // B
+  c.access(0x000);  // A touched: B becomes LRU
+  c.access(0x080);  // C evicts B
+  EXPECT_TRUE(c.lookup(0x000));   // A survives
+  EXPECT_FALSE(c.lookup(0x040));  // B evicted
+  EXPECT_TRUE(c.lookup(0x080));   // C present
+  EXPECT_EQ(c.replacements(), 1u);
+}
+
+TEST(Cache, FillReportsEviction) {
+  Cache c({1, 1, 64});
+  EXPECT_FALSE(c.fill(0x000));  // cold fill: nothing evicted
+  EXPECT_TRUE(c.fill(0x040));   // evicts the only line
+  EXPECT_FALSE(c.fill(0x040));  // already present
+}
+
+TEST(Cache, SetIndexingSeparatesLines) {
+  // Lines that map to different sets never conflict.
+  Cache c({4, 1, 64});
+  c.access(0x000);  // set 0
+  c.access(0x040);  // set 1
+  c.access(0x080);  // set 2
+  c.access(0x0c0);  // set 3
+  EXPECT_TRUE(c.lookup(0x000));
+  EXPECT_TRUE(c.lookup(0x0c0));
+}
+
+TEST(Cache, FlushInvalidatesEverything) {
+  Cache c({4, 2, 64});
+  c.access(0x1000);
+  c.flush();
+  EXPECT_FALSE(c.lookup(0x1000));
+}
+
+TEST(Cache, LargePageGranularityForTlbUse) {
+  Cache tlb({16, 4, 4096});
+  EXPECT_FALSE(tlb.access(0x12345));
+  EXPECT_TRUE(tlb.access(0x12FFF));  // same 4 KiB page
+  EXPECT_FALSE(tlb.access(0x13001)); // next page
+}
+
+TEST(Cache, CapacityHoldsWorkingSet) {
+  // 64 sets x 8 ways x 64 B = 32 KiB: a 32 KiB loop must fully hit after
+  // the first pass.
+  Cache c({64, 8, 64});
+  for (std::uint64_t a = 0; a < 32 * 1024; a += 64) c.access(a);
+  for (std::uint64_t a = 0; a < 32 * 1024; a += 64) {
+    EXPECT_TRUE(c.lookup(a)) << a;
+  }
+}
+
+}  // namespace
+}  // namespace spire::sim

@@ -1,0 +1,138 @@
+// Configuration-space tests: the core must behave sensibly under
+// non-default machine parameters, since DESIGN.md positions the simulator
+// as a substrate for modeling different processors (the paper's whole
+// pitch is architecture independence).
+#include <gtest/gtest.h>
+
+#include "sim/core.h"
+#include "workloads/profile_stream.h"
+
+namespace spire::sim {
+namespace {
+
+using counters::Event;
+
+workloads::WorkloadProfile dense_alu() {
+  workloads::WorkloadProfile p;
+  p.instruction_count = 150'000;
+  p.load_fraction = 0.05;
+  p.branch_fraction = 0.02;
+  p.dep_fraction = 0.0;
+  p.seed = 5;
+  return p;
+}
+
+double run_ipc(const CoreConfig& cfg, workloads::WorkloadProfile profile) {
+  workloads::ProfileStream stream(profile);
+  Core core(cfg, stream, 7);
+  core.run(60'000'000);
+  EXPECT_TRUE(core.done());
+  return static_cast<double>(core.instructions_retired()) /
+         static_cast<double>(core.cycle());
+}
+
+TEST(Config, NarrowerAllocationCapsIpc) {
+  CoreConfig narrow;
+  narrow.allocate_width = 2;
+  narrow.retire_width = 2;
+  const double ipc = run_ipc(narrow, dense_alu());
+  EXPECT_LT(ipc, 2.01);
+  EXPECT_GT(ipc, 1.2);  // still close to its own width
+}
+
+TEST(Config, WiderMachineBeatsNarrower) {
+  CoreConfig narrow;
+  narrow.allocate_width = 2;
+  narrow.retire_width = 2;
+  const double narrow_ipc = run_ipc(narrow, dense_alu());
+  const double default_ipc = run_ipc(CoreConfig{}, dense_alu());
+  EXPECT_GT(default_ipc, narrow_ipc * 1.4);
+}
+
+TEST(Config, SlowerDramHurtsMemoryBoundWorkloads) {
+  auto memory_bound = dense_alu();
+  memory_bound.load_fraction = 0.3;
+  memory_bound.data_working_set_bytes = 64ull << 20;
+  memory_bound.mem_pattern = workloads::MemPattern::kPointerChase;
+  memory_bound.instruction_count = 40'000;
+
+  CoreConfig slow;
+  slow.lat_dram = 400;
+  const double slow_ipc = run_ipc(slow, memory_bound);
+  const double fast_ipc = run_ipc(CoreConfig{}, memory_bound);
+  EXPECT_GT(fast_ipc, slow_ipc * 1.3);
+}
+
+TEST(Config, BiggerL1CoversLargerWorkingSet) {
+  auto cached = dense_alu();
+  cached.load_fraction = 0.3;
+  cached.data_working_set_bytes = 128 * 1024;  // 4x default L1D
+  cached.mem_pattern = workloads::MemPattern::kRandom;
+
+  CoreConfig big_l1;
+  big_l1.l1d = {256, 8, 64};  // 128 KiB
+  workloads::ProfileStream s1(cached);
+  Core small(CoreConfig{}, s1, 7);
+  small.run(60'000'000);
+  workloads::ProfileStream s2(cached);
+  Core big(big_l1, s2, 7);
+  big.run(60'000'000);
+  EXPECT_LT(big.counters().get(Event::kMemLoadRetiredL1Miss),
+            small.counters().get(Event::kMemLoadRetiredL1Miss) / 2);
+}
+
+TEST(Config, LongerRecoveryHurtsBranchyCode) {
+  auto branchy = dense_alu();
+  branchy.branch_fraction = 0.25;
+  branchy.branch_entropy = 1.0;
+  branchy.instruction_count = 60'000;
+
+  CoreConfig punitive;
+  punitive.mispredict_recovery_cycles = 60;
+  const double slow_ipc = run_ipc(punitive, branchy);
+  const double fast_ipc = run_ipc(CoreConfig{}, branchy);
+  EXPECT_GT(fast_ipc, slow_ipc * 1.15);
+}
+
+TEST(Config, FasterDividerLiftsDivBoundCode) {
+  auto divy = dense_alu();
+  divy.div_fraction = 0.08;
+  divy.instruction_count = 60'000;
+
+  CoreConfig fast_div;
+  fast_div.lat_div = 6;
+  const double fast_ipc = run_ipc(fast_div, divy);
+  const double slow_ipc = run_ipc(CoreConfig{}, divy);
+  EXPECT_GT(fast_ipc, slow_ipc * 1.5);
+}
+
+TEST(Config, TinyRobStillCorrect) {
+  CoreConfig tiny;
+  tiny.rob_capacity = 16;
+  tiny.rs_capacity = 8;
+  tiny.idq_capacity = 8;
+  tiny.load_buffer_capacity = 8;
+  tiny.store_buffer_capacity = 4;
+  auto p = dense_alu();
+  p.load_fraction = 0.2;
+  p.store_fraction = 0.1;
+  p.instruction_count = 40'000;
+  workloads::ProfileStream stream(p);
+  Core core(tiny, stream, 7);
+  core.run(60'000'000);
+  EXPECT_TRUE(core.done());
+  EXPECT_EQ(core.counters().get(Event::kInstRetiredAny), 40'000u);
+}
+
+TEST(Config, DsbWidthControlsFrontendCeiling) {
+  // With the DSB width clamped to 3, even perfect code cannot sustain
+  // 4-wide allocation.
+  CoreConfig narrow_fe;
+  narrow_fe.fetch_width_dsb = 3;
+  narrow_fe.lsd_min_streak = 1 << 30;  // keep the LSD out of the way
+  const double ipc = run_ipc(narrow_fe, dense_alu());
+  EXPECT_LT(ipc, 3.05);
+}
+
+}  // namespace
+}  // namespace spire::sim

@@ -1,0 +1,167 @@
+#include "geom/convex_hull.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace spire::geom {
+namespace {
+
+TEST(LeftHull, EmptyInputYieldsOrigin) {
+  const auto chain = left_roofline_hull({});
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0], (Point{0.0, 0.0}));
+}
+
+TEST(LeftHull, AllZeroThroughputYieldsOrigin) {
+  const auto chain = left_roofline_hull({{1.0, 0.0}, {2.0, 0.0}});
+  EXPECT_EQ(chain.size(), 1u);
+}
+
+TEST(LeftHull, SinglePoint) {
+  const auto chain = left_roofline_hull({{2.0, 3.0}});
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[1], (Point{2.0, 3.0}));
+}
+
+TEST(LeftHull, PicksMaxSlopeFirst) {
+  // From the origin: (1,5) has slope 5, (10,10) has slope 1. The walk must
+  // visit (1,5) first, then the apex (10,10).
+  const auto chain = left_roofline_hull({{1.0, 5.0}, {10.0, 10.0}, {5.0, 6.0}});
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[1], (Point{1.0, 5.0}));
+  EXPECT_EQ(chain[2], (Point{10.0, 10.0}));
+}
+
+TEST(LeftHull, SkipsDominatedInteriorPoints) {
+  // (5,6) lies below the segment (1,5)-(10,10) and must not appear.
+  const auto chain = left_roofline_hull(
+      {{1.0, 5.0}, {5.0, 6.0}, {10.0, 10.0}});
+  for (const auto& p : chain) {
+    EXPECT_NE(p, (Point{5.0, 6.0}));
+  }
+}
+
+TEST(LeftHull, ApexTieBreaksTowardSmallerX) {
+  const auto chain = left_roofline_hull({{3.0, 7.0}, {9.0, 7.0}});
+  EXPECT_EQ(chain.back(), (Point{3.0, 7.0}));
+}
+
+TEST(LeftHull, CollinearPointsCollapse) {
+  const auto chain =
+      left_roofline_hull({{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}, {4.0, 4.0}});
+  // All on the y = x line from the origin: one segment to the apex.
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[1], (Point{4.0, 4.0}));
+}
+
+TEST(LeftHull, SampleAtZeroIntensity) {
+  const auto chain = left_roofline_hull({{0.0, 2.0}, {5.0, 4.0}});
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[1], (Point{0.0, 2.0}));  // infinite slope wins
+  EXPECT_EQ(chain[2], (Point{5.0, 4.0}));
+}
+
+TEST(LeftHull, NegativeCoordinatesThrow) {
+  EXPECT_THROW(left_roofline_hull({{-1.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(left_roofline_hull({{1.0, -1.0}}), std::invalid_argument);
+  EXPECT_THROW(
+      left_roofline_hull({{std::numeric_limits<double>::infinity(), 1.0}}),
+      std::invalid_argument);
+}
+
+// Property suite: the chain is a valid increasing, concave-down upper bound
+// for random point clouds (the Fig. 5 contract).
+class LeftHullProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeftHullProperty, UpperBoundIncreasingConcave) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<Point> points;
+  const int n = 2 + static_cast<int>(rng.below(200));
+  for (int i = 0; i < n; ++i) {
+    points.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 10.0)});
+  }
+  const auto chain = left_roofline_hull(points);
+  ASSERT_GE(chain.size(), 2u);
+
+  // Chain is strictly increasing in both axes.
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_GT(chain[i].x, chain[i - 1].x);
+    EXPECT_GT(chain[i].y, chain[i - 1].y);
+  }
+  // Slopes strictly decrease (concave-down, collinear middles skipped).
+  for (std::size_t i = 2; i < chain.size(); ++i) {
+    const double s1 = slope(chain[i - 2], chain[i - 1]);
+    const double s2 = slope(chain[i - 1], chain[i]);
+    EXPECT_LT(s2, s1 + 1e-12);
+  }
+  // Ends at the apex (max y; ties toward min x).
+  Point apex = points[0];
+  for (const auto& p : points) {
+    if (p.y > apex.y || (p.y == apex.y && p.x < apex.x)) apex = p;
+  }
+  EXPECT_EQ(chain.back(), apex);
+
+  // The chain, read as a function on [0, apex.x], lies on-or-above every
+  // point in that range.
+  const auto value_at = [&](double x) {
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      if (x <= chain[i].x) {
+        const double t = (x - chain[i - 1].x) / (chain[i].x - chain[i - 1].x);
+        return chain[i - 1].y + t * (chain[i].y - chain[i - 1].y);
+      }
+    }
+    return chain.back().y;
+  };
+  for (const auto& p : points) {
+    if (p.x <= apex.x) {
+      EXPECT_GE(value_at(p.x) + 1e-9, p.y);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeftHullProperty, ::testing::Range(1, 33));
+
+TEST(UpperHull, MatchesKnownCase) {
+  const auto hull = upper_hull(
+      {{0.0, 0.0}, {1.0, 3.0}, {2.0, 1.0}, {3.0, 4.0}, {4.0, 0.0}});
+  const std::vector<Point> expected{{0.0, 0.0}, {1.0, 3.0}, {3.0, 4.0}, {4.0, 0.0}};
+  EXPECT_EQ(hull, expected);
+}
+
+class UpperHullProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(UpperHullProperty, AllPointsOnOrBelow) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 77);
+  std::vector<Point> points;
+  const int n = 3 + static_cast<int>(rng.below(100));
+  for (int i = 0; i < n; ++i) {
+    points.push_back({rng.uniform(-50.0, 50.0), rng.uniform(-50.0, 50.0)});
+  }
+  const auto hull = upper_hull(points);
+  ASSERT_GE(hull.size(), 2u);
+  // Hull x strictly increases and turns are clockwise (concave-down).
+  for (std::size_t i = 1; i < hull.size(); ++i) {
+    EXPECT_GE(hull[i].x, hull[i - 1].x);
+  }
+  for (std::size_t i = 2; i < hull.size(); ++i) {
+    EXPECT_LE(cross(hull[i - 2], hull[i - 1], hull[i]), 1e-9);
+  }
+  // Every point lies on or below the hull polyline.
+  for (const auto& p : points) {
+    for (std::size_t i = 1; i < hull.size(); ++i) {
+      if (p.x >= hull[i - 1].x && p.x <= hull[i].x && hull[i].x > hull[i - 1].x) {
+        const double t = (p.x - hull[i - 1].x) / (hull[i].x - hull[i - 1].x);
+        const double y = hull[i - 1].y + t * (hull[i].y - hull[i - 1].y);
+        EXPECT_LE(p.y, y + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpperHullProperty, ::testing::Range(1, 17));
+
+}  // namespace
+}  // namespace spire::geom

@@ -1,0 +1,370 @@
+// Behavioural and invariant tests for the simulated out-of-order core.
+#include "sim/core.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/types.h"
+#include "util/rng.h"
+
+namespace spire::sim {
+namespace {
+
+using counters::Event;
+
+/// A scripted stream for precise pipeline tests.
+class VectorStream final : public InstructionStream {
+ public:
+  explicit VectorStream(std::vector<MacroOp> ops) : ops_(std::move(ops)) {}
+  bool next(MacroOp& op) override {
+    if (pos_ >= ops_.size()) return false;
+    op = ops_[pos_++];
+    return true;
+  }
+  void reset() override { pos_ = 0; }
+
+ private:
+  std::vector<MacroOp> ops_;
+  std::size_t pos_ = 0;
+};
+
+/// A repeating loop of `body` executed `iterations` times, with the last
+/// op of each iteration being a taken backward branch.
+std::vector<MacroOp> loop(std::vector<MacroOp> body, int iterations) {
+  std::vector<MacroOp> ops;
+  for (int it = 0; it < iterations; ++it) {
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      MacroOp op = body[i];
+      op.pc = 0x400000 + i * 4;
+      ops.push_back(op);
+    }
+    MacroOp br;
+    br.pc = 0x400000 + body.size() * 4;
+    br.cls = OpClass::kBranch;
+    br.taken = it + 1 < iterations;
+    br.target = 0x400000;
+    ops.push_back(br);
+  }
+  return ops;
+}
+
+MacroOp alu() {
+  MacroOp op;
+  op.cls = OpClass::kAluInt;
+  return op;
+}
+
+TEST(Core, RunsToCompletionAndDrains) {
+  auto ops = loop({alu(), alu(), alu()}, 100);
+  VectorStream stream(std::move(ops));
+  Core core(CoreConfig{}, stream);
+  core.run(1'000'000);
+  EXPECT_TRUE(core.done());
+  EXPECT_EQ(core.instructions_retired(), 400u);  // 3 alu + 1 branch per iter
+  EXPECT_EQ(core.counters().get(Event::kInstRetiredAny), 400u);
+}
+
+TEST(Core, IndependentAluNearsAllocationWidth) {
+  auto ops = loop({alu(), alu(), alu(), alu(), alu(), alu(), alu()}, 4000);
+  VectorStream stream(std::move(ops));
+  Core core(CoreConfig{}, stream);
+  core.run(10'000'000);
+  ASSERT_TRUE(core.done());
+  const double ipc = static_cast<double>(core.instructions_retired()) /
+                     static_cast<double>(core.cycle());
+  EXPECT_GT(ipc, 3.0);  // 4-wide allocation minus startup effects
+}
+
+TEST(Core, SerialChainLimitedByLatency) {
+  // One unbroken dependency chain (no independent branches that would let
+  // consecutive loop iterations overlap): throughput caps at ~1 uop/cycle.
+  std::vector<MacroOp> ops;
+  for (int i = 0; i < 16000; ++i) {
+    MacroOp op = alu();
+    op.pc = 0x400000 + static_cast<std::uint64_t>(i % 16) * 4;
+    op.dep_distance = 1;
+    ops.push_back(op);
+  }
+  VectorStream stream(std::move(ops));
+  Core core(CoreConfig{}, stream);
+  core.run(10'000'000);
+  ASSERT_TRUE(core.done());
+  const double ipc = static_cast<double>(core.instructions_retired()) /
+                     static_cast<double>(core.cycle());
+  EXPECT_LT(ipc, 1.1);  // 1-cycle ALU chain caps at ~1 IPC
+  EXPECT_GT(ipc, 0.6);
+}
+
+TEST(Core, IndependentBranchesLetIterationsOverlap) {
+  // The same chain split every 8 ops by an independent loop branch: each
+  // iteration's chain restarts from the branch, so iterations overlap and
+  // throughput approaches the allocation width instead of the chain rate.
+  std::vector<MacroOp> body(8, alu());
+  for (auto& op : body) op.dep_distance = 1;
+  auto ops = loop(body, 2000);
+  VectorStream stream(std::move(ops));
+  Core core(CoreConfig{}, stream);
+  core.run(10'000'000);
+  ASSERT_TRUE(core.done());
+  const double ipc = static_cast<double>(core.instructions_retired()) /
+                     static_cast<double>(core.cycle());
+  EXPECT_GT(ipc, 2.5);
+}
+
+TEST(Core, CounterInvariantsHold) {
+  std::vector<MacroOp> body;
+  for (int i = 0; i < 6; ++i) body.push_back(alu());
+  MacroOp ld;
+  ld.cls = OpClass::kLoad;
+  ld.addr = 0x1000;
+  body.push_back(ld);
+  MacroOp st;
+  st.cls = OpClass::kStore;
+  st.addr = 0x2000;
+  st.uop_count = 2;
+  body.push_back(st);
+  auto ops = loop(body, 1000);
+  VectorStream stream(std::move(ops));
+  Core core(CoreConfig{}, stream);
+  core.run(10'000'000);
+  ASSERT_TRUE(core.done());
+
+  const auto& c = core.counters();
+  const auto cycles = c.get(Event::kCpuClkUnhaltedThread);
+  const auto inst = c.get(Event::kInstRetiredAny);
+  const auto issued = c.get(Event::kUopsIssuedAny);
+  const auto retired = c.get(Event::kUopsRetiredRetireSlots);
+
+  EXPECT_GT(cycles, 0u);
+  EXPECT_GE(issued, retired);       // squashed uops never retire
+  EXPECT_GE(retired, inst);         // every instruction is >= 1 uop
+  EXPECT_LE(inst, 4 * cycles);      // retire width bound
+  // Port dispatch totals equal executed uops.
+  std::uint64_t port_total = 0;
+  for (Event e : {Event::kUopsDispatchedPort0, Event::kUopsDispatchedPort1,
+                  Event::kUopsDispatchedPort2, Event::kUopsDispatchedPort3,
+                  Event::kUopsDispatchedPort4, Event::kUopsDispatchedPort5,
+                  Event::kUopsDispatchedPort6, Event::kUopsDispatchedPort7}) {
+    port_total += c.get(e);
+  }
+  EXPECT_EQ(port_total, c.get(Event::kUopsExecutedThread));
+  // Load / store retirement counts match the stream.
+  EXPECT_EQ(c.get(Event::kMemInstRetiredAllLoads), 1000u);
+  EXPECT_EQ(c.get(Event::kMemInstRetiredAllStores), 1000u);
+  // Load service levels decompose the load count.
+  const auto l1 = c.get(Event::kMemLoadRetiredL1Hit);
+  const auto fb = c.get(Event::kMemLoadRetiredFbHit);
+  const auto l2 = c.get(Event::kMemLoadRetiredL2Hit);
+  const auto l3 = c.get(Event::kMemLoadRetiredL3Hit);
+  const auto dram = c.get(Event::kMemLoadRetiredL3Miss);
+  EXPECT_EQ(l1 + fb + l2 + l3 + dram, 1000u);
+  // Stall-cycle counters are bounded by cycles.
+  EXPECT_LE(c.get(Event::kCycleActivityStallsTotal), cycles);
+  EXPECT_LE(c.get(Event::kUopsRetiredStallCycles), cycles);
+  EXPECT_LE(c.get(Event::kCycleActivityStallsMemAny),
+            c.get(Event::kCycleActivityCyclesMemAny));
+  EXPECT_LE(c.get(Event::kCycleActivityStallsL1dMiss),
+            c.get(Event::kCycleActivityCyclesL1dMiss));
+}
+
+TEST(Core, DeterministicForSameSeed) {
+  const auto make_ops = [] {
+    std::vector<MacroOp> body;
+    for (int i = 0; i < 4; ++i) body.push_back(alu());
+    MacroOp br;
+    br.cls = OpClass::kBranch;
+    br.taken = true;
+    br.target = 0x400000;
+    body.push_back(br);
+    return loop(body, 500);
+  };
+  VectorStream s1(make_ops());
+  VectorStream s2(make_ops());
+  Core a(CoreConfig{}, s1, 99);
+  Core b(CoreConfig{}, s2, 99);
+  a.run(10'000'000);
+  b.run(10'000'000);
+  EXPECT_EQ(a.cycle(), b.cycle());
+  EXPECT_EQ(a.counters().raw(), b.counters().raw());
+}
+
+TEST(Core, MispredictedBranchesCostRecovery) {
+  // Branch at a fixed pc with genuinely random outcomes (a structured
+  // pattern would be memorized by the gshare history).
+  util::Rng rng(1234);
+  std::vector<MacroOp> ops;
+  for (int i = 0; i < 3000; ++i) {
+    MacroOp op = alu();
+    op.pc = 0x400000;
+    ops.push_back(op);
+    MacroOp br;
+    br.pc = 0x400004;
+    br.cls = OpClass::kBranch;
+    br.taken = rng.chance(0.5);
+    br.target = 0x400000;
+    ops.push_back(br);
+  }
+  VectorStream stream(std::move(ops));
+  Core core(CoreConfig{}, stream);
+  core.run(10'000'000);
+  ASSERT_TRUE(core.done());
+  const auto& c = core.counters();
+  EXPECT_GT(c.get(Event::kBrMispRetiredAllBranches), 500u);
+  EXPECT_GT(c.get(Event::kIntMiscRecoveryCycles), 1000u);
+  // Squashed wrong-path uops inflate issue over retire.
+  EXPECT_GT(c.get(Event::kUopsIssuedAny),
+            c.get(Event::kUopsRetiredRetireSlots) + 1000);
+  EXPECT_EQ(c.get(Event::kBrInstRetiredAllBranches), 3000u);
+}
+
+TEST(Core, PredictableBranchesBarelyMispredict) {
+  auto ops = loop({alu(), alu(), alu()}, 3000);
+  VectorStream stream(std::move(ops));
+  Core core(CoreConfig{}, stream);
+  core.run(10'000'000);
+  ASSERT_TRUE(core.done());
+  const auto& c = core.counters();
+  EXPECT_LT(c.get(Event::kBrMispRetiredAllBranches), 50u);
+}
+
+TEST(Core, DividerSerializesDivs) {
+  std::vector<MacroOp> body(4, alu());
+  MacroOp div;
+  div.cls = OpClass::kDiv;
+  body.push_back(div);
+  auto ops = loop(body, 1000);
+  VectorStream stream(std::move(ops));
+  CoreConfig cfg;
+  Core core(cfg, stream);
+  core.run(10'000'000);
+  ASSERT_TRUE(core.done());
+  const auto& c = core.counters();
+  // The divider is unpipelined: ~lat_div cycles busy per div.
+  EXPECT_GE(c.get(Event::kArithDividerActive),
+            1000u * static_cast<std::uint64_t>(cfg.lat_div));
+  // Throughput is divider-bound: at least lat_div cycles per iteration.
+  EXPECT_GE(core.cycle(), 1000u * static_cast<std::uint64_t>(cfg.lat_div));
+}
+
+TEST(Core, LockedLoadsCounted) {
+  std::vector<MacroOp> body(8, alu());
+  MacroOp lk;
+  lk.cls = OpClass::kLockedLoad;
+  lk.addr = 0x3000;
+  body.push_back(lk);
+  auto ops = loop(body, 500);
+  VectorStream stream(std::move(ops));
+  Core core(CoreConfig{}, stream);
+  core.run(10'000'000);
+  ASSERT_TRUE(core.done());
+  EXPECT_EQ(core.counters().get(Event::kMemInstRetiredLockLoads), 500u);
+  EXPECT_EQ(core.counters().get(Event::kMemInstRetiredAllLoads), 500u);
+}
+
+TEST(Core, VectorWidthTransitionsCounted) {
+  std::vector<MacroOp> body;
+  MacroOp v256;
+  v256.cls = OpClass::kVec256;
+  MacroOp v512;
+  v512.cls = OpClass::kVec512;
+  body.push_back(v256);
+  body.push_back(v512);  // one transition each way per iteration
+  auto ops = loop(body, 1000);
+  VectorStream stream(std::move(ops));
+  Core core(CoreConfig{}, stream);
+  core.run(10'000'000);
+  ASSERT_TRUE(core.done());
+  EXPECT_GE(core.counters().get(Event::kUopsIssuedVectorWidthMismatch), 1500u);
+}
+
+TEST(Core, PureVectorNoMismatch) {
+  std::vector<MacroOp> body;
+  MacroOp v512;
+  v512.cls = OpClass::kVec512;
+  body.assign(6, v512);
+  auto ops = loop(body, 500);
+  VectorStream stream(std::move(ops));
+  Core core(CoreConfig{}, stream);
+  core.run(10'000'000);
+  ASSERT_TRUE(core.done());
+  EXPECT_EQ(core.counters().get(Event::kUopsIssuedVectorWidthMismatch), 0u);
+}
+
+TEST(Core, MicrocodedOpsUseSequencer) {
+  std::vector<MacroOp> body(4, alu());
+  MacroOp uc;
+  uc.cls = OpClass::kMicrocoded;
+  uc.uop_count = 8;
+  body.push_back(uc);
+  auto ops = loop(body, 500);
+  VectorStream stream(std::move(ops));
+  Core core(CoreConfig{}, stream);
+  core.run(10'000'000);
+  ASSERT_TRUE(core.done());
+  const auto& c = core.counters();
+  EXPECT_GE(c.get(Event::kIdqMsSwitches), 400u);
+  EXPECT_GE(c.get(Event::kIdqMsUops), 500u * 8u);
+}
+
+TEST(Core, HugeCodeFootprintStarvesFrontend) {
+  // 4000 distinct instruction addresses spanning 16000 B >> DSB-friendly
+  // sizes, revisited in a loop: the legacy pipeline and I-cache dominate.
+  std::vector<MacroOp> ops;
+  for (int rep = 0; rep < 20; ++rep) {
+    for (int i = 0; i < 4000; ++i) {
+      MacroOp op = alu();
+      op.pc = 0x400000 + static_cast<std::uint64_t>(i) * 16;  // sparse code
+      ops.push_back(op);
+    }
+  }
+  VectorStream stream(std::move(ops));
+  Core core(CoreConfig{}, stream);
+  core.run(20'000'000);
+  ASSERT_TRUE(core.done());
+  const auto& c = core.counters();
+  const auto slots = 4 * c.get(Event::kCpuClkUnhaltedThread);
+  const double fe_bound =
+      static_cast<double>(c.get(Event::kIdqUopsNotDeliveredCore)) /
+      static_cast<double>(slots);
+  EXPECT_GT(fe_bound, 0.3);
+  EXPECT_GT(c.get(Event::kFrontendRetiredDsbMiss), 10000u);
+}
+
+TEST(Core, NopsRetireWithoutExecuting) {
+  std::vector<MacroOp> body;
+  MacroOp nop;
+  nop.cls = OpClass::kNop;
+  body.assign(5, nop);
+  auto ops = loop(body, 200);
+  VectorStream stream(std::move(ops));
+  Core core(CoreConfig{}, stream);
+  core.run(1'000'000);
+  ASSERT_TRUE(core.done());
+  EXPECT_EQ(core.instructions_retired(), 1200u);
+  // Nops never dispatch to a port.
+  EXPECT_LT(core.counters().get(Event::kUopsExecutedThread), 400u);
+}
+
+TEST(Core, DebugStateMentionsPipeline) {
+  auto ops = loop({alu()}, 10);
+  VectorStream stream(std::move(ops));
+  Core core(CoreConfig{}, stream);
+  core.run(5);
+  const std::string state = core.debug_state();
+  EXPECT_NE(state.find("cycle="), std::string::npos);
+  EXPECT_NE(state.find("rob="), std::string::npos);
+}
+
+TEST(Core, RunHonorsCycleBudget) {
+  auto ops = loop({alu(), alu()}, 100000);
+  VectorStream stream(std::move(ops));
+  Core core(CoreConfig{}, stream);
+  const auto ran = core.run(1000);
+  EXPECT_EQ(ran, 1000u);
+  EXPECT_EQ(core.cycle(), 1000u);
+  EXPECT_FALSE(core.done());
+}
+
+}  // namespace
+}  // namespace spire::sim

@@ -1,0 +1,57 @@
+#include "counters/counter_set.h"
+
+#include <gtest/gtest.h>
+
+namespace spire::counters {
+namespace {
+
+TEST(CounterSet, StartsAtZero) {
+  CounterSet c;
+  for (std::size_t i = 0; i < kEventCount; ++i) {
+    EXPECT_EQ(c.get(static_cast<Event>(i)), 0u);
+  }
+}
+
+TEST(CounterSet, AddAccumulates) {
+  CounterSet c;
+  c.add(Event::kInstRetiredAny);
+  c.add(Event::kInstRetiredAny, 41);
+  EXPECT_EQ(c.get(Event::kInstRetiredAny), 42u);
+  EXPECT_EQ(c.get(Event::kCpuClkUnhaltedThread), 0u);
+}
+
+TEST(CounterSet, SinceComputesDelta) {
+  CounterSet a;
+  a.add(Event::kIdqDsbUops, 10);
+  CounterSet b = a;
+  b.add(Event::kIdqDsbUops, 5);
+  b.add(Event::kLsdUops, 3);
+  const CounterSet d = b.since(a);
+  EXPECT_EQ(d.get(Event::kIdqDsbUops), 5u);
+  EXPECT_EQ(d.get(Event::kLsdUops), 3u);
+  EXPECT_EQ(d.get(Event::kInstRetiredAny), 0u);
+}
+
+TEST(CounterSet, SinceThrowsOnRegression) {
+  CounterSet a;
+  a.add(Event::kLsdUops, 10);
+  CounterSet b;  // all zero: "earlier" snapshot is actually newer
+  EXPECT_THROW(b.since(a), std::logic_error);
+}
+
+TEST(CounterSet, ResetClears) {
+  CounterSet c;
+  c.add(Event::kBaclearsAny, 7);
+  c.reset();
+  EXPECT_EQ(c.get(Event::kBaclearsAny), 0u);
+}
+
+TEST(CounterSet, RawExposesAllCounters) {
+  CounterSet c;
+  c.add(Event::kInstRetiredAny, 3);
+  EXPECT_EQ(c.raw()[static_cast<std::size_t>(Event::kInstRetiredAny)], 3u);
+  EXPECT_EQ(c.raw().size(), kEventCount);
+}
+
+}  // namespace
+}  // namespace spire::counters

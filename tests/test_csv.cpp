@@ -1,0 +1,93 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace spire::util {
+namespace {
+
+TEST(Csv, ParsesSimpleDocument) {
+  const auto doc = parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_EQ(doc.header.size(), 3u);
+  EXPECT_EQ(doc.header[0], "a");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][2], "6");
+}
+
+TEST(Csv, ColumnLookup) {
+  const auto doc = parse_csv("x,y\n1,2\n");
+  EXPECT_EQ(doc.column("x"), 0);
+  EXPECT_EQ(doc.column("y"), 1);
+  EXPECT_EQ(doc.column("z"), -1);
+}
+
+TEST(Csv, HandlesQuotedFields) {
+  const auto doc = parse_csv("name,value\n\"hello, world\",\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "hello, world");
+  EXPECT_EQ(doc.rows[0][1], "say \"hi\"");
+}
+
+TEST(Csv, HandlesCrLfAndMissingTrailingNewline) {
+  const auto doc = parse_csv("a,b\r\n1,2\r\n3,4");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][1], "4");
+}
+
+TEST(Csv, SkipsBlankLines) {
+  const auto doc = parse_csv("a,b\n1,2\n\n3,4\n");
+  EXPECT_EQ(doc.rows.size(), 2u);
+}
+
+TEST(Csv, EmptyFieldsPreserved) {
+  const auto doc = parse_csv("a,b,c\n,,\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "");
+  EXPECT_EQ(doc.rows[0][2], "");
+}
+
+TEST(Csv, RaggedRowThrows) {
+  EXPECT_THROW(parse_csv("a,b\n1,2,3\n"), std::runtime_error);
+  EXPECT_THROW(parse_csv("a,b\n1\n"), std::runtime_error);
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("a\n\"open\n"), std::runtime_error);
+}
+
+TEST(Csv, EmptyInputYieldsEmptyDocument) {
+  const auto doc = parse_csv("");
+  EXPECT_TRUE(doc.header.empty());
+  EXPECT_TRUE(doc.rows.empty());
+}
+
+TEST(Csv, EscapePlainAndSpecial) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("q\"q"), "\"q\"\"q\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WriterRoundTrip) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.row({"metric", "value"});
+  writer.row({"with,comma", "with \"quote\""});
+  writer.row_numeric({1.5, 2.25});
+
+  const auto doc = parse_csv(out.str());
+  EXPECT_EQ(doc.header, (std::vector<std::string>{"metric", "value"}));
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][0], "with,comma");
+  EXPECT_EQ(doc.rows[0][1], "with \"quote\"");
+  EXPECT_EQ(doc.rows[1][0], "1.5");
+  EXPECT_EQ(doc.rows[1][1], "2.25");
+}
+
+TEST(Csv, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace spire::util

@@ -1,0 +1,174 @@
+#include "spire/ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace spire::model {
+namespace {
+
+using counters::Event;
+using sampling::Dataset;
+using sampling::Sample;
+
+Sample sample_at(double intensity, double throughput, double t = 1.0) {
+  if (std::isinf(intensity)) return {t, throughput * t, 0.0};
+  return {t, throughput * t, throughput * t / intensity};
+}
+
+Dataset two_metric_training() {
+  Dataset d;
+  // Metric A: throughput rises with intensity then falls.
+  for (const auto& [i, p] : std::vector<std::pair<double, double>>{
+           {0.5, 1.0}, {2.0, 3.0}, {4.0, 4.0}, {8.0, 2.0}, {16.0, 1.0},
+           {1.0, 1.5}, {3.0, 3.2}, {6.0, 2.5}, {12.0, 1.2}, {5.0, 3.0}}) {
+    d.add(Event::kIdqDsbUops, sample_at(i, p));
+  }
+  // Metric B: simple increasing relationship.
+  for (const auto& [i, p] : std::vector<std::pair<double, double>>{
+           {1.0, 0.5}, {2.0, 1.0}, {4.0, 2.0}, {8.0, 3.0}, {16.0, 3.5},
+           {32.0, 3.8}, {3.0, 1.4}, {6.0, 2.4}, {12.0, 3.1}, {24.0, 3.6}}) {
+    d.add(Event::kBrMispRetiredAllBranches, sample_at(i, p));
+  }
+  return d;
+}
+
+TEST(Ensemble, TrainsOneRooflinePerMetric) {
+  const auto ens = Ensemble::train(two_metric_training());
+  EXPECT_EQ(ens.metric_count(), 2u);
+  EXPECT_TRUE(ens.rooflines().contains(Event::kIdqDsbUops));
+  EXPECT_TRUE(ens.rooflines().contains(Event::kBrMispRetiredAllBranches));
+}
+
+TEST(Ensemble, MinSamplesFilterSkipsSparseMetrics) {
+  auto data = two_metric_training();
+  data.add(Event::kLsdUops, sample_at(1.0, 1.0));  // just one sample
+  const auto ens = Ensemble::train(data);          // default min_samples = 8
+  EXPECT_EQ(ens.metric_count(), 2u);
+  Ensemble::TrainOptions loose;
+  loose.min_samples = 1;
+  EXPECT_EQ(Ensemble::train(data, loose).metric_count(), 3u);
+}
+
+TEST(Ensemble, EmptyTrainingThrows) {
+  EXPECT_THROW(Ensemble::train(Dataset{}), std::invalid_argument);
+}
+
+TEST(Ensemble, EstimateIsMinimumOfPerMetricAverages) {
+  const auto ens = Ensemble::train(two_metric_training());
+  Dataset workload;
+  workload.add(Event::kIdqDsbUops, sample_at(4.0, 2.0));
+  workload.add(Event::kBrMispRetiredAllBranches, sample_at(2.0, 2.0));
+  const auto est = ens.estimate(workload);
+  ASSERT_EQ(est.ranking.size(), 2u);
+  EXPECT_DOUBLE_EQ(est.throughput, est.ranking.front().p_bar);
+  EXPECT_LE(est.ranking[0].p_bar, est.ranking[1].p_bar);
+  // Each per-metric value equals that roofline's own estimate.
+  for (const auto& me : est.ranking) {
+    const auto direct = ens.metric_estimate(me.metric, workload);
+    ASSERT_TRUE(direct.has_value());
+    EXPECT_DOUBLE_EQ(me.p_bar, *direct);
+  }
+}
+
+TEST(Ensemble, TimeWeightedAverageMatchesEquationOne) {
+  const auto ens = Ensemble::train(two_metric_training());
+  const auto& roofline = ens.rooflines().at(Event::kIdqDsbUops);
+  // Two samples with different period lengths.
+  const Sample s1 = sample_at(2.0, 1.0, /*t=*/100.0);
+  const Sample s2 = sample_at(8.0, 1.0, /*t=*/300.0);
+  Dataset workload;
+  workload.add(Event::kIdqDsbUops, s1);
+  workload.add(Event::kIdqDsbUops, s2);
+  const double expected =
+      (100.0 * roofline.estimate(s1.intensity()) +
+       300.0 * roofline.estimate(s2.intensity())) /
+      400.0;
+  const auto got = ens.metric_estimate(Event::kIdqDsbUops, workload);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(*got, expected);
+}
+
+TEST(Ensemble, UnweightedMergeDiffersWhenPeriodsDiffer) {
+  const auto ens = Ensemble::train(two_metric_training());
+  Dataset workload;
+  workload.add(Event::kIdqDsbUops, sample_at(2.0, 1.0, 1.0));
+  workload.add(Event::kIdqDsbUops, sample_at(16.0, 1.0, 1000.0));
+  const auto twa =
+      ens.metric_estimate(Event::kIdqDsbUops, workload, Merge::kTimeWeighted);
+  const auto flat =
+      ens.metric_estimate(Event::kIdqDsbUops, workload, Merge::kUnweighted);
+  ASSERT_TRUE(twa.has_value());
+  ASSERT_TRUE(flat.has_value());
+  EXPECT_NE(*twa, *flat);
+  // The TWA leans toward the long sample's (low) estimate.
+  const auto& roofline = ens.rooflines().at(Event::kIdqDsbUops);
+  EXPECT_LT(std::abs(*twa - roofline.estimate(16.0)),
+            std::abs(*flat - roofline.estimate(16.0)));
+}
+
+TEST(Ensemble, SkipsMetricsAbsentFromWorkload) {
+  const auto ens = Ensemble::train(two_metric_training());
+  Dataset workload;
+  workload.add(Event::kIdqDsbUops, sample_at(4.0, 2.0));
+  const auto est = ens.estimate(workload);
+  EXPECT_EQ(est.ranking.size(), 1u);
+}
+
+TEST(Ensemble, NoOverlapThrows) {
+  const auto ens = Ensemble::train(two_metric_training());
+  Dataset workload;
+  workload.add(Event::kLsdUops, sample_at(1.0, 1.0));
+  EXPECT_THROW(ens.estimate(workload), std::invalid_argument);
+}
+
+TEST(Ensemble, MetricEstimateAbsentMetric) {
+  const auto ens = Ensemble::train(two_metric_training());
+  Dataset workload;
+  workload.add(Event::kLsdUops, sample_at(1.0, 1.0));
+  EXPECT_FALSE(ens.metric_estimate(Event::kLsdUops, workload).has_value());
+  EXPECT_FALSE(
+      ens.metric_estimate(Event::kIdqDsbUops, Dataset{}).has_value());
+}
+
+TEST(Ensemble, ZeroLengthSamplesIgnoredInEstimation) {
+  const auto ens = Ensemble::train(two_metric_training());
+  Dataset workload;
+  workload.add(Event::kIdqDsbUops, sample_at(4.0, 2.0));
+  workload.add(Event::kIdqDsbUops, {0.0, 5.0, 1.0});  // t = 0: ignored
+  Dataset clean;
+  clean.add(Event::kIdqDsbUops, sample_at(4.0, 2.0));
+  EXPECT_DOUBLE_EQ(*ens.metric_estimate(Event::kIdqDsbUops, workload),
+                   *ens.metric_estimate(Event::kIdqDsbUops, clean));
+}
+
+TEST(Ensemble, RankingSortedAscending) {
+  util::Rng rng(17);
+  Dataset train;
+  for (Event metric : {Event::kIdqDsbUops, Event::kLsdUops,
+                       Event::kBaclearsAny, Event::kBrMispRetiredAllBranches}) {
+    for (int i = 0; i < 50; ++i) {
+      train.add(metric, sample_at(std::pow(10.0, rng.uniform(-1.0, 3.0)),
+                                  rng.uniform(0.1, 4.0)));
+    }
+  }
+  const auto ens = Ensemble::train(train);
+  Dataset workload;
+  for (Event metric : {Event::kIdqDsbUops, Event::kLsdUops,
+                       Event::kBaclearsAny, Event::kBrMispRetiredAllBranches}) {
+    for (int i = 0; i < 10; ++i) {
+      workload.add(metric, sample_at(std::pow(10.0, rng.uniform(-1.0, 3.0)),
+                                     rng.uniform(0.1, 4.0)));
+    }
+  }
+  const auto est = ens.estimate(workload);
+  ASSERT_EQ(est.ranking.size(), 4u);
+  for (std::size_t i = 1; i < est.ranking.size(); ++i) {
+    EXPECT_LE(est.ranking[i - 1].p_bar, est.ranking[i].p_bar);
+  }
+}
+
+}  // namespace
+}  // namespace spire::model

@@ -1,0 +1,119 @@
+#include "counters/events.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace spire::counters {
+namespace {
+
+TEST(Events, CatalogCoversEveryEventInOrder) {
+  const auto& catalog = event_catalog();
+  ASSERT_EQ(catalog.size(), kEventCount);
+  for (std::size_t i = 0; i < kEventCount; ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(catalog[i].event), i);
+    EXPECT_FALSE(catalog[i].name.empty());
+    EXPECT_FALSE(catalog[i].description.empty());
+  }
+}
+
+TEST(Events, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (const auto& info : event_catalog()) {
+    EXPECT_TRUE(names.insert(info.name).second)
+        << "duplicate event name: " << info.name;
+  }
+}
+
+TEST(Events, AbbreviationsAreUnique) {
+  std::set<std::string_view> abbrevs;
+  for (const auto& info : event_catalog()) {
+    if (info.abbrev.empty()) continue;
+    EXPECT_TRUE(abbrevs.insert(info.abbrev).second)
+        << "duplicate abbreviation: " << info.abbrev;
+  }
+}
+
+TEST(Events, LookupByName) {
+  const auto e = event_by_name("idq.dsb_uops");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e, Event::kIdqDsbUops);
+  EXPECT_FALSE(event_by_name("not.an.event").has_value());
+}
+
+TEST(Events, LookupByAbbrev) {
+  // Spot-check the paper's Table III abbreviations.
+  const struct {
+    std::string_view abbrev;
+    Event event;
+  } cases[] = {
+      {"FE.1", Event::kFrontendRetiredLatencyGe2BubblesGe1},
+      {"DB.2", Event::kIdqDsbUops},
+      {"MS.1", Event::kIdqMsSwitches},
+      {"DQ.K", Event::kIdqUopsNotDeliveredCyclesFeWasOk},
+      {"BP.1", Event::kBrMispRetiredAllBranches},
+      {"M", Event::kCycleActivityCyclesMemAny},
+      {"L3", Event::kLongestLatCacheMiss},
+      {"LK", Event::kMemInstRetiredLockLoads},
+      {"CS.6", Event::kExeActivityExeBound0Ports},
+      {"C1.3", Event::kExeActivity1PortsUtil},
+      {"VW", Event::kUopsIssuedVectorWidthMismatch},
+  };
+  for (const auto& c : cases) {
+    const auto e = event_by_abbrev(c.abbrev);
+    ASSERT_TRUE(e.has_value()) << c.abbrev;
+    EXPECT_EQ(*e, c.event) << c.abbrev;
+  }
+  EXPECT_FALSE(event_by_abbrev("ZZ.9").has_value());
+}
+
+TEST(Events, Table3HasThePapersThirtyThreeEntries) {
+  // Paper Table III lists 33 abbreviated metrics: FE.1-3, DB.1-4, MS.1-2,
+  // DQ.{1,2,3,C,K}, BP.1-3, M, L1.1-3, L3, LK, CS.1-6, C1.1-3, VW.
+  EXPECT_EQ(table3_events().size(), 33u);
+}
+
+TEST(Events, MetricEventsExcludeFixedCounters) {
+  const auto& metrics = metric_events();
+  EXPECT_EQ(metrics.size(), kEventCount - 2);
+  for (const Event e : metrics) {
+    EXPECT_NE(e, Event::kInstRetiredAny);
+    EXPECT_NE(e, Event::kCpuClkUnhaltedThread);
+  }
+}
+
+TEST(Events, AreaNames) {
+  EXPECT_EQ(tma_area_name(TmaArea::kFrontEnd), "Front-End");
+  EXPECT_EQ(tma_area_name(TmaArea::kBadSpeculation), "Bad Speculation");
+  EXPECT_EQ(tma_area_name(TmaArea::kMemory), "Memory");
+  EXPECT_EQ(tma_area_name(TmaArea::kCore), "Core");
+  EXPECT_EQ(tma_area_name(TmaArea::kRetiring), "Retiring");
+}
+
+TEST(Events, Table3AreasMatchPaperGrouping) {
+  // The paper groups FE.*/DB.*/MS.*/DQ.* under front-end, BP.* under bad
+  // speculation, M/L1.*/L3/LK under memory, CS.*/C1.*/VW under core.
+  for (const Event e : table3_events()) {
+    const auto& info = event_info(e);
+    const char first = info.abbrev.front();
+    if (info.abbrev.rfind("BP", 0) == 0) {
+      EXPECT_EQ(info.area, TmaArea::kBadSpeculation) << info.abbrev;
+    } else if (info.abbrev.rfind("CS", 0) == 0 ||
+               info.abbrev.rfind("C1", 0) == 0 || info.abbrev == "VW") {
+      EXPECT_EQ(info.area, TmaArea::kCore) << info.abbrev;
+    } else if (info.abbrev == "M" || info.abbrev.rfind("L1", 0) == 0 ||
+               info.abbrev == "L3" || info.abbrev == "LK") {
+      EXPECT_EQ(info.area, TmaArea::kMemory) << info.abbrev;
+    } else {
+      EXPECT_EQ(info.area, TmaArea::kFrontEnd) << info.abbrev;
+      EXPECT_TRUE(first == 'F' || first == 'D' || first == 'M') << info.abbrev;
+    }
+  }
+}
+
+TEST(Events, InfoThrowsOnBadEvent) {
+  EXPECT_THROW(event_info(Event::kCount), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace spire::counters

@@ -1,0 +1,153 @@
+// Randomized robustness suite: run the full stack (random workload profile
+// -> simulator -> multiplexed collection -> SPIRE training -> estimation)
+// under many seeds and assert the structural invariants that must hold for
+// ANY input. This is the failure-injection net that catches scheduling
+// deadlocks, counter regressions, and fit-validity bugs that targeted
+// tests miss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sampling/collector.h"
+#include "sim/core.h"
+#include "spire/ensemble.h"
+#include "spire/metric_roofline.h"
+#include "util/rng.h"
+#include "workloads/profile_stream.h"
+
+namespace spire {
+namespace {
+
+using counters::Event;
+
+workloads::WorkloadProfile random_profile(util::Rng& rng) {
+  workloads::WorkloadProfile p;
+  p.name = "fuzz";
+  p.seed = rng.next();
+  p.instruction_count = 30'000 + rng.below(70'000);
+
+  // Draw a random instruction mix; normalize if it oversubscribes.
+  p.load_fraction = rng.uniform(0.0, 0.4);
+  p.store_fraction = rng.uniform(0.0, 0.25);
+  p.branch_fraction = rng.uniform(0.0, 0.3);
+  p.fp_fraction = rng.uniform(0.0, 0.35);
+  p.vec256_fraction = rng.uniform(0.0, 0.3);
+  p.vec512_fraction = rng.uniform(0.0, 0.3);
+  p.mul_fraction = rng.uniform(0.0, 0.1);
+  p.div_fraction = rng.uniform(0.0, 0.05);
+  p.microcoded_fraction = rng.uniform(0.0, 0.03);
+  p.locked_fraction = rng.uniform(0.0, 0.03);
+  p.nop_fraction = rng.uniform(0.0, 0.1);
+  const double total = p.load_fraction + p.store_fraction + p.branch_fraction +
+                       p.fp_fraction + p.vec256_fraction + p.vec512_fraction +
+                       p.mul_fraction + p.div_fraction + p.microcoded_fraction +
+                       p.locked_fraction + p.nop_fraction;
+  if (total > 1.0) {
+    const double scale = 0.95 / total;
+    p.load_fraction *= scale;
+    p.store_fraction *= scale;
+    p.branch_fraction *= scale;
+    p.fp_fraction *= scale;
+    p.vec256_fraction *= scale;
+    p.vec512_fraction *= scale;
+    p.mul_fraction *= scale;
+    p.div_fraction *= scale;
+    p.microcoded_fraction *= scale;
+    p.locked_fraction *= scale;
+    p.nop_fraction *= scale;
+  }
+
+  p.branch_entropy = rng.uniform(0.0, 1.0);
+  p.code_footprint_bytes = 256u << rng.below(12);  // 256 B .. 512 KiB
+  p.data_working_set_bytes = 4096ull << rng.below(16);  // 4 KiB .. 128 MiB
+  p.mem_pattern = static_cast<workloads::MemPattern>(rng.below(4));
+  p.mem_stride_bytes = 8u << rng.below(9);  // 8 B .. 2 KiB
+  p.dep_fraction = rng.uniform(0.0, 1.0);
+  p.dep_chain = 1 + static_cast<int>(rng.below(16));
+  return p;
+}
+
+class FuzzPipeline : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzPipeline, SimulateCollectTrainEstimate) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const auto profile = random_profile(rng);
+  workloads::ProfileStream stream(profile);
+  sim::Core core(sim::CoreConfig{}, stream, rng.next());
+
+  sampling::CollectorConfig cc;
+  cc.window_cycles = 10'000 + rng.below(40'000);
+  cc.slice_cycles = 500 + rng.below(2'000);
+  cc.group_size = 1 + static_cast<int>(rng.below(8));
+  sampling::SampleCollector collector(cc);
+  sampling::Dataset data;
+  const auto stats = collector.collect(core, data, 3'000'000);
+
+  // --- Simulator invariants --------------------------------------------
+  const auto& c = core.counters();
+  const auto cycles = c.get(Event::kCpuClkUnhaltedThread);
+  ASSERT_GT(cycles, 0u);
+  const auto inst = c.get(Event::kInstRetiredAny);
+  EXPECT_GE(c.get(Event::kUopsIssuedAny), c.get(Event::kUopsRetiredRetireSlots));
+  EXPECT_GE(c.get(Event::kUopsRetiredRetireSlots), inst);
+  EXPECT_LE(inst, 4 * cycles + 4);
+  EXPECT_LE(c.get(Event::kCycleActivityStallsTotal), cycles);
+  EXPECT_LE(c.get(Event::kCycleActivityStallsMemAny),
+            c.get(Event::kCycleActivityCyclesMemAny));
+  EXPECT_LE(c.get(Event::kCycleActivityStallsL1dMiss),
+            c.get(Event::kCycleActivityStallsTotal));
+  EXPECT_LE(c.get(Event::kBrMispRetiredAllBranches),
+            c.get(Event::kBrInstRetiredAllBranches));
+  std::uint64_t ports = 0;
+  for (Event e : {Event::kUopsDispatchedPort0, Event::kUopsDispatchedPort1,
+                  Event::kUopsDispatchedPort2, Event::kUopsDispatchedPort3,
+                  Event::kUopsDispatchedPort4, Event::kUopsDispatchedPort5,
+                  Event::kUopsDispatchedPort6, Event::kUopsDispatchedPort7}) {
+    ports += c.get(e);
+  }
+  EXPECT_EQ(ports, c.get(Event::kUopsExecutedThread));
+  // Retired load service levels decompose the retired load count.
+  EXPECT_EQ(c.get(Event::kMemLoadRetiredL1Hit) +
+                c.get(Event::kMemLoadRetiredFbHit) +
+                c.get(Event::kMemLoadRetiredL2Hit) +
+                c.get(Event::kMemLoadRetiredL3Hit) +
+                c.get(Event::kMemLoadRetiredL3Miss),
+            c.get(Event::kMemInstRetiredAllLoads));
+
+  // --- Collection invariants --------------------------------------------
+  if (stats.windows == 0) return;  // too short to produce a full window
+  for (const auto metric : data.metrics()) {
+    for (const auto& s : data.samples(metric)) {
+      ASSERT_GT(s.t, 0.0);
+      ASSERT_GE(s.w, 0.0);
+      ASSERT_GE(s.m, 0.0);
+      ASSERT_TRUE(std::isfinite(s.m));
+    }
+  }
+
+  // --- Fit invariants: bounds cover their own training samples ----------
+  // With few windows or aggressive multiplexing, no metric may reach the
+  // trainer's min_samples; training is then rightly impossible.
+  std::size_t max_per_metric = 0;
+  for (const auto metric : data.metrics()) {
+    max_per_metric = std::max(max_per_metric, data.samples(metric).size());
+  }
+  if (max_per_metric < 8 || data.size() < 100) return;
+  model::Ensemble::TrainOptions options;
+  options.polarity_constrained = GetParam() % 2 == 0;
+  const auto ensemble = model::Ensemble::train(data, options);
+  for (const auto& [metric, roofline] : ensemble.rooflines()) {
+    for (const auto& s : data.samples(metric)) {
+      ASSERT_GE(roofline.estimate(s.intensity()) + 1e-7, s.throughput())
+          << counters::event_name(metric);
+    }
+  }
+  const auto estimate = ensemble.estimate(data);
+  EXPECT_GT(estimate.throughput, 0.0);
+  EXPECT_TRUE(std::isfinite(estimate.throughput));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace spire

@@ -1,0 +1,169 @@
+#include "graph/digraph.h"
+#include "graph/shortest_path.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/rng.h"
+
+namespace spire::graph {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Digraph, BasicConstruction) {
+  Digraph g(3);
+  EXPECT_EQ(g.vertex_count(), 3);
+  EXPECT_EQ(g.edge_count(), 0u);
+  g.add_edge(0, 1, 1.5);
+  g.add_edge(0, 2, 2.5);
+  EXPECT_EQ(g.edge_count(), 2u);
+  ASSERT_EQ(g.out_edges(0).size(), 2u);
+  EXPECT_EQ(g.out_edges(0)[0].to, 1);
+  EXPECT_TRUE(g.out_edges(1).empty());
+}
+
+TEST(Digraph, AddVertexGrows) {
+  Digraph g;
+  EXPECT_EQ(g.add_vertex(), 0);
+  EXPECT_EQ(g.add_vertex(), 1);
+  EXPECT_EQ(g.vertex_count(), 2);
+}
+
+TEST(Digraph, BadVertexThrows) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 2, 1.0), std::out_of_range);
+  EXPECT_THROW(g.add_edge(-1, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(g.out_edges(5), std::out_of_range);
+  EXPECT_THROW(Digraph(-1), std::invalid_argument);
+}
+
+TEST(Dijkstra, KnownGraph) {
+  // Classic diamond with a tempting-but-worse direct edge.
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 4.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(1, 3, 6.0);
+  g.add_edge(2, 3, 1.0);
+  const auto r = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(r.dist[2], 2.0);
+  EXPECT_DOUBLE_EQ(r.dist[3], 3.0);
+  EXPECT_EQ(r.path_to(3), (std::vector<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(Dijkstra, UnreachableVertex) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  const auto r = dijkstra(g, 0);
+  EXPECT_EQ(r.dist[2], kInf);
+  EXPECT_TRUE(r.path_to(2).empty());
+}
+
+TEST(Dijkstra, SourcePathIsItself) {
+  Digraph g(1);
+  const auto r = dijkstra(g, 0);
+  EXPECT_EQ(r.path_to(0), (std::vector<VertexId>{0}));
+}
+
+TEST(Dijkstra, ZeroWeightEdges) {
+  Digraph g(3);
+  g.add_edge(0, 1, 0.0);
+  g.add_edge(1, 2, 0.0);
+  const auto r = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[2], 0.0);
+}
+
+TEST(Dijkstra, NegativeWeightThrows) {
+  Digraph g(2);
+  g.add_edge(0, 1, -1.0);
+  EXPECT_THROW(dijkstra(g, 0), std::invalid_argument);
+}
+
+TEST(Dijkstra, ParallelEdgesPickCheapest) {
+  Digraph g(2);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(0, 1, 2.0);
+  const auto r = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[1], 2.0);
+}
+
+TEST(BellmanFord, HandlesNegativeEdges) {
+  Digraph g(3);
+  g.add_edge(0, 1, 4.0);
+  g.add_edge(0, 2, 5.0);
+  g.add_edge(1, 2, -3.0);
+  const auto r = bellman_ford(g, 0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(r->dist[2], 1.0);
+}
+
+TEST(BellmanFord, DetectsNegativeCycle) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 0, -2.0);
+  EXPECT_FALSE(bellman_ford(g, 0).has_value());
+}
+
+TEST(BellmanFord, IgnoresUnreachableNegativeCycle) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, -5.0);
+  g.add_edge(3, 2, -5.0);
+  const auto r = bellman_ford(g, 0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(r->dist[1], 1.0);
+}
+
+// Property suite: Dijkstra agrees with Bellman-Ford on random non-negative
+// graphs, including distances and path validity.
+class ShortestPathProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShortestPathProperty, DijkstraMatchesBellmanFord) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131);
+  const int n = 2 + static_cast<int>(rng.below(60));
+  Digraph g(n);
+  const int edges = static_cast<int>(rng.below(static_cast<std::uint64_t>(n * 4)));
+  for (int i = 0; i < edges; ++i) {
+    const auto from = static_cast<VertexId>(rng.below(static_cast<std::uint64_t>(n)));
+    const auto to = static_cast<VertexId>(rng.below(static_cast<std::uint64_t>(n)));
+    g.add_edge(from, to, rng.uniform(0.0, 10.0));
+  }
+  const auto d = dijkstra(g, 0);
+  const auto bf = bellman_ford(g, 0);
+  ASSERT_TRUE(bf.has_value());
+  for (int v = 0; v < n; ++v) {
+    const double dv = d.dist[static_cast<std::size_t>(v)];
+    const double bv = bf->dist[static_cast<std::size_t>(v)];
+    if (dv == kInf || bv == kInf) {
+      EXPECT_EQ(dv, bv);
+    } else {
+      EXPECT_NEAR(dv, bv, 1e-9);
+    }
+  }
+  // Reconstructed paths have matching edge-weight sums.
+  for (int v = 0; v < n; ++v) {
+    const auto path = d.path_to(v);
+    if (path.empty()) continue;
+    EXPECT_EQ(path.front(), 0);
+    EXPECT_EQ(path.back(), v);
+    double total = 0.0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      double best = kInf;
+      for (const Edge& e : g.out_edges(path[i - 1])) {
+        if (e.to == path[i]) best = std::min(best, e.weight);
+      }
+      ASSERT_NE(best, kInf);
+      total += best;
+    }
+    EXPECT_NEAR(total, d.dist[static_cast<std::size_t>(v)], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShortestPathProperty, ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace spire::graph

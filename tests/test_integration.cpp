@@ -1,0 +1,171 @@
+// End-to-end integration: simulate workloads, collect multiplexed samples,
+// train a SPIRE ensemble, and check that the analysis pipeline produces the
+// paper's qualitative results on small inputs (the full-scale reproduction
+// lives in bench/).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sampling/collector.h"
+#include "sim/core.h"
+#include "spire/analyzer.h"
+#include "spire/ensemble.h"
+#include "spire/model_io.h"
+#include "tma/tma.h"
+#include "workloads/profile_stream.h"
+#include "workloads/suite.h"
+
+namespace spire {
+namespace {
+
+using counters::Event;
+using counters::TmaArea;
+
+sampling::Dataset collect(const workloads::WorkloadProfile& profile,
+                          std::uint64_t max_cycles,
+                          counters::CounterSet* delta_out = nullptr) {
+  workloads::ProfileStream stream(profile);
+  sim::Core core(sim::CoreConfig{}, stream, 7);
+  sampling::CollectorConfig cc;
+  cc.window_cycles = 25000;
+  cc.slice_cycles = 1000;
+  sampling::SampleCollector collector(cc);
+  sampling::Dataset data;
+  const counters::CounterSet before = core.counters();
+  collector.collect(core, data, max_cycles);
+  if (delta_out != nullptr) *delta_out = core.counters().since(before);
+  return data;
+}
+
+workloads::WorkloadProfile quick(workloads::WorkloadProfile p) {
+  p.instruction_count = 300000;
+  return p;
+}
+
+class Pipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // A compact training mix covering the four bottleneck families.
+    auto* train = new sampling::Dataset();
+    for (const char* name : {"tensorflow-lite", "graph500", "numenta-nab",
+                             "qmcpack", "parboil", "mafft"}) {
+      for (const auto& entry : workloads::hpc_suite()) {
+        if (entry.profile.name != name || entry.testing) continue;
+        train->merge(collect(quick(entry.profile), 1'500'000));
+      }
+    }
+    training_data_ = train;
+    ensemble_ = new model::Ensemble(model::Ensemble::train(*train));
+  }
+  static void TearDownTestSuite() {
+    delete ensemble_;
+    delete training_data_;
+    ensemble_ = nullptr;
+    training_data_ = nullptr;
+  }
+
+  static const sampling::Dataset* training_data_;
+  static const model::Ensemble* ensemble_;
+};
+
+const sampling::Dataset* Pipeline::training_data_ = nullptr;
+const model::Ensemble* Pipeline::ensemble_ = nullptr;
+
+TEST_F(Pipeline, TrainingProducesManyRooflines) {
+  EXPECT_GT(ensemble_->metric_count(), 40u);
+}
+
+TEST_F(Pipeline, EstimatesUpperBoundTrainingWorkloadsLoosely) {
+  // For data the model was trained on, the ensemble minimum should land in
+  // the right ballpark of the measured throughput (same order of
+  // magnitude) - it is a statistical bound, not an oracle.
+  model::Analyzer analyzer(*ensemble_);
+  const auto analysis = analyzer.analyze(*training_data_);
+  EXPECT_GT(analysis.estimated_throughput, 0.0);
+  EXPECT_LT(analysis.estimated_throughput, 4.0);
+}
+
+TEST_F(Pipeline, FrontEndWorkloadRanksFrontEndMetrics) {
+  auto profile = quick(workloads::find_workload("tnn", "SqueezeNet v1.1").profile);
+  const auto data = collect(profile, 2'000'000);
+  model::Analyzer analyzer(*ensemble_);
+  const auto analysis = analyzer.analyze(data);
+  EXPECT_EQ(model::Analyzer::dominant_area(analysis), TmaArea::kFrontEnd);
+}
+
+TEST_F(Pipeline, BadSpeculationWorkloadRanksBranchMetrics) {
+  auto profile =
+      quick(workloads::find_workload("scikit-learn", "Sparsify").profile);
+  const auto data = collect(profile, 2'000'000);
+  model::Analyzer analyzer(*ensemble_);
+  const auto analysis = analyzer.analyze(data);
+  // The paper's own Scikit column mixes front-end/core confounds with the
+  // BP metrics, so assert presence rather than strict dominance: several
+  // bad-speculation metrics must rank in the top 10.
+  EXPECT_GE(model::Analyzer::area_count_in_top(analysis,
+                                               TmaArea::kBadSpeculation),
+            2);
+}
+
+TEST_F(Pipeline, TmaAgreesOnTestWorkloadClasses) {
+  for (const auto& entry : workloads::testing_workloads()) {
+    counters::CounterSet delta;
+    collect(quick(entry.profile), 2'000'000, &delta);
+    const auto result = tma::analyze(delta);
+    EXPECT_EQ(result.main_bottleneck(), entry.expected_bottleneck)
+        << entry.profile.name;
+  }
+}
+
+TEST_F(Pipeline, ModelSurvivesSerialization) {
+  std::stringstream buf;
+  model::save_model(*ensemble_, buf);
+  const auto loaded = model::load_model(buf);
+
+  auto profile = quick(workloads::find_workload("onnx", "T5 Encoder, Std.").profile);
+  const auto data = collect(profile, 1'500'000);
+  const auto a = ensemble_->estimate(data);
+  const auto b = loaded.estimate(data);
+  ASSERT_EQ(a.ranking.size(), b.ranking.size());
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+  for (std::size_t i = 0; i < a.ranking.size(); ++i) {
+    EXPECT_EQ(a.ranking[i].metric, b.ranking[i].metric);
+    EXPECT_DOUBLE_EQ(a.ranking[i].p_bar, b.ranking[i].p_bar);
+  }
+}
+
+TEST_F(Pipeline, EstimationUpperBoundsHeldOutSamplesMostly) {
+  // The roofline bound is statistical: most held-out samples of a TRAINED
+  // workload family should sit at or below their per-sample estimates.
+  const auto& entry = workloads::find_workload("graph500", "Scale: 29");
+  auto profile = quick(entry.profile);
+  profile.seed += 1000;  // different dynamic behaviour, same family
+  const auto data = collect(profile, 1'500'000);
+  std::size_t total = 0;
+  std::size_t covered = 0;
+  for (const auto& [metric, roofline] : ensemble_->rooflines()) {
+    for (const auto& s : data.samples(metric)) {
+      if (s.t <= 0.0) continue;
+      ++total;
+      if (roofline.estimate(s.intensity()) + 1e-9 >= s.throughput()) ++covered;
+    }
+  }
+  ASSERT_GT(total, 100u);
+  EXPECT_GT(static_cast<double>(covered) / static_cast<double>(total), 0.8);
+}
+
+TEST(SamplingStats, OverheadInPaperBallpark) {
+  // The paper reports 1.6% average multiplexing overhead; our model should
+  // be in single digits too.
+  auto profile = quick(workloads::hpc_suite()[0].profile);
+  workloads::ProfileStream stream(profile);
+  sim::Core core(sim::CoreConfig{}, stream, 7);
+  sampling::SampleCollector collector{sampling::CollectorConfig{}};
+  sampling::Dataset data;
+  const auto stats = collector.collect(core, data, 1'000'000);
+  EXPECT_GT(stats.overhead_fraction(), 0.0);
+  EXPECT_LT(stats.overhead_fraction(), 0.10);
+}
+
+}  // namespace
+}  // namespace spire

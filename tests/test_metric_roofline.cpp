@@ -1,0 +1,270 @@
+// Tests for SPIRE's per-metric roofline fitting (paper §III-B and §III-D,
+// Figs. 5 and 6), including the paper's upper-bound, monotonicity and
+// concavity contracts as property suites over random sample clouds.
+#include "spire/metric_roofline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace spire::model {
+namespace {
+
+using geom::Point;
+using sampling::Sample;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Sample sample_at(double intensity, double throughput) {
+  // t = 1, w = P, m = w / I reconstructs the requested coordinates.
+  if (std::isinf(intensity)) return {1.0, throughput, 0.0};
+  if (intensity == 0.0) return {1.0, 0.0, 1.0};
+  return {1.0, throughput, throughput / intensity};
+}
+
+TEST(Fitting, SamplePointsConversion) {
+  const std::vector<Sample> samples{
+      {2.0, 8.0, 4.0},    // P = 4, I = 2
+      {1.0, 3.0, 0.0},    // P = 3, I = inf
+      {0.0, 1.0, 1.0},    // unusable: t = 0
+      {-1.0, 1.0, 1.0},   // unusable: t < 0
+  };
+  const auto pts = fitting::sample_points(samples);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0], (Point{2.0, 4.0}));
+  EXPECT_TRUE(std::isinf(pts[1].x));
+  EXPECT_DOUBLE_EQ(pts[1].y, 3.0);
+}
+
+TEST(FitLeft, SimpleHullFunction) {
+  const auto f = fitting::fit_left({{1.0, 5.0}, {5.0, 6.0}, {10.0, 10.0}});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_DOUBLE_EQ(f->at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f->at(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(f->at(10.0), 10.0);
+  EXPECT_TRUE(f->non_decreasing());
+  // (5,6) must lie strictly below the fit.
+  EXPECT_GT(f->at(5.0), 6.0);
+}
+
+TEST(FitLeft, AbsentForTrivialInput) {
+  EXPECT_FALSE(fitting::fit_left({}).has_value());
+  EXPECT_FALSE(fitting::fit_left({{1.0, 0.0}}).has_value());
+}
+
+TEST(FitLeft, SampleAtZeroIntensityStartsFunction) {
+  const auto f = fitting::fit_left({{0.0, 2.0}, {4.0, 6.0}});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_DOUBLE_EQ(f->at(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(f->at(4.0), 6.0);
+}
+
+TEST(FitRight, SingleSampleIsFlat) {
+  const auto f = fitting::fit_right({{3.0, 2.0}});
+  EXPECT_DOUBLE_EQ(f.at(3.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.at(1e9), 2.0);
+}
+
+TEST(FitRight, OnlyInfiniteSamplesGiveFlatBound) {
+  const auto dbg = fitting::fit_right_debug(
+      {{kInf, 1.5}, {kInf, 2.5}});
+  EXPECT_TRUE(dbg.front.empty());
+  EXPECT_DOUBLE_EQ(dbg.function.at(0.0), 2.5);
+  EXPECT_DOUBLE_EQ(dbg.function.at(1e12), 2.5);
+}
+
+TEST(FitRight, NoSamplesThrows) {
+  EXPECT_THROW(fitting::fit_right_debug({}), std::invalid_argument);
+}
+
+TEST(FitRight, TwoParetoSamplesConnect) {
+  // Apex (1, 4) and a right sample (5, 2): the fit descends from the apex
+  // to the sample, then runs flat to infinity.
+  const auto dbg = fitting::fit_right_debug({{1.0, 4.0}, {5.0, 2.0}});
+  ASSERT_EQ(dbg.front.size(), 2u);
+  EXPECT_DOUBLE_EQ(dbg.function.at(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(dbg.function.at(5.0), 2.0);
+  EXPECT_DOUBLE_EQ(dbg.function.at(100.0), 2.0);
+  EXPECT_DOUBLE_EQ(dbg.function.at(3.0), 3.0);  // on the connecting line
+  EXPECT_DOUBLE_EQ(dbg.total_error, 0.0);       // touches both samples
+}
+
+TEST(FitRight, PaperFigureSixStyleExample) {
+  // Five Pareto samples A-E (right to left) where the direct B->D line
+  // overestimates C with a squared error of exactly 11 - epsilon-free
+  // analogue of the paper's example: choose C so that
+  // (line_BD(C.x) - C.y)^2 has a known value.
+  // B = (8, 2), D = (2, 5): line at x=5 gives 3.5. C = (5, 0.1833...)
+  // would be weird; instead verify the error arithmetic directly.
+  const Point a{10.0, 1.0};
+  const Point b{8.0, 2.0};
+  const Point c{5.0, 3.0};
+  const Point d{2.0, 5.0};
+  const Point e{1.0, 8.0};
+  const auto dbg = fitting::fit_right_debug({a, b, c, d, e});
+  ASSERT_EQ(dbg.front.size(), 5u);
+  // The fit is a valid upper bound on every sample.
+  for (const Point& p : {a, b, c, d, e}) {
+    EXPECT_GE(dbg.function.at(p.x) + 1e-9, p.y);
+  }
+  // Touching every sample is impossible here (concavity), so some error
+  // must be paid; Dijkstra must pick the minimum.
+  // The B->D line at x=5 is 3.875 >= 3, so skipping C costs (0.875)^2.
+  const double skip_c_cost = 0.875 * 0.875;
+  EXPECT_LE(dbg.total_error, skip_c_cost + 1e-9);
+}
+
+TEST(FitRight, CapCoversSkippedSamplesNearApex) {
+  // A cluster just right of the apex that no concave chain can touch
+  // forces the horizontal cap (the paper's Fig. 6 "End" semantics).
+  const auto dbg = fitting::fit_right_debug(
+      {{1.0, 10.0}, {2.0, 9.9}, {3.0, 9.8}, {10.0, 1.0}});
+  for (const Point& p :
+       std::vector<Point>{{1.0, 10.0}, {2.0, 9.9}, {3.0, 9.8}, {10.0, 1.0}}) {
+    EXPECT_GE(dbg.function.at(p.x) + 1e-9, p.y);
+  }
+  EXPECT_TRUE(dbg.function.non_increasing());
+}
+
+TEST(FitRight, StartMustCoverInfiniteSamples) {
+  // An infinite-intensity sample with HIGH throughput: the fit's tail must
+  // not dip below it (the upper-bound property at I = inf).
+  const auto dbg = fitting::fit_right_debug(
+      {{1.0, 5.0}, {10.0, 1.0}, {kInf, 4.0}});
+  EXPECT_FALSE(dbg.dummy_start);
+  EXPECT_DOUBLE_EQ(dbg.start_throughput, 4.0);
+  EXPECT_GE(dbg.function.at(1e15), 4.0);
+}
+
+TEST(FitRight, InfiniteSampleAboveAllFiniteGivesFlatTail) {
+  const auto dbg = fitting::fit_right_debug({{1.0, 2.0}, {kInf, 7.0}});
+  EXPECT_GE(dbg.function.at(5.0), 7.0);
+  EXPECT_GE(dbg.function.at(1e15), 7.0);
+}
+
+TEST(MetricRoofline, FitRequiresUsableSamples) {
+  EXPECT_THROW(MetricRoofline::fit(std::vector<Sample>{}),
+               std::invalid_argument);
+  const std::vector<Sample> unusable{{0.0, 1.0, 1.0}};
+  EXPECT_THROW(MetricRoofline::fit(unusable), std::invalid_argument);
+}
+
+TEST(MetricRoofline, EstimateValidation) {
+  const std::vector<Sample> samples{sample_at(2.0, 3.0), sample_at(4.0, 1.0)};
+  const auto model = MetricRoofline::fit(samples);
+  EXPECT_THROW(model.estimate(-1.0), std::invalid_argument);
+  EXPECT_THROW(model.estimate(std::nan("")), std::invalid_argument);
+  EXPECT_NO_THROW(model.estimate(kInf));
+}
+
+TEST(MetricRoofline, ApexSplitsRegions) {
+  const std::vector<Sample> samples{
+      sample_at(1.0, 2.0), sample_at(4.0, 6.0), sample_at(10.0, 3.0)};
+  const auto model = MetricRoofline::fit(samples);
+  EXPECT_DOUBLE_EQ(model.apex_intensity(), 4.0);
+  EXPECT_DOUBLE_EQ(model.apex_throughput(), 6.0);
+  // Left region rises toward the apex, right region descends from it.
+  EXPECT_LT(model.estimate(0.5), model.estimate(4.0));
+  EXPECT_GT(model.estimate(4.0), model.estimate(10.0));
+  EXPECT_DOUBLE_EQ(model.estimate(4.0), 6.0);
+}
+
+TEST(MetricRoofline, DescribeMentionsRegions) {
+  const std::vector<Sample> samples{sample_at(2.0, 3.0), sample_at(5.0, 1.0)};
+  const auto model = MetricRoofline::fit(samples);
+  const std::string text = model.describe();
+  EXPECT_NE(text.find("apex"), std::string::npos);
+  EXPECT_NE(text.find("left region"), std::string::npos);
+  EXPECT_NE(text.find("right region"), std::string::npos);
+}
+
+// ------------------------------------------------------------------
+// Property suites (the paper's §III-B/III-D contracts).
+// ------------------------------------------------------------------
+
+std::vector<Sample> random_cloud(util::Rng& rng, bool with_infinite) {
+  std::vector<Sample> samples;
+  const int n = 5 + static_cast<int>(rng.below(400));
+  for (int i = 0; i < n; ++i) {
+    const double p = rng.uniform(0.05, 4.0);
+    if (with_infinite && rng.chance(0.1)) {
+      samples.push_back(sample_at(kInf, p));
+    } else {
+      // Log-uniform intensities to cover several decades, as counter data
+      // does.
+      const double intensity = std::pow(10.0, rng.uniform(-2.0, 4.0));
+      samples.push_back(sample_at(intensity, p));
+    }
+  }
+  return samples;
+}
+
+class RooflineProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RooflineProperty, UpperBoundsEveryTrainingSample) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 1009);
+  const auto samples = random_cloud(rng, /*with_infinite=*/true);
+  const auto model = MetricRoofline::fit(samples);
+  for (const Sample& s : samples) {
+    const double bound = model.estimate(s.intensity());
+    EXPECT_GE(bound + 1e-7, s.throughput())
+        << "I=" << s.intensity() << " P=" << s.throughput();
+  }
+}
+
+TEST_P(RooflineProperty, LeftRegionIncreasingConcaveDown) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2003);
+  const auto samples = random_cloud(rng, /*with_infinite=*/false);
+  const auto model = MetricRoofline::fit(samples);
+  if (!model.left().has_value()) return;
+  const auto& left = *model.left();
+  EXPECT_TRUE(left.non_decreasing());
+  // Slopes of successive pieces never increase (concave-down).
+  const auto& pieces = left.pieces();
+  for (std::size_t i = 1; i < pieces.size(); ++i) {
+    EXPECT_LE(pieces[i].slope(), pieces[i - 1].slope() + 1e-9);
+  }
+  EXPECT_TRUE(left.continuous());
+}
+
+TEST_P(RooflineProperty, RightRegionNonIncreasing) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 3001);
+  const auto samples = random_cloud(rng, /*with_infinite=*/true);
+  const auto model = MetricRoofline::fit(samples);
+  EXPECT_TRUE(model.right().non_increasing());
+  // The right region's domain reaches infinity.
+  EXPECT_TRUE(std::isinf(model.right().domain_max()));
+}
+
+TEST_P(RooflineProperty, RightSlopesConcaveUpExceptCap) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 4001);
+  const auto samples = random_cloud(rng, /*with_infinite=*/false);
+  const auto model = MetricRoofline::fit(samples);
+  const auto& pieces = model.right().pieces();
+  // Skip a leading horizontal cap (the paper's sanctioned exception);
+  // beyond it, slopes must not decrease as I grows.
+  std::size_t start = 0;
+  if (pieces.size() > 1 && pieces[0].slope() == 0.0) start = 1;
+  for (std::size_t i = start + 1; i < pieces.size(); ++i) {
+    EXPECT_GE(pieces[i].slope(), pieces[i - 1].slope() - 1e-9);
+  }
+}
+
+TEST_P(RooflineProperty, EstimateContinuousAcrossApex) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 5003);
+  const auto samples = random_cloud(rng, /*with_infinite=*/false);
+  const auto model = MetricRoofline::fit(samples);
+  const double apex_i = model.apex_intensity();
+  if (!std::isfinite(apex_i) || apex_i <= 0.0) return;
+  EXPECT_NEAR(model.estimate(apex_i * (1.0 - 1e-9)),
+              model.estimate(apex_i * (1.0 + 1e-9)),
+              std::max(1e-6, model.apex_throughput() * 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RooflineProperty, ::testing::Range(1, 33));
+
+}  // namespace
+}  // namespace spire::model

@@ -1,0 +1,161 @@
+#include "workloads/microbench.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sim/core.h"
+#include "workloads/profile_stream.h"
+
+namespace spire::workloads {
+namespace {
+
+TEST(Microbench, SuiteCoversEveryAxis) {
+  const auto suite = microbenchmark_suite();
+  std::set<MicrobenchAxis> axes;
+  for (const auto& mb : suite) axes.insert(mb.axis);
+  EXPECT_EQ(axes.size(), 10u);
+}
+
+TEST(Microbench, PointsPerAxisRespected) {
+  const auto suite = microbenchmark_suite(4);
+  std::map<MicrobenchAxis, int> counts;
+  for (const auto& mb : suite) ++counts[mb.axis];
+  for (const auto& [axis, count] : counts) {
+    if (axis == MicrobenchAxis::kMemoryPattern) {
+      EXPECT_EQ(count, 8) << microbench_axis_name(axis);  // 4 patterns x 2 sizes
+    } else {
+      EXPECT_EQ(count, 4) << microbench_axis_name(axis);
+    }
+  }
+}
+
+TEST(Microbench, RejectsDegenerateSweep) {
+  EXPECT_THROW(microbenchmark_suite(1), std::invalid_argument);
+}
+
+TEST(Microbench, SweepLevelsAreMonotone) {
+  const auto suite = microbenchmark_suite(5);
+  std::map<MicrobenchAxis, double> last;
+  for (const auto& mb : suite) {
+    if (mb.axis == MicrobenchAxis::kMemoryPattern) continue;
+    const auto it = last.find(mb.axis);
+    if (it != last.end()) {
+      EXPECT_GT(mb.level, it->second) << microbench_axis_name(mb.axis);
+    }
+    last[mb.axis] = mb.level;
+  }
+}
+
+TEST(Microbench, SeedsAreUnique) {
+  const auto suite = microbenchmark_suite();
+  std::set<std::uint64_t> seeds;
+  for (const auto& mb : suite) {
+    EXPECT_TRUE(seeds.insert(mb.profile.seed).second) << mb.profile.name;
+  }
+}
+
+TEST(Microbench, NamesEncodeAxis) {
+  for (const auto& mb : microbenchmark_suite(3)) {
+    EXPECT_NE(mb.profile.name.find(microbench_axis_name(mb.axis)),
+              std::string::npos);
+  }
+}
+
+TEST(Microbench, AxisNamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (const auto axis :
+       {MicrobenchAxis::kBranchEntropy, MicrobenchAxis::kCodeFootprint,
+        MicrobenchAxis::kWorkingSet, MicrobenchAxis::kMemoryPattern,
+        MicrobenchAxis::kDependencyChain, MicrobenchAxis::kDividerPressure,
+        MicrobenchAxis::kVectorWidthMix, MicrobenchAxis::kMicrocode,
+        MicrobenchAxis::kLockedOps, MicrobenchAxis::kStorePressure}) {
+    EXPECT_TRUE(names.insert(microbench_axis_name(axis)).second);
+  }
+}
+
+// Behavioural checks: the extreme point of each sweep actually moves the
+// counter family it targets (run briefly on the simulator).
+counters::CounterSet run_profile(WorkloadProfile p) {
+  p.instruction_count = 60'000;
+  ProfileStream stream(p);
+  sim::Core core(sim::CoreConfig{}, stream, 7);
+  core.run(4'000'000);
+  return core.counters();
+}
+
+TEST(Microbench, BranchEntropySweepMovesMispredicts) {
+  const auto suite = microbenchmark_suite(3);
+  const Microbench* lo = nullptr;
+  const Microbench* hi = nullptr;
+  for (const auto& mb : suite) {
+    if (mb.axis != MicrobenchAxis::kBranchEntropy) continue;
+    if (lo == nullptr || mb.level < lo->level) lo = &mb;
+    if (hi == nullptr || mb.level > hi->level) hi = &mb;
+  }
+  ASSERT_NE(lo, nullptr);
+  const auto c_lo = run_profile(lo->profile);
+  const auto c_hi = run_profile(hi->profile);
+  EXPECT_GT(c_hi.get(counters::Event::kBrMispRetiredAllBranches),
+            4 * c_lo.get(counters::Event::kBrMispRetiredAllBranches));
+}
+
+TEST(Microbench, CodeFootprintSweepMovesDsbMisses) {
+  const auto suite = microbenchmark_suite(3);
+  const Microbench* lo = nullptr;
+  const Microbench* hi = nullptr;
+  for (const auto& mb : suite) {
+    if (mb.axis != MicrobenchAxis::kCodeFootprint) continue;
+    if (lo == nullptr || mb.level < lo->level) lo = &mb;
+    if (hi == nullptr || mb.level > hi->level) hi = &mb;
+  }
+  const auto c_lo = run_profile(lo->profile);
+  const auto c_hi = run_profile(hi->profile);
+  EXPECT_GT(c_hi.get(counters::Event::kFrontendRetiredDsbMiss),
+            4 * (c_lo.get(counters::Event::kFrontendRetiredDsbMiss) + 100));
+}
+
+TEST(Microbench, WorkingSetSweepMovesCacheMisses) {
+  const auto suite = microbenchmark_suite(3);
+  const Microbench* lo = nullptr;
+  const Microbench* hi = nullptr;
+  for (const auto& mb : suite) {
+    if (mb.axis != MicrobenchAxis::kWorkingSet) continue;
+    if (lo == nullptr || mb.level < lo->level) lo = &mb;
+    if (hi == nullptr || mb.level > hi->level) hi = &mb;
+  }
+  const auto c_lo = run_profile(lo->profile);
+  const auto c_hi = run_profile(hi->profile);
+  EXPECT_GT(c_hi.get(counters::Event::kLongestLatCacheMiss),
+            4 * (c_lo.get(counters::Event::kLongestLatCacheMiss) + 10));
+}
+
+TEST(Microbench, DividerSweepMovesDividerActive) {
+  const auto suite = microbenchmark_suite(3);
+  const Microbench* hi = nullptr;
+  for (const auto& mb : suite) {
+    if (mb.axis != MicrobenchAxis::kDividerPressure) continue;
+    if (hi == nullptr || mb.level > hi->level) hi = &mb;
+  }
+  const auto c = run_profile(hi->profile);
+  EXPECT_GT(c.get(counters::Event::kArithDividerActive), 10'000u);
+}
+
+TEST(Microbench, VectorMixMidpointMaximizesTransitions) {
+  const auto suite = microbenchmark_suite(5);
+  std::uint64_t at_mid = 0;
+  std::uint64_t at_ends = 0;
+  for (const auto& mb : suite) {
+    if (mb.axis != MicrobenchAxis::kVectorWidthMix) continue;
+    const auto vw = run_profile(mb.profile)
+                        .get(counters::Event::kUopsIssuedVectorWidthMismatch);
+    if (mb.level == 0.0 || mb.level == 1.0) at_ends = std::max(at_ends, vw);
+    if (mb.level == 0.5) at_mid = vw;
+  }
+  EXPECT_GT(at_mid, at_ends);
+  EXPECT_EQ(at_ends, 0u);  // pure-width runs never transition
+}
+
+}  // namespace
+}  // namespace spire::workloads

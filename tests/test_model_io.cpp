@@ -1,0 +1,122 @@
+#include "spire/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace spire::model {
+namespace {
+
+using counters::Event;
+using sampling::Dataset;
+using sampling::Sample;
+
+Sample sample_at(double intensity, double throughput) {
+  if (std::isinf(intensity)) return {1.0, throughput, 0.0};
+  return {1.0, throughput, throughput / intensity};
+}
+
+Ensemble make_ensemble(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset train;
+  for (Event metric : {Event::kIdqDsbUops, Event::kBrMispRetiredAllBranches,
+                       Event::kLongestLatCacheMiss}) {
+    for (int i = 0; i < 60; ++i) {
+      const double intensity = rng.chance(0.1)
+                                   ? std::numeric_limits<double>::infinity()
+                                   : std::pow(10.0, rng.uniform(-1.0, 3.0));
+      train.add(metric, sample_at(intensity, rng.uniform(0.1, 4.0)));
+    }
+  }
+  return Ensemble::train(train);
+}
+
+TEST(ModelIo, RoundTripPreservesRooflinesExactly) {
+  const Ensemble original = make_ensemble(11);
+  std::stringstream buf;
+  save_model(original, buf);
+  const Ensemble loaded = load_model(buf);
+
+  ASSERT_EQ(loaded.metric_count(), original.metric_count());
+  for (const auto& [metric, roofline] : original.rooflines()) {
+    const auto it = loaded.rooflines().find(metric);
+    ASSERT_NE(it, loaded.rooflines().end());
+    EXPECT_EQ(it->second, roofline) << counters::event_name(metric);
+  }
+}
+
+TEST(ModelIo, RoundTripPreservesEstimates) {
+  const Ensemble original = make_ensemble(23);
+  std::stringstream buf;
+  save_model(original, buf);
+  const Ensemble loaded = load_model(buf);
+
+  util::Rng rng(99);
+  for (const auto& [metric, roofline] : original.rooflines()) {
+    const auto& other = loaded.rooflines().at(metric);
+    for (int i = 0; i < 200; ++i) {
+      const double intensity = std::pow(10.0, rng.uniform(-2.0, 5.0));
+      EXPECT_DOUBLE_EQ(roofline.estimate(intensity), other.estimate(intensity));
+    }
+    EXPECT_DOUBLE_EQ(
+        roofline.estimate(std::numeric_limits<double>::infinity()),
+        other.estimate(std::numeric_limits<double>::infinity()));
+  }
+}
+
+TEST(ModelIo, BadHeaderThrows) {
+  std::istringstream in("not-a-model\n");
+  EXPECT_THROW(load_model(in), std::runtime_error);
+}
+
+TEST(ModelIo, UnknownMetricThrows) {
+  std::istringstream in(
+      "spire-model v1\n"
+      "metric fake.event trained_on=5 apex=1 2\n"
+      "left 0\n"
+      "right 1 1 2 inf 2\n");
+  EXPECT_THROW(load_model(in), std::runtime_error);
+}
+
+TEST(ModelIo, TruncatedInputThrows) {
+  std::istringstream in(
+      "spire-model v1\n"
+      "metric idq.dsb_uops trained_on=5 apex=1 2\n"
+      "left 0\n");
+  EXPECT_THROW(load_model(in), std::runtime_error);
+}
+
+TEST(ModelIo, EmptyModelThrows) {
+  std::istringstream in("spire-model v1\n");
+  EXPECT_THROW(load_model(in), std::runtime_error);
+}
+
+TEST(ModelIo, ParsesHandWrittenModel) {
+  std::istringstream in(
+      "spire-model v1\n"
+      "metric idq.dsb_uops trained_on=12 apex=2 3\n"
+      "left 2 0 0 2 3\n"
+      "right 2 2 3 10 1 10 1 inf 1\n");
+  const Ensemble ens = load_model(in);
+  const auto& roofline = ens.rooflines().at(Event::kIdqDsbUops);
+  EXPECT_EQ(roofline.training_sample_count(), 12u);
+  EXPECT_DOUBLE_EQ(roofline.apex_intensity(), 2.0);
+  EXPECT_DOUBLE_EQ(roofline.estimate(1.0), 1.5);  // on the left segment
+  EXPECT_DOUBLE_EQ(roofline.estimate(6.0), 2.0);  // on the right segment
+  EXPECT_DOUBLE_EQ(roofline.estimate(1e9), 1.0);  // horizontal tail
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const Ensemble original = make_ensemble(31);
+  const std::string path = ::testing::TempDir() + "/spire_model.txt";
+  save_model_file(original, path);
+  const Ensemble loaded = load_model_file(path);
+  EXPECT_EQ(loaded.metric_count(), original.metric_count());
+  EXPECT_THROW(load_model_file("/nonexistent/model.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace spire::model

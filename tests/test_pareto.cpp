@@ -1,0 +1,110 @@
+#include "geom/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+
+namespace spire::geom {
+namespace {
+
+TEST(Pareto, EmptyInput) {
+  EXPECT_TRUE(pareto_front_max_xy({}).empty());
+}
+
+TEST(Pareto, SinglePoint) {
+  const auto front = pareto_front_max_xy({{1.0, 2.0}});
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0], (Point{1.0, 2.0}));
+}
+
+TEST(Pareto, KnownStaircase) {
+  // A is dominated by B; the front is the D-C-B-ish staircase.
+  const std::vector<Point> pts{
+      {1.0, 1.0},  // dominated by everything
+      {5.0, 2.0},  // front (max x)
+      {3.0, 4.0},  // front
+      {2.0, 6.0},  // front (max y)
+      {4.0, 3.0},  // front
+      {2.5, 3.5},  // dominated by (3,4)
+  };
+  const auto front = pareto_front_max_xy(pts);
+  const std::vector<Point> expected{{5.0, 2.0}, {4.0, 3.0}, {3.0, 4.0}, {2.0, 6.0}};
+  EXPECT_EQ(front, expected);
+}
+
+TEST(Pareto, DuplicatesCollapse) {
+  const auto front = pareto_front_max_xy({{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}});
+  EXPECT_EQ(front.size(), 1u);
+}
+
+TEST(Pareto, EqualXKeepsHighestY) {
+  const auto front = pareto_front_max_xy({{2.0, 1.0}, {2.0, 5.0}, {2.0, 3.0}});
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0], (Point{2.0, 5.0}));
+}
+
+TEST(Pareto, EqualYKeepsLargestX) {
+  const auto front = pareto_front_max_xy({{1.0, 4.0}, {3.0, 4.0}, {2.0, 4.0}});
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0], (Point{3.0, 4.0}));
+}
+
+TEST(Pareto, InfiniteXLeadsFront) {
+  const double inf = kInfinity;
+  const auto front = pareto_front_max_xy({{inf, 1.0}, {2.0, 3.0}, {1.0, 0.5}});
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_EQ(front[0], (Point{inf, 1.0}));
+  EXPECT_EQ(front[1], (Point{2.0, 3.0}));
+}
+
+TEST(Pareto, IsDominatedOracle) {
+  const std::vector<Point> pts{{1.0, 1.0}, {2.0, 2.0}};
+  EXPECT_TRUE(is_dominated({1.0, 1.0}, pts));
+  EXPECT_FALSE(is_dominated({2.0, 2.0}, pts));
+  EXPECT_FALSE(is_dominated({3.0, 0.0}, pts));
+}
+
+class ParetoProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParetoProperty, MatchesBruteForceOracle) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  std::vector<Point> pts;
+  const int n = 1 + static_cast<int>(rng.below(300));
+  for (int i = 0; i < n; ++i) {
+    // Quantized coordinates create plenty of exact ties.
+    pts.push_back({static_cast<double>(rng.below(20)),
+                   static_cast<double>(rng.below(20))});
+  }
+  const auto front = pareto_front_max_xy(pts);
+
+  // Front postconditions: x strictly decreasing, y strictly increasing.
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_LT(front[i].x, front[i - 1].x);
+    EXPECT_GT(front[i].y, front[i - 1].y);
+  }
+  // Every front member is non-dominated; every non-member point is
+  // dominated by (or a duplicate of) a front member.
+  for (const auto& f : front) {
+    EXPECT_FALSE(is_dominated(f, pts));
+  }
+  const auto on_front = [&](const Point& p) {
+    return std::find(front.begin(), front.end(), p) != front.end();
+  };
+  for (const auto& p : pts) {
+    if (!on_front(p)) {
+      const bool covered =
+          std::any_of(front.begin(), front.end(), [&](const Point& f) {
+            return f.x >= p.x && f.y >= p.y;
+          });
+      EXPECT_TRUE(covered);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParetoProperty, ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace spire::geom

@@ -1,0 +1,130 @@
+#include "geom/piecewise_linear.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace spire::geom {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(LinearPiece, InterpolatesAndExtends) {
+  const LinearPiece p{0.0, 0.0, 10.0, 5.0};
+  EXPECT_DOUBLE_EQ(p.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.at(10.0), 5.0);
+  EXPECT_DOUBLE_EQ(p.at(4.0), 2.0);
+  EXPECT_DOUBLE_EQ(p.slope(), 0.5);
+}
+
+TEST(LinearPiece, InfiniteTailIsHorizontal) {
+  const LinearPiece p{1.0, 3.0, kInf, 3.0};
+  EXPECT_DOUBLE_EQ(p.at(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(p.at(1e18), 3.0);
+  EXPECT_DOUBLE_EQ(p.slope(), 0.0);
+}
+
+TEST(PiecewiseLinear, ConstructionValidation) {
+  EXPECT_THROW(PiecewiseLinear(std::vector<LinearPiece>{}),
+               std::invalid_argument);
+  // Degenerate piece (x0 >= x1).
+  EXPECT_THROW(PiecewiseLinear({{1.0, 0.0, 1.0, 1.0}}), std::invalid_argument);
+  // Non-contiguous pieces.
+  EXPECT_THROW(PiecewiseLinear({{0.0, 0.0, 1.0, 1.0}, {2.0, 1.0, 3.0, 2.0}}),
+               std::invalid_argument);
+  // Infinite piece must be horizontal.
+  EXPECT_THROW(PiecewiseLinear({{0.0, 0.0, kInf, 1.0}}), std::invalid_argument);
+  // Infinite piece must be last.
+  EXPECT_THROW(PiecewiseLinear({{0.0, 1.0, kInf, 1.0}, {1.0, 1.0, 2.0, 0.0}}),
+               std::invalid_argument);
+  // Non-finite y.
+  EXPECT_THROW(PiecewiseLinear({{0.0, kInf, 1.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(PiecewiseLinear, EvaluationAndClamping) {
+  const PiecewiseLinear f({{1.0, 2.0, 3.0, 6.0}, {3.0, 6.0, 5.0, 6.0}});
+  EXPECT_DOUBLE_EQ(f.domain_min(), 1.0);
+  EXPECT_DOUBLE_EQ(f.domain_max(), 5.0);
+  EXPECT_DOUBLE_EQ(f.at(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(f.at(4.0), 6.0);
+  EXPECT_DOUBLE_EQ(f.at(0.0), 2.0);   // clamp below
+  EXPECT_DOUBLE_EQ(f.at(10.0), 6.0);  // clamp above
+}
+
+TEST(PiecewiseLinear, LeftPieceWinsAtSharedBoundary) {
+  // Jump discontinuity at x=2: left piece ends at 5, right starts at 3.
+  const PiecewiseLinear f({{0.0, 5.0, 2.0, 5.0}, {2.0, 3.0, 4.0, 1.0}});
+  EXPECT_DOUBLE_EQ(f.at(2.0), 5.0);
+  EXPECT_NEAR(f.at(2.0000001), 3.0, 1e-6);  // just inside the right piece
+  EXPECT_TRUE(f.non_increasing());
+  EXPECT_FALSE(f.continuous());
+}
+
+TEST(PiecewiseLinear, MonotonicityChecks) {
+  const PiecewiseLinear up({{0.0, 0.0, 1.0, 1.0}, {1.0, 1.0, 2.0, 3.0}});
+  EXPECT_TRUE(up.non_decreasing());
+  EXPECT_FALSE(up.non_increasing());
+
+  const PiecewiseLinear down({{0.0, 3.0, 1.0, 1.0}, {1.0, 1.0, 2.0, 0.0}});
+  EXPECT_TRUE(down.non_increasing());
+  EXPECT_FALSE(down.non_decreasing());
+
+  // Upward jump breaks non-increasing.
+  const PiecewiseLinear jump_up({{0.0, 1.0, 1.0, 1.0}, {1.0, 2.0, 2.0, 2.0}});
+  EXPECT_FALSE(jump_up.non_increasing());
+  EXPECT_TRUE(jump_up.non_decreasing());
+}
+
+TEST(PiecewiseLinear, FromKnots) {
+  const auto f = PiecewiseLinear::from_knots({{0.0, 0.0}, {1.0, 2.0}, {3.0, 2.0}});
+  EXPECT_TRUE(f.continuous());
+  EXPECT_DOUBLE_EQ(f.at(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(f.at(2.0), 2.0);
+  EXPECT_THROW(PiecewiseLinear::from_knots({{0.0, 0.0}}), std::invalid_argument);
+  // Non-increasing x.
+  EXPECT_THROW(PiecewiseLinear::from_knots({{1.0, 0.0}, {1.0, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(PiecewiseLinear, InfiniteTailEvaluation) {
+  const PiecewiseLinear f({{0.0, 4.0, 2.0, 2.0}, {2.0, 2.0, kInf, 2.0}});
+  EXPECT_DOUBLE_EQ(f.at(1e100), 2.0);
+  EXPECT_DOUBLE_EQ(f.at(kInf), 2.0);
+  EXPECT_DOUBLE_EQ(f.domain_max(), kInf);
+}
+
+TEST(PiecewiseLinear, SampleCoversRangeAndJumps) {
+  const PiecewiseLinear f({{0.0, 5.0, 2.0, 5.0}, {2.0, 3.0, 4.0, 1.0}});
+  const auto pts = f.sample(0.0, 4.0, 9);
+  ASSERT_GE(pts.size(), 9u);
+  // Sorted by x and within evaluation bounds.
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i - 1].x, pts[i].x);
+  }
+  // Step points inserted around the discontinuity at x=2.
+  bool saw_high = false;
+  bool saw_low = false;
+  for (const auto& p : pts) {
+    if (p.x >= 1.99 && p.x <= 2.01) {
+      saw_high |= p.y == 5.0;
+      saw_low |= p.y < 3.01;
+    }
+  }
+  EXPECT_TRUE(saw_high);
+  EXPECT_TRUE(saw_low);
+}
+
+TEST(PiecewiseLinear, DescribeListsPieces) {
+  const PiecewiseLinear f({{0.0, 0.0, 1.0, 1.0}});
+  EXPECT_NE(f.describe().find("slope 1"), std::string::npos);
+}
+
+TEST(PiecewiseLinear, EmptyThrowsOnUse) {
+  const PiecewiseLinear f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_THROW(f.at(0.0), std::logic_error);
+  EXPECT_THROW(f.domain_min(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace spire::geom

@@ -1,0 +1,170 @@
+#include "spire/polarity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sampling/dataset.h"
+#include "spire/ensemble.h"
+#include "util/rng.h"
+
+namespace spire::model {
+namespace {
+
+using sampling::Sample;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Sample sample_at(double intensity, double throughput) {
+  if (std::isinf(intensity)) return {1.0, throughput, 0.0};
+  return {1.0, throughput, throughput / intensity};
+}
+
+std::vector<Sample> negative_metric_cloud(std::uint64_t seed, int n = 120) {
+  // A stall-like metric: throughput rises with I then saturates, noisy.
+  util::Rng rng(seed);
+  std::vector<Sample> out;
+  for (int i = 0; i < n; ++i) {
+    const double intensity = std::pow(10.0, rng.uniform(-1.0, 3.0));
+    const double base = 4.0 * intensity / (intensity + 5.0);
+    out.push_back(sample_at(intensity, std::max(0.05, base * rng.uniform(0.5, 1.0))));
+  }
+  return out;
+}
+
+std::vector<Sample> positive_metric_cloud(std::uint64_t seed, int n = 120) {
+  // A DSB-uops-like metric: throughput falls as events get rarer.
+  util::Rng rng(seed);
+  std::vector<Sample> out;
+  for (int i = 0; i < n; ++i) {
+    const double intensity = std::pow(10.0, rng.uniform(-1.0, 3.0));
+    const double base = 4.0 * 5.0 / (intensity + 5.0);
+    out.push_back(sample_at(intensity, std::max(0.05, base * rng.uniform(0.5, 1.0))));
+  }
+  return out;
+}
+
+TEST(Polarity, DetectsNegativeMetric) {
+  const auto trend = detect_polarity(negative_metric_cloud(1));
+  EXPECT_EQ(trend.polarity, Polarity::kNegative);
+  EXPECT_GT(trend.spearman, 0.3);
+  EXPECT_GE(trend.finite_samples, 100u);
+}
+
+TEST(Polarity, DetectsPositiveMetric) {
+  const auto trend = detect_polarity(positive_metric_cloud(2));
+  EXPECT_EQ(trend.polarity, Polarity::kPositive);
+  EXPECT_LT(trend.spearman, -0.3);
+}
+
+TEST(Polarity, UncorrelatedIsAmbiguous) {
+  util::Rng rng(3);
+  std::vector<Sample> cloud;
+  for (int i = 0; i < 200; ++i) {
+    cloud.push_back(sample_at(std::pow(10.0, rng.uniform(-1.0, 3.0)),
+                              rng.uniform(0.5, 3.5)));
+  }
+  EXPECT_EQ(detect_polarity(cloud).polarity, Polarity::kAmbiguous);
+}
+
+TEST(Polarity, TooFewSamplesIsAmbiguous) {
+  const std::vector<Sample> few{sample_at(1.0, 1.0), sample_at(2.0, 2.0),
+                                sample_at(4.0, 3.0)};
+  const auto trend = detect_polarity(few);
+  EXPECT_EQ(trend.polarity, Polarity::kAmbiguous);
+  EXPECT_EQ(trend.finite_samples, 3u);
+}
+
+TEST(Polarity, ThresholdControlsSensitivity) {
+  const auto cloud = negative_metric_cloud(4);
+  EXPECT_EQ(detect_polarity(cloud, 0.99).polarity, Polarity::kAmbiguous);
+  EXPECT_EQ(detect_polarity(cloud, 0.1).polarity, Polarity::kNegative);
+}
+
+TEST(Polarity, InfiniteSamplesExcludedFromTrend) {
+  auto cloud = negative_metric_cloud(5, 50);
+  const std::size_t finite = detect_polarity(cloud).finite_samples;
+  cloud.push_back(sample_at(kInf, 1.0));
+  cloud.push_back(sample_at(kInf, 2.0));
+  EXPECT_EQ(detect_polarity(cloud).finite_samples, finite);
+}
+
+TEST(Polarity, NegativeFitFlattensRightRegion) {
+  const auto cloud = negative_metric_cloud(6);
+  const auto constrained = fit_with_polarity(cloud);
+  // Beyond the apex the bound must never drop (the paper's BP.1 defect).
+  const double at_apex = constrained.estimate(constrained.apex_intensity());
+  EXPECT_DOUBLE_EQ(constrained.estimate(constrained.apex_intensity() * 100.0),
+                   at_apex);
+  EXPECT_DOUBLE_EQ(constrained.estimate(kInf), at_apex);
+  // Still an upper bound on training data.
+  for (const Sample& s : cloud) {
+    EXPECT_GE(constrained.estimate(s.intensity()) + 1e-9, s.throughput());
+  }
+  // The left region survives.
+  EXPECT_TRUE(constrained.left().has_value());
+}
+
+TEST(Polarity, NegativeFitRespectsInfiniteSamplesAboveApex) {
+  // An I = inf sample ABOVE every finite sample: the flat cap must cover it.
+  std::vector<Sample> cloud = negative_metric_cloud(7);
+  cloud.push_back(sample_at(kInf, 10.0));
+  const auto constrained = fit_with_polarity(cloud);
+  EXPECT_GE(constrained.estimate(kInf) + 1e-9, 10.0);
+}
+
+TEST(Polarity, PositiveFitDropsLeftRegion) {
+  const auto cloud = positive_metric_cloud(8);
+  const auto base = MetricRoofline::fit(cloud);
+  const auto constrained = fit_with_polarity(cloud);
+  EXPECT_FALSE(constrained.left().has_value());
+  // Below the apex the constrained bound clamps at the apex level instead
+  // of descending toward the origin.
+  const double low_i = base.apex_intensity() / 100.0;
+  EXPECT_GE(constrained.estimate(low_i) + 1e-12,
+            constrained.apex_throughput());
+  // Right side is untouched.
+  EXPECT_DOUBLE_EQ(constrained.estimate(base.apex_intensity() * 50.0),
+                   base.estimate(base.apex_intensity() * 50.0));
+}
+
+TEST(Polarity, AmbiguousFitMatchesBase) {
+  // A dense cloud whose upper envelope is flat (narrow throughput band):
+  // no polarity call, so the constrained fit is the base fit.
+  util::Rng rng(9);
+  std::vector<Sample> cloud;
+  for (int i = 0; i < 2000; ++i) {
+    cloud.push_back(sample_at(std::pow(10.0, rng.uniform(-1.0, 3.0)),
+                              rng.uniform(3.2, 3.5)));
+  }
+  ASSERT_EQ(detect_polarity(cloud).polarity, Polarity::kAmbiguous);
+  const auto base = MetricRoofline::fit(cloud);
+  const auto constrained = fit_with_polarity(cloud);
+  EXPECT_EQ(base, constrained);
+}
+
+TEST(Polarity, EnsembleTrainOption) {
+  sampling::Dataset data;
+  for (const auto& s : negative_metric_cloud(10)) {
+    data.add(counters::Event::kBrMispRetiredAllBranches, s);
+  }
+  for (const auto& s : positive_metric_cloud(11)) {
+    data.add(counters::Event::kIdqDsbUops, s);
+  }
+  Ensemble::TrainOptions options;
+  options.polarity_constrained = true;
+  const auto ens = Ensemble::train(data, options);
+  const auto& bp = ens.rooflines().at(counters::Event::kBrMispRetiredAllBranches);
+  EXPECT_DOUBLE_EQ(bp.estimate(kInf), bp.estimate(bp.apex_intensity()));
+  EXPECT_FALSE(
+      ens.rooflines().at(counters::Event::kIdqDsbUops).left().has_value());
+}
+
+TEST(Polarity, Names) {
+  EXPECT_EQ(polarity_name(Polarity::kNegative), "negative");
+  EXPECT_EQ(polarity_name(Polarity::kPositive), "positive");
+  EXPECT_EQ(polarity_name(Polarity::kAmbiguous), "ambiguous");
+}
+
+}  // namespace
+}  // namespace spire::model

@@ -1,0 +1,191 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace spire::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  // splitmix64 guarantees a non-degenerate state even for seed 0.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.next());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedAcrossSmallRange) {
+  Rng r(9);
+  std::vector<int> counts(7, 0);
+  constexpr int kDraws = 70000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[r.below(7)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / 7.0, kDraws / 7.0 * 0.1);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng r(10);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng r(12);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_FALSE(r.chance(0.0));
+    ASSERT_TRUE(r.chance(1.0));
+    ASSERT_FALSE(r.chance(-0.5));
+    ASSERT_TRUE(r.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng r(13);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(14);
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sq / kDraws, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng r(15);
+  constexpr int kDraws = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) sum += r.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kDraws, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(16);
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = r.exponential(2.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng r(17);
+  constexpr int kDraws = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(r.geometric(0.25));
+  }
+  // Mean failures before success = (1-p)/p = 3.
+  EXPECT_NEAR(sum / kDraws, 3.0, 0.15);
+}
+
+TEST(Rng, GeometricCertainSuccess) {
+  Rng r(18);
+  EXPECT_EQ(r.geometric(1.0), 0u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(19);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  r.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to match
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(20);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~std::uint64_t{0});
+}
+
+}  // namespace
+}  // namespace spire::util

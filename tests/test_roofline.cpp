@@ -1,0 +1,57 @@
+#include "roofline/roofline.h"
+
+#include <gtest/gtest.h>
+
+namespace spire::roofline {
+namespace {
+
+TEST(Roofline, ValidatesParameters) {
+  EXPECT_THROW(RooflineModel(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(RooflineModel(1.0, -2.0), std::invalid_argument);
+}
+
+TEST(Roofline, AttainableFollowsMinRule) {
+  const RooflineModel m(4.0, 2.0);  // pi = 4, beta = 2
+  EXPECT_DOUBLE_EQ(m.attainable(0.5), 1.0);   // memory bound: beta * I
+  EXPECT_DOUBLE_EQ(m.attainable(2.0), 4.0);   // ridge: both equal
+  EXPECT_DOUBLE_EQ(m.attainable(100.0), 4.0); // compute bound: pi
+  EXPECT_DOUBLE_EQ(m.attainable(0.0), 0.0);
+  EXPECT_THROW(m.attainable(-1.0), std::invalid_argument);
+}
+
+TEST(Roofline, RidgePoint) {
+  const RooflineModel m(4.0, 2.0);
+  EXPECT_DOUBLE_EQ(m.ridge_intensity(), 2.0);
+  EXPECT_TRUE(m.memory_bound(1.0));
+  EXPECT_FALSE(m.memory_bound(3.0));
+}
+
+TEST(Roofline, ComputeCeilingCapsThroughput) {
+  RooflineModel m(4.0, 2.0);
+  m.add_ceiling({"scalar", 1.0, true});
+  const auto& scalar = m.ceilings()[0];
+  EXPECT_DOUBLE_EQ(m.attainable_under(100.0, scalar), 1.0);
+  EXPECT_DOUBLE_EQ(m.attainable_under(0.25, scalar), 0.5);  // still memory bound
+}
+
+TEST(Roofline, MemoryCeilingCapsBandwidth) {
+  RooflineModel m(4.0, 8.0);
+  m.add_ceiling({"DRAM", 2.0, false});
+  const auto& dram = m.ceilings()[0];
+  EXPECT_DOUBLE_EQ(m.attainable_under(1.0, dram), 2.0);
+  EXPECT_DOUBLE_EQ(m.attainable_under(100.0, dram), 4.0);  // pi unaffected
+}
+
+TEST(Roofline, CeilingValidation) {
+  RooflineModel m(4.0, 2.0);
+  EXPECT_THROW(m.add_ceiling({"bad", 0.0, true}), std::invalid_argument);
+}
+
+TEST(Roofline, CeilingNeverExceedsRoof) {
+  RooflineModel m(4.0, 2.0);
+  m.add_ceiling({"huge", 100.0, true});
+  EXPECT_DOUBLE_EQ(m.attainable_under(1000.0, m.ceilings()[0]), 4.0);
+}
+
+}  // namespace
+}  // namespace spire::roofline

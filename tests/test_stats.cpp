@@ -1,0 +1,131 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace spire::util {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Stats, VarianceAndStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0, 2.0};
+  EXPECT_DOUBLE_EQ(min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 7.0);
+  EXPECT_DOUBLE_EQ(min(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(max(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Stats, QuantileClampsAndHandlesUnsorted) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 2.0), 4.0);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, WeightedMean) {
+  const std::vector<double> xs{1.0, 3.0};
+  const std::vector<double> ws{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(weighted_mean(xs, ws), 2.5);
+  EXPECT_DOUBLE_EQ(weighted_mean(xs, std::vector<double>{0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(weighted_mean(xs, std::vector<double>{1.0}), 0.0);  // size mismatch
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> pos{2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> neg{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, pos), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonNoVariance) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> flat{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, flat), 0.0);
+}
+
+TEST(Stats, RanksWithTies) {
+  const std::vector<double> xs{10.0, 20.0, 20.0, 30.0};
+  const auto r = ranks(xs);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Stats, SpearmanMonotonicNonlinear) {
+  // y = x^3 is a nonlinear but perfectly monotone relationship.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = -5; i <= 5; ++i) {
+    xs.push_back(i);
+    ys.push_back(static_cast<double>(i * i * i));
+  }
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, RmseAndMape) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(rmse(a, b), 0.0);
+  const std::vector<double> c{2.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(rmse(a, c), std::sqrt(1.0 / 3.0));
+  EXPECT_NEAR(mape(a, c), (1.0 / 1.0) / 3.0, 1e-12);
+}
+
+TEST(Stats, MapeSkipsZeroReference) {
+  const std::vector<double> ref{0.0, 2.0};
+  const std::vector<double> got{5.0, 3.0};
+  EXPECT_DOUBLE_EQ(mape(ref, got), 0.5);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  Rng rng(5);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.normal(3.0, 1.5);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-6);
+  EXPECT_DOUBLE_EQ(rs.min(), min(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max(xs));
+}
+
+TEST(Stats, RunningStatsEmpty) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace spire::util

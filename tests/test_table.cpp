@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace spire::util {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.set_align(1, Align::kRight);
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "12345"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| x      |     1 |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 12345 |"), std::string::npos);
+}
+
+TEST(TextTable, ArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TextTable, BadAlignColumnThrows) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.set_align(1, Align::kRight), std::invalid_argument);
+}
+
+TEST(TextTable, SeparatorRendersRule) {
+  TextTable t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // Top rule, header rule, separator, bottom rule.
+  int rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("+---", pos)) != std::string::npos) {
+    ++rules;
+    pos += 4;
+  }
+  EXPECT_EQ(rules, 4);
+  EXPECT_EQ(t.rows(), 3u);  // separator counts as a row marker
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(format_fixed(1.0, 3), "1.000");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1300000), "1,300,000");
+  EXPECT_EQ(format_count(-4321), "-4,321");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.512), "51.2%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+  EXPECT_EQ(format_percent(0.016, 1), "1.6%");
+}
+
+}  // namespace
+}  // namespace spire::util

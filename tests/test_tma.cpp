@@ -1,0 +1,139 @@
+#include "tma/tma.h"
+
+#include <gtest/gtest.h>
+
+namespace spire::tma {
+namespace {
+
+using counters::CounterSet;
+using counters::Event;
+using counters::TmaArea;
+
+// Builds a synthetic counter window: `cycles` cycles at 4 slots each with
+// the given slot usage.
+CounterSet window(std::uint64_t cycles, std::uint64_t retired_slots,
+                  std::uint64_t issued, std::uint64_t not_delivered,
+                  std::uint64_t recovery_cycles) {
+  CounterSet c;
+  c.add(Event::kCpuClkUnhaltedThread, cycles);
+  c.add(Event::kInstRetiredAny, retired_slots);  // 1 uop per instruction
+  c.add(Event::kUopsRetiredRetireSlots, retired_slots);
+  c.add(Event::kUopsIssuedAny, issued);
+  c.add(Event::kIdqUopsNotDeliveredCore, not_delivered);
+  c.add(Event::kIntMiscRecoveryCycles, recovery_cycles);
+  return c;
+}
+
+TEST(Tma, ZeroCyclesThrows) {
+  EXPECT_THROW(analyze(CounterSet{}), std::invalid_argument);
+}
+
+TEST(Tma, PureRetiringWorkload) {
+  // 1000 cycles, all 4000 slots retired.
+  const auto r = analyze(window(1000, 4000, 4000, 0, 0));
+  EXPECT_DOUBLE_EQ(r.level1.retiring, 1.0);
+  EXPECT_DOUBLE_EQ(r.level1.front_end_bound, 0.0);
+  EXPECT_DOUBLE_EQ(r.level1.bad_speculation, 0.0);
+  EXPECT_DOUBLE_EQ(r.level1.back_end_bound, 0.0);
+  EXPECT_EQ(r.main_bottleneck(), TmaArea::kRetiring);
+  EXPECT_DOUBLE_EQ(r.ipc, 4.0);
+}
+
+TEST(Tma, FrontEndBoundWorkload) {
+  // Half the slots starve at the front-end.
+  const auto r = analyze(window(1000, 2000, 2000, 2000, 0));
+  EXPECT_DOUBLE_EQ(r.level1.front_end_bound, 0.5);
+  EXPECT_DOUBLE_EQ(r.level1.retiring, 0.5);
+  EXPECT_EQ(r.main_bottleneck(), TmaArea::kFrontEnd);
+}
+
+TEST(Tma, BadSpeculationFromSquashedUops) {
+  // 1000 issued uops never retire plus recovery bubbles.
+  auto c = window(1000, 2000, 3000, 0, 100);
+  c.add(Event::kBrMispRetiredAllBranches, 50);
+  const auto r = analyze(c);
+  EXPECT_NEAR(r.level1.bad_speculation, (3000.0 - 2000.0 + 400.0) / 4000.0, 1e-12);
+  EXPECT_EQ(r.main_bottleneck(), TmaArea::kBadSpeculation);
+  // All speculation loss attributed to mispredicts (no clears recorded).
+  EXPECT_DOUBLE_EQ(r.level2.machine_clears, 0.0);
+  EXPECT_GT(r.level2.branch_mispredicts, 0.3);
+}
+
+TEST(Tma, BackEndSplitsMemoryVsCore) {
+  auto memory_bound = window(1000, 1000, 1000, 0, 0);
+  memory_bound.add(Event::kCycleActivityStallsTotal, 700);
+  memory_bound.add(Event::kCycleActivityStallsMemAny, 630);
+  const auto mem = analyze(memory_bound);
+  EXPECT_NEAR(mem.level1.back_end_bound, 0.75, 1e-12);
+  EXPECT_GT(mem.level2.memory_bound, mem.level2.core_bound);
+  EXPECT_EQ(mem.main_bottleneck(), TmaArea::kMemory);
+
+  auto core_bound = window(1000, 1000, 1000, 0, 0);
+  core_bound.add(Event::kCycleActivityStallsTotal, 700);
+  core_bound.add(Event::kCycleActivityStallsMemAny, 70);
+  const auto core = analyze(core_bound);
+  EXPECT_GT(core.level2.core_bound, core.level2.memory_bound);
+  EXPECT_EQ(core.main_bottleneck(), TmaArea::kCore);
+}
+
+TEST(Tma, MemoryBreakdownPeelsLevels) {
+  auto c = window(1000, 1000, 1000, 0, 0);
+  c.add(Event::kCycleActivityStallsTotal, 800);
+  c.add(Event::kCycleActivityStallsMemAny, 800);
+  c.add(Event::kCycleActivityStallsL1dMiss, 600);
+  c.add(Event::kCycleActivityStallsL2Miss, 400);
+  c.add(Event::kCycleActivityStallsL3Miss, 300);
+  const auto r = analyze(c);
+  // Exclusive shares: L1 200, L2 200, L3 100, DRAM 300 of 800 stall cycles.
+  EXPECT_NEAR(r.memory.l1_bound / r.level2.memory_bound, 200.0 / 800.0, 1e-9);
+  EXPECT_NEAR(r.memory.l2_bound / r.level2.memory_bound, 200.0 / 800.0, 1e-9);
+  EXPECT_NEAR(r.memory.l3_bound / r.level2.memory_bound, 100.0 / 800.0, 1e-9);
+  EXPECT_NEAR(r.memory.dram_bound / r.level2.memory_bound, 300.0 / 800.0, 1e-9);
+}
+
+TEST(Tma, Level1SumsToOne) {
+  auto c = window(1000, 1500, 1800, 700, 50);
+  c.add(Event::kCycleActivityStallsTotal, 300);
+  c.add(Event::kCycleActivityStallsMemAny, 100);
+  const auto r = analyze(c);
+  const double sum = r.level1.retiring + r.level1.front_end_bound +
+                     r.level1.bad_speculation + r.level1.back_end_bound;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Level-2 members sum to their parents.
+  EXPECT_NEAR(r.level2.fe_latency + r.level2.fe_bandwidth,
+              r.level1.front_end_bound, 1e-9);
+  EXPECT_NEAR(r.level2.memory_bound + r.level2.core_bound,
+              r.level1.back_end_bound, 1e-9);
+  EXPECT_NEAR(r.level2.branch_mispredicts + r.level2.machine_clears,
+              r.level1.bad_speculation, 1e-9);
+}
+
+TEST(Tma, FeLatencySplit) {
+  auto c = window(1000, 2000, 2000, 2000, 0);
+  c.add(Event::kIcache16bIfdataStall, 300);
+  const auto r = analyze(c);
+  EXPECT_NEAR(r.level2.fe_latency, 0.3, 1e-9);
+  EXPECT_NEAR(r.level2.fe_bandwidth, 0.2, 1e-9);
+}
+
+TEST(Tma, MachineClearsSplit) {
+  auto c = window(1000, 2000, 2600, 0, 50);
+  c.add(Event::kBrMispRetiredAllBranches, 30);
+  c.add(Event::kMachineClearsCount, 10);
+  const auto r = analyze(c);
+  EXPECT_NEAR(r.level2.branch_mispredicts / r.level1.bad_speculation, 0.75, 1e-9);
+  EXPECT_NEAR(r.level2.machine_clears / r.level1.bad_speculation, 0.25, 1e-9);
+}
+
+TEST(Tma, DescribeContainsCategories) {
+  const auto r = analyze(window(1000, 4000, 4000, 0, 0));
+  const std::string text = r.describe();
+  EXPECT_NE(text.find("Retiring"), std::string::npos);
+  EXPECT_NE(text.find("Front-End Bound"), std::string::npos);
+  EXPECT_NE(text.find("Bad Speculation"), std::string::npos);
+  EXPECT_NE(text.find("Back-End Bound"), std::string::npos);
+  EXPECT_NE(text.find("IPC 4.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spire::tma

@@ -1,0 +1,120 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/core.h"
+#include "workloads/profile_stream.h"
+
+namespace spire::sim {
+namespace {
+
+workloads::WorkloadProfile busy_profile() {
+  workloads::WorkloadProfile p;
+  p.instruction_count = 30'000;
+  p.load_fraction = 0.25;
+  p.store_fraction = 0.08;
+  p.branch_fraction = 0.15;
+  p.branch_entropy = 0.4;
+  p.div_fraction = 0.01;
+  p.microcoded_fraction = 0.005;
+  p.locked_fraction = 0.004;
+  p.mem_pattern = workloads::MemPattern::kRandom;
+  p.data_working_set_bytes = 1 << 20;
+  p.seed = 77;
+  return p;
+}
+
+TEST(Trace, RoundTripPreservesEveryField) {
+  workloads::ProfileStream original(busy_profile());
+  std::stringstream buf;
+  const std::size_t written = save_trace(original, buf, 5000);
+  EXPECT_EQ(written, 5000u);
+
+  TraceStream replay = TraceStream::load(buf);
+  ASSERT_EQ(replay.size(), 5000u);
+
+  original.reset();
+  MacroOp a;
+  MacroOp b;
+  for (std::size_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(original.next(a));
+    ASSERT_TRUE(replay.next(b));
+    ASSERT_EQ(a.pc, b.pc) << i;
+    ASSERT_EQ(a.cls, b.cls) << i;
+    ASSERT_EQ(a.uop_count, b.uop_count) << i;
+    ASSERT_EQ(a.dep_distance, b.dep_distance) << i;
+    ASSERT_EQ(a.addr, b.addr) << i;
+    ASSERT_EQ(a.taken, b.taken) << i;
+    ASSERT_EQ(a.target, b.target) << i;
+  }
+  ASSERT_FALSE(replay.next(b));
+}
+
+TEST(Trace, ReplayDrivesCoreIdentically) {
+  // The strongest possible check: the replayed trace produces bit-identical
+  // counters to the original generator.
+  auto profile = busy_profile();
+  profile.instruction_count = 20'000;
+
+  workloads::ProfileStream recording(profile);
+  std::stringstream buf;
+  save_trace(recording, buf, profile.instruction_count);
+  TraceStream replay = TraceStream::load(buf);
+
+  workloads::ProfileStream original(profile);
+  Core core_a(CoreConfig{}, original, 3);
+  Core core_b(CoreConfig{}, replay, 3);
+  core_a.run(20'000'000);
+  core_b.run(20'000'000);
+  ASSERT_TRUE(core_a.done());
+  ASSERT_TRUE(core_b.done());
+  EXPECT_EQ(core_a.cycle(), core_b.cycle());
+  EXPECT_EQ(core_a.counters().raw(), core_b.counters().raw());
+}
+
+TEST(Trace, ResetReplays) {
+  TraceStream s({MacroOp{}, MacroOp{}});
+  MacroOp op;
+  EXPECT_TRUE(s.next(op));
+  EXPECT_TRUE(s.next(op));
+  EXPECT_FALSE(s.next(op));
+  s.reset();
+  EXPECT_TRUE(s.next(op));
+}
+
+TEST(Trace, MaxOpsTruncates) {
+  workloads::ProfileStream stream(busy_profile());
+  std::stringstream buf;
+  EXPECT_EQ(save_trace(stream, buf, 100), 100u);
+  EXPECT_EQ(TraceStream::load(buf).size(), 100u);
+}
+
+TEST(Trace, LoadRejectsBadInput) {
+  std::istringstream bad_header("not-a-trace\n");
+  EXPECT_THROW(TraceStream::load(bad_header), std::runtime_error);
+
+  std::istringstream short_row("spire-trace v1\n1 2 3\n");
+  EXPECT_THROW(TraceStream::load(short_row), std::runtime_error);
+
+  std::istringstream bad_class("spire-trace v1\n4096 99 1 0 0 0 0\n");
+  EXPECT_THROW(TraceStream::load(bad_class), std::runtime_error);
+
+  std::istringstream bad_uops("spire-trace v1\n4096 0 0 0 0 0 0\n");
+  EXPECT_THROW(TraceStream::load(bad_uops), std::runtime_error);
+
+  std::istringstream trailing("spire-trace v1\n4096 0 1 0 0 0 0 extra\n");
+  EXPECT_THROW(TraceStream::load(trailing), std::runtime_error);
+}
+
+TEST(Trace, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/spire_test.trace";
+  workloads::ProfileStream stream(busy_profile());
+  EXPECT_EQ(save_trace_file(stream, path, 500), 500u);
+  EXPECT_EQ(load_trace_file(path).size(), 500u);
+  EXPECT_THROW(load_trace_file("/nonexistent/x.trace"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace spire::sim

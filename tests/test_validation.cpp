@@ -1,0 +1,114 @@
+#include "spire/validation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace spire::model {
+namespace {
+
+using counters::Event;
+using sampling::Dataset;
+using sampling::Sample;
+
+Sample sample_at(double intensity, double throughput) {
+  if (std::isinf(intensity)) return {1.0, throughput, 0.0};
+  return {1.0, throughput, throughput / intensity};
+}
+
+Dataset cloud(std::uint64_t seed, Event metric, int n = 60) {
+  util::Rng rng(seed);
+  Dataset d;
+  for (int i = 0; i < n; ++i) {
+    const double intensity = std::pow(10.0, rng.uniform(-1.0, 3.0));
+    const double p = 4.0 * intensity / (intensity + 5.0) * rng.uniform(0.4, 1.0);
+    d.add(metric, sample_at(intensity, std::max(0.05, p)));
+  }
+  return d;
+}
+
+TEST(Validation, TrainingDataIsFullyCovered) {
+  const auto data = cloud(1, Event::kIdqDsbUops);
+  const auto ensemble = Ensemble::train(data);
+  const auto report = coverage(ensemble, data);
+  EXPECT_EQ(report.total, 60u);
+  EXPECT_EQ(report.covered, report.total);  // upper-bound property
+  EXPECT_DOUBLE_EQ(report.fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(report.worst_excess, 1.0);
+}
+
+TEST(Validation, ViolationsAreDetected) {
+  const auto data = cloud(2, Event::kIdqDsbUops);
+  const auto ensemble = Ensemble::train(data);
+  Dataset hot;
+  // A sample far above anything the model saw.
+  hot.add(Event::kIdqDsbUops, sample_at(10.0, 100.0));
+  const auto report = coverage(ensemble, hot);
+  EXPECT_EQ(report.total, 1u);
+  EXPECT_EQ(report.covered, 0u);
+  EXPECT_GT(report.worst_excess, 10.0);
+}
+
+TEST(Validation, UnknownMetricsIgnored) {
+  const auto ensemble = Ensemble::train(cloud(3, Event::kIdqDsbUops));
+  Dataset other;
+  other.add(Event::kLsdUops, sample_at(1.0, 1.0));
+  const auto report = coverage(ensemble, other);
+  EXPECT_EQ(report.total, 0u);
+  EXPECT_DOUBLE_EQ(report.fraction(), 1.0);  // vacuous coverage
+}
+
+TEST(Validation, CompareRankingsSelfIsPerfect) {
+  auto data = cloud(4, Event::kIdqDsbUops);
+  data.merge(cloud(5, Event::kLsdUops));
+  data.merge(cloud(6, Event::kBaclearsAny));
+  const auto ensemble = Ensemble::train(data);
+  Analyzer analyzer(ensemble);
+  const auto analysis = analyzer.analyze(data);
+  const auto agreement = compare_rankings(analysis, analysis, 2);
+  EXPECT_DOUBLE_EQ(agreement.spearman, 1.0);
+  EXPECT_EQ(agreement.top_k_overlap, 2);
+}
+
+TEST(Validation, CompareRankingsHandlesDisjointMetrics) {
+  Analyzer::Analysis a;
+  a.ranking = {{Event::kIdqDsbUops, 1.0, counters::TmaArea::kFrontEnd, "", ""}};
+  Analyzer::Analysis b;
+  b.ranking = {{Event::kLsdUops, 1.0, counters::TmaArea::kFrontEnd, "", ""}};
+  const auto agreement = compare_rankings(a, b);
+  EXPECT_DOUBLE_EQ(agreement.spearman, 0.0);
+  EXPECT_EQ(agreement.top_k_overlap, 0);
+}
+
+TEST(Validation, LeaveOneOutShapes) {
+  std::vector<LabelledDataset> workloads;
+  for (int w = 0; w < 4; ++w) {
+    LabelledDataset ld;
+    ld.label = "w" + std::to_string(w);
+    ld.data = cloud(100 + static_cast<std::uint64_t>(w), Event::kIdqDsbUops);
+    ld.data.merge(cloud(200 + static_cast<std::uint64_t>(w), Event::kLsdUops));
+    workloads.push_back(std::move(ld));
+  }
+  const auto results = leave_one_out(workloads);
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) {
+    EXPECT_FALSE(r.label.empty());
+    EXPECT_GT(r.coverage.total, 0u);
+    // Same-family workloads: held-out coverage should be high but need not
+    // be perfect (the bound is statistical).
+    EXPECT_GT(r.coverage.fraction(), 0.7);
+    EXPECT_GT(r.measured_throughput, 0.0);
+    EXPECT_GT(r.estimated_throughput, 0.0);
+  }
+}
+
+TEST(Validation, LeaveOneOutNeedsTwo) {
+  std::vector<LabelledDataset> one;
+  one.push_back({"only", cloud(7, Event::kIdqDsbUops)});
+  EXPECT_THROW(leave_one_out(one), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spire::model

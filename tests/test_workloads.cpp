@@ -1,0 +1,231 @@
+#include "workloads/profile_stream.h"
+#include "workloads/suite.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace spire::workloads {
+namespace {
+
+using sim::MacroOp;
+using sim::OpClass;
+
+TEST(ProfileStream, EmitsExactInstructionCount) {
+  WorkloadProfile p;
+  p.instruction_count = 1234;
+  ProfileStream s(p);
+  MacroOp op;
+  std::size_t n = 0;
+  while (s.next(op)) ++n;
+  EXPECT_EQ(n, 1234u);
+  EXPECT_FALSE(s.next(op));
+}
+
+TEST(ProfileStream, ResetReplaysIdentically) {
+  WorkloadProfile p;
+  p.instruction_count = 5000;
+  p.load_fraction = 0.3;
+  p.branch_fraction = 0.2;
+  p.branch_entropy = 0.5;
+  p.mem_pattern = MemPattern::kRandom;
+  ProfileStream s(p);
+  std::vector<MacroOp> first;
+  MacroOp op;
+  while (s.next(op)) first.push_back(op);
+  s.reset();
+  std::size_t i = 0;
+  while (s.next(op)) {
+    ASSERT_LT(i, first.size());
+    EXPECT_EQ(op.pc, first[i].pc);
+    EXPECT_EQ(op.cls, first[i].cls);
+    EXPECT_EQ(op.addr, first[i].addr);
+    EXPECT_EQ(op.taken, first[i].taken);
+    EXPECT_EQ(op.dep_distance, first[i].dep_distance);
+    ++i;
+  }
+  EXPECT_EQ(i, first.size());
+}
+
+TEST(ProfileStream, ClassMixApproximatesFractions) {
+  WorkloadProfile p;
+  p.instruction_count = 200000;
+  p.load_fraction = 0.25;
+  p.store_fraction = 0.10;
+  p.branch_fraction = 0.15;
+  p.vec256_fraction = 0.05;
+  p.div_fraction = 0.02;
+  p.code_footprint_bytes = 64 * 1024;  // many sites for a clean estimate
+  ProfileStream s(p);
+  std::map<OpClass, std::size_t> counts;
+  MacroOp op;
+  std::size_t total = 0;
+  while (s.next(op)) {
+    ++counts[op.cls];
+    ++total;
+  }
+  const auto frac = [&](OpClass c) {
+    return static_cast<double>(counts[c]) / static_cast<double>(total);
+  };
+  EXPECT_NEAR(frac(OpClass::kLoad), 0.25, 0.02);
+  EXPECT_NEAR(frac(OpClass::kStore), 0.10, 0.02);
+  EXPECT_NEAR(frac(OpClass::kBranch), 0.15, 0.02);
+  EXPECT_NEAR(frac(OpClass::kVec256), 0.05, 0.01);
+  EXPECT_NEAR(frac(OpClass::kDiv), 0.02, 0.01);
+}
+
+TEST(ProfileStream, SameSiteSameClassAcrossIterations) {
+  WorkloadProfile p;
+  p.instruction_count = 10000;
+  p.code_footprint_bytes = 400;  // 100 sites: many loop iterations
+  p.load_fraction = 0.3;
+  p.branch_fraction = 0.2;
+  ProfileStream s(p);
+  std::map<std::uint64_t, OpClass> site_class;
+  MacroOp op;
+  while (s.next(op)) {
+    const auto it = site_class.find(op.pc);
+    if (it == site_class.end()) {
+      site_class.emplace(op.pc, op.cls);
+    } else {
+      EXPECT_EQ(it->second, op.cls) << "pc " << op.pc;
+    }
+  }
+  EXPECT_EQ(site_class.size(), 100u);
+}
+
+TEST(ProfileStream, LoopEndBranchIsTakenBackward) {
+  WorkloadProfile p;
+  p.instruction_count = 1000;
+  p.code_footprint_bytes = 40;  // 10 sites
+  ProfileStream s(p);
+  MacroOp op;
+  std::size_t loop_branches = 0;
+  while (s.next(op)) {
+    if (op.cls == OpClass::kBranch && op.target < op.pc) {
+      ++loop_branches;
+      EXPECT_EQ(op.target, 0x400000u);
+    }
+  }
+  EXPECT_GE(loop_branches, 90u);  // one per body iteration
+}
+
+TEST(ProfileStream, SequentialAddressesStride) {
+  WorkloadProfile p;
+  p.instruction_count = 10000;
+  p.load_fraction = 1.0;
+  p.branch_fraction = 0.0;
+  p.mem_pattern = MemPattern::kSequential;
+  p.mem_stride_bytes = 64;
+  p.data_working_set_bytes = 1 << 20;
+  ProfileStream s(p);
+  MacroOp op;
+  std::uint64_t prev = 0;
+  bool have_prev = false;
+  int strides = 0;
+  while (s.next(op)) {
+    if (op.cls != OpClass::kLoad) continue;  // loop-end branch site
+    if (have_prev && op.addr == prev + 64) ++strides;
+    prev = op.addr;
+    have_prev = true;
+  }
+  EXPECT_GT(strides, 9900);
+}
+
+TEST(ProfileStream, AddressesStayInWorkingSet) {
+  WorkloadProfile p;
+  p.instruction_count = 20000;
+  p.load_fraction = 0.5;
+  p.mem_pattern = MemPattern::kRandom;
+  p.data_working_set_bytes = 4096;
+  ProfileStream s(p);
+  MacroOp op;
+  while (s.next(op)) {
+    if (op.cls == OpClass::kLoad) {
+      EXPECT_GE(op.addr, 0x10000000u);
+      EXPECT_LT(op.addr, 0x10000000u + 4096u);
+    }
+  }
+}
+
+TEST(ProfileStream, PointerChaseLoadsCarryDependencies) {
+  WorkloadProfile p;
+  p.instruction_count = 10000;
+  p.load_fraction = 0.4;
+  p.mem_pattern = MemPattern::kPointerChase;
+  p.dep_fraction = 0.0;
+  ProfileStream s(p);
+  MacroOp op;
+  int chained = 0;
+  int loads = 0;
+  while (s.next(op)) {
+    if (op.cls == OpClass::kLoad) {
+      ++loads;
+      if (op.dep_distance > 0) ++chained;
+    }
+  }
+  ASSERT_GT(loads, 1000);
+  EXPECT_GT(chained, loads - 10);  // all but the first load chain
+}
+
+TEST(ProfileStream, MicrocodedOpsExpand) {
+  WorkloadProfile p;
+  p.instruction_count = 5000;
+  p.microcoded_fraction = 1.0;
+  p.load_fraction = 0.0;
+  p.branch_fraction = 0.0;
+  ProfileStream s(p);
+  MacroOp op;
+  while (s.next(op)) {
+    if (op.cls == OpClass::kMicrocoded) {
+      EXPECT_EQ(op.uop_count, 8);
+    }
+  }
+}
+
+TEST(Suite, HasTwentySevenWorkloads) {
+  EXPECT_EQ(hpc_suite().size(), 27u);
+  EXPECT_EQ(training_workloads().size(), 23u);
+  EXPECT_EQ(testing_workloads().size(), 4u);
+}
+
+TEST(Suite, TestingWorkloadsCoverAllFourBottlenecks) {
+  std::set<counters::TmaArea> areas;
+  for (const auto& e : testing_workloads()) areas.insert(e.expected_bottleneck);
+  EXPECT_EQ(areas.size(), 4u);
+  EXPECT_TRUE(areas.contains(counters::TmaArea::kFrontEnd));
+  EXPECT_TRUE(areas.contains(counters::TmaArea::kBadSpeculation));
+  EXPECT_TRUE(areas.contains(counters::TmaArea::kMemory));
+  EXPECT_TRUE(areas.contains(counters::TmaArea::kCore));
+}
+
+TEST(Suite, SeedsAreUnique) {
+  std::set<std::uint64_t> seeds;
+  for (const auto& e : hpc_suite()) {
+    EXPECT_TRUE(seeds.insert(e.profile.seed).second) << e.profile.name;
+  }
+}
+
+TEST(Suite, FindWorkload) {
+  const auto& e = find_workload("tnn", "SqueezeNet v1.1");
+  EXPECT_TRUE(e.testing);
+  EXPECT_EQ(e.expected_bottleneck, counters::TmaArea::kFrontEnd);
+  EXPECT_THROW(find_workload("nope", ""), std::out_of_range);
+}
+
+TEST(Suite, FractionsSumBelowOne) {
+  for (const auto& e : hpc_suite()) {
+    const auto& p = e.profile;
+    const double total = p.load_fraction + p.store_fraction +
+                         p.branch_fraction + p.fp_fraction +
+                         p.vec256_fraction + p.vec512_fraction +
+                         p.mul_fraction + p.div_fraction +
+                         p.microcoded_fraction + p.locked_fraction +
+                         p.nop_fraction;
+    EXPECT_LE(total, 1.0) << p.name << " / " << p.config;
+  }
+}
+
+}  // namespace
+}  // namespace spire::workloads

@@ -1,0 +1,298 @@
+// spire_cli — the SPIRE toolchain as one binary.
+//
+//   spire_cli suite
+//       List the built-in evaluation workloads.
+//   spire_cli collect --workload NAME [--config CFG] [--cycles N]
+//               [--window N] [--out FILE]
+//       Run a workload on the simulated core under the multiplexing
+//       sampler and write a sample CSV (metric,t,w,m).
+//   spire_cli train --out MODEL FILE [FILE...]
+//               [--polarity] [--min-samples N]
+//       Train a SPIRE ensemble from sample CSVs and save it.
+//   spire_cli analyze --model MODEL FILE [FILE...] [--top N]
+//       Rank metrics for a workload's samples against a trained model.
+//   spire_cli show --model MODEL --metric EVENT
+//       Describe and plot one learned roofline.
+//   spire_cli tma --workload NAME [--config CFG] [--cycles N]
+//       Run the Top-Down Analysis baseline on a workload.
+//   spire_cli record --workload NAME [--config CFG] [--ops N] --out FILE
+//       Serialize a workload's macro-op stream to a trace file.
+//   spire_cli replay --trace FILE [--cycles N]
+//       Run a recorded trace on the core and print its TMA breakdown.
+//
+// Sample CSVs use the same format Dataset::save_csv writes, so data
+// collected from real hardware (e.g. massaged `perf stat` logs) drops in.
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sampling/collector.h"
+#include "sim/core.h"
+#include "sim/trace.h"
+#include "spire/analyzer.h"
+#include "spire/ensemble.h"
+#include "spire/model_io.h"
+#include "spire/polarity.h"
+#include "tma/tma.h"
+#include "util/ascii_plot.h"
+#include "util/table.h"
+#include "workloads/profile_stream.h"
+#include "workloads/suite.h"
+
+using namespace spire;
+
+namespace {
+
+/// Tiny flag parser: --key value pairs plus positional arguments.
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  std::optional<std::string> flag(const std::string& key) const {
+    for (const auto& [k, v] : flags) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  }
+  bool has(const std::string& key) const { return flag(key).has_value(); }
+  std::uint64_t flag_u64(const std::string& key, std::uint64_t fallback) const {
+    const auto v = flag(key);
+    return v ? std::stoull(*v) : fallback;
+  }
+};
+
+Args parse_args(int argc, char** argv, const std::vector<std::string>& bools) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string key = token.substr(2);
+      const bool is_bool =
+          std::find(bools.begin(), bools.end(), key) != bools.end();
+      if (is_bool) {
+        args.flags.emplace_back(key, "true");
+      } else if (i + 1 < argc) {
+        args.flags.emplace_back(key, argv[++i]);
+      } else {
+        throw std::runtime_error("missing value for --" + key);
+      }
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+const workloads::SuiteEntry& resolve_workload(const Args& args) {
+  const auto name = args.flag("workload");
+  if (!name) throw std::runtime_error("--workload is required");
+  const std::string config = args.flag("config").value_or("");
+  if (!config.empty()) return workloads::find_workload(*name, config);
+  for (const auto& entry : workloads::hpc_suite()) {
+    if (entry.profile.name == *name) return entry;
+  }
+  throw std::runtime_error("unknown workload '" + *name + "'");
+}
+
+sampling::Dataset load_datasets(const std::vector<std::string>& paths) {
+  sampling::Dataset data;
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    data.merge(sampling::Dataset::load_csv(in));
+  }
+  return data;
+}
+
+int cmd_suite() {
+  util::TextTable table({"Name", "Configuration", "Expected bottleneck", "Set"});
+  for (const auto& entry : workloads::hpc_suite()) {
+    table.add_row({entry.profile.name, entry.profile.config,
+                   std::string(counters::tma_area_name(entry.expected_bottleneck)),
+                   entry.testing ? "testing" : "training"});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_collect(const Args& args) {
+  const auto& entry = resolve_workload(args);
+  sampling::CollectorConfig cc;
+  cc.window_cycles = args.flag_u64("window", cc.window_cycles);
+  workloads::ProfileStream stream(entry.profile);
+  sim::Core core(sim::CoreConfig{}, stream, args.flag_u64("seed", 7));
+  sampling::SampleCollector collector(cc);
+  sampling::Dataset data;
+  const auto stats =
+      collector.collect(core, data, args.flag_u64("cycles", 8'000'000));
+
+  const std::string out_path =
+      args.flag("out").value_or(entry.profile.name + ".samples.csv");
+  std::ofstream out(out_path);
+  if (!out) throw std::runtime_error("cannot write " + out_path);
+  data.save_csv(out);
+  std::fprintf(stderr,
+               "collected %zu samples over %llu windows (IPC %.3f) -> %s\n",
+               data.size(), static_cast<unsigned long long>(stats.windows),
+               static_cast<double>(stats.instructions) /
+                   static_cast<double>(stats.measured_cycles),
+               out_path.c_str());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const auto out_path = args.flag("out");
+  if (!out_path) throw std::runtime_error("--out is required");
+  if (args.positional.empty()) {
+    throw std::runtime_error("need at least one sample CSV");
+  }
+  const auto data = load_datasets(args.positional);
+  model::Ensemble::TrainOptions options;
+  options.min_samples = args.flag_u64("min-samples", options.min_samples);
+  options.polarity_constrained = args.has("polarity");
+  const auto ensemble = model::Ensemble::train(data, options);
+  model::save_model_file(ensemble, *out_path);
+  std::fprintf(stderr, "trained %zu rooflines from %zu samples -> %s\n",
+               ensemble.metric_count(), data.size(), out_path->c_str());
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  const auto model_path = args.flag("model");
+  if (!model_path) throw std::runtime_error("--model is required");
+  if (args.positional.empty()) {
+    throw std::runtime_error("need at least one sample CSV");
+  }
+  const auto ensemble = model::load_model_file(*model_path);
+  const auto data = load_datasets(args.positional);
+  const auto analysis = model::Analyzer(ensemble).analyze(data);
+
+  std::printf("measured throughput:  %.4f\n", analysis.measured_throughput);
+  std::printf("estimated attainable: %.4f\n\n", analysis.estimated_throughput);
+  const auto top = args.flag_u64("top", 10);
+  util::TextTable table({"Mean est.", "Abbr.", "Metric", "Area"});
+  table.set_align(0, util::Align::kRight);
+  for (std::size_t i = 0; i < top && i < analysis.ranking.size(); ++i) {
+    const auto& r = analysis.ranking[i];
+    table.add_row({util::format_fixed(r.p_bar, 3),
+                   std::string(r.abbrev.empty() ? "-" : r.abbrev),
+                   std::string(r.name),
+                   std::string(counters::tma_area_name(r.area))});
+  }
+  std::printf("%s", table.render().c_str());
+  const auto pool = model::Analyzer::bottleneck_pool(analysis);
+  std::printf("\nbottleneck pool (within 25%% of the minimum): %zu metrics\n",
+              pool.size());
+  return 0;
+}
+
+int cmd_show(const Args& args) {
+  const auto model_path = args.flag("model");
+  const auto metric_name = args.flag("metric");
+  if (!model_path || !metric_name) {
+    throw std::runtime_error("--model and --metric are required");
+  }
+  const auto ensemble = model::load_model_file(*model_path);
+  const auto event = counters::event_by_name(*metric_name);
+  if (!event) throw std::runtime_error("unknown metric '" + *metric_name + "'");
+  const auto it = ensemble.rooflines().find(*event);
+  if (it == ensemble.rooflines().end()) {
+    throw std::runtime_error("model has no roofline for " + *metric_name);
+  }
+  const auto& roofline = it->second;
+  std::printf("%s\n%s\n", metric_name->c_str(), roofline.describe().c_str());
+
+  util::Series fit{.name = "roofline", .xs = {}, .ys = {}, .marker = '*'};
+  const double apex = std::max(roofline.apex_intensity(), 1.0);
+  for (double x = apex / 1000.0; x <= apex * 1000.0; x *= 1.15) {
+    fit.xs.push_back(x);
+    fit.ys.push_back(roofline.estimate(x));
+  }
+  util::PlotOptions opts;
+  opts.title = "P(I) bound, log x";
+  opts.x_scale = util::Scale::kLog10;
+  std::printf("%s", util::render_plot({fit}, opts).c_str());
+  return 0;
+}
+
+int cmd_tma(const Args& args) {
+  const auto& entry = resolve_workload(args);
+  workloads::ProfileStream stream(entry.profile);
+  sim::Core core(sim::CoreConfig{}, stream, args.flag_u64("seed", 7));
+  core.run(args.flag_u64("cycles", 8'000'000));
+  const auto result = tma::analyze(core.counters());
+  std::printf("%s / %s\n%s", entry.profile.name.c_str(),
+              entry.profile.config.c_str(), result.describe().c_str());
+  std::printf("main bottleneck: %s\n",
+              std::string(counters::tma_area_name(result.main_bottleneck()))
+                  .c_str());
+  return 0;
+}
+
+int cmd_record(const Args& args) {
+  const auto& entry = resolve_workload(args);
+  const auto out_path = args.flag("out");
+  if (!out_path) throw std::runtime_error("--out is required");
+  workloads::ProfileStream stream(entry.profile);
+  const std::size_t written =
+      sim::save_trace_file(stream, *out_path, args.flag_u64("ops", 1'000'000));
+  std::fprintf(stderr, "recorded %zu macro-ops of %s -> %s\n", written,
+               entry.profile.name.c_str(), out_path->c_str());
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  const auto trace_path = args.flag("trace");
+  if (!trace_path) throw std::runtime_error("--trace is required");
+  auto stream = sim::load_trace_file(*trace_path);
+  sim::Core core(sim::CoreConfig{}, stream, args.flag_u64("seed", 7));
+  core.run(args.flag_u64("cycles", 50'000'000));
+  const auto result = tma::analyze(core.counters());
+  std::printf("replayed %zu ops in %llu cycles\n%s", stream.size(),
+              static_cast<unsigned long long>(core.cycle()),
+              result.describe().c_str());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: spire_cli <command> [options]\n"
+               "commands:\n"
+               "  suite                                     list workloads\n"
+               "  collect --workload N [--config C] [--cycles N] [--window N] [--out F]\n"
+               "  train   --out MODEL FILE... [--polarity] [--min-samples N]\n"
+               "  analyze --model MODEL FILE... [--top N]\n"
+               "  show    --model MODEL --metric EVENT\n"
+               "  tma     --workload N [--config C] [--cycles N]\n"
+               "  record  --workload N [--config C] [--ops N] --out FILE\n"
+               "  replay  --trace FILE [--cycles N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Args args = parse_args(argc, argv, /*bools=*/{"polarity"});
+    if (command == "suite") return cmd_suite();
+    if (command == "collect") return cmd_collect(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "show") return cmd_show(args);
+    if (command == "tma") return cmd_tma(args);
+    if (command == "record") return cmd_record(args);
+    if (command == "replay") return cmd_replay(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "spire_cli: %s\n", e.what());
+    return 1;
+  }
+}
