@@ -1,0 +1,93 @@
+// Ablation: fault tolerance of the collect -> train -> analyze pipeline.
+//
+// Sweeps the FaultInjector corruption rate over the training dataset
+// (0 -> 20% per defect family), repairs it with the kRepair sanitize
+// policy, retrains, and reports how stable the per-workload bottleneck
+// ranking stays: the overlap between the corrupted-trained and the
+// clean-trained top-10 metric lists on the four test workloads. The
+// robustness claim behind `--quality repair` is that 10% corruption still
+// yields >= 8/10 overlap.
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "quality/fault_injector.h"
+#include "quality/quality.h"
+#include "spire/analyzer.h"
+#include "util/table.h"
+
+using namespace spire;
+
+namespace {
+
+int top10_overlap(const model::Analyzer::Analysis& a,
+                  const model::Analyzer::Analysis& b) {
+  std::set<counters::Event> in_a;
+  for (std::size_t i = 0; i < a.ranking.size() && i < 10; ++i) {
+    in_a.insert(a.ranking[i].metric);
+  }
+  int overlap = 0;
+  for (std::size_t i = 0; i < b.ranking.size() && i < 10; ++i) {
+    if (in_a.contains(b.ranking[i].metric)) ++overlap;
+  }
+  return overlap;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: fault tolerance (corrupt -> repair -> retrain) ===\n\n");
+  const auto suite = bench::collect_suite();
+  const auto clean_training = bench::training_dataset(suite);
+
+  // Clean baseline rankings per test workload.
+  const auto clean_ensemble = model::Ensemble::train(clean_training);
+  model::Analyzer clean_analyzer(clean_ensemble);
+  std::vector<const bench::CollectedWorkload*> tests;
+  std::vector<model::Analyzer::Analysis> clean_analyses;
+  for (const auto& cw : suite) {
+    if (!cw.entry.testing) continue;
+    tests.push_back(&cw);
+    clean_analyses.push_back(clean_analyzer.analyze(cw.samples));
+  }
+
+  util::TextTable table({"Rate", "Injected", "Dropped", "Clamped", "Metrics",
+                         "Workload", "Overlap@10"});
+  for (int c : {1, 2, 3, 4, 6}) table.set_align(c, util::Align::kRight);
+
+  for (const double rate : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    sampling::Dataset corrupted = clean_training;
+    quality::FaultStats stats;
+    if (rate > 0.0) {
+      const auto config = quality::FaultConfig::uniform(rate);
+      stats = quality::FaultInjector(
+                  static_cast<std::uint64_t>(rate * 1000.0) + 99, config)
+                  .corrupt(corrupted);
+    }
+    const auto repaired = quality::sanitize(corrupted, quality::Policy::kRepair);
+    const auto ensemble = model::Ensemble::train(repaired.data);
+    model::Analyzer analyzer(ensemble);
+
+    for (std::size_t i = 0; i < tests.size(); ++i) {
+      const auto analysis = analyzer.analyze(tests[i]->samples);
+      table.add_row({util::format_fixed(rate * 100.0, 0) + "%",
+                     std::to_string(stats.total()),
+                     std::to_string(repaired.dropped),
+                     std::to_string(repaired.clamped),
+                     std::to_string(ensemble.metric_count()),
+                     tests[i]->entry.profile.name,
+                     std::to_string(top10_overlap(clean_analyses[i], analysis)) +
+                         "/10"});
+    }
+    table.add_separator();
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: with the repair policy, moderate corruption (<= 10%% per\n"
+      "defect family) should keep the top-10 bottleneck ranking nearly\n"
+      "identical to the clean-trained baseline (>= 8/10 overlap); at 20%%\n"
+      "degradation appears but analysis still completes without throwing.\n");
+  return 0;
+}

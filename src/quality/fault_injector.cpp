@@ -1,0 +1,157 @@
+#include "quality/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace spire::quality {
+
+using counters::Event;
+using sampling::Dataset;
+using sampling::Sample;
+
+namespace {
+
+// Real perf defects arrive in runs (a descheduled collector misses several
+// windows; a glitching counter returns garbage for a stretch), so drops and
+// NaNs are injected as bursts whose start probability keeps the expected
+// per-sample corruption rate equal to the configured rate.
+constexpr std::size_t kDropBurst = 8;
+constexpr std::size_t kNanBurst = 4;
+constexpr double kScaleUpFactor = 1024.0;
+
+}  // namespace
+
+FaultConfig FaultConfig::uniform(double rate) {
+  FaultConfig config;
+  config.drop_window_rate = rate;
+  config.nan_burst_rate = rate;
+  config.negative_count_rate = rate;
+  config.time_skew_rate = rate;
+  config.duplication_rate = rate;
+  config.scale_up_rate = rate;
+  return config;
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed, FaultConfig config)
+    : config_(config), rng_(seed) {}
+
+FaultStats FaultInjector::corrupt(Dataset& data) {
+  FaultStats stats;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  // Truncation first: it models the *file* being cut short, so it removes
+  // the trailing samples in CSV write order (catalog-major), untouched by
+  // the later per-sample corruptions.
+  if (config_.truncation_fraction > 0.0) {
+    const auto metrics = data.metrics();
+    std::size_t cut = static_cast<std::size_t>(
+        std::floor(config_.truncation_fraction *
+                   static_cast<double>(data.size())));
+    for (auto it = metrics.rbegin(); it != metrics.rend() && cut > 0; ++it) {
+      auto& samples = data.mutable_samples(*it);
+      const std::size_t take = std::min(cut, samples.size());
+      samples.resize(samples.size() - take);
+      if (samples.empty()) data.remove(*it);
+      stats.samples_truncated += take;
+      cut -= take;
+    }
+  }
+
+  for (const Event metric : data.metrics()) {
+    auto& samples = data.mutable_samples(metric);
+
+    if (config_.dead_metric_rate > 0.0 && rng_.chance(config_.dead_metric_rate)) {
+      for (Sample& s : samples) s.m = 0.0;
+      ++stats.metrics_deadened;
+      continue;  // a dead column has nothing left worth corrupting
+    }
+
+    if (config_.drop_window_rate > 0.0) {
+      std::vector<Sample> kept;
+      kept.reserve(samples.size());
+      std::size_t dropping = 0;
+      for (const Sample& s : samples) {
+        if (dropping == 0 &&
+            rng_.chance(config_.drop_window_rate / kDropBurst)) {
+          dropping = kDropBurst;
+        }
+        if (dropping > 0) {
+          --dropping;
+          ++stats.windows_dropped;
+        } else {
+          kept.push_back(s);
+        }
+      }
+      samples = std::move(kept);
+    }
+
+    std::size_t nan_left = 0;
+    for (Sample& s : samples) {
+      if (nan_left == 0 && config_.nan_burst_rate > 0.0 &&
+          rng_.chance(config_.nan_burst_rate / kNanBurst)) {
+        nan_left = kNanBurst;
+      }
+      if (nan_left > 0) {
+        --nan_left;
+        switch (rng_.below(3)) {
+          case 0: s.m = nan; break;
+          case 1: s.w = rng_.chance(0.5) ? nan : inf; break;
+          default: s.t = nan; break;
+        }
+        ++stats.nans_injected;
+        continue;  // already garbage; further edits would be redundant
+      }
+      if (rng_.chance(config_.negative_count_rate)) {
+        if (rng_.chance(0.5)) {
+          s.m = s.m > 0.0 ? -s.m : -1.0;
+        } else {
+          s.w = s.w > 0.0 ? -s.w : -1.0;
+        }
+        ++stats.negatives_injected;
+      }
+      if (rng_.chance(config_.time_skew_rate)) {
+        s.t = rng_.chance(0.5) ? 0.0 : -s.t;
+        ++stats.times_skewed;
+      }
+      if (rng_.chance(config_.scale_up_rate)) {
+        s.m = (s.m > 0.0 ? s.m : 1.0) * kScaleUpFactor;
+        ++stats.scale_ups_injected;
+      }
+    }
+
+    if (config_.duplication_rate > 0.0) {
+      std::vector<Sample> duplicated;
+      duplicated.reserve(samples.size());
+      for (const Sample& s : samples) {
+        duplicated.push_back(s);
+        if (rng_.chance(config_.duplication_rate)) {
+          duplicated.push_back(s);
+          ++stats.duplicates_added;
+        }
+      }
+      samples = std::move(duplicated);
+    }
+  }
+  return stats;
+}
+
+std::string flip_bits(std::string text, util::Rng& rng, int flips) {
+  if (text.empty()) return text;
+  for (int i = 0; i < flips; ++i) {
+    const std::size_t pos = static_cast<std::size_t>(rng.below(text.size()));
+    text[pos] = static_cast<char>(
+        static_cast<unsigned char>(text[pos]) ^ (1u << rng.below(8)));
+  }
+  return text;
+}
+
+std::string truncate_tail(std::string text, util::Rng& rng) {
+  if (text.empty()) return text;
+  text.resize(static_cast<std::size_t>(rng.below(text.size())));
+  return text;
+}
+
+}  // namespace spire::quality

@@ -1,0 +1,78 @@
+// Deterministic corruption of clean datasets, mirroring the defect taxonomy
+// in quality.h — so every defense in the validator / sanitizer / trainer is
+// exercised by construction. Also provides raw-text mutators (bit flips,
+// truncation) for fuzzing the CSV and model parsers.
+//
+// All randomness flows through util::Rng: the same seed and config always
+// produce the same corruption, making failures reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sampling/dataset.h"
+#include "util/rng.h"
+
+namespace spire::quality {
+
+/// Per-defect corruption rates. Sample-level rates are probabilities per
+/// sample; dead_metric_rate is per metric; truncation_fraction is the
+/// fraction of the dataset's tail (in CSV write order) cut off, mimicking a
+/// log file whose collection was killed mid-write.
+struct FaultConfig {
+  double drop_window_rate = 0.0;     // bursts of consecutive windows vanish
+  double nan_burst_rate = 0.0;       // bursts of NaN / infinite fields
+  double negative_count_rate = 0.0;  // w or m wraps negative
+  double time_skew_rate = 0.0;       // t becomes zero or negative
+  double duplication_rate = 0.0;     // rows logged twice
+  double scale_up_rate = 0.0;        // multiplexing scale-up spikes (m x1024)
+  double dead_metric_rate = 0.0;     // a metric's m column reads all-zero
+  double truncation_fraction = 0.0;  // trailing fraction of the file lost
+
+  /// Every sample-level rate set to `rate`; dead-metric and truncation off
+  /// (those reshape the dataset rather than corrupt samples, so sweeps over
+  /// a single corruption rate keep them separate).
+  static FaultConfig uniform(double rate);
+};
+
+/// How much corruption was actually injected (deterministic per seed).
+struct FaultStats {
+  std::size_t windows_dropped = 0;
+  std::size_t nans_injected = 0;
+  std::size_t negatives_injected = 0;
+  std::size_t times_skewed = 0;
+  std::size_t duplicates_added = 0;
+  std::size_t scale_ups_injected = 0;
+  std::size_t metrics_deadened = 0;
+  std::size_t samples_truncated = 0;
+
+  std::size_t total() const {
+    return windows_dropped + nans_injected + negatives_injected +
+           times_skewed + duplicates_added + scale_ups_injected +
+           metrics_deadened + samples_truncated;
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(std::uint64_t seed, FaultConfig config);
+
+  /// Corrupts `data` in place and reports what was injected. Metrics are
+  /// processed in catalog order, so corruption is independent of map
+  /// iteration order.
+  FaultStats corrupt(sampling::Dataset& data);
+
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  FaultConfig config_;
+  util::Rng rng_;
+};
+
+/// Flips `flips` random bits anywhere in `text` (fuzzing helper).
+std::string flip_bits(std::string text, util::Rng& rng, int flips);
+
+/// Cuts `text` at a random byte offset (fuzzing helper).
+std::string truncate_tail(std::string text, util::Rng& rng);
+
+}  // namespace spire::quality

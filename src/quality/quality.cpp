@@ -1,0 +1,293 @@
+#include "quality/quality.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <unordered_set>
+
+namespace spire::quality {
+
+using counters::Event;
+using sampling::Dataset;
+using sampling::Sample;
+
+std::string_view defect_name(DefectKind kind) {
+  switch (kind) {
+    case DefectKind::kNonFinite: return "non-finite values";
+    case DefectKind::kNonPositiveTime: return "non-positive time weights";
+    case DefectKind::kNegativeCount: return "negative counts";
+    case DefectKind::kDuplicateSample: return "duplicate samples";
+    case DefectKind::kScaleUpOutlier: return "implausible scale-ups";
+    case DefectKind::kMissingWindows: return "missing windows";
+    case DefectKind::kEmptyMetric: return "empty metrics";
+    case DefectKind::kCount: break;
+  }
+  return "unknown";
+}
+
+Severity defect_severity(DefectKind kind) {
+  switch (kind) {
+    case DefectKind::kNonFinite:
+    case DefectKind::kNonPositiveTime:
+    case DefectKind::kNegativeCount:
+    case DefectKind::kDuplicateSample:
+      return Severity::kError;
+    default:
+      return Severity::kWarning;
+  }
+}
+
+std::string_view severity_name(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+bool QualityReport::has_errors() const {
+  return std::any_of(defects.begin(), defects.end(), [](const DefectEntry& e) {
+    return e.severity == Severity::kError;
+  });
+}
+
+std::size_t QualityReport::count(DefectKind kind) const {
+  const DefectEntry* entry = find(kind);
+  return entry == nullptr ? 0 : entry->count;
+}
+
+std::size_t QualityReport::total() const {
+  std::size_t n = 0;
+  for (const DefectEntry& e : defects) n += e.count;
+  return n;
+}
+
+const DefectEntry* QualityReport::find(DefectKind kind) const {
+  for (const DefectEntry& e : defects) {
+    if (e.kind == kind) return &e;
+  }
+  return nullptr;
+}
+
+std::string QualityReport::describe() const {
+  std::ostringstream out;
+  out << "quality: " << total() << " defect(s) in " << samples_scanned
+      << " samples across " << metrics_scanned << " metrics\n";
+  for (const DefectEntry& e : defects) {
+    out << "  [" << severity_name(e.severity) << "] " << defect_name(e.kind)
+        << ": " << e.count;
+    if (!e.examples.empty()) {
+      out << " (e.g.";
+      for (const SampleRef& ref : e.examples) {
+        out << ' ' << counters::event_name(ref.metric) << '[' << ref.index
+            << ']';
+      }
+      out << ')';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string_view policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::kStrict: return "strict";
+    case Policy::kRepair: return "repair";
+    case Policy::kWarn: return "warn";
+  }
+  return "unknown";
+}
+
+std::optional<Policy> policy_by_name(std::string_view name) {
+  if (name == "strict") return Policy::kStrict;
+  if (name == "repair") return Policy::kRepair;
+  if (name == "warn") return Policy::kWarn;
+  return std::nullopt;
+}
+
+QualityError::QualityError(const std::string& what, QualityReport report)
+    : std::runtime_error(what),
+      report_(std::make_shared<const QualityReport>(std::move(report))) {}
+
+namespace {
+
+/// Byte-exact key for duplicate detection; unlike operator==, identical NaN
+/// payloads compare equal, so corrupt duplicated rows are still caught.
+struct SampleKey {
+  std::array<char, 3 * sizeof(double)> bytes;
+
+  explicit SampleKey(const Sample& s) {
+    std::memcpy(bytes.data(), &s.t, sizeof(double));
+    std::memcpy(bytes.data() + sizeof(double), &s.w, sizeof(double));
+    std::memcpy(bytes.data() + 2 * sizeof(double), &s.m, sizeof(double));
+  }
+  friend bool operator==(const SampleKey&, const SampleKey&) = default;
+};
+
+struct SampleKeyHash {
+  std::size_t operator()(const SampleKey& k) const {
+    std::size_t h = 1469598103934665603ull;  // FNV-1a
+    for (const char c : k.bytes) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+bool sample_finite(const Sample& s) {
+  return std::isfinite(s.t) && std::isfinite(s.w) && std::isfinite(s.m);
+}
+
+/// Median event rate m/t over the metric's firing, structurally sound
+/// samples; 0 when fewer than 8 such samples exist (too little evidence to
+/// call anything an outlier).
+double median_rate(const std::vector<Sample>& samples) {
+  std::vector<double> rates;
+  rates.reserve(samples.size());
+  for (const Sample& s : samples) {
+    if (sample_finite(s) && s.t > 0.0 && s.m > 0.0) rates.push_back(s.m / s.t);
+  }
+  if (rates.size() < 8) return 0.0;
+  const auto mid = rates.begin() + static_cast<std::ptrdiff_t>(rates.size() / 2);
+  std::nth_element(rates.begin(), mid, rates.end());
+  return *mid;
+}
+
+class ReportBuilder {
+ public:
+  explicit ReportBuilder(std::size_t max_examples)
+      : max_examples_(max_examples) {}
+
+  void record(DefectKind kind, Event metric, std::size_t index) {
+    DefectEntry& e = entries_[static_cast<std::size_t>(kind)];
+    ++e.count;
+    if (e.examples.size() < max_examples_) e.examples.push_back({metric, index});
+  }
+
+  QualityReport finish(std::size_t samples, std::size_t metrics) && {
+    QualityReport report;
+    report.samples_scanned = samples;
+    report.metrics_scanned = metrics;
+    for (std::size_t k = 0; k < kDefectKindCount; ++k) {
+      if (entries_[k].count == 0) continue;
+      entries_[k].kind = static_cast<DefectKind>(k);
+      entries_[k].severity = defect_severity(entries_[k].kind);
+      report.defects.push_back(std::move(entries_[k]));
+    }
+    return report;
+  }
+
+ private:
+  std::size_t max_examples_;
+  std::array<DefectEntry, kDefectKindCount> entries_{};
+};
+
+}  // namespace
+
+DatasetValidator::DatasetValidator(ValidatorConfig config) : config_(config) {}
+
+QualityReport DatasetValidator::validate(const Dataset& data) const {
+  ReportBuilder builder(config_.max_examples);
+  const auto metrics = data.metrics();
+
+  std::size_t max_count = 0;
+  for (const Event metric : metrics) {
+    max_count = std::max(max_count, data.samples(metric).size());
+  }
+
+  for (const Event metric : metrics) {
+    const auto& samples = data.samples(metric);
+    const double rate_cap = median_rate(samples) * config_.scale_up_rate_factor;
+    std::unordered_set<SampleKey, SampleKeyHash> seen;
+    bool any_fired = false;
+
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const Sample& s = samples[i];
+      if (s.m != 0.0) any_fired = true;
+      if (!seen.insert(SampleKey(s)).second) {
+        builder.record(DefectKind::kDuplicateSample, metric, i);
+      }
+      if (!sample_finite(s)) {
+        builder.record(DefectKind::kNonFinite, metric, i);
+      } else if (s.t <= 0.0) {
+        builder.record(DefectKind::kNonPositiveTime, metric, i);
+      } else if (s.w < 0.0 || s.m < 0.0) {
+        builder.record(DefectKind::kNegativeCount, metric, i);
+      } else if (rate_cap > 0.0 && s.m / s.t > rate_cap) {
+        builder.record(DefectKind::kScaleUpOutlier, metric, i);
+      }
+    }
+
+    if (!samples.empty() && !any_fired) {
+      builder.record(DefectKind::kEmptyMetric, metric, samples.size());
+    }
+    if (static_cast<double>(samples.size()) <
+        config_.missing_window_fraction * static_cast<double>(max_count)) {
+      builder.record(DefectKind::kMissingWindows, metric, samples.size());
+    }
+  }
+  return std::move(builder).finish(data.size(), metrics.size());
+}
+
+SanitizeResult sanitize(const Dataset& data, Policy policy,
+                        const ValidatorConfig& config) {
+  SanitizeResult result;
+  result.report = DatasetValidator(config).validate(data);
+
+  if (policy == Policy::kStrict && result.report.has_errors()) {
+    std::ostringstream what;
+    what << "dataset failed strict quality validation ("
+         << result.report.total() << " defects)\n"
+         << result.report.describe();
+    throw QualityError(what.str(), result.report);
+  }
+  if (policy != Policy::kRepair) {
+    result.data = data;
+    return result;
+  }
+
+  for (const Event metric : data.metrics()) {
+    const auto& samples = data.samples(metric);
+    const bool dead =
+        std::none_of(samples.begin(), samples.end(),
+                     [](const Sample& s) { return s.m != 0.0; });
+    if (dead) {
+      result.dropped += samples.size();
+      continue;
+    }
+    const double rate_cap = median_rate(samples) * config.scale_up_rate_factor;
+    std::unordered_set<SampleKey, SampleKeyHash> seen;
+    for (const Sample& s : samples) {
+      if (!sample_finite(s) || s.t <= 0.0) {
+        ++result.dropped;
+        continue;
+      }
+      // A corrupt metric count is unrecoverable: any fabricated m moves the
+      // sample to a wrong intensity and distorts the upper-bound fit (m = 0
+      // would even pin it at infinite intensity). Drop those samples. A
+      // negative w, by contrast, clamps harmlessly to zero work: the sample
+      // lands at (0, 0), below every roofline.
+      if (s.m < 0.0 || (rate_cap > 0.0 && s.m / s.t > rate_cap)) {
+        ++result.dropped;
+        continue;
+      }
+      Sample repaired = s;
+      bool edited = false;
+      if (repaired.w < 0.0) {
+        repaired.w = 0.0;
+        edited = true;
+      }
+      // Dedupe on the *repaired* bytes: clamping can collapse two distinct
+      // corrupt rows onto the same value, and the repaired dataset must
+      // re-validate with no errors.
+      if (!seen.insert(SampleKey(repaired)).second) {
+        ++result.dropped;
+        continue;
+      }
+      if (edited) ++result.clamped;
+      result.data.add(metric, repaired);
+    }
+  }
+  return result;
+}
+
+}  // namespace spire::quality

@@ -1,0 +1,154 @@
+// Dataset quality control (robustness layer, not in the paper).
+//
+// Real `perf stat` logs — the data source SPIRE targets — contain dropped
+// windows, multiplexing scale-up artifacts, clipped or negative counts, and
+// truncated files. The validator classifies those defects into a structured
+// QualityReport; sanitize() applies a policy (throw / repair / log) so the
+// training and analysis layers never see data they cannot survive.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "counters/events.h"
+#include "sampling/dataset.h"
+
+namespace spire::quality {
+
+/// Every defect class the validator can report. Sample-level kinds point at
+/// individual samples; metric-level kinds (missing windows, empty metric)
+/// describe a whole series.
+enum class DefectKind : std::uint8_t {
+  kNonFinite,        // t, w, or m is NaN or infinite
+  kNonPositiveTime,  // time weight t <= 0 (zero-length or skewed window)
+  kNegativeCount,    // w < 0 or m < 0 (clipped / wrapped counter)
+  kDuplicateSample,  // identical (t, w, m) row repeated for one metric
+  kScaleUpOutlier,   // implausible multiplexing scale-up: m/t far above the
+                     // metric's own median event rate
+  kMissingWindows,   // metric covers far fewer windows than the dataset max
+  kEmptyMetric,      // metric present but never fired (every m == 0)
+  kCount,
+};
+
+inline constexpr std::size_t kDefectKindCount =
+    static_cast<std::size_t>(DefectKind::kCount);
+
+std::string_view defect_name(DefectKind kind);
+
+/// Errors poison a fit if they reach training; warnings merely degrade it.
+enum class Severity : std::uint8_t { kWarning, kError };
+
+Severity defect_severity(DefectKind kind);
+std::string_view severity_name(Severity severity);
+
+/// Location of one defective sample (index into the metric's series). For
+/// metric-level defects the index is the series length.
+struct SampleRef {
+  counters::Event metric{};
+  std::size_t index = 0;
+
+  friend bool operator==(const SampleRef&, const SampleRef&) = default;
+};
+
+/// All occurrences of one defect kind.
+struct DefectEntry {
+  DefectKind kind{};
+  Severity severity = Severity::kWarning;
+  std::size_t count = 0;
+  std::vector<SampleRef> examples;  // capped at ValidatorConfig::max_examples
+};
+
+struct QualityReport {
+  std::vector<DefectEntry> defects;  // one entry per kind found, enum order
+  std::size_t samples_scanned = 0;
+  std::size_t metrics_scanned = 0;
+
+  bool clean() const { return defects.empty(); }
+  bool has_errors() const;
+
+  /// Occurrences of one kind (0 when absent).
+  std::size_t count(DefectKind kind) const;
+
+  /// Total defective samples/series across all kinds.
+  std::size_t total() const;
+
+  /// Entry for a kind, or nullptr when the kind was not observed.
+  const DefectEntry* find(DefectKind kind) const;
+
+  /// Human-readable multi-line summary (one line per kind).
+  std::string describe() const;
+};
+
+struct ValidatorConfig {
+  /// m/t beyond the metric's median rate times this factor is implausible.
+  double scale_up_rate_factor = 64.0;
+  /// A metric with fewer samples than this fraction of the dataset-wide
+  /// maximum is reported as missing windows.
+  double missing_window_fraction = 0.75;
+  /// Defective-sample locations kept per defect kind.
+  std::size_t max_examples = 8;
+};
+
+/// Scans a dataset for the defect taxonomy above. Pure inspection: never
+/// throws on bad data, never modifies the dataset.
+class DatasetValidator {
+ public:
+  explicit DatasetValidator(ValidatorConfig config = {});
+
+  QualityReport validate(const sampling::Dataset& data) const;
+
+  const ValidatorConfig& config() const { return config_; }
+
+ private:
+  ValidatorConfig config_;
+};
+
+/// What sanitize() does when the validator finds defects.
+enum class Policy {
+  kStrict,  // throw QualityError carrying the report
+  kRepair,  // drop/clamp/dedupe defective samples, record the surgery
+  kWarn,    // keep the data untouched; caller logs the report
+};
+
+std::string_view policy_name(Policy policy);
+std::optional<Policy> policy_by_name(std::string_view name);
+
+/// Thrown by sanitize() under Policy::kStrict; carries the full report.
+class QualityError : public std::runtime_error {
+ public:
+  QualityError(const std::string& what, QualityReport report);
+
+  const QualityReport& report() const { return *report_; }
+
+ private:
+  std::shared_ptr<const QualityReport> report_;  // cheap, nothrow copies
+};
+
+struct SanitizeResult {
+  sampling::Dataset data;     // the dataset to use downstream
+  QualityReport report;       // defects found before any repair
+  std::size_t dropped = 0;    // samples removed (non-finite, bad time,
+                              // duplicates, corrupt counts, dead metrics)
+  std::size_t clamped = 0;    // samples edited in place (negative w zeroed)
+
+  bool repaired() const { return dropped > 0 || clamped > 0; }
+};
+
+/// Validates and applies `policy`:
+///  * kStrict — throws QualityError when any error-severity defect exists
+///    (warnings alone pass through untouched);
+///  * kRepair — drops non-finite / non-positive-time / duplicate samples,
+///    samples with untrustworthy metric counts (negative m, implausible
+///    scale-ups), and all-zero metrics; clamps negative work counts to zero
+///    (a fabricated m would move the sample to a wrong intensity, so corrupt
+///    counts are dropped rather than guessed);
+///  * kWarn — returns the data unchanged alongside the report.
+SanitizeResult sanitize(const sampling::Dataset& data, Policy policy,
+                        const ValidatorConfig& config = {});
+
+}  // namespace spire::quality

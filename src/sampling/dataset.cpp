@@ -19,6 +19,12 @@ const std::vector<Sample>& Dataset::samples(Event metric) const {
   return it == by_metric_.end() ? kEmpty : it->second;
 }
 
+std::vector<Sample>& Dataset::mutable_samples(Event metric) {
+  return by_metric_[metric];
+}
+
+void Dataset::remove(Event metric) { by_metric_.erase(metric); }
+
 std::vector<Event> Dataset::metrics() const {
   std::vector<Event> out;
   for (const auto& info : counters::event_catalog()) {

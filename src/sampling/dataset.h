@@ -20,6 +20,13 @@ class Dataset {
   /// Samples recorded for a metric (empty vector if none).
   const std::vector<Sample>& samples(counters::Event metric) const;
 
+  /// Mutable access to a metric's series, created empty when absent. Used
+  /// by the quality layer (fault injection, repair) to edit series in place.
+  std::vector<Sample>& mutable_samples(counters::Event metric);
+
+  /// Removes a metric's series entirely (no-op when absent).
+  void remove(counters::Event metric);
+
   /// Metrics that have at least one sample, in catalog order.
   std::vector<counters::Event> metrics() const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <stdexcept>
 
 namespace spire::model {
@@ -26,6 +27,11 @@ double measured_throughput(const Dataset& workload) {
   double work = 0.0;
   double time = 0.0;
   for (const Sample& s : *best) {
+    // Corrupt windows (NaN fields, zero/negative periods) must not poison
+    // the whole-run average; the quality layer reports them separately.
+    if (!std::isfinite(s.t) || !std::isfinite(s.w) || s.t <= 0.0 || s.w < 0.0) {
+      continue;
+    }
     work += s.w;
     time += s.t;
   }
@@ -36,8 +42,9 @@ double measured_throughput(const Dataset& workload) {
 Analyzer::Analysis Analyzer::analyze(const Dataset& workload) const {
   Analysis out;
   out.measured_throughput = measured_throughput(workload);
-  const Estimate estimate = ensemble_->estimate(workload);
+  Estimate estimate = ensemble_->estimate(workload);
   out.estimated_throughput = estimate.throughput;
+  out.skipped = std::move(estimate.skipped);
   out.ranking.reserve(estimate.ranking.size());
   for (const MetricEstimate& me : estimate.ranking) {
     const auto& info = counters::event_info(me.metric);

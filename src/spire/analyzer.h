@@ -32,6 +32,10 @@ class Analyzer {
     double measured_throughput = 0.0;  // time-weighted measured P
     double estimated_throughput = 0.0; // ensemble estimate (min of averages)
     std::vector<RankedMetric> ranking;
+    /// Ensemble metrics that could not contribute (no usable samples in the
+    /// workload) — reported, not fatal, so one bad series never aborts an
+    /// analysis that other metrics can still support.
+    std::vector<SkippedMetric> skipped;
   };
   Analysis analyze(const sampling::Dataset& workload) const;
 

@@ -1,6 +1,7 @@
 #include "spire/ensemble.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "spire/polarity.h"
@@ -16,24 +17,46 @@ Ensemble::Ensemble(std::map<Event, MetricRoofline> rooflines)
 
 Ensemble Ensemble::train(const Dataset& data, TrainOptions options) {
   std::map<Event, MetricRoofline> rooflines;
+  std::vector<SkippedMetric> skipped;
   for (const Event metric : data.metrics()) {
     const auto& samples = data.samples(metric);
     std::size_t usable = 0;
     for (const Sample& s : samples) {
       if (s.t > 0.0) ++usable;
     }
-    if (usable < options.min_samples) continue;
-    if (options.polarity_constrained) {
-      rooflines.emplace(metric,
-                        fit_with_polarity(samples, options.polarity_threshold));
-    } else {
-      rooflines.emplace(metric, MetricRoofline::fit(samples));
+    if (usable < options.min_samples) {
+      skipped.push_back({metric, "only " + std::to_string(usable) +
+                                     " usable samples (min " +
+                                     std::to_string(options.min_samples) +
+                                     ")"});
+      continue;
+    }
+    // An untrainable metric (degenerate or corrupt series) must not kill
+    // the whole ensemble: record why and move on.
+    try {
+      if (options.polarity_constrained) {
+        rooflines.emplace(
+            metric, fit_with_polarity(samples, options.polarity_threshold));
+      } else {
+        rooflines.emplace(metric, MetricRoofline::fit(samples));
+      }
+    } catch (const std::exception& e) {
+      skipped.push_back({metric, std::string("fit failed: ") + e.what()});
     }
   }
   if (rooflines.empty()) {
-    throw std::invalid_argument("ensemble: no trainable metric");
+    std::string what = "ensemble: no trainable metric";
+    for (const SkippedMetric& s : skipped) {
+      what += "\n  ";
+      what += counters::event_name(s.metric);
+      what += ": ";
+      what += s.reason;
+    }
+    throw std::invalid_argument(what);
   }
-  return Ensemble(std::move(rooflines));
+  Ensemble out(std::move(rooflines));
+  out.skipped_ = std::move(skipped);
+  return out;
 }
 
 namespace {
@@ -45,7 +68,12 @@ std::optional<double> merge_samples(const MetricRoofline& roofline,
   double weight = 0.0;
   std::size_t count = 0;
   for (const Sample& s : samples) {
-    if (s.t <= 0.0) continue;
+    // Skip structurally unusable samples (corrupt fields would otherwise
+    // turn into NaN intensities and abort the whole estimation).
+    if (s.t <= 0.0 || !std::isfinite(s.t) || !std::isfinite(s.w) ||
+        !std::isfinite(s.m) || s.w < 0.0 || s.m < 0.0) {
+      continue;
+    }
     const double p = roofline.estimate(s.intensity());
     const double w = merge == Merge::kTimeWeighted ? s.t : 1.0;
     weighted += w * p;
@@ -73,7 +101,12 @@ Estimate Ensemble::estimate(const Dataset& workload, Merge merge) const {
     std::size_t count = 0;
     const auto p_bar =
         merge_samples(roofline, workload.samples(metric), merge, &count);
-    if (!p_bar.has_value()) continue;
+    if (!p_bar.has_value()) {
+      out.skipped.push_back({metric, workload.samples(metric).empty()
+                                         ? "no samples in workload"
+                                         : "no structurally usable samples"});
+      continue;
+    }
     out.ranking.push_back({metric, *p_bar, count});
   }
   if (out.ranking.empty()) {

@@ -8,6 +8,7 @@
 
 #include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "counters/events.h"
@@ -28,6 +29,13 @@ struct MetricEstimate {
   std::size_t samples = 0;   // samples that contributed
 };
 
+/// A metric the pipeline routed around instead of aborting on: untrainable
+/// during Ensemble::train, or without usable samples during estimation.
+struct SkippedMetric {
+  counters::Event metric{};
+  std::string reason;
+};
+
 /// A full ensemble estimation result.
 struct Estimate {
   /// Ensemble-wide attainable throughput: min over per-metric averages.
@@ -35,6 +43,8 @@ struct Estimate {
   /// Per-metric averages sorted ascending by p_bar (the paper's ranking:
   /// lowest values are the likeliest bottlenecks).
   std::vector<MetricEstimate> ranking;
+  /// Ensemble metrics that contributed nothing (no usable workload samples).
+  std::vector<SkippedMetric> skipped;
 };
 
 class Ensemble {
@@ -52,8 +62,10 @@ class Ensemble {
     double polarity_threshold = 0.3;
   };
 
-  /// Fits one roofline per metric present in `data`.
-  /// Throws std::invalid_argument when no metric is trainable.
+  /// Fits one roofline per metric present in `data`. Metrics that cannot be
+  /// fit (too few usable samples, degenerate series, fit failure) are
+  /// skipped and recorded in skipped(); only when *no* metric survives does
+  /// train throw std::invalid_argument (listing the per-metric reasons).
   static Ensemble train(const sampling::Dataset& data, TrainOptions options);
   static Ensemble train(const sampling::Dataset& data) {
     return train(data, TrainOptions{});
@@ -62,9 +74,13 @@ class Ensemble {
   /// Builds an ensemble from pre-fitted rooflines (deserialization path).
   explicit Ensemble(std::map<counters::Event, MetricRoofline> rooflines);
 
+  /// Metrics train() saw but could not fit, with the reason for each.
+  const std::vector<SkippedMetric>& skipped() const { return skipped_; }
+
   /// Estimates a workload's attainable throughput from its samples.
-  /// Metrics absent from the ensemble or without samples are skipped.
-  /// Throws std::invalid_argument when nothing overlaps.
+  /// Metrics absent from the ensemble are ignored; ensemble metrics with no
+  /// usable workload samples land in Estimate::skipped. Throws
+  /// std::invalid_argument only when nothing overlaps at all.
   Estimate estimate(const sampling::Dataset& workload,
                     Merge merge = Merge::kTimeWeighted) const;
 
@@ -82,6 +98,7 @@ class Ensemble {
 
  private:
   std::map<counters::Event, MetricRoofline> rooflines_;
+  std::vector<SkippedMetric> skipped_;
 };
 
 }  // namespace spire::model

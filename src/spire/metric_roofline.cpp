@@ -23,6 +23,11 @@ std::vector<Point> sample_points(std::span<const sampling::Sample> samples) {
   std::vector<Point> points;
   points.reserve(samples.size());
   for (const auto& s : samples) {
+    // Non-finite fields (NaN bursts, clipped counters read back as inf)
+    // would become NaN points and silently poison the hull / Pareto fits.
+    if (!std::isfinite(s.t) || !std::isfinite(s.w) || !std::isfinite(s.m)) {
+      continue;
+    }
     if (s.t <= 0.0 || s.w < 0.0 || s.m < 0.0) continue;
     points.push_back({s.intensity(), s.throughput()});
   }

@@ -69,8 +69,8 @@ class MetricRoofline {
 /// reproduction benches.
 namespace fitting {
 
-/// Converts samples to (I, P) points, dropping unusable ones (t <= 0).
-/// Points with m == 0 get I = +infinity.
+/// Converts samples to (I, P) points, dropping unusable ones (non-finite
+/// fields, t <= 0, negative counts). Points with m == 0 get I = +infinity.
 std::vector<geom::Point> sample_points(std::span<const sampling::Sample> samples);
 
 /// Left-region fit over the finite points: the hull chain from the origin

@@ -1,5 +1,6 @@
 #include "spire/model_io.h"
 
+#include <charconv>
 #include <cmath>
 #include <fstream>
 #include <istream>
@@ -18,6 +19,11 @@ namespace {
 
 constexpr std::string_view kHeader = "spire-model v1";
 
+// Loaded model files may be adversarial (hand-edited, truncated, corrupted
+// in transit), so region sizes are bounded before any allocation. Real fits
+// have at most a few dozen corners; this is orders of magnitude above that.
+constexpr std::size_t kMaxRegionCorners = 65'536;
+
 void write_value(std::ostream& out, double v) {
   if (std::isinf(v)) {
     out << (v > 0 ? "inf" : "-inf");
@@ -26,23 +32,72 @@ void write_value(std::ostream& out, double v) {
   }
 }
 
-double read_value(std::istream& in, const char* what) {
-  std::string token;
-  if (!(in >> token)) {
-    throw std::runtime_error(std::string("model: missing ") + what);
-  }
-  if (token == "inf") return std::numeric_limits<double>::infinity();
-  if (token == "-inf") return -std::numeric_limits<double>::infinity();
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(token, &pos);
-    if (pos != token.size()) throw std::invalid_argument(token);
-    return v;
-  } catch (const std::exception&) {
-    throw std::runtime_error(std::string("model: bad ") + what + " '" + token +
-                             "'");
-  }
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("model: line " + std::to_string(line_no) + ": " +
+                           what);
 }
+
+/// Tokenizer over one line that reports errors with that line's number.
+struct LineTokens {
+  std::istringstream in;
+  std::size_t line_no;
+
+  LineTokens(const std::string& line, std::size_t number)
+      : in(line), line_no(number) {}
+
+  std::string next(const char* what) {
+    std::string token;
+    if (!(in >> token)) {
+      fail(line_no, std::string("missing ") + what);
+    }
+    return token;
+  }
+
+  void expect_end() {
+    std::string token;
+    if (in >> token) {
+      fail(line_no, "trailing garbage '" + token + "'");
+    }
+  }
+
+  /// Parses a value token. "inf" is accepted only when `allow_inf`; NaN and
+  /// "-inf" are never valid in a model file.
+  double value(const char* what, bool allow_inf = false) {
+    const std::string token = next(what);
+    if (token == "inf") {
+      if (!allow_inf) {
+        fail(line_no, std::string(what) + " must be finite, got 'inf'");
+      }
+      return std::numeric_limits<double>::infinity();
+    }
+    double v = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), v);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      fail(line_no, std::string("bad ") + what + " '" + token + "'");
+    }
+    if (!std::isfinite(v)) {
+      fail(line_no, std::string(what) + " must be finite, got '" + token + "'");
+    }
+    return v;
+  }
+
+  /// Parses a region size and enforces the allocation bound.
+  std::size_t count(const char* what) {
+    const std::string token = next(what);
+    std::size_t n = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), n);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      fail(line_no, std::string("bad ") + what + " '" + token + "'");
+    }
+    if (n > kMaxRegionCorners) {
+      fail(line_no, std::string(what) + " " + token + " exceeds the limit of " +
+                        std::to_string(kMaxRegionCorners));
+    }
+    return n;
+  }
+};
 
 }  // namespace
 
@@ -84,75 +139,118 @@ void save_model(const Ensemble& ensemble, std::ostream& out) {
 }
 
 Ensemble load_model(std::istream& in) {
+  std::size_t line_no = 0;
   std::string line;
-  if (!std::getline(in, line) || line != kHeader) {
-    throw std::runtime_error("model: bad header");
+  const auto next_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) return true;
+    }
+    return false;
+  };
+
+  if (!next_line() || line != kHeader) {
+    fail(line_no == 0 ? 1 : line_no, "bad header (expected '" +
+                                         std::string(kHeader) + "')");
   }
+
   std::map<Event, MetricRoofline> rooflines;
-  std::string keyword;
-  while (in >> keyword) {
-    if (keyword != "metric") {
-      throw std::runtime_error("model: expected 'metric', got '" + keyword + "'");
+  while (next_line()) {
+    // --- metric line: "metric NAME trained_on=N apex=I P" ---------------
+    LineTokens metric_line(line, line_no);
+    if (const auto kw = metric_line.next("keyword"); kw != "metric") {
+      fail(line_no, "expected 'metric', got '" + kw + "'");
     }
-    std::string name;
-    std::string trained_field;
-    if (!(in >> name >> trained_field)) {
-      throw std::runtime_error("model: truncated metric line");
-    }
+    const std::string name = metric_line.next("metric name");
     const auto metric = counters::event_by_name(name);
-    if (!metric) throw std::runtime_error("model: unknown metric '" + name + "'");
-    if (trained_field.rfind("trained_on=", 0) != 0) {
-      throw std::runtime_error("model: expected trained_on field");
+    if (!metric) fail(line_no, "unknown metric '" + name + "'");
+    if (rooflines.contains(*metric)) {
+      fail(line_no, "duplicate metric '" + name + "'");
     }
-    const std::size_t trained_on =
-        static_cast<std::size_t>(std::stoull(trained_field.substr(11)));
-    std::string apex_field;
-    if (!(in >> apex_field) || apex_field != "apex=") {
-      // apex= is glued to the first value by the writer; handle both forms.
-      if (apex_field.rfind("apex=", 0) != 0) {
-        throw std::runtime_error("model: expected apex field");
+
+    const std::string trained_field = metric_line.next("trained_on field");
+    if (trained_field.rfind("trained_on=", 0) != 0) {
+      fail(line_no, "expected trained_on field, got '" + trained_field + "'");
+    }
+    std::size_t trained_on = 0;
+    {
+      const std::string_view digits =
+          std::string_view(trained_field).substr(11);
+      const auto [ptr, ec] =
+          std::from_chars(digits.data(), digits.data() + digits.size(),
+                          trained_on);
+      if (ec != std::errc{} || ptr != digits.data() + digits.size()) {
+        fail(line_no, "bad trained_on count '" + trained_field + "'");
       }
+    }
+
+    // apex= is glued to the intensity by the writer; also accept a lone
+    // "apex=" token for hand-written files.
+    const std::string apex_field = metric_line.next("apex field");
+    if (apex_field.rfind("apex=", 0) != 0) {
+      fail(line_no, "expected apex field, got '" + apex_field + "'");
     }
     double apex_x = 0.0;
     if (apex_field == "apex=") {
-      apex_x = read_value(in, "apex intensity");
+      apex_x = metric_line.value("apex intensity", /*allow_inf=*/true);
     } else {
-      std::istringstream field(apex_field.substr(5));
-      apex_x = read_value(field, "apex intensity");
+      LineTokens glued(apex_field.substr(5), line_no);
+      apex_x = glued.value("apex intensity", /*allow_inf=*/true);
     }
-    const double apex_y = read_value(in, "apex throughput");
+    const double apex_y = metric_line.value("apex throughput");
+    metric_line.expect_end();
 
-    std::string left_kw;
-    std::size_t left_count = 0;
-    if (!(in >> left_kw >> left_count) || left_kw != "left") {
-      throw std::runtime_error("model: expected left region");
+    // --- left line: "left K x0 y0 x1 y1 ..." ----------------------------
+    if (!next_line()) fail(line_no + 1, "missing left region for " + name);
+    LineTokens left_line(line, line_no);
+    if (const auto kw = left_line.next("keyword"); kw != "left") {
+      fail(line_no, "expected left region, got '" + kw + "'");
     }
+    const std::size_t left_count = left_line.count("left knot count");
     std::optional<PiecewiseLinear> left;
     if (left_count > 0) {
       std::vector<geom::Point> knots(left_count);
       for (auto& k : knots) {
-        k.x = read_value(in, "left knot x");
-        k.y = read_value(in, "left knot y");
+        k.x = left_line.value("left knot x");
+        k.y = left_line.value("left knot y");
       }
-      left = PiecewiseLinear::from_knots(knots);
+      try {
+        left = PiecewiseLinear::from_knots(knots);
+      } catch (const std::exception& e) {
+        fail(line_no, std::string("invalid left region: ") + e.what());
+      }
     }
+    left_line.expect_end();
 
-    std::string right_kw;
-    std::size_t right_count = 0;
-    if (!(in >> right_kw >> right_count) || right_kw != "right") {
-      throw std::runtime_error("model: expected right region");
+    // --- right line: "right K x0 y0 x1 y1 ..." --------------------------
+    if (!next_line()) fail(line_no + 1, "missing right region for " + name);
+    LineTokens right_line(line, line_no);
+    if (const auto kw = right_line.next("keyword"); kw != "right") {
+      fail(line_no, "expected right region, got '" + kw + "'");
     }
-    if (right_count == 0) throw std::runtime_error("model: empty right region");
+    const std::size_t right_count = right_line.count("right piece count");
+    if (right_count == 0) fail(line_no, "empty right region");
     std::vector<LinearPiece> pieces(right_count);
-    for (auto& p : pieces) {
-      p.x0 = read_value(in, "right x0");
-      p.y0 = read_value(in, "right y0");
-      p.x1 = read_value(in, "right x1");
-      p.y1 = read_value(in, "right y1");
+    for (std::size_t i = 0; i < right_count; ++i) {
+      // Only the final piece's right corner may sit at infinity (the
+      // documented horizontal tail); everything else must be finite.
+      pieces[i].x0 = right_line.value("right x0");
+      pieces[i].y0 = right_line.value("right y0");
+      pieces[i].x1 =
+          right_line.value("right x1", /*allow_inf=*/i + 1 == right_count);
+      pieces[i].y1 = right_line.value("right y1");
     }
-    rooflines.emplace(
-        *metric, MetricRoofline(std::move(left), PiecewiseLinear(std::move(pieces)),
-                                {apex_x, apex_y}, trained_on));
+    right_line.expect_end();
+
+    try {
+      rooflines.emplace(*metric,
+                        MetricRoofline(std::move(left),
+                                       PiecewiseLinear(std::move(pieces)),
+                                       {apex_x, apex_y}, trained_on));
+    } catch (const std::exception& e) {
+      fail(line_no, std::string("invalid right region: ") + e.what());
+    }
   }
   if (rooflines.empty()) throw std::runtime_error("model: no metrics");
   return Ensemble(std::move(rooflines));

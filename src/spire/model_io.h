@@ -20,6 +20,9 @@ namespace spire::model {
 void save_model(const Ensemble& ensemble, std::ostream& out);
 
 /// Throws std::runtime_error on malformed input or unknown metric names.
+/// Hardened against adversarial files: region sizes are bounded before any
+/// allocation, values must be finite except the documented trailing "inf"
+/// right corner, and every error message carries the 1-based line number.
 Ensemble load_model(std::istream& in);
 
 /// Convenience file wrappers; throw std::runtime_error on I/O failure.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "util/rng.h"
 
@@ -138,6 +139,89 @@ TEST(Ensemble, ZeroLengthSamplesIgnoredInEstimation) {
   Dataset workload;
   workload.add(Event::kIdqDsbUops, sample_at(4.0, 2.0));
   workload.add(Event::kIdqDsbUops, {0.0, 5.0, 1.0});  // t = 0: ignored
+  Dataset clean;
+  clean.add(Event::kIdqDsbUops, sample_at(4.0, 2.0));
+  EXPECT_DOUBLE_EQ(*ens.metric_estimate(Event::kIdqDsbUops, workload),
+                   *ens.metric_estimate(Event::kIdqDsbUops, clean));
+}
+
+TEST(Ensemble, TrainSkipsUntrainableMetricsWithReasons) {
+  auto data = two_metric_training();
+  // Too few samples (default min_samples = 8).
+  data.add(Event::kLsdUops, sample_at(1.0, 1.0));
+  data.add(Event::kLsdUops, sample_at(2.0, 1.5));
+  // Samples exist but none is usable (t <= 0).
+  for (int i = 0; i < 10; ++i) {
+    data.add(Event::kBaclearsAny, {0.0, 1.0, 1.0});
+  }
+  const auto ens = Ensemble::train(data);
+  EXPECT_EQ(ens.metric_count(), 2u);
+  ASSERT_EQ(ens.skipped().size(), 2u);
+  for (const SkippedMetric& s : ens.skipped()) {
+    EXPECT_TRUE(s.metric == Event::kLsdUops || s.metric == Event::kBaclearsAny);
+    EXPECT_NE(s.reason.find("usable samples"), std::string::npos) << s.reason;
+  }
+}
+
+TEST(Ensemble, ExactlyOneTrainableMetricTrains) {
+  Dataset data;
+  for (const auto& [i, p] : std::vector<std::pair<double, double>>{
+           {0.5, 1.0}, {2.0, 3.0}, {4.0, 4.0}, {8.0, 2.0}, {16.0, 1.0},
+           {1.0, 1.5}, {3.0, 3.2}, {6.0, 2.5}, {12.0, 1.2}, {5.0, 3.0}}) {
+    data.add(Event::kIdqDsbUops, sample_at(i, p));
+  }
+  data.add(Event::kLsdUops, sample_at(1.0, 1.0));       // too sparse
+  data.add(Event::kBaclearsAny, {-1.0, 1.0, 1.0});      // unusable
+  const auto ens = Ensemble::train(data);
+  EXPECT_EQ(ens.metric_count(), 1u);
+  EXPECT_TRUE(ens.rooflines().contains(Event::kIdqDsbUops));
+  EXPECT_EQ(ens.skipped().size(), 2u);
+}
+
+TEST(Ensemble, AllMetricsUntrainableThrowsWithPerMetricReasons) {
+  Dataset data;
+  data.add(Event::kLsdUops, sample_at(1.0, 1.0));
+  data.add(Event::kBaclearsAny, {0.0, 1.0, 1.0});
+  try {
+    Ensemble::train(data);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no trainable metric"), std::string::npos);
+    EXPECT_NE(what.find(counters::event_name(Event::kLsdUops)),
+              std::string::npos);
+    EXPECT_NE(what.find(counters::event_name(Event::kBaclearsAny)),
+              std::string::npos);
+  }
+}
+
+TEST(Ensemble, EstimateReportsSkippedMetrics) {
+  const auto ens = Ensemble::train(two_metric_training());
+  Dataset workload;
+  workload.add(Event::kIdqDsbUops, sample_at(4.0, 2.0));
+  // The second trained metric has only structurally unusable samples.
+  workload.add(Event::kBrMispRetiredAllBranches, {0.0, 1.0, 1.0});
+  const auto est = ens.estimate(workload);
+  ASSERT_EQ(est.ranking.size(), 1u);
+  ASSERT_EQ(est.skipped.size(), 1u);
+  EXPECT_EQ(est.skipped[0].metric, Event::kBrMispRetiredAllBranches);
+  EXPECT_EQ(est.skipped[0].reason, "no structurally usable samples");
+
+  Dataset narrower;
+  narrower.add(Event::kIdqDsbUops, sample_at(4.0, 2.0));
+  const auto est2 = ens.estimate(narrower);
+  ASSERT_EQ(est2.skipped.size(), 1u);
+  EXPECT_EQ(est2.skipped[0].reason, "no samples in workload");
+}
+
+TEST(Ensemble, CorruptSamplesIgnoredInEstimation) {
+  const auto ens = Ensemble::train(two_metric_training());
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  Dataset workload;
+  workload.add(Event::kIdqDsbUops, sample_at(4.0, 2.0));
+  workload.add(Event::kIdqDsbUops, {kNan, 5.0, 1.0});
+  workload.add(Event::kIdqDsbUops, {1.0, kNan, 1.0});
+  workload.add(Event::kIdqDsbUops, {1.0, 5.0, -2.0});
   Dataset clean;
   clean.add(Event::kIdqDsbUops, sample_at(4.0, 2.0));
   EXPECT_DOUBLE_EQ(*ens.metric_estimate(Event::kIdqDsbUops, workload),

@@ -7,8 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
+#include <string>
 
+#include "quality/fault_injector.h"
+#include "quality/quality.h"
 #include "sampling/collector.h"
+#include "spire/model_io.h"
 #include "sim/core.h"
 #include "spire/ensemble.h"
 #include "spire/metric_roofline.h"
@@ -148,6 +153,150 @@ TEST_P(FuzzPipeline, SimulateCollectTrainEstimate) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline, ::testing::Range(1, 21));
+
+// ---------------------------------------------------------------------------
+// File-format fuzzing: mutated model files and sample CSVs must either load
+// (and then behave like any valid model/dataset) or throw std::exception —
+// never crash, hang, or silently misparse.
+// ---------------------------------------------------------------------------
+
+model::Ensemble small_trained_ensemble(std::uint64_t seed) {
+  util::Rng rng(seed);
+  sampling::Dataset d;
+  for (const Event metric : {Event::kIdqDsbUops, Event::kLsdUops,
+                             Event::kBrMispRetiredAllBranches}) {
+    for (int i = 0; i < 20; ++i) {
+      const double p = rng.uniform(0.1, 4.0);
+      const double intensity = std::pow(10.0, rng.uniform(-1.0, 3.0));
+      d.add(metric, {1.0, p, p / intensity});
+    }
+  }
+  return model::Ensemble::train(d);
+}
+
+sampling::Dataset synthetic_clean_dataset(std::uint64_t seed) {
+  util::Rng rng(seed);
+  sampling::Dataset d;
+  const auto& catalog = counters::metric_events();
+  for (int k = 0; k < 6; ++k) {
+    const Event metric = catalog[static_cast<std::size_t>(k)];
+    const double rate = 0.04 * (k + 1);
+    for (int i = 0; i < 120; ++i) {
+      const double t = 800.0 + 400.0 * rng.uniform();
+      d.add(metric,
+            {t, 2.0 * t * rng.uniform(0.5, 1.0), rate * t * rng.uniform(0.5, 1.5)});
+    }
+  }
+  return d;
+}
+
+class FuzzModelFile : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzModelFile, MutatedModelLoadsOrThrows) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104'729 + 1);
+  const auto ensemble = small_trained_ensemble(11);
+  std::ostringstream out;
+  model::save_model(ensemble, out);
+  const std::string clean = out.str();
+
+  // The unmutated text must round-trip to a serialization fixpoint.
+  {
+    std::istringstream in(clean);
+    const auto loaded = model::load_model(in);
+    std::ostringstream again;
+    model::save_model(loaded, again);
+    EXPECT_EQ(clean, again.str());
+  }
+
+  for (int round = 0; round < 25; ++round) {
+    const std::string mutated =
+        rng.chance(0.5)
+            ? quality::flip_bits(clean, rng, 1 + rng.below(8))
+            : quality::truncate_tail(clean, rng);
+    std::istringstream in(mutated);
+    try {
+      const auto loaded = model::load_model(in);
+      // If the mutation still parses, the result must be a well-formed
+      // model: re-serializing and re-loading reaches a fixpoint.
+      std::ostringstream first;
+      model::save_model(loaded, first);
+      std::istringstream in2(first.str());
+      const auto reloaded = model::load_model(in2);
+      std::ostringstream second;
+      model::save_model(reloaded, second);
+      EXPECT_EQ(first.str(), second.str());
+    } catch (const std::exception& e) {
+      // Rejection is the expected outcome; diagnostics must point at the
+      // offending file ("model: ..." prefix, almost always with a line).
+      EXPECT_EQ(std::string(e.what()).rfind("model:", 0), 0u) << e.what();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzModelFile, ::testing::Range(1, 13));
+
+TEST(FuzzModelFile, OversizedRegionCountRejectedBeforeAllocation) {
+  const std::string text =
+      "spire-model v1\n"
+      "metric idq.dsb_uops trained_on=10 apex=1 2\n"
+      "left 99999999999999 0 0\n"
+      "right 1 1 1 inf 1\n";
+  std::istringstream in(text);
+  try {
+    model::load_model(in);
+    FAIL() << "expected rejection";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+class FuzzCsv : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzCsv, InjectedCorruptionRoundTripsAndMutationsNeverCrash) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  util::Rng rng(seed * 15'485'863 + 7);
+
+  // A FaultInjector-corrupted dataset is still a *well-formed* CSV: it must
+  // load back byte-equivalently, defects and all.
+  auto data = synthetic_clean_dataset(seed);
+  quality::FaultConfig config = quality::FaultConfig::uniform(0.12);
+  config.dead_metric_rate = 0.15;
+  quality::FaultInjector(seed, config).corrupt(data);
+  std::stringstream csv;
+  data.save_csv(csv);
+  const std::string clean_text = csv.str();
+  const auto reloaded = sampling::Dataset::load_csv(csv);
+  EXPECT_EQ(reloaded.size(), data.size());
+  const auto before = quality::DatasetValidator().validate(data);
+  const auto after = quality::DatasetValidator().validate(reloaded);
+  for (std::size_t k = 0; k < quality::kDefectKindCount; ++k) {
+    const auto kind = static_cast<quality::DefectKind>(k);
+    EXPECT_EQ(before.count(kind), after.count(kind))
+        << quality::defect_name(kind);
+  }
+
+  // Text-level mutations: load either succeeds or throws, never crashes.
+  for (int round = 0; round < 25; ++round) {
+    const std::string mutated =
+        rng.chance(0.5)
+            ? quality::flip_bits(clean_text, rng, 1 + rng.below(6))
+            : quality::truncate_tail(clean_text, rng);
+    std::istringstream in(mutated);
+    try {
+      const auto loaded = sampling::Dataset::load_csv(in);
+      EXPECT_LE(loaded.size(), data.size() + 1);
+      // Whatever loaded can always be validated and repaired.
+      const auto repaired = quality::sanitize(loaded, quality::Policy::kRepair);
+      EXPECT_FALSE(
+          quality::DatasetValidator().validate(repaired.data).has_errors());
+    } catch (const std::exception& e) {
+      EXPECT_EQ(std::string(e.what()).rfind("dataset:", 0), 0u) << e.what();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCsv, ::testing::Range(1, 13));
 
 }  // namespace
 }  // namespace spire

@@ -1,0 +1,308 @@
+#include "quality/quality.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "quality/fault_injector.h"
+#include "util/rng.h"
+
+namespace spire::quality {
+namespace {
+
+using counters::Event;
+using sampling::Dataset;
+using sampling::Sample;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A structurally sound dataset: `metrics` series of `n` windows each, with
+/// a stable per-metric event rate (so no scale-up false positives).
+Dataset clean_dataset(int metrics = 4, int n = 100) {
+  util::Rng rng(42);
+  Dataset d;
+  const auto& catalog = counters::metric_events();
+  for (int k = 0; k < metrics; ++k) {
+    const Event metric = catalog[static_cast<std::size_t>(k)];
+    const double rate = 0.05 * (k + 1);
+    for (int i = 0; i < n; ++i) {
+      const double t = 900.0 + 200.0 * rng.uniform();
+      d.add(metric, {t, 2.0 * t * rng.uniform(0.5, 1.0),
+                     rate * t * rng.uniform(0.5, 1.5)});
+    }
+  }
+  return d;
+}
+
+TEST(Validator, CleanDatasetProducesCleanReport) {
+  const auto report = DatasetValidator().validate(clean_dataset());
+  EXPECT_TRUE(report.clean());
+  EXPECT_FALSE(report.has_errors());
+  EXPECT_EQ(report.total(), 0u);
+  EXPECT_EQ(report.samples_scanned, 400u);
+  EXPECT_EQ(report.metrics_scanned, 4u);
+}
+
+TEST(Validator, DetectsNonFiniteFields) {
+  auto d = clean_dataset();
+  const Event metric = d.metrics().front();
+  d.add(metric, {kNan, 1.0, 1.0});
+  d.add(metric, {1.0, kInf, 1.0});
+  d.add(metric, {1.0, 1.0, -kInf});
+  const auto report = DatasetValidator().validate(d);
+  EXPECT_EQ(report.count(DefectKind::kNonFinite), 3u);
+  EXPECT_TRUE(report.has_errors());
+  const DefectEntry* entry = report.find(DefectKind::kNonFinite);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->severity, Severity::kError);
+  ASSERT_FALSE(entry->examples.empty());
+  EXPECT_EQ(entry->examples[0].metric, metric);
+  EXPECT_EQ(entry->examples[0].index, 100u);
+}
+
+TEST(Validator, DetectsNonPositiveTime) {
+  auto d = clean_dataset();
+  const Event metric = d.metrics().front();
+  d.add(metric, {0.0, 1.0, 1.0});
+  d.add(metric, {-5.0, 1.0, 1.0});
+  const auto report = DatasetValidator().validate(d);
+  EXPECT_EQ(report.count(DefectKind::kNonPositiveTime), 2u);
+}
+
+TEST(Validator, DetectsNegativeCounts) {
+  auto d = clean_dataset();
+  const Event metric = d.metrics().front();
+  d.add(metric, {1.0, -2.0, 1.0});
+  d.add(metric, {1.0, 2.0, -1.0});
+  EXPECT_EQ(DatasetValidator().validate(d).count(DefectKind::kNegativeCount),
+            2u);
+}
+
+TEST(Validator, DetectsDuplicates) {
+  auto d = clean_dataset();
+  const Event metric = d.metrics().front();
+  const Sample repeat = d.samples(metric)[7];
+  d.add(metric, repeat);
+  d.add(metric, repeat);
+  EXPECT_EQ(DatasetValidator().validate(d).count(DefectKind::kDuplicateSample),
+            2u);
+}
+
+TEST(Validator, DuplicateNanSamplesAreStillCaught) {
+  auto d = clean_dataset();
+  const Event metric = d.metrics().front();
+  d.add(metric, {kNan, 2.0, 3.0});
+  d.add(metric, {kNan, 2.0, 3.0});  // identical bit pattern
+  const auto report = DatasetValidator().validate(d);
+  EXPECT_EQ(report.count(DefectKind::kDuplicateSample), 1u);
+  EXPECT_EQ(report.count(DefectKind::kNonFinite), 2u);
+}
+
+TEST(Validator, DetectsScaleUpOutliers) {
+  auto d = clean_dataset();
+  const Event metric = d.metrics().front();
+  const Sample base = d.samples(metric)[3];
+  d.add(metric, {base.t, base.w, base.m * 5000.0});
+  const auto report = DatasetValidator().validate(d);
+  EXPECT_EQ(report.count(DefectKind::kScaleUpOutlier), 1u);
+  EXPECT_FALSE(report.has_errors());  // warning severity
+}
+
+TEST(Validator, DetectsMissingWindows) {
+  auto d = clean_dataset(/*metrics=*/3, /*n=*/100);
+  auto& short_series = d.mutable_samples(d.metrics().front());
+  short_series.resize(20);
+  const auto report = DatasetValidator().validate(d);
+  EXPECT_EQ(report.count(DefectKind::kMissingWindows), 1u);
+  const DefectEntry* entry = report.find(DefectKind::kMissingWindows);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->examples[0].index, 20u);  // series length, not a sample
+}
+
+TEST(Validator, DetectsEmptyMetrics) {
+  auto d = clean_dataset(/*metrics=*/2, /*n=*/50);
+  const Event metric = d.metrics().front();
+  for (Sample& s : d.mutable_samples(metric)) s.m = 0.0;
+  const auto report = DatasetValidator().validate(d);
+  EXPECT_EQ(report.count(DefectKind::kEmptyMetric), 1u);
+}
+
+TEST(Validator, DescribeNamesEveryKindFound) {
+  auto d = clean_dataset();
+  const Event metric = d.metrics().front();
+  d.add(metric, {kNan, 1.0, 1.0});
+  d.add(metric, {0.0, 1.0, 1.0});
+  const auto report = DatasetValidator().validate(d);
+  const std::string text = report.describe();
+  EXPECT_NE(text.find("non-finite values"), std::string::npos);
+  EXPECT_NE(text.find("non-positive time weights"), std::string::npos);
+  EXPECT_NE(text.find("[error]"), std::string::npos);
+}
+
+TEST(Sanitize, WarnKeepsDataUntouched) {
+  auto d = clean_dataset();
+  d.add(d.metrics().front(), {kNan, 1.0, 1.0});
+  const auto result = sanitize(d, Policy::kWarn);
+  EXPECT_EQ(result.data.size(), d.size());
+  EXPECT_EQ(result.dropped, 0u);
+  EXPECT_EQ(result.clamped, 0u);
+  EXPECT_EQ(result.report.count(DefectKind::kNonFinite), 1u);
+}
+
+TEST(Sanitize, StrictThrowsWithReportAttached) {
+  auto d = clean_dataset();
+  d.add(d.metrics().front(), {kNan, 1.0, 1.0});
+  try {
+    sanitize(d, Policy::kStrict);
+    FAIL() << "expected QualityError";
+  } catch (const QualityError& e) {
+    EXPECT_EQ(e.report().count(DefectKind::kNonFinite), 1u);
+    EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos);
+  }
+}
+
+TEST(Sanitize, StrictPassesWarningsOnly) {
+  auto d = clean_dataset(/*metrics=*/3, /*n=*/100);
+  d.mutable_samples(d.metrics().front()).resize(20);  // missing windows
+  const auto result = sanitize(d, Policy::kStrict);   // must not throw
+  EXPECT_EQ(result.data.size(), d.size());
+  EXPECT_FALSE(result.report.clean());
+}
+
+TEST(Sanitize, StrictPassesCleanData) {
+  const auto d = clean_dataset();
+  EXPECT_EQ(sanitize(d, Policy::kStrict).data.size(), d.size());
+}
+
+TEST(Sanitize, RepairDropsClampsAndDeduplicates) {
+  auto d = clean_dataset();
+  const Event metric = d.metrics().front();
+  const std::size_t clean_size = d.size();
+  d.add(metric, {kNan, 1.0, 1.0});            // dropped
+  d.add(metric, {0.0, 1.0, 1.0});             // dropped
+  d.add(metric, d.samples(metric)[5]);        // dropped (duplicate)
+  d.add(metric, {1000.0, 2.0, -50.0});        // dropped (corrupt count)
+  const Sample base = d.samples(metric)[3];
+  d.add(metric, {base.t, base.w, base.m * 5000.0});  // dropped (scale-up)
+  d.add(metric, {1000.0, -3.0, 50.0});        // clamped (w -> 0)
+
+  const auto result = sanitize(d, Policy::kRepair);
+  EXPECT_EQ(result.dropped, 5u);
+  EXPECT_EQ(result.clamped, 1u);
+  EXPECT_EQ(result.data.size(), clean_size + 1);
+
+  // The repaired dataset carries no error-severity defects.
+  const auto after = DatasetValidator().validate(result.data);
+  EXPECT_FALSE(after.has_errors());
+}
+
+TEST(Sanitize, RepairDropsDeadMetrics) {
+  auto d = clean_dataset(/*metrics=*/2, /*n=*/50);
+  const Event metric = d.metrics().front();
+  for (Sample& s : d.mutable_samples(metric)) s.m = 0.0;
+  const auto result = sanitize(d, Policy::kRepair);
+  EXPECT_EQ(result.dropped, 50u);
+  EXPECT_EQ(result.data.metrics().size(), 1u);
+}
+
+TEST(Policy, NameRoundTrip) {
+  for (const Policy p : {Policy::kStrict, Policy::kRepair, Policy::kWarn}) {
+    const auto back = policy_by_name(policy_name(p));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p);
+  }
+  EXPECT_FALSE(policy_by_name("lenient").has_value());
+}
+
+TEST(FaultInjector, DeterministicPerSeed) {
+  auto d1 = clean_dataset(6, 150);
+  auto d2 = clean_dataset(6, 150);
+  const FaultConfig config = FaultConfig::uniform(0.1);
+  const auto s1 = FaultInjector(7, config).corrupt(d1);
+  const auto s2 = FaultInjector(7, config).corrupt(d2);
+  EXPECT_EQ(s1.total(), s2.total());
+  std::ostringstream a, b;
+  d1.save_csv(a);
+  d2.save_csv(b);
+  EXPECT_EQ(a.str(), b.str());
+
+  auto d3 = clean_dataset(6, 150);
+  const auto s3 = FaultInjector(8, config).corrupt(d3);
+  std::ostringstream c;
+  d3.save_csv(c);
+  EXPECT_NE(a.str(), c.str());
+  (void)s3;
+}
+
+TEST(FaultInjector, ZeroConfigIsIdentity) {
+  auto d = clean_dataset();
+  const auto clean_size = d.size();
+  const auto stats = FaultInjector(1, FaultConfig{}).corrupt(d);
+  EXPECT_EQ(stats.total(), 0u);
+  EXPECT_EQ(d.size(), clean_size);
+  EXPECT_TRUE(DatasetValidator().validate(d).clean());
+}
+
+TEST(FaultInjector, EveryInjectedDefectKindIsDetected) {
+  auto d = clean_dataset(/*metrics=*/10, /*n=*/200);
+  FaultConfig config = FaultConfig::uniform(0.2);
+  config.dead_metric_rate = 0.3;
+  config.truncation_fraction = 0.07;
+  const auto stats = FaultInjector(21, config).corrupt(d);
+  EXPECT_GT(stats.windows_dropped, 0u);
+  EXPECT_GT(stats.nans_injected, 0u);
+  EXPECT_GT(stats.negatives_injected, 0u);
+  EXPECT_GT(stats.times_skewed, 0u);
+  EXPECT_GT(stats.duplicates_added, 0u);
+  EXPECT_GT(stats.scale_ups_injected, 0u);
+  EXPECT_GT(stats.metrics_deadened, 0u);
+  EXPECT_GT(stats.samples_truncated, 0u);
+
+  const auto report = DatasetValidator().validate(d);
+  EXPECT_GT(report.count(DefectKind::kNonFinite), 0u);
+  EXPECT_GT(report.count(DefectKind::kNonPositiveTime), 0u);
+  EXPECT_GT(report.count(DefectKind::kNegativeCount), 0u);
+  EXPECT_GT(report.count(DefectKind::kDuplicateSample), 0u);
+  EXPECT_GT(report.count(DefectKind::kScaleUpOutlier), 0u);
+  EXPECT_GT(report.count(DefectKind::kMissingWindows), 0u);
+  EXPECT_GT(report.count(DefectKind::kEmptyMetric), 0u);
+}
+
+TEST(FaultInjector, CorruptionSurvivesCsvRoundTrip) {
+  auto d = clean_dataset(6, 150);
+  FaultConfig config = FaultConfig::uniform(0.15);
+  FaultInjector(3, config).corrupt(d);
+
+  std::stringstream csv;
+  d.save_csv(csv);
+  const auto reloaded = Dataset::load_csv(csv);
+  ASSERT_EQ(reloaded.size(), d.size());
+
+  const auto before = DatasetValidator().validate(d);
+  const auto after = DatasetValidator().validate(reloaded);
+  for (std::size_t k = 0; k < kDefectKindCount; ++k) {
+    const auto kind = static_cast<DefectKind>(k);
+    EXPECT_EQ(before.count(kind), after.count(kind)) << defect_name(kind);
+  }
+
+  // Text-level fixpoint: the reloaded dataset re-serializes identically.
+  std::ostringstream again;
+  reloaded.save_csv(again);
+  EXPECT_EQ(csv.str(), again.str());
+}
+
+TEST(TextMutators, AreDeterministicAndBounded) {
+  util::Rng rng1(5), rng2(5);
+  const std::string text = "metric,t,w,m\nidq.dsb_uops,1,2,3\n";
+  EXPECT_EQ(flip_bits(text, rng1, 4), flip_bits(text, rng2, 4));
+  util::Rng rng3(9);
+  const std::string cut = truncate_tail(text, rng3);
+  EXPECT_LT(cut.size(), text.size());
+  EXPECT_EQ(text.substr(0, cut.size()), cut);
+}
+
+}  // namespace
+}  // namespace spire::quality

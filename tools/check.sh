@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Pre-PR gate: build and test both the optimized configuration and a
+# sanitized Debug configuration (ASan + UBSan, no recovery). Run from the
+# repository root:
+#
+#   tools/check.sh [jobs]
+#
+# Both builds must be green before a change ships.
+set -euo pipefail
+
+jobs="${1:-$(nproc)}"
+cd "$(dirname "$0")/.."
+
+echo "=== Release build + tests ==="
+cmake -B build-check-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-check-release -j "${jobs}"
+ctest --test-dir build-check-release --output-on-failure -j "${jobs}"
+
+echo "=== Sanitized (ASan+UBSan) Debug build + tests ==="
+cmake -B build-check-sanitize -S . -DCMAKE_BUILD_TYPE=Debug -DSPIRE_SANITIZE=ON
+cmake --build build-check-sanitize -j "${jobs}"
+ctest --test-dir build-check-sanitize --output-on-failure -j "${jobs}"
+
+echo "check.sh: all green"

@@ -11,6 +11,9 @@
 //       Train a SPIRE ensemble from sample CSVs and save it.
 //   spire_cli analyze --model MODEL FILE [FILE...] [--top N]
 //       Rank metrics for a workload's samples against a trained model.
+//   spire_cli validate FILE [FILE...]
+//       Scan sample CSVs for data-quality defects (NaN bursts, dropped
+//       windows, duplicate rows, scale-up spikes, ...) and report them.
 //   spire_cli show --model MODEL --metric EVENT
 //       Describe and plot one learned roofline.
 //   spire_cli tma --workload NAME [--config CFG] [--cycles N]
@@ -22,6 +25,10 @@
 //
 // Sample CSVs use the same format Dataset::save_csv writes, so data
 // collected from real hardware (e.g. massaged `perf stat` logs) drops in.
+// Because such logs are routinely dirty, collect/train/analyze accept
+// --quality strict|repair|warn (default warn) controlling what happens when
+// defects are found; `validate` inspects files without consuming them.
+#include <charconv>
 #include <cstdio>
 #include <algorithm>
 #include <cstring>
@@ -32,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "quality/quality.h"
 #include "sampling/collector.h"
 #include "sim/core.h"
 #include "sim/trace.h"
@@ -63,7 +71,20 @@ struct Args {
   bool has(const std::string& key) const { return flag(key).has_value(); }
   std::uint64_t flag_u64(const std::string& key, std::uint64_t fallback) const {
     const auto v = flag(key);
-    return v ? std::stoull(*v) : fallback;
+    if (!v) return fallback;
+    std::uint64_t value = 0;
+    const char* end = v->data() + v->size();
+    const auto [ptr, ec] = std::from_chars(v->data(), end, value);
+    if (ec == std::errc::result_out_of_range) {
+      throw std::runtime_error("--" + key + " value '" + *v +
+                               "' is out of range");
+    }
+    if (v->empty() || ec != std::errc{} || ptr != end) {
+      throw std::runtime_error("--" + key +
+                               " expects a non-negative integer, got '" + *v +
+                               "'");
+    }
+    return value;
   }
 };
 
@@ -110,6 +131,41 @@ sampling::Dataset load_datasets(const std::vector<std::string>& paths) {
   return data;
 }
 
+quality::Policy quality_policy(const Args& args) {
+  const auto v = args.flag("quality");
+  if (!v) return quality::Policy::kWarn;
+  const auto policy = quality::policy_by_name(*v);
+  if (!policy) {
+    throw std::runtime_error("--quality expects strict|repair|warn, got '" +
+                             *v + "'");
+  }
+  return *policy;
+}
+
+/// Runs the dataset through the quality layer under the requested policy,
+/// reporting defects (and any repair surgery) on stderr.
+sampling::Dataset apply_quality(const sampling::Dataset& data,
+                                quality::Policy policy) {
+  auto result = quality::sanitize(data, policy);
+  if (!result.report.clean()) {
+    std::fprintf(stderr, "%s", result.report.describe().c_str());
+    if (policy == quality::Policy::kRepair && result.repaired()) {
+      std::fprintf(stderr, "repair: dropped %zu sample(s), clamped %zu\n",
+                   result.dropped, result.clamped);
+    }
+  }
+  return std::move(result.data);
+}
+
+void report_skipped(const std::vector<model::SkippedMetric>& skipped,
+                    const char* stage) {
+  for (const auto& s : skipped) {
+    std::fprintf(stderr, "%s skipped %s: %s\n", stage,
+                 std::string(counters::event_name(s.metric)).c_str(),
+                 s.reason.c_str());
+  }
+}
+
 int cmd_suite() {
   util::TextTable table({"Name", "Configuration", "Expected bottleneck", "Set"});
   for (const auto& entry : workloads::hpc_suite()) {
@@ -131,6 +187,7 @@ int cmd_collect(const Args& args) {
   sampling::Dataset data;
   const auto stats =
       collector.collect(core, data, args.flag_u64("cycles", 8'000'000));
+  data = apply_quality(data, quality_policy(args));
 
   const std::string out_path =
       args.flag("out").value_or(entry.profile.name + ".samples.csv");
@@ -152,11 +209,13 @@ int cmd_train(const Args& args) {
   if (args.positional.empty()) {
     throw std::runtime_error("need at least one sample CSV");
   }
-  const auto data = load_datasets(args.positional);
+  const auto data =
+      apply_quality(load_datasets(args.positional), quality_policy(args));
   model::Ensemble::TrainOptions options;
   options.min_samples = args.flag_u64("min-samples", options.min_samples);
   options.polarity_constrained = args.has("polarity");
   const auto ensemble = model::Ensemble::train(data, options);
+  report_skipped(ensemble.skipped(), "train:");
   model::save_model_file(ensemble, *out_path);
   std::fprintf(stderr, "trained %zu rooflines from %zu samples -> %s\n",
                ensemble.metric_count(), data.size(), out_path->c_str());
@@ -170,8 +229,10 @@ int cmd_analyze(const Args& args) {
     throw std::runtime_error("need at least one sample CSV");
   }
   const auto ensemble = model::load_model_file(*model_path);
-  const auto data = load_datasets(args.positional);
+  const auto data =
+      apply_quality(load_datasets(args.positional), quality_policy(args));
   const auto analysis = model::Analyzer(ensemble).analyze(data);
+  report_skipped(analysis.skipped, "analyze:");
 
   std::printf("measured throughput:  %.4f\n", analysis.measured_throughput);
   std::printf("estimated attainable: %.4f\n\n", analysis.estimated_throughput);
@@ -190,6 +251,35 @@ int cmd_analyze(const Args& args) {
   std::printf("\nbottleneck pool (within 25%% of the minimum): %zu metrics\n",
               pool.size());
   return 0;
+}
+
+int cmd_validate(const Args& args) {
+  if (args.positional.empty()) {
+    throw std::runtime_error("need at least one sample CSV");
+  }
+  const quality::DatasetValidator validator;
+  bool any_errors = false;
+  for (const auto& path : args.positional) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    sampling::Dataset data;
+    try {
+      data = sampling::Dataset::load_csv(in);
+    } catch (const std::exception& e) {
+      std::printf("%s: unparseable: %s\n", path.c_str(), e.what());
+      any_errors = true;
+      continue;
+    }
+    const auto report = validator.validate(data);
+    if (report.clean()) {
+      std::printf("%s: clean (%zu samples, %zu metrics)\n", path.c_str(),
+                  report.samples_scanned, report.metrics_scanned);
+    } else {
+      std::printf("%s:\n%s", path.c_str(), report.describe().c_str());
+      any_errors |= report.has_errors();
+    }
+  }
+  return any_errors ? 1 : 0;
 }
 
 int cmd_show(const Args& args) {
@@ -268,10 +358,14 @@ int usage() {
                "  collect --workload N [--config C] [--cycles N] [--window N] [--out F]\n"
                "  train   --out MODEL FILE... [--polarity] [--min-samples N]\n"
                "  analyze --model MODEL FILE... [--top N]\n"
+               "  validate FILE...                          report data-quality defects\n"
                "  show    --model MODEL --metric EVENT\n"
                "  tma     --workload N [--config C] [--cycles N]\n"
                "  record  --workload N [--config C] [--ops N] --out FILE\n"
-               "  replay  --trace FILE [--cycles N]\n");
+               "  replay  --trace FILE [--cycles N]\n"
+               "collect/train/analyze also accept --quality strict|repair|warn\n"
+               "(default warn): throw on, repair, or just report defective "
+               "samples.\n");
   return 2;
 }
 
@@ -286,6 +380,7 @@ int main(int argc, char** argv) {
     if (command == "collect") return cmd_collect(args);
     if (command == "train") return cmd_train(args);
     if (command == "analyze") return cmd_analyze(args);
+    if (command == "validate") return cmd_validate(args);
     if (command == "show") return cmd_show(args);
     if (command == "tma") return cmd_tma(args);
     if (command == "record") return cmd_record(args);
