@@ -4,13 +4,16 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contract.h"
+
 namespace spire::geom {
 
 std::vector<Point> left_roofline_hull(const std::vector<Point>& points) {
   for (const auto& p : points) {
-    if (!std::isfinite(p.x) || !std::isfinite(p.y) || p.x < 0.0 || p.y < 0.0) {
-      throw std::invalid_argument("hull: points must be finite, non-negative");
-    }
+    SPIRE_ASSERT(
+        std::isfinite(p.x) && std::isfinite(p.y) && p.x >= 0.0 && p.y >= 0.0,
+        "hull: points must be finite, non-negative, got (", p.x, ", ", p.y,
+        ")");
   }
 
   // Apex: maximum y, ties toward smaller x so the left region is as narrow
@@ -48,6 +51,27 @@ std::vector<Point> left_roofline_hull(const std::vector<Point>& points) {
     chain.push_back(*best);
     cur = *best;
   }
+
+  // Fig. 5 postconditions: the chain rises strictly and its slopes strictly
+  // decrease (concave-down). Cheap relative to the walk itself, but checked
+  // builds only — the walk guarantees this by construction.
+#if SPIRE_DCHECK_ENABLED
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    SPIRE_DCHECK(chain[i].y > chain[i - 1].y && chain[i].x >= chain[i - 1].x,
+                 "hull: chain not increasing at knot ", i, ": (",
+                 chain[i - 1].x, ", ", chain[i - 1].y, ") -> (", chain[i].x,
+                 ", ", chain[i].y, ")");
+    if (i >= 2 && chain[i].x > chain[i - 1].x &&
+        chain[i - 1].x > chain[i - 2].x) {
+      const double s_prev = slope(chain[i - 2], chain[i - 1]);
+      const double s_next = slope(chain[i - 1], chain[i]);
+      const double tol = 1e-9 * std::max(1.0, std::abs(s_prev));
+      SPIRE_DCHECK(s_next <= s_prev + tol,
+                   "hull: chain not concave-down at knot ", i, ": slope ",
+                   s_prev, " then ", s_next);
+    }
+  }
+#endif
   return chain;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/contract.h"
+
 namespace spire::geom {
 
 std::vector<Point> pareto_front_max_xy(const std::vector<Point>& points) {
@@ -24,6 +26,16 @@ std::vector<Point> pareto_front_max_xy(const std::vector<Point>& points) {
     last_x = p.x;
     have_last = true;
   }
+
+  // Documented postcondition: x strictly decreases, y strictly increases.
+#if SPIRE_DCHECK_ENABLED
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    SPIRE_DCHECK(front[i].x < front[i - 1].x && front[i].y > front[i - 1].y,
+                 "pareto: front not strictly ordered at index ", i, ": (",
+                 front[i - 1].x, ", ", front[i - 1].y, ") -> (", front[i].x,
+                 ", ", front[i].y, ")");
+  }
+#endif
   return front;
 }
 

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/contract.h"
+
 namespace spire::geom {
 
 double LinearPiece::at(double x) const {
@@ -21,35 +23,34 @@ double LinearPiece::slope() const {
 
 PiecewiseLinear::PiecewiseLinear(std::vector<LinearPiece> pieces)
     : pieces_(std::move(pieces)) {
-  if (pieces_.empty()) {
-    throw std::invalid_argument("piecewise: no pieces");
-  }
+  SPIRE_ASSERT(!pieces_.empty(), "piecewise: no pieces");
   for (std::size_t i = 0; i < pieces_.size(); ++i) {
     const auto& p = pieces_[i];
-    if (!(p.x0 < p.x1)) {
-      throw std::invalid_argument("piecewise: degenerate piece");
-    }
-    if (!std::isfinite(p.x0) || !std::isfinite(p.y0) || !std::isfinite(p.y1)) {
-      throw std::invalid_argument("piecewise: non-finite coordinates");
-    }
+    SPIRE_ASSERT(p.x0 < p.x1, "piecewise: degenerate piece ", i, ": x0=",
+                 p.x0, ", x1=", p.x1);
+    SPIRE_ASSERT(
+        std::isfinite(p.x0) && std::isfinite(p.y0) && std::isfinite(p.y1),
+        "piecewise: non-finite coordinates in piece ", i, ": (", p.x0, ", ",
+        p.y0, ") -> (", p.x1, ", ", p.y1, ")");
     if (!std::isfinite(p.x1)) {
-      if (p.y1 != p.y0) {
-        throw std::invalid_argument("piecewise: infinite piece must be horizontal");
-      }
-      if (i + 1 != pieces_.size()) {
-        throw std::invalid_argument("piecewise: infinite piece must be last");
-      }
+      SPIRE_ASSERT(p.y1 == p.y0,
+                   "piecewise: infinite piece must be horizontal, got y0=",
+                   p.y0, ", y1=", p.y1);
+      SPIRE_ASSERT(i + 1 == pieces_.size(),
+                   "piecewise: infinite piece must be last, found at index ",
+                   i, " of ", pieces_.size());
     }
-    if (i > 0 && pieces_[i - 1].x1 != p.x0) {
-      throw std::invalid_argument("piecewise: pieces not contiguous");
+    if (i > 0) {
+      SPIRE_ASSERT(pieces_[i - 1].x1 == p.x0,
+                   "piecewise: pieces not contiguous at index ", i,
+                   ": previous x1=", pieces_[i - 1].x1, ", next x0=", p.x0);
     }
   }
 }
 
 PiecewiseLinear PiecewiseLinear::from_knots(const std::vector<Point>& knots) {
-  if (knots.size() < 2) {
-    throw std::invalid_argument("piecewise: need at least 2 knots");
-  }
+  SPIRE_ASSERT(knots.size() >= 2, "piecewise: need at least 2 knots, got ",
+               knots.size());
   std::vector<LinearPiece> pieces;
   pieces.reserve(knots.size() - 1);
   for (std::size_t i = 0; i + 1 < knots.size(); ++i) {
@@ -59,17 +60,17 @@ PiecewiseLinear PiecewiseLinear::from_knots(const std::vector<Point>& knots) {
 }
 
 double PiecewiseLinear::domain_min() const {
-  if (pieces_.empty()) throw std::logic_error("piecewise: empty");
+  SPIRE_ASSERT(!pieces_.empty(), "piecewise: empty");
   return pieces_.front().x0;
 }
 
 double PiecewiseLinear::domain_max() const {
-  if (pieces_.empty()) throw std::logic_error("piecewise: empty");
+  SPIRE_ASSERT(!pieces_.empty(), "piecewise: empty");
   return pieces_.back().x1;
 }
 
 double PiecewiseLinear::at(double x) const {
-  if (pieces_.empty()) throw std::logic_error("piecewise: empty");
+  SPIRE_ASSERT(!pieces_.empty(), "piecewise: empty");
   if (x <= pieces_.front().x0) return pieces_.front().y0;
   // First piece whose right edge reaches x; the left segment wins at shared
   // boundaries (see header).

@@ -2,10 +2,12 @@
 
 #include <stdexcept>
 
+#include "util/contract.h"
+
 namespace spire::graph {
 
 Digraph::Digraph(VertexId vertex_count) {
-  if (vertex_count < 0) throw std::invalid_argument("digraph: negative size");
+  SPIRE_ASSERT(vertex_count >= 0, "digraph: negative size ", vertex_count);
   adjacency_.resize(static_cast<std::size_t>(vertex_count));
 }
 
@@ -27,9 +29,8 @@ std::span<const Edge> Digraph::out_edges(VertexId v) const {
 }
 
 void Digraph::check(VertexId v) const {
-  if (v < 0 || v >= vertex_count()) {
-    throw std::out_of_range("digraph: bad vertex id");
-  }
+  SPIRE_BOUNDS(v >= 0 && v < vertex_count(), "digraph: bad vertex id ", v,
+               " (graph has ", vertex_count(), " vertices)");
 }
 
 }  // namespace spire::graph

@@ -5,6 +5,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "util/contract.h"
+
 namespace spire::graph {
 
 namespace {
@@ -38,9 +40,8 @@ ShortestPathResult dijkstra(const Digraph& g, VertexId source) {
     heap.pop();
     if (d > result.dist[static_cast<std::size_t>(v)]) continue;  // stale entry
     for (const Edge& e : g.out_edges(v)) {
-      if (e.weight < 0.0) {
-        throw std::invalid_argument("dijkstra: negative edge weight");
-      }
+      SPIRE_ASSERT(e.weight >= 0.0, "dijkstra: negative edge weight ",
+                   e.weight, " on edge ", v, " -> ", e.to);
       const double nd = d + e.weight;
       auto& dist_to = result.dist[static_cast<std::size_t>(e.to)];
       if (nd < dist_to) {

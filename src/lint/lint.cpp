@@ -1,0 +1,92 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contract.h"
+
+namespace spire::lint {
+
+std::string_view severity_name(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kWarning: return "warning";
+    case LintSeverity::kError: return "error";
+  }
+  return "?";
+}
+
+bool LintReport::has_errors() const {
+  return std::any_of(findings.begin(), findings.end(),
+                     [](const LintFinding& f) {
+                       return f.severity == LintSeverity::kError;
+                     });
+}
+
+std::size_t LintReport::count(std::string_view rule_id) const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [rule_id](const LintFinding& f) {
+                      return f.rule_id == rule_id;
+                    }));
+}
+
+std::string LintReport::describe() const {
+  std::ostringstream os;
+  for (const LintFinding& f : findings) {
+    os << source << ':';
+    if (f.line > 0) os << f.line << ':';
+    os << ' ' << severity_name(f.severity) << " [" << f.rule_id << ']';
+    if (!f.metric.empty()) os << ' ' << f.metric;
+    os << ": " << f.message << '\n';
+  }
+  std::size_t errors = 0;
+  for (const LintFinding& f : findings) {
+    if (f.severity == LintSeverity::kError) ++errors;
+  }
+  os << source << ": " << errors << " error(s), "
+     << (findings.size() - errors) << " warning(s) over " << metrics_scanned
+     << " metric(s), " << rules_run << " rule(s)\n";
+  return os.str();
+}
+
+void LintRegistry::add(std::unique_ptr<LintRule> rule) {
+  SPIRE_ASSERT(rule != nullptr, "lint: null rule");
+  SPIRE_ASSERT(find(rule->id()) == nullptr, "lint: duplicate rule id '",
+               rule->id(), "'");
+  rules_.push_back(std::move(rule));
+}
+
+const LintRule* LintRegistry::find(std::string_view id) const {
+  for (const auto& rule : rules_) {
+    if (rule->id() == id) return rule.get();
+  }
+  return nullptr;
+}
+
+LintReport LintRegistry::run(const LintContext& context) const {
+  LintReport report;
+  report.metrics_scanned = context.model.metrics.size();
+  report.rules_run = rules_.size();
+  for (const auto& rule : rules_) {
+    rule->check(context, report);
+  }
+  return report;
+}
+
+LintReport lint_model(const RawModel& model, std::string source,
+                      const sampling::Dataset* against,
+                      const LintConfig& config) {
+  const LintContext context{model, against, config};
+  LintReport report = LintRegistry::builtin().run(context);
+  report.source = std::move(source);
+  return report;
+}
+
+LintReport lint_model_file(const std::string& path,
+                           const sampling::Dataset* against,
+                           const LintConfig& config) {
+  const RawModel model = parse_raw_model_file(path);
+  return lint_model(model, path, against, config);
+}
+
+}  // namespace spire::lint

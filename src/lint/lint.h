@@ -1,0 +1,136 @@
+// Static analysis of serialized SPIRE models and datasets.
+//
+// SPIRE's correctness is a bundle of geometric invariants the paper states
+// pictorially: the left region increasing and concave-down from the origin
+// (Fig. 5), the right region decreasing and — apex cap excepted — concave-up
+// over Pareto-optimal samples (Fig. 6), the two joined continuously at the
+// peak sample, and the assembled piecewise-linear function upper-bounding
+// every training sample (Eq. 1). A model artifact that silently violates
+// one of those is worse than a crash: estimates stay plausible and wrong.
+//
+// This subsystem checks the invariants on serialized artifacts WITHOUT
+// running estimation: each LintRule inspects the raw parsed model (and
+// optionally a training dataset) and reports findings with a stable rule
+// id, severity, and the offending line. `spire_cli lint` is the CLI front
+// end; tools/lint.sh wires it into the pre-PR gate.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/model_source.h"
+#include "sampling/dataset.h"
+
+namespace spire::lint {
+
+/// Errors mean the artifact must not be trusted (and fail the CI gate);
+/// warnings flag suspicious-but-usable shapes.
+enum class LintSeverity : std::uint8_t { kWarning, kError };
+
+std::string_view severity_name(LintSeverity severity);
+
+/// One rule violation at one location.
+struct LintFinding {
+  std::string rule_id;        // stable kebab-case id, e.g. "left-not-concave"
+  LintSeverity severity = LintSeverity::kError;
+  std::string metric;         // metric name, or "" for file-level findings
+  std::size_t line = 0;       // 1-based line in the model file; 0 = whole file
+  std::string message;
+};
+
+struct LintReport {
+  std::string source;         // path or description of the linted artifact
+  std::vector<LintFinding> findings;
+  std::size_t metrics_scanned = 0;
+  std::size_t rules_run = 0;
+
+  bool clean() const { return findings.empty(); }
+  bool has_errors() const;
+
+  /// Findings emitted by one rule (count or presence).
+  std::size_t count(std::string_view rule_id) const;
+
+  /// Human-readable rendering, one line per finding:
+  ///   <source>:<line>: <severity> [<rule-id>] <metric>: <message>
+  std::string describe() const;
+};
+
+/// Numeric tolerances and knobs for the geometric rules.
+struct LintConfig {
+  /// Relative slack for continuity / monotonicity / convexity comparisons
+  /// (serialized values went through text round-trips).
+  double shape_tolerance = 1e-9;
+  /// Relative slack for the upper-bound check against a training set; wider
+  /// than shape_tolerance because sample coordinates divide two counters.
+  double bound_tolerance = 1e-6;
+  /// `trained-on-suspicious` fires when a metric claims fewer training
+  /// samples than this.
+  std::size_t min_plausible_trained_on = 2;
+};
+
+/// Everything a rule may look at. `against` is optional: bound-violation
+/// style rules no-op without a dataset.
+struct LintContext {
+  const RawModel& model;
+  const sampling::Dataset* against = nullptr;
+  LintConfig config;
+};
+
+/// One named, independently testable invariant check.
+class LintRule {
+ public:
+  virtual ~LintRule() = default;
+
+  /// Stable identifier, unique within a registry.
+  virtual std::string_view id() const = 0;
+
+  /// One-line description (for `spire_cli lint --rules` and DESIGN.md).
+  virtual std::string_view summary() const = 0;
+
+  /// Appends findings for every violation found in `context`.
+  virtual void check(const LintContext& context, LintReport& report) const = 0;
+};
+
+/// An ordered collection of rules, run as one pass.
+class LintRegistry {
+ public:
+  LintRegistry() = default;
+  LintRegistry(LintRegistry&&) = default;
+  LintRegistry& operator=(LintRegistry&&) = default;
+
+  /// Throws std::invalid_argument when a rule with the same id exists.
+  void add(std::unique_ptr<LintRule> rule);
+
+  const std::vector<std::unique_ptr<LintRule>>& rules() const {
+    return rules_;
+  }
+
+  /// Rule by id, or nullptr.
+  const LintRule* find(std::string_view id) const;
+
+  /// Runs every rule over the context and returns the merged report
+  /// (findings ordered by rule registration, then discovery).
+  LintReport run(const LintContext& context) const;
+
+  /// All built-in rules, in documentation order.
+  static LintRegistry builtin();
+
+ private:
+  std::vector<std::unique_ptr<LintRule>> rules_;
+};
+
+/// Convenience: parse `path`, run the builtin registry (plus the structural
+/// findings from parsing itself), optionally checking samples in `against`.
+LintReport lint_model_file(const std::string& path,
+                           const sampling::Dataset* against = nullptr,
+                           const LintConfig& config = {});
+
+/// Same, over an already-parsed raw model.
+LintReport lint_model(const RawModel& model, std::string source,
+                      const sampling::Dataset* against = nullptr,
+                      const LintConfig& config = {});
+
+}  // namespace spire::lint

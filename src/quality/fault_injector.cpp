@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "util/contract.h"
+
 namespace spire::quality {
 
 using counters::Event;
@@ -35,7 +37,21 @@ FaultConfig FaultConfig::uniform(double rate) {
 }
 
 FaultInjector::FaultInjector(std::uint64_t seed, FaultConfig config)
-    : config_(config), rng_(seed) {}
+    : config_(config), rng_(seed) {
+  const auto check_rate = [](double rate, const char* name) {
+    SPIRE_ASSERT(rate >= 0.0 && rate <= 1.0 && !std::isnan(rate),
+                 "fault injector: ", name, " must be a probability, got ",
+                 rate);
+  };
+  check_rate(config_.drop_window_rate, "drop_window_rate");
+  check_rate(config_.nan_burst_rate, "nan_burst_rate");
+  check_rate(config_.negative_count_rate, "negative_count_rate");
+  check_rate(config_.time_skew_rate, "time_skew_rate");
+  check_rate(config_.duplication_rate, "duplication_rate");
+  check_rate(config_.scale_up_rate, "scale_up_rate");
+  check_rate(config_.dead_metric_rate, "dead_metric_rate");
+  check_rate(config_.truncation_fraction, "truncation_fraction");
+}
 
 FaultStats FaultInjector::corrupt(Dataset& data) {
   FaultStats stats;

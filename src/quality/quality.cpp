@@ -7,6 +7,9 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "util/contract.h"
+
+
 namespace spire::quality {
 
 using counters::Event;
@@ -183,7 +186,17 @@ class ReportBuilder {
 
 }  // namespace
 
-DatasetValidator::DatasetValidator(ValidatorConfig config) : config_(config) {}
+DatasetValidator::DatasetValidator(ValidatorConfig config) : config_(config) {
+  SPIRE_ASSERT(config_.scale_up_rate_factor > 0.0 &&
+                   !std::isnan(config_.scale_up_rate_factor),
+               "validator: scale_up_rate_factor must be positive, got ",
+               config_.scale_up_rate_factor);
+  SPIRE_ASSERT(config_.missing_window_fraction >= 0.0 &&
+                   config_.missing_window_fraction <= 1.0 &&
+                   !std::isnan(config_.missing_window_fraction),
+               "validator: missing_window_fraction must be in [0, 1], got ",
+               config_.missing_window_fraction);
+}
 
 QualityReport DatasetValidator::validate(const Dataset& data) const {
   ReportBuilder builder(config_.max_examples);

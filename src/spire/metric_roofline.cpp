@@ -9,6 +9,7 @@
 #include "geom/pareto.h"
 #include "graph/digraph.h"
 #include "graph/shortest_path.h"
+#include "util/contract.h"
 
 namespace spire::model {
 
@@ -107,9 +108,7 @@ RightFitDebug fit_right_debug(const std::vector<Point>& points) {
 
   if (n == 0) {
     // Only infinite-intensity samples: the bound is flat at their best P.
-    if (!data.has_infinite) {
-      throw std::invalid_argument("fit_right: no samples");
-    }
+    SPIRE_ASSERT(data.has_infinite, "fit_right: no samples");
     out.start_throughput = data.p_infinite;
     out.function = PiecewiseLinear(
         {{0.0, data.p_infinite, kInfinity, data.p_infinite}});
@@ -233,9 +232,10 @@ RightFitDebug fit_right_debug(const std::vector<Point>& points) {
 
   const auto sp = graph::dijkstra(g, 0);
   const auto path = sp.path_to(1);
-  if (path.empty()) {
-    throw std::logic_error("fit_right: no Start->End path");
-  }
+  // Every Start vertex has an End edge, so a path always exists once any
+  // Start edge was added (and the no-Start case returned above).
+  SPIRE_INVARIANT(!path.empty(), "fit_right: no Start->End path over ", m,
+                  " endpoint candidates");
   out.total_error = sp.dist[1];
 
   // Decode the vertex path into visited front indices (right to left).
@@ -280,9 +280,8 @@ MetricRoofline::MetricRoofline(std::optional<PiecewiseLinear> left,
 
 MetricRoofline MetricRoofline::fit(std::span<const sampling::Sample> samples) {
   const std::vector<Point> points = fitting::sample_points(samples);
-  if (points.empty()) {
-    throw std::invalid_argument("MetricRoofline: no usable samples");
-  }
+  SPIRE_ASSERT(!points.empty(), "MetricRoofline: no usable samples (of ",
+               samples.size(), " given)");
   std::vector<Point> finite;
   finite.reserve(points.size());
   for (const Point& p : points) {
@@ -298,14 +297,42 @@ MetricRoofline MetricRoofline::fit(std::span<const sampling::Sample> samples) {
   } else {
     apex = {kInfinity, right_debug.start_throughput};
   }
-  return MetricRoofline(std::move(left), std::move(right_debug.function), apex,
-                        points.size());
+  MetricRoofline out(std::move(left), std::move(right_debug.function), apex,
+                     points.size());
+
+  // The geometric contracts the whole method rests on (paper Figs. 5/6,
+  // Eq. 1) — re-verified after every fit in checked builds. Checking here
+  // rather than in the constructor keeps deserialization of hand-written
+  // model files permissive; `spire_cli lint` is the gate for those.
+#if SPIRE_DCHECK_ENABLED
+  if (out.left_.has_value()) {
+    SPIRE_DCHECK(out.left_->non_decreasing(),
+                 "fit: left region not increasing (Fig. 5)");
+    SPIRE_DCHECK(out.left_->continuous(), "fit: left region discontinuous");
+    SPIRE_DCHECK(out.left_->domain_max() <= apex.x,
+                 "fit: left region overruns the apex: domain max ",
+                 out.left_->domain_max(), " > apex I ", apex.x);
+    const double left_peak = out.left_->at(out.left_->domain_max());
+    SPIRE_DCHECK(std::abs(left_peak - apex.y) <=
+                     1e-9 * std::max(1.0, std::abs(apex.y)),
+                 "fit: peak discontinuity: left region ends at P=", left_peak,
+                 ", apex P=", apex.y);
+  }
+  SPIRE_DCHECK(out.right_.non_increasing(),
+               "fit: right region not decreasing (Fig. 6)");
+  for (const Point& p : points) {
+    const double bound = out.estimate(p.x);
+    SPIRE_DCHECK(bound >= p.y - 1e-6 * std::max(1.0, std::abs(p.y)),
+                 "fit: upper-bound violation (Eq. 1): sample (I=", p.x,
+                 ", P=", p.y, ") above the fit value ", bound);
+  }
+#endif
+  return out;
 }
 
 double MetricRoofline::estimate(double intensity) const {
-  if (std::isnan(intensity) || intensity < 0.0) {
-    throw std::invalid_argument("MetricRoofline: bad intensity");
-  }
+  SPIRE_ASSERT(!std::isnan(intensity) && intensity >= 0.0,
+               "MetricRoofline: bad intensity ", intensity);
   if (left_.has_value() && intensity <= left_->domain_max()) {
     return left_->at(intensity);
   }

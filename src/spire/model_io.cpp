@@ -17,7 +17,7 @@ using geom::PiecewiseLinear;
 
 namespace {
 
-constexpr std::string_view kHeader = "spire-model v1";
+constexpr std::string_view kHeader = kModelHeader;
 
 // Loaded model files may be adversarial (hand-edited, truncated, corrupted
 // in transit), so region sizes are bounded before any allocation. Real fits
@@ -150,9 +150,22 @@ Ensemble load_model(std::istream& in) {
     return false;
   };
 
-  if (!next_line() || line != kHeader) {
-    fail(line_no == 0 ? 1 : line_no, "bad header (expected '" +
-                                         std::string(kHeader) + "')");
+  if (!next_line()) {
+    fail(1, "bad header (expected '" + std::string(kHeader) + "')");
+  }
+  if (line != kHeader) {
+    // Distinguish version drift from garbage: a well-formed header with a
+    // different N gets a message naming both versions.
+    std::istringstream header(line);
+    std::string word, version, rest;
+    if (header >> word >> version && word == "spire-model" &&
+        version.size() >= 2 && version[0] == 'v' && !(header >> rest)) {
+      fail(line_no, "unsupported model format version " + version +
+                        " (this build reads v" +
+                        std::to_string(kModelFormatVersion) + ")");
+    }
+    fail(line_no,
+         "bad header (expected '" + std::string(kHeader) + "')");
   }
 
   std::map<Event, MetricRoofline> rooflines;

@@ -12,10 +12,19 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "spire/ensemble.h"
 
 namespace spire::model {
+
+/// Format version this build reads and writes. Bump when the on-disk shape
+/// changes; load_model rejects other versions with a message naming both,
+/// and the lint `format-version` rule flags them statically.
+inline constexpr int kModelFormatVersion = 1;
+
+/// Exact first line of a model file ("spire-model v1").
+inline constexpr std::string_view kModelHeader = "spire-model v1";
 
 void save_model(const Ensemble& ensemble, std::ostream& out);
 

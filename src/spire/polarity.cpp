@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "util/contract.h"
 #include "util/stats.h"
 
 namespace spire::model {
@@ -109,6 +110,8 @@ MetricRoofline fit_with_polarity(std::span<const Sample> samples,
       const double apex_i = base.apex_intensity();
       const double level = std::max(base.apex_throughput(),
                                     base.right().at(kInfinity));
+      SPIRE_INVARIANT(std::isfinite(level) && level >= 0.0,
+                      "polarity: flat cap level must be finite, got ", level);
       const double start = std::isfinite(apex_i) ? apex_i : 0.0;
       PiecewiseLinear flat({LinearPiece{start, level, kInfinity, level}});
       return MetricRoofline(base.left(), std::move(flat),

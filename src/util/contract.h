@@ -1,0 +1,120 @@
+// Contract macros: the repository's single vocabulary for stating the
+// invariants SPIRE's correctness rests on (left region increasing and
+// concave-down, right region decreasing, the fit upper-bounding every
+// training sample, ...). Unlike bare assert()/throw, every violation
+// message carries the failed expression, its location, AND the offending
+// values, so a report from the field is actionable without a debugger.
+//
+//   SPIRE_ASSERT(cond, parts...)     always-on precondition; throws
+//                                    ContractViolation (an
+//                                    std::invalid_argument).
+//   SPIRE_INVARIANT(cond, parts...)  always-on internal invariant; throws
+//                                    ContractViolation. Semantically "the
+//                                    library broke its own promise".
+//   SPIRE_BOUNDS(cond, parts...)     always-on index/range check; throws
+//                                    BoundsViolation (an std::out_of_range).
+//   SPIRE_DCHECK(cond, parts...)     compiled out in Release unless the
+//                                    build sets -DSPIRE_CHECKED=ON; used
+//                                    for expensive postconditions (e.g.
+//                                    re-verifying the upper-bound property
+//                                    over all training points after a fit).
+//
+// `parts...` are streamed into the message: SPIRE_ASSERT(x < y, "x=", x,
+// ", y=", y). Zero parts is fine. Values print with max precision so the
+// exact failing doubles round-trip.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace spire::util {
+
+/// Thrown by SPIRE_ASSERT / SPIRE_INVARIANT / SPIRE_DCHECK. Derives from
+/// std::invalid_argument (hence std::logic_error) so callers and tests that
+/// expect the standard types keep working.
+class ContractViolation : public std::invalid_argument {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Thrown by SPIRE_BOUNDS for index/range violations.
+class BoundsViolation : public std::out_of_range {
+ public:
+  explicit BoundsViolation(const std::string& what)
+      : std::out_of_range(what) {}
+};
+
+namespace detail {
+
+template <class... Parts>
+std::string contract_message(const Parts&... parts) {
+  if constexpr (sizeof...(Parts) == 0) {
+    return {};
+  } else {
+    std::ostringstream os;
+    os.precision(17);
+    (os << ... << parts);
+    return os.str();
+  }
+}
+
+template <class Exception>
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* file, int line,
+                                const std::string& message) {
+  std::string what = std::string(kind) + " failed: " + expr;
+  if (!message.empty()) {
+    what += ": ";
+    what += message;
+  }
+  what += " [";
+  what += file;
+  what += ':';
+  what += std::to_string(line);
+  what += ']';
+  throw Exception(what);
+}
+
+}  // namespace detail
+}  // namespace spire::util
+
+#define SPIRE_CONTRACT_CHECK_(kind, exception, cond, ...)                   \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::spire::util::detail::contract_fail<exception>(                      \
+          kind, #cond, __FILE__, __LINE__,                                  \
+          ::spire::util::detail::contract_message(__VA_ARGS__));            \
+    }                                                                       \
+  } while (false)
+
+/// Precondition on caller-supplied values; always on.
+#define SPIRE_ASSERT(cond, ...)                                             \
+  SPIRE_CONTRACT_CHECK_("SPIRE_ASSERT", ::spire::util::ContractViolation,   \
+                        cond __VA_OPT__(, ) __VA_ARGS__)
+
+/// Internal consistency the library itself guarantees; always on.
+#define SPIRE_INVARIANT(cond, ...)                                          \
+  SPIRE_CONTRACT_CHECK_("SPIRE_INVARIANT", ::spire::util::ContractViolation, \
+                        cond __VA_OPT__(, ) __VA_ARGS__)
+
+/// Index/range precondition; always on; throws std::out_of_range.
+#define SPIRE_BOUNDS(cond, ...)                                             \
+  SPIRE_CONTRACT_CHECK_("SPIRE_BOUNDS", ::spire::util::BoundsViolation,     \
+                        cond __VA_OPT__(, ) __VA_ARGS__)
+
+// SPIRE_DCHECK is active in Debug builds (no NDEBUG) and whenever the build
+// defines SPIRE_CHECKED (cmake -DSPIRE_CHECKED=ON), so Release binaries can
+// opt back into the expensive checks without giving up optimization.
+#if defined(SPIRE_CHECKED) || !defined(NDEBUG)
+#define SPIRE_DCHECK(cond, ...)                                             \
+  SPIRE_CONTRACT_CHECK_("SPIRE_DCHECK", ::spire::util::ContractViolation,   \
+                        cond __VA_OPT__(, ) __VA_ARGS__)
+#define SPIRE_DCHECK_ENABLED 1
+#else
+#define SPIRE_DCHECK(cond, ...) \
+  do {                          \
+  } while (false)
+#define SPIRE_DCHECK_ENABLED 0
+#endif

@@ -1,0 +1,97 @@
+// Tests for the contract macro layer (src/util/contract.h): exception
+// types, message contents, and the SPIRE_DCHECK build-mode gating.
+#include "util/contract.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+using spire::util::BoundsViolation;
+using spire::util::ContractViolation;
+
+TEST(Contract, AssertPassesWhenTrue) {
+  EXPECT_NO_THROW(SPIRE_ASSERT(1 + 1 == 2));
+  EXPECT_NO_THROW(SPIRE_ASSERT(true, "never printed"));
+}
+
+TEST(Contract, AssertThrowsContractViolation) {
+  EXPECT_THROW(SPIRE_ASSERT(false), ContractViolation);
+}
+
+TEST(Contract, ContractViolationIsInvalidArgumentAndLogicError) {
+  // Pre-existing call sites (and tests) catch the std types; the contract
+  // layer must stay substitutable for them.
+  EXPECT_THROW(SPIRE_ASSERT(false), std::invalid_argument);
+  EXPECT_THROW(SPIRE_ASSERT(false), std::logic_error);
+}
+
+TEST(Contract, BoundsThrowsOutOfRange) {
+  EXPECT_THROW(SPIRE_BOUNDS(false), BoundsViolation);
+  EXPECT_THROW(SPIRE_BOUNDS(false), std::out_of_range);
+}
+
+TEST(Contract, InvariantThrowsContractViolation) {
+  EXPECT_THROW(SPIRE_INVARIANT(false), ContractViolation);
+}
+
+TEST(Contract, MessageCarriesExpressionAndLocation) {
+  try {
+    SPIRE_ASSERT(2 < 1);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("SPIRE_ASSERT failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_contract.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Contract, MessageCarriesStreamedValues) {
+  const double x = 0.30000000000000004;  // 0.1 + 0.2: must round-trip
+  try {
+    SPIRE_ASSERT(x < 0.3, "x=", x, ", limit=", 0.3);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("x=0.30000000000000004"), std::string::npos) << what;
+  }
+}
+
+TEST(Contract, ZeroMessagePartsIsValid) {
+  try {
+    SPIRE_INVARIANT(false);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("SPIRE_INVARIANT failed: false"),
+              std::string::npos);
+  }
+}
+
+TEST(Contract, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  SPIRE_ASSERT([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Contract, DcheckMatchesBuildMode) {
+#if SPIRE_DCHECK_ENABLED
+  EXPECT_THROW(SPIRE_DCHECK(false, "debug-only check"), ContractViolation);
+#else
+  EXPECT_NO_THROW(SPIRE_DCHECK(false, "debug-only check"));
+#endif
+  EXPECT_NO_THROW(SPIRE_DCHECK(true));
+}
+
+TEST(Contract, DcheckEnabledFlagUsableInIf) {
+  // Code guards expensive check blocks with `#if SPIRE_DCHECK_ENABLED`;
+  // the macro must always be defined to 0 or 1.
+  EXPECT_TRUE(SPIRE_DCHECK_ENABLED == 0 || SPIRE_DCHECK_ENABLED == 1);
+}
+
+}  // namespace

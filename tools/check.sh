@@ -1,24 +1,51 @@
 #!/usr/bin/env bash
-# Pre-PR gate: build and test both the optimized configuration and a
-# sanitized Debug configuration (ASan + UBSan, no recovery). Run from the
-# repository root:
+# Pre-PR gate: build and test the optimized configuration and a sanitized
+# Debug configuration (ASan + UBSan, no recovery), then run the static
+# lint gate (tools/lint.sh). Run from the repository root:
 #
 #   tools/check.sh [jobs]
 #
-# Both builds must be green before a change ships.
+# `jobs` drives BOTH compilation and test parallelism; set
+# CTEST_PARALLEL_LEVEL to override test parallelism alone. Every phase
+# reports its wall-clock time. All phases must be green before a change
+# ships.
 set -euo pipefail
 
+if ! command -v cmake >/dev/null 2>&1; then
+  echo "check.sh: cmake not found on PATH; install CMake >= 3.16" >&2
+  exit 1
+fi
+
 jobs="${1:-$(nproc)}"
+test_jobs="${CTEST_PARALLEL_LEVEL:-${jobs}}"
 cd "$(dirname "$0")/.."
 
-echo "=== Release build + tests ==="
+phase_start=0
+phase_name=""
+phase() {
+  phase_end
+  phase_name="$1"
+  phase_start=$(date +%s)
+  echo "=== ${phase_name} ==="
+}
+phase_end() {
+  if [ -n "${phase_name}" ]; then
+    echo "--- ${phase_name}: $(($(date +%s) - phase_start))s"
+  fi
+}
+
+phase "Release build + tests"
 cmake -B build-check-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-check-release -j "${jobs}"
-ctest --test-dir build-check-release --output-on-failure -j "${jobs}"
+ctest --test-dir build-check-release --output-on-failure -j "${test_jobs}"
 
-echo "=== Sanitized (ASan+UBSan) Debug build + tests ==="
+phase "Sanitized (ASan+UBSan) Debug build + tests"
 cmake -B build-check-sanitize -S . -DCMAKE_BUILD_TYPE=Debug -DSPIRE_SANITIZE=ON
 cmake --build build-check-sanitize -j "${jobs}"
-ctest --test-dir build-check-sanitize --output-on-failure -j "${jobs}"
+ctest --test-dir build-check-sanitize --output-on-failure -j "${test_jobs}"
 
+phase "Static lint gate (tools/lint.sh)"
+SPIRE_LINT_BUILD_DIR=build-check-release tools/lint.sh "${jobs}"
+
+phase_end
 echo "check.sh: all green"

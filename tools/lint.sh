@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Static-analysis gate: clang-format, clang-tidy, and `spire_cli lint` over
+# the checked-in example models and broken fixtures. Run from anywhere:
+#
+#   tools/lint.sh [jobs]
+#
+# Phases that need tools the host lacks (clang-format / clang-tidy are not
+# in the minimal toolchain image) are SKIPPED with a warning, not failed —
+# the model-lint phase always runs. Set SPIRE_LINT_BUILD_DIR to reuse an
+# existing configured build tree (check.sh does, to avoid a second build).
+set -euo pipefail
+
+jobs="${1:-$(nproc)}"
+cd "$(dirname "$0")/.."
+
+build_dir="${SPIRE_LINT_BUILD_DIR:-build-lint}"
+failures=0
+
+phase() { echo; echo "=== $1 ==="; }
+
+# --- clang-format ----------------------------------------------------------
+phase "clang-format (style check)"
+if command -v clang-format >/dev/null 2>&1; then
+  mapfile -t sources < <(git ls-files '*.cpp' '*.h')
+  if ! clang-format --dry-run --Werror "${sources[@]}"; then
+    echo "lint.sh: clang-format found style violations"
+    failures=$((failures + 1))
+  else
+    echo "clang-format: ${#sources[@]} files clean"
+  fi
+else
+  echo "lint.sh: clang-format not installed, skipping style check"
+fi
+
+# --- build spire_cli (needed by both remaining phases) ---------------------
+phase "build spire_cli"
+if ! command -v cmake >/dev/null 2>&1; then
+  echo "lint.sh: cmake not found; cannot run the model-lint phase" >&2
+  exit 1
+fi
+if [ ! -d "${build_dir}" ]; then
+  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "${build_dir}" -j "${jobs}" --target spire_cli
+cli="${build_dir}/tools/spire_cli"
+
+# --- clang-tidy ------------------------------------------------------------
+phase "clang-tidy (static analysis)"
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake -B "${build_dir}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  mapfile -t tidy_sources < <(git ls-files 'src/*.cpp' 'tools/*.cpp')
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    if ! run-clang-tidy -p "${build_dir}" -quiet -j "${jobs}" \
+        "${tidy_sources[@]}"; then
+      echo "lint.sh: clang-tidy found problems"
+      failures=$((failures + 1))
+    fi
+  else
+    if ! clang-tidy -p "${build_dir}" --quiet "${tidy_sources[@]}"; then
+      echo "lint.sh: clang-tidy found problems"
+      failures=$((failures + 1))
+    fi
+  fi
+else
+  echo "lint.sh: clang-tidy not installed, skipping static analysis"
+fi
+
+# --- model lint: checked-in example models must be clean -------------------
+phase "spire_cli lint (example models)"
+for model in testdata/models/*.model; do
+  if ! "${cli}" lint "${model}" --against testdata/models/parboil.samples.csv
+  then
+    echo "lint.sh: ${model} should be clean but is not"
+    failures=$((failures + 1))
+  fi
+done
+
+# --- model lint: broken fixtures must fail with the expected rule ----------
+phase "spire_cli lint (broken fixtures)"
+while read -r file rule severity against; do
+  case "${file}" in ''|'#'*) continue ;; esac
+  args=("testdata/lint/${file}")
+  if [ -n "${against}" ]; then
+    args+=(--against "testdata/lint/${against}")
+  fi
+  out="$("${cli}" lint "${args[@]}")" && status=0 || status=$?
+  if ! grep -q "\[${rule}\]" <<<"${out}"; then
+    echo "lint.sh: ${file}: expected a [${rule}] finding, got:"
+    echo "${out}"
+    failures=$((failures + 1))
+    continue
+  fi
+  if [ "${severity}" = error ] && [ "${status}" -eq 0 ]; then
+    echo "lint.sh: ${file}: error-severity fixture but lint exited 0"
+    failures=$((failures + 1))
+  elif [ "${severity}" = warning ] && [ "${status}" -ne 0 ]; then
+    echo "lint.sh: ${file}: warning-only fixture but lint exited ${status}"
+    failures=$((failures + 1))
+  else
+    echo "${file}: [${rule}] detected (${severity})"
+  fi
+done < testdata/lint/MANIFEST
+
+echo
+if [ "${failures}" -ne 0 ]; then
+  echo "lint.sh: ${failures} phase failure(s)"
+  exit 1
+fi
+echo "lint.sh: all green"

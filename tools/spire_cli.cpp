@@ -14,6 +14,11 @@
 //   spire_cli validate FILE [FILE...]
 //       Scan sample CSVs for data-quality defects (NaN bursts, dropped
 //       windows, duplicate rows, scale-up spikes, ...) and report them.
+//   spire_cli lint MODEL [MODEL...] [--against CSV]... | lint --rules
+//       Statically check serialized models against the paper's invariants
+//       (region shapes, peak continuity, format version, ...) without
+//       running estimation; with --against, also verify the upper-bound
+//       property over a sample CSV. Exits nonzero on error findings.
 //   spire_cli show --model MODEL --metric EVENT
 //       Describe and plot one learned roofline.
 //   spire_cli tma --workload NAME [--config CFG] [--cycles N]
@@ -39,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/lint.h"
 #include "quality/quality.h"
 #include "sampling/collector.h"
 #include "sim/core.h"
@@ -282,6 +288,42 @@ int cmd_validate(const Args& args) {
   return any_errors ? 1 : 0;
 }
 
+int cmd_lint(const Args& args) {
+  if (args.has("rules")) {
+    const auto registry = lint::LintRegistry::builtin();
+    util::TextTable table({"Rule", "Checks that"});
+    for (const auto& rule : registry.rules()) {
+      table.add_row({std::string(rule->id()), std::string(rule->summary())});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+  }
+  if (args.positional.empty()) {
+    throw std::runtime_error("need at least one model file (or --rules)");
+  }
+  // --against may repeat; all CSVs merge into one reference dataset.
+  std::vector<std::string> against_paths;
+  for (const auto& [key, value] : args.flags) {
+    if (key == "against") against_paths.push_back(value);
+  }
+  std::optional<sampling::Dataset> against;
+  if (!against_paths.empty()) against = load_datasets(against_paths);
+
+  bool any_errors = false;
+  for (const auto& path : args.positional) {
+    const auto report =
+        lint::lint_model_file(path, against ? &*against : nullptr);
+    if (report.clean()) {
+      std::printf("%s: clean (%zu metric(s), %zu rule(s))\n", path.c_str(),
+                  report.metrics_scanned, report.rules_run);
+    } else {
+      std::printf("%s", report.describe().c_str());
+      any_errors |= report.has_errors();
+    }
+  }
+  return any_errors ? 1 : 0;
+}
+
 int cmd_show(const Args& args) {
   const auto model_path = args.flag("model");
   const auto metric_name = args.flag("metric");
@@ -359,6 +401,8 @@ int usage() {
                "  train   --out MODEL FILE... [--polarity] [--min-samples N]\n"
                "  analyze --model MODEL FILE... [--top N]\n"
                "  validate FILE...                          report data-quality defects\n"
+               "  lint    MODEL... [--against CSV]...       check model invariants\n"
+               "  lint    --rules                           list the lint rules\n"
                "  show    --model MODEL --metric EVENT\n"
                "  tma     --workload N [--config C] [--cycles N]\n"
                "  record  --workload N [--config C] [--ops N] --out FILE\n"
@@ -375,12 +419,13 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
-    const Args args = parse_args(argc, argv, /*bools=*/{"polarity"});
+    const Args args = parse_args(argc, argv, /*bools=*/{"polarity", "rules"});
     if (command == "suite") return cmd_suite();
     if (command == "collect") return cmd_collect(args);
     if (command == "train") return cmd_train(args);
     if (command == "analyze") return cmd_analyze(args);
     if (command == "validate") return cmd_validate(args);
+    if (command == "lint") return cmd_lint(args);
     if (command == "show") return cmd_show(args);
     if (command == "tma") return cmd_tma(args);
     if (command == "record") return cmd_record(args);
