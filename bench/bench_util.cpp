@@ -1,13 +1,13 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
-#include "sim/core.h"
 #include "spire/model_io.h"
-#include "workloads/profile_stream.h"
 
 namespace spire::bench {
 
@@ -61,15 +61,26 @@ std::string cache_dir() {
 CollectedWorkload collect_workload(const workloads::SuiteEntry& entry,
                                    const sampling::CollectorConfig& config,
                                    std::uint64_t max_cycles) {
+  pipeline::Engine engine;
+  engine.collect(entry, config, max_cycles, /*seed=*/7);
+  auto& ctx = engine.context();
   CollectedWorkload out;
   out.entry = entry;
-  workloads::ProfileStream stream(entry.profile);
-  sim::Core core(sim::CoreConfig{}, stream, /*seed=*/7);
-  sampling::SampleCollector collector(config);
-  const CounterSet before = core.counters();
-  out.stats = collector.collect(core, out.samples, max_cycles);
-  out.counters = core.counters().since(before);
+  out.samples = std::move(ctx.data);
+  out.counters = *ctx.counter_delta;
+  out.stats = *ctx.collection_stats;
   return out;
+}
+
+util::ExecOptions exec_options_from_args(int argc, char** argv) {
+  util::ExecOptions exec = util::ExecOptions::hardware();
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      exec.threads = static_cast<std::size_t>(std::strtoull(argv[i + 1],
+                                                            nullptr, 10));
+    }
+  }
+  return exec;
 }
 
 namespace {
@@ -153,13 +164,17 @@ sampling::Dataset training_dataset(
 }
 
 model::Ensemble trained_ensemble(const std::vector<CollectedWorkload>& suite,
-                                 bool use_cache) {
+                                 bool use_cache, util::ExecOptions exec) {
   const std::string path =
       cache_dir() + "/model_v" + std::to_string(kCacheVersion) + ".txt";
   if (use_cache && std::filesystem::exists(path)) {
     return model::load_model_file(path);
   }
-  const auto ensemble = model::Ensemble::train(training_dataset(suite));
+  pipeline::Engine engine;
+  engine.context().exec = exec;
+  engine.context().data = training_dataset(suite);
+  engine.train();
+  const auto& ensemble = *engine.context().ensemble;
   model::save_model_file(ensemble, path);
   return ensemble;
 }

@@ -11,11 +11,13 @@
 #include <utility>
 #include <vector>
 
+#include "pipeline/engine.h"
 #include "sampling/collector.h"
 #include "sampling/dataset.h"
 #include "spire/analyzer.h"
 #include "spire/ensemble.h"
 #include "tma/tma.h"
+#include "util/thread_pool.h"
 #include "workloads/suite.h"
 
 namespace spire::bench {
@@ -48,8 +50,15 @@ std::vector<CollectedWorkload> collect_suite(bool use_cache = true);
 sampling::Dataset training_dataset(const std::vector<CollectedWorkload>& suite);
 
 /// The SPIRE ensemble trained on the training dataset, cached on disk.
+/// `exec` fans the per-metric fits across a pool; the trained model is
+/// bit-identical at any thread count.
 model::Ensemble trained_ensemble(const std::vector<CollectedWorkload>& suite,
-                                 bool use_cache = true);
+                                 bool use_cache = true,
+                                 util::ExecOptions exec = {});
+
+/// Thread budget for a bench harness: --threads N from its command line
+/// (default: every hardware thread; 0 forces serial).
+util::ExecOptions exec_options_from_args(int argc, char** argv);
 
 /// Default collector config used for the reproduction.
 sampling::CollectorConfig default_collector_config();

@@ -1,0 +1,161 @@
+// Parallel scaling of the pool-backed pipeline stages.
+//
+// Measures train+estimate wall time over the full workload suite at 1, 2,
+// 4, and 8 threads, verifies the determinism contract (every thread count
+// produces bit-identical rankings), checks the Dataset::load_csv hot path
+// against a parse-throughput floor, and emits the results as
+// BENCH_parallel.json.
+//
+// The speedup assertion (>= 2x at 4 threads) only fires on machines with at
+// least 4 hardware threads; on smaller machines the numbers are recorded
+// and the assertion is skipped — a 1-core container cannot speed anything
+// up, and failing there would only test the machine, not the code.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "util/thread_pool.h"
+
+using namespace spire;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One train+estimate pass over the suite; returns wall time and the
+/// estimates (for cross-thread-count comparison).
+struct PassResult {
+  double seconds = 0.0;
+  std::vector<model::Estimate> estimates;
+};
+
+PassResult run_pass(const sampling::Dataset& training,
+                    const std::vector<bench::CollectedWorkload>& suite,
+                    std::size_t threads) {
+  model::Ensemble::TrainOptions options;
+  options.exec = util::ExecOptions{threads};
+  const auto start = Clock::now();
+  const auto ensemble = model::Ensemble::train(training, options);
+  PassResult out;
+  for (const auto& cw : suite) {
+    out.estimates.push_back(ensemble.estimate(
+        cw.samples, model::Merge::kTimeWeighted, util::ExecOptions{threads}));
+  }
+  out.seconds = seconds_since(start);
+  return out;
+}
+
+bool identical(const std::vector<model::Estimate>& a,
+               const std::vector<model::Estimate>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].throughput != b[i].throughput) return false;
+    if (a[i].ranking.size() != b[i].ranking.size()) return false;
+    for (std::size_t j = 0; j < a[i].ranking.size(); ++j) {
+      if (a[i].ranking[j].metric != b[i].ranking[j].metric) return false;
+      if (a[i].ranking[j].p_bar != b[i].ranking[j].p_bar) return false;
+    }
+  }
+  return true;
+}
+
+/// MB/s through Dataset::load_csv on the serialized training set.
+double parse_throughput_mb_s(const sampling::Dataset& training) {
+  std::ostringstream serialized;
+  training.save_csv(serialized);
+  const std::string csv = serialized.str();
+  const int reps = 3;
+  const auto start = Clock::now();
+  std::size_t parsed = 0;
+  for (int i = 0; i < reps; ++i) {
+    std::istringstream in(csv);
+    parsed += sampling::Dataset::load_csv(in).size();
+  }
+  const double elapsed = seconds_since(start);
+  std::printf("parsed %zu samples x%d (%.1f MB total) in %.3f s\n",
+              parsed / reps, reps,
+              static_cast<double>(csv.size()) * reps / 1e6, elapsed);
+  return static_cast<double>(csv.size()) * reps / 1e6 / elapsed;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Parallel scaling: train + estimate over the suite ===\n\n");
+  const auto suite = bench::collect_suite();
+  const auto training = bench::training_dataset(suite);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf("training samples: %zu, hardware threads: %u\n\n",
+              training.size(), hardware);
+
+  const std::vector<std::size_t> counts = {1, 2, 4, 8};
+  std::vector<double> seconds;
+  PassResult reference;
+  bool deterministic = true;
+  for (const std::size_t threads : counts) {
+    auto pass = run_pass(training, suite, threads);
+    std::printf("threads=%zu: %.3f s\n", threads, pass.seconds);
+    if (threads == 1) {
+      reference = std::move(pass);
+      seconds.push_back(reference.seconds);
+    } else {
+      deterministic &= identical(reference.estimates, pass.estimates);
+      seconds.push_back(pass.seconds);
+    }
+  }
+
+  const double speedup4 = seconds[0] / seconds[2];
+  std::printf("\nspeedup at 2/4/8 threads: %.2fx / %.2fx / %.2fx\n",
+              seconds[0] / seconds[1], speedup4, seconds[0] / seconds[3]);
+  std::printf("deterministic across thread counts: %s\n",
+              deterministic ? "yes" : "NO");
+
+  const double parse_mb_s = parse_throughput_mb_s(training);
+  std::printf("load_csv throughput: %.1f MB/s\n", parse_mb_s);
+
+  const bool check_speedup = hardware >= 4;
+  if (!check_speedup) {
+    std::printf("speedup assertion skipped: only %u hardware thread(s)\n",
+                hardware);
+  }
+
+  std::ofstream json("BENCH_parallel.json");
+  json << "{\n  \"bench\": \"parallel_scaling\",\n"
+       << "  \"hardware_threads\": " << hardware << ",\n"
+       << "  \"train_estimate_seconds\": {";
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    json << (i > 0 ? ", " : "") << '"' << counts[i] << "\": " << seconds[i];
+  }
+  json << "},\n"
+       << "  \"speedup_4_threads\": " << speedup4 << ",\n"
+       << "  \"deterministic\": " << (deterministic ? "true" : "false") << ",\n"
+       << "  \"parse_mb_per_s\": " << parse_mb_s << ",\n"
+       << "  \"speedup_assertion\": \""
+       << (check_speedup ? "checked" : "skipped") << "\"\n}\n";
+  std::printf("-> BENCH_parallel.json\n");
+
+  bool failed = false;
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: parallel output diverged from serial\n");
+    failed = true;
+  }
+  if (check_speedup && speedup4 < 2.0) {
+    std::fprintf(stderr, "FAIL: speedup at 4 threads %.2fx < 2x\n", speedup4);
+    failed = true;
+  }
+  if (parse_mb_s < 5.0) {
+    std::fprintf(stderr, "FAIL: load_csv %.1f MB/s below the 5 MB/s floor\n",
+                 parse_mb_s);
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

@@ -6,6 +6,9 @@
 // covers the held-out samples and how close the attainable-throughput
 // estimate lands to the measured IPC. High coverage on held-out workloads
 // is what makes the ranking trustworthy on genuinely new software.
+// Folds are independent, so the engine runs them as pool tasks; --threads N
+// picks the budget (default: all hardware threads) without changing any
+// number in the output.
 #include <cstdio>
 
 #include "bench_util.h"
@@ -15,7 +18,7 @@
 
 using namespace spire;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Leave-one-workload-out cross-validation ===\n\n");
   const auto suite = bench::collect_suite();
 
@@ -24,7 +27,10 @@ int main() {
     workloads.push_back({cw.entry.profile.name + " / " + cw.entry.profile.config,
                          cw.samples});
   }
-  const auto results = model::leave_one_out(workloads);
+  pipeline::Engine engine;
+  engine.context().exec = bench::exec_options_from_args(argc, argv);
+  engine.leave_one_out(workloads);
+  const auto& results = engine.context().loo_results;
 
   util::TextTable table({"Held-out workload", "Coverage", "Worst excess",
                          "Measured IPC", "Estimate", "Est./IPC"});

@@ -74,7 +74,7 @@ LintReport LintRegistry::run(const LintContext& context) const {
 }
 
 LintReport lint_model(const RawModel& model, std::string source,
-                      const sampling::Dataset* against,
+                      std::optional<sampling::DatasetView> against,
                       const LintConfig& config) {
   const LintContext context{model, against, config};
   LintReport report = LintRegistry::builtin().run(context);
@@ -83,7 +83,7 @@ LintReport lint_model(const RawModel& model, std::string source,
 }
 
 LintReport lint_model_file(const std::string& path,
-                           const sampling::Dataset* against,
+                           std::optional<sampling::DatasetView> against,
                            const LintConfig& config) {
   const RawModel model = parse_raw_model_file(path);
   return lint_model(model, path, against, config);

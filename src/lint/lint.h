@@ -17,12 +17,13 @@
 
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "lint/model_source.h"
-#include "sampling/dataset.h"
+#include "sampling/dataset_view.h"
 
 namespace spire::lint {
 
@@ -72,10 +73,12 @@ struct LintConfig {
 };
 
 /// Everything a rule may look at. `against` is optional: bound-violation
-/// style rules no-op without a dataset.
+/// style rules no-op without a dataset. The dataset arrives as an immutable
+/// view so a lint pass can share series storage with concurrent pipeline
+/// stages.
 struct LintContext {
   const RawModel& model;
-  const sampling::Dataset* against = nullptr;
+  std::optional<sampling::DatasetView> against;
   LintConfig config;
 };
 
@@ -124,13 +127,14 @@ class LintRegistry {
 
 /// Convenience: parse `path`, run the builtin registry (plus the structural
 /// findings from parsing itself), optionally checking samples in `against`.
-LintReport lint_model_file(const std::string& path,
-                           const sampling::Dataset* against = nullptr,
-                           const LintConfig& config = {});
+LintReport lint_model_file(
+    const std::string& path,
+    std::optional<sampling::DatasetView> against = std::nullopt,
+    const LintConfig& config = {});
 
 /// Same, over an already-parsed raw model.
 LintReport lint_model(const RawModel& model, std::string source,
-                      const sampling::Dataset* against = nullptr,
+                      std::optional<sampling::DatasetView> against = std::nullopt,
                       const LintConfig& config = {});
 
 }  // namespace spire::lint

@@ -572,13 +572,13 @@ class BoundViolationRule final : public LintRule {
     return "no sample in --against exceeds the model bound (Eq. 1)";
   }
   void check(const LintContext& context, LintReport& report) const override {
-    if (context.against == nullptr) return;
+    if (!context.against.has_value()) return;
     for (const RawMetricModel& m : context.model.metrics) {
       if (!m.event.has_value()) continue;
       const auto left = strict_left(m);
       const auto right = strict_right(m);
       if (!right.has_value()) continue;
-      const auto& samples = context.against->samples(*m.event);
+      const auto samples = context.against->samples(*m.event);
       std::size_t violations = 0;
       double worst_excess = 0.0;
       double worst_i = 0.0;

@@ -1,0 +1,133 @@
+// Unified orchestration for the SPIRE toolchain.
+//
+// Every front end — the CLI, the paper-reproduction benches, the
+// cross-validation harness — runs the same few stages in some order:
+// collect or load samples, validate them, train or load an ensemble, lint
+// the artifact, estimate, analyze. Before this subsystem each front end
+// re-implemented that wiring (quality policy application, skipped-metric
+// reporting, exec-option plumbing) with drifting behavior. The Engine owns
+// it once: stages are methods over a shared PipelineContext, chainable in
+// any sensible order, and every parallel stage draws its thread budget from
+// the one ExecOptions in the context.
+//
+// Determinism: stages delegate to Ensemble/Analyzer/leave_one_out, whose
+// parallel output is bit-identical to serial, so an Engine run's results
+// depend only on inputs and options — never on context.exec.threads.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "counters/counter_set.h"
+#include "lint/lint.h"
+#include "quality/quality.h"
+#include "sampling/collector.h"
+#include "sampling/dataset.h"
+#include "spire/analyzer.h"
+#include "spire/ensemble.h"
+#include "spire/validation.h"
+#include "util/thread_pool.h"
+#include "workloads/suite.h"
+
+namespace spire::pipeline {
+
+/// Shared state the stages read and write. Configuration fields (exec,
+/// policy, train_options, log) are set by the front end before running
+/// stages; result fields are filled as stages execute.
+struct PipelineContext {
+  // --- configuration -------------------------------------------------------
+  /// Thread budget for every parallel stage (train, estimate, analyze,
+  /// leave_one_out). Default = serial; results are identical either way.
+  util::ExecOptions exec{};
+  /// What validate() does about defects: throw, repair, or report.
+  quality::Policy policy = quality::Policy::kWarn;
+  model::Ensemble::TrainOptions train_options{};
+  /// Stage diagnostics (quality reports, skipped metrics, repair surgery)
+  /// are written here; nullptr silences them.
+  std::ostream* log = nullptr;
+
+  // --- results -------------------------------------------------------------
+  sampling::Dataset data;  // accumulated samples (collect / load_samples)
+  std::optional<sampling::CollectionStats> collection_stats;
+  std::optional<counters::CounterSet> counter_delta;  // whole-run TMA delta
+  std::optional<quality::QualityReport> quality_report;
+  std::optional<model::Ensemble> ensemble;
+  std::optional<model::Estimate> estimate;
+  std::optional<model::Analyzer::Analysis> analysis;
+  std::vector<lint::LintReport> lint_reports;
+  std::vector<model::LeaveOneOutResult> loo_results;
+};
+
+/// The stage runner. Each stage mutates the shared context and returns
+/// *this, so front ends read as the pipeline they run:
+///
+///   pipeline::Engine engine;
+///   engine.context().exec = util::ExecOptions::hardware();
+///   engine.load_samples(paths).validate().train();
+///   model::save_model_file(*engine.context().ensemble, out_path);
+class Engine {
+ public:
+  Engine() = default;
+  explicit Engine(PipelineContext context) : context_(std::move(context)) {}
+
+  PipelineContext& context() { return context_; }
+  const PipelineContext& context() const { return context_; }
+
+  /// Runs `entry` on a fresh simulated core under the multiplexing sampler,
+  /// merging the samples into the shared dataset. Also records collection
+  /// stats and the whole-run counter delta (for TMA baselines).
+  Engine& collect(const workloads::SuiteEntry& entry,
+                  const sampling::CollectorConfig& config,
+                  std::uint64_t max_cycles, std::uint64_t seed = 7);
+
+  /// Merges sample CSVs into the shared dataset. Throws std::runtime_error
+  /// naming the path when a file cannot be opened or parsed.
+  Engine& load_samples(const std::vector<std::string>& paths);
+
+  /// Scans the shared dataset for quality defects and applies the context
+  /// policy: kStrict throws quality::QualityError, kRepair replaces the
+  /// dataset with the repaired one, kWarn leaves it untouched. The report
+  /// (and any repair surgery) lands in quality_report and the log.
+  Engine& validate();
+
+  /// Fits one roofline per metric (parallel across metrics per
+  /// context.exec). Skipped metrics are logged; the ensemble lands in
+  /// context().ensemble.
+  Engine& train();
+
+  /// Loads a serialized ensemble instead of training one.
+  Engine& load_model(const std::string& path);
+
+  /// Statically lints serialized model files, appending one report per file
+  /// to lint_reports. When `against_data` is true the shared dataset is the
+  /// bound-check reference (an immutable view of it; the dataset must not
+  /// be mutated concurrently).
+  Engine& lint_check(const std::vector<std::string>& model_paths,
+                     bool against_data = false,
+                     const lint::LintConfig& config = {});
+
+  /// Ensemble-wide attainable-throughput estimate of the shared dataset
+  /// (per-metric Eq.-(1) averages in parallel per context.exec).
+  Engine& estimate();
+
+  /// Full bottleneck analysis (ranking + throughputs) of the shared dataset
+  /// against the ensemble.
+  Engine& analyze();
+
+  /// Leave-one-workload-out cross-validation over `workloads`, training
+  /// folds with context train_options and running them as pool tasks per
+  /// context.exec. Results (ordered by fold) land in loo_results.
+  Engine& leave_one_out(const std::vector<model::LabelledDataset>& workloads);
+
+ private:
+  /// Throws std::runtime_error(stage + " requires ...") when `condition`
+  /// does not hold.
+  void require(bool condition, const char* what) const;
+
+  PipelineContext context_;
+};
+
+}  // namespace spire::pipeline

@@ -37,7 +37,7 @@ FaultConfig FaultConfig::uniform(double rate) {
 }
 
 FaultInjector::FaultInjector(std::uint64_t seed, FaultConfig config)
-    : config_(config), rng_(seed) {
+    : config_(config), seed_(seed) {
   const auto check_rate = [](double rate, const char* name) {
     SPIRE_ASSERT(rate >= 0.0 && rate <= 1.0 && !std::isnan(rate),
                  "fault injector: ", name, " must be a probability, got ",
@@ -57,6 +57,7 @@ FaultStats FaultInjector::corrupt(Dataset& data) {
   FaultStats stats;
   const double nan = std::numeric_limits<double>::quiet_NaN();
   const double inf = std::numeric_limits<double>::infinity();
+  const std::uint64_t epoch_base = util::derive_seed(seed_, epoch_++);
 
   // Truncation first: it models the *file* being cut short, so it removes
   // the trailing samples in CSV write order (catalog-major), untouched by
@@ -78,8 +79,12 @@ FaultStats FaultInjector::corrupt(Dataset& data) {
 
   for (const Event metric : data.metrics()) {
     auto& samples = data.mutable_samples(metric);
+    // An independent stream per (seed, epoch, metric): draws for one metric
+    // never shift when other metrics appear, vanish, or run elsewhere.
+    util::Rng rng(
+        util::derive_seed(epoch_base, static_cast<std::uint64_t>(metric)));
 
-    if (config_.dead_metric_rate > 0.0 && rng_.chance(config_.dead_metric_rate)) {
+    if (config_.dead_metric_rate > 0.0 && rng.chance(config_.dead_metric_rate)) {
       for (Sample& s : samples) s.m = 0.0;
       ++stats.metrics_deadened;
       continue;  // a dead column has nothing left worth corrupting
@@ -91,7 +96,7 @@ FaultStats FaultInjector::corrupt(Dataset& data) {
       std::size_t dropping = 0;
       for (const Sample& s : samples) {
         if (dropping == 0 &&
-            rng_.chance(config_.drop_window_rate / kDropBurst)) {
+            rng.chance(config_.drop_window_rate / kDropBurst)) {
           dropping = kDropBurst;
         }
         if (dropping > 0) {
@@ -107,32 +112,32 @@ FaultStats FaultInjector::corrupt(Dataset& data) {
     std::size_t nan_left = 0;
     for (Sample& s : samples) {
       if (nan_left == 0 && config_.nan_burst_rate > 0.0 &&
-          rng_.chance(config_.nan_burst_rate / kNanBurst)) {
+          rng.chance(config_.nan_burst_rate / kNanBurst)) {
         nan_left = kNanBurst;
       }
       if (nan_left > 0) {
         --nan_left;
-        switch (rng_.below(3)) {
+        switch (rng.below(3)) {
           case 0: s.m = nan; break;
-          case 1: s.w = rng_.chance(0.5) ? nan : inf; break;
+          case 1: s.w = rng.chance(0.5) ? nan : inf; break;
           default: s.t = nan; break;
         }
         ++stats.nans_injected;
         continue;  // already garbage; further edits would be redundant
       }
-      if (rng_.chance(config_.negative_count_rate)) {
-        if (rng_.chance(0.5)) {
+      if (rng.chance(config_.negative_count_rate)) {
+        if (rng.chance(0.5)) {
           s.m = s.m > 0.0 ? -s.m : -1.0;
         } else {
           s.w = s.w > 0.0 ? -s.w : -1.0;
         }
         ++stats.negatives_injected;
       }
-      if (rng_.chance(config_.time_skew_rate)) {
-        s.t = rng_.chance(0.5) ? 0.0 : -s.t;
+      if (rng.chance(config_.time_skew_rate)) {
+        s.t = rng.chance(0.5) ? 0.0 : -s.t;
         ++stats.times_skewed;
       }
-      if (rng_.chance(config_.scale_up_rate)) {
+      if (rng.chance(config_.scale_up_rate)) {
         s.m = (s.m > 0.0 ? s.m : 1.0) * kScaleUpFactor;
         ++stats.scale_ups_injected;
       }
@@ -143,7 +148,7 @@ FaultStats FaultInjector::corrupt(Dataset& data) {
       duplicated.reserve(samples.size());
       for (const Sample& s : samples) {
         duplicated.push_back(s);
-        if (rng_.chance(config_.duplication_rate)) {
+        if (rng.chance(config_.duplication_rate)) {
           duplicated.push_back(s);
           ++stats.duplicates_added;
         }

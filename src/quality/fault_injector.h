@@ -57,16 +57,21 @@ class FaultInjector {
  public:
   FaultInjector(std::uint64_t seed, FaultConfig config);
 
-  /// Corrupts `data` in place and reports what was injected. Metrics are
-  /// processed in catalog order, so corruption is independent of map
-  /// iteration order.
+  /// Corrupts `data` in place and reports what was injected. Each metric's
+  /// corruption stream is seeded from (base seed, corrupt-call epoch,
+  /// metric id) via util::derive_seed, so what one metric suffers depends
+  /// only on the experiment seed and the metric — not on which other
+  /// metrics exist, the order they are visited, or which pool worker runs
+  /// an ablation's retraining. Parallelized sweeps therefore reproduce the
+  /// exact corruption of the serial run.
   FaultStats corrupt(sampling::Dataset& data);
 
   const FaultConfig& config() const { return config_; }
 
  private:
   FaultConfig config_;
-  util::Rng rng_;
+  std::uint64_t seed_;
+  std::uint64_t epoch_ = 0;  // successive corrupt() calls stay distinct
 };
 
 /// Flips `flips` random bits anywhere in `text` (fuzzing helper).

@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <cstring>
+#include <span>
 #include <sstream>
 #include <unordered_set>
 
@@ -143,7 +144,7 @@ bool sample_finite(const Sample& s) {
 /// Median event rate m/t over the metric's firing, structurally sound
 /// samples; 0 when fewer than 8 such samples exist (too little evidence to
 /// call anything an outlier).
-double median_rate(const std::vector<Sample>& samples) {
+double median_rate(std::span<const Sample> samples) {
   std::vector<double> rates;
   rates.reserve(samples.size());
   for (const Sample& s : samples) {
@@ -198,9 +199,9 @@ DatasetValidator::DatasetValidator(ValidatorConfig config) : config_(config) {
                config_.missing_window_fraction);
 }
 
-QualityReport DatasetValidator::validate(const Dataset& data) const {
+QualityReport DatasetValidator::validate(sampling::DatasetView data) const {
   ReportBuilder builder(config_.max_examples);
-  const auto metrics = data.metrics();
+  const auto& metrics = data.metrics();
 
   std::size_t max_count = 0;
   for (const Event metric : metrics) {
@@ -208,7 +209,7 @@ QualityReport DatasetValidator::validate(const Dataset& data) const {
   }
 
   for (const Event metric : metrics) {
-    const auto& samples = data.samples(metric);
+    const auto samples = data.samples(metric);
     const double rate_cap = median_rate(samples) * config_.scale_up_rate_factor;
     std::unordered_set<SampleKey, SampleKeyHash> seen;
     bool any_fired = false;

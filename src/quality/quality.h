@@ -17,6 +17,7 @@
 
 #include "counters/events.h"
 #include "sampling/dataset.h"
+#include "sampling/dataset_view.h"
 
 namespace spire::quality {
 
@@ -94,13 +95,14 @@ struct ValidatorConfig {
   std::size_t max_examples = 8;
 };
 
-/// Scans a dataset for the defect taxonomy above. Pure inspection: never
-/// throws on bad data, never modifies the dataset.
+/// Scans a dataset for the defect taxonomy above. Pure inspection: it takes
+/// an immutable view, never throws on bad data, and never modifies the
+/// underlying dataset — safe to run concurrently with other readers.
 class DatasetValidator {
  public:
   explicit DatasetValidator(ValidatorConfig config = {});
 
-  QualityReport validate(const sampling::Dataset& data) const;
+  QualityReport validate(sampling::DatasetView data) const;
 
   const ValidatorConfig& config() const { return config_; }
 

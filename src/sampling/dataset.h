@@ -1,5 +1,11 @@
 // A collection of samples grouped by performance metric, with CSV
 // persistence so datasets can be collected once and reused.
+//
+// Dataset is the MUTABLE BUILDER half of the data model: collection appends
+// to it and the quality layer repairs it in place. Read-only consumers
+// (training, estimation, validation, lint) take the immutable DatasetView
+// (sampling/dataset_view.h) instead, which is cheap to copy and safe to
+// share across threads.
 #pragma once
 
 #include <iosfwd>

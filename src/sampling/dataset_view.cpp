@@ -1,0 +1,16 @@
+#include "sampling/dataset_view.h"
+
+namespace spire::sampling {
+
+DatasetView::DatasetView(const Dataset& data)
+    : metrics_(data.metrics()),
+      by_metric_(counters::kEventCount) {
+  for (const counters::Event metric : metrics_) {
+    const auto& series = data.samples(metric);
+    by_metric_[static_cast<std::size_t>(metric)] =
+        std::span<const Sample>(series.data(), series.size());
+    size_ += series.size();
+  }
+}
+
+}  // namespace spire::sampling

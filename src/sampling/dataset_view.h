@@ -1,0 +1,58 @@
+// An immutable, thread-shareable view of a Dataset.
+//
+// Dataset is the mutable BUILDER: collection appends to it, the quality
+// layer repairs it in place. Everything downstream of building — training,
+// estimation, validation, linting — only ever reads, and with the parallel
+// pipeline those reads happen from many threads at once. DatasetView is the
+// read side of that split: const spans over the per-metric series, resolved
+// once at construction, cheap to copy, and safe to share across pool
+// workers because no code path can mutate through it.
+//
+// Lifetime: a view is a snapshot of the dataset's series storage. It stays
+// valid while the viewed Dataset is alive and structurally unmodified;
+// add/remove/merge (or anything reallocating a series vector) invalidates
+// outstanding views, exactly like iterators. Take the view after building,
+// share it freely, and rebuild it if the dataset changes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "counters/events.h"
+#include "sampling/dataset.h"
+#include "sampling/sample.h"
+
+namespace spire::sampling {
+
+class DatasetView {
+ public:
+  /// An empty view (no metrics, no samples).
+  DatasetView() = default;
+
+  /// Snapshots `data`'s series. Implicit on purpose: every read-only
+  /// consumer takes a DatasetView, and call sites holding a Dataset keep
+  /// working unchanged.
+  DatasetView(const Dataset& data);  // NOLINT(google-explicit-constructor)
+
+  /// Samples recorded for a metric (empty span if none).
+  std::span<const Sample> samples(counters::Event metric) const {
+    const auto slot = static_cast<std::size_t>(metric);
+    return slot < by_metric_.size() ? by_metric_[slot]
+                                    : std::span<const Sample>{};
+  }
+
+  /// Metrics with at least one sample, in catalog order.
+  const std::vector<counters::Event>& metrics() const { return metrics_; }
+
+  /// Total sample count across all metrics.
+  std::size_t size() const { return size_; }
+
+  bool empty() const { return size_ == 0; }
+
+ private:
+  std::vector<counters::Event> metrics_;             // catalog order
+  std::vector<std::span<const Sample>> by_metric_;   // indexed by event id
+  std::size_t size_ = 0;
+};
+
+}  // namespace spire::sampling

@@ -3,30 +3,31 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 namespace spire::model {
 
 using counters::Event;
 using counters::TmaArea;
-using sampling::Dataset;
+using sampling::DatasetView;
 using sampling::Sample;
 
-double measured_throughput(const Dataset& workload) {
-  const auto metrics = workload.metrics();
+double measured_throughput(DatasetView workload) {
+  const auto& metrics = workload.metrics();
   if (metrics.empty()) {
     throw std::invalid_argument("analyzer: empty workload dataset");
   }
   // All metrics share the window T and W values; any series works, but the
   // one with the most samples covers the most execution.
-  const std::vector<Sample>* best = nullptr;
+  std::span<const Sample> best;
   for (const Event metric : metrics) {
-    const auto& s = workload.samples(metric);
-    if (best == nullptr || s.size() > best->size()) best = &s;
+    const auto s = workload.samples(metric);
+    if (s.size() > best.size()) best = s;
   }
   double work = 0.0;
   double time = 0.0;
-  for (const Sample& s : *best) {
+  for (const Sample& s : best) {
     // Corrupt windows (NaN fields, zero/negative periods) must not poison
     // the whole-run average; the quality layer reports them separately.
     if (!std::isfinite(s.t) || !std::isfinite(s.w) || s.t <= 0.0 || s.w < 0.0) {
@@ -39,10 +40,11 @@ double measured_throughput(const Dataset& workload) {
   return work / time;
 }
 
-Analyzer::Analysis Analyzer::analyze(const Dataset& workload) const {
+Analyzer::Analysis Analyzer::analyze(DatasetView workload,
+                                     util::ExecOptions exec) const {
   Analysis out;
   out.measured_throughput = measured_throughput(workload);
-  Estimate estimate = ensemble_->estimate(workload);
+  Estimate estimate = ensemble_->estimate(workload, Merge::kTimeWeighted, exec);
   out.estimated_throughput = estimate.throughput;
   out.skipped = std::move(estimate.skipped);
   out.ranking.reserve(estimate.ranking.size());

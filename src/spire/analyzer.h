@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "counters/events.h"
-#include "sampling/dataset.h"
+#include "sampling/dataset_view.h"
 #include "spire/ensemble.h"
 
 namespace spire::model {
@@ -37,7 +37,10 @@ class Analyzer {
     /// analysis that other metrics can still support.
     std::vector<SkippedMetric> skipped;
   };
-  Analysis analyze(const sampling::Dataset& workload) const;
+  /// `exec` fans the underlying per-metric estimation across a pool;
+  /// results are bit-identical to the serial default.
+  Analysis analyze(sampling::DatasetView workload,
+                   util::ExecOptions exec = {}) const;
 
   /// The paper's "pool of low-valued metrics": every metric whose average
   /// estimate is within `tolerance` (relative) of the minimum.
@@ -60,6 +63,6 @@ class Analyzer {
 
 /// Time-weighted measured throughput of a workload dataset (uses any
 /// metric's samples; they all share T and W per window).
-double measured_throughput(const sampling::Dataset& workload);
+double measured_throughput(sampling::DatasetView workload);
 
 }  // namespace spire::model

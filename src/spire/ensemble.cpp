@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 #include "spire/polarity.h"
@@ -9,41 +10,69 @@
 namespace spire::model {
 
 using counters::Event;
-using sampling::Dataset;
+using sampling::DatasetView;
 using sampling::Sample;
 
 Ensemble::Ensemble(std::map<Event, MetricRoofline> rooflines)
     : rooflines_(std::move(rooflines)) {}
 
-Ensemble Ensemble::train(const Dataset& data, TrainOptions options) {
+namespace {
+
+/// One metric's training outcome: a fitted roofline or the skip reason.
+struct FitOutcome {
+  std::optional<MetricRoofline> roofline;
+  std::string skip_reason;
+};
+
+FitOutcome fit_metric(std::span<const Sample> samples,
+                      const Ensemble::TrainOptions& options) {
+  FitOutcome out;
+  std::size_t usable = 0;
+  for (const Sample& s : samples) {
+    if (s.t > 0.0) ++usable;
+  }
+  if (usable < options.min_samples) {
+    out.skip_reason = "only " + std::to_string(usable) + " usable samples (min " +
+                      std::to_string(options.min_samples) + ")";
+    return out;
+  }
+  // An untrainable metric (degenerate or corrupt series) must not kill
+  // the whole ensemble: record why and move on.
+  try {
+    if (options.polarity_constrained) {
+      out.roofline = fit_with_polarity(samples, options.polarity_threshold);
+    } else {
+      out.roofline = MetricRoofline::fit(samples);
+    }
+  } catch (const std::exception& e) {
+    out.skip_reason = std::string("fit failed: ") + e.what();
+  }
+  return out;
+}
+
+}  // namespace
+
+Ensemble Ensemble::train(DatasetView data, TrainOptions options) {
+  const std::vector<Event>& metrics = data.metrics();
+
+  // Each fit reads only its own metric's span, so the fan-out is free of
+  // shared mutable state; collecting outcomes by metric index keeps the
+  // rooflines map and the skipped list in exactly the serial order.
+  auto outcomes = util::parallel_for_index(
+      options.exec, metrics.size(), [&](std::size_t i) {
+        return fit_metric(data.samples(metrics[i]), options);
+      });
+
   std::map<Event, MetricRoofline> rooflines;
   std::vector<SkippedMetric> skipped;
-  for (const Event metric : data.metrics()) {
-    const auto& samples = data.samples(metric);
-    std::size_t usable = 0;
-    for (const Sample& s : samples) {
-      if (s.t > 0.0) ++usable;
-    }
-    if (usable < options.min_samples) {
-      skipped.push_back({metric, "only " + std::to_string(usable) +
-                                     " usable samples (min " +
-                                     std::to_string(options.min_samples) +
-                                     ")"});
-      continue;
-    }
-    // An untrainable metric (degenerate or corrupt series) must not kill
-    // the whole ensemble: record why and move on.
-    try {
-      if (options.polarity_constrained) {
-        rooflines.emplace(
-            metric, fit_with_polarity(samples, options.polarity_threshold));
-      } else {
-        rooflines.emplace(metric, MetricRoofline::fit(samples));
-      }
-    } catch (const std::exception& e) {
-      skipped.push_back({metric, std::string("fit failed: ") + e.what()});
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (outcomes[i].roofline.has_value()) {
+      rooflines.emplace(metrics[i], std::move(*outcomes[i].roofline));
+    } else {
+      skipped.push_back({metrics[i], std::move(outcomes[i].skip_reason)});
     }
   }
+
   if (rooflines.empty()) {
     std::string what = "ensemble: no trainable metric";
     for (const SkippedMetric& s : skipped) {
@@ -62,7 +91,7 @@ Ensemble Ensemble::train(const Dataset& data, TrainOptions options) {
 namespace {
 
 std::optional<double> merge_samples(const MetricRoofline& roofline,
-                                    const std::vector<Sample>& samples,
+                                    std::span<const Sample> samples,
                                     Merge merge, std::size_t* count_out) {
   double weighted = 0.0;
   double weight = 0.0;
@@ -88,26 +117,45 @@ std::optional<double> merge_samples(const MetricRoofline& roofline,
 }  // namespace
 
 std::optional<double> Ensemble::metric_estimate(Event metric,
-                                                const Dataset& workload,
+                                                DatasetView workload,
                                                 Merge merge) const {
   const auto it = rooflines_.find(metric);
   if (it == rooflines_.end()) return std::nullopt;
   return merge_samples(it->second, workload.samples(metric), merge, nullptr);
 }
 
-Estimate Ensemble::estimate(const Dataset& workload, Merge merge) const {
-  Estimate out;
-  for (const auto& [metric, roofline] : rooflines_) {
+Estimate Ensemble::estimate(DatasetView workload, Merge merge,
+                            util::ExecOptions exec) const {
+  // Materialize the map in its (ordered) iteration order so per-metric
+  // tasks can be indexed; results are then consumed in that same order,
+  // making the ranking and skip reporting independent of scheduling.
+  std::vector<const std::pair<const Event, MetricRoofline>*> entries;
+  entries.reserve(rooflines_.size());
+  for (const auto& entry : rooflines_) entries.push_back(&entry);
+
+  struct PerMetric {
+    std::optional<double> p_bar;
     std::size_t count = 0;
-    const auto p_bar =
-        merge_samples(roofline, workload.samples(metric), merge, &count);
-    if (!p_bar.has_value()) {
+  };
+  auto merged = util::parallel_for_index(
+      exec, entries.size(), [&](std::size_t i) {
+        PerMetric out;
+        out.p_bar = merge_samples(entries[i]->second,
+                                  workload.samples(entries[i]->first), merge,
+                                  &out.count);
+        return out;
+      });
+
+  Estimate out;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Event metric = entries[i]->first;
+    if (!merged[i].p_bar.has_value()) {
       out.skipped.push_back({metric, workload.samples(metric).empty()
                                          ? "no samples in workload"
                                          : "no structurally usable samples"});
       continue;
     }
-    out.ranking.push_back({metric, *p_bar, count});
+    out.ranking.push_back({metric, *merged[i].p_bar, merged[i].count});
   }
   if (out.ranking.empty()) {
     throw std::invalid_argument(

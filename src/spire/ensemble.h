@@ -4,6 +4,12 @@
 // per metric. Estimation gives each sample a per-metric estimate, merges
 // them with the time-weighted average of Eq. (1), and takes the minimum
 // across metrics as the ensemble-wide attainable-throughput estimate.
+//
+// Because each metric's roofline is independent, both training and
+// estimation fan out across a thread pool when ExecOptions request it.
+// Determinism is a hard contract: per-metric results are collected by
+// metric index, never by completion order, so the parallel output — models,
+// ranking, skipped-metric reporting — is bit-identical to the serial one.
 #pragma once
 
 #include <map>
@@ -12,8 +18,9 @@
 #include <vector>
 
 #include "counters/events.h"
-#include "sampling/dataset.h"
+#include "sampling/dataset_view.h"
 #include "spire/metric_roofline.h"
+#include "util/thread_pool.h"
 
 namespace spire::model {
 
@@ -60,14 +67,17 @@ class Ensemble {
     bool polarity_constrained = false;
     /// |Spearman| needed for a polarity call when constraining.
     double polarity_threshold = 0.3;
+    /// Per-metric fits run as pool tasks when threads > 1; the default
+    /// keeps training serial. Output is bit-identical either way.
+    util::ExecOptions exec{};
   };
 
   /// Fits one roofline per metric present in `data`. Metrics that cannot be
   /// fit (too few usable samples, degenerate series, fit failure) are
   /// skipped and recorded in skipped(); only when *no* metric survives does
   /// train throw std::invalid_argument (listing the per-metric reasons).
-  static Ensemble train(const sampling::Dataset& data, TrainOptions options);
-  static Ensemble train(const sampling::Dataset& data) {
+  static Ensemble train(sampling::DatasetView data, TrainOptions options);
+  static Ensemble train(sampling::DatasetView data) {
     return train(data, TrainOptions{});
   }
 
@@ -80,14 +90,16 @@ class Ensemble {
   /// Estimates a workload's attainable throughput from its samples.
   /// Metrics absent from the ensemble are ignored; ensemble metrics with no
   /// usable workload samples land in Estimate::skipped. Throws
-  /// std::invalid_argument only when nothing overlaps at all.
-  Estimate estimate(const sampling::Dataset& workload,
-                    Merge merge = Merge::kTimeWeighted) const;
+  /// std::invalid_argument only when nothing overlaps at all. Per-metric
+  /// Eq. (1) averages run in parallel when `exec` requests threads.
+  Estimate estimate(sampling::DatasetView workload,
+                    Merge merge = Merge::kTimeWeighted,
+                    util::ExecOptions exec = {}) const;
 
   /// Per-metric average estimate for one metric, or nullopt when the
   /// ensemble has no roofline for it or the workload has no samples.
   std::optional<double> metric_estimate(
-      counters::Event metric, const sampling::Dataset& workload,
+      counters::Event metric, sampling::DatasetView workload,
       Merge merge = Merge::kTimeWeighted) const;
 
   const std::map<counters::Event, MetricRoofline>& rooflines() const {

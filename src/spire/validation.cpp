@@ -8,9 +8,10 @@
 namespace spire::model {
 
 using sampling::Dataset;
+using sampling::DatasetView;
 using sampling::Sample;
 
-CoverageReport coverage(const Ensemble& ensemble, const Dataset& data,
+CoverageReport coverage(const Ensemble& ensemble, DatasetView data,
                         double tolerance) {
   CoverageReport report;
   report.worst_excess = 1.0;
@@ -59,27 +60,31 @@ RankAgreement compare_rankings(const Analyzer::Analysis& a,
 
 std::vector<LeaveOneOutResult> leave_one_out(
     const std::vector<LabelledDataset>& workloads,
-    Ensemble::TrainOptions options) {
+    Ensemble::TrainOptions options, util::ExecOptions exec) {
   if (workloads.size() < 2) {
     throw std::invalid_argument("leave_one_out: need at least 2 workloads");
   }
-  std::vector<LeaveOneOutResult> out;
-  out.reserve(workloads.size());
-  for (std::size_t held = 0; held < workloads.size(); ++held) {
-    Dataset training;
-    for (std::size_t i = 0; i < workloads.size(); ++i) {
-      if (i != held) training.merge(workloads[i].data);
-    }
-    const Ensemble ensemble = Ensemble::train(training, options);
-    LeaveOneOutResult result;
-    result.label = workloads[held].label;
-    result.coverage = coverage(ensemble, workloads[held].data);
-    result.measured_throughput = measured_throughput(workloads[held].data);
-    result.estimated_throughput =
-        ensemble.estimate(workloads[held].data).throughput;
-    out.push_back(std::move(result));
-  }
-  return out;
+  // Each fold owns its merged training set, its ensemble, and its result
+  // slot, so the folds share nothing mutable. Nested parallelism is
+  // deliberately suppressed: the folds are the coarsest (and therefore
+  // best-scaling) unit of work, so each fold trains serially.
+  Ensemble::TrainOptions fold_options = options;
+  fold_options.exec = {};
+  return util::parallel_for_index(
+      exec, workloads.size(), [&](std::size_t held) {
+        Dataset training;
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+          if (i != held) training.merge(workloads[i].data);
+        }
+        const Ensemble ensemble = Ensemble::train(training, fold_options);
+        LeaveOneOutResult result;
+        result.label = workloads[held].label;
+        result.coverage = coverage(ensemble, workloads[held].data);
+        result.measured_throughput = measured_throughput(workloads[held].data);
+        result.estimated_throughput =
+            ensemble.estimate(workloads[held].data).throughput;
+        return result;
+      });
 }
 
 }  // namespace spire::model

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sampling/dataset.h"
+#include "sampling/dataset_view.h"
 #include "spire/analyzer.h"
 #include "spire/ensemble.h"
 
@@ -30,8 +31,7 @@ struct CoverageReport {
 };
 
 /// Measures bound coverage of `data` under `ensemble`.
-CoverageReport coverage(const Ensemble& ensemble,
-                        const sampling::Dataset& data,
+CoverageReport coverage(const Ensemble& ensemble, sampling::DatasetView data,
                         double tolerance = 1e-9);
 
 /// Agreement between two analyses of the same workload.
@@ -60,9 +60,12 @@ struct LeaveOneOutResult {
 
 /// Leave-one-out cross-validation: for each workload, train on all the
 /// others and evaluate the bound on the held-out one. Throws
-/// std::invalid_argument for fewer than 2 workloads.
+/// std::invalid_argument for fewer than 2 workloads. Folds are independent,
+/// so `exec` runs them as pool tasks (each fold's own training stays serial
+/// to avoid nested pools); results are ordered by fold index and
+/// bit-identical to the serial run.
 std::vector<LeaveOneOutResult> leave_one_out(
     const std::vector<LabelledDataset>& workloads,
-    Ensemble::TrainOptions options = {});
+    Ensemble::TrainOptions options = {}, util::ExecOptions exec = {});
 
 }  // namespace spire::model

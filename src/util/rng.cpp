@@ -103,4 +103,12 @@ std::uint64_t Rng::geometric(double p) {
 
 Rng Rng::split() { return Rng(next()); }
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  // base + stream * odd-constant is injective in stream for a fixed base,
+  // and the splitmix64 finalizer is a bijection, so distinct stream ids can
+  // never collide onto one sub-seed.
+  std::uint64_t x = base + stream * 0x9e3779b97f4a7c15ULL;
+  return splitmix64(x);
+}
+
 }  // namespace spire::util

@@ -80,4 +80,11 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// Deterministically mixes a stream id into a base seed (splitmix64
+/// finalizer over an injective combination), giving every (experiment seed,
+/// task id) pair an independent, reproducible sub-stream. Parallel stages
+/// seed their per-task generators this way so results never depend on which
+/// worker ran which task: distinct ids always yield distinct sub-seeds.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+
 }  // namespace spire::util

@@ -1,0 +1,41 @@
+#include "util/thread_pool.h"
+
+#include "util/contract.h"
+
+namespace spire::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  SPIRE_ASSERT(threads > 0, "thread pool: need at least one worker, got ",
+               threads);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      // Drain before stopping: submitted tasks hold promises whose futures
+      // callers may still be blocked on.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task routes any exception into the future
+  }
+}
+
+}  // namespace spire::util

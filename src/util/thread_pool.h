@@ -1,0 +1,139 @@
+// Fixed-size thread pool with deterministic fan-out helpers.
+//
+// SPIRE's ensemble is one independent roofline per metric (paper §III-C),
+// so training and estimation are embarrassingly parallel across metrics.
+// This pool is the repository's single execution substrate for that
+// parallelism: a fixed set of workers drains one FIFO work queue, and the
+// `parallel_for_index` helper collects results BY INPUT INDEX — never by
+// completion order — so parallel output is bit-identical to serial output
+// regardless of scheduling. Exceptions thrown by a task are captured in its
+// future and rethrown at the lowest throwing index, again matching what a
+// serial loop would do.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace spire::util {
+
+/// How much parallelism a pipeline stage may use. The zero default keeps
+/// every existing call site serial (and bit-identical to the pre-pool
+/// behavior); callers opt in per invocation.
+struct ExecOptions {
+  /// Worker threads to use; 0 or 1 = run serially in the caller's thread.
+  std::size_t threads = 0;
+
+  bool serial() const { return threads <= 1; }
+
+  /// One worker per hardware thread (at least one).
+  static ExecOptions hardware() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return ExecOptions{n == 0 ? std::size_t{1} : static_cast<std::size_t>(n)};
+  }
+};
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one). The pool is fixed-size: no
+  /// workers are added or removed after construction.
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue (pending tasks still run) and joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result. The future carries
+  /// any exception the task throws.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using R = std::invoke_result_t<std::decay_t<Fn>>;
+    // packaged_task is move-only but std::function requires copyable
+    // callables, so the task rides in a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+namespace detail {
+
+template <typename Fn>
+using for_index_result_t = std::invoke_result_t<Fn&, std::size_t>;
+
+}  // namespace detail
+
+/// Runs fn(0) ... fn(n-1) on `pool` and returns the results ordered by
+/// index. Futures are drained in index order, so the value (and any
+/// exception) sequence is identical to the serial loop's.
+template <typename Fn>
+auto parallel_for_index(ThreadPool& pool, std::size_t n, Fn&& fn)
+    -> std::vector<detail::for_index_result_t<Fn>> {
+  using R = detail::for_index_result_t<Fn>;
+  static_assert(!std::is_void_v<R>,
+                "parallel_for_index tasks must return a value (results are "
+                "collected by index)");
+  std::vector<std::future<R>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.submit([&fn, i]() { return fn(i); }));
+  }
+  std::vector<R> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // get() rethrows a task's exception; remaining tasks keep running and
+    // the pool destructor joins them before the exception escapes the
+    // caller's scope.
+    out.push_back(futures[i].get());
+  }
+  return out;
+}
+
+/// Convenience entry point gated on ExecOptions: serial options (or n <= 1)
+/// run the plain loop in the caller's thread with zero pool machinery;
+/// otherwise a pool of min(exec.threads, n) workers is spun up for the call.
+/// Either way, results are ordered by index and bit-identical across modes.
+template <typename Fn>
+auto parallel_for_index(const ExecOptions& exec, std::size_t n, Fn&& fn)
+    -> std::vector<detail::for_index_result_t<Fn>> {
+  using R = detail::for_index_result_t<Fn>;
+  static_assert(!std::is_void_v<R>,
+                "parallel_for_index tasks must return a value (results are "
+                "collected by index)");
+  if (exec.serial() || n <= 1) {
+    std::vector<R> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(fn(i));
+    return out;
+  }
+  ThreadPool pool(std::min(exec.threads, n));
+  return parallel_for_index(pool, n, fn);
+}
+
+}  // namespace spire::util

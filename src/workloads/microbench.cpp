@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/rng.h"
+
 namespace spire::workloads {
 
 std::string_view microbench_axis_name(MicrobenchAxis axis) {
@@ -23,6 +25,11 @@ std::string_view microbench_axis_name(MicrobenchAxis axis) {
 
 namespace {
 
+/// Base seed for the whole suite; each point's seed is derived from
+/// (kSuiteSeed, axis, index) so a point's kernel stream is a pure function
+/// of its identity, independent of generation or execution order.
+constexpr std::uint64_t kSuiteSeed = 7'000;
+
 /// A lean, fast base kernel: mostly independent ALU work that retires near
 /// the machine width, so the swept axis is the only bottleneck.
 WorkloadProfile lean_base(MicrobenchAxis axis, int index, double level) {
@@ -30,8 +37,9 @@ WorkloadProfile lean_base(MicrobenchAxis axis, int index, double level) {
   p.name = "ubench-" + std::string(microbench_axis_name(axis));
   p.config = "level " + std::to_string(level);
   p.instruction_count = 250'000;
-  p.seed = 7'000 + static_cast<std::uint64_t>(axis) * 100 +
-           static_cast<std::uint64_t>(index);
+  p.seed = util::derive_seed(
+      kSuiteSeed, (static_cast<std::uint64_t>(axis) << 32) |
+                      static_cast<std::uint64_t>(index));
   p.load_fraction = 0.05;
   p.store_fraction = 0.0;
   p.branch_fraction = 0.04;

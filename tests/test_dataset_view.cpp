@@ -1,0 +1,100 @@
+// Tests for the immutable dataset view (sampling/dataset_view): snapshot
+// semantics, aliasing with the underlying builder, and cheap copies.
+#include "sampling/dataset_view.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sampling/dataset.h"
+
+namespace spire::sampling {
+namespace {
+
+using counters::Event;
+
+Dataset small_dataset() {
+  Dataset d;
+  d.add(Event::kIdqDsbUops, {1.0, 2.0, 3.0});
+  d.add(Event::kIdqDsbUops, {1.5, 2.5, 3.5});
+  d.add(Event::kLsdUops, {4.0, 5.0, 6.0});
+  return d;
+}
+
+TEST(DatasetView, DefaultViewIsEmpty) {
+  const DatasetView view;
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.size(), 0u);
+  EXPECT_TRUE(view.metrics().empty());
+  EXPECT_TRUE(view.samples(Event::kIdqDsbUops).empty());
+}
+
+TEST(DatasetView, MirrorsDatasetContents) {
+  const auto data = small_dataset();
+  const DatasetView view(data);
+  EXPECT_EQ(view.size(), data.size());
+  EXPECT_EQ(view.metrics(), data.metrics());
+  const auto dsb = view.samples(Event::kIdqDsbUops);
+  ASSERT_EQ(dsb.size(), 2u);
+  EXPECT_EQ(dsb[1].w, 2.5);
+  // A metric the dataset never saw yields an empty span, not a throw.
+  EXPECT_TRUE(view.samples(Event::kBrMispRetiredAllBranches).empty());
+}
+
+TEST(DatasetView, ImplicitConversionFromDataset) {
+  // Functions migrated from `const Dataset&` to DatasetView must keep
+  // compiling at call sites that pass a Dataset.
+  const auto data = small_dataset();
+  const auto total = [](DatasetView v) { return v.size(); };
+  EXPECT_EQ(total(data), data.size());
+}
+
+TEST(DatasetView, SpansAliasTheBuilderStorage) {
+  // The view is zero-copy: in-place edits through the builder (the quality
+  // layer's repair path) are visible through an existing view, because the
+  // spans point straight into the series vectors.
+  auto data = small_dataset();
+  const DatasetView view(data);
+  data.mutable_samples(Event::kLsdUops)[0].m = 99.0;
+  EXPECT_EQ(view.samples(Event::kLsdUops)[0].m, 99.0);
+}
+
+TEST(DatasetView, CopiesShareTheSameSeries) {
+  const auto data = small_dataset();
+  const DatasetView view(data);
+  const DatasetView copy = view;  // cheap: spans + metric list, no samples
+  EXPECT_EQ(copy.size(), view.size());
+  EXPECT_EQ(copy.samples(Event::kIdqDsbUops).data(),
+            view.samples(Event::kIdqDsbUops).data());
+}
+
+TEST(DatasetView, SnapshotDoesNotFollowStructuralMutation) {
+  // Structural mutation (adding a new metric) invalidates nothing the view
+  // holds for other metrics, but the snapshot keeps its construction-time
+  // metric list; a fresh view sees the new series.
+  auto data = small_dataset();
+  const DatasetView before(data);
+  data.add(Event::kBrMispRetiredAllBranches, {1.0, 1.0, 1.0});
+  EXPECT_EQ(before.metrics().size(), 2u);
+  EXPECT_TRUE(before.samples(Event::kBrMispRetiredAllBranches).empty());
+  const DatasetView after(data);
+  EXPECT_EQ(after.metrics().size(), 3u);
+  EXPECT_EQ(after.samples(Event::kBrMispRetiredAllBranches).size(), 1u);
+}
+
+TEST(DatasetView, OutlivesNothingItDoesNotOwn) {
+  // The view holds spans, not data: it must be rebuilt after the builder it
+  // viewed is gone. This test documents the ownership contract by viewing a
+  // copy that stays alive, then mutating the original freely.
+  Dataset original = small_dataset();
+  const Dataset snapshot = original;  // deep copy owns its series
+  const DatasetView view(snapshot);
+  original.mutable_samples(Event::kIdqDsbUops).clear();
+  original.remove(Event::kLsdUops);
+  ASSERT_EQ(view.samples(Event::kIdqDsbUops).size(), 2u);
+  EXPECT_EQ(view.samples(Event::kIdqDsbUops)[0].t, 1.0);
+  EXPECT_EQ(view.samples(Event::kLsdUops).size(), 1u);
+}
+
+}  // namespace
+}  // namespace spire::sampling

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -252,6 +253,88 @@ TEST(Ensemble, RankingSortedAscending) {
   for (std::size_t i = 1; i < est.ranking.size(); ++i) {
     EXPECT_LE(est.ranking[i - 1].p_bar, est.ranking[i].p_bar);
   }
+}
+
+// --- parallel execution determinism ---------------------------------------
+// The contract (ensemble.h): output at any thread count is bit-identical to
+// the serial run. These tests are also the TSan workout for the pool-backed
+// train/estimate paths.
+
+Dataset many_metric_training(std::uint64_t seed = 23, int per_metric = 40) {
+  util::Rng rng(seed);
+  Dataset data;
+  const auto& metrics = counters::metric_events();
+  const std::size_t count = std::min<std::size_t>(metrics.size(), 24);
+  for (std::size_t k = 0; k < count; ++k) {
+    for (int i = 0; i < per_metric; ++i) {
+      data.add(metrics[k],
+               sample_at(std::pow(10.0, rng.uniform(-1.0, 3.0)),
+                         rng.uniform(0.1, 4.0), rng.uniform(0.5, 2.0)));
+    }
+  }
+  // One untrainable metric so the skipped report crosses the pool too.
+  data.add(Event::kLsdUops, sample_at(1.0, 1.0));
+  return data;
+}
+
+TEST(EnsembleParallel, TrainingIsBitIdenticalAcrossThreadCounts) {
+  const auto data = many_metric_training();
+  const auto reference = Ensemble::train(data);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    Ensemble::TrainOptions options;
+    options.exec = util::ExecOptions{threads};
+    const auto parallel = Ensemble::train(data, options);
+    ASSERT_EQ(parallel.metric_count(), reference.metric_count()) << threads;
+    ASSERT_EQ(parallel.skipped().size(), reference.skipped().size());
+    for (std::size_t i = 0; i < reference.skipped().size(); ++i) {
+      EXPECT_EQ(parallel.skipped()[i].metric, reference.skipped()[i].metric);
+      EXPECT_EQ(parallel.skipped()[i].reason, reference.skipped()[i].reason);
+    }
+    auto it = parallel.rooflines().begin();
+    for (const auto& [metric, roofline] : reference.rooflines()) {
+      ASSERT_EQ(it->first, metric);
+      for (double x = 0.05; x < 2000.0; x *= 1.7) {
+        EXPECT_EQ(it->second.estimate(x), roofline.estimate(x))
+            << counters::event_name(metric) << " at I=" << x;
+      }
+      ++it;
+    }
+  }
+}
+
+TEST(EnsembleParallel, EstimationIsBitIdenticalAcrossThreadCounts) {
+  const auto ens = Ensemble::train(many_metric_training());
+  auto workload = many_metric_training(/*seed=*/91, /*per_metric=*/12);
+  // A trained metric with only unusable workload samples, so the parallel
+  // path must also reproduce the skipped report exactly.
+  workload.mutable_samples(Event::kBaclearsAny).assign(5, Sample{0.0, 1.0, 1.0});
+  const auto reference = ens.estimate(workload);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    const auto parallel =
+        ens.estimate(workload, Merge::kTimeWeighted, util::ExecOptions{threads});
+    EXPECT_EQ(parallel.throughput, reference.throughput);
+    ASSERT_EQ(parallel.ranking.size(), reference.ranking.size()) << threads;
+    for (std::size_t i = 0; i < reference.ranking.size(); ++i) {
+      EXPECT_EQ(parallel.ranking[i].metric, reference.ranking[i].metric);
+      EXPECT_EQ(parallel.ranking[i].p_bar, reference.ranking[i].p_bar);
+      EXPECT_EQ(parallel.ranking[i].samples, reference.ranking[i].samples);
+    }
+    ASSERT_EQ(parallel.skipped.size(), reference.skipped.size());
+    for (std::size_t i = 0; i < reference.skipped.size(); ++i) {
+      EXPECT_EQ(parallel.skipped[i].metric, reference.skipped[i].metric);
+      EXPECT_EQ(parallel.skipped[i].reason, reference.skipped[i].reason);
+    }
+  }
+}
+
+TEST(EnsembleParallel, TrainingExceptionsSurviveThePool) {
+  // No trainable metric at all: the parallel path must throw the same
+  // invalid_argument the serial path does, not a broken future.
+  Dataset data;
+  data.add(Event::kLsdUops, sample_at(1.0, 1.0));
+  Ensemble::TrainOptions options;
+  options.exec = util::ExecOptions{4};
+  EXPECT_THROW(Ensemble::train(data, options), std::invalid_argument);
 }
 
 }  // namespace

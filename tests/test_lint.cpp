@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -39,7 +40,9 @@ lint::RawModel parse(const std::string& text) {
 
 LintReport run_lint(const std::string& text,
                     const sampling::Dataset* against = nullptr) {
-  return lint::lint_model(parse(text), "test", against);
+  std::optional<sampling::DatasetView> view;
+  if (against != nullptr) view = *against;
+  return lint::lint_model(parse(text), "test", view);
 }
 
 /// True when the report contains a finding from `rule` with `severity`.
@@ -482,8 +485,10 @@ TEST(LintFixtures, ManifestExpectationsHold) {
       against = sampling::Dataset::load_csv(csv);
       have_against = true;
     }
-    const auto report = lint::lint_model_file(
-        testdata("lint/" + file), have_against ? &against : nullptr);
+    std::optional<sampling::DatasetView> view;
+    if (have_against) view = against;
+    const auto report =
+        lint::lint_model_file(testdata("lint/" + file), view);
     const auto expected = severity == "error" ? LintSeverity::kError
                                               : LintSeverity::kWarning;
     EXPECT_TRUE(has_finding(report, rule, expected)) << report.describe();
@@ -527,7 +532,7 @@ TEST(LintFixtures, TrainedModelCleanAgainstItsTrainingData) {
   ASSERT_TRUE(csv.is_open());
   const auto data = sampling::Dataset::load_csv(csv);
   const auto report = lint::lint_model_file(
-      testdata("models/trained_parboil.model"), &data);
+      testdata("models/trained_parboil.model"), sampling::DatasetView(data));
   EXPECT_TRUE(report.clean()) << report.describe();
 }
 
@@ -554,7 +559,8 @@ TEST(LintEndToEnd, FreshlyTrainedEnsemblePassesWithItsTrainingSet) {
 
   std::istringstream in(out.str());
   const auto report =
-      lint::lint_model(lint::parse_raw_model(in), "trained", &data);
+      lint::lint_model(lint::parse_raw_model(in), "trained",
+                       sampling::DatasetView(data));
   EXPECT_TRUE(report.clean()) << report.describe();
 }
 
@@ -572,8 +578,8 @@ TEST(LintEndToEnd, CorruptedModelsNeverCrashTheLinter) {
                        : quality::truncate_tail(clean, rng);
     std::istringstream in(mangled);
     // Must terminate and never throw, whatever the bytes say.
-    const auto report =
-        lint::lint_model(lint::parse_raw_model(in), "mangled", &data);
+    const auto report = lint::lint_model(lint::parse_raw_model(in), "mangled",
+                                         sampling::DatasetView(data));
     (void)report.describe();
   }
 }

@@ -1,0 +1,141 @@
+// Tests for the execution substrate (util/thread_pool): the determinism
+// contract (results by input index, exceptions at the lowest throwing
+// index), the serial fallback, and pool lifecycle.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace spire::util {
+namespace {
+
+TEST(ExecOptions, DefaultIsSerial) {
+  EXPECT_TRUE(ExecOptions{}.serial());
+  EXPECT_TRUE(ExecOptions{1}.serial());
+  EXPECT_FALSE(ExecOptions{2}.serial());
+}
+
+TEST(ExecOptions, HardwareIsAtLeastOneThread) {
+  EXPECT_GE(ExecOptions::hardware().threads, 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsTaskResults) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+  auto a = pool.submit([] { return 7; });
+  auto b = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(a.get(), 7);
+  EXPECT_EQ(b.get(), "ok");
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, RunsManyMoreTasksThanWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&sum, i] {
+      sum.fetch_add(1, std::memory_order_relaxed);
+      return i;
+    }));
+  }
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(futures[i].get(), i);
+  EXPECT_EQ(sum.load(), 200);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  // Pending futures must not be broken by destruction: a single worker
+  // guarantees a backlog exists when the pool goes out of scope.
+  std::vector<std::future<int>> futures;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(pool.submit([i] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        return i;
+      }));
+    }
+  }
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(futures[i].get(), i);
+}
+
+TEST(ParallelForIndex, ResultsOrderedByIndexNotCompletion) {
+  // Early indices sleep longest, so completion order is roughly reversed;
+  // the result vector must still be index-ordered.
+  ThreadPool pool(8);
+  const std::size_t n = 16;
+  const auto out = parallel_for_index(pool, n, [n](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50 * (n - i)));
+    return i * i;
+  });
+  ASSERT_EQ(out.size(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelForIndex, SerialOptionsRunInCallersThread) {
+  const auto caller = std::this_thread::get_id();
+  const auto out =
+      parallel_for_index(ExecOptions{}, 4, [caller](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        return i + 1;
+      });
+  EXPECT_EQ(out, (std::vector<std::size_t>{1, 2, 3, 4}));
+}
+
+TEST(ParallelForIndex, SerialAndParallelAgree) {
+  const auto work = [](std::size_t i) {
+    return static_cast<double>(i) * 0.1 + 1.0 / static_cast<double>(i + 1);
+  };
+  const auto serial = parallel_for_index(ExecOptions{}, 64, work);
+  const auto parallel = parallel_for_index(ExecOptions{4}, 64, work);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << i;  // bit-identical, not just close
+  }
+}
+
+TEST(ParallelForIndex, ThrowsLowestIndexExceptionLikeSerialLoop) {
+  const auto work = [](std::size_t i) -> int {
+    if (i % 5 == 3) throw std::runtime_error("fail at " + std::to_string(i));
+    return static_cast<int>(i);
+  };
+  // Index 3 is the first thrower in serial; the parallel run must surface
+  // the same one even when a later thrower finishes first.
+  for (const auto exec : {ExecOptions{}, ExecOptions{4}}) {
+    try {
+      parallel_for_index(exec, 20, work);
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "fail at 3");
+    }
+  }
+}
+
+TEST(ParallelForIndex, ZeroAndOneElementInputs) {
+  const auto work = [](std::size_t i) { return i; };
+  EXPECT_TRUE(parallel_for_index(ExecOptions{8}, 0, work).empty());
+  EXPECT_EQ(parallel_for_index(ExecOptions{8}, 1, work),
+            std::vector<std::size_t>{0});
+}
+
+TEST(ParallelForIndex, PoolLargerThanInputClamps) {
+  // More threads than items must not deadlock or overshoot.
+  const auto out = parallel_for_index(ExecOptions{64}, 3,
+                                      [](std::size_t i) { return i; });
+  EXPECT_EQ(out, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace spire::util

@@ -33,6 +33,14 @@
 // Because such logs are routinely dirty, collect/train/analyze accept
 // --quality strict|repair|warn (default warn) controlling what happens when
 // defects are found; `validate` inspects files without consuming them.
+//
+// train/analyze/validate accept --threads N: worker threads for the
+// parallel pipeline stages (default: all hardware threads; 0 or 1 forces
+// serial). Results are bit-identical at any thread count.
+//
+// Each subcommand is a thin wrapper over pipeline::Engine: it parses flags
+// into a PipelineContext, chains the stages it needs, and formats the
+// results the context carries afterwards.
 #include <charconv>
 #include <cstdio>
 #include <algorithm>
@@ -45,14 +53,11 @@
 #include <vector>
 
 #include "lint/lint.h"
+#include "pipeline/engine.h"
 #include "quality/quality.h"
-#include "sampling/collector.h"
 #include "sim/core.h"
 #include "sim/trace.h"
-#include "spire/analyzer.h"
-#include "spire/ensemble.h"
 #include "spire/model_io.h"
-#include "spire/polarity.h"
 #include "tma/tma.h"
 #include "util/ascii_plot.h"
 #include "util/table.h"
@@ -127,16 +132,6 @@ const workloads::SuiteEntry& resolve_workload(const Args& args) {
   throw std::runtime_error("unknown workload '" + *name + "'");
 }
 
-sampling::Dataset load_datasets(const std::vector<std::string>& paths) {
-  sampling::Dataset data;
-  for (const auto& path : paths) {
-    std::ifstream in(path);
-    if (!in) throw std::runtime_error("cannot open " + path);
-    data.merge(sampling::Dataset::load_csv(in));
-  }
-  return data;
-}
-
 quality::Policy quality_policy(const Args& args) {
   const auto v = args.flag("quality");
   if (!v) return quality::Policy::kWarn;
@@ -148,31 +143,24 @@ quality::Policy quality_policy(const Args& args) {
   return *policy;
 }
 
-/// Runs the dataset through the quality layer under the requested policy,
-/// reporting defects (and any repair surgery) on stderr.
-sampling::Dataset apply_quality(const sampling::Dataset& data,
-                                quality::Policy policy) {
-  auto result = quality::sanitize(data, policy);
-  if (!result.report.clean()) {
-    std::fprintf(stderr, "%s", result.report.describe().c_str());
-    if (policy == quality::Policy::kRepair && result.repaired()) {
-      std::fprintf(stderr, "repair: dropped %zu sample(s), clamped %zu\n",
-                   result.dropped, result.clamped);
-    }
-  }
-  return std::move(result.data);
+/// --threads N; the default uses every hardware thread, 0 or 1 is serial.
+util::ExecOptions exec_options(const Args& args) {
+  util::ExecOptions exec = util::ExecOptions::hardware();
+  exec.threads = args.flag_u64("threads", exec.threads);
+  return exec;
 }
 
-void report_skipped(const std::vector<model::SkippedMetric>& skipped,
-                    const char* stage) {
-  for (const auto& s : skipped) {
-    std::fprintf(stderr, "%s skipped %s: %s\n", stage,
-                 std::string(counters::event_name(s.metric)).c_str(),
-                 s.reason.c_str());
-  }
+/// An engine whose context carries the flags every dataset-consuming
+/// subcommand shares (--quality, --threads), logging diagnostics to stderr.
+pipeline::Engine make_engine(const Args& args) {
+  pipeline::Engine engine;
+  engine.context().policy = quality_policy(args);
+  engine.context().exec = exec_options(args);
+  engine.context().log = &std::cerr;
+  return engine;
 }
 
-int cmd_suite() {
+int cmd_suite(const Args&) {
   util::TextTable table({"Name", "Configuration", "Expected bottleneck", "Set"});
   for (const auto& entry : workloads::hpc_suite()) {
     table.add_row({entry.profile.name, entry.profile.config,
@@ -187,22 +175,23 @@ int cmd_collect(const Args& args) {
   const auto& entry = resolve_workload(args);
   sampling::CollectorConfig cc;
   cc.window_cycles = args.flag_u64("window", cc.window_cycles);
-  workloads::ProfileStream stream(entry.profile);
-  sim::Core core(sim::CoreConfig{}, stream, args.flag_u64("seed", 7));
-  sampling::SampleCollector collector(cc);
-  sampling::Dataset data;
-  const auto stats =
-      collector.collect(core, data, args.flag_u64("cycles", 8'000'000));
-  data = apply_quality(data, quality_policy(args));
+
+  auto engine = make_engine(args);
+  engine
+      .collect(entry, cc, args.flag_u64("cycles", 8'000'000),
+               args.flag_u64("seed", 7))
+      .validate();
+  const auto& ctx = engine.context();
 
   const std::string out_path =
       args.flag("out").value_or(entry.profile.name + ".samples.csv");
   std::ofstream out(out_path);
   if (!out) throw std::runtime_error("cannot write " + out_path);
-  data.save_csv(out);
+  ctx.data.save_csv(out);
+  const auto& stats = *ctx.collection_stats;
   std::fprintf(stderr,
                "collected %zu samples over %llu windows (IPC %.3f) -> %s\n",
-               data.size(), static_cast<unsigned long long>(stats.windows),
+               ctx.data.size(), static_cast<unsigned long long>(stats.windows),
                static_cast<double>(stats.instructions) /
                    static_cast<double>(stats.measured_cycles),
                out_path.c_str());
@@ -215,16 +204,17 @@ int cmd_train(const Args& args) {
   if (args.positional.empty()) {
     throw std::runtime_error("need at least one sample CSV");
   }
-  const auto data =
-      apply_quality(load_datasets(args.positional), quality_policy(args));
-  model::Ensemble::TrainOptions options;
+  auto engine = make_engine(args);
+  auto& options = engine.context().train_options;
   options.min_samples = args.flag_u64("min-samples", options.min_samples);
   options.polarity_constrained = args.has("polarity");
-  const auto ensemble = model::Ensemble::train(data, options);
-  report_skipped(ensemble.skipped(), "train:");
-  model::save_model_file(ensemble, *out_path);
+
+  engine.load_samples(args.positional).validate().train();
+  const auto& ctx = engine.context();
+  model::save_model_file(*ctx.ensemble, *out_path);
   std::fprintf(stderr, "trained %zu rooflines from %zu samples -> %s\n",
-               ensemble.metric_count(), data.size(), out_path->c_str());
+               ctx.ensemble->metric_count(), ctx.data.size(),
+               out_path->c_str());
   return 0;
 }
 
@@ -234,11 +224,12 @@ int cmd_analyze(const Args& args) {
   if (args.positional.empty()) {
     throw std::runtime_error("need at least one sample CSV");
   }
-  const auto ensemble = model::load_model_file(*model_path);
-  const auto data =
-      apply_quality(load_datasets(args.positional), quality_policy(args));
-  const auto analysis = model::Analyzer(ensemble).analyze(data);
-  report_skipped(analysis.skipped, "analyze:");
+  auto engine = make_engine(args);
+  engine.load_model(*model_path)
+      .load_samples(args.positional)
+      .validate()
+      .analyze();
+  const auto& analysis = *engine.context().analysis;
 
   std::printf("measured throughput:  %.4f\n", analysis.measured_throughput);
   std::printf("estimated attainable: %.4f\n\n", analysis.estimated_throughput);
@@ -263,20 +254,21 @@ int cmd_validate(const Args& args) {
   if (args.positional.empty()) {
     throw std::runtime_error("need at least one sample CSV");
   }
-  const quality::DatasetValidator validator;
   bool any_errors = false;
   for (const auto& path : args.positional) {
-    std::ifstream in(path);
-    if (!in) throw std::runtime_error("cannot open " + path);
-    sampling::Dataset data;
+    // One engine per file: `validate` reports each CSV on its own, and a
+    // file that fails to parse must not poison the others.
+    pipeline::Engine engine;
+    engine.context().exec = exec_options(args);
     try {
-      data = sampling::Dataset::load_csv(in);
+      engine.load_samples({path});
     } catch (const std::exception& e) {
       std::printf("%s: unparseable: %s\n", path.c_str(), e.what());
       any_errors = true;
       continue;
     }
-    const auto report = validator.validate(data);
+    engine.validate();
+    const auto& report = *engine.context().quality_report;
     if (report.clean()) {
       std::printf("%s: clean (%zu samples, %zu metrics)\n", path.c_str(),
                   report.samples_scanned, report.metrics_scanned);
@@ -306,16 +298,16 @@ int cmd_lint(const Args& args) {
   for (const auto& [key, value] : args.flags) {
     if (key == "against") against_paths.push_back(value);
   }
-  std::optional<sampling::Dataset> against;
-  if (!against_paths.empty()) against = load_datasets(against_paths);
+  pipeline::Engine engine;
+  if (!against_paths.empty()) engine.load_samples(against_paths);
+  engine.lint_check(args.positional, /*against_data=*/!against_paths.empty());
 
   bool any_errors = false;
-  for (const auto& path : args.positional) {
-    const auto report =
-        lint::lint_model_file(path, against ? &*against : nullptr);
+  for (const auto& report : engine.context().lint_reports) {
     if (report.clean()) {
-      std::printf("%s: clean (%zu metric(s), %zu rule(s))\n", path.c_str(),
-                  report.metrics_scanned, report.rules_run);
+      std::printf("%s: clean (%zu metric(s), %zu rule(s))\n",
+                  report.source.c_str(), report.metrics_scanned,
+                  report.rules_run);
     } else {
       std::printf("%s", report.describe().c_str());
       any_errors |= report.has_errors();
@@ -392,6 +384,31 @@ int cmd_replay(const Args& args) {
   return 0;
 }
 
+/// One subcommand: its name, the value-less flags it accepts, and a
+/// handler. Registration is the whole dispatch table — adding a command
+/// means adding a row.
+struct Command {
+  const char* name;
+  std::vector<std::string> bool_flags;
+  int (*run)(const Args&);
+};
+
+const std::vector<Command>& commands() {
+  static const std::vector<Command> kCommands = {
+      {"suite", {}, cmd_suite},
+      {"collect", {}, cmd_collect},
+      {"train", {"polarity"}, cmd_train},
+      {"analyze", {}, cmd_analyze},
+      {"validate", {}, cmd_validate},
+      {"lint", {"rules"}, cmd_lint},
+      {"show", {}, cmd_show},
+      {"tma", {}, cmd_tma},
+      {"record", {}, cmd_record},
+      {"replay", {}, cmd_replay},
+  };
+  return kCommands;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: spire_cli <command> [options]\n"
@@ -409,7 +426,10 @@ int usage() {
                "  replay  --trace FILE [--cycles N]\n"
                "collect/train/analyze also accept --quality strict|repair|warn\n"
                "(default warn): throw on, repair, or just report defective "
-               "samples.\n");
+               "samples.\n"
+               "train/analyze/validate accept --threads N (default: all "
+               "hardware\nthreads; 0 forces serial). Results are identical at "
+               "any thread count.\n");
   return 2;
 }
 
@@ -419,17 +439,11 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
-    const Args args = parse_args(argc, argv, /*bools=*/{"polarity", "rules"});
-    if (command == "suite") return cmd_suite();
-    if (command == "collect") return cmd_collect(args);
-    if (command == "train") return cmd_train(args);
-    if (command == "analyze") return cmd_analyze(args);
-    if (command == "validate") return cmd_validate(args);
-    if (command == "lint") return cmd_lint(args);
-    if (command == "show") return cmd_show(args);
-    if (command == "tma") return cmd_tma(args);
-    if (command == "record") return cmd_record(args);
-    if (command == "replay") return cmd_replay(args);
+    for (const auto& cmd : commands()) {
+      if (command == cmd.name) {
+        return cmd.run(parse_args(argc, argv, cmd.bool_flags));
+      }
+    }
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "spire_cli: %s\n", e.what());
