@@ -1,0 +1,201 @@
+// Serving-path performance: tree-walk Ensemble vs serve::CompiledModel.
+//
+// Measures estimates/sec over the full workload suite for three modes —
+// the train-time object graph evaluated serially (the pre-serve baseline),
+// the compiled model evaluated serially, and the compiled batch path across
+// a pool — plus the model artifact load times (text v1 parse vs binary v2
+// load vs compile), and emits everything as BENCH_serving.json.
+//
+// Two hard contracts are verified on every run:
+//  * bit-identity: the compiled single and batch paths (at 1, 4, and 8
+//    threads) must reproduce Ensemble::estimate exactly — same throughput
+//    bits, ranking order, sample counts, and skip reasons;
+//  * the binary-load + compile floor: standing up a serving instance from
+//    the v2 artifact must take <= 0.1 s (full mode; --smoke skips timing
+//    floors but never the identity check).
+//
+// The >= 3x compiled-batch-vs-tree-walk assertion only fires on machines
+// with at least 4 hardware threads, following the perf_parallel_scaling
+// precedent: the ratio is always recorded, but a 1-core container cannot
+// parallelize anything and would only test the machine, not the code.
+//
+//   perf_serving [--smoke] [--threads N]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "sampling/dataset_view.h"
+#include "serve/compiled_model.h"
+#include "spire/model_io.h"
+#include "util/thread_pool.h"
+
+using namespace spire;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+bool identical(const std::vector<model::Estimate>& a,
+               const std::vector<model::Estimate>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].throughput != b[i].throughput) return false;
+    if (a[i].ranking.size() != b[i].ranking.size()) return false;
+    for (std::size_t j = 0; j < a[i].ranking.size(); ++j) {
+      if (a[i].ranking[j].metric != b[i].ranking[j].metric) return false;
+      if (a[i].ranking[j].p_bar != b[i].ranking[j].p_bar) return false;
+      if (a[i].ranking[j].samples != b[i].ranking[j].samples) return false;
+    }
+    if (a[i].skipped.size() != b[i].skipped.size()) return false;
+    for (std::size_t j = 0; j < a[i].skipped.size(); ++j) {
+      if (a[i].skipped[j].metric != b[i].skipped[j].metric) return false;
+      if (a[i].skipped[j].reason != b[i].skipped[j].reason) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const util::ExecOptions exec = bench::exec_options_from_args(argc, argv);
+  const unsigned hardware = std::thread::hardware_concurrency();
+
+  std::printf("=== Serving path: tree-walk vs compiled, single vs batch ===\n\n");
+  const auto suite = bench::collect_suite();
+  const auto ensemble = bench::trained_ensemble(suite);
+  std::vector<sampling::DatasetView> views;
+  views.reserve(suite.size());
+  for (const auto& cw : suite) views.emplace_back(cw.samples);
+  const auto compiled = serve::CompiledModel::compile(ensemble);
+  std::printf(
+      "workloads: %zu, model: %zu rooflines / %zu pieces, hardware "
+      "threads: %u, batch threads: %zu%s\n\n",
+      views.size(), compiled.metric_count(), compiled.piece_count(), hardware,
+      exec.threads, smoke ? " [smoke]" : "");
+
+  // --- bit-identity: single path and batch at 1/4/8 threads ---------------
+  std::vector<model::Estimate> reference;
+  reference.reserve(views.size());
+  for (const auto& view : views) reference.push_back(ensemble.estimate(view));
+  std::vector<model::Estimate> single;
+  single.reserve(views.size());
+  for (const auto& view : views) single.push_back(compiled.estimate(view));
+  bool bit_identical = identical(reference, single);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{8}}) {
+    bit_identical &= identical(
+        reference, compiled.estimate_batch(views, util::ExecOptions{threads}));
+  }
+  std::printf("bit-identical to Ensemble::estimate: %s\n",
+              bit_identical ? "yes" : "NO");
+
+  // --- artifact load times -------------------------------------------------
+  const std::string text_path = bench::cache_dir() + "/serving_model.model";
+  const std::string bin_path = bench::cache_dir() + "/serving_model.bin";
+  model::save_model_file(ensemble, text_path);
+  model::save_model_bin_file(ensemble, bin_path);
+  auto start = Clock::now();
+  const auto from_text = model::load_model_file(text_path);
+  const double text_load_s = seconds_since(start);
+  start = Clock::now();
+  const auto from_bin = model::load_model_bin_file(bin_path);
+  const double bin_load_s = seconds_since(start);
+  start = Clock::now();
+  const auto recompiled = serve::CompiledModel::compile(from_bin);
+  const double compile_s = seconds_since(start);
+  const bool lossless = from_text.rooflines() == from_bin.rooflines() &&
+                        recompiled.piece_count() == compiled.piece_count();
+  std::printf(
+      "artifact load: text %.4f s, binary %.4f s, compile %.4f s "
+      "(lossless: %s)\n",
+      text_load_s, bin_load_s, compile_s, lossless ? "yes" : "NO");
+
+  // --- throughput ----------------------------------------------------------
+  const int reps = smoke ? 2 : 20;
+  const auto run_mode = [&](auto&& pass) {
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) pass();
+    const double elapsed = seconds_since(t0);
+    return static_cast<double>(reps) * static_cast<double>(views.size()) /
+           elapsed;
+  };
+  const double tree_walk_eps = run_mode([&] {
+    for (const auto& view : views) (void)ensemble.estimate(view);
+  });
+  const double compiled_eps = run_mode([&] {
+    for (const auto& view : views) (void)compiled.estimate(view);
+  });
+  const double batch_eps =
+      run_mode([&] { (void)compiled.estimate_batch(views, exec); });
+  const double ratio = batch_eps / tree_walk_eps;
+  std::printf(
+      "\nestimates/sec: tree-walk serial %.0f, compiled serial %.0f, "
+      "compiled batch %.0f\ncompiled batch vs tree-walk serial: %.2fx\n",
+      tree_walk_eps, compiled_eps, batch_eps, ratio);
+
+  const bool check_speedup = hardware >= 4;
+  if (!check_speedup) {
+    std::printf("speedup assertion skipped: only %u hardware thread(s)\n",
+                hardware);
+  }
+
+  std::ofstream json("BENCH_serving.json");
+  json << "{\n  \"bench\": \"serving\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"hardware_threads\": " << hardware << ",\n"
+       << "  \"batch_threads\": " << exec.threads << ",\n"
+       << "  \"workloads\": " << views.size() << ",\n"
+       << "  \"model_pieces\": " << compiled.piece_count() << ",\n"
+       << "  \"estimates_per_s\": {\"tree_walk_serial\": " << tree_walk_eps
+       << ", \"compiled_serial\": " << compiled_eps
+       << ", \"compiled_batch\": " << batch_eps << "},\n"
+       << "  \"compiled_batch_vs_tree_walk\": " << ratio << ",\n"
+       << "  \"load_seconds\": {\"text\": " << text_load_s
+       << ", \"binary\": " << bin_load_s << ", \"compile\": " << compile_s
+       << "},\n"
+       << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
+       << ",\n"
+       << "  \"lossless_conversion\": " << (lossless ? "true" : "false")
+       << ",\n"
+       << "  \"speedup_assertion\": \""
+       << (check_speedup ? "checked" : "skipped") << "\"\n}\n";
+  std::printf("-> BENCH_serving.json\n");
+
+  bool failed = false;
+  if (!bit_identical) {
+    std::fprintf(stderr,
+                 "FAIL: compiled estimates diverged from Ensemble::estimate\n");
+    failed = true;
+  }
+  if (!lossless) {
+    std::fprintf(stderr, "FAIL: text <-> binary conversion is not lossless\n");
+    failed = true;
+  }
+  if (check_speedup && ratio < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: compiled batch %.2fx tree-walk serial, need >= 3x\n",
+                 ratio);
+    failed = true;
+  }
+  if (!smoke && bin_load_s + compile_s > 0.1) {
+    std::fprintf(stderr,
+                 "FAIL: binary load + compile %.3f s above the 0.1 s floor\n",
+                 bin_load_s + compile_s);
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

@@ -7,6 +7,8 @@
 #include <limits>
 #include <sstream>
 
+#include "spire/model_io.h"
+
 namespace spire::lint {
 
 namespace {
@@ -259,6 +261,20 @@ RawModel parse_raw_model(std::istream& in) {
 }
 
 RawModel parse_raw_model_file(const std::string& path) {
+  if (model::is_binary_model_file(path)) {
+    RawModel raw;
+    raw.binary = true;
+    try {
+      const model::Ensemble ensemble = model::load_model_bin_file(path);
+      std::stringstream text;
+      model::save_model(ensemble, text);
+      raw = parse_raw_model(text);
+      raw.binary = true;
+    } catch (const std::exception& e) {
+      raw.binary_error = e.what();
+    }
+    return raw;
+  }
   std::ifstream in(path);
   if (!in) {
     RawModel model;

@@ -58,6 +58,16 @@ struct RawModel {
   std::vector<RawMetricModel> metrics;
   std::vector<ParseIssue> issues;
 
+  /// True when the file was a binary v2 artifact. Binary files have no
+  /// lenient line structure, so they are linted through the STRICT loader
+  /// plus a lossless conversion to the text form: on success the fields
+  /// above describe the converted text (line numbers refer to it), on
+  /// failure `binary_error` carries the loader's message (with section and
+  /// byte offset) and everything else stays empty — the binary-load rule
+  /// turns it into the file's one finding.
+  bool binary = false;
+  std::string binary_error;
+
   bool structurally_sound() const { return issues.empty(); }
 };
 

@@ -119,6 +119,24 @@ class EmptyModelRule final : public LintRule {
   }
 };
 
+/// Binary v2 artifacts are linted through the strict loader plus a lossless
+/// conversion to the text form (model_source.h). When that load fails there
+/// is no lenient line structure for the other rules to point at, so the
+/// loader's message — which carries the metric section and byte offset —
+/// becomes the file's one typed finding.
+class BinaryLoadRule final : public LintRule {
+ public:
+  std::string_view id() const override { return "binary-load"; }
+  std::string_view summary() const override {
+    return "binary v2 artifacts pass the strict loader";
+  }
+  void check(const LintContext& context, LintReport& report) const override {
+    const RawModel& model = context.model;
+    if (!model.binary || model.binary_error.empty()) return;
+    add_finding(report, id(), LintSeverity::kError, "", 0, model.binary_error);
+  }
+};
+
 /// Every metric name must exist in the event catalog — the ensemble keys
 /// rooflines by Event, so an unknown name can never be estimated against.
 class UnknownMetricRule final : public LintRule {
@@ -660,6 +678,7 @@ LintRegistry LintRegistry::builtin() {
   registry.add(std::make_unique<ModelStructureRule>());
   registry.add(std::make_unique<FormatVersionRule>());
   registry.add(std::make_unique<EmptyModelRule>());
+  registry.add(std::make_unique<BinaryLoadRule>());
   registry.add(std::make_unique<UnknownMetricRule>());
   registry.add(std::make_unique<DuplicateMetricRule>());
   registry.add(std::make_unique<NonFiniteValueRule>());

@@ -72,7 +72,30 @@ Engine& Engine::train() {
 }
 
 Engine& Engine::load_model(const std::string& path) {
-  context_.ensemble = model::load_model_file(path);
+  context_.ensemble = model::load_model_any_file(path);
+  return *this;
+}
+
+Engine& Engine::compile() {
+  require(context_.ensemble.has_value(), "compile stage requires an ensemble");
+  context_.compiled = serve::CompiledModel::compile(*context_.ensemble);
+  return *this;
+}
+
+Engine& Engine::estimate_batch(const std::vector<std::string>& workload_paths) {
+  if (!context_.compiled.has_value()) compile();
+  serve::BatchOptions options;
+  options.exec = context_.exec;
+  context_.batch_results = serve::EstimationService(*context_.compiled)
+                               .estimate_files(workload_paths, options);
+  if (context_.log != nullptr) {
+    for (const auto& r : context_.batch_results) {
+      if (!r.ok()) {
+        *context_.log << "estimate_batch: " << r.source << ": " << r.error
+                      << '\n';
+      }
+    }
+  }
   return *this;
 }
 

@@ -26,6 +26,8 @@
 #include "quality/quality.h"
 #include "sampling/collector.h"
 #include "sampling/dataset.h"
+#include "serve/compiled_model.h"
+#include "serve/service.h"
 #include "spire/analyzer.h"
 #include "spire/ensemble.h"
 #include "spire/validation.h"
@@ -55,7 +57,9 @@ struct PipelineContext {
   std::optional<counters::CounterSet> counter_delta;  // whole-run TMA delta
   std::optional<quality::QualityReport> quality_report;
   std::optional<model::Ensemble> ensemble;
+  std::optional<serve::CompiledModel> compiled;  // compile stage output
   std::optional<model::Estimate> estimate;
+  std::vector<serve::BatchResult> batch_results;  // estimate_batch output
   std::optional<model::Analyzer::Analysis> analysis;
   std::vector<lint::LintReport> lint_reports;
   std::vector<model::LeaveOneOutResult> loo_results;
@@ -98,8 +102,21 @@ class Engine {
   /// context().ensemble.
   Engine& train();
 
-  /// Loads a serialized ensemble instead of training one.
+  /// Loads a serialized ensemble (text v1 or binary v2, sniffed) instead of
+  /// training one.
   Engine& load_model(const std::string& path);
+
+  /// Flattens the trained/loaded ensemble into a serve::CompiledModel
+  /// (context().compiled) — the immutable, lock-free artifact the batch
+  /// serving stages evaluate through.
+  Engine& compile();
+
+  /// Estimates every workload CSV against the compiled model (compiling on
+  /// demand when the ensemble is present but compile() was not run), one
+  /// pool task per file per context.exec. Per-file failures are isolated:
+  /// results land in batch_results in input order with either the Estimate
+  /// or the error string set.
+  Engine& estimate_batch(const std::vector<std::string>& workload_paths);
 
   /// Statically lints serialized model files, appending one report per file
   /// to lint_reports. When `against_data` is true the shared dataset is the

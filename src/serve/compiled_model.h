@@ -1,0 +1,98 @@
+// The deployment-side shape of a trained SPIRE model.
+//
+// Training produces an Ensemble: a map of MetricRoofline objects, each
+// owning two PiecewiseLinear vectors — a pointer-chasing object graph that
+// is the right shape for fitting and inspection but the wrong one for the
+// ROADMAP's "heavy traffic" serving target. CompiledModel is the explicit
+// compile step between the two halves: it flattens every roofline into
+// shared structure-of-arrays segment tables (one sorted x0/y0/x1/y1 column
+// set for all metrics, per-metric index ranges + cached apex/left-domain
+// scalars), evaluated by binary search over the x1 column.
+//
+// Determinism contract (enforced by tests and bench/perf_serving): for any
+// workload, merge mode, and thread count, `estimate` and `estimate_batch`
+// return Estimates BIT-IDENTICAL to Ensemble::estimate — same per-metric
+// averages down to the last ulp (the tables store piece endpoints, not
+// slope/intercept, so the interpolation arithmetic is literally the same
+// expression), same ranking order, same skip reasons, same error text.
+//
+// A CompiledModel is immutable after compile() and holds only value members,
+// so one instance can serve concurrent estimate calls from any number of
+// threads without locks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "counters/events.h"
+#include "sampling/dataset_view.h"
+#include "spire/ensemble.h"
+#include "util/thread_pool.h"
+
+namespace spire::serve {
+
+class CompiledModel {
+ public:
+  /// Flattens a trained ensemble. The ensemble can be discarded afterwards;
+  /// the compiled form owns everything it needs.
+  static CompiledModel compile(const model::Ensemble& ensemble);
+
+  /// Loads either model format (text v1 or binary v2) from `path` and
+  /// compiles it.
+  static CompiledModel from_file(const std::string& path);
+
+  /// Ensemble-wide estimate, bit-identical to Ensemble::estimate on the
+  /// source ensemble: same throughput/ranking/skipped values and the same
+  /// std::invalid_argument when the workload shares no metric.
+  model::Estimate estimate(sampling::DatasetView workload,
+                           model::Merge merge = model::Merge::kTimeWeighted) const;
+
+  /// One estimate per workload, in input order, fanned out across a pool
+  /// per `exec` (serial when threads <= 1). Results are bit-identical to
+  /// calling estimate() in a loop; a workload that would make estimate()
+  /// throw makes the batch throw the same exception (lowest index wins),
+  /// matching the serial loop. For per-item error isolation use
+  /// EstimationService (serve/service.h).
+  std::vector<model::Estimate> estimate_batch(
+      std::span<const sampling::DatasetView> workloads,
+      util::ExecOptions exec = {},
+      model::Merge merge = model::Merge::kTimeWeighted) const;
+
+  /// Metrics with a compiled table, ascending by event id (the source
+  /// map's iteration order).
+  const std::vector<counters::Event>& metrics() const { return metrics_; }
+
+  std::size_t metric_count() const { return tables_.size(); }
+
+  /// Total linear pieces across all metrics and both regions — the size of
+  /// each segment-table column.
+  std::size_t piece_count() const { return x0_.size(); }
+
+ private:
+  /// One metric's slice of the shared segment tables plus the scalars the
+  /// region dispatch needs. Half-open [begin, end) piece index ranges;
+  /// left_begin == left_end means the left region is absent.
+  struct MetricTable {
+    counters::Event metric{};
+    std::uint32_t left_begin = 0;
+    std::uint32_t left_end = 0;
+    std::uint32_t right_begin = 0;
+    std::uint32_t right_end = 0;
+    double left_max = 0.0;  // left domain_max; valid only when left present
+  };
+
+  CompiledModel() = default;
+
+  /// Roofline lookup replicating MetricRoofline::estimate over the tables.
+  double eval(const MetricTable& table, double intensity) const;
+
+  std::vector<counters::Event> metrics_;
+  std::vector<MetricTable> tables_;  // parallel to metrics_
+  // Shared SoA segment tables: piece i is the segment (x0[i], y0[i]) ->
+  // (x1[i], y1[i]). Endpoint form, not slope/intercept: LinearPiece::at's
+  // exact expression is what the bit-identity contract replicates.
+  std::vector<double> x0_, y0_, x1_, y1_;
+};
+
+}  // namespace spire::serve

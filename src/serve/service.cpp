@@ -1,0 +1,34 @@
+#include "serve/service.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "sampling/dataset.h"
+#include "sampling/dataset_view.h"
+
+namespace spire::serve {
+
+std::vector<BatchResult> EstimationService::estimate_files(
+    std::span<const std::string> paths, const BatchOptions& options) const {
+  // Each task owns its Dataset (the view it estimates through points into
+  // task-local storage) and only reads the shared immutable model, so the
+  // fan-out has no shared mutable state.
+  return util::parallel_for_index(
+      options.exec, paths.size(), [&](std::size_t i) {
+        BatchResult result;
+        result.source = paths[i];
+        try {
+          std::ifstream in(paths[i]);
+          if (!in) throw std::runtime_error("cannot open " + paths[i]);
+          const sampling::Dataset data = sampling::Dataset::load_csv(in);
+          const sampling::DatasetView view(data);
+          result.samples = view.size();
+          result.estimate = model_.estimate(view, options.merge);
+        } catch (const std::exception& e) {
+          result.error = e.what();
+        }
+        return result;
+      });
+}
+
+}  // namespace spire::serve

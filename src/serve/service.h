@@ -1,0 +1,62 @@
+// Batch estimation over workload files — the "many CSVs in, one verdict
+// per CSV out" serving front end used by `spire_cli estimate` and the
+// pipeline engine's estimate_batch stage.
+//
+// CompiledModel::estimate_batch is the raw kernel: bit-identical, but one
+// bad workload throws for the whole span. A service run must instead keep
+// going when one file is unreadable or shares no metric with the model, so
+// EstimationService isolates failures per item: every input path gets a
+// BatchResult in input order carrying either the Estimate or the error
+// string, never both.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/compiled_model.h"
+#include "spire/ensemble.h"
+#include "util/thread_pool.h"
+
+namespace spire::serve {
+
+/// One workload file's outcome. Exactly one of estimate/error is set.
+struct BatchResult {
+  std::string source;     // the input path
+  std::size_t samples = 0;  // samples loaded (0 when loading failed)
+  std::optional<model::Estimate> estimate;
+  std::string error;      // why estimation failed, "" on success
+
+  bool ok() const { return estimate.has_value(); }
+};
+
+struct BatchOptions {
+  util::ExecOptions exec{};
+  model::Merge merge = model::Merge::kTimeWeighted;
+};
+
+class EstimationService {
+ public:
+  explicit EstimationService(CompiledModel model) : model_(std::move(model)) {}
+
+  /// Loads either model format from `path` and compiles it.
+  static EstimationService from_file(const std::string& path) {
+    return EstimationService(CompiledModel::from_file(path));
+  }
+
+  const CompiledModel& model() const { return model_; }
+
+  /// Estimates every workload CSV, one pool task per file (load + estimate
+  /// both inside the task; serial when exec.threads <= 1). Results come
+  /// back in input order and are bit-identical at any thread count; a file
+  /// that cannot be loaded or estimated yields a BatchResult with `error`
+  /// set instead of aborting the batch.
+  std::vector<BatchResult> estimate_files(std::span<const std::string> paths,
+                                          const BatchOptions& options = {}) const;
+
+ private:
+  CompiledModel model_;
+};
+
+}  // namespace spire::serve

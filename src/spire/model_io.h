@@ -1,5 +1,6 @@
-// Ensemble persistence: save a trained SPIRE model to a text stream and
-// load it back. The format is line-oriented and versioned:
+// Ensemble persistence. Two formats:
+//
+// Text v1 — line-oriented, diffable, hand-editable:
 //
 //   spire-model v1
 //   metric <perf-event-name> trained_on=<n> apex=<I> <P>
@@ -7,7 +8,26 @@
 //   right <k> x0 y0 x1 y1 ... (piece corners; x of the last corner may be
 //                              "inf"; pieces may be discontinuous)
 //
-// Exact round-trip is guaranteed: values are written with max precision.
+// Binary v2 — the deployment artifact (serve::CompiledModel loads in one
+// pass, no float parsing). Layout, all integers and IEEE-754 doubles
+// little-endian fixed-width:
+//
+//   magic line  "spire-model-bin v2\n" (19 bytes, file(1)-friendly)
+//   u32         metric section count
+//   per metric section:
+//     u32       section byte count (everything after this field; validated
+//               against both a hard cap and the declared table sizes BEFORE
+//               any allocation — a corrupt count can never balloon memory)
+//     u32       metric name length, then the perf-style name bytes
+//     u64       trained_on
+//     f64 f64   apex intensity, apex throughput
+//     u32 u32   left knot count, right piece count
+//     f64 pairs left knots (x y)...
+//     f64 quads right pieces (x0 y0 x1 y1)...
+//
+// Conversion between the two is lossless in both directions: text values
+// are written with max precision (shortest-17 round-trips every double)
+// and binary values are the raw bit patterns.
 #pragma once
 
 #include <iosfwd>
@@ -37,5 +57,30 @@ Ensemble load_model(std::istream& in);
 /// Convenience file wrappers; throw std::runtime_error on I/O failure.
 void save_model_file(const Ensemble& ensemble, const std::string& path);
 Ensemble load_model_file(const std::string& path);
+
+/// Binary format version this build reads and writes.
+inline constexpr int kModelBinFormatVersion = 2;
+
+/// Exact leading bytes of a binary v2 model file.
+inline constexpr std::string_view kModelBinMagic = "spire-model-bin v2\n";
+
+void save_model_bin(const Ensemble& ensemble, std::ostream& out);
+
+/// Throws std::runtime_error ("model-bin: ...", with the metric section and
+/// byte offset) on malformed input. Hardened like the text loader: every
+/// section byte count is bounded and cross-checked against the declared
+/// table sizes before allocation, values must be finite except the
+/// documented apex/tail infinities, and truncation at any byte is a clean
+/// rejection, never a crash or over-allocation.
+Ensemble load_model_bin(std::istream& in);
+
+void save_model_bin_file(const Ensemble& ensemble, const std::string& path);
+Ensemble load_model_bin_file(const std::string& path);
+
+/// True when `path` starts with the binary magic (any binary version).
+bool is_binary_model_file(const std::string& path);
+
+/// Loads either format, sniffing the leading bytes of the file.
+Ensemble load_model_any_file(const std::string& path);
 
 }  // namespace spire::model

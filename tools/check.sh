@@ -44,6 +44,24 @@ cmake -B build-check-sanitize -S . -DCMAKE_BUILD_TYPE=Debug -DSPIRE_SANITIZE=ON
 cmake --build build-check-sanitize -j "${jobs}"
 ctest --test-dir build-check-sanitize --output-on-failure -j "${test_jobs}"
 
+phase "Binary model v2 round-trip (spire_cli compile)"
+# Compile every checked-in text model to the v2 binary format and back;
+# the text bytes must survive unchanged. Artifacts live in a throwaway
+# directory — testdata/models/ is linted as-is and must stay clean.
+roundtrip_dir=$(mktemp -d)
+trap 'rm -rf "${roundtrip_dir}"' EXIT
+cli=build-check-release/tools/spire_cli
+for model in testdata/models/*.model; do
+  base=$(basename "${model}" .model)
+  "${cli}" compile "${model}" --out "${roundtrip_dir}/${base}.bin"
+  "${cli}" compile --text "${roundtrip_dir}/${base}.bin" \
+    --out "${roundtrip_dir}/${base}.model"
+  diff "${model}" "${roundtrip_dir}/${base}.model"
+done
+
+phase "Serving perf smoke (bench/perf_serving)"
+./build-check-release/bench/perf_serving --smoke
+
 phase "Static lint gate (tools/lint.sh)"
 SPIRE_LINT_BUILD_DIR=build-check-release tools/lint.sh "${jobs}"
 

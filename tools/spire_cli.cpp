@@ -19,6 +19,14 @@
 //       (region shapes, peak continuity, format version, ...) without
 //       running estimation; with --against, also verify the upper-bound
 //       property over a sample CSV. Exits nonzero on error findings.
+//   spire_cli compile MODEL --out MODEL.bin [--text]
+//       Convert a model to the binary v2 deployment artifact (or back to
+//       text v1 with --text). Conversion is lossless in both directions.
+//   spire_cli estimate --model MODEL FILE [FILE...] [--threads N]
+//       Batch estimation: attainable throughput + top bottleneck for every
+//       workload CSV against one compiled model, one pool task per file.
+//       A file that fails to load or estimate is reported and the batch
+//       continues; exits nonzero when any file failed.
 //   spire_cli show --model MODEL --metric EVENT
 //       Describe and plot one learned roofline.
 //   spire_cli tma --workload NAME [--config CFG] [--cycles N]
@@ -34,9 +42,13 @@
 // --quality strict|repair|warn (default warn) controlling what happens when
 // defects are found; `validate` inspects files without consuming them.
 //
-// train/analyze/validate accept --threads N: worker threads for the
-// parallel pipeline stages (default: all hardware threads; 0 or 1 forces
-// serial). Results are bit-identical at any thread count.
+// train/analyze/validate/estimate accept --threads N: worker threads for
+// the parallel pipeline stages (default: all hardware threads; 0 or 1
+// forces serial). Results are bit-identical at any thread count.
+//
+// Model-consuming subcommands (analyze, estimate, show, lint) accept both
+// model formats — the line-oriented text v1 and the binary v2 artifact
+// `compile` writes — sniffing the leading bytes.
 //
 // Each subcommand is a thin wrapper over pipeline::Engine: it parses flags
 // into a PipelineContext, chains the stages it needs, and formats the
@@ -316,13 +328,62 @@ int cmd_lint(const Args& args) {
   return any_errors ? 1 : 0;
 }
 
+int cmd_compile(const Args& args) {
+  const auto out_path = args.flag("out");
+  if (!out_path) throw std::runtime_error("--out is required");
+  if (args.positional.size() != 1) {
+    throw std::runtime_error("need exactly one model file");
+  }
+  const auto ensemble = model::load_model_any_file(args.positional.front());
+  const bool to_text = args.has("text");
+  if (to_text) {
+    model::save_model_file(ensemble, *out_path);
+  } else {
+    model::save_model_bin_file(ensemble, *out_path);
+  }
+  std::fprintf(stderr, "compiled %zu rooflines: %s -> %s (%s)\n",
+               ensemble.metric_count(), args.positional.front().c_str(),
+               out_path->c_str(), to_text ? "text v1" : "binary v2");
+  return 0;
+}
+
+int cmd_estimate(const Args& args) {
+  const auto model_path = args.flag("model");
+  if (!model_path) throw std::runtime_error("--model is required");
+  if (args.positional.empty()) {
+    throw std::runtime_error("need at least one sample CSV");
+  }
+  auto engine = make_engine(args);
+  engine.context().log = nullptr;  // per-file errors land in the table below
+  engine.load_model(*model_path).compile().estimate_batch(args.positional);
+
+  bool any_errors = false;
+  util::TextTable table({"Workload", "Samples", "Attainable P", "Top bottleneck"});
+  table.set_align(1, util::Align::kRight);
+  table.set_align(2, util::Align::kRight);
+  for (const auto& r : engine.context().batch_results) {
+    if (r.ok()) {
+      const auto& top = r.estimate->ranking.front();
+      table.add_row({r.source, std::to_string(r.samples),
+                     util::format_fixed(r.estimate->throughput, 4),
+                     std::string(counters::event_name(top.metric))});
+    } else {
+      table.add_row({r.source, std::to_string(r.samples), "-",
+                     "error: " + r.error});
+      any_errors = true;
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  return any_errors ? 1 : 0;
+}
+
 int cmd_show(const Args& args) {
   const auto model_path = args.flag("model");
   const auto metric_name = args.flag("metric");
   if (!model_path || !metric_name) {
     throw std::runtime_error("--model and --metric are required");
   }
-  const auto ensemble = model::load_model_file(*model_path);
+  const auto ensemble = model::load_model_any_file(*model_path);
   const auto event = counters::event_by_name(*metric_name);
   if (!event) throw std::runtime_error("unknown metric '" + *metric_name + "'");
   const auto it = ensemble.rooflines().find(*event);
@@ -401,6 +462,8 @@ const std::vector<Command>& commands() {
       {"analyze", {}, cmd_analyze},
       {"validate", {}, cmd_validate},
       {"lint", {"rules"}, cmd_lint},
+      {"compile", {"text"}, cmd_compile},
+      {"estimate", {}, cmd_estimate},
       {"show", {}, cmd_show},
       {"tma", {}, cmd_tma},
       {"record", {}, cmd_record},
@@ -420,6 +483,8 @@ int usage() {
                "  validate FILE...                          report data-quality defects\n"
                "  lint    MODEL... [--against CSV]...       check model invariants\n"
                "  lint    --rules                           list the lint rules\n"
+               "  compile MODEL --out MODEL.bin [--text]    convert text v1 <-> binary v2\n"
+               "  estimate --model MODEL FILE...            batch attainable-throughput\n"
                "  show    --model MODEL --metric EVENT\n"
                "  tma     --workload N [--config C] [--cycles N]\n"
                "  record  --workload N [--config C] [--ops N] --out FILE\n"
@@ -427,9 +492,10 @@ int usage() {
                "collect/train/analyze also accept --quality strict|repair|warn\n"
                "(default warn): throw on, repair, or just report defective "
                "samples.\n"
-               "train/analyze/validate accept --threads N (default: all "
-               "hardware\nthreads; 0 forces serial). Results are identical at "
-               "any thread count.\n");
+               "train/analyze/validate/estimate accept --threads N (default: "
+               "all\nhardware threads; 0 forces serial). Results are identical "
+               "at any\nthread count. Model-consuming commands accept text v1 "
+               "and binary v2.\n");
   return 2;
 }
 
