@@ -139,8 +139,12 @@ int main() {
        << "  \"speedup_4_threads\": " << speedup4 << ",\n"
        << "  \"deterministic\": " << (deterministic ? "true" : "false") << ",\n"
        << "  \"parse_mb_per_s\": " << parse_mb_s << ",\n"
-       << "  \"speedup_assertion\": \""
-       << (check_speedup ? "checked" : "skipped") << "\"\n}\n";
+       << "  \"speedup_assertion\": {\"status\": \""
+       << (check_speedup ? "checked" : "skipped") << "\", \"reason\": \""
+       << (check_speedup ? ""
+                         : "only " + std::to_string(hardware) +
+                               " hardware thread(s), need >= 4")
+       << "\", \"hardware_threads\": " << hardware << "}\n}\n";
   std::printf("-> BENCH_parallel.json\n");
 
   bool failed = false;

@@ -119,7 +119,7 @@ class EmptyModelRule final : public LintRule {
   }
 };
 
-/// Binary v2 artifacts are linted through the strict loader plus a lossless
+/// Binary artifacts are linted through the strict loader plus a lossless
 /// conversion to the text form (model_source.h). When that load fails there
 /// is no lenient line structure for the other rules to point at, so the
 /// loader's message — which carries the metric section and byte offset —
@@ -128,12 +128,47 @@ class BinaryLoadRule final : public LintRule {
  public:
   std::string_view id() const override { return "binary-load"; }
   std::string_view summary() const override {
-    return "binary v2 artifacts pass the strict loader";
+    return "binary artifacts pass the strict loader";
   }
   void check(const LintContext& context, LintReport& report) const override {
     const RawModel& model = context.model;
     if (!model.binary || model.binary_error.empty()) return;
     add_finding(report, id(), LintSeverity::kError, "", 0, model.binary_error);
+  }
+};
+
+/// v3 artifacts append the flattened serving tables the mmap reader points
+/// spans into; model_source runs the byte-level validator (the exact checks
+/// serve::MappedModel performs at map time) independently of the v2 body,
+/// so a corrupt flat region gets its own section/offset finding even when
+/// the body still loads — and vice versa.
+class FlatStructureRule final : public LintRule {
+ public:
+  std::string_view id() const override { return "flat-structure"; }
+  std::string_view summary() const override {
+    return "v3 flat serving tables pass the byte-level validator";
+  }
+  void check(const LintContext& context, LintReport& report) const override {
+    for (const std::string& message : context.model.flat_issues) {
+      add_finding(report, id(), LintSeverity::kError, "", 0, message);
+    }
+  }
+};
+
+/// A v3 file whose flat tables validate but disagree with the tables its
+/// own v2 body compiles to would serve different estimates through the
+/// mmap path than through the ensemble — the worst kind of drift, because
+/// both halves look healthy in isolation.
+class FlatMismatchRule final : public LintRule {
+ public:
+  std::string_view id() const override { return "flat-mismatch"; }
+  std::string_view summary() const override {
+    return "v3 flat tables equal the tables the strict model compiles to";
+  }
+  void check(const LintContext& context, LintReport& report) const override {
+    if (context.model.flat_mismatch.empty()) return;
+    add_finding(report, id(), LintSeverity::kError, "", 0,
+                context.model.flat_mismatch);
   }
 };
 
@@ -679,6 +714,8 @@ LintRegistry LintRegistry::builtin() {
   registry.add(std::make_unique<FormatVersionRule>());
   registry.add(std::make_unique<EmptyModelRule>());
   registry.add(std::make_unique<BinaryLoadRule>());
+  registry.add(std::make_unique<FlatStructureRule>());
+  registry.add(std::make_unique<FlatMismatchRule>());
   registry.add(std::make_unique<UnknownMetricRule>());
   registry.add(std::make_unique<DuplicateMetricRule>());
   registry.add(std::make_unique<NonFiniteValueRule>());

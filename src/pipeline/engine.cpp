@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "counters/events.h"
+#include "serve/model_v3.h"
+#include "serve/registry.h"
 #include "sim/core.h"
 #include "spire/model_io.h"
 #include "workloads/profile_stream.h"
@@ -82,12 +84,51 @@ Engine& Engine::compile() {
   return *this;
 }
 
-Engine& Engine::estimate_batch(const std::vector<std::string>& workload_paths) {
+Engine& Engine::compile_v3(const std::string& out_path) {
+  require(context_.ensemble.has_value(),
+          "compile_v3 stage requires an ensemble");
   if (!context_.compiled.has_value()) compile();
+  const std::string bytes =
+      serve::model_v3_bytes(*context_.ensemble, *context_.compiled);
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("compile_v3: cannot write " + out_path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("compile_v3: write failed: " + out_path);
+  return *this;
+}
+
+Engine& Engine::publish(const std::string& registry_root) {
+  require(context_.ensemble.has_value(), "publish stage requires an ensemble");
+  serve::ModelRegistry registry(registry_root);
+  context_.published_id = registry.publish(*context_.ensemble);
+  if (context_.log != nullptr) {
+    *context_.log << "publish: " << context_.published_id << '\n';
+  }
+  return *this;
+}
+
+Engine& Engine::resolve_model(const std::string& registry_root,
+                              const std::string& id) {
+  serve::ModelRegistry registry(registry_root);
+  context_.mapped = registry.open(id);
+  // The ensemble form feeds the non-serving stages (estimate, analyze);
+  // the stream loader revalidates the artifact end to end on the way.
+  context_.ensemble =
+      model::load_model_bin_file(registry.object_path(id));
+  return *this;
+}
+
+Engine& Engine::estimate_batch(const std::vector<std::string>& workload_paths) {
   serve::BatchOptions options;
   options.exec = context_.exec;
-  context_.batch_results = serve::EstimationService(*context_.compiled)
-                               .estimate_files(workload_paths, options);
+  std::optional<serve::EstimationService> service;
+  if (context_.mapped != nullptr) {
+    service.emplace(context_.mapped);
+  } else {
+    if (!context_.compiled.has_value()) compile();
+    service.emplace(*context_.compiled);
+  }
+  context_.batch_results = service->estimate_files(workload_paths, options);
   if (context_.log != nullptr) {
     for (const auto& r : context_.batch_results) {
       if (!r.ok()) {

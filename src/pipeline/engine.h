@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "sampling/collector.h"
 #include "sampling/dataset.h"
 #include "serve/compiled_model.h"
+#include "serve/mapped_model.h"
 #include "serve/service.h"
 #include "spire/analyzer.h"
 #include "spire/ensemble.h"
@@ -58,6 +60,8 @@ struct PipelineContext {
   std::optional<quality::QualityReport> quality_report;
   std::optional<model::Ensemble> ensemble;
   std::optional<serve::CompiledModel> compiled;  // compile stage output
+  std::shared_ptr<const serve::MappedModel> mapped;  // resolve_model output
+  std::string published_id;  // publish stage output (registry content id)
   std::optional<model::Estimate> estimate;
   std::vector<serve::BatchResult> batch_results;  // estimate_batch output
   std::optional<model::Analyzer::Analysis> analysis;
@@ -102,8 +106,8 @@ class Engine {
   /// context().ensemble.
   Engine& train();
 
-  /// Loads a serialized ensemble (text v1 or binary v2, sniffed) instead of
-  /// training one.
+  /// Loads a serialized ensemble (text v1, binary v2/v3, sniffed) instead
+  /// of training one.
   Engine& load_model(const std::string& path);
 
   /// Flattens the trained/loaded ensemble into a serve::CompiledModel
@@ -111,11 +115,28 @@ class Engine {
   /// serving stages evaluate through.
   Engine& compile();
 
-  /// Estimates every workload CSV against the compiled model (compiling on
-  /// demand when the ensemble is present but compile() was not run), one
-  /// pool task per file per context.exec. Per-file failures are isolated:
-  /// results land in batch_results in input order with either the Estimate
-  /// or the error string set.
+  /// Serializes the trained/loaded ensemble as a binary v3 artifact at
+  /// `out_path` (compiling on demand). The file's flat tables are the
+  /// compiled tables by construction, mappable by serve::MappedModel.
+  Engine& compile_v3(const std::string& out_path);
+
+  /// Publishes the ensemble's canonical v3 form to the content-addressed
+  /// registry at `registry_root`; the id lands in context().published_id.
+  Engine& publish(const std::string& registry_root);
+
+  /// Resolves a content-addressed model id through the registry at
+  /// `registry_root`: maps the artifact zero-copy into context().mapped
+  /// (which estimate_batch then serves through) and loads the ensemble
+  /// form into context().ensemble for stages that need it.
+  Engine& resolve_model(const std::string& registry_root,
+                        const std::string& id);
+
+  /// Estimates every workload CSV, one pool task per file per context.exec.
+  /// Serves through context().mapped when resolve_model ran, else the
+  /// compiled model (compiling on demand when only the ensemble is
+  /// present) — both backends are bit-identical. Per-file failures are
+  /// isolated: results land in batch_results in input order with either
+  /// the Estimate or the error string set.
   Engine& estimate_batch(const std::vector<std::string>& workload_paths);
 
   /// Statically lints serialized model files, appending one report per file

@@ -1,8 +1,5 @@
 #include "serve/compiled_model.h"
 
-#include <algorithm>
-#include <cmath>
-#include <stdexcept>
 #include <utility>
 
 #include "spire/model_io.h"
@@ -14,9 +11,8 @@ using counters::Event;
 using geom::LinearPiece;
 using model::Estimate;
 using model::Merge;
-using model::MetricEstimate;
+using model::v3::MetricRange;
 using sampling::DatasetView;
-using sampling::Sample;
 
 CompiledModel CompiledModel::compile(const model::Ensemble& ensemble) {
   CompiledModel out;
@@ -30,7 +26,7 @@ CompiledModel CompiledModel::compile(const model::Ensemble& ensemble) {
   out.x1_.reserve(pieces);
   out.y1_.reserve(pieces);
   out.metrics_.reserve(ensemble.rooflines().size());
-  out.tables_.reserve(ensemble.rooflines().size());
+  out.ranges_.reserve(ensemble.rooflines().size());
 
   const auto append_region = [&out](const geom::PiecewiseLinear& region) {
     for (const LinearPiece& p : region.pieces()) {
@@ -44,22 +40,21 @@ CompiledModel CompiledModel::compile(const model::Ensemble& ensemble) {
   // std::map iteration = ascending Event order, the same order
   // Ensemble::estimate materializes its per-metric tasks in.
   for (const auto& [metric, roofline] : ensemble.rooflines()) {
-    MetricTable table;
-    table.metric = metric;
-    table.left_begin = static_cast<std::uint32_t>(out.x0_.size());
+    MetricRange range;
+    range.left_begin = static_cast<std::uint32_t>(out.x0_.size());
     if (roofline.left().has_value()) {
       append_region(*roofline.left());
-      table.left_max = roofline.left()->domain_max();
+      range.left_max = roofline.left()->domain_max();
     }
-    table.left_end = static_cast<std::uint32_t>(out.x0_.size());
-    table.right_begin = table.left_end;
+    range.left_end = static_cast<std::uint32_t>(out.x0_.size());
+    range.right_begin = range.left_end;
     append_region(roofline.right());
-    table.right_end = static_cast<std::uint32_t>(out.x0_.size());
-    SPIRE_ASSERT(table.right_end > table.right_begin,
+    range.right_end = static_cast<std::uint32_t>(out.x0_.size());
+    SPIRE_ASSERT(range.right_end > range.right_begin,
                  "compile: empty right region for metric ",
                  counters::event_name(metric));
     out.metrics_.push_back(metric);
-    out.tables_.push_back(table);
+    out.ranges_.push_back(range);
   }
   return out;
 }
@@ -68,83 +63,14 @@ CompiledModel CompiledModel::from_file(const std::string& path) {
   return compile(model::load_model_any_file(path));
 }
 
-double CompiledModel::eval(const MetricTable& table, double intensity) const {
-  // Replicates MetricRoofline::estimate + PiecewiseLinear::at +
-  // LinearPiece::at over one [begin, end) slice of the tables. Any drift
-  // here breaks the bit-identity contract.
-  SPIRE_ASSERT(!std::isnan(intensity) && intensity >= 0.0,
-               "MetricRoofline: bad intensity ", intensity);
-  std::size_t begin = table.right_begin;
-  std::size_t end = table.right_end;
-  if (table.left_begin != table.left_end && intensity <= table.left_max) {
-    begin = table.left_begin;
-    end = table.left_end;
-  }
-  if (intensity <= x0_[begin]) return y0_[begin];
-  // First piece whose right edge reaches the point; at a shared boundary
-  // the left segment wins (x1 == intensity stops here), matching
-  // PiecewiseLinear::at's lower_bound on x1.
-  const auto first = x1_.begin() + static_cast<std::ptrdiff_t>(begin);
-  const auto last = x1_.begin() + static_cast<std::ptrdiff_t>(end);
-  const auto it = std::lower_bound(first, last, intensity);
-  if (it == last) return y1_[end - 1];
-  const auto i = static_cast<std::size_t>(it - x1_.begin());
-  // LinearPiece::at, verbatim.
-  if (!std::isfinite(x1_[i])) return y0_[i];
-  if (x1_[i] == x0_[i]) return y0_[i];
-  const double t = (intensity - x0_[i]) / (x1_[i] - x0_[i]);
-  return y0_[i] + t * (y1_[i] - y0_[i]);
-}
-
 Estimate CompiledModel::estimate(DatasetView workload, Merge merge) const {
-  Estimate out;
-  for (const MetricTable& table : tables_) {
-    const std::span<const Sample> samples = workload.samples(table.metric);
-    // Eq. (1) with exactly Ensemble::merge_samples's skip conditions and
-    // accumulation order.
-    double weighted = 0.0;
-    double weight = 0.0;
-    std::size_t count = 0;
-    for (const Sample& s : samples) {
-      if (s.t <= 0.0 || !std::isfinite(s.t) || !std::isfinite(s.w) ||
-          !std::isfinite(s.m) || s.w < 0.0 || s.m < 0.0) {
-        continue;
-      }
-      const double p = eval(table, s.intensity());
-      const double w = merge == Merge::kTimeWeighted ? s.t : 1.0;
-      weighted += w * p;
-      weight += w;
-      ++count;
-    }
-    if (count == 0 || weight <= 0.0) {
-      out.skipped.push_back({table.metric, samples.empty()
-                                               ? "no samples in workload"
-                                               : "no structurally usable samples"});
-      continue;
-    }
-    out.ranking.push_back({table.metric, weighted / weight, count});
-  }
-  if (out.ranking.empty()) {
-    throw std::invalid_argument(
-        "ensemble: workload shares no metric with the model");
-  }
-  std::sort(out.ranking.begin(), out.ranking.end(),
-            [](const MetricEstimate& a, const MetricEstimate& b) {
-              return a.p_bar < b.p_bar;
-            });
-  out.throughput = out.ranking.front().p_bar;
-  return out;
+  return estimate_tables(tables(), workload, merge);
 }
 
 std::vector<Estimate> CompiledModel::estimate_batch(
     std::span<const DatasetView> workloads, util::ExecOptions exec,
     Merge merge) const {
-  // The model is immutable, each task reads one workload's view: no shared
-  // mutable state, and index-ordered collection keeps results (and the
-  // first exception) identical to the serial loop.
-  return util::parallel_for_index(exec, workloads.size(), [&](std::size_t i) {
-    return estimate(workloads[i], merge);
-  });
+  return estimate_batch_tables(tables(), workloads, exec, merge);
 }
 
 }  // namespace spire::serve

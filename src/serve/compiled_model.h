@@ -6,15 +6,19 @@
 // ROADMAP's "heavy traffic" serving target. CompiledModel is the explicit
 // compile step between the two halves: it flattens every roofline into
 // shared structure-of-arrays segment tables (one sorted x0/y0/x1/y1 column
-// set for all metrics, per-metric index ranges + cached apex/left-domain
+// set for all metrics, per-metric index ranges + cached left-domain
 // scalars), evaluated by binary search over the x1 column.
 //
 // Determinism contract (enforced by tests and bench/perf_serving): for any
 // workload, merge mode, and thread count, `estimate` and `estimate_batch`
 // return Estimates BIT-IDENTICAL to Ensemble::estimate — same per-metric
-// averages down to the last ulp (the tables store piece endpoints, not
-// slope/intercept, so the interpolation arithmetic is literally the same
-// expression), same ranking order, same skip reasons, same error text.
+// averages down to the last ulp, same ranking order, same skip reasons,
+// same error text. The evaluator itself lives in serve/model_eval.h and is
+// shared with MappedModel (serve/mapped_model.h), the zero-copy reader of
+// binary v3 artifacts, so the two backends cannot drift; tables() exposes
+// this model's columns in that common shape, and the v3 writer
+// (serve/model_v3.h) serializes exactly those spans, which is what makes
+// file tables equal compiled tables by construction.
 //
 // A CompiledModel is immutable after compile() and holds only value members,
 // so one instance can serve concurrent estimate calls from any number of
@@ -27,6 +31,7 @@
 
 #include "counters/events.h"
 #include "sampling/dataset_view.h"
+#include "serve/model_eval.h"
 #include "spire/ensemble.h"
 #include "util/thread_pool.h"
 
@@ -38,8 +43,8 @@ class CompiledModel {
   /// the compiled form owns everything it needs.
   static CompiledModel compile(const model::Ensemble& ensemble);
 
-  /// Loads either model format (text v1 or binary v2) from `path` and
-  /// compiles it.
+  /// Loads any model format (text v1, binary v2 or v3) from `path` and
+  /// compiles it. For the zero-copy v3 path use MappedModel instead.
   static CompiledModel from_file(const std::string& path);
 
   /// Ensemble-wide estimate, bit-identical to Ensemble::estimate on the
@@ -63,35 +68,27 @@ class CompiledModel {
   /// map's iteration order).
   const std::vector<counters::Event>& metrics() const { return metrics_; }
 
-  std::size_t metric_count() const { return tables_.size(); }
+  std::size_t metric_count() const { return ranges_.size(); }
 
   /// Total linear pieces across all metrics and both regions — the size of
   /// each segment-table column.
   std::size_t piece_count() const { return x0_.size(); }
 
- private:
-  /// One metric's slice of the shared segment tables plus the scalars the
-  /// region dispatch needs. Half-open [begin, end) piece index ranges;
-  /// left_begin == left_end means the left region is absent.
-  struct MetricTable {
-    counters::Event metric{};
-    std::uint32_t left_begin = 0;
-    std::uint32_t left_end = 0;
-    std::uint32_t right_begin = 0;
-    std::uint32_t right_end = 0;
-    double left_max = 0.0;  // left domain_max; valid only when left present
-  };
+  /// This model's columns in the backend-neutral evaluator shape. Spans
+  /// are valid for the lifetime of the CompiledModel.
+  EvalTables tables() const {
+    return {metrics_, ranges_, x0_, y0_, x1_, y1_};
+  }
 
+ private:
   CompiledModel() = default;
 
-  /// Roofline lookup replicating MetricRoofline::estimate over the tables.
-  double eval(const MetricTable& table, double intensity) const;
-
   std::vector<counters::Event> metrics_;
-  std::vector<MetricTable> tables_;  // parallel to metrics_
+  // Parallel to metrics_; the same record the v3 metric-ranges section
+  // stores on disk, so compiling and mapping yield identical rows.
+  std::vector<model::v3::MetricRange> ranges_;
   // Shared SoA segment tables: piece i is the segment (x0[i], y0[i]) ->
-  // (x1[i], y1[i]). Endpoint form, not slope/intercept: LinearPiece::at's
-  // exact expression is what the bit-identity contract replicates.
+  // (x1[i], y1[i]).
   std::vector<double> x0_, y0_, x1_, y1_;
 };
 

@@ -1,0 +1,50 @@
+#include "serve/mapped_model.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace spire::serve {
+
+using counters::Event;
+using model::Estimate;
+using model::Merge;
+using sampling::DatasetView;
+
+MappedModel MappedModel::map_file(const std::string& path,
+                                  model::v3::Verify verify) {
+  MappedModel out;
+  out.file_ = util::MmapFile::open_readonly(path);
+  out.view_ = model::v3::map_flat(out.file_.bytes(), verify);
+
+  // Resolve the name-index records to Events. Table order must be strictly
+  // ascending by event id — the order compile() emits (std::map iteration)
+  // and the order the bit-identity contract's ranking accumulation assumes.
+  out.metrics_.reserve(out.view_.names.size());
+  for (const model::v3::NameRef& ref : out.view_.names) {
+    const std::string_view name = out.view_.name(ref);
+    const auto metric = counters::event_by_name(name);
+    if (!metric) {
+      throw std::runtime_error("model-v3: " + path + ": unknown metric '" +
+                               std::string(name) + "'");
+    }
+    if (!out.metrics_.empty() && *metric <= out.metrics_.back()) {
+      throw std::runtime_error(
+          "model-v3: " + path + ": metric '" + std::string(name) +
+          "' out of order (tables must ascend by event id)");
+    }
+    out.metrics_.push_back(*metric);
+  }
+  return out;
+}
+
+Estimate MappedModel::estimate(DatasetView workload, Merge merge) const {
+  return estimate_tables(tables(), workload, merge);
+}
+
+std::vector<Estimate> MappedModel::estimate_batch(
+    std::span<const DatasetView> workloads, util::ExecOptions exec,
+    Merge merge) const {
+  return estimate_batch_tables(tables(), workloads, exec, merge);
+}
+
+}  // namespace spire::serve

@@ -1,0 +1,95 @@
+// Zero-copy serving backend: a binary v3 artifact mapped read-only.
+//
+// Where CompiledModel pays a parse at load time (deserialize every table
+// into heap vectors, then flatten), MappedModel pays a page fault: the
+// artifact IS the tables (spire/model_bin_v3.h lays them out exactly as
+// CompiledModel's columns), so map_file validates the bytes BEFORE any
+// span is formed and then serves straight out of the mapping. The default
+// open runs the structure tier — footer/header/section geometry against
+// the fstat'd size, range tiling, name-index cover; everything a span
+// could be formed or indexed from, in O(sections + metrics) — because
+// published artifacts are content-addressed and fully CRC-verified when
+// they enter the registry. Pass Verify::kFull to re-verify every byte
+// (section CRCs, whole-file CRC, value policy) on an artifact of unknown
+// provenance. Open cost therefore never scales with table bytes,
+// cold-start drops to the first faulted pages, and concurrent processes
+// serving the same artifact share one page-cache copy.
+//
+// The only load-time heap use is the resolved metric-Event vector (a few
+// bytes per metric); every per-table structure is a span into the mapping.
+// Evaluation delegates to the same serve/model_eval.h functions as
+// CompiledModel, so estimates, rankings, skip reasons, and thrown errors
+// are bit-identical to CompiledModel and Ensemble::estimate at any thread
+// count.
+//
+// Immutable after map_file; safe for concurrent estimate calls without
+// locks. Moving a MappedModel does not move the mapping, so the internal
+// views survive moves.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "counters/events.h"
+#include "sampling/dataset_view.h"
+#include "serve/model_eval.h"
+#include "spire/model_bin_v3.h"
+#include "util/mmap_file.h"
+#include "util/thread_pool.h"
+
+namespace spire::serve {
+
+class MappedModel {
+ public:
+  /// Maps and validates a binary v3 artifact. Throws std::runtime_error —
+  /// "mmap: ..." for filesystem failures, "model-v3: ..." (naming section
+  /// and byte offset) for any defect the chosen tier covers: structural
+  /// damage (truncation, resized or reshaped sections) at either tier,
+  /// plus every CRC and value-policy violation at Verify::kFull. Never
+  /// SIGBUSes on a file that passed validation and is not modified
+  /// afterwards (registry objects are immutable-once-published).
+  static MappedModel map_file(
+      const std::string& path,
+      model::v3::Verify verify = model::v3::Verify::kStructure);
+
+  /// Bit-identical to CompiledModel::estimate / Ensemble::estimate.
+  model::Estimate estimate(sampling::DatasetView workload,
+                           model::Merge merge = model::Merge::kTimeWeighted) const;
+
+  /// Bit-identical to CompiledModel::estimate_batch at any thread count.
+  std::vector<model::Estimate> estimate_batch(
+      std::span<const sampling::DatasetView> workloads,
+      util::ExecOptions exec = {},
+      model::Merge merge = model::Merge::kTimeWeighted) const;
+
+  /// Metrics in table order, ascending by event id (validated at map time).
+  const std::vector<counters::Event>& metrics() const { return metrics_; }
+
+  std::size_t metric_count() const { return metrics_.size(); }
+  std::size_t piece_count() const { return view_.x0.size(); }
+
+  /// The mapped artifact's path and total byte count.
+  const std::string& path() const { return file_.path(); }
+  std::size_t file_size() const { return file_.size(); }
+
+  /// The tables in the backend-neutral evaluator shape. All spans except
+  /// `metrics` point directly into the mapping.
+  EvalTables tables() const {
+    return {metrics_, view_.ranges, view_.x0, view_.y0, view_.x1, view_.y1};
+  }
+
+  /// The validated raw view (layout, derived slope/intercept columns,
+  /// name strings) for diagnostics and tooling.
+  const model::v3::FlatView& view() const { return view_; }
+
+ private:
+  MappedModel() = default;
+
+  util::MmapFile file_;
+  model::v3::FlatView view_;            // spans into file_
+  std::vector<counters::Event> metrics_;  // resolved from the strings section
+};
+
+}  // namespace spire::serve

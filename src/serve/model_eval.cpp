@@ -1,0 +1,101 @@
+#include "serve/model_eval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/contract.h"
+
+namespace spire::serve {
+
+using model::Estimate;
+using model::Merge;
+using model::MetricEstimate;
+using model::v3::MetricRange;
+using sampling::DatasetView;
+using sampling::Sample;
+
+double eval_roofline(const EvalTables& tables, const MetricRange& range,
+                     double intensity) {
+  // Replicates MetricRoofline::estimate + PiecewiseLinear::at +
+  // LinearPiece::at over one [begin, end) slice of the tables. Any drift
+  // here breaks the bit-identity contract.
+  SPIRE_ASSERT(!std::isnan(intensity) && intensity >= 0.0,
+               "MetricRoofline: bad intensity ", intensity);
+  std::size_t begin = range.right_begin;
+  std::size_t end = range.right_end;
+  if (range.has_left() && intensity <= range.left_max) {
+    begin = range.left_begin;
+    end = range.left_end;
+  }
+  if (intensity <= tables.x0[begin]) return tables.y0[begin];
+  // First piece whose right edge reaches the point; at a shared boundary
+  // the left segment wins (x1 == intensity stops here), matching
+  // PiecewiseLinear::at's lower_bound on x1.
+  const auto first = tables.x1.begin() + static_cast<std::ptrdiff_t>(begin);
+  const auto last = tables.x1.begin() + static_cast<std::ptrdiff_t>(end);
+  const auto it = std::lower_bound(first, last, intensity);
+  if (it == last) return tables.y1[end - 1];
+  const auto i = static_cast<std::size_t>(it - tables.x1.begin());
+  // LinearPiece::at, verbatim.
+  if (!std::isfinite(tables.x1[i])) return tables.y0[i];
+  if (tables.x1[i] == tables.x0[i]) return tables.y0[i];
+  const double t = (intensity - tables.x0[i]) / (tables.x1[i] - tables.x0[i]);
+  return tables.y0[i] + t * (tables.y1[i] - tables.y0[i]);
+}
+
+Estimate estimate_tables(const EvalTables& tables, DatasetView workload,
+                         Merge merge) {
+  Estimate out;
+  for (std::size_t m = 0; m < tables.ranges.size(); ++m) {
+    const MetricRange& range = tables.ranges[m];
+    const counters::Event metric = tables.metrics[m];
+    const std::span<const Sample> samples = workload.samples(metric);
+    // Eq. (1) with exactly Ensemble::merge_samples's skip conditions and
+    // accumulation order.
+    double weighted = 0.0;
+    double weight = 0.0;
+    std::size_t count = 0;
+    for (const Sample& s : samples) {
+      if (s.t <= 0.0 || !std::isfinite(s.t) || !std::isfinite(s.w) ||
+          !std::isfinite(s.m) || s.w < 0.0 || s.m < 0.0) {
+        continue;
+      }
+      const double p = eval_roofline(tables, range, s.intensity());
+      const double w = merge == Merge::kTimeWeighted ? s.t : 1.0;
+      weighted += w * p;
+      weight += w;
+      ++count;
+    }
+    if (count == 0 || weight <= 0.0) {
+      out.skipped.push_back({metric, samples.empty()
+                                         ? "no samples in workload"
+                                         : "no structurally usable samples"});
+      continue;
+    }
+    out.ranking.push_back({metric, weighted / weight, count});
+  }
+  if (out.ranking.empty()) {
+    throw std::invalid_argument(
+        "ensemble: workload shares no metric with the model");
+  }
+  std::sort(out.ranking.begin(), out.ranking.end(),
+            [](const MetricEstimate& a, const MetricEstimate& b) {
+              return a.p_bar < b.p_bar;
+            });
+  out.throughput = out.ranking.front().p_bar;
+  return out;
+}
+
+std::vector<Estimate> estimate_batch_tables(
+    const EvalTables& tables, std::span<const DatasetView> workloads,
+    util::ExecOptions exec, Merge merge) {
+  // The tables are immutable, each task reads one workload's view: no
+  // shared mutable state, and index-ordered collection keeps results (and
+  // the first exception) identical to the serial loop.
+  return util::parallel_for_index(exec, workloads.size(), [&](std::size_t i) {
+    return estimate_tables(tables, workloads[i], merge);
+  });
+}
+
+}  // namespace spire::serve

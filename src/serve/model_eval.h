@@ -1,0 +1,62 @@
+// The shared flattened-table evaluator behind both serving backends.
+//
+// CompiledModel (owned vectors, built by compile()) and MappedModel (spans
+// straight into an mmap'd v3 artifact) present the same structure-of-arrays
+// shape: per-metric piece-index ranges over shared x0/y0/x1/y1 endpoint
+// columns. EvalTables is that shape as non-owning spans, and the free
+// functions here are THE single implementation of the bit-identity
+// contract — estimate results identical to Ensemble::estimate down to the
+// last ulp, same ranking order, same skip reasons, same error text. Both
+// backends delegate here, so they cannot drift from each other.
+//
+// Everything is read-only and stateless: one table set can serve concurrent
+// calls from any number of threads without locks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "counters/events.h"
+#include "sampling/dataset_view.h"
+#include "spire/ensemble.h"
+#include "spire/model_bin_v3.h"
+#include "util/thread_pool.h"
+
+namespace spire::serve {
+
+/// Non-owning view of flattened model tables. `metrics` and `ranges` are
+/// parallel (ascending Event order); piece i of the shared columns is the
+/// segment (x0[i], y0[i]) -> (x1[i], y1[i]). Endpoint form, not
+/// slope/intercept: LinearPiece::at's exact expression is what the
+/// bit-identity contract replicates.
+struct EvalTables {
+  std::span<const counters::Event> metrics;
+  std::span<const model::v3::MetricRange> ranges;
+  std::span<const double> x0, y0, x1, y1;
+
+  std::size_t metric_count() const { return ranges.size(); }
+  std::size_t piece_count() const { return x0.size(); }
+};
+
+/// Roofline lookup replicating MetricRoofline::estimate over one metric's
+/// [begin, end) slices of the tables.
+double eval_roofline(const EvalTables& tables,
+                     const model::v3::MetricRange& range, double intensity);
+
+/// Ensemble-wide estimate, bit-identical to Ensemble::estimate on the
+/// source ensemble: same throughput/ranking/skipped values and the same
+/// std::invalid_argument when the workload shares no metric.
+model::Estimate estimate_tables(const EvalTables& tables,
+                                sampling::DatasetView workload,
+                                model::Merge merge);
+
+/// One estimate per workload, in input order, fanned out across a pool per
+/// `exec` (serial when threads <= 1). Bit-identical to a serial loop over
+/// estimate_tables; a workload that would make it throw makes the batch
+/// throw the same exception (lowest index wins).
+std::vector<model::Estimate> estimate_batch_tables(
+    const EvalTables& tables, std::span<const sampling::DatasetView> workloads,
+    util::ExecOptions exec, model::Merge merge);
+
+}  // namespace spire::serve

@@ -1,0 +1,43 @@
+#include "serve/model_v3.h"
+
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/compiled_model.h"
+#include "spire/model_bin_v3.h"
+#include "spire/model_io.h"
+
+namespace spire::serve {
+
+std::string model_v3_bytes(const model::Ensemble& ensemble,
+                           const CompiledModel& compiled) {
+  std::string out;
+  out.append(model::kModelBinMagicV3);
+  model::append_model_bin_body(out, ensemble);
+
+  const EvalTables tables = compiled.tables();
+  std::vector<std::string_view> names;
+  names.reserve(tables.metrics.size());
+  for (const counters::Event metric : tables.metrics) {
+    names.push_back(counters::event_name(metric));
+  }
+  model::v3::append_flat(out, {names, tables.ranges, tables.x0, tables.y0,
+                               tables.x1, tables.y1});
+  return out;
+}
+
+std::string model_v3_bytes(const model::Ensemble& ensemble) {
+  return model_v3_bytes(ensemble, CompiledModel::compile(ensemble));
+}
+
+void save_model_v3_file(const model::Ensemble& ensemble,
+                        const std::string& path) {
+  const std::string bytes = model_v3_bytes(ensemble);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("model-v3: cannot write " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("model-v3: write failed: " + path);
+}
+
+}  // namespace spire::serve

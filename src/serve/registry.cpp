@@ -1,0 +1,221 @@
+#include "serve/registry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "serve/model_v3.h"
+#include "spire/model_bin_v3.h"
+#include "spire/model_io.h"
+#include "util/hash.h"
+
+namespace spire::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("registry: " + what);
+}
+
+bool valid_id(const std::string& id) {
+  if (id.size() != 16) return false;
+  for (const char c : id) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+void require_id(const std::string& id) {
+  // Ids double as file names; rejecting anything but the 16-hex form also
+  // forecloses path traversal through a crafted "id".
+  if (!valid_id(id)) fail("malformed id '" + id + "' (want 16 hex chars)");
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(std::string root, std::size_t cache_capacity)
+    : root_(std::move(root)), cache_capacity_(cache_capacity) {
+  std::error_code ec;
+  fs::create_directories(fs::path(root_) / "objects", ec);
+  if (!ec) fs::create_directories(fs::path(root_) / "pins", ec);
+  if (ec) fail("cannot create registry root " + root_ + ": " + ec.message());
+}
+
+std::string ModelRegistry::object_path(const std::string& id) const {
+  return (fs::path(root_) / "objects" / id).string();
+}
+
+std::string ModelRegistry::pin_path(const std::string& id) const {
+  return (fs::path(root_) / "pins" / id).string();
+}
+
+std::string ModelRegistry::store_bytes_locked(const std::string& bytes) {
+  const std::string id = util::fnv1a64_hex(bytes);
+  const fs::path final_path = object_path(id);
+  std::error_code ec;
+  if (fs::exists(final_path, ec)) return id;  // already published: converge
+
+  // Unique temp name per process and call; rename is atomic, so concurrent
+  // publishers of the same content race benignly to an identical object.
+  static std::atomic<std::uint64_t> counter{0};
+  const auto self = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  const fs::path tmp =
+      fs::path(root_) / "objects" /
+      (".tmp-" + id + "-" + std::to_string(self) + "-" +
+       std::to_string(counter.fetch_add(1, std::memory_order_relaxed)));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) fail("cannot write " + tmp.string());
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      fs::remove(tmp, ec);
+      fail("write failed: " + tmp.string());
+    }
+  }
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    fail("cannot publish " + final_path.string() + ": " + ec.message());
+  }
+  return id;
+}
+
+std::string ModelRegistry::publish(const model::Ensemble& ensemble) {
+  const std::string bytes = model_v3_bytes(ensemble);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_bytes_locked(bytes);
+}
+
+std::string ModelRegistry::publish_file(const std::string& path) {
+  // Any source format normalizes through the deterministic v3 writer, so
+  // the same model always lands on the same id.
+  return publish(model::load_model_any_file(path));
+}
+
+std::string ModelRegistry::publish_bytes(const std::string& bytes) {
+  if (bytes.size() < model::kModelBinMagicV3.size() ||
+      std::memcmp(bytes.data(), model::kModelBinMagicV3.data(),
+                  model::kModelBinMagicV3.size()) != 0) {
+    throw std::runtime_error(
+        "model-v3: publish_bytes requires a v3 artifact (bad magic)");
+  }
+  // Full structural validation (CRCs, layout, semantics) before storing;
+  // alignment-safe, so the heap buffer is fine here.
+  model::v3::check_flat_region(
+      std::as_bytes(std::span(bytes.data(), bytes.size())), 0,
+      util::crc32_init());
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_bytes_locked(bytes);
+}
+
+std::shared_ptr<const MappedModel> ModelRegistry::open(const std::string& id) {
+  require_id(id);
+  std::lock_guard<std::mutex> lock(mutex_);
+  // LRU hit: move to front.
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    if (it->first == id) {
+      lru_.splice(lru_.begin(), lru_, it);
+      return lru_.front().second;
+    }
+  }
+  // A mapping may be alive in a consumer even after LRU eviction.
+  std::shared_ptr<const MappedModel> model;
+  if (const auto it = live_.find(id); it != live_.end()) {
+    model = it->second.lock();
+  }
+  if (!model) {
+    const std::string path = object_path(id);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) fail("no object with id " + id);
+    model = std::make_shared<const MappedModel>(MappedModel::map_file(path));
+    live_[id] = model;
+  }
+  if (cache_capacity_ > 0) {
+    lru_.emplace_front(id, model);
+    while (lru_.size() > cache_capacity_) lru_.pop_back();
+  }
+  // Opportunistic cleanup of long-dead tracking entries.
+  for (auto it = live_.begin(); it != live_.end();) {
+    it = it->second.expired() ? live_.erase(it) : std::next(it);
+  }
+  return model;
+}
+
+bool ModelRegistry::contains(const std::string& id) const {
+  if (!valid_id(id)) return false;
+  std::error_code ec;
+  return fs::exists(object_path(id), ec);
+}
+
+std::vector<std::string> ModelRegistry::list() const {
+  std::vector<std::string> ids;
+  std::error_code ec;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(root_) / "objects", ec)) {
+    const std::string name = entry.path().filename().string();
+    if (valid_id(name)) ids.push_back(name);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void ModelRegistry::pin(const std::string& id) {
+  require_id(id);
+  if (!contains(id)) fail("cannot pin: no object with id " + id);
+  std::ofstream marker(pin_path(id), std::ios::trunc);
+  if (!marker) fail("cannot write pin for " + id);
+}
+
+void ModelRegistry::unpin(const std::string& id) {
+  require_id(id);
+  std::error_code ec;
+  fs::remove(pin_path(id), ec);
+}
+
+std::vector<std::string> ModelRegistry::pinned() const {
+  std::vector<std::string> ids;
+  std::error_code ec;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(root_) / "pins", ec)) {
+    const std::string name = entry.path().filename().string();
+    if (valid_id(name)) ids.push_back(name);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<std::string> ModelRegistry::gc() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Drop the registry's own cache first: a model no external consumer maps
+  // is collectable even if it was recently opened. Consumers' live
+  // mappings keep their objects via the tracking map below.
+  lru_.clear();
+  std::vector<std::string> removed;
+  std::error_code ec;
+  for (const std::string& id : list()) {
+    if (fs::exists(pin_path(id), ec)) continue;
+    bool in_use = false;
+    // The LRU holds strong references, so its entries are always also live
+    // in the tracking map — checking `live_` covers both.
+    if (const auto it = live_.find(id); it != live_.end()) {
+      in_use = !it->second.expired();
+    }
+    if (in_use) continue;
+    if (fs::remove(object_path(id), ec) && !ec) {
+      live_.erase(id);
+      removed.push_back(id);
+    }
+  }
+  return removed;
+}
+
+}  // namespace spire::serve

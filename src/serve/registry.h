@@ -1,0 +1,106 @@
+// Content-addressed model registry: the deployment store for v3 artifacts.
+//
+// An artifact's id IS the fnv1a64 hex of its bytes (util/hash.h). The v3
+// writer is deterministic, so publishing the same model — from an Ensemble,
+// a text v1 file, a binary v2 file, or an existing v3 file — always
+// converges on the same id and the same stored bytes; publish is
+// idempotent and safe to race from any number of threads or processes.
+//
+// On-disk layout under the registry root (default ".spire-registry"):
+//   objects/<id>    the v3 artifact, immutable once published
+//   pins/<id>       empty marker: gc() must keep this object
+//
+// Publish writes to a unique temp file in objects/ and renames into place:
+// on POSIX, rename is atomic, so a reader (or a concurrent publisher of
+// the same content) never observes a partial object. Objects are never
+// modified in place, which is what lets MappedModel hold long-lived
+// mappings of them without SIGBUS risk.
+//
+// open() returns shared_ptr<const MappedModel> through an in-process LRU
+// cache of open mappings (capacity configurable) plus a weak-pointer
+// tracking map, so repeated opens of a hot model share one mapping and
+// gc() can refuse to delete an object any live consumer still maps.
+// All registry state is mutex-protected; the returned models themselves
+// are immutable and lock-free to use.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/mapped_model.h"
+#include "spire/ensemble.h"
+
+namespace spire::serve {
+
+class ModelRegistry {
+ public:
+  static constexpr std::string_view kDefaultRoot = ".spire-registry";
+
+  /// Opens (creating directories as needed) the registry at `root`.
+  /// `cache_capacity` bounds the LRU of open mappings kept alive by the
+  /// registry itself; 0 disables caching (every open still deduplicates
+  /// against currently-live mappings via the tracking map).
+  explicit ModelRegistry(std::string root = std::string(kDefaultRoot),
+                         std::size_t cache_capacity = 8);
+
+  /// Publishes the canonical v3 serialization of `ensemble`; returns its id.
+  std::string publish(const model::Ensemble& ensemble);
+
+  /// Loads any model format (text v1, binary v2/v3) from `path` and
+  /// publishes its canonical v3 form. Returns the id.
+  std::string publish_file(const std::string& path);
+
+  /// Publishes pre-serialized v3 artifact bytes after validating them.
+  /// Throws "model-v3: ..." if the bytes are not a structurally valid v3
+  /// artifact. Returns the id (the hash of exactly these bytes).
+  std::string publish_bytes(const std::string& bytes);
+
+  /// Maps the object with `id`, through the LRU cache: repeated opens of
+  /// the same id share one mapping. Throws std::runtime_error when the id
+  /// is malformed or not present.
+  std::shared_ptr<const MappedModel> open(const std::string& id);
+
+  bool contains(const std::string& id) const;
+
+  /// Absolute-ish path of the object file (existing or not).
+  std::string object_path(const std::string& id) const;
+
+  /// All published ids, sorted.
+  std::vector<std::string> list() const;
+
+  /// Marks `id` as not collectable by gc(). Throws if the object does not
+  /// exist.
+  void pin(const std::string& id);
+  void unpin(const std::string& id);
+  std::vector<std::string> pinned() const;
+
+  /// Removes every object that is neither pinned nor currently mapped by a
+  /// live MappedModel handed out by open(). The registry's own LRU cache
+  /// is dropped first, so caching alone never keeps an object alive.
+  /// Returns the ids removed.
+  std::vector<std::string> gc();
+
+  const std::string& root() const { return root_; }
+
+ private:
+  std::string pin_path(const std::string& id) const;
+  std::string store_bytes_locked(const std::string& bytes);
+
+  std::string root_;
+  std::size_t cache_capacity_;
+
+  mutable std::mutex mutex_;
+  // LRU of registry-owned strong references, most recent first.
+  std::list<std::pair<std::string, std::shared_ptr<const MappedModel>>> lru_;
+  // Every mapping ever handed out and possibly still alive; lets open()
+  // deduplicate beyond the LRU and gc() detect in-use objects.
+  std::map<std::string, std::weak_ptr<const MappedModel>> live_;
+};
+
+}  // namespace spire::serve

@@ -5,14 +5,50 @@
 
 #include "sampling/dataset.h"
 #include "sampling/dataset_view.h"
+#include "serve/registry.h"
+#include "spire/model_io.h"
 
 namespace spire::serve {
+
+EstimationService::EstimationService(std::shared_ptr<const MappedModel> model)
+    : model_(std::move(model)) {
+  if (!std::get<std::shared_ptr<const MappedModel>>(model_)) {
+    throw std::invalid_argument("EstimationService: null mapped model");
+  }
+}
+
+EstimationService EstimationService::from_file(const std::string& path) {
+  if (model::binary_model_file_version(path) ==
+      model::kModelBinV3FormatVersion) {
+    return EstimationService(MappedModel::map_file(path));
+  }
+  return EstimationService(CompiledModel::from_file(path));
+}
+
+EstimationService EstimationService::from_registry(ModelRegistry& registry,
+                                                   const std::string& id) {
+  return EstimationService(registry.open(id));
+}
+
+EvalTables EstimationService::tables() const {
+  return std::visit(
+      [](const auto& backend) -> EvalTables {
+        if constexpr (std::is_same_v<std::decay_t<decltype(backend)>,
+                                     std::shared_ptr<const MappedModel>>) {
+          return backend->tables();
+        } else {
+          return backend.tables();
+        }
+      },
+      model_);
+}
 
 std::vector<BatchResult> EstimationService::estimate_files(
     std::span<const std::string> paths, const BatchOptions& options) const {
   // Each task owns its Dataset (the view it estimates through points into
-  // task-local storage) and only reads the shared immutable model, so the
+  // task-local storage) and only reads the shared immutable tables, so the
   // fan-out has no shared mutable state.
+  const EvalTables tables = this->tables();
   return util::parallel_for_index(
       options.exec, paths.size(), [&](std::size_t i) {
         BatchResult result;
@@ -23,7 +59,7 @@ std::vector<BatchResult> EstimationService::estimate_files(
           const sampling::Dataset data = sampling::Dataset::load_csv(in);
           const sampling::DatasetView view(data);
           result.samples = view.size();
-          result.estimate = model_.estimate(view, options.merge);
+          result.estimate = estimate_tables(tables, view, options.merge);
         } catch (const std::exception& e) {
           result.error = e.what();
         }

@@ -2,24 +2,34 @@
 // per CSV out" serving front end used by `spire_cli estimate` and the
 // pipeline engine's estimate_batch stage.
 //
-// CompiledModel::estimate_batch is the raw kernel: bit-identical, but one
-// bad workload throws for the whole span. A service run must instead keep
-// going when one file is unreadable or shares no metric with the model, so
-// EstimationService isolates failures per item: every input path gets a
-// BatchResult in input order carrying either the Estimate or the error
-// string, never both.
+// The raw kernels (CompiledModel / MappedModel estimate_batch) are
+// bit-identical but one bad workload throws for the whole span. A service
+// run must instead keep going when one file is unreadable or shares no
+// metric with the model, so EstimationService isolates failures per item:
+// every input path gets a BatchResult in input order carrying either the
+// Estimate or the error string, never both.
+//
+// The service is backend-agnostic: it can own a CompiledModel (any source
+// format, parse at load), own a MappedModel (zero-copy v3), or share a
+// registry-cached mapping. from_file picks the fastest backend for the
+// artifact's format; from_registry resolves a content-addressed id.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "serve/compiled_model.h"
+#include "serve/mapped_model.h"
 #include "spire/ensemble.h"
 #include "util/thread_pool.h"
 
 namespace spire::serve {
+
+class ModelRegistry;
 
 /// One workload file's outcome. Exactly one of estimate/error is set.
 struct BatchResult {
@@ -39,13 +49,29 @@ struct BatchOptions {
 class EstimationService {
  public:
   explicit EstimationService(CompiledModel model) : model_(std::move(model)) {}
+  explicit EstimationService(MappedModel model) : model_(std::move(model)) {}
+  explicit EstimationService(std::shared_ptr<const MappedModel> model);
 
-  /// Loads either model format from `path` and compiles it.
-  static EstimationService from_file(const std::string& path) {
-    return EstimationService(CompiledModel::from_file(path));
+  /// Loads a model from `path`, picking the backend by format: binary v3
+  /// maps zero-copy (MappedModel); text v1 and binary v2 deserialize and
+  /// compile (CompiledModel). Either way estimates are bit-identical.
+  static EstimationService from_file(const std::string& path);
+
+  /// Resolves a content-addressed id through `registry` (shared mapping,
+  /// LRU-cached). Throws when the id is malformed or unknown.
+  static EstimationService from_registry(ModelRegistry& registry,
+                                         const std::string& id);
+
+  std::size_t metric_count() const { return tables().metric_count(); }
+  std::size_t piece_count() const { return tables().piece_count(); }
+
+  /// True when serving straight out of a file mapping (no deserialize).
+  bool zero_copy() const {
+    return !std::holds_alternative<CompiledModel>(model_);
   }
 
-  const CompiledModel& model() const { return model_; }
+  /// The active backend's tables; valid for the service's lifetime.
+  EvalTables tables() const;
 
   /// Estimates every workload CSV, one pool task per file (load + estimate
   /// both inside the task; serial when exec.threads <= 1). Results come
@@ -56,7 +82,9 @@ class EstimationService {
                                           const BatchOptions& options = {}) const;
 
  private:
-  CompiledModel model_;
+  std::variant<CompiledModel, MappedModel,
+               std::shared_ptr<const MappedModel>>
+      model_;
 };
 
 }  // namespace spire::serve

@@ -28,6 +28,16 @@
 // Conversion between the two is lossless in both directions: text values
 // are written with max precision (shortest-17 round-trips every double)
 // and binary values are the raw bit patterns.
+//
+// Binary v3 — v2 plus an appended flattened-tables region laid out for
+// zero-copy mmap serving (see spire/model_bin_v3.h for the wire layout and
+// serve/mapped_model.h for the reader). load_model_bin accepts v2 and v3;
+// for v3 it additionally validates the flat region (per-section CRCs,
+// whole-file CRC, structural and semantic checks) and cross-checks the
+// flat header's counts against the parsed metric sections, so a v3 file
+// that stream-loads is also guaranteed mappable. The v3 WRITER lives in
+// serve/model_v3.h: the flat tables are produced by serve::CompiledModel,
+// which makes file tables equal compiled tables by construction.
 #pragma once
 
 #include <iosfwd>
@@ -77,8 +87,24 @@ Ensemble load_model_bin(std::istream& in);
 void save_model_bin_file(const Ensemble& ensemble, const std::string& path);
 Ensemble load_model_bin_file(const std::string& path);
 
+/// Newest binary format version this build writes (via serve/model_v3.h).
+inline constexpr int kModelBinV3FormatVersion = 3;
+
+/// Exact leading bytes of a binary v3 model file.
+inline constexpr std::string_view kModelBinMagicV3 = "spire-model-bin v3\n";
+
+/// Appends the shared v2/v3 body (u32 metric count + per-metric sections,
+/// everything after the magic line) to `out`. save_model_bin and the v3
+/// writer both serialize through this, so the v2-compatible prefix of a v3
+/// file is byte-identical to a v2 file of the same ensemble.
+void append_model_bin_body(std::string& out, const Ensemble& ensemble);
+
 /// True when `path` starts with the binary magic (any binary version).
 bool is_binary_model_file(const std::string& path);
+
+/// Sniffs the leading bytes of `path`: returns 2 or 3 for binary model
+/// files, 0 for anything else (text models, missing files, short files).
+int binary_model_file_version(const std::string& path);
 
 /// Loads either format, sniffing the leading bytes of the file.
 Ensemble load_model_any_file(const std::string& path);

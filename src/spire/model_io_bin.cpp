@@ -1,4 +1,5 @@
-// Binary model format v2 (see model_io.h for the wire layout).
+// Binary model formats v2 and v3 (see model_io.h for the v2 wire layout,
+// model_bin_v3.h for the flat region v3 appends).
 //
 // The loader treats every input as adversarial: the magic and version are
 // checked first, each metric section's byte count is bounded by a hard cap
@@ -6,8 +7,12 @@
 // sizes the section itself declares, and every multi-byte value is
 // assembled explicitly from little-endian bytes so artifacts are portable
 // across hosts. Truncation at any byte and bit flips anywhere must produce
-// a clean std::runtime_error ("model-bin: ..."), never a crash, hang, or
-// oversized allocation — mirroring the text loader's hardening.
+// a clean std::runtime_error ("model-bin: ..." / "model-v3: ..."), never a
+// crash, hang, or oversized allocation — mirroring the text loader's
+// hardening. For v3 the loader additionally accumulates a streaming CRC
+// over the metric sections so the flat region's whole-file CRC can be
+// verified, and cross-checks the flat header's counts against the parsed
+// sections: a v3 file that stream-loads is also guaranteed mappable.
 #include <bit>
 #include <cmath>
 #include <cstdint>
@@ -19,7 +24,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "spire/model_bin_v3.h"
 #include "spire/model_io.h"
+#include "util/hash.h"
 
 namespace spire::model {
 
@@ -29,11 +36,12 @@ using geom::PiecewiseLinear;
 
 namespace {
 
-// Same allocation bound as the text loader: real fits have at most a few
-// dozen corners per region; this is orders of magnitude above that.
-constexpr std::size_t kMaxRegionCorners = 65'536;
-constexpr std::size_t kMaxMetricSections = 65'536;
-constexpr std::size_t kMaxNameBytes = 256;
+// Allocation bounds shared with the v3 flat-region validator: real fits
+// have at most a few dozen corners per region; these are orders of
+// magnitude above that.
+constexpr std::size_t kMaxRegionCorners = v3::kMaxRegionCorners;
+constexpr std::size_t kMaxMetricSections = v3::kMaxMetricSections;
+constexpr std::size_t kMaxNameBytes = v3::kMaxNameBytes;
 
 /// Fixed per-section overhead: name length, trained_on, apex pair, and the
 /// two table counts (the u32 section size itself is not part of it).
@@ -122,13 +130,8 @@ struct SectionReader {
 
 }  // namespace
 
-void save_model_bin(const Ensemble& ensemble, std::ostream& out) {
-  out.write(kModelBinMagic.data(),
-            static_cast<std::streamsize>(kModelBinMagic.size()));
-  std::string head;
-  put_u32(head, static_cast<std::uint32_t>(ensemble.rooflines().size()));
-  out.write(head.data(), static_cast<std::streamsize>(head.size()));
-
+void append_model_bin_body(std::string& out, const Ensemble& ensemble) {
+  put_u32(out, static_cast<std::uint32_t>(ensemble.rooflines().size()));
   for (const auto& [metric, roofline] : ensemble.rooflines()) {
     const std::string_view name = counters::event_name(metric);
     std::string section;
@@ -162,12 +165,17 @@ void save_model_bin(const Ensemble& ensemble, std::ostream& out) {
       put_f64(section, p.y1);
     }
 
-    std::string size_field;
-    put_u32(size_field, static_cast<std::uint32_t>(section.size()));
-    out.write(size_field.data(),
-              static_cast<std::streamsize>(size_field.size()));
-    out.write(section.data(), static_cast<std::streamsize>(section.size()));
+    put_u32(out, static_cast<std::uint32_t>(section.size()));
+    out.append(section);
   }
+}
+
+void save_model_bin(const Ensemble& ensemble, std::ostream& out) {
+  std::string body;
+  append_model_bin_body(body, ensemble);
+  out.write(kModelBinMagic.data(),
+            static_cast<std::streamsize>(kModelBinMagic.size()));
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
   if (!out) fail("write failed");
 }
 
@@ -175,25 +183,38 @@ Ensemble load_model_bin(std::istream& in) {
   // --- magic + version ----------------------------------------------------
   std::string magic(kModelBinMagic.size(), '\0');
   in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
-  if (static_cast<std::size_t>(in.gcount()) != magic.size() ||
-      magic != kModelBinMagic) {
+  int version = 0;
+  if (static_cast<std::size_t>(in.gcount()) == magic.size()) {
+    if (magic == kModelBinMagic) version = 2;
+    if (magic == kModelBinMagicV3) version = 3;
+  }
+  if (version == 0) {
     const std::string line = magic.substr(0, magic.find('\n'));
     if (line.rfind("spire-model-bin v", 0) == 0) {
       fail("unsupported binary model format version " + line.substr(16) +
            " (this build reads v" + std::to_string(kModelBinFormatVersion) +
-           ")");
+           " and v" + std::to_string(kModelBinV3FormatVersion) + ")");
     }
     fail("bad magic (expected '" +
          std::string(kModelBinMagic.substr(0, kModelBinMagic.size() - 1)) +
          "')");
   }
 
-  const auto read_u32 = [&in](const char* what) {
-    unsigned char raw[4];
-    in.read(reinterpret_cast<char*>(raw), 4);
+  // v3 carries a whole-file CRC in its footer; accumulate the stream CRC
+  // over every byte we consume so the flat-region validator can verify it.
+  std::uint32_t crc = util::crc32_init();
+  if (version == 3) crc = util::crc32_update(crc, magic);
+
+  const auto read_u32 = [&in, &crc, version](const char* what) {
+    char raw[4];
+    in.read(raw, 4);
     if (in.gcount() != 4) fail(std::string("truncated before ") + what);
+    if (version == 3) crc = util::crc32_update(crc, std::string_view(raw, 4));
     std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(raw[i]) << (8 * i);
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(raw[i]))
+           << (8 * i);
+    }
     return v;
   };
 
@@ -205,6 +226,8 @@ Ensemble load_model_bin(std::istream& in) {
 
   std::map<Event, MetricRoofline> rooflines;
   std::size_t offset = kModelBinMagic.size() + 4;
+  std::size_t total_pieces = 0;  // flat-table rows a v3 file must declare
+  std::size_t total_name_bytes = 0;
   for (std::uint32_t section_index = 0; section_index < metric_count;
        ++section_index) {
     const std::uint32_t section_bytes = read_u32("section byte count");
@@ -225,6 +248,7 @@ Ensemble load_model_bin(std::istream& in) {
            " truncated: declared " + std::to_string(section_bytes) +
            " bytes, got " + std::to_string(in.gcount()));
     }
+    if (version == 3) crc = util::crc32_update(crc, buf);
 
     SectionReader r{buf, 0, section_index, offset};
     const std::uint32_t name_len = r.u32("name length");
@@ -295,12 +319,53 @@ Ensemble load_model_bin(std::istream& in) {
       r.fail_here(std::string("invalid right region: ") + e.what());
     }
     offset += section_bytes;
+    total_pieces += (left_count > 0 ? left_count - 1 : 0) + right_count;
+    total_name_bytes += name_len;
   }
 
   if (rooflines.empty()) fail("no metrics");
-  if (in.peek() != std::istream::traits_type::eof()) {
-    fail("trailing garbage after " + std::to_string(metric_count) +
-         " metric section(s) (at byte " + std::to_string(offset) + ")");
+  if (version == 2) {
+    if (in.peek() != std::istream::traits_type::eof()) {
+      fail("trailing garbage after " + std::to_string(metric_count) +
+           " metric section(s) (at byte " + std::to_string(offset) + ")");
+    }
+    return Ensemble(std::move(rooflines));
+  }
+
+  // --- v3: validate the appended flat region --------------------------------
+  // The canonical writer's flat-region size is fully determined by the
+  // sections just parsed, so the allocation is bounded by construction and
+  // any size deviation is a structural error.
+  const auto align_up = [](std::size_t n) {
+    return (n + v3::kFlatAlignment - 1) & ~(v3::kFlatAlignment - 1);
+  };
+  const std::size_t expected_tail =
+      (align_up(offset) - offset) + v3::kFlatHeaderBytes +
+      v3::kSectionCount * v3::kSectionEntryBytes +
+      32 * static_cast<std::size_t>(metric_count) +
+      align_up(total_name_bytes) + 48 * total_pieces + v3::kFooterBytes;
+  std::string tail(expected_tail + 1, '\0');
+  in.read(tail.data(), static_cast<std::streamsize>(tail.size()));
+  tail.resize(static_cast<std::size_t>(in.gcount()));
+  if (tail.size() != expected_tail) {
+    throw std::runtime_error(
+        "model-v3: flat region has " + std::to_string(tail.size()) +
+        (tail.size() > expected_tail ? "+" : "") + " byte(s) after the " +
+        std::to_string(metric_count) + " metric section(s), expected " +
+        std::to_string(expected_tail) + " (at byte " + std::to_string(offset) +
+        ")");
+  }
+  const v3::FlatLayout layout = v3::check_flat_region(
+      std::as_bytes(std::span(tail.data(), tail.size())), offset, crc);
+  if (layout.metric_count != metric_count ||
+      layout.piece_count != total_pieces) {
+    throw std::runtime_error(
+        "model-v3: flat header declares " +
+        std::to_string(layout.metric_count) + " metric(s) / " +
+        std::to_string(layout.piece_count) +
+        " piece(s) but the metric sections hold " +
+        std::to_string(metric_count) + " / " + std::to_string(total_pieces) +
+        " (at byte " + std::to_string(layout.flat_offset + 8) + ")");
   }
   return Ensemble(std::move(rooflines));
 }
@@ -327,6 +392,17 @@ bool is_binary_model_file(const std::string& path) {
   in.read(head.data(), static_cast<std::streamsize>(head.size()));
   return static_cast<std::size_t>(in.gcount()) == kPrefix.size() &&
          head == kPrefix;
+}
+
+int binary_model_file_version(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  std::string head(kModelBinMagic.size(), '\0');
+  in.read(head.data(), static_cast<std::streamsize>(head.size()));
+  if (static_cast<std::size_t>(in.gcount()) != head.size()) return 0;
+  if (head == kModelBinMagic) return kModelBinFormatVersion;
+  if (head == kModelBinMagicV3) return kModelBinV3FormatVersion;
+  return 0;
 }
 
 Ensemble load_model_any_file(const std::string& path) {

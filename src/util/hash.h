@@ -1,0 +1,44 @@
+// Stateless byte-hashing primitives for artifact integrity and identity.
+//
+// Two different jobs, two different functions:
+//   * crc32 — per-section corruption detection inside the binary model v3
+//     format (spire/model_bin_v3.h). IEEE 802.3 polynomial, the same CRC
+//     zip/png use, so artifacts can be cross-checked with standard tools.
+//   * fnv1a64 — content addressing in the model registry
+//     (serve/registry.h). Not cryptographic: it names artifacts produced
+//     by our own deterministic writer, it does not defend against an
+//     adversary minting collisions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace spire::util {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected), of `bytes`.
+std::uint32_t crc32(std::span<const std::byte> bytes);
+std::uint32_t crc32(std::string_view bytes);
+
+/// Streaming form, for callers that see the bytes in chunks (the binary
+/// model loader accumulates the whole-file CRC while reading sections):
+///   state = crc32_init();
+///   state = crc32_update(state, chunk);  // repeat
+///   crc   = crc32_final(state);
+/// crc32(b) == crc32_final(crc32_update(crc32_init(), b)).
+std::uint32_t crc32_init();
+std::uint32_t crc32_update(std::uint32_t state, std::span<const std::byte> bytes);
+std::uint32_t crc32_update(std::uint32_t state, std::string_view bytes);
+std::uint32_t crc32_final(std::uint32_t state);
+
+/// FNV-1a 64-bit hash of `bytes`.
+std::uint64_t fnv1a64(std::span<const std::byte> bytes);
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// `fnv1a64` rendered as the canonical registry id: 16 lowercase hex
+/// characters, zero-padded.
+std::string fnv1a64_hex(std::string_view bytes);
+
+}  // namespace spire::util

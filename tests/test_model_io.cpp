@@ -185,15 +185,16 @@ TEST(ModelIoBin, BadMagicThrows) {
   EXPECT_THROW(load_model_bin(in), std::runtime_error);
 }
 
-TEST(ModelIoBin, FutureVersionNamesBothVersions) {
-  std::istringstream in("spire-model-bin v3\n\x01\x00\x00\x00");
+TEST(ModelIoBin, FutureVersionNamesAllSupportedVersions) {
+  std::istringstream in("spire-model-bin v4\n\x01\x00\x00\x00");
   try {
     load_model_bin(in);
     FAIL() << "future version must not load";
   } catch (const std::runtime_error& e) {
     const std::string what = e.what();
-    EXPECT_NE(what.find("v3"), std::string::npos) << what;
+    EXPECT_NE(what.find("v4"), std::string::npos) << what;
     EXPECT_NE(what.find("v2"), std::string::npos) << what;
+    EXPECT_NE(what.find("v3"), std::string::npos) << what;
   }
 }
 

@@ -1,0 +1,720 @@
+// Binary v3 + zero-copy serving: the mapped path's promises are (a) bit
+// identity with the tree-walk and the compiled path at any thread count,
+// (b) zero per-table copying (every table span points into the mapping),
+// and (c) no crafted or corrupted artifact ever gets a pointer formed into
+// it — every defect is a clean "model-v3: ..." diagnostic naming a section
+// or byte offset. The registry adds content-addressed identity: publishing
+// the same model from any source format converges on one id, publish is
+// atomic and race-safe, and gc never removes pinned or live-mapped objects.
+#include "serve/mapped_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lint/lint.h"
+#include "pipeline/engine.h"
+#include "quality/fault_injector.h"
+#include "sampling/dataset.h"
+#include "sampling/dataset_view.h"
+#include "serve/compiled_model.h"
+#include "serve/model_v3.h"
+#include "serve/registry.h"
+#include "serve/service.h"
+#include "spire/ensemble.h"
+#include "spire/model_bin_v3.h"
+#include "spire/model_io.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace spire::serve {
+namespace {
+
+using counters::Event;
+using model::Ensemble;
+using model::Estimate;
+using sampling::Dataset;
+using sampling::DatasetView;
+
+Ensemble trained_ensemble(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset train;
+  for (Event metric : {Event::kIdqDsbUops, Event::kLsdUops,
+                       Event::kBrMispRetiredAllBranches,
+                       Event::kLongestLatCacheMiss,
+                       Event::kMemInstRetiredAllLoads}) {
+    for (int i = 0; i < 60; ++i) {
+      const double p = rng.uniform(0.1, 4.0);
+      const double intensity = rng.chance(0.1)
+                                   ? std::numeric_limits<double>::infinity()
+                                   : std::pow(10.0, rng.uniform(-1.0, 3.0));
+      train.add(metric, {1.0, p, std::isinf(intensity) ? 0.0 : p / intensity});
+    }
+  }
+  return Ensemble::train(train);
+}
+
+Dataset mixed_workload(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset d;
+  for (Event metric : {Event::kIdqDsbUops, Event::kLsdUops,
+                       Event::kBrMispRetiredAllBranches,
+                       Event::kLongestLatCacheMiss}) {
+    for (int i = 0; i < 40; ++i) {
+      const double p = rng.uniform(0.05, 5.0);
+      const double intensity = rng.chance(0.15)
+                                   ? std::numeric_limits<double>::infinity()
+                                   : std::pow(10.0, rng.uniform(-2.0, 4.0));
+      d.add(metric, {rng.uniform(0.5, 2.0), p,
+                     std::isinf(intensity) ? 0.0 : p / intensity});
+    }
+    d.add(metric, {0.0, 1.0, 1.0});
+    d.add(metric, {1.0, -1.0, 1.0});
+    d.add(metric, {std::numeric_limits<double>::quiet_NaN(), 1.0, 1.0});
+  }
+  d.add(Event::kMemInstRetiredAllLoads, {-3.0, 1.0, 1.0});
+  return d;
+}
+
+void expect_identical(const Estimate& a, const Estimate& b) {
+  EXPECT_EQ(a.throughput, b.throughput);
+  ASSERT_EQ(a.ranking.size(), b.ranking.size());
+  for (std::size_t i = 0; i < a.ranking.size(); ++i) {
+    EXPECT_EQ(a.ranking[i].metric, b.ranking[i].metric);
+    EXPECT_EQ(a.ranking[i].p_bar, b.ranking[i].p_bar);
+    EXPECT_EQ(a.ranking[i].samples, b.ranking[i].samples);
+  }
+  ASSERT_EQ(a.skipped.size(), b.skipped.size());
+  for (std::size_t i = 0; i < a.skipped.size(); ++i) {
+    EXPECT_EQ(a.skipped[i].metric, b.skipped[i].metric);
+    EXPECT_EQ(a.skipped[i].reason, b.skipped[i].reason);
+  }
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.is_open()) << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// --------------------------------------------------------------------------
+// Format: stream round-trip, sniffing, superset property
+// --------------------------------------------------------------------------
+
+TEST(ModelV3, StreamLoaderRoundTripsAndV2PrefixIsByteIdentical) {
+  const Ensemble ensemble = trained_ensemble(17);
+  const std::string v3 = model_v3_bytes(ensemble);
+
+  // Stream deserialize (no mmap) reconstructs the exact rooflines.
+  std::istringstream in(v3, std::ios::binary);
+  const Ensemble reloaded = model::load_model_bin(in);
+  EXPECT_EQ(ensemble.rooflines(), reloaded.rooflines());
+
+  // v3 is a strict superset of v2: magic aside, the v2 body bytes are
+  // byte-identical to a v2 serialization of the same ensemble.
+  std::ostringstream v2s(std::ios::binary);
+  model::save_model_bin(ensemble, v2s);
+  const std::string v2 = v2s.str();
+  ASSERT_EQ(model::kModelBinMagic.size(), model::kModelBinMagicV3.size());
+  const std::string v2_body = v2.substr(model::kModelBinMagic.size());
+  EXPECT_EQ(v2_body, v3.substr(model::kModelBinMagicV3.size(), v2_body.size()));
+
+  // Determinism: serializing again yields the same bytes (the registry's
+  // content addressing rests on this).
+  EXPECT_EQ(v3, model_v3_bytes(reloaded));
+}
+
+TEST(ModelV3, FileVersionSniffingRoutesAllThreeFormats) {
+  const Ensemble ensemble = trained_ensemble(17);
+  const std::string v1 = temp_path("sniff_v1.model");
+  const std::string v2 = temp_path("sniff_v2.bin");
+  const std::string v3 = temp_path("sniff_v3.bin");
+  model::save_model_file(ensemble, v1);
+  model::save_model_bin_file(ensemble, v2);
+  save_model_v3_file(ensemble, v3);
+
+  EXPECT_EQ(model::binary_model_file_version(v1), 0);
+  EXPECT_EQ(model::binary_model_file_version(v2), 2);
+  EXPECT_EQ(model::binary_model_file_version(v3), 3);
+  EXPECT_EQ(model::binary_model_file_version(temp_path("sniff_none")), 0);
+  EXPECT_TRUE(model::is_binary_model_file(v3));
+
+  for (const std::string& path : {v1, v2, v3}) {
+    EXPECT_EQ(ensemble.rooflines(),
+              model::load_model_any_file(path).rooflines())
+        << path;
+  }
+}
+
+// --------------------------------------------------------------------------
+// MappedModel: bit identity and zero-copy structure
+// --------------------------------------------------------------------------
+
+TEST(MappedModel, EstimatesBitIdenticalToEnsembleAndCompiled) {
+  const Ensemble ensemble = trained_ensemble(17);
+  const CompiledModel compiled = CompiledModel::compile(ensemble);
+  const std::string path = temp_path("mapped_identity.v3.bin");
+  save_model_v3_file(ensemble, path);
+  const MappedModel mapped = MappedModel::map_file(path);
+
+  EXPECT_EQ(mapped.metric_count(), compiled.metric_count());
+  EXPECT_EQ(mapped.piece_count(), compiled.piece_count());
+  EXPECT_EQ(mapped.metrics(), compiled.metrics());
+
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Dataset workload = mixed_workload(seed);
+    const DatasetView view(workload);
+    for (const model::Merge merge :
+         {model::Merge::kTimeWeighted, model::Merge::kUnweighted}) {
+      const Estimate reference = ensemble.estimate(view, merge);
+      expect_identical(reference, mapped.estimate(view, merge));
+      expect_identical(compiled.estimate(view, merge),
+                       mapped.estimate(view, merge));
+    }
+  }
+}
+
+TEST(MappedModel, BatchIsBitIdenticalAtOneFourEightThreads) {
+  const Ensemble ensemble = trained_ensemble(29);
+  const std::string path = temp_path("mapped_batch.v3.bin");
+  save_model_v3_file(ensemble, path);
+  const MappedModel mapped = MappedModel::map_file(path);
+
+  std::vector<Dataset> workloads;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    workloads.push_back(mixed_workload(seed));
+  }
+  std::vector<DatasetView> views(workloads.begin(), workloads.end());
+  std::vector<Estimate> reference;
+  for (const DatasetView& view : views) {
+    reference.push_back(ensemble.estimate(view));
+  }
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{8}}) {
+    const auto batch = mapped.estimate_batch(views, util::ExecOptions{threads});
+    ASSERT_EQ(batch.size(), reference.size()) << threads << " threads";
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      expect_identical(reference[i], batch[i]);
+    }
+  }
+}
+
+TEST(MappedModel, ThrowsTheEnsembleErrorOnNoSharedMetric) {
+  const Ensemble ensemble = trained_ensemble(17);
+  const std::string path = temp_path("mapped_throw.v3.bin");
+  save_model_v3_file(ensemble, path);
+  const MappedModel mapped = MappedModel::map_file(path);
+
+  Dataset workload;
+  workload.add(Event::kUopsIssuedAny, {1.0, 1.0, 1.0});
+  const DatasetView view(workload);
+  std::string reference_error;
+  try {
+    ensemble.estimate(view);
+  } catch (const std::invalid_argument& e) {
+    reference_error = e.what();
+  }
+  ASSERT_FALSE(reference_error.empty());
+  try {
+    mapped.estimate(view);
+    FAIL() << "mapped estimate must throw like the ensemble";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(reference_error, e.what());
+  }
+  std::vector<DatasetView> views{view};
+  EXPECT_THROW(mapped.estimate_batch(views, util::ExecOptions{4}),
+               std::invalid_argument);
+}
+
+TEST(MappedModel, TableSpansPointIntoTheMappingNotCopies) {
+  const Ensemble ensemble = trained_ensemble(17);
+  const std::string path = temp_path("mapped_spans.v3.bin");
+  save_model_v3_file(ensemble, path);
+  const MappedModel mapped = MappedModel::map_file(path);
+
+  // Every table span must sit inside one contiguous buffer — the mapping —
+  // at exactly the file offsets the section table declares. If any table
+  // were deserialized into a heap copy, these distances could not all hold.
+  const auto& layout = mapped.view().layout;
+  const EvalTables t = mapped.tables();
+  const char* ranges = reinterpret_cast<const char*>(t.ranges.data());
+  const auto distance_to = [&](const void* p) {
+    return reinterpret_cast<const char*>(p) - ranges;
+  };
+  using model::v3::Section;
+  const std::ptrdiff_t base =
+      static_cast<std::ptrdiff_t>(layout.section(Section::kMetricRanges).offset);
+  EXPECT_EQ(distance_to(t.x0.data()),
+            static_cast<std::ptrdiff_t>(layout.section(Section::kX0).offset) - base);
+  EXPECT_EQ(distance_to(t.y0.data()),
+            static_cast<std::ptrdiff_t>(layout.section(Section::kY0).offset) - base);
+  EXPECT_EQ(distance_to(t.x1.data()),
+            static_cast<std::ptrdiff_t>(layout.section(Section::kX1).offset) - base);
+  EXPECT_EQ(distance_to(t.y1.data()),
+            static_cast<std::ptrdiff_t>(layout.section(Section::kY1).offset) - base);
+  EXPECT_EQ(distance_to(mapped.view().strings.data()),
+            static_cast<std::ptrdiff_t>(layout.section(Section::kStrings).offset) - base);
+  EXPECT_EQ(layout.file_size, mapped.file_size());
+
+  // Mapped tables equal compiled tables value-for-value (the "by
+  // construction" guarantee, spot-verified).
+  const CompiledModel compiled = CompiledModel::compile(ensemble);
+  const EvalTables c = compiled.tables();
+  ASSERT_EQ(t.piece_count(), c.piece_count());
+  for (std::size_t i = 0; i < t.piece_count(); ++i) {
+    EXPECT_EQ(t.x0[i], c.x0[i]);
+    EXPECT_EQ(t.y0[i], c.y0[i]);
+    EXPECT_EQ(t.x1[i], c.x1[i]);
+    EXPECT_EQ(t.y1[i], c.y1[i]);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Hardening: fuzzed and hand-corrupted artifacts
+// --------------------------------------------------------------------------
+
+class FuzzModelV3 : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzModelV3, EveryMutationIsRejectedWithADiagnostic) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 86'243 + 3);
+  const Ensemble ensemble = trained_ensemble(11);
+  const std::string clean = model_v3_bytes(ensemble);
+  const std::string path = temp_path("fuzz_v3.bin");
+
+  // The unmutated artifact maps and stream-loads.
+  write_file(path, clean);
+  EXPECT_NO_THROW(MappedModel::map_file(path));
+  {
+    std::istringstream in(clean, std::ios::binary);
+    EXPECT_NO_THROW(model::load_model_bin(in));
+  }
+
+  for (int round = 0; round < 25; ++round) {
+    const std::string mutated =
+        rng.chance(0.5) ? quality::flip_bits(clean, rng, 1 + rng.below(8))
+                        : quality::truncate_tail(clean, rng);
+    if (mutated == clean) continue;
+    write_file(path, mutated);
+    // Full verification: the whole-file CRC covers every byte before the
+    // footer and the footer is fully cross-checked, so — unlike v2, where
+    // payload bit flips can survive — EVERY mutation must be rejected,
+    // with the hardened validator's own diagnostic. Never a crash or
+    // SIGBUS.
+    try {
+      MappedModel::map_file(path, model::v3::Verify::kFull);
+      FAIL() << "mutation must be rejected (round " << round << ")";
+    } catch (const std::exception& e) {
+      const std::string what = e.what();
+      EXPECT_TRUE(what.rfind("model-v3:", 0) == 0 ||
+                  what.rfind("mmap:", 0) == 0)
+          << what;
+    }
+    // The structure tier (the default serving open) may accept damage the
+    // CRCs would catch, but it must never crash, SIGBUS, or index out of
+    // bounds — a mutated artifact either rejects with a diagnostic or
+    // serves estimates without UB (ASan/UBSan runs enforce the latter).
+    try {
+      const MappedModel survived = MappedModel::map_file(path);
+      for (const counters::Event metric : survived.metrics()) {
+        (void)metric;
+      }
+      (void)survived.view().strings;
+    } catch (const std::exception& e) {
+      const std::string what = e.what();
+      EXPECT_TRUE(what.rfind("model-v3:", 0) == 0 ||
+                  what.rfind("mmap:", 0) == 0)
+          << what;
+    }
+    // The stream loader rejects the same bytes (possibly at an earlier
+    // layer: v2-body parsing or the magic check).
+    std::istringstream in(mutated, std::ios::binary);
+    try {
+      model::load_model_bin(in);
+      FAIL() << "stream load must reject (round " << round << ")";
+    } catch (const std::exception& e) {
+      const std::string what = e.what();
+      EXPECT_TRUE(what.rfind("model-bin:", 0) == 0 ||
+                  what.rfind("model-v3:", 0) == 0)
+          << what;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzModelV3, ::testing::Range(1, 9));
+
+TEST(ModelV3Hardening, TargetedCorruptionsNameTheSectionAndOffset) {
+  const Ensemble ensemble = trained_ensemble(11);
+  const std::string clean = model_v3_bytes(ensemble);
+  const std::string path = temp_path("corrupt_v3.bin");
+
+  const auto expect_rejected_at = [&](const std::string& bytes,
+                                      const std::string& needle,
+                                      model::v3::Verify verify) {
+    write_file(path, bytes);
+    try {
+      MappedModel::map_file(path, verify);
+      FAIL() << "expected rejection containing '" << needle << "'";
+    } catch (const std::exception& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  // Structural damage must be rejected at BOTH tiers — the fast serving
+  // open gives up nothing on geometry/bounds safety.
+  const auto expect_rejected = [&](const std::string& bytes,
+                                   const std::string& needle) {
+    expect_rejected_at(bytes, needle, model::v3::Verify::kStructure);
+    expect_rejected_at(bytes, needle, model::v3::Verify::kFull);
+  };
+
+  // Recover the layout to aim precisely.
+  const auto layout = model::v3::check_flat_region(
+      std::as_bytes(std::span(clean.data(), clean.size())), 0,
+      util::crc32_init());
+  using model::v3::Section;
+
+  // A flipped byte inside a payload: full verification's per-section CRC
+  // pinpoints it. The structure tier, by contract, maps such bytes — CRC
+  // work belongs to the publish/lint gate, not every serving open.
+  {
+    std::string bytes = clean;
+    bytes[layout.section(Section::kX0).offset + 3] ^= 0x40;
+    expect_rejected_at(bytes, "section x0 CRC mismatch",
+                       model::v3::Verify::kFull);
+    write_file(path, bytes);
+    EXPECT_NO_THROW(MappedModel::map_file(path));
+  }
+  {
+    std::string bytes = clean;
+    bytes[layout.section(Section::kStrings).offset] ^= 0x01;
+    expect_rejected_at(bytes, "section strings CRC mismatch",
+                       model::v3::Verify::kFull);
+  }
+  // Footer file_size that disagrees with the actual byte count.
+  {
+    std::string bytes = clean;
+    bytes[bytes.size() - 24] ^= 0x08;  // footer.file_size low byte
+    expect_rejected(bytes, "footer declares");
+  }
+  // Broken footer magic.
+  {
+    std::string bytes = clean;
+    bytes[bytes.size() - 1] ^= 0xFF;
+    expect_rejected(bytes, "bad footer magic");
+  }
+  // Misaligned flat offset in the footer.
+  {
+    std::string bytes = clean;
+    bytes[bytes.size() - 32] ^= 0x04;  // footer.flat_offset low byte
+    expect_rejected(bytes, "aligned");
+  }
+  // Truncation: structural rejection before any pointer is formed.
+  expect_rejected(clean.substr(0, clean.size() - 7), "footer");
+  expect_rejected(clean.substr(0, layout.flat_offset + 16), "footer");
+  // Growth after write (appended garbage) moves the footer window.
+  expect_rejected(clean + std::string(64, 'x'), "footer");
+  // Flat magic corruption.
+  {
+    std::string bytes = clean;
+    bytes[layout.flat_offset] ^= 0x10;
+    expect_rejected(bytes, "flat magic");
+  }
+  // Wrong v2 magic byte: not even routed to the v3 path.
+  {
+    std::string bytes = clean;
+    bytes[2] ^= 0x20;
+    expect_rejected(bytes, "magic");
+  }
+}
+
+TEST(ModelV3Hardening, StreamLoaderCrossChecksFlatCountsAndCrc) {
+  const Ensemble ensemble = trained_ensemble(11);
+  const std::string clean = model_v3_bytes(ensemble);
+
+  // Flip one byte of a double payload in the flat region: the v2 body
+  // still parses, the flat validation must catch it.
+  const auto layout = model::v3::check_flat_region(
+      std::as_bytes(std::span(clean.data(), clean.size())), 0,
+      util::crc32_init());
+  std::string bytes = clean;
+  bytes[layout.section(model::v3::Section::kY1).offset + 9] ^= 0x01;
+  std::istringstream in(bytes, std::ios::binary);
+  try {
+    model::load_model_bin(in);
+    FAIL() << "expected flat-region rejection";
+  } catch (const std::exception& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("model-v3:", 0), 0u) << e.what();
+    EXPECT_NE(std::string(e.what()).find("y1"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ModelV3Hardening, VerificationTiersSplitCrcWorkFromBoundsSafety) {
+  const Ensemble ensemble = trained_ensemble(11);
+  const std::string clean = model_v3_bytes(ensemble);
+  const std::string path = temp_path("tiers_v3.bin");
+  const auto layout = model::v3::check_flat_region(
+      std::as_bytes(std::span(clean.data(), clean.size())), 0,
+      util::crc32_init());
+
+  // Clean artifacts pass both tiers.
+  write_file(path, clean);
+  EXPECT_NO_THROW(MappedModel::map_file(path));
+  EXPECT_NO_THROW(MappedModel::map_file(path, model::v3::Verify::kFull));
+
+  // Flip a byte in the derived slopes table. The full tier names the
+  // section; the structure tier maps the file — and because the
+  // bit-identity evaluator never reads derived columns, estimates remain
+  // bit-identical to the compiled model even on the damaged artifact.
+  std::string bytes = clean;
+  bytes[layout.section(model::v3::Section::kSlopes).offset + 2] ^= 0x10;
+  write_file(path, bytes);
+  try {
+    MappedModel::map_file(path, model::v3::Verify::kFull);
+    FAIL() << "full verification must reject the slopes flip";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("slopes"), std::string::npos)
+        << e.what();
+  }
+  const MappedModel mapped = MappedModel::map_file(path);
+  const CompiledModel compiled = CompiledModel::compile(ensemble);
+  const Dataset workload = mixed_workload(5);
+  const DatasetView view(workload);
+  const Estimate a = mapped.estimate(view);
+  const Estimate b = compiled.estimate(view);
+  EXPECT_EQ(a.throughput, b.throughput);
+
+  // The registry's entry gate runs full verification: damaged bytes never
+  // become published objects, which is what makes the fast open sound.
+  ModelRegistry registry(temp_path("reg_tiers_gate"));
+  EXPECT_THROW(registry.publish_bytes(bytes), std::runtime_error);
+  EXPECT_NO_THROW(registry.publish_bytes(clean));
+}
+
+// --------------------------------------------------------------------------
+// Registry: content addressing, atomicity, pin/gc, cache
+// --------------------------------------------------------------------------
+
+std::string fresh_registry_root(const std::string& name) {
+  const std::string root = temp_path(name);
+  std::filesystem::remove_all(root);
+  return root;
+}
+
+TEST(ModelRegistry, PublishConvergesAcrossEverySourceFormat) {
+  const Ensemble ensemble = trained_ensemble(17);
+  ModelRegistry registry(fresh_registry_root("reg_converge"));
+
+  const std::string v1 = temp_path("reg_src.model");
+  const std::string v2 = temp_path("reg_src.bin");
+  const std::string v3 = temp_path("reg_src.v3.bin");
+  model::save_model_file(ensemble, v1);
+  model::save_model_bin_file(ensemble, v2);
+  save_model_v3_file(ensemble, v3);
+
+  const std::string id = registry.publish(ensemble);
+  EXPECT_EQ(id.size(), 16u);
+  EXPECT_EQ(id, util::fnv1a64_hex(model_v3_bytes(ensemble)));
+  EXPECT_EQ(id, registry.publish_file(v1));
+  EXPECT_EQ(id, registry.publish_file(v2));
+  EXPECT_EQ(id, registry.publish_file(v3));
+  {
+    std::ifstream raw(v3, std::ios::binary);
+    std::stringstream buf;
+    buf << raw.rdbuf();
+    EXPECT_EQ(id, registry.publish_bytes(buf.str()));
+  }
+  EXPECT_EQ(registry.list(), std::vector<std::string>{id});
+  EXPECT_TRUE(registry.contains(id));
+
+  // The stored object serves bit-identically to the source ensemble.
+  const auto mapped = registry.open(id);
+  const Dataset workload = mixed_workload(3);
+  const DatasetView view(workload);
+  expect_identical(ensemble.estimate(view), mapped->estimate(view));
+}
+
+TEST(ModelRegistry, PublishBytesValidatesBeforeStoring) {
+  ModelRegistry registry(fresh_registry_root("reg_validate"));
+  EXPECT_THROW(registry.publish_bytes("garbage"), std::runtime_error);
+  std::string forged(std::string(model::kModelBinMagicV3) +
+                     std::string(512, '\0'));
+  EXPECT_THROW(registry.publish_bytes(forged), std::runtime_error);
+  EXPECT_TRUE(registry.list().empty());
+}
+
+TEST(ModelRegistry, RejectsMalformedIds) {
+  ModelRegistry registry(fresh_registry_root("reg_ids"));
+  EXPECT_THROW(registry.open("not-an-id"), std::runtime_error);
+  EXPECT_THROW(registry.open("../../etc/passwd"), std::runtime_error);
+  EXPECT_THROW(registry.open("ABCDEF0123456789"), std::runtime_error);  // upper
+  EXPECT_FALSE(registry.contains("zz"));
+  const std::string absent(16, 'a');
+  EXPECT_THROW(registry.open(absent), std::runtime_error);
+}
+
+TEST(ModelRegistry, OpenSharesOneMappingThroughTheCache) {
+  ModelRegistry registry(fresh_registry_root("reg_cache"));
+  const std::string id = registry.publish(trained_ensemble(17));
+  const auto a = registry.open(id);
+  const auto b = registry.open(id);
+  EXPECT_EQ(a.get(), b.get());  // one mapping, shared
+
+  // Even after eviction (capacity 1 registry), a live consumer mapping is
+  // reused rather than remapped.
+  ModelRegistry small(fresh_registry_root("reg_small"), 1);
+  const std::string id1 = small.publish(trained_ensemble(17));
+  const std::string id2 = small.publish(trained_ensemble(29));
+  ASSERT_NE(id1, id2);
+  const auto m1 = small.open(id1);
+  (void)small.open(id2);  // evicts id1 from the LRU
+  EXPECT_EQ(m1.get(), small.open(id1).get());
+}
+
+TEST(ModelRegistry, GcKeepsPinnedAndLiveObjectsOnly) {
+  ModelRegistry registry(fresh_registry_root("reg_gc"));
+  const std::string pinned = registry.publish(trained_ensemble(17));
+  const std::string live = registry.publish(trained_ensemble(29));
+  const std::string loose = registry.publish(trained_ensemble(43));
+  ASSERT_EQ(registry.list().size(), 3u);
+
+  registry.pin(pinned);
+  EXPECT_EQ(registry.pinned(), std::vector<std::string>{pinned});
+  auto handle = registry.open(live);
+
+  const auto removed = registry.gc();
+  EXPECT_EQ(removed, std::vector<std::string>{loose});
+  EXPECT_TRUE(registry.contains(pinned));
+  EXPECT_TRUE(registry.contains(live));
+  EXPECT_FALSE(registry.contains(loose));
+  // The live mapping keeps serving after gc.
+  const Dataset workload = mixed_workload(5);
+  EXPECT_NO_THROW(handle->estimate(DatasetView(workload)));
+
+  // Drop the pin and the handle: everything is now collectable.
+  registry.unpin(pinned);
+  handle.reset();
+  auto removed2 = registry.gc();
+  std::sort(removed2.begin(), removed2.end());
+  std::vector<std::string> expected{pinned, live};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(removed2, expected);
+  EXPECT_TRUE(registry.list().empty());
+}
+
+TEST(ModelRegistry, ConcurrentPublishOfTheSameBytesConverges) {
+  const Ensemble ensemble = trained_ensemble(17);
+  ModelRegistry registry(fresh_registry_root("reg_race"));
+  std::string id_a, id_b;
+  std::thread a([&] { id_a = registry.publish(ensemble); });
+  std::thread b([&] { id_b = registry.publish(ensemble); });
+  a.join();
+  b.join();
+  EXPECT_EQ(id_a, id_b);
+  EXPECT_EQ(registry.list(), std::vector<std::string>{id_a});
+  // The object is whole (atomic rename: no reader can see a partial file).
+  EXPECT_NO_THROW(registry.open(id_a));
+}
+
+// --------------------------------------------------------------------------
+// Service + engine integration
+// --------------------------------------------------------------------------
+
+TEST(EstimationService, FromRegistryServesBitIdentically) {
+  const Ensemble ensemble = trained_ensemble(17);
+  ModelRegistry registry(fresh_registry_root("reg_service"));
+  const std::string id = registry.publish(ensemble);
+  const EstimationService service =
+      EstimationService::from_registry(registry, id);
+  EXPECT_TRUE(service.zero_copy());
+  EXPECT_EQ(service.metric_count(), ensemble.metric_count());
+
+  const std::string csv = temp_path("reg_service.csv");
+  {
+    std::ofstream out(csv);
+    mixed_workload(7).save_csv(out);
+  }
+  const std::vector<std::string> paths = {csv};
+  const auto results = service.estimate_files(paths);
+  ASSERT_TRUE(results[0].ok());
+  expect_identical(ensemble.estimate(DatasetView(mixed_workload(7))),
+                   *results[0].estimate);
+}
+
+TEST(EngineServe, CompileV3PublishAndResolveStages) {
+  const Ensemble ensemble = trained_ensemble(17);
+  const std::string model_path = temp_path("engine_v3_src.bin");
+  model::save_model_bin_file(ensemble, model_path);
+  const std::string csv_path = temp_path("engine_v3.csv");
+  {
+    std::ofstream out(csv_path);
+    mixed_workload(7).save_csv(out);
+  }
+  const std::string root = fresh_registry_root("reg_engine");
+  const std::string v3_path = temp_path("engine_out.v3.bin");
+
+  // Train-side: load, write a v3 artifact, publish to the registry.
+  pipeline::Engine producer;
+  producer.load_model(model_path).compile_v3(v3_path).publish(root);
+  const std::string id = producer.context().published_id;
+  ASSERT_EQ(id.size(), 16u);
+  EXPECT_NO_THROW(MappedModel::map_file(v3_path));
+
+  // Serve-side: resolve by content id, estimate through the mapping.
+  pipeline::Engine consumer;
+  consumer.resolve_model(root, id).estimate_batch({csv_path});
+  ASSERT_NE(consumer.context().mapped, nullptr);
+  ASSERT_TRUE(consumer.context().ensemble.has_value());
+  ASSERT_EQ(consumer.context().batch_results.size(), 1u);
+  ASSERT_TRUE(consumer.context().batch_results[0].ok());
+  expect_identical(ensemble.estimate(DatasetView(mixed_workload(7))),
+                   *consumer.context().batch_results[0].estimate);
+}
+
+// --------------------------------------------------------------------------
+// Lint over v3 artifacts
+// --------------------------------------------------------------------------
+
+TEST(LintV3, CleanV3ArtifactLintsClean) {
+  const Ensemble ensemble = trained_ensemble(17);
+  const std::string path = temp_path("lint_v3.bin");
+  save_model_v3_file(ensemble, path);
+  const auto report = lint::lint_model_file(path);
+  EXPECT_TRUE(report.clean()) << report.describe();
+  EXPECT_EQ(report.metrics_scanned, ensemble.metric_count());
+}
+
+TEST(LintV3, FlatCorruptionGetsTypedFinding) {
+  const Ensemble ensemble = trained_ensemble(17);
+  std::string bytes = model_v3_bytes(ensemble);
+  const auto layout = model::v3::check_flat_region(
+      std::as_bytes(std::span(bytes.data(), bytes.size())), 0,
+      util::crc32_init());
+  bytes[layout.section(model::v3::Section::kX1).offset + 5] ^= 0x02;
+  const std::string path = temp_path("lint_v3_bad.bin");
+  write_file(path, bytes);
+
+  const auto report = lint::lint_model_file(path);
+  EXPECT_TRUE(report.has_errors());
+  ASSERT_EQ(report.count("flat-structure"), 1u) << report.describe();
+  for (const auto& finding : report.findings) {
+    if (finding.rule_id == "flat-structure") {
+      EXPECT_NE(finding.message.find("x1"), std::string::npos)
+          << finding.message;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spire::serve

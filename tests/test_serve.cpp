@@ -18,6 +18,7 @@
 #include "pipeline/engine.h"
 #include "sampling/dataset.h"
 #include "sampling/dataset_view.h"
+#include "serve/model_v3.h"
 #include "serve/service.h"
 #include "spire/ensemble.h"
 #include "spire/model_io.h"
@@ -271,12 +272,32 @@ TEST(EstimationService, IsolatesPerFileFailures) {
   }
 }
 
-TEST(EstimationService, FromFileLoadsEitherFormat) {
+TEST(EstimationService, FromFilePicksTheBackendByFormat) {
   const Ensemble ensemble = trained_ensemble(41);
   const std::string bin_path = ::testing::TempDir() + "/serve_service.bin";
   model::save_model_bin_file(ensemble, bin_path);
-  const EstimationService service = EstimationService::from_file(bin_path);
-  EXPECT_EQ(service.model().metric_count(), ensemble.metric_count());
+  const EstimationService from_v2 = EstimationService::from_file(bin_path);
+  EXPECT_EQ(from_v2.metric_count(), ensemble.metric_count());
+  EXPECT_FALSE(from_v2.zero_copy());  // v2 has no flat tables to map
+
+  const std::string v3_path = ::testing::TempDir() + "/serve_service.v3.bin";
+  save_model_v3_file(ensemble, v3_path);
+  const EstimationService from_v3 = EstimationService::from_file(v3_path);
+  EXPECT_EQ(from_v3.metric_count(), ensemble.metric_count());
+  EXPECT_TRUE(from_v3.zero_copy());
+
+  // Both backends serve the same file to the same bits.
+  const std::string csv_path = ::testing::TempDir() + "/serve_service.csv";
+  {
+    std::ofstream out(csv_path);
+    mixed_workload(11).save_csv(out);
+  }
+  const std::vector<std::string> paths = {csv_path};
+  const auto a = from_v2.estimate_files(paths);
+  const auto b = from_v3.estimate_files(paths);
+  ASSERT_TRUE(a[0].ok());
+  ASSERT_TRUE(b[0].ok());
+  expect_identical(*a[0].estimate, *b[0].estimate);
 }
 
 // --------------------------------------------------------------------------

@@ -44,10 +44,11 @@ cmake -B build-check-sanitize -S . -DCMAKE_BUILD_TYPE=Debug -DSPIRE_SANITIZE=ON
 cmake --build build-check-sanitize -j "${jobs}"
 ctest --test-dir build-check-sanitize --output-on-failure -j "${test_jobs}"
 
-phase "Binary model v2 round-trip (spire_cli compile)"
-# Compile every checked-in text model to the v2 binary format and back;
-# the text bytes must survive unchanged. Artifacts live in a throwaway
-# directory — testdata/models/ is linted as-is and must stay clean.
+phase "Binary model v2/v3 round-trip (spire_cli compile)"
+# Compile every checked-in text model to the v2 and v3 binary formats and
+# back; the text bytes must survive unchanged either way. Artifacts live in
+# a throwaway directory — testdata/models/ is linted as-is and must stay
+# clean.
 roundtrip_dir=$(mktemp -d)
 trap 'rm -rf "${roundtrip_dir}"' EXIT
 cli=build-check-release/tools/spire_cli
@@ -57,7 +58,36 @@ for model in testdata/models/*.model; do
   "${cli}" compile --text "${roundtrip_dir}/${base}.bin" \
     --out "${roundtrip_dir}/${base}.model"
   diff "${model}" "${roundtrip_dir}/${base}.model"
+  "${cli}" compile --v3 "${model}" --out "${roundtrip_dir}/${base}.v3.bin"
+  "${cli}" compile --text "${roundtrip_dir}/${base}.v3.bin" \
+    --out "${roundtrip_dir}/${base}.v3.model"
+  diff "${model}" "${roundtrip_dir}/${base}.v3.model"
+  # v3 artifacts must also pass the static lint gate (flat-structure,
+  # flat-mismatch) on top of the geometric rules.
+  "${cli}" lint "${roundtrip_dir}/${base}.v3.bin"
 done
+
+phase "Registry smoke (publish / resolve / serve by content id)"
+# Publish a checked-in model to a throwaway registry, resolve it by the
+# printed content id, and serve a workload through the zero-copy mmap path;
+# the same estimate must come out of the --model (compiled) path.
+registry_root="${roundtrip_dir}/registry"
+model=testdata/models/trained_parboil.model
+id=$("${cli}" registry publish "${model}" --registry-root "${registry_root}")
+"${cli}" registry list --registry-root "${registry_root}" | grep -q "${id}"
+# Publishing the v2 form must converge on the same content id.
+"${cli}" compile "${model}" --out "${roundtrip_dir}/registry_smoke.bin"
+id2=$("${cli}" registry publish "${roundtrip_dir}/registry_smoke.bin" \
+  --registry-root "${registry_root}")
+if [ "${id}" != "${id2}" ]; then
+  echo "check.sh: registry ids diverged: ${id} vs ${id2}" >&2
+  exit 1
+fi
+"${cli}" estimate --registry "${id}" --registry-root "${registry_root}" \
+  testdata/models/parboil.samples.csv > "${roundtrip_dir}/by_registry.txt"
+"${cli}" estimate --model "${model}" \
+  testdata/models/parboil.samples.csv > "${roundtrip_dir}/by_model.txt"
+diff "${roundtrip_dir}/by_registry.txt" "${roundtrip_dir}/by_model.txt"
 
 phase "Serving perf smoke (bench/perf_serving)"
 ./build-check-release/bench/perf_serving --smoke
@@ -66,4 +96,14 @@ phase "Static lint gate (tools/lint.sh)"
 SPIRE_LINT_BUILD_DIR=build-check-release tools/lint.sh "${jobs}"
 
 phase_end
+# A bench assertion that silently skipped (too few hardware threads, smoke
+# mode) must be visible in the gate's output, not buried in the JSON.
+for bench_json in BENCH_*.json; do
+  [ -f "${bench_json}" ] || continue
+  if grep -q '"status": "skipped"' "${bench_json}"; then
+    echo "NOTE: ${bench_json} has skipped assertion(s):"
+    grep -o '"[a-z_]*_assertion": {[^}]*}' "${bench_json}" \
+      | grep '"status": "skipped"' || true
+  fi
+done
 echo "check.sh: all green"

@@ -19,14 +19,25 @@
 //       (region shapes, peak continuity, format version, ...) without
 //       running estimation; with --against, also verify the upper-bound
 //       property over a sample CSV. Exits nonzero on error findings.
-//   spire_cli compile MODEL --out MODEL.bin [--text]
-//       Convert a model to the binary v2 deployment artifact (or back to
-//       text v1 with --text). Conversion is lossless in both directions.
-//   spire_cli estimate --model MODEL FILE [FILE...] [--threads N]
+//   spire_cli compile MODEL --out MODEL.bin [--text|--v3]
+//       Convert a model to the binary v2 deployment artifact, the binary
+//       v3 zero-copy serving artifact (--v3), or back to text v1 (--text).
+//       Conversion is lossless in every direction.
+//   spire_cli registry publish MODEL | list | pin ID | unpin ID | gc
+//               [--registry-root DIR]
+//       Content-addressed model store (default root .spire-registry).
+//       `publish` converts any model format to canonical v3 and stores it
+//       under the hash of its bytes — idempotent, atomic, safe to race.
+//       `gc` removes objects that are neither pinned nor currently mapped.
+//   spire_cli estimate --model MODEL | --registry ID [--registry-root DIR]
+//               FILE [FILE...] [--threads N]
 //       Batch estimation: attainable throughput + top bottleneck for every
 //       workload CSV against one compiled model, one pool task per file.
-//       A file that fails to load or estimate is reported and the batch
-//       continues; exits nonzero when any file failed.
+//       With --registry the model is resolved by content id and served
+//       zero-copy from an mmap of the stored v3 artifact (bit-identical to
+//       the compiled path). A file that fails to load or estimate is
+//       reported and the batch continues; exits nonzero when any file
+//       failed.
 //   spire_cli show --model MODEL --metric EVENT
 //       Describe and plot one learned roofline.
 //   spire_cli tma --workload NAME [--config CFG] [--cycles N]
@@ -46,8 +57,8 @@
 // the parallel pipeline stages (default: all hardware threads; 0 or 1
 // forces serial). Results are bit-identical at any thread count.
 //
-// Model-consuming subcommands (analyze, estimate, show, lint) accept both
-// model formats — the line-oriented text v1 and the binary v2 artifact
+// Model-consuming subcommands (analyze, estimate, show, lint) accept every
+// model format — the line-oriented text v1 and the binary v2/v3 artifacts
 // `compile` writes — sniffing the leading bytes.
 //
 // Each subcommand is a thin wrapper over pipeline::Engine: it parses flags
@@ -67,6 +78,8 @@
 #include "lint/lint.h"
 #include "pipeline/engine.h"
 #include "quality/quality.h"
+#include "serve/model_v3.h"
+#include "serve/registry.h"
 #include "sim/core.h"
 #include "sim/trace.h"
 #include "spire/model_io.h"
@@ -334,28 +347,95 @@ int cmd_compile(const Args& args) {
   if (args.positional.size() != 1) {
     throw std::runtime_error("need exactly one model file");
   }
+  if (args.has("text") && args.has("v3")) {
+    throw std::runtime_error("--text and --v3 are mutually exclusive");
+  }
   const auto ensemble = model::load_model_any_file(args.positional.front());
-  const bool to_text = args.has("text");
-  if (to_text) {
+  const char* format = "binary v2";
+  if (args.has("text")) {
     model::save_model_file(ensemble, *out_path);
+    format = "text v1";
+  } else if (args.has("v3")) {
+    serve::save_model_v3_file(ensemble, *out_path);
+    format = "binary v3";
   } else {
     model::save_model_bin_file(ensemble, *out_path);
   }
   std::fprintf(stderr, "compiled %zu rooflines: %s -> %s (%s)\n",
                ensemble.metric_count(), args.positional.front().c_str(),
-               out_path->c_str(), to_text ? "text v1" : "binary v2");
+               out_path->c_str(), format);
   return 0;
+}
+
+std::string registry_root(const Args& args) {
+  return args.flag("registry-root")
+      .value_or(std::string(serve::ModelRegistry::kDefaultRoot));
+}
+
+int cmd_registry(const Args& args) {
+  if (args.positional.empty()) {
+    throw std::runtime_error("need an action: publish|list|pin|unpin|gc");
+  }
+  const std::string& action = args.positional.front();
+  serve::ModelRegistry registry(registry_root(args));
+  if (action == "publish") {
+    if (args.positional.size() != 2) {
+      throw std::runtime_error("registry publish needs exactly one model file");
+    }
+    const std::string id = registry.publish_file(args.positional[1]);
+    std::printf("%s\n", id.c_str());
+    return 0;
+  }
+  if (action == "list") {
+    const auto pinned = registry.pinned();
+    for (const auto& id : registry.list()) {
+      const bool is_pinned =
+          std::find(pinned.begin(), pinned.end(), id) != pinned.end();
+      std::printf("%s%s\n", id.c_str(), is_pinned ? " (pinned)" : "");
+    }
+    return 0;
+  }
+  if (action == "pin" || action == "unpin") {
+    if (args.positional.size() != 2) {
+      throw std::runtime_error("registry " + action + " needs a model id");
+    }
+    if (action == "pin") {
+      registry.pin(args.positional[1]);
+    } else {
+      registry.unpin(args.positional[1]);
+    }
+    return 0;
+  }
+  if (action == "gc") {
+    for (const auto& id : registry.gc()) {
+      std::fprintf(stderr, "removed %s\n", id.c_str());
+    }
+    return 0;
+  }
+  throw std::runtime_error("unknown registry action '" + action +
+                           "' (expected publish|list|pin|unpin|gc)");
 }
 
 int cmd_estimate(const Args& args) {
   const auto model_path = args.flag("model");
-  if (!model_path) throw std::runtime_error("--model is required");
+  const auto registry_id = args.flag("registry");
+  if (!model_path && !registry_id) {
+    throw std::runtime_error("--model or --registry is required");
+  }
+  if (model_path && registry_id) {
+    throw std::runtime_error("--model and --registry are mutually exclusive");
+  }
   if (args.positional.empty()) {
     throw std::runtime_error("need at least one sample CSV");
   }
   auto engine = make_engine(args);
   engine.context().log = nullptr;  // per-file errors land in the table below
-  engine.load_model(*model_path).compile().estimate_batch(args.positional);
+  if (registry_id) {
+    engine.resolve_model(registry_root(args), *registry_id);
+  } else {
+    engine.load_model(*model_path).compile();
+  }
+  engine.estimate_batch(args.positional);
 
   bool any_errors = false;
   util::TextTable table({"Workload", "Samples", "Attainable P", "Top bottleneck"});
@@ -462,7 +542,8 @@ const std::vector<Command>& commands() {
       {"analyze", {}, cmd_analyze},
       {"validate", {}, cmd_validate},
       {"lint", {"rules"}, cmd_lint},
-      {"compile", {"text"}, cmd_compile},
+      {"compile", {"text", "v3"}, cmd_compile},
+      {"registry", {}, cmd_registry},
       {"estimate", {}, cmd_estimate},
       {"show", {}, cmd_show},
       {"tma", {}, cmd_tma},
@@ -483,8 +564,11 @@ int usage() {
                "  validate FILE...                          report data-quality defects\n"
                "  lint    MODEL... [--against CSV]...       check model invariants\n"
                "  lint    --rules                           list the lint rules\n"
-               "  compile MODEL --out MODEL.bin [--text]    convert text v1 <-> binary v2\n"
-               "  estimate --model MODEL FILE...            batch attainable-throughput\n"
+               "  compile MODEL --out F [--text|--v3]       convert between model formats\n"
+               "  registry publish MODEL | list | pin ID | unpin ID | gc\n"
+               "          [--registry-root DIR]             content-addressed model store\n"
+               "  estimate --model MODEL | --registry ID FILE...\n"
+               "          [--registry-root DIR]             batch attainable-throughput\n"
                "  show    --model MODEL --metric EVENT\n"
                "  tma     --workload N [--config C] [--cycles N]\n"
                "  record  --workload N [--config C] [--ops N] --out FILE\n"
@@ -495,7 +579,7 @@ int usage() {
                "train/analyze/validate/estimate accept --threads N (default: "
                "all\nhardware threads; 0 forces serial). Results are identical "
                "at any\nthread count. Model-consuming commands accept text v1 "
-               "and binary v2.\n");
+               "and binary v2/v3.\n");
   return 2;
 }
 
