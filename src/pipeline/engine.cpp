@@ -110,11 +110,17 @@ Engine& Engine::publish(const std::string& registry_root) {
 Engine& Engine::resolve_model(const std::string& registry_root,
                               const std::string& id) {
   serve::ModelRegistry registry(registry_root);
-  context_.mapped = registry.open(id);
+  std::string resolved = id;
+  if (id == "latest") {
+    resolved = registry.latest();
+    require(!resolved.empty(), "registry has no published models");
+  }
+  context_.mapped = registry.open(resolved);
+  context_.resolved_id = resolved;
   // The ensemble form feeds the non-serving stages (estimate, analyze);
   // the stream loader revalidates the artifact end to end on the way.
   context_.ensemble =
-      model::load_model_bin_file(registry.object_path(id));
+      model::load_model_bin_file(registry.object_path(resolved));
   return *this;
 }
 

@@ -62,6 +62,7 @@ struct PipelineContext {
   std::optional<serve::CompiledModel> compiled;  // compile stage output
   std::shared_ptr<const serve::MappedModel> mapped;  // resolve_model output
   std::string published_id;  // publish stage output (registry content id)
+  std::string resolved_id;   // resolve_model output (after "latest" resolves)
   std::optional<model::Estimate> estimate;
   std::vector<serve::BatchResult> batch_results;  // estimate_batch output
   std::optional<model::Analyzer::Analysis> analysis;
@@ -127,7 +128,9 @@ class Engine {
   /// Resolves a content-addressed model id through the registry at
   /// `registry_root`: maps the artifact zero-copy into context().mapped
   /// (which estimate_batch then serves through) and loads the ensemble
-  /// form into context().ensemble for stages that need it.
+  /// form into context().ensemble for stages that need it. The sentinel
+  /// id "latest" resolves to the most recently published object; the
+  /// concrete id lands in context().resolved_id either way.
   Engine& resolve_model(const std::string& registry_root,
                         const std::string& id);
 

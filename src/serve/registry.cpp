@@ -11,10 +11,15 @@
 #include <thread>
 #include <utility>
 
+#if !defined(_WIN32)
+#include <fcntl.h>
+#endif
+
 #include "serve/model_v3.h"
 #include "spire/model_bin_v3.h"
 #include "spire/model_io.h"
 #include "util/hash.h"
+#include "util/posix_io.h"
 
 namespace spire::serve {
 
@@ -38,6 +43,26 @@ void require_id(const std::string& id) {
   // Ids double as file names; rejecting anything but the 16-hex form also
   // forecloses path traversal through a crafted "id".
   if (!valid_id(id)) fail("malformed id '" + id + "' (want 16 hex chars)");
+}
+
+/// Writes `bytes` to a fresh file at `path` through the EINTR-hardened
+/// descriptor wrappers: a signal landing mid-publish must surface as a
+/// clean failure, never as a silently short object.
+bool write_file_bytes(const std::string& path, const std::string& bytes) {
+#if defined(_WIN32)
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+#else
+  const int fd = util::open_retry(path.c_str(),
+                                  O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC,
+                                  0644);
+  if (fd < 0) return false;
+  const bool ok = util::write_all(fd, bytes.data(), bytes.size());
+  util::close_quietly(fd);
+  return ok;
+#endif
 }
 
 }  // namespace
@@ -72,14 +97,9 @@ std::string ModelRegistry::store_bytes_locked(const std::string& bytes) {
       fs::path(root_) / "objects" /
       (".tmp-" + id + "-" + std::to_string(self) + "-" +
        std::to_string(counter.fetch_add(1, std::memory_order_relaxed)));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) fail("cannot write " + tmp.string());
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!out) {
-      fs::remove(tmp, ec);
-      fail("write failed: " + tmp.string());
-    }
+  if (!write_file_bytes(tmp.string(), bytes)) {
+    fs::remove(tmp, ec);
+    fail("cannot write " + tmp.string());
   }
   fs::rename(tmp, final_path, ec);
   if (ec) {
@@ -168,11 +188,38 @@ std::vector<std::string> ModelRegistry::list() const {
   return ids;
 }
 
+std::string ModelRegistry::latest() const {
+  std::string best_id;
+  fs::file_time_type best_time{};
+  std::error_code ec;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(root_) / "objects", ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!valid_id(name)) continue;
+    const auto t = fs::last_write_time(entry.path(), ec);
+    if (ec) {
+      // Raced with a concurrent gc(): the object vanished between the
+      // directory scan and the stat. Skip it, don't fail the resolution.
+      ec.clear();
+      continue;
+    }
+    if (best_id.empty() || t > best_time ||
+        (t == best_time && name > best_id)) {
+      best_id = name;
+      best_time = t;
+    }
+  }
+  return best_id;
+}
+
 void ModelRegistry::pin(const std::string& id) {
   require_id(id);
   if (!contains(id)) fail("cannot pin: no object with id " + id);
-  std::ofstream marker(pin_path(id), std::ios::trunc);
-  if (!marker) fail("cannot write pin for " + id);
+  // An existing marker is fine (pin is idempotent), so no O_EXCL here.
+  if (!write_file_bytes(pin_path(id), "") &&
+      !fs::exists(pin_path(id))) {
+    fail("cannot write pin for " + id);
+  }
 }
 
 void ModelRegistry::unpin(const std::string& id) {

@@ -74,6 +74,12 @@ class ModelRegistry {
   /// All published ids, sorted.
   std::vector<std::string> list() const;
 
+  /// The most recently published id (newest object mtime; ties broken by
+  /// the lexicographically larger id so the answer is deterministic).
+  /// Empty when the registry holds no objects. This is what "resolve the
+  /// latest model" means to the estimation server's hot-swap path.
+  std::string latest() const;
+
   /// Marks `id` as not collectable by gc(). Throws if the object does not
   /// exist.
   void pin(const std::string& id);

@@ -1,0 +1,73 @@
+// Deterministic fault injection for the estimation server.
+//
+// The chaos suite's contract is that the server is correct UNDER faults,
+// not merely in their absence: torn frames, stalled peers, mid-request
+// model swaps, and saturated queues must all degrade into structured error
+// replies and bounded latency, never crashes or dropped requests. Faults
+// are driven by util::Rng sub-streams derived from one seed
+// (util::derive_seed over the connection id), so a failing chaos run
+// replays bit-for-bit from its seed.
+//
+// The server draws from ChaosRng at fixed hook points (see server.cpp);
+// the test/bench chaos CLIENT reuses the same options object to decide
+// when to tear its own outbound frames or stall mid-write. Zero
+// probabilities (the default) compile to no-ops on the hot path.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace spire::server {
+
+struct ChaosOptions {
+  std::uint64_t seed = 0;
+
+  // Server-side hooks.
+  double stall_before_read = 0.0;  // sleep stall_ms before reading a frame
+  double swap_mid_request = 0.0;   // hot-swap the slot before evaluating
+  double force_overload = 0.0;     // admission pretends the queue is full
+
+  // Client-side hooks (used by the chaos client in tests/bench).
+  double tear_frame = 0.0;   // write only a prefix of the frame, then close
+  double stall_mid_write = 0.0;  // sleep stall_ms between header and payload
+
+  std::uint32_t stall_ms = 20;
+
+  bool any() const {
+    return stall_before_read > 0 || swap_mid_request > 0 ||
+           force_overload > 0 || tear_frame > 0 || stall_mid_write > 0;
+  }
+};
+
+/// One connection's (or one client thread's) fault stream: decisions come
+/// out of a private Rng seeded from (options.seed, stream id), so they are
+/// independent across connections and reproducible within one.
+class ChaosRng {
+ public:
+  ChaosRng(const ChaosOptions& options, std::uint64_t stream)
+      : options_(options), rng_(util::derive_seed(options.seed, stream)) {}
+
+  bool stall_before_read() { return hit(options_.stall_before_read); }
+  bool swap_mid_request() { return hit(options_.swap_mid_request); }
+  bool force_overload() { return hit(options_.force_overload); }
+  bool tear_frame() { return hit(options_.tear_frame); }
+  bool stall_mid_write() { return hit(options_.stall_mid_write); }
+
+  /// Where to cut a torn frame: uniform in [0, frame_bytes).
+  std::size_t tear_point(std::size_t frame_bytes) {
+    return frame_bytes == 0
+               ? 0
+               : static_cast<std::size_t>(rng_.below(frame_bytes));
+  }
+
+  const ChaosOptions& options() const { return options_; }
+
+ private:
+  bool hit(double p) { return p > 0.0 && rng_.chance(p); }
+
+  ChaosOptions options_;
+  util::Rng rng_;
+};
+
+}  // namespace spire::server

@@ -1,0 +1,332 @@
+#include "server/client.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <thread>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "util/posix_io.h"
+
+namespace spire::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return static_cast<int>(std::max<long long>(left.count(), 0));
+}
+
+}  // namespace
+
+#if defined(_WIN32)
+
+Client::Client(ClientOptions options)
+    : options_(std::move(options)), chaos_(options_.chaos, 0),
+      backoff_rng_(options_.backoff.seed) {
+  throw std::runtime_error("client: POSIX sockets are required");
+}
+Client::~Client() = default;
+EstimateReply Client::estimate(EstimateRequest) { return {}; }
+void Client::ping() {}
+SwapReply Client::swap(const std::string&) { return {}; }
+StatsReply Client::stats() { return {}; }
+bool Client::raw_roundtrip(FrameType, const std::string&, FrameHeader*,
+                           std::string*, std::string*) { return false; }
+void Client::disconnect() {}
+bool Client::ensure_connected(std::string*) { return false; }
+std::string Client::exchange(FrameType, FrameType, const std::string&, int,
+                             const std::string&) { return {}; }
+void Client::sleep_backoff(int) {}
+
+#else
+
+Client::Client(ClientOptions options)
+    : options_(std::move(options)),
+      // Stream 0 for the client's chaos draws; server connections use
+      // their connection ids, so the streams never collide.
+      chaos_(options_.chaos, 0),
+      backoff_rng_(util::derive_seed(options_.backoff.seed, 0x636c69)) {
+  util::ignore_sigpipe();
+}
+
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() {
+  if (fd_ >= 0) {
+    util::close_quietly(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::ensure_connected(std::string* error) {
+  if (fd_ >= 0) return true;
+  if (options_.socket_path.empty()) {
+    if (error) *error = "no socket path configured";
+    return false;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    if (error) *error = std::strerror(errno);
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    util::close_quietly(fd);
+    if (error) *error = "socket path too long";
+    return false;
+  }
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const std::string why = std::strerror(errno);
+    util::close_quietly(fd);
+    if (error) *error = "connect " + options_.socket_path + ": " + why;
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool Client::raw_roundtrip(FrameType type, const std::string& payload,
+                           FrameHeader* reply_header,
+                           std::string* reply_payload, std::string* error) {
+  if (!ensure_connected(error)) return false;
+  const std::uint64_t seq = next_seq_++;
+  std::string frame;
+  try {
+    frame = encode_frame(type, seq, payload, options_.limits);
+  } catch (const ProtocolError& e) {
+    if (error) *error = e.what();
+    return false;
+  }
+  // Chaos: tear the outbound frame. The server must answer a torn frame
+  // with silence + close, never a crash — and this side must not hang.
+  if (chaos_.tear_frame()) {
+    const std::size_t cut = chaos_.tear_point(frame.size());
+    (void)util::write_all_deadline(fd_, frame.data(), cut,
+                                   options_.io_timeout_ms);
+    disconnect();  // the close is what makes the tear visible server-side
+    if (error) *error = "chaos: tore outbound frame";
+    return false;
+  }
+  util::IoStatus st;
+  if (chaos_.stall_mid_write() && frame.size() > kFrameHeaderBytes) {
+    st = util::write_all_deadline(fd_, frame.data(), kFrameHeaderBytes,
+                                  options_.io_timeout_ms);
+    if (st == util::IoStatus::kOk) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.chaos.stall_ms));
+      st = util::write_all_deadline(fd_, frame.data() + kFrameHeaderBytes,
+                                    frame.size() - kFrameHeaderBytes,
+                                    options_.io_timeout_ms);
+    }
+  } else {
+    st = util::write_all_deadline(fd_, frame.data(), frame.size(),
+                                  options_.io_timeout_ms);
+  }
+  if (st != util::IoStatus::kOk) {
+    disconnect();
+    if (error) *error = std::string("write: ") + util::io_status_name(st);
+    return false;
+  }
+  unsigned char header_bytes[kFrameHeaderBytes];
+  st = util::read_exact(fd_, header_bytes, sizeof header_bytes,
+                        options_.io_timeout_ms);
+  if (st != util::IoStatus::kOk) {
+    disconnect();
+    if (error) *error = std::string("read header: ") + util::io_status_name(st);
+    return false;
+  }
+  FrameHeader header;
+  try {
+    header = decode_header(header_bytes, options_.limits);
+  } catch (const ProtocolError& e) {
+    disconnect();
+    if (error) *error = std::string("reply header: ") + e.what();
+    return false;
+  }
+  std::string body(header.payload_len, '\0');
+  if (header.payload_len > 0) {
+    st = util::read_exact(fd_, body.data(), body.size(),
+                          options_.io_timeout_ms);
+    if (st != util::IoStatus::kOk) {
+      disconnect();
+      if (error) {
+        *error = std::string("read payload: ") + util::io_status_name(st);
+      }
+      return false;
+    }
+  }
+  if (header.seq != seq) {
+    // The stream is out of sync; nothing on this connection is trustable.
+    disconnect();
+    if (error) *error = "reply seq mismatch";
+    return false;
+  }
+  if (reply_header) *reply_header = header;
+  if (reply_payload) *reply_payload = std::move(body);
+  return true;
+}
+
+void Client::sleep_backoff(int completed_attempts) {
+  const BackoffOptions& b = options_.backoff;
+  double delay = static_cast<double>(b.base_ms);
+  for (int i = 1; i < completed_attempts; ++i) delay *= b.multiplier;
+  const double jitter = std::clamp(b.jitter, 0.0, 1.0);
+  if (jitter > 0) delay *= backoff_rng_.uniform(1.0 - jitter, 1.0 + jitter);
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<long long>(delay)));
+}
+
+std::string Client::exchange(FrameType request_type, FrameType expected_reply,
+                             const std::string& payload, int deadline_ms,
+                             const std::string& what) {
+  const bool has_deadline = deadline_ms > 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(deadline_ms);
+  const int attempts = std::max(options_.backoff.max_attempts, 1);
+  std::string last_error = "no attempt made";
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      sleep_backoff(attempt);
+    }
+    if (has_deadline && remaining_ms(deadline) <= 0) {
+      throw ServerUnavailable(what + ": deadline exhausted after " +
+                              std::to_string(attempt) +
+                              " attempt(s); last error: " + last_error);
+    }
+    FrameHeader header;
+    std::string body;
+    if (!raw_roundtrip(request_type, payload, &header, &body, &last_error)) {
+      continue;  // transport fault: reconnect and retry
+    }
+    if (header.type == expected_reply) return body;
+    if (header.type == FrameType::kErrorReply) {
+      ErrorReply err;
+      try {
+        err = decode_error_reply(body, options_.limits);
+      } catch (const ProtocolError& e) {
+        last_error = std::string("undecodable error reply: ") + e.what();
+        disconnect();
+        continue;
+      }
+      // Shedding and draining are the server asking us to come back;
+      // everything else is a deterministic failure retries cannot fix.
+      if (err.code == ErrorCode::kOverloaded ||
+          err.code == ErrorCode::kShuttingDown) {
+        last_error = std::string(error_code_name(err.code)) + ": " +
+                     err.message;
+        continue;
+      }
+      throw ServerError(err.code, what + ": " +
+                                      error_code_name(err.code) + ": " +
+                                      err.message);
+    }
+    last_error = "unexpected reply type " +
+                 std::to_string(static_cast<unsigned>(header.type));
+    disconnect();
+  }
+  throw ServerUnavailable(what + ": no reply after " +
+                          std::to_string(attempts) +
+                          " attempt(s); last error: " + last_error);
+}
+
+EstimateReply Client::estimate(EstimateRequest request) {
+  const std::uint32_t budget_ms = request.deadline_ms;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(budget_ms);
+  const int attempts = std::max(options_.backoff.max_attempts, 1);
+  std::string last_error = "no attempt made";
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) sleep_backoff(attempt);
+    if (budget_ms > 0) {
+      // Deadline propagation: the server sees only what is left of the
+      // caller's budget, so retries shrink the window instead of
+      // restarting it.
+      const int left = remaining_ms(deadline);
+      if (left <= 0) {
+        throw ServerUnavailable("estimate: deadline exhausted after " +
+                                std::to_string(attempt) +
+                                " attempt(s); last error: " + last_error);
+      }
+      request.deadline_ms = static_cast<std::uint32_t>(left);
+    }
+    const std::string payload =
+        encode_estimate_request(request, options_.limits);
+    FrameHeader header;
+    std::string body;
+    if (!raw_roundtrip(FrameType::kEstimateRequest, payload, &header, &body,
+                       &last_error)) {
+      continue;
+    }
+    if (header.type == FrameType::kEstimateReply) {
+      return decode_estimate_reply(body, options_.limits);
+    }
+    if (header.type == FrameType::kErrorReply) {
+      ErrorReply err;
+      try {
+        err = decode_error_reply(body, options_.limits);
+      } catch (const ProtocolError& e) {
+        last_error = std::string("undecodable error reply: ") + e.what();
+        disconnect();
+        continue;
+      }
+      if (err.code == ErrorCode::kOverloaded ||
+          err.code == ErrorCode::kShuttingDown) {
+        last_error = std::string(error_code_name(err.code)) + ": " +
+                     err.message;
+        continue;
+      }
+      throw ServerError(err.code, std::string("estimate: ") +
+                                      error_code_name(err.code) + ": " +
+                                      err.message);
+    }
+    last_error = "unexpected reply type " +
+                 std::to_string(static_cast<unsigned>(header.type));
+    disconnect();
+  }
+  throw ServerUnavailable("estimate: no reply after " +
+                          std::to_string(attempts) +
+                          " attempt(s); last error: " + last_error);
+}
+
+void Client::ping() {
+  (void)exchange(FrameType::kPingRequest, FrameType::kPingReply, "", 0,
+                 "ping");
+}
+
+SwapReply Client::swap(const std::string& model_class) {
+  SwapRequest request;
+  request.model_class = model_class;
+  const std::string body =
+      exchange(FrameType::kSwapRequest, FrameType::kSwapReply,
+               encode_swap_request(request, options_.limits), 0, "swap");
+  return decode_swap_reply(body, options_.limits);
+}
+
+StatsReply Client::stats() {
+  const std::string body = exchange(FrameType::kStatsRequest,
+                                    FrameType::kStatsReply, "", 0, "stats");
+  return decode_stats_reply(body, options_.limits);
+}
+
+#endif  // !_WIN32
+
+}  // namespace spire::server

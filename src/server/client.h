@@ -1,0 +1,127 @@
+// Framed-protocol client for the estimation server.
+//
+// The client is the other half of the resilience story: the server may shed
+// load (kOverloaded), drain (kShuttingDown), or simply not be there yet, and
+// a well-behaved client treats all of those as retryable — exponential
+// backoff with jitter, bounded attempts — while treating deterministic
+// failures (malformed request, unknown model) as immediate errors. When the
+// caller sets a deadline, the client pins it to an absolute instant at the
+// first attempt and propagates only the REMAINING budget to the server on
+// each retry, so a request can never outlive its caller's patience by
+// retrying.
+//
+// Error surface, matched to the CLI exit codes:
+//   ServerUnavailable — could not get any reply within the retry budget
+//     (connect failures, torn replies, persistent shedding) -> exit 3;
+//   ServerError — the server answered with a non-retryable structured
+//     error (carries the ErrorCode) -> exit 1;
+//   ProtocolError — a reply failed the bounded parse -> exit 1.
+//
+// One Client holds at most one connection, reconnecting lazily after any
+// transport fault. Not thread-safe; use one Client per thread (the chaos
+// bench does exactly that, with per-thread seeds).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "server/chaos.h"
+#include "server/protocol.h"
+
+namespace spire::server {
+
+/// Exponential backoff with jitter: attempt k (0-based, after the first)
+/// sleeps base_ms * multiplier^(k-1), each delay multiplied by a uniform
+/// draw from [1 - jitter, 1 + jitter]. Deterministic per seed.
+struct BackoffOptions {
+  int max_attempts = 4;
+  std::uint32_t base_ms = 50;
+  double multiplier = 2.0;
+  double jitter = 0.5;
+  std::uint64_t seed = 0;
+};
+
+struct ClientOptions {
+  std::string socket_path;
+  /// Per-transfer budget for one frame read/write.
+  int io_timeout_ms = 10'000;
+  BackoffOptions backoff{};
+  Limits limits{};
+  /// Client-side hooks only (tear_frame, stall_mid_write); the rest are
+  /// ignored here.
+  ChaosOptions chaos{};
+};
+
+/// No reply could be obtained within the retry budget. Maps to CLI exit 3.
+class ServerUnavailable : public std::runtime_error {
+ public:
+  explicit ServerUnavailable(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// The server replied with a structured, non-retryable error.
+class ServerError : public std::runtime_error {
+ public:
+  ServerError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Runs one estimate request with retry/backoff. `request.deadline_ms`
+  /// (when non-zero) bounds the WHOLE call including retries; the value
+  /// sent to the server shrinks to the remaining budget each attempt.
+  EstimateReply estimate(EstimateRequest request);
+
+  /// Liveness probe with retry/backoff.
+  void ping();
+
+  /// Asks the server to hot-swap `model_class` to the registry's latest.
+  SwapReply swap(const std::string& model_class = "");
+
+  StatsReply stats();
+
+  /// Sends one raw frame on the current connection WITHOUT retry and
+  /// returns true when a complete reply frame came back (filling header
+  /// and payload). Chaos hooks apply. This is the chaos suite's probe: it
+  /// observes exactly what one frame begets, with no retry masking.
+  bool raw_roundtrip(FrameType type, const std::string& payload,
+                     FrameHeader* reply_header, std::string* reply_payload,
+                     std::string* error);
+
+  /// Drops the current connection (next call reconnects).
+  void disconnect();
+
+  const ClientOptions& options() const { return options_; }
+
+ private:
+  /// Ensures fd_ is connected. Returns false with `error` filled.
+  bool ensure_connected(std::string* error);
+  /// One request/reply exchange with retry + backoff + deadline budget.
+  /// `deadline_ms` <= 0 means no budget. Throws ServerUnavailable /
+  /// ServerError / ProtocolError.
+  std::string exchange(FrameType request_type, FrameType expected_reply,
+                       const std::string& payload, int deadline_ms,
+                       const std::string& what);
+  /// Re-encodes the estimate payload with the remaining deadline budget.
+  void sleep_backoff(int completed_attempts);
+
+  ClientOptions options_;
+  int fd_ = -1;
+  std::uint64_t next_seq_ = 1;
+  ChaosRng chaos_;
+  util::Rng backoff_rng_;
+};
+
+}  // namespace spire::server

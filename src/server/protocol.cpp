@@ -1,0 +1,363 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+namespace spire::server {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw ProtocolError(ErrorCode::kMalformedFrame, "protocol: " + what);
+}
+
+[[noreturn]] void over_limit(const std::string& what) {
+  throw ProtocolError(ErrorCode::kLimitExceeded, "protocol: " + what);
+}
+
+/// Append-only little-endian payload writer.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) { raw(&v, sizeof v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void str(const std::string& s, std::size_t max, const char* field) {
+    if (s.size() > max) {
+      over_limit(std::string(field) + " is " + std::to_string(s.size()) +
+                 " bytes (limit " + std::to_string(max) + ")");
+    }
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s);
+  }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    // Little-endian hosts only, same as the binary model formats; the
+    // byte-for-byte memcpy is what makes encode/decode exact inverses.
+    const char* c = static_cast<const char*>(p);
+    out_.append(c, n);
+  }
+  std::string out_;
+};
+
+/// Bounds-checked little-endian payload reader. Every read validates the
+/// remaining byte count first; lengths validate against their field limit
+/// BEFORE any allocation is sized from them.
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8(const char* field) {
+    need(1, field);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+  std::uint16_t u16(const char* field) { return scalar<std::uint16_t>(field); }
+  std::uint32_t u32(const char* field) { return scalar<std::uint32_t>(field); }
+  std::uint64_t u64(const char* field) { return scalar<std::uint64_t>(field); }
+  double f64(const char* field) { return scalar<double>(field); }
+
+  std::string str(std::size_t max, const char* field) {
+    const std::uint32_t len = u32(field);
+    if (len > max) {
+      over_limit(std::string(field) + " is " + std::to_string(len) +
+                 " bytes (limit " + std::to_string(max) + ")");
+    }
+    need(len, field);
+    std::string out(bytes_.data() + pos_, len);
+    pos_ += len;
+    return out;
+  }
+
+  /// A count that sizes a loop; bounded before anything is allocated.
+  std::uint32_t count(std::size_t max, const char* field) {
+    const std::uint32_t n = u32(field);
+    if (n > max) {
+      over_limit(std::string(field) + " count " + std::to_string(n) +
+                 " (limit " + std::to_string(max) + ")");
+    }
+    return n;
+  }
+
+  void finish() {
+    if (pos_ != bytes_.size()) {
+      malformed(std::to_string(bytes_.size() - pos_) +
+                " trailing byte(s) after the last field");
+    }
+  }
+
+ private:
+  template <typename T>
+  T scalar(const char* field) {
+    need(sizeof(T), field);
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void need(std::size_t n, const char* field) {
+    if (bytes_.size() - pos_ < n) {
+      malformed(std::string("truncated payload reading ") + field);
+    }
+  }
+
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kMalformedFrame: return "MALFORMED_FRAME";
+    case ErrorCode::kUnsupportedVersion: return "UNSUPPORTED_VERSION";
+    case ErrorCode::kFrameTooLarge: return "FRAME_TOO_LARGE";
+    case ErrorCode::kLimitExceeded: return "LIMIT_EXCEEDED";
+    case ErrorCode::kUnknownType: return "UNKNOWN_TYPE";
+    case ErrorCode::kOverloaded: return "OVERLOADED";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case ErrorCode::kModelUnavailable: return "MODEL_UNAVAILABLE";
+    case ErrorCode::kEstimationFailed: return "ESTIMATION_FAILED";
+    case ErrorCode::kShuttingDown: return "SHUTTING_DOWN";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string encode_header(FrameType type, std::uint64_t seq,
+                          std::uint32_t payload_len) {
+  Writer w;
+  w.u32(payload_len);
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(0);  // reserved
+  w.u64(seq);
+  return w.take();
+}
+
+FrameHeader decode_header(const unsigned char* bytes, const Limits& limits) {
+  FrameHeader h;
+  std::memcpy(&h.payload_len, bytes, 4);
+  h.version = bytes[4];
+  h.type = static_cast<FrameType>(bytes[5]);
+  std::uint16_t reserved;
+  std::memcpy(&reserved, bytes + 6, 2);
+  std::memcpy(&h.seq, bytes + 8, 8);
+  if (h.version != kProtocolVersion) {
+    throw ProtocolError(ErrorCode::kUnsupportedVersion,
+                        "protocol: version " + std::to_string(h.version) +
+                            " (this server speaks " +
+                            std::to_string(kProtocolVersion) + ")");
+  }
+  if (reserved != 0) malformed("reserved header bytes must be zero");
+  if (h.payload_len > limits.max_frame_bytes) {
+    throw ProtocolError(ErrorCode::kFrameTooLarge,
+                        "protocol: payload of " +
+                            std::to_string(h.payload_len) +
+                            " bytes exceeds the " +
+                            std::to_string(limits.max_frame_bytes) +
+                            "-byte frame limit");
+  }
+  return h;
+}
+
+std::string encode_frame(FrameType type, std::uint64_t seq,
+                         const std::string& payload, const Limits& limits) {
+  if (payload.size() > limits.max_frame_bytes) {
+    throw ProtocolError(ErrorCode::kFrameTooLarge,
+                        "protocol: refusing to encode a " +
+                            std::to_string(payload.size()) + "-byte payload");
+  }
+  std::string frame =
+      encode_header(type, seq, static_cast<std::uint32_t>(payload.size()));
+  frame += payload;
+  return frame;
+}
+
+std::string encode_estimate_request(const EstimateRequest& request,
+                                    const Limits& limits) {
+  Writer w;
+  w.str(request.model_class, limits.max_class_bytes, "model_class");
+  w.str(request.model_id, limits.max_class_bytes, "model_id");
+  w.u32(request.deadline_ms);
+  w.u8(request.merge);
+  if (request.workload_csvs.size() > limits.max_workloads) {
+    over_limit("workloads count " +
+               std::to_string(request.workload_csvs.size()) + " (limit " +
+               std::to_string(limits.max_workloads) + ")");
+  }
+  w.u32(static_cast<std::uint32_t>(request.workload_csvs.size()));
+  for (const std::string& csv : request.workload_csvs) {
+    w.str(csv, limits.max_frame_bytes, "workload_csv");
+  }
+  return w.take();
+}
+
+EstimateRequest decode_estimate_request(const std::string& payload,
+                                        const Limits& limits) {
+  Reader r(payload);
+  EstimateRequest request;
+  request.model_class = r.str(limits.max_class_bytes, "model_class");
+  request.model_id = r.str(limits.max_class_bytes, "model_id");
+  request.deadline_ms = r.u32("deadline_ms");
+  request.merge = r.u8("merge");
+  if (request.merge > 1) malformed("merge must be 0 or 1");
+  const std::uint32_t n = r.count(limits.max_workloads, "workloads");
+  request.workload_csvs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    request.workload_csvs.push_back(
+        r.str(limits.max_frame_bytes, "workload_csv"));
+  }
+  r.finish();
+  return request;
+}
+
+std::string encode_swap_request(const SwapRequest& request,
+                                const Limits& limits) {
+  Writer w;
+  w.str(request.model_class, limits.max_class_bytes, "model_class");
+  return w.take();
+}
+
+SwapRequest decode_swap_request(const std::string& payload,
+                                const Limits& limits) {
+  Reader r(payload);
+  SwapRequest request;
+  request.model_class = r.str(limits.max_class_bytes, "model_class");
+  r.finish();
+  return request;
+}
+
+void decode_empty_request(const std::string& payload) {
+  if (!payload.empty()) {
+    malformed("request type carries no payload, got " +
+              std::to_string(payload.size()) + " byte(s)");
+  }
+}
+
+std::string encode_estimate_reply(const EstimateReply& reply,
+                                  const Limits& limits) {
+  Writer w;
+  w.str(reply.model_id, limits.max_class_bytes, "model_id");
+  w.u64(reply.swap_generation);
+  if (reply.results.size() > limits.max_workloads) {
+    over_limit("results count over the workload limit");
+  }
+  w.u32(static_cast<std::uint32_t>(reply.results.size()));
+  for (const WorkloadResult& res : reply.results) {
+    w.u16(static_cast<std::uint16_t>(res.status));
+    w.str(res.error, limits.max_error_bytes, "error");
+    w.u64(res.samples);
+    w.f64(res.throughput);
+    if (res.ranking.size() > limits.max_ranking) {
+      over_limit("ranking count over the limit");
+    }
+    w.u32(static_cast<std::uint32_t>(res.ranking.size()));
+    for (const WireRanked& rk : res.ranking) {
+      w.str(rk.metric, limits.max_name_bytes, "metric");
+      w.f64(rk.p_bar);
+      w.u64(rk.samples);
+    }
+  }
+  return w.take();
+}
+
+EstimateReply decode_estimate_reply(const std::string& payload,
+                                    const Limits& limits) {
+  Reader r(payload);
+  EstimateReply reply;
+  reply.model_id = r.str(limits.max_class_bytes, "model_id");
+  reply.swap_generation = r.u64("swap_generation");
+  const std::uint32_t n = r.count(limits.max_workloads, "results");
+  reply.results.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    WorkloadResult res;
+    res.status = static_cast<ErrorCode>(r.u16("status"));
+    res.error = r.str(limits.max_error_bytes, "error");
+    res.samples = r.u64("samples");
+    res.throughput = r.f64("throughput");
+    const std::uint32_t m = r.count(limits.max_ranking, "ranking");
+    res.ranking.reserve(m);
+    for (std::uint32_t j = 0; j < m; ++j) {
+      WireRanked rk;
+      rk.metric = r.str(limits.max_name_bytes, "metric");
+      rk.p_bar = r.f64("p_bar");
+      rk.samples = r.u64("ranked samples");
+      res.ranking.push_back(std::move(rk));
+    }
+    reply.results.push_back(std::move(res));
+  }
+  r.finish();
+  return reply;
+}
+
+std::string encode_error_reply(const ErrorReply& reply, const Limits& limits) {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(reply.code));
+  // Never let an oversized internal message make the error reply itself
+  // unencodable: truncate instead of throwing.
+  std::string message = reply.message;
+  if (message.size() > limits.max_error_bytes) {
+    message.resize(limits.max_error_bytes);
+  }
+  w.str(message, limits.max_error_bytes, "message");
+  return w.take();
+}
+
+ErrorReply decode_error_reply(const std::string& payload,
+                              const Limits& limits) {
+  Reader r(payload);
+  ErrorReply reply;
+  reply.code = static_cast<ErrorCode>(r.u16("code"));
+  reply.message = r.str(limits.max_error_bytes, "message");
+  r.finish();
+  return reply;
+}
+
+std::string encode_swap_reply(const SwapReply& reply, const Limits& limits) {
+  Writer w;
+  w.str(reply.model_id, limits.max_class_bytes, "model_id");
+  w.u64(reply.swap_generation);
+  return w.take();
+}
+
+SwapReply decode_swap_reply(const std::string& payload, const Limits& limits) {
+  Reader r(payload);
+  SwapReply reply;
+  reply.model_id = r.str(limits.max_class_bytes, "model_id");
+  reply.swap_generation = r.u64("swap_generation");
+  r.finish();
+  return reply;
+}
+
+std::string encode_stats_reply(const StatsReply& reply, const Limits& limits) {
+  Writer w;
+  if (reply.counters.size() > limits.max_stats) {
+    over_limit("stats count over the limit");
+  }
+  w.u32(static_cast<std::uint32_t>(reply.counters.size()));
+  for (const auto& [name, value] : reply.counters) {
+    w.str(name, limits.max_name_bytes, "counter name");
+    w.u64(value);
+  }
+  return w.take();
+}
+
+StatsReply decode_stats_reply(const std::string& payload,
+                              const Limits& limits) {
+  Reader r(payload);
+  StatsReply reply;
+  const std::uint32_t n = r.count(limits.max_stats, "stats");
+  reply.counters.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name = r.str(limits.max_name_bytes, "counter name");
+    const std::uint64_t value = r.u64("counter value");
+    reply.counters.emplace_back(std::move(name), value);
+  }
+  r.finish();
+  return reply;
+}
+
+}  // namespace spire::server

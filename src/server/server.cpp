@@ -1,0 +1,742 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "counters/events.h"
+#include "sampling/dataset.h"
+#include "sampling/dataset_view.h"
+#include "serve/model_eval.h"
+#include "util/posix_io.h"
+
+namespace spire::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("server: " + what);
+}
+
+std::string errno_text() { return std::strerror(errno); }
+
+std::chrono::milliseconds ms(long long count) {
+  return std::chrono::milliseconds(count);
+}
+
+std::string bounded_message(const std::string& message, std::size_t max) {
+  if (message.size() <= max) return message;
+  return message.substr(0, max);
+}
+
+#if !defined(_WIN32)
+// Self-pipe write end for the async-signal-safe shutdown handler. One
+// server per process may own the handlers at a time.
+std::atomic<int> g_signal_pipe{-1};
+
+extern "C" void spire_forward_shutdown_signal(int) {
+  const int fd = g_signal_pipe.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    // A full pipe just means a shutdown request is already pending.
+    [[maybe_unused]] const ssize_t rc = ::write(fd, &byte, 1);
+  }
+}
+#endif
+
+}  // namespace
+
+/// One peer. The fds are closed by the LAST holder of the shared_ptr, so a
+/// pool task can still write its reply after the reader thread exited.
+struct EstimationServer::Connection {
+  Connection(int in, int out, bool owns, std::uint64_t cid,
+             const ChaosOptions& chaos_options)
+      : in_fd(in), out_fd(out), owns_fds(owns), id(cid),
+        chaos(chaos_options, cid) {}
+  ~Connection() {
+    if (owns_fds) {
+      util::close_quietly(in_fd);
+      if (out_fd != in_fd) util::close_quietly(out_fd);
+    }
+  }
+
+  int in_fd;
+  int out_fd;
+  bool owns_fds;
+  std::uint64_t id;
+  std::mutex write_mutex;
+  std::atomic<bool> dead{false};
+  ChaosRng chaos;
+};
+
+struct EstimationServer::RequestJob {
+  std::shared_ptr<Connection> conn;
+  std::uint64_t seq = 0;
+  std::string payload;
+  Clock::time_point received{};
+  // Drawn on the reader thread at dispatch: the connection's ChaosRng is
+  // single-threaded by construction, so pool workers never touch it.
+  bool chaos_swap_mid_request = false;
+};
+
+#if defined(_WIN32)
+
+// The server is POSIX-only, like the mmap serving path. Constructing one
+// on an unsupported platform fails loudly instead of half-working.
+EstimationServer::EstimationServer(serve::ModelRegistry& registry,
+                                   ServerOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  fail("the estimation server requires POSIX descriptors");
+}
+EstimationServer::~EstimationServer() = default;
+void EstimationServer::set_model(const std::string&, const std::string&) {}
+bool EstimationServer::swap_to_latest(const std::string&, std::string*,
+                                      std::string*) { return false; }
+std::string EstimationServer::current_model_id() const { return {}; }
+void EstimationServer::start() { fail("unsupported platform"); }
+void EstimationServer::serve_connection_fds(int, int) {}
+void EstimationServer::install_signal_handlers() {}
+void EstimationServer::begin_shutdown() {}
+bool EstimationServer::wait_until_drained() { return true; }
+int EstimationServer::run() { return 1; }
+StatsReply EstimationServer::stats_snapshot() const { return {}; }
+void EstimationServer::accept_loop() {}
+void EstimationServer::watcher_loop() {}
+void EstimationServer::join_threads() {}
+void EstimationServer::connection_loop(std::shared_ptr<Connection>) {}
+bool EstimationServer::serve_one_frame(const std::shared_ptr<Connection>&) {
+  return false;
+}
+void EstimationServer::dispatch_estimate(const std::shared_ptr<Connection>&,
+                                         std::uint64_t, std::string,
+                                         Clock::time_point) {}
+void EstimationServer::run_estimate(const std::shared_ptr<RequestJob>&) {}
+EstimateReply EstimationServer::evaluate(const EstimateRequest&,
+                                         Clock::time_point, bool) {
+  return {};
+}
+bool EstimationServer::send_frame(const std::shared_ptr<Connection>&,
+                                  FrameType, std::uint64_t,
+                                  const std::string&) { return false; }
+bool EstimationServer::send_error(const std::shared_ptr<Connection>&,
+                                  std::uint64_t, ErrorCode,
+                                  const std::string&) { return false; }
+EstimationServer::SlotSnapshot EstimationServer::resolve_slot(
+    const std::string&, std::string*) { return {}; }
+
+#else
+
+EstimationServer::EstimationServer(serve::ModelRegistry& registry,
+                                   ServerOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.max_queue == 0) options_.max_queue = 1;
+  util::ignore_sigpipe();
+  if (::pipe(wake_pipe_) != 0) fail("cannot create self-pipe: " + errno_text());
+  ::fcntl(wake_pipe_[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(wake_pipe_[1], F_SETFD, FD_CLOEXEC);
+  pool_ = std::make_unique<util::ThreadPool>(options_.workers);
+  watcher_ = std::thread([this] { watcher_loop(); });
+}
+
+EstimationServer::~EstimationServer() {
+  begin_shutdown();
+  wait_until_drained();
+  // Join the workers BEFORE any member destructs: drain_mutex_/drain_cv_
+  // are declared after pool_, so default destruction order would tear
+  // them down while a worker can still be inside its post-reply notify.
+  pool_.reset();
+  int expected = wake_pipe_[1];
+  g_signal_pipe.compare_exchange_strong(expected, -1);
+  util::close_quietly(wake_pipe_[0]);
+  util::close_quietly(wake_pipe_[1]);
+}
+
+// --- model routing ----------------------------------------------------------
+
+void EstimationServer::set_model(const std::string& id,
+                                 const std::string& model_class) {
+  std::shared_ptr<const serve::MappedModel> model = registry_.open(id);
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    Slot& slot = slots_[model_class];
+    slot.model = std::move(model);
+    slot.id = id;
+  }
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool EstimationServer::swap_to_latest(const std::string& model_class,
+                                      std::string* id_out,
+                                      std::string* error_out) {
+  const std::string latest = registry_.latest();
+  if (latest.empty()) {
+    if (error_out) *error_out = "registry has no published models";
+    return false;
+  }
+  std::shared_ptr<const serve::MappedModel> model;
+  try {
+    model = registry_.open(latest);
+  } catch (const std::exception& e) {
+    // A gc may have raced the resolution; the slot keeps its old model.
+    if (error_out) *error_out = e.what();
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    Slot& slot = slots_[model_class];
+    // In-flight requests hold their SlotSnapshot's shared_ptr, so the old
+    // mapping drains gracefully as they finish.
+    slot.model = std::move(model);
+    slot.id = latest;
+  }
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  if (id_out) *id_out = latest;
+  return true;
+}
+
+std::string EstimationServer::current_model_id() const {
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  const auto it = slots_.find("");
+  return it == slots_.end() ? std::string() : it->second.id;
+}
+
+EstimationServer::SlotSnapshot EstimationServer::resolve_slot(
+    const std::string& model_class, std::string* error_out) {
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    const auto it = slots_.find(model_class);
+    if (it != slots_.end() && it->second.model) {
+      return {it->second.model, it->second.id};
+    }
+  }
+  // First request for this class: lazy-resolve the registry's latest.
+  if (!swap_to_latest(model_class, nullptr, error_out)) return {};
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  const auto it = slots_.find(model_class);
+  if (it == slots_.end() || !it->second.model) {
+    if (error_out) *error_out = "model slot vanished during resolution";
+    return {};
+  }
+  return {it->second.model, it->second.id};
+}
+
+// --- socket transport -------------------------------------------------------
+
+void EstimationServer::start() {
+  if (options_.socket_path.empty()) {
+    fail("the socket transport needs options.socket_path");
+  }
+  if (started_) fail("already started");
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) fail("cannot create socket: " + errno_text());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    util::close_quietly(listen_fd_);
+    listen_fd_ = -1;
+    fail("socket path too long: " + options_.socket_path);
+  }
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  // A stale socket file from a crashed predecessor would make bind fail.
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string why = errno_text();
+    util::close_quietly(listen_fd_);
+    listen_fd_ = -1;
+    fail("cannot bind " + options_.socket_path + ": " + why);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string why = errno_text();
+    util::close_quietly(listen_fd_);
+    listen_fd_ = -1;
+    fail("cannot listen on " + options_.socket_path + ": " + why);
+  }
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void EstimationServer::accept_loop() {
+  while (!stop_io_.load(std::memory_order_acquire) &&
+         !draining_.load(std::memory_order_acquire)) {
+    // Tick so a shutdown request stops the intake within ~100 ms.
+    const util::IoStatus ready = util::wait_readable(listen_fd_, 100);
+    if (ready == util::IoStatus::kTimeout) continue;
+    if (ready != util::IoStatus::kOk) break;
+    int fd;
+    for (;;) {
+      fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0 || errno != EINTR) break;
+    }
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+        continue;
+      }
+      break;
+    }
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    accepted_connections_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Connection>(
+        fd, fd, /*owns=*/true,
+        next_connection_id_.fetch_add(1, std::memory_order_relaxed),
+        options_.chaos);
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connection_threads_.emplace_back(
+        [this, conn = std::move(conn)]() mutable {
+          connection_loop(std::move(conn));
+        });
+  }
+  util::close_quietly(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+}
+
+void EstimationServer::connection_loop(std::shared_ptr<Connection> conn) {
+  while (serve_one_frame(conn)) {
+  }
+}
+
+void EstimationServer::serve_connection_fds(int in_fd, int out_fd) {
+  auto conn = std::make_shared<Connection>(
+      in_fd, out_fd, /*owns=*/false,
+      next_connection_id_.fetch_add(1, std::memory_order_relaxed),
+      options_.chaos);
+  accepted_connections_.fetch_add(1, std::memory_order_relaxed);
+  while (serve_one_frame(conn)) {
+  }
+}
+
+// --- the frame loop ---------------------------------------------------------
+
+bool EstimationServer::serve_one_frame(
+    const std::shared_ptr<Connection>& conn) {
+  if (conn->dead.load(std::memory_order_acquire)) return false;
+  // Idle wait between frames, ticking to observe shutdown. No idle
+  // timeout: a quiet client costs one parked thread, not a worker.
+  for (;;) {
+    if (stop_io_.load(std::memory_order_acquire)) return false;
+    const util::IoStatus ready = util::wait_readable(conn->in_fd, 100);
+    if (ready == util::IoStatus::kTimeout) continue;
+    if (ready != util::IoStatus::kOk) return false;
+    break;
+  }
+  if (conn->chaos.stall_before_read()) {
+    chaos_injected_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(ms(options_.chaos.stall_ms));
+  }
+  // Once a frame starts, the peer has read_timeout_ms to finish it — a
+  // client stalled mid-frame is disconnected, never waited on forever.
+  unsigned char header_bytes[kFrameHeaderBytes];
+  util::IoStatus st = util::read_exact(conn->in_fd, header_bytes,
+                                       sizeof header_bytes,
+                                       options_.read_timeout_ms);
+  if (st != util::IoStatus::kOk) {
+    // kEof before any byte is a normal close; mid-header it is a torn
+    // frame. Either way no complete frame arrived, so no reply is owed.
+    if (st == util::IoStatus::kTimeout) {
+      io_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return false;
+  }
+  frames_received_.fetch_add(1, std::memory_order_relaxed);
+  FrameHeader header;
+  try {
+    header = decode_header(header_bytes, options_.limits);
+  } catch (const ProtocolError& e) {
+    malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+    // The seq field sits at a fixed offset, so even a rejected header can
+    // be answered with a correlated error before the connection closes
+    // (the framing is no longer trustworthy after a bad header).
+    std::uint64_t seq;
+    std::memcpy(&seq, header_bytes + 8, 8);
+    send_error(conn, seq, e.code(), e.what());
+    return false;
+  }
+  std::string payload(header.payload_len, '\0');
+  if (header.payload_len > 0) {
+    st = util::read_exact(conn->in_fd, payload.data(), payload.size(),
+                          options_.read_timeout_ms);
+    if (st != util::IoStatus::kOk) {
+      if (st == util::IoStatus::kTimeout) {
+        io_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return false;  // torn frame: never completed, no reply owed
+    }
+  }
+  const Clock::time_point received = Clock::now();
+  if (draining_.load(std::memory_order_acquire)) {
+    send_error(conn, header.seq, ErrorCode::kShuttingDown,
+               "server is draining");
+    return !stop_io_.load(std::memory_order_acquire);
+  }
+  switch (header.type) {
+    case FrameType::kPingRequest: {
+      try {
+        decode_empty_request(payload);
+      } catch (const ProtocolError& e) {
+        malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+        return send_error(conn, header.seq, e.code(), e.what());
+      }
+      return send_frame(conn, FrameType::kPingReply, header.seq, "");
+    }
+    case FrameType::kStatsRequest: {
+      try {
+        decode_empty_request(payload);
+      } catch (const ProtocolError& e) {
+        malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+        return send_error(conn, header.seq, e.code(), e.what());
+      }
+      return send_frame(
+          conn, FrameType::kStatsReply, header.seq,
+          encode_stats_reply(stats_snapshot(), options_.limits));
+    }
+    case FrameType::kSwapRequest: {
+      SwapRequest request;
+      try {
+        request = decode_swap_request(payload, options_.limits);
+      } catch (const ProtocolError& e) {
+        malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+        return send_error(conn, header.seq, e.code(), e.what());
+      }
+      std::string id;
+      std::string error;
+      if (!swap_to_latest(request.model_class, &id, &error)) {
+        return send_error(conn, header.seq, ErrorCode::kModelUnavailable,
+                          error);
+      }
+      SwapReply reply;
+      reply.model_id = id;
+      reply.swap_generation = swap_generation();
+      return send_frame(conn, FrameType::kSwapReply, header.seq,
+                        encode_swap_reply(reply, options_.limits));
+    }
+    case FrameType::kEstimateRequest:
+      dispatch_estimate(conn, header.seq, std::move(payload), received);
+      return true;
+    default:
+      send_error(conn, header.seq, ErrorCode::kUnknownType,
+                 "unknown frame type " +
+                     std::to_string(static_cast<unsigned>(header.type)));
+      return true;  // framing is intact; the connection survives
+  }
+}
+
+void EstimationServer::dispatch_estimate(
+    const std::shared_ptr<Connection>& conn, std::uint64_t seq,
+    std::string payload, Clock::time_point received) {
+  estimate_requests_.fetch_add(1, std::memory_order_relaxed);
+  // Admission control BEFORE parsing: shedding stays O(1) under a flood.
+  bool admitted = false;
+  if (conn->chaos.force_overload()) {
+    chaos_injected_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    std::size_t expected = queued_.load(std::memory_order_relaxed);
+    while (expected < options_.max_queue) {
+      if (queued_.compare_exchange_weak(expected, expected + 1,
+                                        std::memory_order_acq_rel)) {
+        admitted = true;
+        break;
+      }
+    }
+  }
+  if (!admitted) {
+    shed_overloaded_.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, seq, ErrorCode::kOverloaded,
+               "queue full (" + std::to_string(options_.max_queue) +
+                   " pending requests)");
+    return;
+  }
+  auto job = std::make_shared<RequestJob>();
+  job->conn = conn;
+  job->seq = seq;
+  job->payload = std::move(payload);
+  job->received = received;
+  job->chaos_swap_mid_request = conn->chaos.swap_mid_request();
+  // The future is intentionally dropped: run_estimate catches everything
+  // and answers the client itself.
+  (void)pool_->submit([this, job] { run_estimate(job); });
+}
+
+void EstimationServer::run_estimate(const std::shared_ptr<RequestJob>& job) {
+  // Dequeue: active before not-queued, so the drain predicate
+  // (queued == 0 && active == 0) never observes a request in neither set.
+  active_.fetch_add(1, std::memory_order_acq_rel);
+  queued_.fetch_sub(1, std::memory_order_acq_rel);
+  struct DrainGuard {
+    EstimationServer* server;
+    ~DrainGuard() {
+      server->active_.fetch_sub(1, std::memory_order_acq_rel);
+      { std::lock_guard<std::mutex> lock(server->drain_mutex_); }
+      server->drain_cv_.notify_all();
+    }
+  } guard{this};
+
+  try {
+    const EstimateRequest request =
+        decode_estimate_request(job->payload, options_.limits);
+    const bool has_deadline = request.deadline_ms > 0;
+    const std::uint32_t deadline_ms =
+        std::min(request.deadline_ms, options_.max_deadline_ms);
+    const Clock::time_point deadline = job->received + ms(deadline_ms);
+    // Deadline check #1, at dequeue: a request that waited out its budget
+    // in the queue is never evaluated.
+    if (has_deadline && Clock::now() >= deadline) {
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      send_error(job->conn, job->seq, ErrorCode::kDeadlineExceeded,
+                 "deadline expired while queued");
+      return;
+    }
+    if (job->chaos_swap_mid_request) {
+      chaos_injected_.fetch_add(1, std::memory_order_relaxed);
+      std::string id;
+      std::string error;
+      (void)swap_to_latest(request.model_class, &id, &error);
+    }
+    const EstimateReply reply = evaluate(request, deadline, has_deadline);
+    send_frame(job->conn, FrameType::kEstimateReply, job->seq,
+               encode_estimate_reply(reply, options_.limits));
+  } catch (const ProtocolError& e) {
+    malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+    send_error(job->conn, job->seq, e.code(), e.what());
+  } catch (const std::exception& e) {
+    send_error(job->conn, job->seq, ErrorCode::kInternal, e.what());
+  }
+}
+
+EstimateReply EstimationServer::evaluate(const EstimateRequest& request,
+                                         Clock::time_point deadline,
+                                         bool has_deadline) {
+  SlotSnapshot snapshot;
+  if (!request.model_id.empty()) {
+    try {
+      snapshot.model = registry_.open(request.model_id);
+      snapshot.id = request.model_id;
+    } catch (const std::exception& e) {
+      throw ProtocolError(ErrorCode::kModelUnavailable, e.what());
+    }
+  } else {
+    std::string error;
+    snapshot = resolve_slot(request.model_class, &error);
+    if (!snapshot.model) {
+      throw ProtocolError(ErrorCode::kModelUnavailable, error);
+    }
+  }
+
+  EstimateReply reply;
+  reply.model_id = snapshot.id;
+  reply.swap_generation = swap_generation();
+  const serve::EvalTables tables = snapshot.model->tables();
+  const model::Merge merge = request.merge == 0 ? model::Merge::kTimeWeighted
+                                                : model::Merge::kUnweighted;
+  reply.results.reserve(request.workload_csvs.size());
+  for (std::size_t i = 0; i < request.workload_csvs.size(); ++i) {
+    WorkloadResult result;
+    // Deadline check #2, between batch slices: workloads the budget no
+    // longer covers are reported, not silently dropped.
+    if (has_deadline && Clock::now() >= deadline) {
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      result.status = ErrorCode::kDeadlineExceeded;
+      result.error = "deadline expired after " + std::to_string(i) + " of " +
+                     std::to_string(request.workload_csvs.size()) +
+                     " workload(s)";
+      reply.results.push_back(std::move(result));
+      continue;
+    }
+    try {
+      std::istringstream in(request.workload_csvs[i]);
+      const sampling::Dataset data = sampling::Dataset::load_csv(in);
+      const sampling::DatasetView view(data);
+      result.samples = view.size();
+      const model::Estimate estimate =
+          serve::estimate_tables(tables, view, merge);
+      result.throughput = estimate.throughput;
+      const std::size_t top =
+          std::min(estimate.ranking.size(), options_.limits.max_ranking);
+      result.ranking.reserve(top);
+      for (std::size_t j = 0; j < top; ++j) {
+        const model::MetricEstimate& r = estimate.ranking[j];
+        result.ranking.push_back(
+            {std::string(counters::event_name(r.metric)), r.p_bar,
+             static_cast<std::uint64_t>(r.samples)});
+      }
+    } catch (const std::exception& e) {
+      result.status = ErrorCode::kEstimationFailed;
+      result.error =
+          bounded_message(e.what(), options_.limits.max_error_bytes);
+    }
+    reply.results.push_back(std::move(result));
+  }
+  return reply;
+}
+
+// --- replies ----------------------------------------------------------------
+
+bool EstimationServer::send_frame(const std::shared_ptr<Connection>& conn,
+                                  FrameType type, std::uint64_t seq,
+                                  const std::string& payload) {
+  std::string frame;
+  try {
+    frame = encode_frame(type, seq, payload, options_.limits);
+  } catch (const ProtocolError&) {
+    type = FrameType::kErrorReply;
+    ErrorReply fallback;
+    fallback.code = ErrorCode::kInternal;
+    fallback.message = "reply exceeded the frame limit";
+    frame = encode_frame(FrameType::kErrorReply, seq,
+                         encode_error_reply(fallback, options_.limits),
+                         options_.limits);
+  }
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (conn->dead.load(std::memory_order_acquire)) return false;
+  const util::IoStatus st = util::write_all_deadline(
+      conn->out_fd, frame.data(), frame.size(), options_.write_timeout_ms);
+  if (st != util::IoStatus::kOk) {
+    if (st == util::IoStatus::kTimeout) {
+      io_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // One failed/stalled write poisons the stream (the peer would see a
+    // torn reply); everything else on this connection is dropped.
+    conn->dead.store(true, std::memory_order_release);
+    return false;
+  }
+  if (type == FrameType::kErrorReply) {
+    replies_error_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    replies_ok_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+bool EstimationServer::send_error(const std::shared_ptr<Connection>& conn,
+                                  std::uint64_t seq, ErrorCode code,
+                                  const std::string& message) {
+  ErrorReply reply;
+  reply.code = code;
+  reply.message = bounded_message(message, options_.limits.max_error_bytes);
+  return send_frame(conn, FrameType::kErrorReply, seq,
+                    encode_error_reply(reply, options_.limits));
+}
+
+// --- shutdown ---------------------------------------------------------------
+
+void EstimationServer::install_signal_handlers() {
+  g_signal_pipe.store(wake_pipe_[1], std::memory_order_release);
+  struct sigaction sa{};
+  sa.sa_handler = spire_forward_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  // Deliberately no SA_RESTART: the EINTR hardening in util/posix_io.h is
+  // load-bearing, and signals exercising it keeps it honest.
+  sa.sa_flags = 0;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  util::ignore_sigpipe();
+}
+
+void EstimationServer::watcher_loop() {
+  while (!watcher_stop_.load(std::memory_order_acquire)) {
+    const util::IoStatus st = util::wait_readable(wake_pipe_[0], 200);
+    if (st == util::IoStatus::kOk) {
+      char buf[16];
+      (void)util::read_retry(wake_pipe_[0], buf, sizeof buf);
+      begin_shutdown();
+    } else if (st == util::IoStatus::kError) {
+      return;
+    }
+  }
+}
+
+void EstimationServer::begin_shutdown() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return;  // idempotent
+  }
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    drain_started_ = Clock::now();
+  }
+  lifecycle_cv_.notify_all();
+  drain_cv_.notify_all();
+}
+
+bool EstimationServer::wait_until_drained() {
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+    lifecycle_cv_.wait(lock, [this] {
+      return draining_.load(std::memory_order_acquire);
+    });
+  }
+  Clock::time_point deadline;
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    deadline = drain_started_ + ms(options_.drain_timeout_ms);
+  }
+  bool clean;
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    clean = drain_cv_.wait_until(lock, deadline, [this] {
+      return queued_.load(std::memory_order_acquire) == 0 &&
+             active_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  stop_io_.store(true, std::memory_order_release);
+  join_threads();
+  return clean;
+}
+
+int EstimationServer::run() { return wait_until_drained() ? 0 : 1; }
+
+void EstimationServer::join_threads() {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  if (joined_) return;
+  joined_ = true;
+  watcher_stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : connection_threads_) {
+    if (t.joinable()) t.join();
+  }
+  connection_threads_.clear();
+  if (watcher_.joinable()) watcher_.join();
+}
+
+// --- observability ----------------------------------------------------------
+
+StatsReply EstimationServer::stats_snapshot() const {
+  StatsReply stats;
+  stats.counters = {
+      {"accepted_connections",
+       accepted_connections_.load(std::memory_order_relaxed)},
+      {"active_requests", active_.load(std::memory_order_relaxed)},
+      {"chaos_injected", chaos_injected_.load(std::memory_order_relaxed)},
+      {"deadline_expired", deadline_expired_.load(std::memory_order_relaxed)},
+      {"estimate_requests",
+       estimate_requests_.load(std::memory_order_relaxed)},
+      {"frames_received", frames_received_.load(std::memory_order_relaxed)},
+      {"io_timeouts", io_timeouts_.load(std::memory_order_relaxed)},
+      {"malformed_frames", malformed_frames_.load(std::memory_order_relaxed)},
+      {"queue_depth", queued_.load(std::memory_order_relaxed)},
+      {"replies_error", replies_error_.load(std::memory_order_relaxed)},
+      {"replies_ok", replies_ok_.load(std::memory_order_relaxed)},
+      {"shed_overloaded", shed_overloaded_.load(std::memory_order_relaxed)},
+      {"swap_generation", generation_.load(std::memory_order_relaxed)},
+  };
+  return stats;
+}
+
+#endif  // !_WIN32
+
+}  // namespace spire::server

@@ -1,0 +1,250 @@
+// Resident estimation server, designed around failure.
+//
+// The serving data plane (serve::MappedModel + ModelRegistry) is immutable
+// and lock-free; what was missing is a control plane that survives the
+// conditions a long-running process actually meets: malformed and torn
+// frames, clients that stall mid-write, load spikes, model republishes,
+// and operators sending SIGTERM. EstimationServer is that control plane:
+//
+//  * transports: a UNIX-domain socket (one reader thread per accepted
+//    connection) or any already-open duplex fd pair (stdin/stdout for
+//    `spire_cli serve --stdio`, socketpairs in tests). All descriptor I/O
+//    goes through util/posix_io.h — EINTR-retried, poll-gated with
+//    per-connection read/write timeouts, SIGPIPE ignored — so one broken
+//    or malicious peer can never wedge or kill the process;
+//  * parsing: the strict bounded protocol parser (server/protocol.h);
+//    malformed input becomes a structured kErrorReply, and only errors
+//    that poison the stream framing close the connection;
+//  * concurrency: estimate requests run on the shared util::ThreadPool
+//    behind admission control — a bounded queue that sheds with
+//    kOverloaded instead of buffering unboundedly;
+//  * deadlines: each request's relative deadline is pinned to an absolute
+//    steady_clock instant at frame receipt and enforced twice — at
+//    dequeue (an expired request is never evaluated) and between workload
+//    slices inside a batch (remaining slices report kDeadlineExceeded);
+//  * hot swap: per-class model slots hold shared_ptr<const MappedModel>;
+//    a swap resolves the registry's latest id and bumps an observable
+//    generation counter, while in-flight requests finish on the mapping
+//    they snapshotted — graceful drain of the old model for free;
+//  * shutdown: begin_shutdown() (or SIGTERM/SIGINT via the self-pipe
+//    handlers) stops accepting, answers new requests with kShuttingDown,
+//    and drains in-flight work within a timeout;
+//  * chaos: ChaosOptions injects deterministic faults (stalled reads,
+//    mid-request swaps, forced overload) at fixed hook points so the
+//    failure paths are first-class tested code, not dead branches.
+//
+// Invariant the chaos suite enforces: every complete, well-framed request
+// frame receives exactly one reply frame (success or structured error) —
+// torn frames (never completed) receive none, and the connection closes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/mapped_model.h"
+#include "serve/registry.h"
+#include "server/chaos.h"
+#include "server/protocol.h"
+#include "util/thread_pool.h"
+
+namespace spire::server {
+
+struct ServerOptions {
+  /// UNIX-domain socket path for start(); unused by serve_connection_fds.
+  std::string socket_path;
+  /// Worker threads evaluating estimate requests.
+  std::size_t workers = 4;
+  /// Admission bound: estimate requests queued-but-not-started beyond this
+  /// are shed with kOverloaded.
+  std::size_t max_queue = 64;
+  /// Per-connection budget for finishing one frame read / one reply write
+  /// once started; a peer that stalls mid-frame is disconnected.
+  int read_timeout_ms = 10'000;
+  int write_timeout_ms = 10'000;
+  /// How long begin_shutdown waits for in-flight work before giving up.
+  int drain_timeout_ms = 5'000;
+  /// Deadlines above this are clamped (a client cannot pin a worker
+  /// arbitrarily long by declaring an enormous deadline).
+  std::uint32_t max_deadline_ms = 60'000;
+  Limits limits{};
+  ChaosOptions chaos{};
+};
+
+class EstimationServer {
+ public:
+  /// The registry must outlive the server. No model is resolved yet;
+  /// call set_model / swap_to_latest, or let the first request trigger a
+  /// lazy resolve of its class slot.
+  EstimationServer(serve::ModelRegistry& registry, ServerOptions options);
+
+  /// Equivalent to begin_shutdown() + wait_until_drained().
+  ~EstimationServer();
+
+  EstimationServer(const EstimationServer&) = delete;
+  EstimationServer& operator=(const EstimationServer&) = delete;
+
+  // --- model routing --------------------------------------------------------
+
+  /// Pins `model_class`'s slot to an explicit registry id. Throws when the
+  /// id is malformed or unknown.
+  void set_model(const std::string& id, const std::string& model_class = "");
+
+  /// Resolves the registry's latest id into `model_class`'s slot and bumps
+  /// the swap generation. Returns false (with `error` filled) when the
+  /// registry is empty or the artifact cannot be mapped; the slot keeps
+  /// serving its previous model in that case.
+  bool swap_to_latest(const std::string& model_class, std::string* id_out,
+                      std::string* error_out);
+
+  /// Current id of the default class slot ("" when nothing resolved yet).
+  std::string current_model_id() const;
+
+  /// Total successful swaps across all slots. Monotonic; observable via
+  /// stats and in every estimate reply.
+  std::uint64_t swap_generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  // --- socket transport -----------------------------------------------------
+
+  /// Binds, listens, and spawns the accept thread. Throws std::runtime_error
+  /// ("server: ...") when the socket cannot be created.
+  void start();
+
+  /// Serves one already-open duplex connection in the calling thread;
+  /// returns when the peer closes, the stream becomes unframeable, or
+  /// shutdown begins. `in_fd`/`out_fd` may be the same descriptor (socket)
+  /// or a pipe pair (--stdio). The fds are not closed.
+  void serve_connection_fds(int in_fd, int out_fd);
+
+  // --- shutdown -------------------------------------------------------------
+
+  /// SIGTERM/SIGINT -> graceful shutdown via the self-pipe (async-signal
+  /// safe: the handler writes one byte). Also ignores SIGPIPE. Only one
+  /// server per process may install handlers.
+  void install_signal_handlers();
+
+  /// Stops accepting connections and marks the server draining: frames
+  /// already queued or in flight finish, new requests get kShuttingDown.
+  /// Idempotent, callable from any thread.
+  void begin_shutdown();
+
+  bool shutdown_requested() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until shutdown was requested and in-flight work drained, then
+  /// joins every server thread. Returns true when the drain completed
+  /// within drain_timeout_ms of the shutdown request.
+  bool wait_until_drained();
+
+  /// start() driver: blocks until begin_shutdown (e.g. via a signal), then
+  /// drains. Returns 0 on a clean drain, 1 when the drain timed out.
+  int run();
+
+  // --- observability --------------------------------------------------------
+
+  StatsReply stats_snapshot() const;
+
+  const ServerOptions& options() const { return options_; }
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  struct Connection;
+  struct RequestJob;
+
+  void accept_loop();
+  void watcher_loop();
+  /// Joins accept/connection/watcher threads exactly once.
+  void join_threads();
+  void connection_loop(std::shared_ptr<Connection> conn);
+  /// One frame: reads, parses, dispatches; returns false when the
+  /// connection should close.
+  bool serve_one_frame(const std::shared_ptr<Connection>& conn);
+  void dispatch_estimate(const std::shared_ptr<Connection>& conn,
+                         std::uint64_t seq, std::string payload,
+                         std::chrono::steady_clock::time_point received);
+  void run_estimate(const std::shared_ptr<RequestJob>& job);
+  EstimateReply evaluate(const EstimateRequest& request,
+                         std::chrono::steady_clock::time_point deadline,
+                         bool has_deadline);
+
+  bool send_frame(const std::shared_ptr<Connection>& conn, FrameType type,
+                  std::uint64_t seq, const std::string& payload);
+  bool send_error(const std::shared_ptr<Connection>& conn, std::uint64_t seq,
+                  ErrorCode code, const std::string& message);
+
+  /// Snapshot of a class slot for one request: the mapping the request
+  /// will finish on even if a swap lands mid-flight.
+  struct SlotSnapshot {
+    std::shared_ptr<const serve::MappedModel> model;
+    std::string id;
+  };
+  SlotSnapshot resolve_slot(const std::string& model_class,
+                            std::string* error_out);
+
+  serve::ModelRegistry& registry_;
+  ServerOptions options_;
+
+  // Model slots: class name -> current mapping. generation_ counts swaps.
+  struct Slot {
+    std::shared_ptr<const serve::MappedModel> model;
+    std::string id;
+  };
+  mutable std::mutex slots_mutex_;
+  std::map<std::string, Slot> slots_;
+  std::atomic<std::uint64_t> generation_{0};
+
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  // Admission / drain accounting. queued_: submitted, not yet started;
+  // active_: currently evaluating. Both zero = drained.
+  std::atomic<std::size_t> queued_{0};
+  std::atomic<std::size_t> active_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+
+  // Lifecycle flags. draining_: no new requests; stop_io_: reader loops
+  // and the accept loop must exit now.
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_io_{false};
+  std::atomic<bool> watcher_stop_{false};
+  std::chrono::steady_clock::time_point drain_started_{};
+  std::mutex lifecycle_mutex_;
+  std::condition_variable lifecycle_cv_;
+
+  // Self-pipe: signal handlers and begin_shutdown write, the watcher
+  // thread reads and flips draining_.
+  int wake_pipe_[2] = {-1, -1};
+  std::thread watcher_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::atomic<std::uint64_t> next_connection_id_{1};
+  bool started_ = false;
+  bool joined_ = false;
+
+  // Counters (stats_snapshot sorts them by name).
+  std::atomic<std::uint64_t> accepted_connections_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> estimate_requests_{0};
+  std::atomic<std::uint64_t> replies_ok_{0};
+  std::atomic<std::uint64_t> replies_error_{0};
+  std::atomic<std::uint64_t> malformed_frames_{0};
+  std::atomic<std::uint64_t> shed_overloaded_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> io_timeouts_{0};
+  std::atomic<std::uint64_t> chaos_injected_{0};
+};
+
+}  // namespace spire::server

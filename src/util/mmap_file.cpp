@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/posix_io.h"
+
 #if defined(_WIN32)
 // The zero-copy serving path is POSIX-only; callers fall back to the
 // stream-deserialize path when mapping is unsupported.
@@ -34,7 +36,7 @@ MmapFile::~MmapFile() = default;
 #else
 
 MmapFile MmapFile::open_readonly(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  const int fd = open_retry(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) fail(path, "cannot open");
   struct stat st{};
   if (::fstat(fd, &st) != 0) {

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
@@ -625,6 +627,88 @@ TEST(ModelRegistry, ConcurrentPublishOfTheSameBytesConverges) {
   EXPECT_EQ(registry.list(), std::vector<std::string>{id_a});
   // The object is whole (atomic rename: no reader can see a partial file).
   EXPECT_NO_THROW(registry.open(id_a));
+}
+
+TEST(ModelRegistry, LatestTracksMtimeWithDeterministicTieBreak) {
+  ModelRegistry registry(fresh_registry_root("reg_latest"));
+  EXPECT_TRUE(registry.latest().empty());
+  const std::string a = registry.publish(trained_ensemble(17));
+  EXPECT_EQ(registry.latest(), a);
+  const std::string b = registry.publish(trained_ensemble(29));
+  // Make the ordering explicit rather than racing filesystem timestamps.
+  const auto now = std::filesystem::file_time_type::clock::now();
+  std::filesystem::last_write_time(registry.object_path(a), now);
+  std::filesystem::last_write_time(registry.object_path(b),
+                                   now + std::chrono::seconds(2));
+  EXPECT_EQ(registry.latest(), b);
+  std::filesystem::last_write_time(registry.object_path(a),
+                                   now + std::chrono::seconds(4));
+  EXPECT_EQ(registry.latest(), a);
+  // Equal mtimes: the lexicographically larger id wins, deterministically.
+  std::filesystem::last_write_time(registry.object_path(b),
+                                   now + std::chrono::seconds(4));
+  EXPECT_EQ(registry.latest(), std::max(a, b));
+}
+
+TEST(ModelRegistry, HotSwapReaderNeverSeesATornMappingUnderConcurrentGc) {
+  // A serving reader resolves "latest" and estimates in a loop while a
+  // publisher alternates objects and a collector gc's aggressively. The
+  // reader may lose a resolve race (open() of a just-collected id throws
+  // cleanly) but an open that SUCCEEDS must always serve a bit-exact
+  // result for whichever of the two models it mapped — never a torn or
+  // partially collected mapping.
+  ModelRegistry registry(fresh_registry_root("reg_swap_gc"));
+  const Ensemble model_a = trained_ensemble(17);
+  const Ensemble model_b = trained_ensemble(29);
+  const Dataset workload = mixed_workload(7);
+  const DatasetView view(workload);
+  const Estimate expect_a = model_a.estimate(view);
+  const Estimate expect_b = model_b.estimate(view);
+  const std::string id_a = registry.publish(model_a);
+  const std::string id_b = registry.publish(model_b);
+  ASSERT_NE(id_a, id_b);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> served{0};
+  std::thread publisher([&] {
+    for (int round = 0; !stop.load(); ++round) {
+      // Republish whichever the gc may have collected and advance its
+      // mtime so latest() genuinely alternates.
+      const bool even = round % 2 == 0;
+      registry.publish(even ? model_a : model_b);
+      std::filesystem::last_write_time(
+          registry.object_path(even ? id_a : id_b),
+          std::filesystem::file_time_type::clock::now() +
+              std::chrono::seconds(round + 1));
+      registry.gc();  // unpinned, non-live objects vanish mid-traffic
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::thread reader([&] {
+    while (served.load() < 200 && !stop.load()) {
+      const std::string latest = registry.latest();
+      if (latest.empty()) continue;
+      std::shared_ptr<const MappedModel> mapped;
+      try {
+        mapped = registry.open(latest);
+      } catch (const std::runtime_error&) {
+        continue;  // lost the race to gc — a clean miss, not a tear
+      }
+      const Estimate got = mapped->estimate(view);
+      if (latest == id_a) {
+        expect_identical(got, expect_a);
+      } else if (latest == id_b) {
+        expect_identical(got, expect_b);
+      } else {
+        ADD_FAILURE() << "latest() returned unknown id " << latest;
+      }
+      served.fetch_add(1);
+    }
+  });
+  reader.join();
+  stop.store(true);
+  publisher.join();
+  EXPECT_GE(served.load(), 200);
 }
 
 // --------------------------------------------------------------------------

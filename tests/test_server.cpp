@@ -1,0 +1,751 @@
+// The estimation server's contract under failure. Three layers:
+//
+//  * protocol: the bounded parser round-trips every payload and rejects
+//    every malformed input (bad version, oversize lengths, trailing
+//    bytes) with a structured ProtocolError instead of misbehaving;
+//  * server semantics over live sockets: ping/stats/swap, bit-identical
+//    estimation, deadline enforcement at dequeue and between batch
+//    slices, admission-control shedding, hot swap under traffic, and the
+//    graceful-drain state machine (in-flight work finishes, new work is
+//    refused with kShuttingDown, drain completes within its timeout);
+//  * chaos: with faults injected on both sides (torn frames, stalled
+//    reads and writes, forced overload, mid-request swaps) the invariant
+//    holds — every complete request frame gets exactly one reply, torn
+//    frames get none, nothing crashes, and the server still drains
+//    cleanly. The chaos fleet is the test CI runs under TSan.
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sampling/dataset.h"
+#include "sampling/dataset_view.h"
+#include "serve/registry.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "spire/ensemble.h"
+#include "util/posix_io.h"
+#include "util/rng.h"
+
+namespace spire::server {
+namespace {
+
+using counters::Event;
+using model::Ensemble;
+using sampling::Dataset;
+using sampling::DatasetView;
+
+Ensemble trained_ensemble(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset train;
+  for (Event metric : {Event::kIdqDsbUops, Event::kLsdUops,
+                       Event::kBrMispRetiredAllBranches,
+                       Event::kLongestLatCacheMiss,
+                       Event::kMemInstRetiredAllLoads}) {
+    for (int i = 0; i < 60; ++i) {
+      const double p = rng.uniform(0.1, 4.0);
+      const double intensity = rng.chance(0.1)
+                                   ? std::numeric_limits<double>::infinity()
+                                   : std::pow(10.0, rng.uniform(-1.0, 3.0));
+      train.add(metric, {1.0, p, std::isinf(intensity) ? 0.0 : p / intensity});
+    }
+  }
+  return Ensemble::train(train);
+}
+
+Dataset mixed_workload(std::uint64_t seed, int per_metric = 40) {
+  util::Rng rng(seed);
+  Dataset d;
+  for (Event metric : {Event::kIdqDsbUops, Event::kLsdUops,
+                       Event::kBrMispRetiredAllBranches,
+                       Event::kLongestLatCacheMiss}) {
+    for (int i = 0; i < per_metric; ++i) {
+      const double p = rng.uniform(0.05, 5.0);
+      const double intensity = rng.chance(0.15)
+                                   ? std::numeric_limits<double>::infinity()
+                                   : std::pow(10.0, rng.uniform(-2.0, 4.0));
+      d.add(metric, {rng.uniform(0.5, 2.0), p,
+                     std::isinf(intensity) ? 0.0 : p / intensity});
+    }
+  }
+  return d;
+}
+
+std::string workload_csv(std::uint64_t seed, int per_metric = 40) {
+  std::ostringstream out;
+  mixed_workload(seed, per_metric).save_csv(out);
+  return out.str();
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string root = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(root);
+  return root;
+}
+
+// --------------------------------------------------------------------------
+// Protocol: round trips and strict rejection
+// --------------------------------------------------------------------------
+
+TEST(Protocol, HeaderRoundTripsAndRejectsEveryDefect) {
+  const Limits limits;
+  const std::string bytes =
+      encode_header(FrameType::kEstimateRequest, 0xdeadbeefcafe, 1234);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes);
+  const FrameHeader header = decode_header(
+      reinterpret_cast<const unsigned char*>(bytes.data()), limits);
+  EXPECT_EQ(header.payload_len, 1234u);
+  EXPECT_EQ(header.version, kProtocolVersion);
+  EXPECT_EQ(header.type, FrameType::kEstimateRequest);
+  EXPECT_EQ(header.seq, 0xdeadbeefcafeULL);
+
+  auto mutate = [&](std::size_t offset, unsigned char value) {
+    std::string bad = bytes;
+    bad[offset] = static_cast<char>(value);
+    return bad;
+  };
+  // Wrong version byte.
+  try {
+    const std::string bad = mutate(4, 99);
+    decode_header(reinterpret_cast<const unsigned char*>(bad.data()), limits);
+    FAIL() << "bad version accepted";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnsupportedVersion);
+  }
+  // Nonzero reserved bits.
+  try {
+    const std::string bad = mutate(6, 1);
+    decode_header(reinterpret_cast<const unsigned char*>(bad.data()), limits);
+    FAIL() << "nonzero reserved accepted";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kMalformedFrame);
+  }
+  // payload_len over the limit: rejected BEFORE any allocation happens.
+  try {
+    const std::string bad = mutate(3, 0xff);  // ~4 GiB payload_len
+    decode_header(reinterpret_cast<const unsigned char*>(bad.data()), limits);
+    FAIL() << "oversized payload_len accepted";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kFrameTooLarge);
+  }
+}
+
+TEST(Protocol, EstimateRequestRoundTripsAndEnforcesLimits) {
+  const Limits limits;
+  EstimateRequest request;
+  request.model_class = "batch";
+  request.model_id = "0123456789abcdef";
+  request.deadline_ms = 1500;
+  request.merge = 1;
+  request.workload_csvs = {workload_csv(1, 5), workload_csv(2, 5), ""};
+
+  const std::string payload = encode_estimate_request(request, limits);
+  const EstimateRequest back = decode_estimate_request(payload, limits);
+  EXPECT_EQ(back.model_class, request.model_class);
+  EXPECT_EQ(back.model_id, request.model_id);
+  EXPECT_EQ(back.deadline_ms, request.deadline_ms);
+  EXPECT_EQ(back.merge, request.merge);
+  EXPECT_EQ(back.workload_csvs, request.workload_csvs);
+
+  // Trailing bytes: a frame must parse exactly.
+  EXPECT_THROW(decode_estimate_request(payload + "x", limits), ProtocolError);
+  // Truncations at every prefix length must throw, never read wild.
+  for (std::size_t cut = 0; cut < payload.size(); cut += 7) {
+    EXPECT_THROW(decode_estimate_request(payload.substr(0, cut), limits),
+                 ProtocolError);
+  }
+  // Per-field limits trip on encode too (no oversized frame ever leaves).
+  EstimateRequest oversized = request;
+  oversized.model_class.assign(limits.max_class_bytes + 1, 'x');
+  EXPECT_THROW(encode_estimate_request(oversized, limits), ProtocolError);
+  EstimateRequest crowded = request;
+  crowded.workload_csvs.assign(limits.max_workloads + 1, "");
+  EXPECT_THROW(encode_estimate_request(crowded, limits), ProtocolError);
+}
+
+TEST(Protocol, RepliesRoundTripAndErrorMessagesTruncate) {
+  const Limits limits;
+  EstimateReply reply;
+  reply.model_id = "0123456789abcdef";
+  reply.swap_generation = 42;
+  WorkloadResult ok;
+  ok.samples = 99;
+  ok.throughput = 1.25;
+  ok.ranking = {{"cycle_activity.stalls_mem_any", 0.5, 10},
+                {"lsd.uops", 0.75, 11}};
+  WorkloadResult failed;
+  failed.status = ErrorCode::kDeadlineExceeded;
+  failed.error = "deadline expired after 1 of 2 workload(s)";
+  reply.results = {ok, failed};
+
+  const EstimateReply back =
+      decode_estimate_reply(encode_estimate_reply(reply, limits), limits);
+  ASSERT_EQ(back.results.size(), 2u);
+  EXPECT_EQ(back.model_id, reply.model_id);
+  EXPECT_EQ(back.swap_generation, 42u);
+  EXPECT_EQ(back.results[0].throughput, 1.25);
+  ASSERT_EQ(back.results[0].ranking.size(), 2u);
+  EXPECT_EQ(back.results[0].ranking[1].metric, "lsd.uops");
+  EXPECT_EQ(back.results[1].status, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(back.results[1].error, failed.error);
+
+  // encode_error_reply never throws on an oversized message — the error
+  // path must not be able to fail — it truncates instead.
+  ErrorReply shout;
+  shout.code = ErrorCode::kInternal;
+  shout.message.assign(limits.max_error_bytes * 3, 'e');
+  const ErrorReply heard =
+      decode_error_reply(encode_error_reply(shout, limits), limits);
+  EXPECT_EQ(heard.code, ErrorCode::kInternal);
+  EXPECT_EQ(heard.message.size(), limits.max_error_bytes);
+
+  SwapReply swap{"fedcba9876543210", 7};
+  const SwapReply swap_back =
+      decode_swap_reply(encode_swap_reply(swap, limits), limits);
+  EXPECT_EQ(swap_back.model_id, swap.model_id);
+  EXPECT_EQ(swap_back.swap_generation, 7u);
+
+  StatsReply stats;
+  stats.counters = {{"a", 1}, {"b", 2}};
+  const StatsReply stats_back =
+      decode_stats_reply(encode_stats_reply(stats, limits), limits);
+  EXPECT_EQ(stats_back.counters, stats.counters);
+}
+
+TEST(Protocol, MutatedPayloadsNeverMisbehave) {
+  const Limits limits;
+  EstimateRequest request;
+  request.model_class = "c";
+  request.workload_csvs = {workload_csv(3, 3)};
+  const std::string payload = encode_estimate_request(request, limits);
+  util::Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string bad = payload;
+    const int flips = 1 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < flips; ++i) {
+      bad[rng.below(bad.size())] ^= static_cast<char>(1 + rng.below(255));
+    }
+    // Decode must either succeed or throw ProtocolError — nothing else.
+    try {
+      (void)decode_estimate_request(bad, limits);
+    } catch (const ProtocolError&) {
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Server semantics over live sockets
+// --------------------------------------------------------------------------
+
+class ServerTest : public ::testing::Test {
+ protected:
+  /// Publishes one model and boots a server on a fresh socket.
+  void boot(ServerOptions options = {}) {
+    registry_ = std::make_unique<serve::ModelRegistry>(
+        fresh_dir("server_reg_" + std::string(
+            ::testing::UnitTest::GetInstance()->current_test_info()->name())));
+    model_id_ = registry_->publish(trained_ensemble(17));
+    options.socket_path = socket_path();
+    server_ = std::make_unique<EstimationServer>(*registry_, options);
+    server_->start();
+  }
+
+  std::string socket_path() const {
+    // Keep it short: sun_path caps around 100 bytes.
+    return "/tmp/spire_test_" +
+           std::to_string(static_cast<unsigned>(::getpid())) + "_" +
+           std::string(
+               ::testing::UnitTest::GetInstance()->current_test_info()->name())
+               .substr(0, 24) +
+           ".sock";
+  }
+
+  ClientOptions client_options(int attempts = 2) const {
+    ClientOptions options;
+    options.socket_path = server_->socket_path();
+    options.backoff.max_attempts = attempts;
+    options.backoff.base_ms = 5;
+    // Match the widest server config used in these tests so the client
+    // can frame the deliberately huge workloads.
+    options.limits.max_frame_bytes = 64u << 20;
+    return options;
+  }
+
+  std::uint64_t counter(const std::string& name) const {
+    const StatsReply stats = server_->stats_snapshot();
+    for (const auto& [k, v] : stats.counters) {
+      if (k == name) return v;
+    }
+    return 0;
+  }
+
+  /// Spins until a server counter reaches `at_least` (or ~2s elapse).
+  bool wait_for_counter(const std::string& name, std::uint64_t at_least) {
+    for (int i = 0; i < 2000; ++i) {
+      if (counter(name) >= at_least) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return false;
+  }
+
+  std::unique_ptr<serve::ModelRegistry> registry_;
+  std::unique_ptr<EstimationServer> server_;
+  std::string model_id_;
+};
+
+TEST_F(ServerTest, PingStatsAndSwapOverTheSocket) {
+  boot();
+  Client client(client_options());
+  client.ping();
+
+  const std::uint64_t before = server_->swap_generation();
+  const SwapReply swapped = client.swap();
+  EXPECT_EQ(swapped.model_id, model_id_);
+  EXPECT_EQ(swapped.swap_generation, before + 1);
+
+  const StatsReply stats = client.stats();
+  auto counter = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& [k, v] : stats.counters) {
+      if (k == name) return v;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+  EXPECT_GE(counter("frames_received"), 2u);
+  EXPECT_EQ(counter("malformed_frames"), 0u);
+  EXPECT_EQ(counter("swap_generation"), before + 1);
+}
+
+TEST_F(ServerTest, EstimateMatchesLocalEvaluationExactly) {
+  boot();
+  Client client(client_options());
+  EstimateRequest request;
+  request.workload_csvs = {workload_csv(3), workload_csv(5)};
+  const EstimateReply reply = client.estimate(request);
+
+  EXPECT_EQ(reply.model_id, model_id_);
+  ASSERT_EQ(reply.results.size(), 2u);
+  const Ensemble local = trained_ensemble(17);
+  const std::uint64_t seeds[] = {3, 5};
+  for (int i = 0; i < 2; ++i) {
+    const auto& r = reply.results[i];
+    ASSERT_EQ(r.status, ErrorCode::kOk) << r.error;
+    const Dataset workload = mixed_workload(seeds[i]);
+    const model::Estimate expected = local.estimate(DatasetView(workload));
+    EXPECT_EQ(r.samples, workload.size());
+    EXPECT_EQ(r.throughput, expected.throughput);  // bit-identical
+    ASSERT_EQ(r.ranking.size(), expected.ranking.size());
+    for (std::size_t j = 0; j < r.ranking.size(); ++j) {
+      EXPECT_EQ(r.ranking[j].metric,
+                counters::event_name(expected.ranking[j].metric));
+      EXPECT_EQ(r.ranking[j].p_bar, expected.ranking[j].p_bar);
+      EXPECT_EQ(r.ranking[j].samples, expected.ranking[j].samples);
+    }
+  }
+}
+
+TEST_F(ServerTest, ExplicitUnknownModelIdIsAStructuredError) {
+  boot();
+  Client client(client_options());
+  EstimateRequest request;
+  request.model_id = std::string(16, 'a');
+  request.workload_csvs = {workload_csv(3, 3)};
+  try {
+    client.estimate(request);
+    FAIL() << "unknown model id accepted";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kModelUnavailable);
+  }
+}
+
+/// Raw framed exchange against the server socket, bypassing the client's
+/// retry logic: returns true when a complete reply frame came back.
+bool raw_exchange(const std::string& socket_path, const std::string& frame,
+                  FrameHeader* header_out, std::string* payload_out,
+                  bool half_frame = false) {
+  ClientOptions options;
+  options.socket_path = socket_path;
+  options.backoff.max_attempts = 1;
+  Client probe(options);
+  // Reuse the client's connection plumbing via raw_roundtrip only for
+  // well-formed frames; hand-built defective frames go through a raw fd.
+  (void)probe;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    util::close_quietly(fd);
+    return false;
+  }
+  const std::size_t send_bytes =
+      half_frame ? frame.size() / 2 : frame.size();
+  if (util::write_all_deadline(fd, frame.data(), send_bytes, 2000) !=
+      util::IoStatus::kOk) {
+    util::close_quietly(fd);
+    return false;
+  }
+  if (half_frame) ::shutdown(fd, SHUT_WR);
+  unsigned char header_bytes[kFrameHeaderBytes];
+  if (util::read_exact(fd, header_bytes, sizeof header_bytes, 2000) !=
+      util::IoStatus::kOk) {
+    util::close_quietly(fd);
+    return false;
+  }
+  const FrameHeader header = decode_header(header_bytes, Limits{});
+  std::string payload(header.payload_len, '\0');
+  if (header.payload_len > 0 &&
+      util::read_exact(fd, payload.data(), payload.size(), 2000) !=
+          util::IoStatus::kOk) {
+    util::close_quietly(fd);
+    return false;
+  }
+  util::close_quietly(fd);
+  if (header_out) *header_out = header;
+  if (payload_out) *payload_out = std::move(payload);
+  return true;
+}
+
+TEST_F(ServerTest, MalformedFramesGetStructuredErrorsNotCrashes) {
+  boot();
+  const Limits limits;
+
+  // Bad version byte: correlated error reply, then the connection closes.
+  std::string bad_version = encode_frame(FrameType::kPingRequest, 7, "", limits);
+  bad_version[4] = 9;
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(raw_exchange(server_->socket_path(), bad_version, &header,
+                           &payload));
+  EXPECT_EQ(header.type, FrameType::kErrorReply);
+  EXPECT_EQ(header.seq, 7u);
+  EXPECT_EQ(decode_error_reply(payload, limits).code,
+            ErrorCode::kUnsupportedVersion);
+
+  // Unknown frame type: error reply, framing intact.
+  std::string unknown = encode_frame(FrameType::kPingRequest, 8, "", limits);
+  unknown[5] = 0x55;
+  ASSERT_TRUE(raw_exchange(server_->socket_path(), unknown, &header, &payload));
+  EXPECT_EQ(header.type, FrameType::kErrorReply);
+  EXPECT_EQ(header.seq, 8u);
+  EXPECT_EQ(decode_error_reply(payload, limits).code, ErrorCode::kUnknownType);
+
+  // Ping with trailing garbage payload: kMalformedFrame.
+  const std::string noisy =
+      encode_frame(FrameType::kPingRequest, 9, "junk", limits);
+  ASSERT_TRUE(raw_exchange(server_->socket_path(), noisy, &header, &payload));
+  EXPECT_EQ(decode_error_reply(payload, limits).code,
+            ErrorCode::kMalformedFrame);
+
+  // Torn frame (half a header, then EOF): NO reply, no crash.
+  const std::string whole = encode_frame(FrameType::kPingRequest, 10, "",
+                                         limits);
+  EXPECT_FALSE(raw_exchange(server_->socket_path(), whole, nullptr, nullptr,
+                            /*half_frame=*/true));
+
+  // The server is still healthy for the next client.
+  Client client(client_options());
+  client.ping();
+}
+
+TEST_F(ServerTest, DeadlinesEnforcedAtDequeueAndBetweenBatchSlices) {
+  ServerOptions options;
+  options.workers = 1;  // single lane, so a slow request blocks the queue
+  options.limits.max_frame_bytes = 64u << 20;
+  boot(options);
+  // ~100k rows: parsing alone takes well over the deadlines used below.
+  const std::string huge = workload_csv(11, 25'000);
+
+  // Batch slicing: the first (huge) workload eats the whole budget; the
+  // remaining slices must come back kDeadlineExceeded, not be dropped.
+  // Under sanitizers even shipping/parsing the frame can burn the budget,
+  // so slice 0 may legitimately expire too (or the whole request may be
+  // refused at dequeue) — what must never happen is a slice evaluating
+  // after an earlier one expired, or a slice being dropped.
+  Client client(client_options());
+  EstimateRequest sliced;
+  sliced.deadline_ms = 10;
+  sliced.workload_csvs = {huge, workload_csv(5, 3), workload_csv(6, 3)};
+  try {
+    const EstimateReply reply = client.estimate(sliced);
+    ASSERT_EQ(reply.results.size(), 3u);
+    bool expired = false;
+    for (const auto& result : reply.results) {
+      if (expired) {
+        EXPECT_EQ(result.status, ErrorCode::kDeadlineExceeded);
+        EXPECT_NE(result.error.find("deadline expired"), std::string::npos);
+      }
+      if (result.status == ErrorCode::kDeadlineExceeded) expired = true;
+    }
+    EXPECT_TRUE(expired) << "10 ms budget survived a ~7 MB workload";
+  } catch (const ServerError& e) {
+    // Budget was gone before the first slice: refused whole at dequeue.
+    EXPECT_EQ(e.code(), ErrorCode::kDeadlineExceeded);
+  }
+
+  // Dequeue: occupy the one worker with a no-deadline huge request, then
+  // queue a 1 ms-deadline request behind it — it must be rejected whole,
+  // never evaluated.
+  std::thread blocker([&] {
+    ClientOptions slow = client_options(1);
+    Client c(slow);
+    EstimateRequest r;
+    r.workload_csvs = {huge};
+    EXPECT_NO_THROW(c.estimate(r));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ClientOptions eager_options = client_options(1);
+  Client eager(eager_options);
+  EstimateRequest rushed;
+  rushed.deadline_ms = 1;
+  rushed.workload_csvs = {workload_csv(5, 3)};
+  try {
+    eager.estimate(rushed);
+    ADD_FAILURE() << "queued request outlived its deadline";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDeadlineExceeded);
+  } catch (const ServerUnavailable&) {
+    // Deadline burned client-side before a retry could go out — also a
+    // correct refusal to evaluate late.
+  }
+  blocker.join();
+  EXPECT_GE([&] {
+    const StatsReply stats = server_->stats_snapshot();
+    for (const auto& [k, v] : stats.counters) {
+      if (k == "deadline_expired") return v;
+    }
+    return std::uint64_t{0};
+  }(), 1u);
+}
+
+TEST_F(ServerTest, ForcedOverloadShedsAndClientRetriesExhaust) {
+  ServerOptions options;
+  options.chaos.force_overload = 1.0;  // admission always says no
+  boot(options);
+  ClientOptions copts = client_options(3);
+  Client client(copts);
+  EstimateRequest request;
+  request.workload_csvs = {workload_csv(3, 3)};
+  EXPECT_THROW(client.estimate(request), ServerUnavailable);
+
+  // The reply reaches the client just before the server bumps its
+  // counters, so observe them with a grace window.
+  EXPECT_TRUE(wait_for_counter("shed_overloaded", 3));  // one per attempt
+  EXPECT_TRUE(wait_for_counter("replies_error", 3));    // every shed answered
+  EXPECT_EQ(counter("shed_overloaded"), 3u);
+  EXPECT_EQ(counter("replies_error"), 3u);
+  // Control frames are not subject to admission control.
+  client.ping();
+}
+
+TEST_F(ServerTest, HotSwapUnderTrafficKeepsEveryReplyConsistent) {
+  boot();
+  const std::string second_id = registry_->publish(trained_ensemble(29));
+  ASSERT_NE(second_id, model_id_);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> ok_replies{0};
+  std::thread traffic([&] {
+    Client client(client_options(4));
+    EstimateRequest request;
+    request.workload_csvs = {workload_csv(3, 10)};
+    while (!stop.load()) {
+      const EstimateReply reply = client.estimate(request);
+      // Whatever mapping the request snapshotted, the reply must name a
+      // real published object and carry a complete result.
+      EXPECT_TRUE(reply.model_id == model_id_ || reply.model_id == second_id);
+      ASSERT_EQ(reply.results.size(), 1u);
+      EXPECT_EQ(reply.results[0].status, ErrorCode::kOk);
+      ok_replies.fetch_add(1);
+    }
+  });
+  // Swap repeatedly while traffic flows; make the newest object win
+  // latest() by touching its mtime forward each round.
+  Client ctl(client_options(4));
+  std::uint64_t generation = server_->swap_generation();
+  for (int round = 0; round < 10; ++round) {
+    std::filesystem::last_write_time(
+        registry_->object_path(round % 2 == 0 ? second_id : model_id_),
+        std::filesystem::file_time_type::clock::now() +
+            std::chrono::seconds(round + 1));
+    const SwapReply swapped = ctl.swap();
+    EXPECT_EQ(swapped.model_id, round % 2 == 0 ? second_id : model_id_);
+    EXPECT_GT(swapped.swap_generation, generation);
+    generation = swapped.swap_generation;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  traffic.join();
+  EXPECT_GT(ok_replies.load(), 0);
+}
+
+TEST_F(ServerTest, GracefulDrainFinishesInFlightAndRefusesNewWork) {
+  ServerOptions options;
+  options.workers = 1;
+  options.limits.max_frame_bytes = 64u << 20;
+  options.drain_timeout_ms = 20'000;
+  boot(options);
+  const std::string huge = workload_csv(11, 25'000);
+
+  std::atomic<bool> in_flight_done{false};
+  std::thread slow([&] {
+    Client client(client_options(1));
+    EstimateRequest request;
+    request.workload_csvs = {huge};
+    const EstimateReply reply = client.estimate(request);
+    ASSERT_EQ(reply.results.size(), 1u);
+    EXPECT_EQ(reply.results[0].status, ErrorCode::kOk);
+    in_flight_done.store(true);
+  });
+  // Open the probe connection while the server still accepts, so the
+  // post-shutdown refusal below is a framed kShuttingDown reply rather
+  // than a connect race against the closing listener.
+  ClientOptions copts = client_options(1);
+  Client late(copts);
+  late.ping();
+
+  // Shut down only once the slow request is genuinely being evaluated.
+  ASSERT_TRUE(wait_for_counter("active_requests", 1));
+  server_->begin_shutdown();
+
+  // New work during the drain is refused with kShuttingDown; the
+  // in-flight request below still completes.
+  try {
+    late.ping();
+    ADD_FAILURE() << "ping accepted during drain";
+  } catch (const ServerUnavailable& e) {
+    EXPECT_NE(std::string(e.what()).find("SHUTTING_DOWN"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_TRUE(server_->wait_until_drained());
+  slow.join();
+  EXPECT_TRUE(in_flight_done.load());  // the drain never dropped it
+}
+
+TEST_F(ServerTest, DrainTimeoutReportsDirtyShutdown) {
+  ServerOptions options;
+  options.workers = 1;
+  options.drain_timeout_ms = 30;
+  options.limits.max_frame_bytes = 64u << 20;
+  boot(options);
+  const std::string huge = workload_csv(11, 25'000);
+  std::thread slow([&] {
+    Client client(client_options(1));
+    EstimateRequest request;
+    // Several huge slices: far more evaluation than the 30 ms drain
+    // budget, so the timeout path is deterministic.
+    request.workload_csvs = {huge, huge, huge, huge};
+    try {
+      (void)client.estimate(request);
+    } catch (const ServerUnavailable&) {
+      // The dirty shutdown may cut the connection before the reply.
+    }
+  });
+  ASSERT_TRUE(wait_for_counter("active_requests", 1));
+  server_->begin_shutdown();
+  // The in-flight request cannot finish in 30 ms: drain reports dirty.
+  EXPECT_FALSE(server_->wait_until_drained());
+  slow.join();
+}
+
+// --------------------------------------------------------------------------
+// Chaos: exactly one reply per complete frame, clean drain, no crashes
+// --------------------------------------------------------------------------
+
+TEST_F(ServerTest, ChaosFleetNeverLosesARequestAndDrainsClean) {
+  ServerOptions options;
+  options.workers = 4;
+  options.max_queue = 8;
+  options.chaos.seed = 1234;
+  options.chaos.stall_before_read = 0.05;
+  options.chaos.swap_mid_request = 0.05;
+  options.chaos.force_overload = 0.05;
+  options.chaos.stall_ms = 5;
+  options.drain_timeout_ms = 20'000;
+  boot(options);
+
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 40;
+  std::atomic<int> complete_sent{0};
+  std::atomic<int> replies{0};
+  std::atomic<int> torn{0};
+  std::vector<std::thread> fleet;
+  for (int t = 0; t < kThreads; ++t) {
+    fleet.emplace_back([&, t] {
+      ClientOptions copts;
+      copts.socket_path = server_->socket_path();
+      copts.backoff.max_attempts = 1;
+      // Client-side faults: torn outbound frames and mid-write stalls,
+      // with a per-thread deterministic stream.
+      copts.chaos.seed = 5678 + static_cast<std::uint64_t>(t);
+      copts.chaos.tear_frame = 0.05;
+      copts.chaos.stall_mid_write = 0.05;
+      copts.chaos.stall_ms = 5;
+      Client client(copts);
+      const std::string csv = workload_csv(static_cast<std::uint64_t>(t), 10);
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        EstimateRequest request;
+        request.workload_csvs = {csv};
+        const std::string payload =
+            encode_estimate_request(request, copts.limits);
+        FrameHeader header;
+        std::string body;
+        std::string error;
+        const bool got = client.raw_roundtrip(FrameType::kEstimateRequest,
+                                              payload, &header, &body, &error);
+        if (got) {
+          // Exactly-one-reply: a complete frame begets a complete reply,
+          // either the estimate or a structured error.
+          replies.fetch_add(1);
+          complete_sent.fetch_add(1);
+          if (header.type == FrameType::kEstimateReply) {
+            const EstimateReply reply =
+                decode_estimate_reply(body, copts.limits);
+            ASSERT_EQ(reply.results.size(), 1u);
+          } else {
+            ASSERT_EQ(header.type, FrameType::kErrorReply);
+            const ErrorReply err = decode_error_reply(body, copts.limits);
+            EXPECT_TRUE(err.code == ErrorCode::kOverloaded ||
+                        err.code == ErrorCode::kDeadlineExceeded ||
+                        err.code == ErrorCode::kShuttingDown)
+                << error_code_name(err.code) << ": " << err.message;
+          }
+        } else if (error.find("chaos: tore") != std::string::npos) {
+          torn.fetch_add(1);  // torn frames are owed nothing
+        } else {
+          ADD_FAILURE() << "complete frame lost its reply: " << error;
+          complete_sent.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : fleet) t.join();
+  EXPECT_EQ(complete_sent.load(), replies.load());
+  EXPECT_EQ(complete_sent.load() + torn.load(), kThreads * kRequestsPerThread);
+  EXPECT_GT(torn.load(), 0);  // the fault injection actually fired
+
+  // After the storm: the server still answers, then drains cleanly.
+  Client survivor(client_options(4));
+  survivor.ping();
+  server_->begin_shutdown();
+  EXPECT_TRUE(server_->wait_until_drained());
+}
+
+}  // namespace
+}  // namespace spire::server

@@ -89,8 +89,47 @@ fi
   testdata/models/parboil.samples.csv > "${roundtrip_dir}/by_model.txt"
 diff "${roundtrip_dir}/by_registry.txt" "${roundtrip_dir}/by_model.txt"
 
-phase "Serving perf smoke (bench/perf_serving)"
+phase "Server smoke (publish / serve / estimate over socket / swap / drain)"
+# Full resident-server lifecycle against the release CLI: publish a model,
+# boot a background server on a UNIX socket, estimate through it (the
+# result must match the local --model path bit-for-bit), hot-swap the
+# slot, then SIGTERM it and require a clean drain (exit 0).
+server_socket="${roundtrip_dir}/server.sock"
+"${cli}" serve --socket "${server_socket}" \
+  --registry-root "${registry_root}" --model latest \
+  2> "${roundtrip_dir}/server.log" &
+server_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "${server_socket}" ] && break
+  sleep 0.1
+done
+"${cli}" serverctl ping --server "${server_socket}"
+"${cli}" estimate --server "${server_socket}" \
+  testdata/models/parboil.samples.csv > "${roundtrip_dir}/by_server.txt" \
+  2> /dev/null
+diff "${roundtrip_dir}/by_server.txt" "${roundtrip_dir}/by_model.txt"
+"${cli}" serverctl swap --server "${server_socket}" | grep -q "generation 2"
+"${cli}" serverctl stats --server "${server_socket}" > /dev/null
+kill -TERM "${server_pid}"
+if ! wait "${server_pid}"; then
+  echo "check.sh: server did not drain cleanly on SIGTERM" >&2
+  cat "${roundtrip_dir}/server.log" >&2
+  exit 1
+fi
+grep -q "drained cleanly" "${roundtrip_dir}/server.log"
+# The client's retry ladder must surface an unreachable server as exit 3.
+set +e
+"${cli}" serverctl ping --server "${server_socket}" 2> /dev/null
+ping_rc=$?
+set -e
+if [ "${ping_rc}" != 3 ]; then
+  echo "check.sh: expected exit 3 for unreachable server, got ${ping_rc}" >&2
+  exit 1
+fi
+
+phase "Serving perf smoke (bench/perf_serving + bench/perf_server)"
 ./build-check-release/bench/perf_serving --smoke
+./build-check-release/bench/perf_server --smoke
 
 phase "Static lint gate (tools/lint.sh)"
 SPIRE_LINT_BUILD_DIR=build-check-release tools/lint.sh "${jobs}"

@@ -46,6 +46,27 @@
 //       Serialize a workload's macro-op stream to a trace file.
 //   spire_cli replay --trace FILE [--cycles N]
 //       Run a recorded trace on the core and print its TMA breakdown.
+//   spire_cli serve --socket PATH | --stdio [--registry-root DIR]
+//               [--model ID|latest] [--workers N] [--max-queue N]
+//               [--drain-timeout-ms N]
+//       Resident estimation server over the framed protocol: UNIX-domain
+//       socket (or stdin/stdout with --stdio), hot-swappable registry
+//       models, per-request deadlines, graceful SIGTERM/SIGINT drain.
+//   spire_cli serverctl ping|stats|swap --server SOCK
+//       Control-plane client: liveness probe, counter dump, or a hot swap
+//       to the registry's latest model.
+//   spire_cli estimate --server SOCK FILE [FILE...]
+//               [--deadline-ms N] [--retries N] [--model-class C] [--id ID]
+//       Client mode of `estimate`: ships the workload CSVs to a running
+//       server, with retry + exponential backoff + jitter and deadline
+//       propagation (the server sees only the remaining budget).
+//
+// Exit codes (uniform across subcommands):
+//   0  success
+//   1  the operation ran and failed (bad data, failed estimate, error
+//      findings, server answered with a non-retryable error)
+//   2  usage error (unknown command, missing/invalid flags)
+//   3  server unavailable: no reply within the retry budget
 //
 // Sample CSVs use the same format Dataset::save_csv writes, so data
 // collected from real hardware (e.g. massaged `perf stat` logs) drops in.
@@ -77,6 +98,8 @@
 
 #include "lint/lint.h"
 #include "pipeline/engine.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "quality/quality.h"
 #include "serve/model_v3.h"
 #include "serve/registry.h"
@@ -92,6 +115,14 @@
 using namespace spire;
 
 namespace {
+
+/// A mistake in how the tool was invoked (missing flag, bad value) ->
+/// exit 2, distinct from an operation that ran and failed (exit 1) and
+/// from an unreachable server (exit 3). Subcommands throw this for
+/// argument problems and plain runtime_error for everything else.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 /// Tiny flag parser: --key value pairs plus positional arguments.
 struct Args {
@@ -112,11 +143,11 @@ struct Args {
     const char* end = v->data() + v->size();
     const auto [ptr, ec] = std::from_chars(v->data(), end, value);
     if (ec == std::errc::result_out_of_range) {
-      throw std::runtime_error("--" + key + " value '" + *v +
+      throw UsageError("--" + key + " value '" + *v +
                                "' is out of range");
     }
     if (v->empty() || ec != std::errc{} || ptr != end) {
-      throw std::runtime_error("--" + key +
+      throw UsageError("--" + key +
                                " expects a non-negative integer, got '" + *v +
                                "'");
     }
@@ -137,7 +168,7 @@ Args parse_args(int argc, char** argv, const std::vector<std::string>& bools) {
       } else if (i + 1 < argc) {
         args.flags.emplace_back(key, argv[++i]);
       } else {
-        throw std::runtime_error("missing value for --" + key);
+        throw UsageError("missing value for --" + key);
       }
     } else {
       args.positional.push_back(token);
@@ -148,13 +179,13 @@ Args parse_args(int argc, char** argv, const std::vector<std::string>& bools) {
 
 const workloads::SuiteEntry& resolve_workload(const Args& args) {
   const auto name = args.flag("workload");
-  if (!name) throw std::runtime_error("--workload is required");
+  if (!name) throw UsageError("--workload is required");
   const std::string config = args.flag("config").value_or("");
   if (!config.empty()) return workloads::find_workload(*name, config);
   for (const auto& entry : workloads::hpc_suite()) {
     if (entry.profile.name == *name) return entry;
   }
-  throw std::runtime_error("unknown workload '" + *name + "'");
+  throw UsageError("unknown workload '" + *name + "'");
 }
 
 quality::Policy quality_policy(const Args& args) {
@@ -162,7 +193,7 @@ quality::Policy quality_policy(const Args& args) {
   if (!v) return quality::Policy::kWarn;
   const auto policy = quality::policy_by_name(*v);
   if (!policy) {
-    throw std::runtime_error("--quality expects strict|repair|warn, got '" +
+    throw UsageError("--quality expects strict|repair|warn, got '" +
                              *v + "'");
   }
   return *policy;
@@ -225,9 +256,9 @@ int cmd_collect(const Args& args) {
 
 int cmd_train(const Args& args) {
   const auto out_path = args.flag("out");
-  if (!out_path) throw std::runtime_error("--out is required");
+  if (!out_path) throw UsageError("--out is required");
   if (args.positional.empty()) {
-    throw std::runtime_error("need at least one sample CSV");
+    throw UsageError("need at least one sample CSV");
   }
   auto engine = make_engine(args);
   auto& options = engine.context().train_options;
@@ -245,9 +276,9 @@ int cmd_train(const Args& args) {
 
 int cmd_analyze(const Args& args) {
   const auto model_path = args.flag("model");
-  if (!model_path) throw std::runtime_error("--model is required");
+  if (!model_path) throw UsageError("--model is required");
   if (args.positional.empty()) {
-    throw std::runtime_error("need at least one sample CSV");
+    throw UsageError("need at least one sample CSV");
   }
   auto engine = make_engine(args);
   engine.load_model(*model_path)
@@ -277,7 +308,7 @@ int cmd_analyze(const Args& args) {
 
 int cmd_validate(const Args& args) {
   if (args.positional.empty()) {
-    throw std::runtime_error("need at least one sample CSV");
+    throw UsageError("need at least one sample CSV");
   }
   bool any_errors = false;
   for (const auto& path : args.positional) {
@@ -316,7 +347,7 @@ int cmd_lint(const Args& args) {
     return 0;
   }
   if (args.positional.empty()) {
-    throw std::runtime_error("need at least one model file (or --rules)");
+    throw UsageError("need at least one model file (or --rules)");
   }
   // --against may repeat; all CSVs merge into one reference dataset.
   std::vector<std::string> against_paths;
@@ -343,12 +374,12 @@ int cmd_lint(const Args& args) {
 
 int cmd_compile(const Args& args) {
   const auto out_path = args.flag("out");
-  if (!out_path) throw std::runtime_error("--out is required");
+  if (!out_path) throw UsageError("--out is required");
   if (args.positional.size() != 1) {
-    throw std::runtime_error("need exactly one model file");
+    throw UsageError("need exactly one model file");
   }
   if (args.has("text") && args.has("v3")) {
-    throw std::runtime_error("--text and --v3 are mutually exclusive");
+    throw UsageError("--text and --v3 are mutually exclusive");
   }
   const auto ensemble = model::load_model_any_file(args.positional.front());
   const char* format = "binary v2";
@@ -374,13 +405,13 @@ std::string registry_root(const Args& args) {
 
 int cmd_registry(const Args& args) {
   if (args.positional.empty()) {
-    throw std::runtime_error("need an action: publish|list|pin|unpin|gc");
+    throw UsageError("need an action: publish|list|pin|unpin|gc");
   }
   const std::string& action = args.positional.front();
   serve::ModelRegistry registry(registry_root(args));
   if (action == "publish") {
     if (args.positional.size() != 2) {
-      throw std::runtime_error("registry publish needs exactly one model file");
+      throw UsageError("registry publish needs exactly one model file");
     }
     const std::string id = registry.publish_file(args.positional[1]);
     std::printf("%s\n", id.c_str());
@@ -397,7 +428,7 @@ int cmd_registry(const Args& args) {
   }
   if (action == "pin" || action == "unpin") {
     if (args.positional.size() != 2) {
-      throw std::runtime_error("registry " + action + " needs a model id");
+      throw UsageError("registry " + action + " needs a model id");
     }
     if (action == "pin") {
       registry.pin(args.positional[1]);
@@ -412,21 +443,29 @@ int cmd_registry(const Args& args) {
     }
     return 0;
   }
-  throw std::runtime_error("unknown registry action '" + action +
+  throw UsageError("unknown registry action '" + action +
                            "' (expected publish|list|pin|unpin|gc)");
 }
+
+int cmd_estimate_server(const Args& args);
 
 int cmd_estimate(const Args& args) {
   const auto model_path = args.flag("model");
   const auto registry_id = args.flag("registry");
+  if (args.positional.empty()) {
+    throw UsageError("need at least one sample CSV");
+  }
+  if (args.has("server")) {
+    if (model_path || registry_id) {
+      throw UsageError("--server excludes --model/--registry");
+    }
+    return cmd_estimate_server(args);
+  }
   if (!model_path && !registry_id) {
-    throw std::runtime_error("--model or --registry is required");
+    throw UsageError("--model, --registry, or --server is required");
   }
   if (model_path && registry_id) {
-    throw std::runtime_error("--model and --registry are mutually exclusive");
-  }
-  if (args.positional.empty()) {
-    throw std::runtime_error("need at least one sample CSV");
+    throw UsageError("--model and --registry are mutually exclusive");
   }
   auto engine = make_engine(args);
   engine.context().log = nullptr;  // per-file errors land in the table below
@@ -461,11 +500,11 @@ int cmd_show(const Args& args) {
   const auto model_path = args.flag("model");
   const auto metric_name = args.flag("metric");
   if (!model_path || !metric_name) {
-    throw std::runtime_error("--model and --metric are required");
+    throw UsageError("--model and --metric are required");
   }
   const auto ensemble = model::load_model_any_file(*model_path);
   const auto event = counters::event_by_name(*metric_name);
-  if (!event) throw std::runtime_error("unknown metric '" + *metric_name + "'");
+  if (!event) throw UsageError("unknown metric '" + *metric_name + "'");
   const auto it = ensemble.rooflines().find(*event);
   if (it == ensemble.rooflines().end()) {
     throw std::runtime_error("model has no roofline for " + *metric_name);
@@ -503,7 +542,7 @@ int cmd_tma(const Args& args) {
 int cmd_record(const Args& args) {
   const auto& entry = resolve_workload(args);
   const auto out_path = args.flag("out");
-  if (!out_path) throw std::runtime_error("--out is required");
+  if (!out_path) throw UsageError("--out is required");
   workloads::ProfileStream stream(entry.profile);
   const std::size_t written =
       sim::save_trace_file(stream, *out_path, args.flag_u64("ops", 1'000'000));
@@ -514,7 +553,7 @@ int cmd_record(const Args& args) {
 
 int cmd_replay(const Args& args) {
   const auto trace_path = args.flag("trace");
-  if (!trace_path) throw std::runtime_error("--trace is required");
+  if (!trace_path) throw UsageError("--trace is required");
   auto stream = sim::load_trace_file(*trace_path);
   sim::Core core(sim::CoreConfig{}, stream, args.flag_u64("seed", 7));
   core.run(args.flag_u64("cycles", 50'000'000));
@@ -523,6 +562,146 @@ int cmd_replay(const Args& args) {
               static_cast<unsigned long long>(core.cycle()),
               result.describe().c_str());
   return 0;
+}
+
+server::ClientOptions client_options(const Args& args) {
+  const auto sock = args.flag("server");
+  if (!sock) throw UsageError("--server SOCKET is required");
+  server::ClientOptions options;
+  options.socket_path = *sock;
+  options.backoff.max_attempts =
+      static_cast<int>(args.flag_u64("retries", 4));
+  options.backoff.base_ms =
+      static_cast<std::uint32_t>(args.flag_u64("backoff-ms", 50));
+  options.backoff.seed = args.flag_u64("seed", 0);
+  return options;
+}
+
+int cmd_serve(const Args& args) {
+  const auto socket = args.flag("socket");
+  const bool stdio = args.has("stdio");
+  if (!socket && !stdio) throw UsageError("--socket PATH or --stdio is required");
+  if (socket && stdio) {
+    throw UsageError("--socket and --stdio are mutually exclusive");
+  }
+  serve::ModelRegistry registry(registry_root(args));
+  server::ServerOptions options;
+  options.socket_path = socket.value_or("");
+  options.workers = args.flag_u64("workers", options.workers);
+  options.max_queue = args.flag_u64("max-queue", options.max_queue);
+  options.drain_timeout_ms = static_cast<int>(
+      args.flag_u64("drain-timeout-ms",
+                    static_cast<std::uint64_t>(options.drain_timeout_ms)));
+  options.read_timeout_ms = static_cast<int>(
+      args.flag_u64("read-timeout-ms",
+                    static_cast<std::uint64_t>(options.read_timeout_ms)));
+  options.write_timeout_ms = static_cast<int>(
+      args.flag_u64("write-timeout-ms",
+                    static_cast<std::uint64_t>(options.write_timeout_ms)));
+
+  server::EstimationServer server(registry, options);
+  if (const auto model = args.flag("model")) {
+    if (*model == "latest") {
+      std::string id, error;
+      if (!server.swap_to_latest("", &id, &error)) {
+        throw std::runtime_error("cannot resolve latest model: " + error);
+      }
+      std::fprintf(stderr, "serving model %s\n", id.c_str());
+    } else {
+      server.set_model(*model);
+      std::fprintf(stderr, "serving model %s\n", model->c_str());
+    }
+  }
+  server.install_signal_handlers();
+  if (stdio) {
+    // Frames own stdout; diagnostics must stay on stderr.
+    server.serve_connection_fds(0, 1);
+    server.begin_shutdown();
+    return server.wait_until_drained() ? 0 : 1;
+  }
+  server.start();
+  std::fprintf(stderr, "serving on %s (%zu workers, queue %zu)\n",
+               server.socket_path().c_str(), server.options().workers,
+               server.options().max_queue);
+  const int rc = server.run();
+  std::fprintf(stderr, rc == 0 ? "drained cleanly\n" : "drain timed out\n");
+  return rc;
+}
+
+int cmd_serverctl(const Args& args) {
+  if (args.positional.size() != 1) {
+    throw UsageError("need an action: ping|stats|swap");
+  }
+  const std::string& action = args.positional.front();
+  server::Client client(client_options(args));
+  if (action == "ping") {
+    client.ping();
+    std::printf("ok\n");
+    return 0;
+  }
+  if (action == "stats") {
+    const auto stats = client.stats();
+    util::TextTable table({"Counter", "Value"});
+    table.set_align(1, util::Align::kRight);
+    for (const auto& [name, value] : stats.counters) {
+      table.add_row({name, std::to_string(value)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+  }
+  if (action == "swap") {
+    const auto reply = client.swap(args.flag("model-class").value_or(""));
+    std::printf("%s generation %llu\n", reply.model_id.c_str(),
+                static_cast<unsigned long long>(reply.swap_generation));
+    return 0;
+  }
+  throw UsageError("unknown serverctl action '" + action +
+                   "' (expected ping|stats|swap)");
+}
+
+int cmd_estimate_server(const Args& args) {
+  server::EstimateRequest request;
+  request.model_class = args.flag("model-class").value_or("");
+  request.model_id = args.flag("id").value_or("");
+  request.deadline_ms =
+      static_cast<std::uint32_t>(args.flag_u64("deadline-ms", 0));
+  for (const auto& path : args.positional) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot read " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    request.workload_csvs.push_back(std::move(buffer).str());
+  }
+  server::Client client(client_options(args));
+  const server::EstimateReply reply = client.estimate(std::move(request));
+
+  bool any_errors = false;
+  util::TextTable table(
+      {"Workload", "Samples", "Attainable P", "Top bottleneck"});
+  table.set_align(1, util::Align::kRight);
+  table.set_align(2, util::Align::kRight);
+  for (std::size_t i = 0; i < reply.results.size(); ++i) {
+    const auto& r = reply.results[i];
+    const std::string& source =
+        i < args.positional.size() ? args.positional[i] : "?";
+    if (r.status == server::ErrorCode::kOk && !r.ranking.empty()) {
+      table.add_row({source, std::to_string(r.samples),
+                     util::format_fixed(r.throughput, 4),
+                     r.ranking.front().metric});
+    } else {
+      table.add_row({source, std::to_string(r.samples), "-",
+                     "error: " + (r.error.empty()
+                                      ? std::string(server::error_code_name(
+                                            r.status))
+                                      : r.error)});
+      any_errors = true;
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::fprintf(stderr, "served by model %s (generation %llu)\n",
+               reply.model_id.c_str(),
+               static_cast<unsigned long long>(reply.swap_generation));
+  return any_errors ? 1 : 0;
 }
 
 /// One subcommand: its name, the value-less flags it accepts, and a
@@ -549,6 +728,8 @@ const std::vector<Command>& commands() {
       {"tma", {}, cmd_tma},
       {"record", {}, cmd_record},
       {"replay", {}, cmd_replay},
+      {"serve", {"stdio"}, cmd_serve},
+      {"serverctl", {}, cmd_serverctl},
   };
   return kCommands;
 }
@@ -567,12 +748,19 @@ int usage() {
                "  compile MODEL --out F [--text|--v3]       convert between model formats\n"
                "  registry publish MODEL | list | pin ID | unpin ID | gc\n"
                "          [--registry-root DIR]             content-addressed model store\n"
-               "  estimate --model MODEL | --registry ID FILE...\n"
-               "          [--registry-root DIR]             batch attainable-throughput\n"
+               "  estimate --model MODEL | --registry ID | --server SOCK FILE...\n"
+               "          [--registry-root DIR] [--deadline-ms N] [--retries N]\n"
+               "                                            batch attainable-throughput\n"
                "  show    --model MODEL --metric EVENT\n"
                "  tma     --workload N [--config C] [--cycles N]\n"
                "  record  --workload N [--config C] [--ops N] --out FILE\n"
                "  replay  --trace FILE [--cycles N]\n"
+               "  serve   --socket PATH | --stdio [--registry-root DIR]\n"
+               "          [--model ID|latest] [--workers N] [--max-queue N]\n"
+               "          [--drain-timeout-ms N]           resident estimation server\n"
+               "  serverctl ping|stats|swap --server SOCK  control a running server\n"
+               "exit codes: 0 ok, 1 operation failed, 2 usage error,\n"
+               "3 server unavailable after retries.\n"
                "collect/train/analyze also accept --quality strict|repair|warn\n"
                "(default warn): throw on, repair, or just report defective "
                "samples.\n"
@@ -595,6 +783,12 @@ int main(int argc, char** argv) {
       }
     }
     return usage();
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "spire_cli: %s\n", e.what());
+    return 2;
+  } catch (const server::ServerUnavailable& e) {
+    std::fprintf(stderr, "spire_cli: %s\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "spire_cli: %s\n", e.what());
     return 1;
