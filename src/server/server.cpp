@@ -115,6 +115,7 @@ StatsReply EstimationServer::stats_snapshot() const { return {}; }
 void EstimationServer::accept_loop() {}
 void EstimationServer::watcher_loop() {}
 void EstimationServer::join_threads() {}
+void EstimationServer::reap_finished_connections_locked() {}
 void EstimationServer::connection_loop(std::shared_ptr<Connection>) {}
 bool EstimationServer::serve_one_frame(const std::shared_ptr<Connection>&) {
   return false;
@@ -286,6 +287,13 @@ void EstimationServer::accept_loop() {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
         continue;
       }
+      if (errno == EMFILE || errno == ENFILE || errno == ENOMEM) {
+        // Descriptor/memory pressure is transient: closing connections
+        // frees capacity, so keep the listener alive instead of
+        // permanently refusing service while the process runs on.
+        std::this_thread::sleep_for(ms(100));
+        continue;
+      }
       break;
     }
     ::fcntl(fd, F_SETFD, FD_CLOEXEC);
@@ -294,11 +302,17 @@ void EstimationServer::accept_loop() {
         fd, fd, /*owns=*/true,
         next_connection_id_.fetch_add(1, std::memory_order_relaxed),
         options_.chaos);
+    auto done = std::make_shared<std::atomic<bool>>(false);
     std::lock_guard<std::mutex> lock(connections_mutex_);
-    connection_threads_.emplace_back(
-        [this, conn = std::move(conn)]() mutable {
+    reap_finished_connections_locked();
+    ConnectionWorker worker;
+    worker.done = done;
+    worker.thread = std::thread(
+        [this, conn = std::move(conn), done = std::move(done)]() mutable {
           connection_loop(std::move(conn));
+          done->store(true, std::memory_order_release);
         });
+    connection_threads_.push_back(std::move(worker));
   }
   util::close_quietly(listen_fd_);
   listen_fd_ = -1;
@@ -660,14 +674,14 @@ void EstimationServer::watcher_loop() {
 }
 
 void EstimationServer::begin_shutdown() {
-  bool expected = false;
-  if (!draining_.compare_exchange_strong(expected, true,
-                                         std::memory_order_acq_rel)) {
-    return;  // idempotent
-  }
   {
     std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (draining_.load(std::memory_order_acquire)) return;  // idempotent
+    // drain_started_ is written before draining_ flips, under the same
+    // mutex wait_until_drained reads it under — no waiter can observe
+    // draining_ true with an epoch (expired) drain deadline.
     drain_started_ = Clock::now();
+    draining_.store(true, std::memory_order_release);
   }
   lifecycle_cv_.notify_all();
   drain_cv_.notify_all();
@@ -701,16 +715,39 @@ bool EstimationServer::wait_until_drained() {
 int EstimationServer::run() { return wait_until_drained() ? 0 : 1; }
 
 void EstimationServer::join_threads() {
-  std::lock_guard<std::mutex> lock(connections_mutex_);
+  // Serialized by join_mutex_, NOT connections_mutex_: the accept thread
+  // takes connections_mutex_ to register each accepted peer, so joining
+  // it while holding that mutex would deadlock shutdown against a racing
+  // accept. A second caller blocks here until the first finishes joining.
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
   if (joined_) return;
   joined_ = true;
   watcher_stop_.store(true, std::memory_order_release);
   if (accept_thread_.joinable()) accept_thread_.join();
-  for (std::thread& t : connection_threads_) {
-    if (t.joinable()) t.join();
+  // The accept thread is gone, so no new workers can appear; swap the
+  // list out under the lock and join outside it.
+  std::vector<ConnectionWorker> workers;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    workers.swap(connection_threads_);
   }
-  connection_threads_.clear();
+  for (ConnectionWorker& w : workers) {
+    if (w.thread.joinable()) w.thread.join();
+  }
   if (watcher_.joinable()) watcher_.join();
+}
+
+void EstimationServer::reap_finished_connections_locked() {
+  auto it = connection_threads_.begin();
+  while (it != connection_threads_.end()) {
+    if (it->done->load(std::memory_order_acquire)) {
+      // The loop has returned, so join() completes without blocking.
+      if (it->thread.joinable()) it->thread.join();
+      it = connection_threads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 // --- observability ----------------------------------------------------------

@@ -165,6 +165,9 @@ class EstimationServer {
   void watcher_loop();
   /// Joins accept/connection/watcher threads exactly once.
   void join_threads();
+  /// Joins connection workers whose loop already returned. Caller holds
+  /// connections_mutex_.
+  void reap_finished_connections_locked();
   void connection_loop(std::shared_ptr<Connection> conn);
   /// One frame: reads, parses, dispatches; returns false when the
   /// connection should close.
@@ -228,10 +231,21 @@ class EstimationServer {
 
   int listen_fd_ = -1;
   std::thread accept_thread_;
+  // A connection worker flips `done` as its loop returns, so the accept
+  // thread can reap exited workers instead of retaining every thread
+  // until shutdown.
+  struct ConnectionWorker {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
   std::mutex connections_mutex_;
-  std::vector<std::thread> connection_threads_;
+  std::vector<ConnectionWorker> connection_threads_;
   std::atomic<std::uint64_t> next_connection_id_{1};
   bool started_ = false;
+  // join_mutex_ serializes join_threads() WITHOUT covering
+  // connections_mutex_: the accept thread takes connections_mutex_ per
+  // accepted peer, so joining it under that mutex would deadlock.
+  std::mutex join_mutex_;
   bool joined_ = false;
 
   // Counters (stats_snapshot sorts them by name).
