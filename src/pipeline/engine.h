@@ -13,6 +13,14 @@
 // Determinism: stages delegate to Ensemble/Analyzer/leave_one_out, whose
 // parallel output is bit-identical to serial, so an Engine run's results
 // depend only on inputs and options — never on context.exec.threads.
+//
+// Concurrency contract (DESIGN.md §13): PipelineContext is deliberately
+// THREAD-CONFINED — one Engine, one context, one driving thread, zero
+// locks. All cross-thread work happens below this layer inside
+// util::ThreadPool (annotated with the thread-safety capability macros),
+// and workers only ever receive index-sliced views of context fields, so
+// the context itself needs no util::Mutex. Do not add shared mutable
+// state here; route it through the pool's fan-out helpers instead.
 #pragma once
 
 #include <cstdint>

@@ -111,7 +111,7 @@ std::string ModelRegistry::store_bytes_locked(const std::string& bytes) {
 
 std::string ModelRegistry::publish(const model::Ensemble& ensemble) {
   const std::string bytes = model_v3_bytes(ensemble);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return store_bytes_locked(bytes);
 }
 
@@ -133,13 +133,13 @@ std::string ModelRegistry::publish_bytes(const std::string& bytes) {
   model::v3::check_flat_region(
       std::as_bytes(std::span(bytes.data(), bytes.size())), 0,
       util::crc32_init());
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return store_bytes_locked(bytes);
 }
 
 std::shared_ptr<const MappedModel> ModelRegistry::open(const std::string& id) {
   require_id(id);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   // LRU hit: move to front.
   for (auto it = lru_.begin(); it != lru_.end(); ++it) {
     if (it->first == id) {
@@ -241,7 +241,7 @@ std::vector<std::string> ModelRegistry::pinned() const {
 }
 
 std::vector<std::string> ModelRegistry::gc() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   // Drop the registry's own cache first: a model no external consumer maps
   // is collectable even if it was recently opened. Consumers' live
   // mappings keep their objects via the tracking map below.

@@ -28,13 +28,13 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "serve/mapped_model.h"
 #include "spire/ensemble.h"
+#include "util/thread_annotations.h"
 
 namespace spire::serve {
 
@@ -50,7 +50,7 @@ class ModelRegistry {
                          std::size_t cache_capacity = 8);
 
   /// Publishes the canonical v3 serialization of `ensemble`; returns its id.
-  std::string publish(const model::Ensemble& ensemble);
+  std::string publish(const model::Ensemble& ensemble) SPIRE_EXCLUDES(mutex_);
 
   /// Loads any model format (text v1, binary v2/v3) from `path` and
   /// publishes its canonical v3 form. Returns the id.
@@ -59,12 +59,13 @@ class ModelRegistry {
   /// Publishes pre-serialized v3 artifact bytes after validating them.
   /// Throws "model-v3: ..." if the bytes are not a structurally valid v3
   /// artifact. Returns the id (the hash of exactly these bytes).
-  std::string publish_bytes(const std::string& bytes);
+  std::string publish_bytes(const std::string& bytes) SPIRE_EXCLUDES(mutex_);
 
   /// Maps the object with `id`, through the LRU cache: repeated opens of
   /// the same id share one mapping. Throws std::runtime_error when the id
   /// is malformed or not present.
-  std::shared_ptr<const MappedModel> open(const std::string& id);
+  std::shared_ptr<const MappedModel> open(const std::string& id)
+      SPIRE_EXCLUDES(mutex_);
 
   bool contains(const std::string& id) const;
 
@@ -90,23 +91,28 @@ class ModelRegistry {
   /// live MappedModel handed out by open(). The registry's own LRU cache
   /// is dropped first, so caching alone never keeps an object alive.
   /// Returns the ids removed.
-  std::vector<std::string> gc();
+  std::vector<std::string> gc() SPIRE_EXCLUDES(mutex_);
 
   const std::string& root() const { return root_; }
 
  private:
   std::string pin_path(const std::string& id) const;
-  std::string store_bytes_locked(const std::string& bytes);
+  std::string store_bytes_locked(const std::string& bytes)
+      SPIRE_REQUIRES(mutex_);
 
-  std::string root_;
-  std::size_t cache_capacity_;
+  const std::string root_;
+  // Immutable after construction; the annotation pass surfaced it as the
+  // one registry field read concurrently without a guard.
+  const std::size_t cache_capacity_;
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_{util::lock_rank::Rank::kRegistry, "registry"};
   // LRU of registry-owned strong references, most recent first.
-  std::list<std::pair<std::string, std::shared_ptr<const MappedModel>>> lru_;
+  std::list<std::pair<std::string, std::shared_ptr<const MappedModel>>> lru_
+      SPIRE_GUARDED_BY(mutex_);
   // Every mapping ever handed out and possibly still alive; lets open()
   // deduplicate beyond the LRU and gc() detect in-use objects.
-  std::map<std::string, std::weak_ptr<const MappedModel>> live_;
+  std::map<std::string, std::weak_ptr<const MappedModel>> live_
+      SPIRE_GUARDED_BY(mutex_);
 };
 
 }  // namespace spire::serve

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstring>
 #include <functional>
+#include <system_error>
 #include <thread>
 
 #if !defined(_WIN32)
@@ -21,6 +22,12 @@ namespace spire::server {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// std::strerror is not thread-safe (concurrency-mt-unsafe); error_code
+// formats the same message without shared state.
+std::string errno_text() {
+  return std::error_code(errno, std::generic_category()).message();
+}
 
 int remaining_ms(Clock::time_point deadline) {
   const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -78,7 +85,7 @@ bool Client::ensure_connected(std::string* error) {
   }
   const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
-    if (error) *error = std::strerror(errno);
+    if (error) *error = errno_text();
     return false;
   }
   sockaddr_un addr{};
@@ -95,7 +102,7 @@ bool Client::ensure_connected(std::string* error) {
     rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
   } while (rc != 0 && errno == EINTR);
   if (rc != 0) {
-    const std::string why = std::strerror(errno);
+    const std::string why = errno_text();
     util::close_quietly(fd);
     if (error) *error = "connect " + options_.socket_path + ": " + why;
     return false;

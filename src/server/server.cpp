@@ -5,6 +5,7 @@
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 #if !defined(_WIN32)
 #include <fcntl.h>
@@ -30,7 +31,11 @@ using Clock = std::chrono::steady_clock;
   throw std::runtime_error("server: " + what);
 }
 
-std::string errno_text() { return std::strerror(errno); }
+// std::strerror is not thread-safe (concurrency-mt-unsafe); error_code
+// formats the same message from a static table without shared state.
+std::string errno_text() {
+  return std::error_code(errno, std::generic_category()).message();
+}
 
 std::chrono::milliseconds ms(long long count) {
   return std::chrono::milliseconds(count);
@@ -76,7 +81,8 @@ struct EstimationServer::Connection {
   int out_fd;
   bool owns_fds;
   std::uint64_t id;
-  std::mutex write_mutex;
+  util::Mutex write_mutex{util::lock_rank::Rank::kConnectionWrite,
+                          "connection-write"};
   std::atomic<bool> dead{false};
   ChaosRng chaos;
 };
@@ -112,7 +118,7 @@ void EstimationServer::begin_shutdown() {}
 bool EstimationServer::wait_until_drained() { return true; }
 int EstimationServer::run() { return 1; }
 StatsReply EstimationServer::stats_snapshot() const { return {}; }
-void EstimationServer::accept_loop() {}
+void EstimationServer::accept_loop(int) {}
 void EstimationServer::watcher_loop() {}
 void EstimationServer::join_threads() {}
 void EstimationServer::reap_finished_connections_locked() {}
@@ -171,7 +177,7 @@ void EstimationServer::set_model(const std::string& id,
                                  const std::string& model_class) {
   std::shared_ptr<const serve::MappedModel> model = registry_.open(id);
   {
-    std::lock_guard<std::mutex> lock(slots_mutex_);
+    util::MutexLock lock(slots_mutex_);
     Slot& slot = slots_[model_class];
     slot.model = std::move(model);
     slot.id = id;
@@ -196,7 +202,7 @@ bool EstimationServer::swap_to_latest(const std::string& model_class,
     return false;
   }
   {
-    std::lock_guard<std::mutex> lock(slots_mutex_);
+    util::MutexLock lock(slots_mutex_);
     Slot& slot = slots_[model_class];
     // In-flight requests hold their SlotSnapshot's shared_ptr, so the old
     // mapping drains gracefully as they finish.
@@ -209,7 +215,7 @@ bool EstimationServer::swap_to_latest(const std::string& model_class,
 }
 
 std::string EstimationServer::current_model_id() const {
-  std::lock_guard<std::mutex> lock(slots_mutex_);
+  util::MutexLock lock(slots_mutex_);
   const auto it = slots_.find("");
   return it == slots_.end() ? std::string() : it->second.id;
 }
@@ -217,7 +223,7 @@ std::string EstimationServer::current_model_id() const {
 EstimationServer::SlotSnapshot EstimationServer::resolve_slot(
     const std::string& model_class, std::string* error_out) {
   {
-    std::lock_guard<std::mutex> lock(slots_mutex_);
+    util::MutexLock lock(slots_mutex_);
     const auto it = slots_.find(model_class);
     if (it != slots_.end() && it->second.model) {
       return {it->second.model, it->second.id};
@@ -225,7 +231,7 @@ EstimationServer::SlotSnapshot EstimationServer::resolve_slot(
   }
   // First request for this class: lazy-resolve the registry's latest.
   if (!swap_to_latest(model_class, nullptr, error_out)) return {};
-  std::lock_guard<std::mutex> lock(slots_mutex_);
+  util::MutexLock lock(slots_mutex_);
   const auto it = slots_.find(model_class);
   if (it == slots_.end() || !it->second.model) {
     if (error_out) *error_out = "model slot vanished during resolution";
@@ -240,47 +246,52 @@ void EstimationServer::start() {
   if (options_.socket_path.empty()) {
     fail("the socket transport needs options.socket_path");
   }
+  // The whole body runs under lifecycle_mutex_: started_ is both the check
+  // and the commit, so two racing start() calls serialize here and the
+  // loser fails cleanly instead of leaking a second listener.
+  util::MutexLock lock(lifecycle_mutex_);
   if (started_) fail("already started");
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) fail("cannot create socket: " + errno_text());
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd < 0) fail("cannot create socket: " + errno_text());
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
-    util::close_quietly(listen_fd_);
-    listen_fd_ = -1;
+    util::close_quietly(listen_fd);
     fail("socket path too long: " + options_.socket_path);
   }
   std::strncpy(addr.sun_path, options_.socket_path.c_str(),
                sizeof(addr.sun_path) - 1);
   // A stale socket file from a crashed predecessor would make bind fail.
   ::unlink(options_.socket_path.c_str());
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     const std::string why = errno_text();
-    util::close_quietly(listen_fd_);
-    listen_fd_ = -1;
+    util::close_quietly(listen_fd);
     fail("cannot bind " + options_.socket_path + ": " + why);
   }
-  if (::listen(listen_fd_, 64) != 0) {
+  if (::listen(listen_fd, 64) != 0) {
     const std::string why = errno_text();
-    util::close_quietly(listen_fd_);
-    listen_fd_ = -1;
+    util::close_quietly(listen_fd);
     fail("cannot listen on " + options_.socket_path + ": " + why);
   }
   started_ = true;
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  // The accept thread takes sole ownership of the descriptor: handing it
+  // over by value (instead of the old listen_fd_ member) removes the one
+  // field two threads wrote without a guard.
+  accept_thread_ = std::thread([this, listen_fd] { accept_loop(listen_fd); });
 }
 
-void EstimationServer::accept_loop() {
+void EstimationServer::accept_loop(int listen_fd) {
+  util::lock_rank::ScopedThreadLifetime lifetime(accept_token_);
   while (!stop_io_.load(std::memory_order_acquire) &&
          !draining_.load(std::memory_order_acquire)) {
     // Tick so a shutdown request stops the intake within ~100 ms.
-    const util::IoStatus ready = util::wait_readable(listen_fd_, 100);
+    const util::IoStatus ready = util::wait_readable(listen_fd, 100);
     if (ready == util::IoStatus::kTimeout) continue;
     if (ready != util::IoStatus::kOk) break;
     int fd;
     for (;;) {
-      fd = ::accept(listen_fd_, nullptr, nullptr);
+      fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd >= 0 || errno != EINTR) break;
     }
     if (fd < 0) {
@@ -303,19 +314,25 @@ void EstimationServer::accept_loop() {
         next_connection_id_.fetch_add(1, std::memory_order_relaxed),
         options_.chaos);
     auto done = std::make_shared<std::atomic<bool>>(false);
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    util::MutexLock lock(connections_mutex_);
     reap_finished_connections_locked();
     ConnectionWorker worker;
     worker.done = done;
+    worker.token =
+        std::make_unique<util::lock_rank::ThreadToken>("server-connection");
+    // The token outlives the thread (it rides in connection_threads_ until
+    // the join), so the lambda can hold a plain pointer.
+    const util::lock_rank::ThreadToken* token = worker.token.get();
     worker.thread = std::thread(
-        [this, conn = std::move(conn), done = std::move(done)]() mutable {
+        [this, conn = std::move(conn), done = std::move(done),
+         token]() mutable {
+          util::lock_rank::ScopedThreadLifetime worker_lifetime(*token);
           connection_loop(std::move(conn));
           done->store(true, std::memory_order_release);
         });
     connection_threads_.push_back(std::move(worker));
   }
-  util::close_quietly(listen_fd_);
-  listen_fd_ = -1;
+  util::close_quietly(listen_fd);
   ::unlink(options_.socket_path.c_str());
 }
 
@@ -494,7 +511,7 @@ void EstimationServer::run_estimate(const std::shared_ptr<RequestJob>& job) {
     EstimationServer* server;
     ~DrainGuard() {
       server->active_.fetch_sub(1, std::memory_order_acq_rel);
-      { std::lock_guard<std::mutex> lock(server->drain_mutex_); }
+      { util::MutexLock lock(server->drain_mutex_); }
       server->drain_cv_.notify_all();
     }
   } guard{this};
@@ -614,7 +631,7 @@ bool EstimationServer::send_frame(const std::shared_ptr<Connection>& conn,
                          encode_error_reply(fallback, options_.limits),
                          options_.limits);
   }
-  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  util::MutexLock lock(conn->write_mutex);
   if (conn->dead.load(std::memory_order_acquire)) return false;
   const util::IoStatus st = util::write_all_deadline(
       conn->out_fd, frame.data(), frame.size(), options_.write_timeout_ms);
@@ -661,6 +678,7 @@ void EstimationServer::install_signal_handlers() {
 }
 
 void EstimationServer::watcher_loop() {
+  util::lock_rank::ScopedThreadLifetime lifetime(watcher_token_);
   while (!watcher_stop_.load(std::memory_order_acquire)) {
     const util::IoStatus st = util::wait_readable(wake_pipe_[0], 200);
     if (st == util::IoStatus::kOk) {
@@ -675,7 +693,7 @@ void EstimationServer::watcher_loop() {
 
 void EstimationServer::begin_shutdown() {
   {
-    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    util::MutexLock lock(lifecycle_mutex_);
     if (draining_.load(std::memory_order_acquire)) return;  // idempotent
     // drain_started_ is written before draining_ flips, under the same
     // mutex wait_until_drained reads it under — no waiter can observe
@@ -688,21 +706,24 @@ void EstimationServer::begin_shutdown() {
 }
 
 bool EstimationServer::wait_until_drained() {
+  // Both predicates read only atomics, never fields guarded by the waited
+  // mutex — the one shape where CondVar's predicate overloads and the
+  // thread-safety analysis agree (see thread_annotations.h).
   {
-    std::unique_lock<std::mutex> lock(lifecycle_mutex_);
-    lifecycle_cv_.wait(lock, [this] {
+    util::MutexLock lock(lifecycle_mutex_);
+    lifecycle_cv_.wait(lifecycle_mutex_, [this] {
       return draining_.load(std::memory_order_acquire);
     });
   }
   Clock::time_point deadline;
   {
-    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    util::MutexLock lock(lifecycle_mutex_);
     deadline = drain_started_ + ms(options_.drain_timeout_ms);
   }
   bool clean;
   {
-    std::unique_lock<std::mutex> lock(drain_mutex_);
-    clean = drain_cv_.wait_until(lock, deadline, [this] {
+    util::MutexLock lock(drain_mutex_);
+    clean = drain_cv_.wait_until(drain_mutex_, deadline, [this] {
       return queued_.load(std::memory_order_acquire) == 0 &&
              active_.load(std::memory_order_acquire) == 0;
     });
@@ -719,30 +740,49 @@ void EstimationServer::join_threads() {
   // takes connections_mutex_ to register each accepted peer, so joining
   // it while holding that mutex would deadlock shutdown against a racing
   // accept. A second caller blocks here until the first finishes joining.
-  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  util::MutexLock join_lock(join_mutex_);
   if (joined_) return;
   joined_ = true;
   watcher_stop_.store(true, std::memory_order_release);
-  if (accept_thread_.joinable()) accept_thread_.join();
+  if (accept_thread_.joinable()) {
+    // note_join records held-locks -> accept-thread edges; joining this
+    // thread under connections_mutex_ (the PR 6 shutdown deadlock) closes
+    // a cycle the validator reports before join() hangs.
+    util::lock_rank::note_join(accept_token_);
+    accept_thread_.join();
+  }
   // The accept thread is gone, so no new workers can appear; swap the
   // list out under the lock and join outside it.
   std::vector<ConnectionWorker> workers;
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    util::MutexLock lock(connections_mutex_);
     workers.swap(connection_threads_);
   }
   for (ConnectionWorker& w : workers) {
-    if (w.thread.joinable()) w.thread.join();
+    if (w.thread.joinable()) {
+      util::lock_rank::note_join(*w.token);
+      w.thread.join();
+    }
   }
-  if (watcher_.joinable()) watcher_.join();
+  if (watcher_.joinable()) {
+    util::lock_rank::note_join(watcher_token_);
+    watcher_.join();
+  }
 }
 
 void EstimationServer::reap_finished_connections_locked() {
   auto it = connection_threads_.begin();
   while (it != connection_threads_.end()) {
     if (it->done->load(std::memory_order_acquire)) {
-      // The loop has returned, so join() completes without blocking.
-      if (it->thread.joinable()) it->thread.join();
+      // The loop has returned, so join() completes without blocking. This
+      // join happens under connections_mutex_, which is safe BECAUSE the
+      // worker never takes that mutex — per-worker tokens let the rank
+      // graph prove exactly that, instead of flagging every under-lock
+      // join the way a single shared lifetime node would.
+      if (it->thread.joinable()) {
+        util::lock_rank::note_join(*it->token);
+        it->thread.join();
+      }
       it = connection_threads_.erase(it);
     } else {
       ++it;

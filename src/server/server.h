@@ -40,11 +40,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,6 +51,7 @@
 #include "serve/registry.h"
 #include "server/chaos.h"
 #include "server/protocol.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace spire::server {
@@ -95,17 +94,18 @@ class EstimationServer {
 
   /// Pins `model_class`'s slot to an explicit registry id. Throws when the
   /// id is malformed or unknown.
-  void set_model(const std::string& id, const std::string& model_class = "");
+  void set_model(const std::string& id, const std::string& model_class = "")
+      SPIRE_EXCLUDES(slots_mutex_);
 
   /// Resolves the registry's latest id into `model_class`'s slot and bumps
   /// the swap generation. Returns false (with `error` filled) when the
   /// registry is empty or the artifact cannot be mapped; the slot keeps
   /// serving its previous model in that case.
   bool swap_to_latest(const std::string& model_class, std::string* id_out,
-                      std::string* error_out);
+                      std::string* error_out) SPIRE_EXCLUDES(slots_mutex_);
 
   /// Current id of the default class slot ("" when nothing resolved yet).
-  std::string current_model_id() const;
+  std::string current_model_id() const SPIRE_EXCLUDES(slots_mutex_);
 
   /// Total successful swaps across all slots. Monotonic; observable via
   /// stats and in every estimate reply.
@@ -116,8 +116,10 @@ class EstimationServer {
   // --- socket transport -----------------------------------------------------
 
   /// Binds, listens, and spawns the accept thread. Throws std::runtime_error
-  /// ("server: ...") when the socket cannot be created.
-  void start();
+  /// ("server: ...") when the socket cannot be created, and when the server
+  /// was already started (checked under lifecycle_mutex_, so concurrent
+  /// start() calls race safely: exactly one wins).
+  void start() SPIRE_EXCLUDES(lifecycle_mutex_);
 
   /// Serves one already-open duplex connection in the calling thread;
   /// returns when the peer closes, the stream becomes unframeable, or
@@ -135,7 +137,7 @@ class EstimationServer {
   /// Stops accepting connections and marks the server draining: frames
   /// already queued or in flight finish, new requests get kShuttingDown.
   /// Idempotent, callable from any thread.
-  void begin_shutdown();
+  void begin_shutdown() SPIRE_EXCLUDES(lifecycle_mutex_);
 
   bool shutdown_requested() const {
     return draining_.load(std::memory_order_acquire);
@@ -144,7 +146,7 @@ class EstimationServer {
   /// Blocks until shutdown was requested and in-flight work drained, then
   /// joins every server thread. Returns true when the drain completed
   /// within drain_timeout_ms of the shutdown request.
-  bool wait_until_drained();
+  bool wait_until_drained() SPIRE_EXCLUDES(lifecycle_mutex_, drain_mutex_);
 
   /// start() driver: blocks until begin_shutdown (e.g. via a signal), then
   /// drains. Returns 0 on a clean drain, 1 when the drain timed out.
@@ -161,13 +163,18 @@ class EstimationServer {
   struct Connection;
   struct RequestJob;
 
-  void accept_loop();
+  /// Owns `listen_fd` (a bound, listening socket) for its whole run and
+  /// closes it on exit. The descriptor is handed over by value from
+  /// start() — the annotation pass surfaced the old `listen_fd_` member as
+  /// shared mutable state with no guard, so now only the accept thread
+  /// ever sees it.
+  void accept_loop(int listen_fd) SPIRE_EXCLUDES(connections_mutex_);
   void watcher_loop();
   /// Joins accept/connection/watcher threads exactly once.
-  void join_threads();
-  /// Joins connection workers whose loop already returned. Caller holds
-  /// connections_mutex_.
-  void reap_finished_connections_locked();
+  void join_threads() SPIRE_EXCLUDES(join_mutex_, connections_mutex_);
+  /// Joins connection workers whose loop already returned.
+  void reap_finished_connections_locked()
+      SPIRE_REQUIRES(connections_mutex_);
   void connection_loop(std::shared_ptr<Connection> conn);
   /// One frame: reads, parses, dispatches; returns false when the
   /// connection should close.
@@ -192,7 +199,8 @@ class EstimationServer {
     std::string id;
   };
   SlotSnapshot resolve_slot(const std::string& model_class,
-                            std::string* error_out);
+                            std::string* error_out)
+      SPIRE_EXCLUDES(slots_mutex_);
 
   serve::ModelRegistry& registry_;
   ServerOptions options_;
@@ -202,8 +210,9 @@ class EstimationServer {
     std::shared_ptr<const serve::MappedModel> model;
     std::string id;
   };
-  mutable std::mutex slots_mutex_;
-  std::map<std::string, Slot> slots_;
+  mutable util::Mutex slots_mutex_{util::lock_rank::Rank::kSlots,
+                                   "server-slots"};
+  std::map<std::string, Slot> slots_ SPIRE_GUARDED_BY(slots_mutex_);
   std::atomic<std::uint64_t> generation_{0};
 
   std::unique_ptr<util::ThreadPool> pool_;
@@ -212,41 +221,52 @@ class EstimationServer {
   // active_: currently evaluating. Both zero = drained.
   std::atomic<std::size_t> queued_{0};
   std::atomic<std::size_t> active_{0};
-  std::mutex drain_mutex_;
-  std::condition_variable drain_cv_;
+  util::Mutex drain_mutex_{util::lock_rank::Rank::kDrain, "server-drain"};
+  util::CondVar drain_cv_;
 
   // Lifecycle flags. draining_: no new requests; stop_io_: reader loops
   // and the accept loop must exit now.
   std::atomic<bool> draining_{false};
   std::atomic<bool> stop_io_{false};
   std::atomic<bool> watcher_stop_{false};
-  std::chrono::steady_clock::time_point drain_started_{};
-  std::mutex lifecycle_mutex_;
-  std::condition_variable lifecycle_cv_;
+  util::Mutex lifecycle_mutex_{util::lock_rank::Rank::kLifecycle,
+                               "server-lifecycle"};
+  std::chrono::steady_clock::time_point drain_started_
+      SPIRE_GUARDED_BY(lifecycle_mutex_){};
+  util::CondVar lifecycle_cv_;
 
   // Self-pipe: signal handlers and begin_shutdown write, the watcher
   // thread reads and flips draining_.
   int wake_pipe_[2] = {-1, -1};
   std::thread watcher_;
+  util::lock_rank::ThreadToken watcher_token_{"server-watcher"};
 
-  int listen_fd_ = -1;
   std::thread accept_thread_;
+  util::lock_rank::ThreadToken accept_token_{"server-accept"};
   // A connection worker flips `done` as its loop returns, so the accept
   // thread can reap exited workers instead of retaining every thread
-  // until shutdown.
+  // until shutdown. Its lifetime token lets the lock-rank graph prove no
+  // one joins the worker while holding a mutex the worker acquires.
   struct ConnectionWorker {
     std::thread thread;
     std::shared_ptr<std::atomic<bool>> done;
+    std::unique_ptr<util::lock_rank::ThreadToken> token;
   };
-  std::mutex connections_mutex_;
-  std::vector<ConnectionWorker> connection_threads_;
+  // Acquired by the accept thread per peer; join_threads() must therefore
+  // never join the accept thread while holding it (the PR 6 deadlock) —
+  // the ACQUIRED_AFTER edge and the rank pair (kJoin < kConnections) both
+  // encode the safe order.
+  util::Mutex connections_mutex_ SPIRE_ACQUIRED_AFTER(join_mutex_){
+      util::lock_rank::Rank::kConnections, "server-connections"};
+  std::vector<ConnectionWorker> connection_threads_
+      SPIRE_GUARDED_BY(connections_mutex_);
   std::atomic<std::uint64_t> next_connection_id_{1};
-  bool started_ = false;
+  bool started_ SPIRE_GUARDED_BY(lifecycle_mutex_) = false;
   // join_mutex_ serializes join_threads() WITHOUT covering
   // connections_mutex_: the accept thread takes connections_mutex_ per
   // accepted peer, so joining it under that mutex would deadlock.
-  std::mutex join_mutex_;
-  bool joined_ = false;
+  util::Mutex join_mutex_{util::lock_rank::Rank::kJoin, "server-join"};
+  bool joined_ SPIRE_GUARDED_BY(join_mutex_) = false;
 
   // Counters (stats_snapshot sorts them by name).
   std::atomic<std::uint64_t> accepted_connections_{0};

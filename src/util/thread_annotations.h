@@ -1,0 +1,174 @@
+// The machine-checked concurrency contract (static half).
+//
+// Clang's thread-safety analysis (-Wthread-safety) proves, at compile
+// time, that every field marked SPIRE_GUARDED_BY is only touched with its
+// mutex held, that every SPIRE_REQUIRES method is only called under the
+// right lock, and that SPIRE_EXCLUDES methods are never entered with it
+// held. The macros expand to Clang capability attributes and to nothing
+// on other compilers, so GCC builds are unaffected; the gate build
+// (cmake -DSPIRE_THREAD_SAFETY=ON under clang++) turns any violation into
+// a hard compile error. See DESIGN.md §13 for conventions and the
+// tests/compile_fail/ fixtures for what the gate rejects.
+//
+// The annotated wrappers below — util::Mutex, util::MutexLock,
+// util::CondVar — are the repository's ONLY sanctioned locking
+// vocabulary outside src/util/: raw std::mutex/std::lock_guard carry no
+// capability attributes and no lock rank, so using them would silently
+// opt out of both halves of the contract. Every util::Mutex declares a
+// lock_rank::Rank; in Debug / SPIRE_CHECKED builds the runtime validator
+// (util/lock_rank.h) enforces the rank order and detects
+// join-under-lock cycles the static analysis cannot see.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/lock_rank.h"
+
+#if defined(__clang__)
+#define SPIRE_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SPIRE_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names it in errors).
+#define SPIRE_CAPABILITY(x) SPIRE_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class that acquires in its ctor and releases in its dtor.
+#define SPIRE_SCOPED_CAPABILITY SPIRE_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define SPIRE_GUARDED_BY(x) SPIRE_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointee (not the pointer) is protected by `x`.
+#define SPIRE_PT_GUARDED_BY(x) SPIRE_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Static lock-order declaration between mutex members; checked under
+/// -Wthread-safety-beta and mirrored dynamically by lock_rank ranks.
+#define SPIRE_ACQUIRED_BEFORE(...) \
+  SPIRE_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define SPIRE_ACQUIRED_AFTER(...) \
+  SPIRE_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the listed capabilities (exclusively).
+#define SPIRE_REQUIRES(...) \
+  SPIRE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (the function acquires
+/// them itself, or would deadlock / invert the rank order if entered
+/// with them held).
+#define SPIRE_EXCLUDES(...) \
+  SPIRE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function acquires / releases the capability (no argument = `this`).
+#define SPIRE_ACQUIRE(...) \
+  SPIRE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define SPIRE_RELEASE(...) \
+  SPIRE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire and returns `ret` on success.
+#define SPIRE_TRY_ACQUIRE(ret, ...) \
+  SPIRE_THREAD_ANNOTATION_(try_acquire_capability(ret __VA_OPT__(, ) __VA_ARGS__))
+
+/// Function returns a reference to the capability guarding something.
+#define SPIRE_RETURN_CAPABILITY(x) SPIRE_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot model. Every use must carry
+/// a comment explaining why the access is in fact safe.
+#define SPIRE_NO_THREAD_SAFETY_ANALYSIS \
+  SPIRE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace spire::util {
+
+/// std::mutex with a capability attribute (so Clang can prove guarded
+/// accesses) and a declared lock rank (so Debug/SPIRE_CHECKED builds can
+/// prove the acquisition order). Every mutex in the tree states its slot
+/// in the DESIGN.md §13 rank table at construction.
+class SPIRE_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(lock_rank::Rank rank = lock_rank::Rank::kLeaf,
+                 const char* name = "mutex")
+      : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SPIRE_ACQUIRE() {
+    // Rank bookkeeping BEFORE blocking: the violation that predicts a
+    // deadlock must be reported before the deadlock hangs the process.
+    lock_rank::note_acquire(rank_, name_);
+    mu_.lock();
+  }
+
+  void unlock() SPIRE_RELEASE() {
+    lock_rank::note_release(rank_, name_);
+    mu_.unlock();
+  }
+
+  bool try_lock() SPIRE_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    // A successful try_lock cannot block, but it still establishes
+    // ordering edges the graph must know about.
+    lock_rank::note_acquire(rank_, name_);
+    return true;
+  }
+
+  lock_rank::Rank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  lock_rank::Rank rank_;
+  const char* name_;  // string literal; diagnostics only
+};
+
+/// Scoped lock: the std::lock_guard of the contract layer. Deliberately
+/// minimal — no deferred/adopted modes — because every lock site the
+/// analysis can't see is a hole in the proof.
+class SPIRE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SPIRE_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SPIRE_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable waiting directly on util::Mutex, so the temporary
+/// release/re-acquire inside wait() flows through the rank validator.
+/// wait() requires the mutex held; the analysis treats it as held across
+/// the call (matching how the caller's critical section reads).
+class CondVar {
+ public:
+  void wait(Mutex& mu) SPIRE_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <class Pred>
+  void wait(Mutex& mu, Pred pred) SPIRE_REQUIRES(mu) {
+    while (!pred()) cv_.wait(mu);
+  }
+
+  /// Returns pred() at exit, like std::condition_variable::wait_until.
+  template <class Clock, class Duration, class Pred>
+  bool wait_until(Mutex& mu,
+                  const std::chrono::time_point<Clock, Duration>& deadline,
+                  Pred pred) SPIRE_REQUIRES(mu) {
+    while (!pred()) {
+      if (cv_.wait_until(mu, deadline) == std::cv_status::timeout) {
+        return pred();
+      }
+    }
+    return true;
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace spire::util

@@ -8,26 +8,37 @@ ThreadPool::ThreadPool(std::size_t threads) {
   SPIRE_ASSERT(threads > 0, "thread pool: need at least one worker, got ",
                threads);
   workers_.reserve(threads);
+  worker_tokens_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this]() { worker_loop(); });
+    worker_tokens_.push_back(
+        std::make_unique<lock_rank::ThreadToken>("pool-worker"));
+    const lock_rank::ThreadToken& token = *worker_tokens_.back();
+    workers_.emplace_back([this, &token]() { worker_loop(token); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    // note_join: a caller destroying the pool while holding a mutex the
+    // workers acquire is the join-under-lock deadlock class; the rank
+    // graph reports it before join() hangs.
+    lock_rank::note_join(*worker_tokens_[i]);
+    workers_[i].join();
+  }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(const lock_rank::ThreadToken& token) {
+  lock_rank::ScopedThreadLifetime lifetime(token);
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
       // Drain before stopping: submitted tasks hold promises whose futures
       // callers may still be blocked on.
       if (queue_.empty()) return;

@@ -12,16 +12,16 @@
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace spire::util {
 
@@ -58,14 +58,15 @@ class ThreadPool {
   /// Enqueues `fn` and returns a future for its result. The future carries
   /// any exception the task throws.
   template <typename Fn>
-  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>>
+      SPIRE_EXCLUDES(mutex_) {
     using R = std::invoke_result_t<std::decay_t<Fn>>;
     // packaged_task is move-only but std::function requires copyable
     // callables, so the task rides in a shared_ptr.
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.emplace([task]() { (*task)(); });
     }
     cv_.notify_one();
@@ -73,13 +74,16 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop();
+  void worker_loop(const lock_rank::ThreadToken& token) SPIRE_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  // One lifetime token per worker, so the rank validator can prove no one
+  // joins a worker while holding a mutex that worker acquires.
+  std::vector<std::unique_ptr<lock_rank::ThreadToken>> worker_tokens_;
+  Mutex mutex_{lock_rank::Rank::kPoolQueue, "pool-queue"};
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ SPIRE_GUARDED_BY(mutex_);
+  bool stopping_ SPIRE_GUARDED_BY(mutex_) = false;
 };
 
 namespace detail {

@@ -1,0 +1,35 @@
+// MUST NOT COMPILE under -Werror=thread-safety-analysis.
+//
+// Violation: a SPIRE_GUARDED_BY field is written without holding its
+// mutex. This is the core guarantee of the static gate — the exact class
+// of bug the annotate-then-fix pass found in EstimationServer::started_.
+// Expected diagnostic: "writing variable 'value_' requires holding mutex
+// 'mutex_' exclusively".
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_locked() {
+    spire::util::MutexLock lock(mutex_);
+    ++value_;  // fine: mutex held
+  }
+
+  void bump_unlocked() {
+    ++value_;  // BAD: guarded field touched with no lock
+  }
+
+ private:
+  spire::util::Mutex mutex_{spire::util::lock_rank::Rank::kLeaf, "counter"};
+  int value_ SPIRE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump_locked();
+  counter.bump_unlocked();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// POSITIVE CONTROL: must compile CLEANLY under the full thread-safety
+// gate (-Wthread-safety -Wthread-safety-beta, both promoted to errors).
+//
+// Exercises every construct the repository's concurrency contract uses —
+// guarded fields, MutexLock scopes, SPIRE_REQUIRES helpers,
+// SPIRE_EXCLUDES entry points, declared acquisition order, try_lock, and
+// CondVar waits — so a false positive in the wrappers themselves breaks
+// the gate loudly instead of silently making every fail-fixture
+// "correctly" fail.
+#include "util/thread_annotations.h"
+
+namespace {
+
+namespace lock_rank = spire::util::lock_rank;
+using spire::util::CondVar;
+using spire::util::Mutex;
+using spire::util::MutexLock;
+
+class Contract {
+ public:
+  void produce() SPIRE_EXCLUDES(low_, high_) {
+    MutexLock low_lock(low_);
+    MutexLock high_lock(high_);  // declared order: low before high
+    ++guarded_;
+    bump_locked();
+    cv_.notify_all();
+  }
+
+  void consume() SPIRE_EXCLUDES(low_) {
+    MutexLock lock(low_);
+    while (guarded_ == 0) cv_.wait(low_);
+    --guarded_;
+  }
+
+  bool try_consume() SPIRE_EXCLUDES(low_) {
+    if (!low_.try_lock()) return false;
+    const bool any = guarded_ > 0;
+    if (any) --guarded_;
+    low_.unlock();
+    return any;
+  }
+
+ private:
+  void bump_locked() SPIRE_REQUIRES(high_) { ++also_guarded_; }
+
+  Mutex low_{lock_rank::Rank::kLifecycle, "low"};
+  Mutex high_ SPIRE_ACQUIRED_AFTER(low_){lock_rank::Rank::kSlots, "high"};
+  CondVar cv_;
+  int guarded_ SPIRE_GUARDED_BY(low_) = 0;
+  int also_guarded_ SPIRE_GUARDED_BY(high_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Contract contract;
+  contract.produce();
+  contract.consume();
+  (void)contract.try_consume();
+  return 0;
+}

@@ -1,0 +1,229 @@
+// The runtime half of the concurrency contract (DESIGN.md §13): the
+// lock-rank validator must reject out-of-rank acquisition, detect the
+// cross-thread join-under-lock cycle that deadlocked PR 6's shutdown, and
+// — just as important — stay silent on every ordering the server
+// legitimately uses (reaping finished workers under connections_mutex_,
+// join_threads() nesting join -> connections).
+//
+// In builds where the validator is compiled out (NDEBUG without
+// SPIRE_CHECKED) every test skips: there is nothing to observe.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/lock_rank.h"
+#include "util/thread_annotations.h"
+
+namespace lock_rank = spire::util::lock_rank;
+using lock_rank::Rank;
+using spire::util::Mutex;
+using spire::util::MutexLock;
+
+namespace {
+
+// The handler is a plain function pointer, so captures land in a global.
+std::vector<std::string>& violations() {
+  static std::vector<std::string> v;
+  return v;
+}
+
+void capture_violation(const std::string& message) {
+  violations().push_back(message);
+}
+
+class LockRankTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!lock_rank::enabled()) {
+      GTEST_SKIP() << "lock-rank validator compiled out "
+                      "(NDEBUG build without SPIRE_CHECKED)";
+    }
+    violations().clear();
+    lock_rank::reset_for_testing();
+    previous_ = lock_rank::set_violation_handler(&capture_violation);
+  }
+
+  void TearDown() override {
+    if (!lock_rank::enabled()) return;
+    lock_rank::set_violation_handler(previous_);
+    lock_rank::reset_for_testing();
+  }
+
+  lock_rank::ViolationHandler previous_ = nullptr;
+};
+
+bool any_violation_contains(const std::string& needle) {
+  for (const std::string& v : violations()) {
+    if (v.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST_F(LockRankTest, InOrderNestingIsClean) {
+  Mutex outer(Rank::kJoin, "outer-join");
+  Mutex inner(Rank::kConnections, "inner-connections");
+  {
+    MutexLock a(outer);
+    MutexLock b(inner);
+  }
+  // Repeat: known edges must stay clean too, not just the first pass.
+  {
+    MutexLock a(outer);
+    MutexLock b(inner);
+  }
+  EXPECT_TRUE(violations().empty())
+      << "unexpected violation: " << violations().front();
+}
+
+TEST_F(LockRankTest, OutOfRankAcquisitionIsReported) {
+  Mutex low(Rank::kLifecycle, "lifecycle-low");
+  Mutex high(Rank::kSlots, "slots-high");
+  {
+    MutexLock a(high);
+    MutexLock b(low);  // kLifecycle < kSlots: wrong order
+  }
+  ASSERT_FALSE(violations().empty());
+  EXPECT_TRUE(any_violation_contains("out-of-rank"));
+  EXPECT_TRUE(any_violation_contains("lifecycle-low"));
+  EXPECT_TRUE(any_violation_contains("slots-high"));
+}
+
+TEST_F(LockRankTest, SameRankNestingIsReported) {
+  Mutex a(Rank::kLeaf, "leaf-a");
+  Mutex b(Rank::kLeaf, "leaf-b");
+  {
+    MutexLock la(a);
+    MutexLock lb(b);  // equal rank: also forbidden (strictly increasing)
+  }
+  ASSERT_FALSE(violations().empty());
+  EXPECT_TRUE(any_violation_contains("out-of-rank"));
+}
+
+TEST_F(LockRankTest, ReleasingAnUnheldMutexIsReported) {
+  Mutex mu(Rank::kLeaf, "never-held");
+  lock_rank::note_release(mu.rank(), mu.name());
+  ASSERT_FALSE(violations().empty());
+  EXPECT_TRUE(any_violation_contains("does not hold"));
+}
+
+// The PR 6 regression: the accept thread acquires connections_mutex_ per
+// accepted peer; a shutdown path that joins the accept thread WHILE
+// HOLDING connections_mutex_ deadlocks. The join edge must close a cycle
+// through the accept thread's lifetime node, named in the report.
+TEST_F(LockRankTest, JoinUnderAMutexTheThreadAcquiresIsACycle) {
+  Mutex connections(Rank::kConnections, "server-connections");
+  lock_rank::ThreadToken accept_token("accept-thread");
+  std::thread accept([&connections, &accept_token] {
+    lock_rank::ScopedThreadLifetime lifetime(accept_token);
+    MutexLock lock(connections);  // records accept-thread -> connections
+  });
+  accept.join();  // the real join is safe; only the *modeled* one is not
+
+  ASSERT_TRUE(violations().empty())
+      << "setup must be clean: " << violations().front();
+  {
+    MutexLock lock(connections);
+    lock_rank::note_join(accept_token);  // connections -> accept-thread
+  }
+  ASSERT_FALSE(violations().empty());
+  EXPECT_TRUE(any_violation_contains("cycle"));
+  EXPECT_TRUE(any_violation_contains("server-connections"));
+  EXPECT_TRUE(any_violation_contains("accept-thread"));
+  EXPECT_TRUE(any_violation_contains("PR 6"));
+}
+
+// The server's reap path joins *finished connection workers* under
+// connections_mutex_ — safe, because those workers never take that mutex.
+// Per-thread tokens are what keep this distinguishable from the deadlock
+// above; a single shared lifetime node would flag both.
+TEST_F(LockRankTest, ReapingAWorkerThatNeverTakesTheMutexIsClean) {
+  Mutex connections(Rank::kConnections, "server-connections");
+  Mutex write(Rank::kConnectionWrite, "connection-write");
+  lock_rank::ThreadToken worker_token("connection-worker");
+  std::thread worker([&write, &worker_token] {
+    lock_rank::ScopedThreadLifetime lifetime(worker_token);
+    MutexLock lock(write);  // worker touches only its reply stream
+  });
+  worker.join();
+  {
+    MutexLock lock(connections);
+    lock_rank::note_join(worker_token);  // the reap shape
+  }
+  EXPECT_TRUE(violations().empty())
+      << "false positive: " << violations().front();
+}
+
+// join_threads() itself: joining under join_mutex_ (kJoin) is fine for a
+// thread that only ever acquires higher ranks — consistent ordering, no
+// cycle.
+TEST_F(LockRankTest, JoinUnderALowerRankedMutexIsClean) {
+  Mutex join_mu(Rank::kJoin, "server-join");
+  Mutex connections(Rank::kConnections, "server-connections");
+  lock_rank::ThreadToken accept_token("accept-thread");
+  std::thread accept([&connections, &accept_token] {
+    lock_rank::ScopedThreadLifetime lifetime(accept_token);
+    MutexLock lock(connections);
+  });
+  accept.join();
+  {
+    MutexLock lock(join_mu);
+    lock_rank::note_join(accept_token);  // join -> accept -> connections: a DAG
+  }
+  EXPECT_TRUE(violations().empty())
+      << "false positive: " << violations().front();
+}
+
+// A destroyed token's node is pruned: a finished thread cannot be part of
+// any future deadlock, so its edges must not linger and poison later
+// (legitimate) acquisitions.
+TEST_F(LockRankTest, DestroyedTokenEdgesArePruned) {
+  Mutex connections(Rank::kConnections, "server-connections");
+  {
+    lock_rank::ThreadToken token("short-lived");
+    std::thread t([&connections, &token] {
+      lock_rank::ScopedThreadLifetime lifetime(token);
+      MutexLock lock(connections);
+    });
+    t.join();
+    // token destroyed here: its lifetime -> connections edge goes with it
+  }
+  lock_rank::ThreadToken fresh("fresh");
+  {
+    MutexLock lock(connections);
+    lock_rank::note_join(fresh);  // no history: must be clean
+  }
+  EXPECT_TRUE(violations().empty())
+      << "stale edge survived pruning: " << violations().front();
+}
+
+TEST_F(LockRankTest, TryLockParticipatesInRankChecking) {
+  Mutex high(Rank::kSlots, "slots-high");
+  Mutex low(Rank::kLifecycle, "lifecycle-low");
+  MutexLock lock(high);
+  ASSERT_TRUE(low.try_lock());  // succeeds, but records the bad order
+  low.unlock();
+  ASSERT_FALSE(violations().empty());
+  EXPECT_TRUE(any_violation_contains("out-of-rank"));
+}
+
+TEST_F(LockRankTest, CondVarWaitReacquiresThroughTheValidator) {
+  Mutex mu(Rank::kDrain, "drain");
+  spire::util::CondVar cv;
+  bool ready = false;
+  std::thread setter([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.notify_all();
+  });
+  {
+    MutexLock lock(mu);
+    cv.wait(mu, [&]() SPIRE_NO_THREAD_SAFETY_ANALYSIS { return ready; });
+  }
+  setter.join();
+  EXPECT_TRUE(violations().empty())
+      << "unexpected violation: " << violations().front();
+}
+
+}  // namespace

@@ -629,6 +629,59 @@ TEST(ModelRegistry, ConcurrentPublishOfTheSameBytesConverges) {
   EXPECT_NO_THROW(registry.open(id_a));
 }
 
+TEST(ModelRegistry, CacheIterationSurvivesConcurrentOpenPublishAndGc) {
+  // Concurrency-contract regression (PR 7): lru_/live_ are
+  // SPIRE_GUARDED_BY(mutex_) and cache_capacity_ is const — this test
+  // hammers every LRU iteration path (hit promotion, eviction at
+  // capacity, gc's wholesale cache drop) from several threads at once
+  // through a deliberately tiny cache. Under TSan it is the registry's
+  // cache-racing regression; in any build a successful open must serve a
+  // bit-exact mapping.
+  ModelRegistry registry(fresh_registry_root("reg_cache_race"), 2);
+  std::vector<Ensemble> models;
+  std::vector<std::string> ids;
+  for (int i = 0; i < 4; ++i) {
+    models.push_back(trained_ensemble(static_cast<std::uint64_t>(100 + i)));
+    ids.push_back(registry.publish(models.back()));
+    registry.pin(ids.back());  // gc must never collect the working set
+  }
+  const Dataset workload = mixed_workload(11);
+  const DatasetView view(workload);
+  std::vector<Estimate> expected;
+  expected.reserve(models.size());
+  for (const Ensemble& m : models) expected.push_back(m.estimate(view));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> opens{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      // Per-thread phase shift: four readers rotating over four ids
+      // through a capacity-2 LRU means constant eviction traffic.
+      for (int i = 0; i < 300; ++i) {
+        const std::size_t k =
+            static_cast<std::size_t>(t + i) % ids.size();
+        const std::shared_ptr<const MappedModel> mapped =
+            registry.open(ids[k]);
+        expect_identical(mapped->estimate(view), expected[k]);
+        opens.fetch_add(1);
+      }
+    });
+  }
+  std::thread collector([&] {
+    while (!stop.load()) {
+      registry.gc();  // drops the whole LRU while readers repopulate it
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (std::thread& r : readers) r.join();
+  stop.store(true);
+  collector.join();
+  EXPECT_EQ(opens.load(), 4 * 300);
+  // Everything pinned survived every gc pass.
+  EXPECT_EQ(registry.list().size(), ids.size());
+}
+
 TEST(ModelRegistry, LatestTracksMtimeWithDeterministicTieBreak) {
   ModelRegistry registry(fresh_registry_root("reg_latest"));
   EXPECT_TRUE(registry.latest().empty());

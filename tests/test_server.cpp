@@ -27,7 +27,9 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -745,6 +747,99 @@ TEST_F(ServerTest, ChaosFleetNeverLosesARequestAndDrainsClean) {
   survivor.ping();
   server_->begin_shutdown();
   EXPECT_TRUE(server_->wait_until_drained());
+}
+
+// --------------------------------------------------------------------------
+// Concurrency-contract regressions (the annotate-then-fix pass, PR 7)
+// --------------------------------------------------------------------------
+
+// started_ was an unguarded bool: two threads racing start() could both
+// read false, both bind, and leak a listener. It is now read and written
+// under lifecycle_mutex_ for the whole body, so exactly one caller wins
+// and every loser throws "already started".
+TEST_F(ServerTest, ConcurrentStartAdmitsExactlyOneListener) {
+  registry_ = std::make_unique<serve::ModelRegistry>(
+      fresh_dir("server_reg_concurrent_start"));
+  model_id_ = registry_->publish(trained_ensemble(17));
+  ServerOptions options;
+  options.socket_path = socket_path();
+  server_ = std::make_unique<EstimationServer>(*registry_, options);
+
+  constexpr int kStarters = 8;
+  std::atomic<int> won{0};
+  std::atomic<int> lost{0};
+  std::vector<std::thread> starters;
+  starters.reserve(kStarters);
+  for (int i = 0; i < kStarters; ++i) {
+    starters.emplace_back([&] {
+      try {
+        server_->start();
+        won.fetch_add(1);
+      } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("already started"),
+                  std::string::npos)
+            << e.what();
+        lost.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : starters) t.join();
+  EXPECT_EQ(won.load(), 1);
+  EXPECT_EQ(lost.load(), kStarters - 1);
+
+  // The one listener that won actually serves.
+  Client client(client_options());
+  client.ping();
+}
+
+// Stats snapshots taken while traffic is in flight must be internally
+// sane: monotonic counters never run backwards between two snapshots, and
+// gauges never exceed their configured bounds. This is the observable
+// contract of the all-atomics counter design the annotation pass
+// documented (nothing in stats_snapshot touches a guarded field).
+TEST_F(ServerTest, StatsSnapshotsUnderTrafficStayMonotonicAndBounded) {
+  ServerOptions options;
+  options.workers = 2;
+  options.max_queue = 4;
+  boot(options);
+
+  std::atomic<bool> stop{false};
+  std::thread traffic([&] {
+    Client client(client_options(1));
+    const std::string csv = workload_csv(7, 50);
+    while (!stop.load(std::memory_order_acquire)) {
+      EstimateRequest request;
+      request.workload_csvs = {csv};
+      try {
+        (void)client.estimate(request);
+      } catch (const std::exception&) {
+        // Overload shedding is fine; the test watches the counters.
+      }
+    }
+  });
+
+  const char* monotonic[] = {"accepted_connections", "estimate_requests",
+                             "frames_received",      "replies_ok",
+                             "replies_error",        "swap_generation"};
+  std::map<std::string, std::uint64_t> last;
+  for (int i = 0; i < 200; ++i) {
+    const StatsReply stats = server_->stats_snapshot();
+    std::map<std::string, std::uint64_t> now(stats.counters.begin(),
+                                             stats.counters.end());
+    for (const char* name : monotonic) {
+      ASSERT_TRUE(now.count(name)) << "missing counter " << name;
+      EXPECT_GE(now[name], last[name]) << name << " ran backwards";
+    }
+    EXPECT_LE(now["queue_depth"], options.max_queue) << "admission leak";
+    EXPECT_LE(now["active_requests"],
+              options.workers + options.max_queue)
+        << "drain accounting leak";
+    last = std::move(now);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_release);
+  traffic.join();
+  EXPECT_GT(last["estimate_requests"], 0u);
 }
 
 }  // namespace

@@ -44,6 +44,25 @@ cmake -B build-check-sanitize -S . -DCMAKE_BUILD_TYPE=Debug -DSPIRE_SANITIZE=ON
 cmake --build build-check-sanitize -j "${jobs}"
 ctest --test-dir build-check-sanitize --output-on-failure -j "${test_jobs}"
 
+phase "Thread-safety static gate (clang++ -Wthread-safety, DESIGN.md §13)"
+# Configuring with SPIRE_THREAD_SAFETY=ON runs the tests/compile_fail/
+# try_compile fixtures at configure time (each must be rejected with a
+# thread-safety diagnostic) and builds the whole tree with the analysis
+# promoted to errors. Clang-only: skipped with a NOTE locally when no
+# clang++ is installed, hard-failed on CI (the CI image provides clang).
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-check-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DSPIRE_THREAD_SAFETY=ON
+  cmake --build build-check-tsa -j "${jobs}"
+elif [ "${CI:-false}" = "true" ]; then
+  echo "check.sh: clang++ not installed but CI=true — the thread-safety" \
+       "gate must run on CI" >&2
+  exit 1
+else
+  echo "check.sh: NOTE: clang++ not installed, skipping the thread-safety" \
+       "static gate (CI runs it)"
+fi
+
 phase "Binary model v2/v3 round-trip (spire_cli compile)"
 # Compile every checked-in text model to the v2 and v3 binary formats and
 # back; the text bytes must survive unchanged either way. Artifacts live in
