@@ -1,5 +1,6 @@
 // Estimation-server performance: requests/sec and latency percentiles
-// through the full framed-socket path, clean and under injected faults.
+// through the full framed-socket path, clean and under injected faults,
+// plus a fleet scenario over the sharded routing path.
 //
 // Boots an in-process EstimationServer on a UNIX socket (model published
 // to a throwaway registry), then drives it from concurrent client threads
@@ -9,12 +10,23 @@
 // faulted numbers include the retries and backoff a real caller would
 // pay. Emits BENCH_server.json.
 //
+// The fleet scenario publishes 120 distinct models, first touches every
+// one (cold: shard spin-up + mmap + evaluation, seeding the memo-cache),
+// then drives a mixed-model request stream where every reply is a
+// memo-cache hit. It reports sustained estimates/s and the cold-shard vs
+// warm-shard latency split, and merges a "fleet_serving" section into
+// BENCH_serving.json next to perf_serving's own numbers.
+//
 // Hard contracts verified on every run:
 //  * every request succeeds (the chaos client retries through sheds, and
 //    nothing else may fail on a healthy server);
-//  * both servers drain cleanly within their timeout after the load;
-//  * resilience floor: the faulted p99 must stay within 3x the clean p99
-//    (full mode; --smoke records the ratio but skips the assertion —
+//  * every server drains cleanly within its timeout after the load;
+//  * fleet warm replies are bit-identical to the cold evaluation of the
+//    same (model, workload) pair — the memo-cache may never change an
+//    answer;
+//  * resilience floor: the faulted p99 must stay within 3x the clean p99,
+//    and the fleet's warm (cache-hit) p50 must beat its cold p50 by >= 2x
+//    (full mode; --smoke records the ratios but skips the assertions —
 //    micro-latencies in a throttled container measure the machine).
 // Every skippable assertion lands in the JSON as a structured object
 // ({status, reason, hardware_threads}), never a silent string.
@@ -187,6 +199,206 @@ ModeResult run_mode(serve::ModelRegistry& registry, const std::string& socket,
   return result;
 }
 
+struct FleetResult {
+  int models = 0;
+  int unique_models = 0;
+  double publish_s = 0.0;
+  double cold_p50_ms = 0.0;
+  double cold_p99_ms = 0.0;
+  double warm_p50_ms = 0.0;
+  double warm_p99_ms = 0.0;
+  double warm_estimates_per_s = 0.0;
+  std::uint64_t warm_requests = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t shards_active = 0;
+  bool all_ok = false;
+  bool bit_identical = false;
+  bool drained = false;
+};
+
+double percentile(std::vector<double> values, int pct) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return values[std::min(values.size() - 1, values.size() * pct / 100)];
+}
+
+/// The fleet scenario: 120 distinct published models served through
+/// per-model shards, cold-touched once each, then hammered with a
+/// mixed-model stream that the estimate memo-cache answers.
+FleetResult run_fleet(const std::string& socket, int threads,
+                      int per_thread) {
+  FleetResult result;
+  result.models = 120;
+
+  const std::string root = bench::cache_dir() + "/server_fleet_registry";
+  std::filesystem::remove_all(root);
+  // Mapping-cache capacity sized to the fleet (the CLI's --registry-cache):
+  // 100+ concurrently served models must not thrash the registry LRU.
+  serve::ModelRegistry registry(root,
+                                static_cast<std::size_t>(result.models) + 8);
+  std::vector<std::string> ids;
+  ids.reserve(static_cast<std::size_t>(result.models));
+  const auto publish_start = Clock::now();
+  for (int i = 0; i < result.models; ++i) {
+    ids.push_back(
+        registry.publish(trained_ensemble(1000 + static_cast<std::uint64_t>(i))));
+  }
+  result.publish_s =
+      std::chrono::duration<double>(Clock::now() - publish_start).count();
+  {
+    std::vector<std::string> unique = ids;
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+    result.unique_models = static_cast<int>(unique.size());
+  }
+
+  server::ServerOptions options;
+  options.socket_path = socket;
+  options.workers = 4;
+  options.cache_entries = 1024;  // >= one entry per (model, workload) pair
+  server::EstimationServer server(registry, options);
+  server.start();
+
+  // Big enough that evaluation dominates the socket round trip: the
+  // cold/warm split then measures the work the memo-cache elides, not the
+  // syscall floor both paths share.
+  const std::string csv = workload_csv(11, 600);
+  bool ok = true;
+
+  // Cold pass: the first touch of each model spins up its shard, maps the
+  // artifact, evaluates, and seeds the memo-cache.
+  std::vector<double> cold;
+  cold.reserve(ids.size());
+  std::vector<double> expected(ids.size(), 0.0);
+  {
+    server::ClientOptions copts;
+    copts.socket_path = socket;
+    copts.backoff.max_attempts = 2;
+    copts.backoff.base_ms = 1;
+    server::Client client(copts);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      server::EstimateRequest request;
+      request.model_id = ids[i];
+      request.workload_csvs = {csv};
+      const auto start = Clock::now();
+      try {
+        const server::EstimateReply reply = client.estimate(request);
+        if (reply.results.size() == 1 &&
+            reply.results[0].status == server::ErrorCode::kOk) {
+          expected[i] = reply.results[0].throughput;
+        } else {
+          ok = false;
+        }
+      } catch (const std::exception&) {
+        ok = false;
+      }
+      cold.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count());
+    }
+  }
+
+  // Warm pass: a mixed-model stream over every shard at once. Each reply
+  // comes from the memo-cache and must be bit-identical to the cold
+  // evaluation of the same (model, workload) pair.
+  std::vector<std::vector<double>> warm_lanes(
+      static_cast<std::size_t>(threads));
+  std::vector<int> failures(static_cast<std::size_t>(threads), 0);
+  std::atomic<bool> mismatch{false};
+  const auto warm_start = Clock::now();
+  std::vector<std::thread> fleet;
+  for (int t = 0; t < threads; ++t) {
+    fleet.emplace_back([&, t] {
+      util::Rng rng(555 + static_cast<std::uint64_t>(t));
+      server::ClientOptions copts;
+      copts.socket_path = socket;
+      copts.backoff.max_attempts = 2;
+      copts.backoff.base_ms = 1;
+      server::Client client(copts);
+      auto& lane = warm_lanes[static_cast<std::size_t>(t)];
+      lane.reserve(static_cast<std::size_t>(per_thread));
+      for (int i = 0; i < per_thread; ++i) {
+        const std::size_t pick = rng.below(ids.size());
+        server::EstimateRequest request;
+        request.model_id = ids[pick];
+        request.workload_csvs = {csv};
+        const auto start = Clock::now();
+        try {
+          const server::EstimateReply reply = client.estimate(request);
+          if (reply.results.size() != 1 ||
+              reply.results[0].status != server::ErrorCode::kOk) {
+            ++failures[static_cast<std::size_t>(t)];
+          } else if (reply.results[0].throughput != expected[pick]) {
+            mismatch.store(true);
+          }
+        } catch (const std::exception&) {
+          ++failures[static_cast<std::size_t>(t)];
+        }
+        lane.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - start)
+                .count());
+      }
+    });
+  }
+  for (auto& thread : fleet) thread.join();
+  const double warm_elapsed =
+      std::chrono::duration<double>(Clock::now() - warm_start).count();
+
+  std::vector<double> warm;
+  for (const auto& lane : warm_lanes) {
+    warm.insert(warm.end(), lane.begin(), lane.end());
+  }
+  for (int f : failures) ok &= f == 0;
+  result.all_ok = ok;
+  result.bit_identical = !mismatch.load();
+  result.warm_requests = warm.size();
+  result.warm_estimates_per_s =
+      warm_elapsed > 0.0 ? static_cast<double>(warm.size()) / warm_elapsed : 0.0;
+  result.cold_p50_ms = percentile(cold, 50);
+  result.cold_p99_ms = percentile(cold, 99);
+  result.warm_p50_ms = percentile(warm, 50);
+  result.warm_p99_ms = percentile(warm, 99);
+  const server::StatsReply stats = server.stats_snapshot();
+  for (const auto& [k, v] : stats.counters) {
+    if (k == "cache_hits") result.cache_hits = v;
+    if (k == "cache_misses") result.cache_misses = v;
+    if (k == "shards_active") result.shards_active = v;
+  }
+  server.begin_shutdown();
+  result.drained = server.wait_until_drained();
+  return result;
+}
+
+/// Rewrites BENCH_serving.json (perf_serving's output) with this run's
+/// "fleet_serving" section appended as the last key; a section from a
+/// previous run is dropped first so the merge is idempotent.
+void merge_fleet_into_serving_json(const std::string& fleet_json) {
+  const char* path = "BENCH_serving.json";
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  if (const auto old = text.find(",\n  \"fleet_serving\":");
+      old != std::string::npos) {
+    text = text.substr(0, old) + "\n}\n";
+  }
+  const auto close = text.rfind('}');
+  if (close == std::string::npos) {
+    text = "{\n  \"bench\": \"serving\"\n}\n";
+  }
+  std::string out = text.substr(0, text.rfind('}'));
+  while (!out.empty() && (out.back() == '\n' || out.back() == ' ')) {
+    out.pop_back();
+  }
+  out += ",\n  \"fleet_serving\": " + fleet_json + "\n}\n";
+  std::ofstream rewrite(path, std::ios::trunc);
+  rewrite << out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -268,7 +480,99 @@ int main(int argc, char** argv) {
        << assertion_json(check_degradation, "smoke mode", hardware) << "\n}\n";
   std::printf("-> BENCH_server.json\n");
 
+  std::printf("\n=== Fleet: 120 models, per-model shards, memo-cache ===\n\n");
+  const int fleet_per_thread = smoke ? 60 : 400;
+  const FleetResult fleet =
+      run_fleet(socket, threads, fleet_per_thread);
+  std::printf(
+      "published %d models (%d unique) in %.2f s\n"
+      "cold (shard spin-up + mmap + evaluate): p50 %7.3f ms, p99 %7.3f ms\n"
+      "warm (memo-cache hit):                  p50 %7.3f ms, p99 %7.3f ms\n"
+      "mixed-model stream: %8.0f estimates/s over %llu requests "
+      "(%llu shards, cache %llu hits / %llu misses)\n"
+      "all ok: %s, warm bit-identical to cold: %s, drained: %s\n",
+      fleet.models, fleet.unique_models, fleet.publish_s, fleet.cold_p50_ms,
+      fleet.cold_p99_ms, fleet.warm_p50_ms, fleet.warm_p99_ms,
+      fleet.warm_estimates_per_s,
+      static_cast<unsigned long long>(fleet.warm_requests),
+      static_cast<unsigned long long>(fleet.shards_active),
+      static_cast<unsigned long long>(fleet.cache_hits),
+      static_cast<unsigned long long>(fleet.cache_misses),
+      fleet.all_ok ? "yes" : "NO", fleet.bit_identical ? "yes" : "NO",
+      fleet.drained ? "yes" : "NO");
+  const double cache_speedup =
+      fleet.warm_p50_ms > 0.0 ? fleet.cold_p50_ms / fleet.warm_p50_ms : 0.0;
+  std::printf("cache-hit speedup (cold p50 / warm p50): %.2fx\n", cache_speedup);
+  // Contended micro-latencies on a throttled box measure the machine, not
+  // the cache — same guard shape as perf_serving's speedup assertion.
+  const bool check_cache_speedup = !smoke && hardware >= 4;
+  const std::string cache_skip_reason =
+      smoke ? "smoke mode"
+            : "only " + std::to_string(hardware) +
+                  " hardware thread(s), need >= 4";
+  if (!check_cache_speedup) {
+    std::printf("cache-hit speedup assertion skipped: %s\n",
+                cache_skip_reason.c_str());
+  }
+
+  {
+    std::ostringstream fleet_json;
+    fleet_json << "{\n"
+               << "    \"models\": " << fleet.models << ",\n"
+               << "    \"unique_models\": " << fleet.unique_models << ",\n"
+               << "    \"publish_seconds\": " << fleet.publish_s << ",\n"
+               << "    \"client_threads\": " << threads << ",\n"
+               << "    \"mixed_stream_requests\": " << fleet.warm_requests
+               << ",\n"
+               << "    \"estimates_per_s\": " << fleet.warm_estimates_per_s
+               << ",\n"
+               << "    \"cold_shard_ms\": {\"p50\": " << fleet.cold_p50_ms
+               << ", \"p99\": " << fleet.cold_p99_ms << "},\n"
+               << "    \"warm_shard_ms\": {\"p50\": " << fleet.warm_p50_ms
+               << ", \"p99\": " << fleet.warm_p99_ms << "},\n"
+               << "    \"cache_hit_speedup\": " << cache_speedup << ",\n"
+               << "    \"shards_active\": " << fleet.shards_active << ",\n"
+               << "    \"cache_hits\": " << fleet.cache_hits << ",\n"
+               << "    \"cache_misses\": " << fleet.cache_misses << ",\n"
+               << "    \"warm_bit_identical\": "
+               << (fleet.bit_identical ? "true" : "false") << ",\n"
+               << "    \"all_requests_ok\": "
+               << (fleet.all_ok ? "true" : "false") << ",\n"
+               << "    \"drained_cleanly\": "
+               << (fleet.drained ? "true" : "false") << ",\n"
+               << "    \"cache_hit_assertion\": "
+               << assertion_json(check_cache_speedup, cache_skip_reason,
+                                 hardware)
+               << "\n  }";
+    merge_fleet_into_serving_json(fleet_json.str());
+  }
+  std::printf("-> BENCH_serving.json (fleet_serving section)\n");
+
   bool failed = false;
+  if (!fleet.all_ok) {
+    std::fprintf(stderr, "FAIL: a fleet request failed\n");
+    failed = true;
+  }
+  if (!fleet.bit_identical) {
+    std::fprintf(stderr,
+                 "FAIL: a memo-cache hit diverged from the cold evaluation\n");
+    failed = true;
+  }
+  if (!fleet.drained) {
+    std::fprintf(stderr, "FAIL: fleet server did not drain\n");
+    failed = true;
+  }
+  if (fleet.unique_models < 100) {
+    std::fprintf(stderr, "FAIL: fleet needs >= 100 distinct models, got %d\n",
+                 fleet.unique_models);
+    failed = true;
+  }
+  if (check_cache_speedup && cache_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: cache-hit p50 speedup %.2fx over cold, need >= 2x\n",
+                 cache_speedup);
+    failed = true;
+  }
   if (!base.all_ok || !chaos.all_ok) {
     std::fprintf(stderr, "FAIL: a request failed through the retrying client\n");
     failed = true;

@@ -108,8 +108,9 @@ Engine& Engine::publish(const std::string& registry_root) {
 }
 
 Engine& Engine::resolve_model(const std::string& registry_root,
-                              const std::string& id) {
-  serve::ModelRegistry registry(registry_root);
+                              const std::string& id,
+                              std::size_t registry_cache) {
+  serve::ModelRegistry registry(registry_root, registry_cache);
   std::string resolved = id;
   if (id == "latest") {
     resolved = registry.latest();

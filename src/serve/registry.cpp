@@ -144,6 +144,7 @@ std::shared_ptr<const MappedModel> ModelRegistry::open(const std::string& id) {
   for (auto it = lru_.begin(); it != lru_.end(); ++it) {
     if (it->first == id) {
       lru_.splice(lru_.begin(), lru_, it);
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
       return lru_.front().second;
     }
   }
@@ -152,16 +153,25 @@ std::shared_ptr<const MappedModel> ModelRegistry::open(const std::string& id) {
   if (const auto it = live_.find(id); it != live_.end()) {
     model = it->second.lock();
   }
-  if (!model) {
+  if (model) {
+    // Reusing a still-live mapping counts as a hit: no mmap happened.
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
     const std::string path = object_path(id);
     std::error_code ec;
-    if (!fs::exists(path, ec)) fail("no object with id " + id);
+    if (!fs::exists(path, ec)) {
+      fail("no object with id " + id + " under " + root_);
+    }
     model = std::make_shared<const MappedModel>(MappedModel::map_file(path));
     live_[id] = model;
   }
   if (cache_capacity_ > 0) {
     lru_.emplace_front(id, model);
-    while (lru_.size() > cache_capacity_) lru_.pop_back();
+    while (lru_.size() > cache_capacity_) {
+      lru_.pop_back();
+      cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   // Opportunistic cleanup of long-dead tracking entries.
   for (auto it = live_.begin(); it != live_.end();) {

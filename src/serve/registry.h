@@ -24,7 +24,9 @@
 // are immutable and lock-free to use.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
@@ -41,13 +43,14 @@ namespace spire::serve {
 class ModelRegistry {
  public:
   static constexpr std::string_view kDefaultRoot = ".spire-registry";
+  static constexpr std::size_t kDefaultCacheCapacity = 8;
 
   /// Opens (creating directories as needed) the registry at `root`.
   /// `cache_capacity` bounds the LRU of open mappings kept alive by the
   /// registry itself; 0 disables caching (every open still deduplicates
   /// against currently-live mappings via the tracking map).
   explicit ModelRegistry(std::string root = std::string(kDefaultRoot),
-                         std::size_t cache_capacity = 8);
+                         std::size_t cache_capacity = kDefaultCacheCapacity);
 
   /// Publishes the canonical v3 serialization of `ensemble`; returns its id.
   std::string publish(const model::Ensemble& ensemble) SPIRE_EXCLUDES(mutex_);
@@ -95,6 +98,26 @@ class ModelRegistry {
 
   const std::string& root() const { return root_; }
 
+  std::size_t cache_capacity() const { return cache_capacity_; }
+
+  /// Mapping-cache effectiveness counters, exposed through the server's
+  /// `serverctl stats` so an operator can see whether the configured
+  /// capacity (--registry-cache) is sized for the working set. A hit is
+  /// any open() that reused an existing mapping (LRU or still-live); a
+  /// miss mapped the object fresh; an eviction dropped the LRU tail.
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  CacheStats cache_stats() const {
+    CacheStats stats;
+    stats.hits = cache_hits_.load(std::memory_order_relaxed);
+    stats.misses = cache_misses_.load(std::memory_order_relaxed);
+    stats.evictions = cache_evictions_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
  private:
   std::string pin_path(const std::string& id) const;
   std::string store_bytes_locked(const std::string& bytes)
@@ -113,6 +136,10 @@ class ModelRegistry {
   // deduplicate beyond the LRU and gc() detect in-use objects.
   std::map<std::string, std::weak_ptr<const MappedModel>> live_
       SPIRE_GUARDED_BY(mutex_);
+
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> cache_evictions_{0};
 };
 
 }  // namespace spire::serve

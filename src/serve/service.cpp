@@ -1,6 +1,8 @@
 #include "serve/service.h"
 
+#include <chrono>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "sampling/dataset.h"
@@ -65,6 +67,37 @@ std::vector<BatchResult> EstimationService::estimate_files(
         }
         return result;
       });
+}
+
+std::vector<BatchResult> EstimationService::estimate_csvs(
+    std::span<const CsvJob> jobs) const {
+  const EvalTables tables = this->tables();
+  std::vector<BatchResult> results;
+  results.reserve(jobs.size());
+  for (const CsvJob& job : jobs) {
+    BatchResult result;
+    // The deadline is checked per item, not per batch: once the budget is
+    // gone every remaining item reports expiry (the clock is monotonic, so
+    // an expired batch never un-expires).
+    if (job.has_deadline &&
+        std::chrono::steady_clock::now() >= job.deadline) {
+      result.deadline_expired = true;
+      result.error = "deadline expired";
+      results.push_back(std::move(result));
+      continue;
+    }
+    try {
+      std::istringstream in(*job.csv);
+      const sampling::Dataset data = sampling::Dataset::load_csv(in);
+      const sampling::DatasetView view(data);
+      result.samples = view.size();
+      result.estimate = estimate_tables(tables, view, job.merge);
+    } catch (const std::exception& e) {
+      result.error = e.what();
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
 }
 
 }  // namespace spire::serve

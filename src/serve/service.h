@@ -15,6 +15,7 @@
 // artifact's format; from_registry resolves a content-addressed id.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <span>
@@ -37,8 +38,24 @@ struct BatchResult {
   std::size_t samples = 0;  // samples loaded (0 when loading failed)
   std::optional<model::Estimate> estimate;
   std::string error;      // why estimation failed, "" on success
+  /// True when the item's deadline expired before it was evaluated
+  /// (estimate_csvs only); distinguishes "out of time" from "bad input"
+  /// so callers can report the two with different status codes.
+  bool deadline_expired = false;
 
   bool ok() const { return estimate.has_value(); }
+};
+
+/// One in-memory workload for estimate_csvs. `csv` points at caller-owned
+/// bytes that must stay alive for the call; `deadline` (when has_deadline)
+/// is checked immediately before the item is evaluated, so a batch that
+/// runs out of budget reports its tail as expired instead of silently
+/// evaluating past the deadline.
+struct CsvJob {
+  const std::string* csv = nullptr;
+  model::Merge merge = model::Merge::kTimeWeighted;
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
 };
 
 struct BatchOptions {
@@ -80,6 +97,13 @@ class EstimationService {
   /// set instead of aborting the batch.
   std::vector<BatchResult> estimate_files(std::span<const std::string> paths,
                                           const BatchOptions& options = {}) const;
+
+  /// Estimates in-memory CSV blobs, serially in the caller's thread — this
+  /// is the coalesced inner loop of a serve::Shard pump, which already owns
+  /// a pool worker. Results come back in input order with per-item error
+  /// isolation; an item whose deadline already expired gets
+  /// `deadline_expired` set and is never evaluated.
+  std::vector<BatchResult> estimate_csvs(std::span<const CsvJob> jobs) const;
 
  private:
   std::variant<CompiledModel, MappedModel,

@@ -49,6 +49,7 @@ EstimateReply Client::estimate(EstimateRequest) { return {}; }
 void Client::ping() {}
 SwapReply Client::swap(const std::string&) { return {}; }
 StatsReply Client::stats() { return {}; }
+ShardsReply Client::shards() { return {}; }
 bool Client::raw_roundtrip(FrameType, const std::string&, FrameHeader*,
                            std::string*, std::string*) { return false; }
 void Client::disconnect() {}
@@ -332,6 +333,12 @@ StatsReply Client::stats() {
   const std::string body = exchange(FrameType::kStatsRequest,
                                     FrameType::kStatsReply, "", 0, "stats");
   return decode_stats_reply(body, options_.limits);
+}
+
+ShardsReply Client::shards() {
+  const std::string body = exchange(FrameType::kShardsRequest,
+                                    FrameType::kShardsReply, "", 0, "shards");
+  return decode_shards_reply(body, options_.limits);
 }
 
 #endif  // !_WIN32

@@ -92,6 +92,9 @@ class Client {
 
   StatsReply stats();
 
+  /// Per-shard routing/queue/coalescing rows (`serverctl shards`).
+  ShardsReply shards();
+
   /// Sends one raw frame on the current connection WITHOUT retry and
   /// returns true when a complete reply frame came back (filling header
   /// and payload). Chaos hooks apply. This is the chaos suite's probe: it

@@ -106,6 +106,43 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
+/// The per-result block shared by estimate replies and the memo-cache's
+/// standalone value format — one encoder, so the two can never diverge.
+void write_workload_result(Writer& w, const WorkloadResult& res,
+                           const Limits& limits) {
+  w.u16(static_cast<std::uint16_t>(res.status));
+  w.str(res.error, limits.max_error_bytes, "error");
+  w.u64(res.samples);
+  w.f64(res.throughput);
+  if (res.ranking.size() > limits.max_ranking) {
+    over_limit("ranking count over the limit");
+  }
+  w.u32(static_cast<std::uint32_t>(res.ranking.size()));
+  for (const WireRanked& rk : res.ranking) {
+    w.str(rk.metric, limits.max_name_bytes, "metric");
+    w.f64(rk.p_bar);
+    w.u64(rk.samples);
+  }
+}
+
+WorkloadResult read_workload_result(Reader& r, const Limits& limits) {
+  WorkloadResult res;
+  res.status = static_cast<ErrorCode>(r.u16("status"));
+  res.error = r.str(limits.max_error_bytes, "error");
+  res.samples = r.u64("samples");
+  res.throughput = r.f64("throughput");
+  const std::uint32_t m = r.count(limits.max_ranking, "ranking");
+  res.ranking.reserve(m);
+  for (std::uint32_t j = 0; j < m; ++j) {
+    WireRanked rk;
+    rk.metric = r.str(limits.max_name_bytes, "metric");
+    rk.p_bar = r.f64("p_bar");
+    rk.samples = r.u64("ranked samples");
+    res.ranking.push_back(std::move(rk));
+  }
+  return res;
+}
+
 }  // namespace
 
 const char* error_code_name(ErrorCode code) {
@@ -247,19 +284,7 @@ std::string encode_estimate_reply(const EstimateReply& reply,
   }
   w.u32(static_cast<std::uint32_t>(reply.results.size()));
   for (const WorkloadResult& res : reply.results) {
-    w.u16(static_cast<std::uint16_t>(res.status));
-    w.str(res.error, limits.max_error_bytes, "error");
-    w.u64(res.samples);
-    w.f64(res.throughput);
-    if (res.ranking.size() > limits.max_ranking) {
-      over_limit("ranking count over the limit");
-    }
-    w.u32(static_cast<std::uint32_t>(res.ranking.size()));
-    for (const WireRanked& rk : res.ranking) {
-      w.str(rk.metric, limits.max_name_bytes, "metric");
-      w.f64(rk.p_bar);
-      w.u64(rk.samples);
-    }
+    write_workload_result(w, res, limits);
   }
   return w.take();
 }
@@ -273,21 +298,7 @@ EstimateReply decode_estimate_reply(const std::string& payload,
   const std::uint32_t n = r.count(limits.max_workloads, "results");
   reply.results.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    WorkloadResult res;
-    res.status = static_cast<ErrorCode>(r.u16("status"));
-    res.error = r.str(limits.max_error_bytes, "error");
-    res.samples = r.u64("samples");
-    res.throughput = r.f64("throughput");
-    const std::uint32_t m = r.count(limits.max_ranking, "ranking");
-    res.ranking.reserve(m);
-    for (std::uint32_t j = 0; j < m; ++j) {
-      WireRanked rk;
-      rk.metric = r.str(limits.max_name_bytes, "metric");
-      rk.p_bar = r.f64("p_bar");
-      rk.samples = r.u64("ranked samples");
-      res.ranking.push_back(std::move(rk));
-    }
-    reply.results.push_back(std::move(res));
+    reply.results.push_back(read_workload_result(r, limits));
   }
   r.finish();
   return reply;
@@ -358,6 +369,76 @@ StatsReply decode_stats_reply(const std::string& payload,
   }
   r.finish();
   return reply;
+}
+
+std::string encode_shards_reply(const ShardsReply& reply,
+                                const Limits& limits) {
+  Writer w;
+  if (reply.shards.size() > limits.max_shards) {
+    over_limit("shards count over the limit");
+  }
+  w.u32(static_cast<std::uint32_t>(reply.shards.size()));
+  for (const ShardInfo& shard : reply.shards) {
+    w.str(shard.model_id, limits.max_class_bytes, "model_id");
+    if (shard.classes.size() > limits.max_stats) {
+      over_limit("shard class count over the limit");
+    }
+    w.u32(static_cast<std::uint32_t>(shard.classes.size()));
+    for (const std::string& cls : shard.classes) {
+      w.str(cls, limits.max_class_bytes, "class");
+    }
+    w.u64(shard.queue_depth);
+    w.u64(shard.enqueued);
+    w.u64(shard.shed);
+    w.u64(shard.completed);
+    w.u64(shard.batches);
+    w.u64(shard.max_batch);
+    w.u8(shard.retired);
+  }
+  return w.take();
+}
+
+ShardsReply decode_shards_reply(const std::string& payload,
+                                const Limits& limits) {
+  Reader r(payload);
+  ShardsReply reply;
+  const std::uint32_t n = r.count(limits.max_shards, "shards");
+  reply.shards.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ShardInfo shard;
+    shard.model_id = r.str(limits.max_class_bytes, "model_id");
+    const std::uint32_t c = r.count(limits.max_stats, "classes");
+    shard.classes.reserve(c);
+    for (std::uint32_t j = 0; j < c; ++j) {
+      shard.classes.push_back(r.str(limits.max_class_bytes, "class"));
+    }
+    shard.queue_depth = r.u64("queue_depth");
+    shard.enqueued = r.u64("enqueued");
+    shard.shed = r.u64("shed");
+    shard.completed = r.u64("completed");
+    shard.batches = r.u64("batches");
+    shard.max_batch = r.u64("max_batch");
+    shard.retired = r.u8("retired");
+    if (shard.retired > 1) malformed("retired must be 0 or 1");
+    reply.shards.push_back(std::move(shard));
+  }
+  r.finish();
+  return reply;
+}
+
+std::string encode_workload_result(const WorkloadResult& result,
+                                   const Limits& limits) {
+  Writer w;
+  write_workload_result(w, result, limits);
+  return w.take();
+}
+
+WorkloadResult decode_workload_result(const std::string& payload,
+                                      const Limits& limits) {
+  Reader r(payload);
+  WorkloadResult result = read_workload_result(r, limits);
+  r.finish();
+  return result;
 }
 
 }  // namespace spire::server

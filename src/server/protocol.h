@@ -45,10 +45,12 @@ enum class FrameType : std::uint8_t {
   kPingRequest = 0x02,
   kSwapRequest = 0x03,
   kStatsRequest = 0x04,
+  kShardsRequest = 0x05,
   kEstimateReply = 0x81,
   kPingReply = 0x82,
   kSwapReply = 0x83,
   kStatsReply = 0x84,
+  kShardsReply = 0x85,
   kErrorReply = 0xFF,
 };
 
@@ -93,6 +95,7 @@ struct Limits {
   std::size_t max_ranking = 16;            // ranking entries per result
   std::size_t max_stats = 64;              // counters per stats reply
   std::size_t max_name_bytes = 128;        // metric/counter name strings
+  std::size_t max_shards = 1024;           // rows per shards reply
 };
 
 /// Parsed frame header.
@@ -179,6 +182,29 @@ struct StatsReply {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
 };
 
+/// One serving shard's state as the router sees it: which model, which
+/// class bindings route to it, its queue, and its coalescing counters.
+/// `retired` shards are draining after a hot-swap repointed their last
+/// binding; they vanish from the listing once fully drained.
+struct ShardInfo {
+  std::string model_id;                 // <= max_class_bytes
+  std::vector<std::string> classes;     // bound class names, sorted;
+                                        // <= max_stats entries
+  std::uint64_t queue_depth = 0;
+  std::uint64_t enqueued = 0;
+  std::uint64_t shed = 0;               // rejected: queue full or retired
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;            // coalesced pump rounds
+  std::uint64_t max_batch = 0;          // largest round, in requests
+  std::uint8_t retired = 0;             // 0/1
+};
+
+/// Reply to kShardsRequest (which carries no payload): one row per live or
+/// draining shard, sorted by model id.
+struct ShardsReply {
+  std::vector<ShardInfo> shards;  // <= max_shards entries
+};
+
 // Encoders produce payload bytes (frame them with encode_frame); decoders
 // run the strict bounded parse and throw ProtocolError on any defect,
 // including trailing bytes.
@@ -210,5 +236,20 @@ SwapReply decode_swap_reply(const std::string& payload, const Limits& limits);
 std::string encode_stats_reply(const StatsReply& reply, const Limits& limits);
 StatsReply decode_stats_reply(const std::string& payload,
                               const Limits& limits);
+
+std::string encode_shards_reply(const ShardsReply& reply,
+                                const Limits& limits);
+ShardsReply decode_shards_reply(const std::string& payload,
+                                const Limits& limits);
+
+/// Standalone codec for ONE WorkloadResult, byte-compatible with the
+/// per-result block inside encode_estimate_reply. This is the estimate
+/// memo-cache's value format: the server caches the encoded result, and
+/// because encode/decode are exact inverses, a reply assembled from cached
+/// bytes is byte-identical to a recompute (DESIGN.md §14).
+std::string encode_workload_result(const WorkloadResult& result,
+                                   const Limits& limits);
+WorkloadResult decode_workload_result(const std::string& payload,
+                                      const Limits& limits);
 
 }  // namespace spire::server

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
-#include <sstream>
 #include <stdexcept>
 #include <system_error>
+#include <tuple>
 
 #if !defined(_WIN32)
 #include <fcntl.h>
@@ -16,9 +16,6 @@
 #endif
 
 #include "counters/events.h"
-#include "sampling/dataset.h"
-#include "sampling/dataset_view.h"
-#include "serve/model_eval.h"
 #include "util/posix_io.h"
 
 namespace spire::server {
@@ -64,7 +61,7 @@ extern "C" void spire_forward_shutdown_signal(int) {
 }  // namespace
 
 /// One peer. The fds are closed by the LAST holder of the shared_ptr, so a
-/// pool task can still write its reply after the reader thread exited.
+/// shard pump can still write its reply after the reader thread exited.
 struct EstimationServer::Connection {
   Connection(int in, int out, bool owns, std::uint64_t cid,
              const ChaosOptions& chaos_options)
@@ -87,14 +84,22 @@ struct EstimationServer::Connection {
   ChaosRng chaos;
 };
 
-struct EstimationServer::RequestJob {
+/// One estimate request in flight on a shard: everything finish_estimate
+/// needs to assemble the reply after the pump evaluated the cache misses.
+/// Indices are positions in the ORIGINAL request's workload list; the shard
+/// only ever sees the misses.
+struct EstimationServer::PendingEstimate {
   std::shared_ptr<Connection> conn;
   std::uint64_t seq = 0;
-  std::string payload;
-  Clock::time_point received{};
-  // Drawn on the reader thread at dispatch: the connection's ChaosRng is
-  // single-threaded by construction, so pool workers never touch it.
-  bool chaos_swap_mid_request = false;
+  std::string model_id;
+  std::uint8_t merge_byte = 0;
+  std::size_t total_workloads = 0;
+  /// Encoded WorkloadResult bytes per original workload; "" = cache miss
+  /// (an encoded result is never empty, so "" is unambiguous).
+  std::vector<std::string> cached;
+  /// Original index and cache hash of each miss, in shard batch order.
+  std::vector<std::size_t> miss_index;
+  std::vector<std::uint64_t> miss_hash;
 };
 
 #if defined(_WIN32)
@@ -103,7 +108,8 @@ struct EstimationServer::RequestJob {
 // on an unsupported platform fails loudly instead of half-working.
 EstimationServer::EstimationServer(serve::ModelRegistry& registry,
                                    ServerOptions options)
-    : registry_(registry), options_(std::move(options)) {
+    : registry_(registry), options_(std::move(options)),
+      estimate_cache_(options_.cache_entries) {
   fail("the estimation server requires POSIX descriptors");
 }
 EstimationServer::~EstimationServer() = default;
@@ -118,6 +124,7 @@ void EstimationServer::begin_shutdown() {}
 bool EstimationServer::wait_until_drained() { return true; }
 int EstimationServer::run() { return 1; }
 StatsReply EstimationServer::stats_snapshot() const { return {}; }
+ShardsReply EstimationServer::shards_snapshot() const { return {}; }
 void EstimationServer::accept_loop(int) {}
 void EstimationServer::watcher_loop() {}
 void EstimationServer::join_threads() {}
@@ -127,29 +134,33 @@ bool EstimationServer::serve_one_frame(const std::shared_ptr<Connection>&) {
   return false;
 }
 void EstimationServer::dispatch_estimate(const std::shared_ptr<Connection>&,
-                                         std::uint64_t, std::string,
+                                         std::uint64_t, const std::string&,
                                          Clock::time_point) {}
-void EstimationServer::run_estimate(const std::shared_ptr<RequestJob>&) {}
-EstimateReply EstimationServer::evaluate(const EstimateRequest&,
-                                         Clock::time_point, bool) {
-  return {};
-}
+void EstimationServer::finish_estimate(
+    const std::shared_ptr<PendingEstimate>&, std::vector<serve::BatchResult>,
+    bool) {}
 bool EstimationServer::send_frame(const std::shared_ptr<Connection>&,
                                   FrameType, std::uint64_t,
                                   const std::string&) { return false; }
 bool EstimationServer::send_error(const std::shared_ptr<Connection>&,
                                   std::uint64_t, ErrorCode,
                                   const std::string&) { return false; }
-EstimationServer::SlotSnapshot EstimationServer::resolve_slot(
-    const std::string&, std::string*) { return {}; }
+std::shared_ptr<serve::Shard> EstimationServer::shard_for_id(
+    const std::string&, std::string*) { return nullptr; }
+std::shared_ptr<serve::Shard> EstimationServer::route_class(
+    const std::string&, std::string*) { return nullptr; }
+void EstimationServer::rebind(const std::string&,
+                              const std::shared_ptr<serve::Shard>&) {}
 
 #else
 
 EstimationServer::EstimationServer(serve::ModelRegistry& registry,
                                    ServerOptions options)
-    : registry_(registry), options_(std::move(options)) {
+    : registry_(registry), options_(std::move(options)),
+      estimate_cache_(options_.cache_entries) {
   if (options_.workers == 0) options_.workers = 1;
   if (options_.max_queue == 0) options_.max_queue = 1;
+  if (options_.shard_batch == 0) options_.shard_batch = 1;
   util::ignore_sigpipe();
   if (::pipe(wake_pipe_) != 0) fail("cannot create self-pipe: " + errno_text());
   ::fcntl(wake_pipe_[0], F_SETFD, FD_CLOEXEC);
@@ -164,6 +175,8 @@ EstimationServer::~EstimationServer() {
   // Join the workers BEFORE any member destructs: drain_mutex_/drain_cv_
   // are declared after pool_, so default destruction order would tear
   // them down while a worker can still be inside its post-reply notify.
+  // This also quiesces every shard pump, so the shard maps destruct with
+  // no task left holding a shard alive.
   pool_.reset();
   int expected = wake_pipe_[1];
   g_signal_pipe.compare_exchange_strong(expected, -1);
@@ -173,15 +186,102 @@ EstimationServer::~EstimationServer() {
 
 // --- model routing ----------------------------------------------------------
 
-void EstimationServer::set_model(const std::string& id,
-                                 const std::string& model_class) {
-  std::shared_ptr<const serve::MappedModel> model = registry_.open(id);
+std::shared_ptr<serve::Shard> EstimationServer::shard_for_id(
+    const std::string& id, std::string* error_out) {
   {
     util::MutexLock lock(slots_mutex_);
-    Slot& slot = slots_[model_class];
-    slot.model = std::move(model);
-    slot.id = id;
+    if (const auto it = shards_.find(id); it != shards_.end()) {
+      return it->second;
+    }
   }
+  // Map outside the lock: registry I/O must not block routing for other
+  // shards. Losing the ensuing insert race is benign — the loser's shard
+  // never pumped, so it destructs quietly.
+  std::shared_ptr<const serve::MappedModel> model;
+  try {
+    model = registry_.open(id);
+  } catch (const std::exception& e) {
+    if (error_out) *error_out = e.what();
+    return nullptr;
+  }
+  auto shard = std::make_shared<serve::Shard>(
+      id, std::move(model), *pool_, shard_bound(), options_.shard_batch);
+  util::MutexLock lock(slots_mutex_);
+  if (const auto it = shards_.find(id); it != shards_.end()) {
+    return it->second;
+  }
+  shards_[id] = shard;
+  shards_created_.fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
+
+std::shared_ptr<serve::Shard> EstimationServer::route_class(
+    const std::string& model_class, std::string* error_out) {
+  {
+    util::MutexLock lock(slots_mutex_);
+    const auto it = bindings_.find(model_class);
+    if (it != bindings_.end() && it->second) return it->second;
+  }
+  // First request for this class: lazy-resolve the registry's latest.
+  if (!swap_to_latest(model_class, nullptr, error_out)) return nullptr;
+  util::MutexLock lock(slots_mutex_);
+  const auto it = bindings_.find(model_class);
+  if (it == bindings_.end() || !it->second) {
+    if (error_out) *error_out = "model binding vanished during resolution";
+    return nullptr;
+  }
+  return it->second;
+}
+
+void EstimationServer::rebind(const std::string& model_class,
+                              const std::shared_ptr<serve::Shard>& shard) {
+  std::shared_ptr<serve::Shard> displaced;
+  {
+    util::MutexLock lock(slots_mutex_);
+    std::shared_ptr<serve::Shard>& bound = bindings_[model_class];
+    std::shared_ptr<serve::Shard> old = std::move(bound);
+    bound = shard;
+    if (old && old != shard) {
+      bool still_routed = false;
+      for (const auto& [cls, s] : bindings_) {
+        if (s == old) {
+          still_routed = true;
+          break;
+        }
+      }
+      if (!still_routed) {
+        // The shard lost its last binding: unregister it (explicit-id
+        // requests for the model get a fresh shard) and keep a weak row
+        // for the shards listing while its queue drains.
+        if (const auto it = shards_.find(old->model_id());
+            it != shards_.end() && it->second == old) {
+          shards_.erase(it);
+        }
+        draining_shards_.erase(
+            std::remove_if(draining_shards_.begin(), draining_shards_.end(),
+                           [](const std::weak_ptr<serve::Shard>& weak) {
+                             return weak.expired();
+                           }),
+            draining_shards_.end());
+        draining_shards_.push_back(old);
+        displaced = std::move(old);
+      }
+    }
+  }
+  if (displaced) {
+    // Retire outside the routing lock: new requests re-route or shed,
+    // everything already queued still drains through the pump.
+    displaced->retire();
+    shards_retired_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void EstimationServer::set_model(const std::string& id,
+                                 const std::string& model_class) {
+  std::string error;
+  const std::shared_ptr<serve::Shard> shard = shard_for_id(id, &error);
+  if (!shard) fail(error);
+  rebind(model_class, shard);
   generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
@@ -190,25 +290,24 @@ bool EstimationServer::swap_to_latest(const std::string& model_class,
                                       std::string* error_out) {
   const std::string latest = registry_.latest();
   if (latest.empty()) {
-    if (error_out) *error_out = "registry has no published models";
+    if (error_out) {
+      *error_out =
+          "registry at '" + registry_.root() + "' has no published models";
+    }
     return false;
   }
-  std::shared_ptr<const serve::MappedModel> model;
-  try {
-    model = registry_.open(latest);
-  } catch (const std::exception& e) {
-    // A gc may have raced the resolution; the slot keeps its old model.
-    if (error_out) *error_out = e.what();
+  std::string open_error;
+  const std::shared_ptr<serve::Shard> shard = shard_for_id(latest, &open_error);
+  if (!shard) {
+    // A gc may have raced the resolution; the binding keeps its old shard.
+    if (error_out) {
+      *error_out = "cannot swap to candidate '" + latest +
+                   "' from registry at '" + registry_.root() +
+                   "': " + open_error;
+    }
     return false;
   }
-  {
-    util::MutexLock lock(slots_mutex_);
-    Slot& slot = slots_[model_class];
-    // In-flight requests hold their SlotSnapshot's shared_ptr, so the old
-    // mapping drains gracefully as they finish.
-    slot.model = std::move(model);
-    slot.id = latest;
-  }
+  rebind(model_class, shard);
   generation_.fetch_add(1, std::memory_order_acq_rel);
   if (id_out) *id_out = latest;
   return true;
@@ -216,28 +315,9 @@ bool EstimationServer::swap_to_latest(const std::string& model_class,
 
 std::string EstimationServer::current_model_id() const {
   util::MutexLock lock(slots_mutex_);
-  const auto it = slots_.find("");
-  return it == slots_.end() ? std::string() : it->second.id;
-}
-
-EstimationServer::SlotSnapshot EstimationServer::resolve_slot(
-    const std::string& model_class, std::string* error_out) {
-  {
-    util::MutexLock lock(slots_mutex_);
-    const auto it = slots_.find(model_class);
-    if (it != slots_.end() && it->second.model) {
-      return {it->second.model, it->second.id};
-    }
-  }
-  // First request for this class: lazy-resolve the registry's latest.
-  if (!swap_to_latest(model_class, nullptr, error_out)) return {};
-  util::MutexLock lock(slots_mutex_);
-  const auto it = slots_.find(model_class);
-  if (it == slots_.end() || !it->second.model) {
-    if (error_out) *error_out = "model slot vanished during resolution";
-    return {};
-  }
-  return {it->second.model, it->second.id};
+  const auto it = bindings_.find("");
+  return it == bindings_.end() || !it->second ? std::string()
+                                              : it->second->model_id();
 }
 
 // --- socket transport -------------------------------------------------------
@@ -435,6 +515,17 @@ bool EstimationServer::serve_one_frame(
           conn, FrameType::kStatsReply, header.seq,
           encode_stats_reply(stats_snapshot(), options_.limits));
     }
+    case FrameType::kShardsRequest: {
+      try {
+        decode_empty_request(payload);
+      } catch (const ProtocolError& e) {
+        malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+        return send_error(conn, header.seq, e.code(), e.what());
+      }
+      return send_frame(
+          conn, FrameType::kShardsReply, header.seq,
+          encode_shards_reply(shards_snapshot(), options_.limits));
+    }
     case FrameType::kSwapRequest: {
       SwapRequest request;
       try {
@@ -456,7 +547,7 @@ bool EstimationServer::serve_one_frame(
                         encode_swap_reply(reply, options_.limits));
     }
     case FrameType::kEstimateRequest:
-      dispatch_estimate(conn, header.seq, std::move(payload), received);
+      dispatch_estimate(conn, header.seq, payload, received);
       return true;
     default:
       send_error(conn, header.seq, ErrorCode::kUnknownType,
@@ -468,45 +559,151 @@ bool EstimationServer::serve_one_frame(
 
 void EstimationServer::dispatch_estimate(
     const std::shared_ptr<Connection>& conn, std::uint64_t seq,
-    std::string payload, Clock::time_point received) {
+    const std::string& payload, Clock::time_point received) {
   estimate_requests_.fetch_add(1, std::memory_order_relaxed);
-  // Admission control BEFORE parsing: shedding stays O(1) under a flood.
-  bool admitted = false;
+  // Chaos shed stays BEFORE parsing, like real admission under a flood.
   if (conn->chaos.force_overload()) {
     chaos_injected_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    std::size_t expected = queued_.load(std::memory_order_relaxed);
-    while (expected < options_.max_queue) {
-      if (queued_.compare_exchange_weak(expected, expected + 1,
-                                        std::memory_order_acq_rel)) {
-        admitted = true;
-        break;
-      }
-    }
-  }
-  if (!admitted) {
     shed_overloaded_.fetch_add(1, std::memory_order_relaxed);
     send_error(conn, seq, ErrorCode::kOverloaded,
-               "queue full (" + std::to_string(options_.max_queue) +
+               "queue full (" + std::to_string(shard_bound()) +
                    " pending requests)");
     return;
   }
-  auto job = std::make_shared<RequestJob>();
-  job->conn = conn;
-  job->seq = seq;
-  job->payload = std::move(payload);
-  job->received = received;
-  job->chaos_swap_mid_request = conn->chaos.swap_mid_request();
-  // The future is intentionally dropped: run_estimate catches everything
-  // and answers the client itself.
-  (void)pool_->submit([this, job] { run_estimate(job); });
+  EstimateRequest request;
+  try {
+    request = decode_estimate_request(payload, options_.limits);
+  } catch (const ProtocolError& e) {
+    malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, seq, e.code(), e.what());
+    return;
+  }
+  // Drawn on the reader thread: the connection's ChaosRng is
+  // single-threaded by construction, so shard pumps never touch it.
+  const bool chaos_swap = conn->chaos.swap_mid_request();
+  const bool has_deadline = request.deadline_ms > 0;
+  const std::uint32_t deadline_ms =
+      std::min(request.deadline_ms, options_.max_deadline_ms);
+  const Clock::time_point deadline = received + ms(deadline_ms);
+  const model::Merge merge = request.merge == 0 ? model::Merge::kTimeWeighted
+                                                : model::Merge::kUnweighted;
+
+  // At most two routing attempts: a shard retired between routing and
+  // enqueue (a racing hot-swap) re-routes once to the replacement binding.
+  for (int attempt = 0;; ++attempt) {
+    std::string error;
+    const std::shared_ptr<serve::Shard> shard =
+        request.model_id.empty() ? route_class(request.model_class, &error)
+                                 : shard_for_id(request.model_id, &error);
+    if (!shard) {
+      send_error(conn, seq, ErrorCode::kModelUnavailable, error);
+      return;
+    }
+
+    auto pending = std::make_shared<PendingEstimate>();
+    pending->conn = conn;
+    pending->seq = seq;
+    pending->model_id = shard->model_id();
+    pending->merge_byte = request.merge;
+    pending->total_workloads = request.workload_csvs.size();
+    pending->cached.resize(request.workload_csvs.size());
+
+    serve::Shard::Request shard_request;
+    shard_request.merge = merge;
+    shard_request.deadline = deadline;
+    shard_request.has_deadline = has_deadline;
+    // Memo-cache consult before enqueue: only the misses ride the queue,
+    // and a fully-cached request never takes a queue slot at all.
+    for (std::size_t i = 0; i < request.workload_csvs.size(); ++i) {
+      serve::EstimateCache::Key key;
+      key.model_id = pending->model_id;
+      key.csv_hash =
+          serve::EstimateCache::workload_hash(request.workload_csvs[i]);
+      key.merge = request.merge;
+      if (std::optional<std::string> hit = estimate_cache_.lookup(key)) {
+        pending->cached[i] = std::move(*hit);
+      } else {
+        pending->miss_index.push_back(i);
+        pending->miss_hash.push_back(key.csv_hash);
+        shard_request.workload_csvs.push_back(request.workload_csvs[i]);
+      }
+    }
+
+    if (pending->miss_index.empty()) {
+      // Every workload answered from memory: reply inline on the reader
+      // thread. Byte-identity with a recompute holds because the cached
+      // value IS the encoded per-result block of a past reply.
+      if (chaos_swap) {
+        chaos_injected_.fetch_add(1, std::memory_order_relaxed);
+        std::string id;
+        std::string swap_error;
+        (void)swap_to_latest(request.model_class, &id, &swap_error);
+      }
+      try {
+        EstimateReply reply;
+        reply.model_id = pending->model_id;
+        reply.swap_generation = swap_generation();
+        reply.results.reserve(pending->cached.size());
+        for (const std::string& bytes : pending->cached) {
+          reply.results.push_back(
+              decode_workload_result(bytes, options_.limits));
+        }
+        send_frame(conn, FrameType::kEstimateReply, seq,
+                   encode_estimate_reply(reply, options_.limits));
+      } catch (const std::exception& e) {
+        send_error(conn, seq, ErrorCode::kInternal, e.what());
+      }
+      return;
+    }
+
+    shard_request.begin = [this, chaos_swap,
+                           model_class = request.model_class] {
+      // Dequeue: active before not-queued, so the drain predicate
+      // (queued == 0 && active == 0) never observes a request in neither
+      // set.
+      active_.fetch_add(1, std::memory_order_acq_rel);
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      if (chaos_swap) {
+        // The pump holds no locks here, so the swap (which takes the
+        // routing lock and may retire THIS shard) cannot deadlock; a
+        // retired shard still drains its queue, this request included.
+        chaos_injected_.fetch_add(1, std::memory_order_relaxed);
+        std::string id;
+        std::string error;
+        (void)swap_to_latest(model_class, &id, &error);
+      }
+    };
+    shard_request.complete = [this, pending](
+                                 std::vector<serve::BatchResult> results,
+                                 bool expired_in_queue) {
+      finish_estimate(pending, std::move(results), expired_in_queue);
+    };
+
+    queued_.fetch_add(1, std::memory_order_acq_rel);
+    const serve::Shard::Enqueue verdict =
+        shard->enqueue(std::move(shard_request));
+    if (verdict == serve::Shard::Enqueue::kAccepted) return;
+    queued_.fetch_sub(1, std::memory_order_acq_rel);
+    { util::MutexLock lock(drain_mutex_); }
+    drain_cv_.notify_all();
+    if (verdict == serve::Shard::Enqueue::kRetired && attempt == 0) {
+      continue;
+    }
+    shed_overloaded_.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, seq, ErrorCode::kOverloaded,
+               verdict == serve::Shard::Enqueue::kRetired
+                   ? "shard for model " + pending->model_id +
+                         " retired during routing"
+                   : "queue full (" + std::to_string(shard_bound()) +
+                         " pending requests for model " + pending->model_id +
+                         ")");
+    return;
+  }
 }
 
-void EstimationServer::run_estimate(const std::shared_ptr<RequestJob>& job) {
-  // Dequeue: active before not-queued, so the drain predicate
-  // (queued == 0 && active == 0) never observes a request in neither set.
-  active_.fetch_add(1, std::memory_order_acq_rel);
-  queued_.fetch_sub(1, std::memory_order_acq_rel);
+void EstimationServer::finish_estimate(
+    const std::shared_ptr<PendingEstimate>& pending,
+    std::vector<serve::BatchResult> results, bool expired_in_queue) {
   struct DrainGuard {
     EstimationServer* server;
     ~DrainGuard() {
@@ -516,102 +713,77 @@ void EstimationServer::run_estimate(const std::shared_ptr<RequestJob>& job) {
     }
   } guard{this};
 
+  if (expired_in_queue) {
+    // Deadline check #1 fired at dequeue: the request was never evaluated.
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    send_error(pending->conn, pending->seq, ErrorCode::kDeadlineExceeded,
+               "deadline expired while queued");
+    return;
+  }
   try {
-    const EstimateRequest request =
-        decode_estimate_request(job->payload, options_.limits);
-    const bool has_deadline = request.deadline_ms > 0;
-    const std::uint32_t deadline_ms =
-        std::min(request.deadline_ms, options_.max_deadline_ms);
-    const Clock::time_point deadline = job->received + ms(deadline_ms);
-    // Deadline check #1, at dequeue: a request that waited out its budget
-    // in the queue is never evaluated.
-    if (has_deadline && Clock::now() >= deadline) {
-      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
-      send_error(job->conn, job->seq, ErrorCode::kDeadlineExceeded,
-                 "deadline expired while queued");
-      return;
+    if (results.size() != pending->miss_index.size()) {
+      throw std::runtime_error("shard returned " +
+                               std::to_string(results.size()) +
+                               " results for " +
+                               std::to_string(pending->miss_index.size()) +
+                               " workloads");
     }
-    if (job->chaos_swap_mid_request) {
-      chaos_injected_.fetch_add(1, std::memory_order_relaxed);
-      std::string id;
-      std::string error;
-      (void)swap_to_latest(request.model_class, &id, &error);
+    EstimateReply reply;
+    reply.model_id = pending->model_id;
+    reply.swap_generation = swap_generation();
+    reply.results.reserve(pending->total_workloads);
+    std::size_t next_miss = 0;
+    for (std::size_t i = 0; i < pending->total_workloads; ++i) {
+      if (!pending->cached[i].empty()) {
+        reply.results.push_back(
+            decode_workload_result(pending->cached[i], options_.limits));
+        continue;
+      }
+      const serve::BatchResult& fresh = results[next_miss];
+      WorkloadResult result;
+      if (fresh.deadline_expired) {
+        // Deadline check #2, between batch slices: workloads the budget no
+        // longer covers are reported, not silently dropped.
+        deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+        result.status = ErrorCode::kDeadlineExceeded;
+        result.error = "deadline expired after " + std::to_string(i) +
+                       " of " + std::to_string(pending->total_workloads) +
+                       " workload(s)";
+      } else if (!fresh.ok()) {
+        result.status = ErrorCode::kEstimationFailed;
+        result.error =
+            bounded_message(fresh.error, options_.limits.max_error_bytes);
+      } else {
+        result.samples = static_cast<std::uint64_t>(fresh.samples);
+        result.throughput = fresh.estimate->throughput;
+        const std::size_t top = std::min(fresh.estimate->ranking.size(),
+                                         options_.limits.max_ranking);
+        result.ranking.reserve(top);
+        for (std::size_t j = 0; j < top; ++j) {
+          const model::MetricEstimate& r = fresh.estimate->ranking[j];
+          result.ranking.push_back(
+              {std::string(counters::event_name(r.metric)), r.p_bar,
+               static_cast<std::uint64_t>(r.samples)});
+        }
+        // Only kOk results are memoized: errors and expired slices must
+        // re-evaluate on retry, not replay from memory.
+        serve::EstimateCache::Key key;
+        key.model_id = pending->model_id;
+        key.csv_hash = pending->miss_hash[next_miss];
+        key.merge = pending->merge_byte;
+        estimate_cache_.insert(key,
+                               encode_workload_result(result, options_.limits));
+      }
+      ++next_miss;
+      reply.results.push_back(std::move(result));
     }
-    const EstimateReply reply = evaluate(request, deadline, has_deadline);
-    send_frame(job->conn, FrameType::kEstimateReply, job->seq,
+    send_frame(pending->conn, FrameType::kEstimateReply, pending->seq,
                encode_estimate_reply(reply, options_.limits));
   } catch (const ProtocolError& e) {
-    malformed_frames_.fetch_add(1, std::memory_order_relaxed);
-    send_error(job->conn, job->seq, e.code(), e.what());
+    send_error(pending->conn, pending->seq, e.code(), e.what());
   } catch (const std::exception& e) {
-    send_error(job->conn, job->seq, ErrorCode::kInternal, e.what());
+    send_error(pending->conn, pending->seq, ErrorCode::kInternal, e.what());
   }
-}
-
-EstimateReply EstimationServer::evaluate(const EstimateRequest& request,
-                                         Clock::time_point deadline,
-                                         bool has_deadline) {
-  SlotSnapshot snapshot;
-  if (!request.model_id.empty()) {
-    try {
-      snapshot.model = registry_.open(request.model_id);
-      snapshot.id = request.model_id;
-    } catch (const std::exception& e) {
-      throw ProtocolError(ErrorCode::kModelUnavailable, e.what());
-    }
-  } else {
-    std::string error;
-    snapshot = resolve_slot(request.model_class, &error);
-    if (!snapshot.model) {
-      throw ProtocolError(ErrorCode::kModelUnavailable, error);
-    }
-  }
-
-  EstimateReply reply;
-  reply.model_id = snapshot.id;
-  reply.swap_generation = swap_generation();
-  const serve::EvalTables tables = snapshot.model->tables();
-  const model::Merge merge = request.merge == 0 ? model::Merge::kTimeWeighted
-                                                : model::Merge::kUnweighted;
-  reply.results.reserve(request.workload_csvs.size());
-  for (std::size_t i = 0; i < request.workload_csvs.size(); ++i) {
-    WorkloadResult result;
-    // Deadline check #2, between batch slices: workloads the budget no
-    // longer covers are reported, not silently dropped.
-    if (has_deadline && Clock::now() >= deadline) {
-      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
-      result.status = ErrorCode::kDeadlineExceeded;
-      result.error = "deadline expired after " + std::to_string(i) + " of " +
-                     std::to_string(request.workload_csvs.size()) +
-                     " workload(s)";
-      reply.results.push_back(std::move(result));
-      continue;
-    }
-    try {
-      std::istringstream in(request.workload_csvs[i]);
-      const sampling::Dataset data = sampling::Dataset::load_csv(in);
-      const sampling::DatasetView view(data);
-      result.samples = view.size();
-      const model::Estimate estimate =
-          serve::estimate_tables(tables, view, merge);
-      result.throughput = estimate.throughput;
-      const std::size_t top =
-          std::min(estimate.ranking.size(), options_.limits.max_ranking);
-      result.ranking.reserve(top);
-      for (std::size_t j = 0; j < top; ++j) {
-        const model::MetricEstimate& r = estimate.ranking[j];
-        result.ranking.push_back(
-            {std::string(counters::event_name(r.metric)), r.p_bar,
-             static_cast<std::uint64_t>(r.samples)});
-      }
-    } catch (const std::exception& e) {
-      result.status = ErrorCode::kEstimationFailed;
-      result.error =
-          bounded_message(e.what(), options_.limits.max_error_bytes);
-    }
-    reply.results.push_back(std::move(result));
-  }
-  return reply;
 }
 
 // --- replies ----------------------------------------------------------------
@@ -793,25 +965,110 @@ void EstimationServer::reap_finished_connections_locked() {
 // --- observability ----------------------------------------------------------
 
 StatsReply EstimationServer::stats_snapshot() const {
+  std::uint64_t coalesced_batches = 0;
+  std::uint64_t coalesced_requests = 0;
+  std::uint64_t max_batch = 0;
+  std::uint64_t shards_active = 0;
+  std::uint64_t shards_draining = 0;
+  {
+    // kSlots (40) < kShardQueue (45): taking each shard's stats under the
+    // routing lock follows the rank order.
+    util::MutexLock lock(slots_mutex_);
+    shards_active = shards_.size();
+    const auto fold = [&](const std::shared_ptr<serve::Shard>& shard) {
+      const serve::Shard::Stats s = shard->stats();
+      coalesced_batches += s.batches;
+      coalesced_requests += s.batched_requests;
+      max_batch = std::max(max_batch, s.max_batch_requests);
+    };
+    for (const auto& [id, shard] : shards_) fold(shard);
+    for (const auto& weak : draining_shards_) {
+      if (const std::shared_ptr<serve::Shard> shard = weak.lock()) {
+        fold(shard);
+        ++shards_draining;
+      }
+    }
+  }
+  const serve::EstimateCache::Stats cache = estimate_cache_.stats();
+  const serve::ModelRegistry::CacheStats registry_cache =
+      registry_.cache_stats();
   StatsReply stats;
   stats.counters = {
       {"accepted_connections",
        accepted_connections_.load(std::memory_order_relaxed)},
       {"active_requests", active_.load(std::memory_order_relaxed)},
+      {"cache_evictions", cache.evictions},
+      {"cache_hits", cache.hits},
+      {"cache_misses", cache.misses},
       {"chaos_injected", chaos_injected_.load(std::memory_order_relaxed)},
+      {"coalesced_batches", coalesced_batches},
+      {"coalesced_requests", coalesced_requests},
       {"deadline_expired", deadline_expired_.load(std::memory_order_relaxed)},
       {"estimate_requests",
        estimate_requests_.load(std::memory_order_relaxed)},
       {"frames_received", frames_received_.load(std::memory_order_relaxed)},
       {"io_timeouts", io_timeouts_.load(std::memory_order_relaxed)},
       {"malformed_frames", malformed_frames_.load(std::memory_order_relaxed)},
+      {"max_batch_requests", max_batch},
       {"queue_depth", queued_.load(std::memory_order_relaxed)},
+      {"registry_cache_evictions", registry_cache.evictions},
+      {"registry_cache_hits", registry_cache.hits},
+      {"registry_cache_misses", registry_cache.misses},
       {"replies_error", replies_error_.load(std::memory_order_relaxed)},
       {"replies_ok", replies_ok_.load(std::memory_order_relaxed)},
+      {"shards_active", shards_active},
+      {"shards_created", shards_created_.load(std::memory_order_relaxed)},
+      {"shards_draining", shards_draining},
+      {"shards_retired", shards_retired_.load(std::memory_order_relaxed)},
       {"shed_overloaded", shed_overloaded_.load(std::memory_order_relaxed)},
       {"swap_generation", generation_.load(std::memory_order_relaxed)},
   };
   return stats;
+}
+
+ShardsReply EstimationServer::shards_snapshot() const {
+  ShardsReply reply;
+  util::MutexLock lock(slots_mutex_);
+  // Reverse the class -> shard bindings into per-shard class lists
+  // (bindings_ iterates in class order, so each list comes out sorted).
+  std::map<const serve::Shard*, std::vector<std::string>> classes;
+  for (const auto& [cls, shard] : bindings_) {
+    if (shard) classes[shard.get()].push_back(cls);
+  }
+  const auto row = [&](const std::shared_ptr<serve::Shard>& shard) {
+    const serve::Shard::Stats s = shard->stats();
+    ShardInfo info;
+    info.model_id = shard->model_id();
+    if (const auto it = classes.find(shard.get()); it != classes.end()) {
+      info.classes = it->second;
+      if (info.classes.size() > options_.limits.max_stats) {
+        info.classes.resize(options_.limits.max_stats);
+      }
+    }
+    info.queue_depth = s.queue_depth;
+    info.enqueued = s.enqueued;
+    info.shed = s.shed_full + s.shed_retired;
+    info.completed = s.completed;
+    info.batches = s.batches;
+    info.max_batch = s.max_batch_requests;
+    info.retired = s.retired ? 1 : 0;
+    return info;
+  };
+  for (const auto& [id, shard] : shards_) reply.shards.push_back(row(shard));
+  for (const auto& weak : draining_shards_) {
+    if (const std::shared_ptr<serve::Shard> shard = weak.lock()) {
+      reply.shards.push_back(row(shard));
+    }
+  }
+  std::sort(reply.shards.begin(), reply.shards.end(),
+            [](const ShardInfo& a, const ShardInfo& b) {
+              return std::tie(a.model_id, a.retired) <
+                     std::tie(b.model_id, b.retired);
+            });
+  if (reply.shards.size() > options_.limits.max_shards) {
+    reply.shards.resize(options_.limits.max_shards);
+  }
+  return reply;
 }
 
 #endif  // !_WIN32

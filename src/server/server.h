@@ -15,17 +15,26 @@
 //  * parsing: the strict bounded protocol parser (server/protocol.h);
 //    malformed input becomes a structured kErrorReply, and only errors
 //    that poison the stream framing close the connection;
-//  * concurrency: estimate requests run on the shared util::ThreadPool
-//    behind admission control — a bounded queue that sheds with
-//    kOverloaded instead of buffering unboundedly;
+//  * sharded routing: every model id gets its own serve::Shard — a pinned
+//    mapping, a bounded request FIFO, and a batch coalescer pumping on the
+//    shared util::ThreadPool. Requests route by explicit model id or
+//    through a class -> shard binding; admission control is PER SHARD, so
+//    one hot model's flood sheds with kOverloaded while every other shard
+//    keeps serving (DESIGN.md §14);
+//  * memo-cache: a serve::EstimateCache keyed on (model id, fnv1a64 of the
+//    workload CSV bytes, merge) answers repeat requests from memory with
+//    reply payloads byte-identical to a recompute, consulted before
+//    enqueue and filled after evaluation;
 //  * deadlines: each request's relative deadline is pinned to an absolute
-//    steady_clock instant at frame receipt and enforced twice — at
-//    dequeue (an expired request is never evaluated) and between workload
-//    slices inside a batch (remaining slices report kDeadlineExceeded);
-//  * hot swap: per-class model slots hold shared_ptr<const MappedModel>;
-//    a swap resolves the registry's latest id and bumps an observable
-//    generation counter, while in-flight requests finish on the mapping
-//    they snapshotted — graceful drain of the old model for free;
+//    steady_clock instant at frame receipt and enforced twice — when the
+//    shard pump dequeues it (an expired request is never evaluated) and
+//    between workload slices inside a coalesced batch (remaining slices
+//    report kDeadlineExceeded);
+//  * hot swap: a swap resolves the registry's latest id, atomically
+//    repoints the class -> shard binding, and retires the old shard when
+//    nothing else routes to it — retired shards reject new work but drain
+//    everything already queued, so in-flight requests finish on the model
+//    they were routed to and still get exactly one reply each;
 //  * shutdown: begin_shutdown() (or SIGTERM/SIGINT via the self-pipe
 //    handlers) stops accepting, answers new requests with kShuttingDown,
 //    and drains in-flight work within a timeout;
@@ -36,6 +45,8 @@
 // Invariant the chaos suite enforces: every complete, well-framed request
 // frame receives exactly one reply frame (success or structured error) —
 // torn frames (never completed) receive none, and the connection closes.
+// The invariant survives shard retirement: a mid-request swap may retire
+// the shard a request sits in, but the shard drains its queue regardless.
 #pragma once
 
 #include <atomic>
@@ -47,8 +58,9 @@
 #include <thread>
 #include <vector>
 
-#include "serve/mapped_model.h"
+#include "serve/estimate_cache.h"
 #include "serve/registry.h"
+#include "serve/shard.h"
 #include "server/chaos.h"
 #include "server/protocol.h"
 #include "util/thread_annotations.h"
@@ -59,11 +71,20 @@ namespace spire::server {
 struct ServerOptions {
   /// UNIX-domain socket path for start(); unused by serve_connection_fds.
   std::string socket_path;
-  /// Worker threads evaluating estimate requests.
+  /// Worker threads pumping shard batches.
   std::size_t workers = 4;
-  /// Admission bound: estimate requests queued-but-not-started beyond this
-  /// are shed with kOverloaded.
+  /// Default per-shard admission bound (kept under its historical name:
+  /// with one model it behaves exactly like the old global queue bound).
   std::size_t max_queue = 64;
+  /// Per-shard admission bound override; 0 = use max_queue. Requests
+  /// enqueued beyond the bound on THEIR shard are shed with kOverloaded —
+  /// other shards are unaffected.
+  std::size_t shard_queue = 0;
+  /// How many queued requests one shard pump round coalesces into a
+  /// single batch evaluation.
+  std::size_t shard_batch = 16;
+  /// Estimate memo-cache entries across all models; 0 disables caching.
+  std::size_t cache_entries = 256;
   /// Per-connection budget for finishing one frame read / one reply write
   /// once started; a peer that stalls mid-frame is disconnected.
   int read_timeout_ms = 10'000;
@@ -81,7 +102,7 @@ class EstimationServer {
  public:
   /// The registry must outlive the server. No model is resolved yet;
   /// call set_model / swap_to_latest, or let the first request trigger a
-  /// lazy resolve of its class slot.
+  /// lazy resolve of its class binding.
   EstimationServer(serve::ModelRegistry& registry, ServerOptions options);
 
   /// Equivalent to begin_shutdown() + wait_until_drained().
@@ -92,22 +113,25 @@ class EstimationServer {
 
   // --- model routing --------------------------------------------------------
 
-  /// Pins `model_class`'s slot to an explicit registry id. Throws when the
-  /// id is malformed or unknown.
+  /// Binds `model_class` to the shard serving an explicit registry id
+  /// (creating the shard if needed). Throws when the id is malformed or
+  /// unknown.
   void set_model(const std::string& id, const std::string& model_class = "")
       SPIRE_EXCLUDES(slots_mutex_);
 
-  /// Resolves the registry's latest id into `model_class`'s slot and bumps
-  /// the swap generation. Returns false (with `error` filled) when the
-  /// registry is empty or the artifact cannot be mapped; the slot keeps
-  /// serving its previous model in that case.
+  /// Resolves the registry's latest id, repoints `model_class`'s binding
+  /// at its shard, retires the previous shard when no binding routes to it
+  /// anymore, and bumps the swap generation. Returns false (with `error`
+  /// naming the registry root and the candidate id) when the registry is
+  /// empty or the artifact cannot be mapped; the binding keeps serving its
+  /// previous shard in that case.
   bool swap_to_latest(const std::string& model_class, std::string* id_out,
                       std::string* error_out) SPIRE_EXCLUDES(slots_mutex_);
 
-  /// Current id of the default class slot ("" when nothing resolved yet).
+  /// Current id of the default class binding ("" when nothing resolved yet).
   std::string current_model_id() const SPIRE_EXCLUDES(slots_mutex_);
 
-  /// Total successful swaps across all slots. Monotonic; observable via
+  /// Total successful swaps across all bindings. Monotonic; observable via
   /// stats and in every estimate reply.
   std::uint64_t swap_generation() const {
     return generation_.load(std::memory_order_acquire);
@@ -154,14 +178,17 @@ class EstimationServer {
 
   // --- observability --------------------------------------------------------
 
-  StatsReply stats_snapshot() const;
+  StatsReply stats_snapshot() const SPIRE_EXCLUDES(slots_mutex_);
+
+  /// One row per live or draining shard, sorted by model id.
+  ShardsReply shards_snapshot() const SPIRE_EXCLUDES(slots_mutex_);
 
   const ServerOptions& options() const { return options_; }
   const std::string& socket_path() const { return options_.socket_path; }
 
  private:
   struct Connection;
-  struct RequestJob;
+  struct PendingEstimate;
 
   /// Owns `listen_fd` (a bound, listening socket) for its whole run and
   /// closes it on exit. The descriptor is handed over by value from
@@ -179,46 +206,69 @@ class EstimationServer {
   /// One frame: reads, parses, dispatches; returns false when the
   /// connection should close.
   bool serve_one_frame(const std::shared_ptr<Connection>& conn);
+  /// Parses, routes, consults the cache, and enqueues on the target shard
+  /// — all on the reader thread. Full cache hits reply immediately.
   void dispatch_estimate(const std::shared_ptr<Connection>& conn,
-                         std::uint64_t seq, std::string payload,
+                         std::uint64_t seq, const std::string& payload,
                          std::chrono::steady_clock::time_point received);
-  void run_estimate(const std::shared_ptr<RequestJob>& job);
-  EstimateReply evaluate(const EstimateRequest& request,
-                         std::chrono::steady_clock::time_point deadline,
-                         bool has_deadline);
+  /// Shard completion callback body: assembles the reply from cached and
+  /// fresh results, fills the cache, sends, and settles drain accounting.
+  void finish_estimate(const std::shared_ptr<PendingEstimate>& pending,
+                       std::vector<serve::BatchResult> results,
+                       bool expired_in_queue);
 
   bool send_frame(const std::shared_ptr<Connection>& conn, FrameType type,
                   std::uint64_t seq, const std::string& payload);
   bool send_error(const std::shared_ptr<Connection>& conn, std::uint64_t seq,
                   ErrorCode code, const std::string& message);
 
-  /// Snapshot of a class slot for one request: the mapping the request
-  /// will finish on even if a swap lands mid-flight.
-  struct SlotSnapshot {
-    std::shared_ptr<const serve::MappedModel> model;
-    std::string id;
-  };
-  SlotSnapshot resolve_slot(const std::string& model_class,
-                            std::string* error_out)
+  /// Returns the shard serving `id`, creating (and registering) it on
+  /// first use. Null with `error_out` filled when the id cannot be opened.
+  std::shared_ptr<serve::Shard> shard_for_id(const std::string& id,
+                                             std::string* error_out)
       SPIRE_EXCLUDES(slots_mutex_);
+  /// Resolves `model_class`'s binding, lazily swapping to the registry's
+  /// latest on first use. Null with `error_out` filled on failure.
+  std::shared_ptr<serve::Shard> route_class(const std::string& model_class,
+                                            std::string* error_out)
+      SPIRE_EXCLUDES(slots_mutex_);
+  /// Repoints `model_class` -> `shard`; retires the displaced shard when
+  /// no binding routes to it anymore.
+  void rebind(const std::string& model_class,
+              const std::shared_ptr<serve::Shard>& shard)
+      SPIRE_EXCLUDES(slots_mutex_);
+
+  std::size_t shard_bound() const {
+    return options_.shard_queue > 0 ? options_.shard_queue
+                                    : options_.max_queue;
+  }
 
   serve::ModelRegistry& registry_;
   ServerOptions options_;
 
-  // Model slots: class name -> current mapping. generation_ counts swaps.
-  struct Slot {
-    std::shared_ptr<const serve::MappedModel> model;
-    std::string id;
-  };
+  // Shard routing state. shards_: canonical model id -> live shard;
+  // bindings_: class name -> the shard its traffic routes to. A shard
+  // displaced from its last binding moves to draining_shards_ (weak: the
+  // row disappears from listings once the last reference drops).
   mutable util::Mutex slots_mutex_{util::lock_rank::Rank::kSlots,
                                    "server-slots"};
-  std::map<std::string, Slot> slots_ SPIRE_GUARDED_BY(slots_mutex_);
+  std::map<std::string, std::shared_ptr<serve::Shard>> shards_
+      SPIRE_GUARDED_BY(slots_mutex_);
+  std::map<std::string, std::shared_ptr<serve::Shard>> bindings_
+      SPIRE_GUARDED_BY(slots_mutex_);
+  std::vector<std::weak_ptr<serve::Shard>> draining_shards_
+      SPIRE_GUARDED_BY(slots_mutex_);
   std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::uint64_t> shards_created_{0};
+  std::atomic<std::uint64_t> shards_retired_{0};
+
+  serve::EstimateCache estimate_cache_;
 
   std::unique_ptr<util::ThreadPool> pool_;
 
-  // Admission / drain accounting. queued_: submitted, not yet started;
-  // active_: currently evaluating. Both zero = drained.
+  // Admission / drain accounting. queued_: accepted into a shard queue,
+  // not yet begun; active_: currently evaluating (or assembling a reply).
+  // Both zero = drained.
   std::atomic<std::size_t> queued_{0};
   std::atomic<std::size_t> active_{0};
   util::Mutex drain_mutex_{util::lock_rank::Rank::kDrain, "server-drain"};

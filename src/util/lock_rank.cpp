@@ -23,8 +23,12 @@ const char* rank_name(Rank rank) {
       return "connections";
     case Rank::kSlots:
       return "slots";
+    case Rank::kShardQueue:
+      return "shard-queue";
     case Rank::kRegistry:
       return "registry";
+    case Rank::kEstimateCache:
+      return "estimate-cache";
     case Rank::kDrain:
       return "drain";
     case Rank::kPoolQueue:

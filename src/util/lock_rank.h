@@ -47,8 +47,10 @@ enum class Rank : int {
   kJoin = 10,             // server: join_threads() serialization
   kLifecycle = 20,        // server: drain lifecycle flags + start state
   kConnections = 30,      // server: connection-worker list
-  kSlots = 40,            // server: model hot-swap slots
+  kSlots = 40,            // server: shard + class-binding maps
+  kShardQueue = 45,       // serve::Shard pending-request FIFO
   kRegistry = 50,         // serve::ModelRegistry LRU + live-mapping maps
+  kEstimateCache = 55,    // serve::EstimateCache per-stripe LRU
   kDrain = 60,            // server: drain accounting condvar mutex
   kPoolQueue = 70,        // util::ThreadPool work queue
   kConnectionWrite = 80,  // server: per-connection reply stream

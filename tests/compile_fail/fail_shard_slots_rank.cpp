@@ -1,0 +1,41 @@
+// MUST NOT COMPILE under -Werror=thread-safety-beta.
+//
+// Violation: the sharded serving path's declared order is server-slots
+// (rank 40) before shard-queue (rank 45) — stats_snapshot and the shards
+// listing fold serve::Shard::stats() (which takes the shard's queue
+// mutex) while holding the router's slots_mutex_, so the reverse nesting
+// would deadlock against routing. This fixture inverts that edge the same
+// way fail_out_of_rank.cpp inverts join/connections. Expected diagnostic:
+// "Cycle in acquired_before/after dependencies" or "mutex 'slots_' must
+// be acquired before 'queue_'".
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Router {
+ public:
+  void stats_snapshot_order() {
+    spire::util::MutexLock slots_lock(slots_);
+    spire::util::MutexLock queue_lock(queue_);  // fine: declared
+  }
+
+  void inverted_order() {
+    spire::util::MutexLock queue_lock(queue_);
+    spire::util::MutexLock slots_lock(slots_);  // BAD: violates ACQUIRED_AFTER
+  }
+
+ private:
+  spire::util::Mutex slots_{spire::util::lock_rank::Rank::kSlots,
+                            "server-slots"};
+  spire::util::Mutex queue_ SPIRE_ACQUIRED_AFTER(slots_){
+      spire::util::lock_rank::Rank::kShardQueue, "shard-queue"};
+};
+
+}  // namespace
+
+int main() {
+  Router router;
+  router.stats_snapshot_order();
+  router.inverted_order();
+  return 0;
+}

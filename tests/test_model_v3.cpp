@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -102,7 +104,12 @@ void expect_identical(const Estimate& a, const Estimate& b) {
 }
 
 std::string temp_path(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  // Parallel ctest runs each case of this binary as its own process, and
+  // several cases (notably every FuzzModelV3 instance) use the same file
+  // names — pid-suffix them so one process never truncates a file another
+  // is mid-mmap on (which showed up as SIGBUS under `ctest -j`).
+  return ::testing::TempDir() + "/" +
+         std::to_string(static_cast<unsigned>(::getpid())) + "_" + name;
 }
 
 void write_file(const std::string& path, const std::string& bytes) {
@@ -584,6 +591,47 @@ TEST(ModelRegistry, OpenSharesOneMappingThroughTheCache) {
   EXPECT_EQ(m1.get(), small.open(id1).get());
 }
 
+// The mapping-cache counters the server surfaces as registry_cache_* in
+// `serverctl stats`: every open() is exactly one hit (LRU splice or
+// live-mapping resurrect) or one miss (fresh mmap), and every LRU
+// tail-drop is one eviction. gc() dropping the whole cache is not an
+// eviction — the counters measure capacity pressure, not collection.
+TEST(ModelRegistry, CacheCountersTrackHitsMissesAndEvictionsExactly) {
+  ModelRegistry registry(fresh_registry_root("reg_counters"), 1);
+  const std::string id1 = registry.publish(trained_ensemble(17));
+  const std::string id2 = registry.publish(trained_ensemble(29));
+  ASSERT_NE(id1, id2);
+  auto stats = [&] { return registry.cache_stats(); };
+  EXPECT_EQ(stats().hits, 0u);
+  EXPECT_EQ(stats().misses, 0u);
+  EXPECT_EQ(stats().evictions, 0u);
+
+  (void)registry.open(id1);  // fresh mmap
+  EXPECT_EQ(stats().misses, 1u);
+  (void)registry.open(id1);  // LRU front
+  EXPECT_EQ(stats().hits, 1u);
+  (void)registry.open(id2);  // fresh mmap; capacity 1 drops id1
+  EXPECT_EQ(stats().misses, 2u);
+  EXPECT_EQ(stats().evictions, 1u);
+  const auto keep = registry.open(id2);  // LRU front again
+  EXPECT_EQ(stats().hits, 2u);
+  (void)registry.open(id1);  // remapped; id2 drops from the LRU...
+  EXPECT_EQ(stats().misses, 3u);
+  EXPECT_EQ(stats().evictions, 2u);
+  // ...but `keep` still holds id2 alive, so reopening it resurrects the
+  // mapping through the tracking map: a hit, the same bytes, no mmap.
+  EXPECT_EQ(registry.open(id2).get(), keep.get());
+  EXPECT_EQ(stats().hits, 3u);
+  EXPECT_EQ(stats().evictions, 3u);  // the re-front pushed id1 out
+
+  // gc() drops the LRU wholesale without touching the eviction count.
+  const auto before = stats();
+  (void)registry.gc();
+  EXPECT_EQ(stats().evictions, before.evictions);
+  EXPECT_EQ(stats().hits, before.hits);
+  EXPECT_EQ(stats().misses, before.misses);
+}
+
 TEST(ModelRegistry, GcKeepsPinnedAndLiveObjectsOnly) {
   ModelRegistry registry(fresh_registry_root("reg_gc"));
   const std::string pinned = registry.publish(trained_ensemble(17));
@@ -680,6 +728,14 @@ TEST(ModelRegistry, CacheIterationSurvivesConcurrentOpenPublishAndGc) {
   EXPECT_EQ(opens.load(), 4 * 300);
   // Everything pinned survived every gc pass.
   EXPECT_EQ(registry.list().size(), ids.size());
+  // Counter accounting holds under the same pressure: every open was
+  // exactly one hit or one miss, and rotating four ids through a
+  // capacity-2 LRU forced eviction traffic.
+  const ModelRegistry::CacheStats stats = registry.cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses, static_cast<std::uint64_t>(4 * 300));
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
 }
 
 TEST(ModelRegistry, LatestTracksMtimeWithDeterministicTieBreak) {

@@ -842,5 +842,245 @@ TEST_F(ServerTest, StatsSnapshotsUnderTrafficStayMonotonicAndBounded) {
   EXPECT_GT(last["estimate_requests"], 0u);
 }
 
+// --------------------------------------------------------------------------
+// Sharded routing, the memo-cache, and the shards listing
+// --------------------------------------------------------------------------
+
+// The estimate memo-cache must be invisible except in latency: a repeat of
+// the exact same request returns the byte-identical reply payload, served
+// without touching a shard queue.
+TEST_F(ServerTest, CacheHitRepliesAreByteIdenticalAndServedFromMemory) {
+  boot();
+  const Limits limits;
+  EstimateRequest request;
+  request.workload_csvs = {workload_csv(21, 10), workload_csv(22, 10)};
+  const std::string body = encode_estimate_request(request, limits);
+
+  FrameHeader header;
+  std::string first, second;
+  ASSERT_TRUE(raw_exchange(server_->socket_path(),
+                           encode_frame(FrameType::kEstimateRequest, 1, body,
+                                        limits),
+                           &header, &first));
+  ASSERT_EQ(header.type, FrameType::kEstimateReply);
+  EXPECT_EQ(counter("cache_misses"), 2u);
+  EXPECT_EQ(counter("cache_hits"), 0u);
+
+  ASSERT_TRUE(raw_exchange(server_->socket_path(),
+                           encode_frame(FrameType::kEstimateRequest, 1, body,
+                                        limits),
+                           &header, &second));
+  ASSERT_EQ(header.type, FrameType::kEstimateReply);
+  EXPECT_EQ(first, second) << "cache hit altered the reply bytes";
+  EXPECT_EQ(counter("cache_hits"), 2u);
+  EXPECT_EQ(counter("cache_misses"), 2u);
+  // The repeat never reached a shard: exactly the one coalesced request.
+  EXPECT_EQ(counter("coalesced_requests"), 1u);
+  // The reply reaches the client just before the server bumps its reply
+  // counter, so observe it with a grace window.
+  EXPECT_TRUE(wait_for_counter("replies_ok", 2));
+
+  // And the cached bytes decode to the same correct estimate.
+  const EstimateReply reply = decode_estimate_reply(second, limits);
+  ASSERT_EQ(reply.results.size(), 2u);
+  const Ensemble local = trained_ensemble(17);
+  const Dataset workload = mixed_workload(21, 10);
+  ASSERT_EQ(reply.results[0].status, ErrorCode::kOk);
+  EXPECT_EQ(reply.results[0].throughput,
+            local.estimate(DatasetView(workload)).throughput);
+}
+
+// Overload is per shard: saturating model A's bounded queue must shed A
+// traffic with kOverloaded while model B estimates sail through.
+TEST_F(ServerTest, PerShardOverloadIsolationUnderSaturation) {
+  ServerOptions options;
+  options.workers = 2;
+  options.shard_queue = 1;
+  // The hogs below resend one workload; memoization would turn their
+  // repeats into inline cache hits and let the shard drain.
+  options.cache_entries = 0;
+  options.limits.max_frame_bytes = 64u << 20;
+  boot(options);
+  const std::string second_id = registry_->publish(trained_ensemble(29));
+  ASSERT_NE(second_id, model_id_);
+
+  // Two hogs keep shard A saturated: each hog request carries four huge
+  // workload slices (evaluated serially by the pump), so the pump stays
+  // busy far longer than the instant it takes a hog to refill the single
+  // queue slot after a pop.
+  std::atomic<bool> stop{false};
+  const std::string huge = workload_csv(11, 25'000);
+  auto hog = [&] {
+    Client c(client_options(1));
+    while (!stop.load(std::memory_order_acquire)) {
+      EstimateRequest r;
+      r.model_id = model_id_;
+      r.workload_csvs = {huge, huge, huge, huge};
+      try {
+        (void)c.estimate(r);
+      } catch (const std::exception&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  };
+  std::thread h1(hog);
+  std::thread h2(hog);
+  EXPECT_TRUE(wait_for_counter("active_requests", 1));
+
+  // While a hog request is verifiably parked in the single queue slot, a
+  // small A request must shed kOverloaded. The probe can still slip into
+  // the slot if the pump pops the parked request during the probe's
+  // flight time — a window of microseconds against an evaluation lasting
+  // hundreds of milliseconds — so retry a bounded number of times.
+  bool shed_seen = false;
+  const std::string small = workload_csv(13, 3);
+  for (int attempt = 0; attempt < 10 && !shed_seen; ++attempt) {
+    if (!wait_for_counter("queue_depth", 1)) break;
+    Client probe(client_options(1));
+    EstimateRequest r;
+    r.model_id = model_id_;
+    r.workload_csvs = {small};
+    try {
+      (void)probe.estimate(r);
+    } catch (const ServerUnavailable&) {
+      shed_seen = true;
+    }
+  }
+  EXPECT_TRUE(shed_seen) << "saturated shard never shed";
+  EXPECT_GE(counter("shed_overloaded"), 1u);
+
+  // ...while model B, on its own shard and the second worker, sails
+  // through every single time.
+  Client b_client(client_options());
+  for (std::uint64_t seed = 20; seed < 23; ++seed) {
+    EstimateRequest fine;
+    fine.model_id = second_id;
+    fine.workload_csvs = {workload_csv(seed, 5)};
+    const EstimateReply reply = b_client.estimate(fine);
+    EXPECT_EQ(reply.model_id, second_id);
+    EXPECT_EQ(reply.results.size(), 1u);
+    for (const auto& result : reply.results) {
+      EXPECT_EQ(result.status, ErrorCode::kOk) << result.error;
+    }
+  }
+  EXPECT_GE(counter("shards_active"), 2u);
+
+  stop.store(true, std::memory_order_release);
+  h1.join();
+  h2.join();
+}
+
+// Chaos variant: a mid-request swap that retires the shard the request is
+// riding on must not cost the request its reply — the pump holds the shard
+// alive until its queue drains, so every in-flight request completes.
+TEST_F(ServerTest, MidRequestSwapRetiresShardButEveryReplyArrives) {
+  ServerOptions options;
+  options.chaos.swap_mid_request = 1.0;  // every request swaps at dequeue
+  options.chaos.seed = 7;
+  boot(options);
+
+  Client client(client_options());
+  auto estimate = [&](std::uint64_t seed) {
+    EstimateRequest request;
+    request.workload_csvs = {workload_csv(seed, 5)};
+    const EstimateReply reply = client.estimate(request);
+    EXPECT_EQ(reply.results.size(), 1u);
+    EXPECT_EQ(reply.results[0].status, ErrorCode::kOk)
+        << reply.results[0].error;
+    return reply.model_id;
+  };
+  // Binds the default class to the only published model; the chaos swap
+  // re-resolves to the same id, so nothing is displaced yet.
+  EXPECT_EQ(estimate(31), model_id_);
+
+  // Publish a newer model and make it win latest(): the next request is
+  // routed to the old shard, then the mid-request swap rebinds the class
+  // and retires that shard while the request is still in flight.
+  const std::string second_id = registry_->publish(trained_ensemble(29));
+  ASSERT_NE(second_id, model_id_);
+  std::filesystem::last_write_time(
+      registry_->object_path(second_id),
+      std::filesystem::file_time_type::clock::now() + std::chrono::seconds(2));
+  EXPECT_EQ(estimate(32), model_id_);  // rode the retired shard to completion
+  EXPECT_GE(counter("shards_retired"), 1u);
+  EXPECT_GE(counter("chaos_injected"), 2u);
+
+  // Traffic keeps flowing on the replacement shard.
+  EXPECT_EQ(estimate(33), second_id);
+  EXPECT_EQ(estimate(34), second_id);
+  EXPECT_TRUE(wait_for_counter("replies_ok", 4));
+}
+
+// `serverctl shards` ground truth: the listing names every live shard with
+// its class bindings and queue/coalescing counters, flags retirement after
+// a swap displaces a shard, and the registry mapping-cache counters the
+// shards feed are visible in stats.
+TEST_F(ServerTest, ShardsListingReflectsRoutingAndRetirement) {
+  boot();
+  Client client(client_options());
+
+  // Class-routed traffic binds the default class to model A...
+  EstimateRequest by_class;
+  by_class.workload_csvs = {workload_csv(41, 5)};
+  ASSERT_EQ(client.estimate(by_class).model_id, model_id_);
+  // ...then explicit-id traffic spins up an unbound shard for model B.
+  const std::string second_id = registry_->publish(trained_ensemble(29));
+  EstimateRequest by_id;
+  by_id.model_id = second_id;
+  by_id.workload_csvs = {workload_csv(42, 5)};
+  ASSERT_EQ(client.estimate(by_id).model_id, second_id);
+
+  ShardsReply listing = client.shards();
+  ASSERT_EQ(listing.shards.size(), 2u);
+  std::map<std::string, ShardInfo> rows;
+  for (const auto& row : listing.shards) rows[row.model_id] = row;
+  ASSERT_TRUE(rows.count(model_id_));
+  ASSERT_TRUE(rows.count(second_id));
+  EXPECT_EQ(rows[model_id_].classes, std::vector<std::string>{""});
+  EXPECT_TRUE(rows[second_id].classes.empty());
+  for (const auto& [id, row] : rows) {
+    EXPECT_GE(row.enqueued, 1u) << id;
+    EXPECT_GE(row.completed, 1u) << id;
+    EXPECT_GE(row.batches, 1u) << id;
+    EXPECT_EQ(row.queue_depth, 0u) << id;
+    EXPECT_EQ(row.shed, 0u) << id;
+    EXPECT_EQ(row.retired, 0u) << id;
+  }
+
+  // Swap the default class onto model B: shard A loses its last binding
+  // and is retired; the listing either shows it draining or, once its
+  // pump released the last reference, drops the row entirely.
+  std::filesystem::last_write_time(
+      registry_->object_path(second_id),
+      std::filesystem::file_time_type::clock::now() + std::chrono::seconds(2));
+  const SwapReply swapped = client.swap();
+  EXPECT_EQ(swapped.model_id, second_id);
+  listing = client.shards();
+  bool saw_live_b = false;
+  for (const auto& row : listing.shards) {
+    if (row.model_id == second_id && row.retired == 0) {
+      saw_live_b = true;
+      EXPECT_EQ(row.classes, std::vector<std::string>{""});
+    }
+    if (row.model_id == model_id_) {
+      EXPECT_EQ(row.retired, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_live_b);
+  EXPECT_GE(counter("shards_retired"), 1u);
+  EXPECT_EQ(counter("shards_active"), 1u);
+
+  // The registry mapping-cache counters surface through the same stats
+  // pipe: each shard's model was mapped exactly once (two misses), and
+  // the keys exist even when zero.
+  EXPECT_GE(counter("registry_cache_misses"), 2u);
+  const StatsReply stats = server_->stats_snapshot();
+  std::map<std::string, std::uint64_t> all(stats.counters.begin(),
+                                           stats.counters.end());
+  EXPECT_TRUE(all.count("registry_cache_hits"));
+  EXPECT_TRUE(all.count("registry_cache_evictions"));
+  EXPECT_TRUE(all.count("cache_evictions"));
+}
+
 }  // namespace
 }  // namespace spire::server

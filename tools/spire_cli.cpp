@@ -48,13 +48,16 @@
 //       Run a recorded trace on the core and print its TMA breakdown.
 //   spire_cli serve --socket PATH | --stdio [--registry-root DIR]
 //               [--model ID|latest] [--workers N] [--max-queue N]
-//               [--drain-timeout-ms N]
+//               [--shard-queue N] [--shard-batch N] [--cache-entries N]
+//               [--registry-cache N] [--drain-timeout-ms N]
 //       Resident estimation server over the framed protocol: UNIX-domain
-//       socket (or stdin/stdout with --stdio), hot-swappable registry
-//       models, per-request deadlines, graceful SIGTERM/SIGINT drain.
-//   spire_cli serverctl ping|stats|swap --server SOCK
-//       Control-plane client: liveness probe, counter dump, or a hot swap
-//       to the registry's latest model.
+//       socket (or stdin/stdout with --stdio), per-model shards with
+//       bounded queues and batch coalescing, an estimate memo-cache,
+//       hot-swappable registry models, per-request deadlines, graceful
+//       SIGTERM/SIGINT drain.
+//   spire_cli serverctl ping|stats|swap|shards --server SOCK
+//       Control-plane client: liveness probe, counter dump, a hot swap to
+//       the registry's latest model, or the per-shard routing table.
 //   spire_cli estimate --server SOCK FILE [FILE...]
 //               [--deadline-ms N] [--retries N] [--model-class C] [--id ID]
 //       Client mode of `estimate`: ships the workload CSVs to a running
@@ -470,7 +473,9 @@ int cmd_estimate(const Args& args) {
   auto engine = make_engine(args);
   engine.context().log = nullptr;  // per-file errors land in the table below
   if (registry_id) {
-    engine.resolve_model(registry_root(args), *registry_id);
+    engine.resolve_model(registry_root(args), *registry_id,
+                         args.flag_u64("registry-cache",
+                                       serve::ModelRegistry::kDefaultCacheCapacity));
   } else {
     engine.load_model(*model_path).compile();
   }
@@ -584,11 +589,18 @@ int cmd_serve(const Args& args) {
   if (socket && stdio) {
     throw UsageError("--socket and --stdio are mutually exclusive");
   }
-  serve::ModelRegistry registry(registry_root(args));
+  serve::ModelRegistry registry(
+      registry_root(args),
+      args.flag_u64("registry-cache",
+                    serve::ModelRegistry::kDefaultCacheCapacity));
   server::ServerOptions options;
   options.socket_path = socket.value_or("");
   options.workers = args.flag_u64("workers", options.workers);
   options.max_queue = args.flag_u64("max-queue", options.max_queue);
+  options.shard_queue = args.flag_u64("shard-queue", options.shard_queue);
+  options.shard_batch = args.flag_u64("shard-batch", options.shard_batch);
+  options.cache_entries =
+      args.flag_u64("cache-entries", options.cache_entries);
   options.drain_timeout_ms = static_cast<int>(
       args.flag_u64("drain-timeout-ms",
                     static_cast<std::uint64_t>(options.drain_timeout_ms)));
@@ -620,9 +632,12 @@ int cmd_serve(const Args& args) {
     return server.wait_until_drained() ? 0 : 1;
   }
   server.start();
-  std::fprintf(stderr, "serving on %s (%zu workers, queue %zu)\n",
+  std::fprintf(stderr,
+               "serving on %s (%zu workers, shard queue %zu, cache %zu)\n",
                server.socket_path().c_str(), server.options().workers,
-               server.options().max_queue);
+               server.options().shard_queue > 0 ? server.options().shard_queue
+                                                : server.options().max_queue,
+               server.options().cache_entries);
   const int rc = server.run();
   std::fprintf(stderr, rc == 0 ? "drained cleanly\n" : "drain timed out\n");
   return rc;
@@ -630,7 +645,7 @@ int cmd_serve(const Args& args) {
 
 int cmd_serverctl(const Args& args) {
   if (args.positional.size() != 1) {
-    throw UsageError("need an action: ping|stats|swap");
+    throw UsageError("need an action: ping|stats|swap|shards");
   }
   const std::string& action = args.positional.front();
   server::Client client(client_options(args));
@@ -655,8 +670,33 @@ int cmd_serverctl(const Args& args) {
                 static_cast<unsigned long long>(reply.swap_generation));
     return 0;
   }
+  if (action == "shards") {
+    const auto reply = client.shards();
+    util::TextTable table({"Model", "Classes", "Depth", "Enqueued", "Shed",
+                           "Completed", "Batches", "MaxBatch", "State"});
+    for (std::size_t col = 2; col <= 7; ++col) {
+      table.set_align(col, util::Align::kRight);
+    }
+    for (const auto& shard : reply.shards) {
+      std::string classes;
+      for (const auto& cls : shard.classes) {
+        if (!classes.empty()) classes += ",";
+        classes += cls.empty() ? "(default)" : cls;
+      }
+      table.add_row({shard.model_id, classes,
+                     std::to_string(shard.queue_depth),
+                     std::to_string(shard.enqueued),
+                     std::to_string(shard.shed),
+                     std::to_string(shard.completed),
+                     std::to_string(shard.batches),
+                     std::to_string(shard.max_batch),
+                     shard.retired != 0 ? "draining" : "live"});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+  }
   throw UsageError("unknown serverctl action '" + action +
-                   "' (expected ping|stats|swap)");
+                   "' (expected ping|stats|swap|shards)");
 }
 
 int cmd_estimate_server(const Args& args) {
@@ -749,7 +789,8 @@ int usage() {
                "  registry publish MODEL | list | pin ID | unpin ID | gc\n"
                "          [--registry-root DIR]             content-addressed model store\n"
                "  estimate --model MODEL | --registry ID | --server SOCK FILE...\n"
-               "          [--registry-root DIR] [--deadline-ms N] [--retries N]\n"
+               "          [--registry-root DIR] [--registry-cache N]\n"
+               "          [--deadline-ms N] [--retries N]\n"
                "                                            batch attainable-throughput\n"
                "  show    --model MODEL --metric EVENT\n"
                "  tma     --workload N [--config C] [--cycles N]\n"
@@ -757,8 +798,11 @@ int usage() {
                "  replay  --trace FILE [--cycles N]\n"
                "  serve   --socket PATH | --stdio [--registry-root DIR]\n"
                "          [--model ID|latest] [--workers N] [--max-queue N]\n"
+               "          [--shard-queue N] [--shard-batch N] [--cache-entries N]\n"
+               "          [--registry-cache N]\n"
                "          [--drain-timeout-ms N]           resident estimation server\n"
-               "  serverctl ping|stats|swap --server SOCK  control a running server\n"
+               "  serverctl ping|stats|swap|shards --server SOCK\n"
+               "                                           control a running server\n"
                "exit codes: 0 ok, 1 operation failed, 2 usage error,\n"
                "3 server unavailable after retries.\n"
                "collect/train/analyze also accept --quality strict|repair|warn\n"
