@@ -12,10 +12,14 @@
 //
 // The fleet scenario publishes 120 distinct models, first touches every
 // one (cold: shard spin-up + mmap + evaluation, seeding the memo-cache),
-// then drives a mixed-model request stream where every reply is a
-// memo-cache hit. It reports sustained estimates/s and the cold-shard vs
-// warm-shard latency split, and merges a "fleet_serving" section into
-// BENCH_serving.json next to perf_serving's own numbers.
+// re-walks the fleet sequentially (warm: every reply a memo-cache hit,
+// measured under the same single-client conditions as the cold pass),
+// then drives a contended mixed-model request stream for sustained
+// estimates/s. The cache-hit speedup ratio compares the two sequential
+// passes only — stream latencies are reported separately because client
+// queueing on few-core hosts would otherwise swamp the ratio. Merges a
+// "fleet_serving" section into BENCH_serving.json next to perf_serving's
+// own numbers.
 //
 // Hard contracts verified on every run:
 //  * every request succeeds (the chaos client retries through sheds, and
@@ -207,6 +211,8 @@ struct FleetResult {
   double cold_p99_ms = 0.0;
   double warm_p50_ms = 0.0;
   double warm_p99_ms = 0.0;
+  double stream_p50_ms = 0.0;
+  double stream_p99_ms = 0.0;
   double warm_estimates_per_s = 0.0;
   std::uint64_t warm_requests = 0;
   std::uint64_t cache_hits = 0;
@@ -299,9 +305,49 @@ FleetResult run_fleet(const std::string& socket, int threads,
     }
   }
 
-  // Warm pass: a mixed-model stream over every shard at once. Each reply
-  // comes from the memo-cache and must be bit-identical to the cold
-  // evaluation of the same (model, workload) pair.
+  // Warm pass: the SAME single-client sequential loop as the cold pass —
+  // the only changed variable is that every (model, workload) pair is now
+  // memo-cached, so the cold/warm delta is exactly the work the cache
+  // elides (shard spin-up + mmap + evaluation). The speedup ratio must
+  // come from here and not from the contended stream below: under more
+  // client threads than cores, stream latencies are dominated by
+  // client-side queueing that both cache paths share, which once drove
+  // the recorded cache_hit_speedup to 0.786x on a 1-vCPU host — an
+  // artifact of the measurement, not the cache.
+  std::vector<double> warm_seq;
+  warm_seq.reserve(ids.size());
+  {
+    server::ClientOptions copts;
+    copts.socket_path = socket;
+    copts.backoff.max_attempts = 2;
+    copts.backoff.base_ms = 1;
+    server::Client client(copts);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      server::EstimateRequest request;
+      request.model_id = ids[i];
+      request.workload_csvs = {csv};
+      const auto start = Clock::now();
+      try {
+        const server::EstimateReply reply = client.estimate(request);
+        if (reply.results.size() != 1 ||
+            reply.results[0].status != server::ErrorCode::kOk) {
+          ok = false;
+        } else if (reply.results[0].throughput != expected[i]) {
+          ok = false;
+        }
+      } catch (const std::exception&) {
+        ok = false;
+      }
+      warm_seq.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count());
+    }
+  }
+
+  // Mixed-model stream: every shard hammered at once from `threads`
+  // clients. This measures sustained estimates/s and proves every
+  // memo-cache reply bit-identical to the cold evaluation; its latencies
+  // are recorded separately (stream_*) and never feed the speedup ratio.
   std::vector<std::vector<double>> warm_lanes(
       static_cast<std::size_t>(threads));
   std::vector<int> failures(static_cast<std::size_t>(threads), 0);
@@ -357,8 +403,10 @@ FleetResult run_fleet(const std::string& socket, int threads,
       warm_elapsed > 0.0 ? static_cast<double>(warm.size()) / warm_elapsed : 0.0;
   result.cold_p50_ms = percentile(cold, 50);
   result.cold_p99_ms = percentile(cold, 99);
-  result.warm_p50_ms = percentile(warm, 50);
-  result.warm_p99_ms = percentile(warm, 99);
+  result.warm_p50_ms = percentile(warm_seq, 50);
+  result.warm_p99_ms = percentile(warm_seq, 99);
+  result.stream_p50_ms = percentile(warm, 50);
+  result.stream_p99_ms = percentile(warm, 99);
   const server::StatsReply stats = server.stats_snapshot();
   for (const auto& [k, v] : stats.counters) {
     if (k == "cache_hits") result.cache_hits = v;
@@ -487,12 +535,14 @@ int main(int argc, char** argv) {
   std::printf(
       "published %d models (%d unique) in %.2f s\n"
       "cold (shard spin-up + mmap + evaluate): p50 %7.3f ms, p99 %7.3f ms\n"
-      "warm (memo-cache hit):                  p50 %7.3f ms, p99 %7.3f ms\n"
+      "warm (memo-cache hit, sequential):      p50 %7.3f ms, p99 %7.3f ms\n"
+      "mixed-model stream (contended):         p50 %7.3f ms, p99 %7.3f ms\n"
       "mixed-model stream: %8.0f estimates/s over %llu requests "
       "(%llu shards, cache %llu hits / %llu misses)\n"
       "all ok: %s, warm bit-identical to cold: %s, drained: %s\n",
       fleet.models, fleet.unique_models, fleet.publish_s, fleet.cold_p50_ms,
       fleet.cold_p99_ms, fleet.warm_p50_ms, fleet.warm_p99_ms,
+      fleet.stream_p50_ms, fleet.stream_p99_ms,
       fleet.warm_estimates_per_s,
       static_cast<unsigned long long>(fleet.warm_requests),
       static_cast<unsigned long long>(fleet.shards_active),
@@ -503,13 +553,11 @@ int main(int argc, char** argv) {
   const double cache_speedup =
       fleet.warm_p50_ms > 0.0 ? fleet.cold_p50_ms / fleet.warm_p50_ms : 0.0;
   std::printf("cache-hit speedup (cold p50 / warm p50): %.2fx\n", cache_speedup);
-  // Contended micro-latencies on a throttled box measure the machine, not
-  // the cache — same guard shape as perf_serving's speedup assertion.
-  const bool check_cache_speedup = !smoke && hardware >= 4;
-  const std::string cache_skip_reason =
-      smoke ? "smoke mode"
-            : "only " + std::to_string(hardware) +
-                  " hardware thread(s), need >= 4";
+  // Both sides of the ratio are single-client sequential measurements, so
+  // the assertion is meaningful on any core count; only smoke mode (tiny
+  // fleet, latencies near the syscall floor) skips it.
+  const bool check_cache_speedup = !smoke;
+  const std::string cache_skip_reason = "smoke mode";
   if (!check_cache_speedup) {
     std::printf("cache-hit speedup assertion skipped: %s\n",
                 cache_skip_reason.c_str());
@@ -530,6 +578,8 @@ int main(int argc, char** argv) {
                << ", \"p99\": " << fleet.cold_p99_ms << "},\n"
                << "    \"warm_shard_ms\": {\"p50\": " << fleet.warm_p50_ms
                << ", \"p99\": " << fleet.warm_p99_ms << "},\n"
+               << "    \"mixed_stream_ms\": {\"p50\": " << fleet.stream_p50_ms
+               << ", \"p99\": " << fleet.stream_p99_ms << "},\n"
                << "    \"cache_hit_speedup\": " << cache_speedup << ",\n"
                << "    \"shards_active\": " << fleet.shards_active << ",\n"
                << "    \"cache_hits\": " << fleet.cache_hits << ",\n"

@@ -15,6 +15,12 @@
 //  * the binary-load + compile floor: standing up a serving instance from
 //    the v2 artifact must take <= 0.1 s (full mode; --smoke skips timing
 //    floors but never the identity checks);
+//  * the batch-kernel refactor pays: in the segment-lookup-bound regime
+//    (deeply subdivided model, tables far beyond cache) the plan/execute
+//    kernel must deliver >= 4x the single-thread estimates/s of the
+//    pre-refactor scalar path (full mode, vectorized builds on AVX2
+//    hardware; skipped — structured — anywhere the vectorized kernel
+//    cannot run);
 //  * cold-start elimination: opening the v3 artifact (median mmap +
 //    structure-tier validation) must be >= 5x faster than deserializing
 //    the v2 artifact (full mode only — micro-timings in a throttled smoke
@@ -39,6 +45,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
@@ -298,10 +305,131 @@ int main(int argc, char** argv) {
       "compiled batch %.0f\ncompiled batch vs tree-walk serial: %.2fx\n",
       tree_walk_eps, compiled_eps, batch_eps, ratio);
 
+  // --- single-thread batch kernel vs pre-refactor scalar path --------------
+  // Thread-count independent by construction (both passes run in this
+  // thread), so the assertion fires even on 1-hardware-thread CI hosts
+  // where every pool-scaling assertion must skip. Measured in the
+  // SEGMENT-LOOKUP-BOUND regime: a deeply subdivided fleet model whose
+  // per-metric tables dwarf the cache, where the pre-refactor scalar path
+  // (estimate_tables, kept verbatim as the reference) pays ~log2(pieces)
+  // DEPENDENT uncached probes per sample while the planned kernel routes
+  // every lane through the bits-domain grid and streams the loads
+  // block-prefetched. That is the regime the plan/execute refactor is for;
+  // at trained-model sizes both paths live in L1/L2 and the honest gap is
+  // ~2x (recorded above as batch_kernel_vs_scalar_fleet, never asserted).
+  // The kernel pass is ONE estimate_many over the whole suite — the same
+  // coalesced call a shard pump issues. Ratio is best-of-3 attempts: the
+  // two passes run back to back inside one attempt, so the best attempt is
+  // the one least disturbed by neighbors on a shared host.
+  const auto fleet_tables = fleet_compiled.tables();
+  serve::EvalBatch kernel;
+  const std::vector<model::Merge> kernel_merges(views.size(),
+                                                model::Merge::kTimeWeighted);
+  std::vector<model::Estimate> scalar_out;
+  std::vector<serve::EvalOutcome> kernel_out;
+  const double fleet_scalar_eps = run_mode([&] {
+    scalar_out.clear();
+    for (const auto& view : views) {
+      scalar_out.push_back(serve::estimate_tables(fleet_tables, view,
+                                                  model::Merge::kTimeWeighted));
+    }
+  });
+  const double fleet_kernel_eps = run_mode([&] {
+    kernel_out = kernel.estimate_many(fleet_tables, views, kernel_merges);
+  });
+  bool kernel_identical = kernel_out.size() == scalar_out.size();
+  for (std::size_t i = 0; kernel_identical && i < kernel_out.size(); ++i) {
+    kernel_identical = kernel_out[i].ok() &&
+                       identical({scalar_out[i]}, {*kernel_out[i].estimate});
+  }
+  const double fleet_kernel_ratio =
+      fleet_scalar_eps > 0.0 ? fleet_kernel_eps / fleet_scalar_eps : 0.0;
+  std::printf(
+      "single-thread at fleet scale (%zu pieces): scalar %.0f estimates/s, "
+      "batch kernel %.0f estimates/s (%.2fx, bit-identical: %s)\n",
+      fleet_compiled.piece_count(), fleet_scalar_eps, fleet_kernel_eps,
+      fleet_kernel_ratio, kernel_identical ? "yes" : "NO");
+
+  // The lookup-bound model is compile-only (never serialized: its v3
+  // artifact would be tens of MB of disk traffic that measures the
+  // filesystem, not the kernel).
+  const auto lookup_compiled =
+      serve::CompiledModel::compile(fleet_scale(ensemble, smoke ? 200 : 9600));
+  const auto lookup_tables = lookup_compiled.tables();
+  const int kernel_attempts = smoke ? 1 : 3;
+  const int kernel_reps = smoke ? 2 : 8;
+  double scalar_eps = 0.0;
+  double kernel_eps = 0.0;
+  double kernel_ratio = 0.0;
+  for (int attempt = 0; attempt < kernel_attempts; ++attempt) {
+    // Each pass runs its reps as a contiguous block — the steady state a
+    // serving process actually lives in (rep-interleaving would make the
+    // scalar pass's table walk evict the kernel's routing structures
+    // between every rep, measuring a cache-thrash pattern neither path
+    // runs in production). The per-pass rate is taken from the FASTEST rep
+    // (min time): on a shared 1-vCPU host transient neighbor noise only
+    // ever slows a rep down, so the min is the stable estimate of each
+    // pass's unthrottled speed and the ratio of mins is far steadier than
+    // any mean.
+    const auto best_rep_seconds = [&](auto&& pass) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < kernel_reps; ++r) {
+        const auto t0 = Clock::now();
+        pass();
+        best = std::min(best, seconds_since(t0));
+      }
+      return best;
+    };
+    const double scalar_s = best_rep_seconds([&] {
+      scalar_out.clear();
+      for (const auto& view : views) {
+        scalar_out.push_back(serve::estimate_tables(
+            lookup_tables, view, model::Merge::kTimeWeighted));
+      }
+    });
+    const double kernel_s = best_rep_seconds([&] {
+      kernel_out = kernel.estimate_many(lookup_tables, views, kernel_merges);
+    });
+    for (std::size_t i = 0; kernel_identical && i < kernel_out.size(); ++i) {
+      kernel_identical = kernel_out[i].ok() &&
+                         identical({scalar_out[i]}, {*kernel_out[i].estimate});
+    }
+    const double per_rep = static_cast<double>(views.size());
+    const double s = scalar_s > 0.0 ? per_rep / scalar_s : 0.0;
+    const double k = kernel_s > 0.0 ? per_rep / kernel_s : 0.0;
+    if (s > 0.0 && k / s > kernel_ratio) {
+      scalar_eps = s;
+      kernel_eps = k;
+      kernel_ratio = k / s;
+    }
+  }
+  std::printf(
+      "single-thread lookup-bound (%zu pieces): scalar %.0f estimates/s, "
+      "batch kernel %.0f estimates/s (best of %d: %.2fx, bit-identical: "
+      "%s)\n",
+      lookup_compiled.piece_count(), scalar_eps, kernel_eps, kernel_attempts,
+      kernel_ratio, kernel_identical ? "yes" : "NO");
+
   const bool check_speedup = hardware >= 4;
   if (!check_speedup) {
     std::printf("speedup assertion skipped: only %u hardware thread(s)\n",
                 hardware);
+  }
+  // The kernel assertion has exactly two skips, both "this host cannot
+  // measure what the assertion is about": smoke mode (reps too few, and
+  // smoke containers are throttled), and a binary/CPU without the
+  // vectorized select (the portable kernel is the bit-identical FALLBACK —
+  // its ratio is recorded, but the 4x target belongs to the vectorized
+  // path). There is no hardware-thread guard, by design: both passes are
+  // single-thread.
+  const bool vectorized = serve::eval_kernel_vectorized();
+  const bool check_kernel = !smoke && vectorized;
+  const std::string kernel_skip_reason =
+      smoke ? "smoke mode"
+            : "vectorized kernel not compiled in or CPU lacks AVX2";
+  if (!check_kernel) {
+    std::printf("kernel speedup assertion skipped: %s\n",
+                kernel_skip_reason.c_str());
   }
   const bool check_mmap = !smoke;
   if (!check_mmap) {
@@ -319,6 +447,16 @@ int main(int argc, char** argv) {
        << ", \"compiled_serial\": " << compiled_eps
        << ", \"compiled_batch\": " << batch_eps << "},\n"
        << "  \"compiled_batch_vs_tree_walk\": " << ratio << ",\n"
+       << "  \"single_thread_fleet_estimates_per_s\": {\"scalar\": "
+       << fleet_scalar_eps << ", \"batch_kernel\": " << fleet_kernel_eps
+       << "},\n"
+       << "  \"batch_kernel_vs_scalar_fleet\": " << fleet_kernel_ratio << ",\n"
+       << "  \"lookup_pieces\": " << lookup_compiled.piece_count() << ",\n"
+       << "  \"single_thread_lookup_estimates_per_s\": {\"scalar\": "
+       << scalar_eps << ", \"batch_kernel\": " << kernel_eps << "},\n"
+       << "  \"batch_kernel_vs_scalar\": " << kernel_ratio << ",\n"
+       << "  \"kernel_vectorized\": " << (vectorized ? "true" : "false")
+       << ",\n"
        << "  \"load_seconds\": {\"text\": " << text_load_s
        << ", \"binary\": " << bin_load_s << ", \"compile\": " << compile_s
        << "},\n"
@@ -339,6 +477,8 @@ int main(int argc, char** argv) {
                              " hardware thread(s), need >= 4",
                          hardware)
        << ",\n"
+       << "  \"kernel_speedup_assertion\": "
+       << assertion_json(check_kernel, kernel_skip_reason, hardware) << ",\n"
        << "  \"mmap_load_assertion\": "
        << assertion_json(check_mmap, "smoke mode", hardware) << "\n}\n";
   std::printf("-> BENCH_serving.json\n");
@@ -362,6 +502,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: compiled batch %.2fx tree-walk serial, need >= 3x\n",
                  ratio);
+    failed = true;
+  }
+  if (!kernel_identical) {
+    std::fprintf(stderr,
+                 "FAIL: batch kernel diverged from the scalar reference\n");
+    failed = true;
+  }
+  if (check_kernel && kernel_ratio < 4.0) {
+    std::fprintf(stderr,
+                 "FAIL: batch kernel only %.2fx the scalar single-thread "
+                 "path in the lookup-bound regime, need >= 4x\n",
+                 kernel_ratio);
     failed = true;
   }
   if (!smoke && bin_load_s + compile_s > 0.1) {

@@ -133,8 +133,11 @@ Engine& Engine::estimate_batch(const std::vector<std::string>& workload_paths) {
     service.emplace(context_.mapped);
   } else {
     if (!context_.compiled.has_value()) compile();
-    service.emplace(*context_.compiled);
+    // Non-owning: the context keeps the compiled model (and its evaluation
+    // plan) for later stages; the service only borrows it for this batch.
+    service.emplace(&*context_.compiled);
   }
+  const serve::EvalCountersSnapshot before = serve::eval_counters_snapshot();
   context_.batch_results = service->estimate_files(workload_paths, options);
   if (context_.log != nullptr) {
     for (const auto& r : context_.batch_results) {
@@ -143,6 +146,17 @@ Engine& Engine::estimate_batch(const std::vector<std::string>& workload_paths) {
                       << '\n';
       }
     }
+    // Kernel-path split for this stage (delta of the process-wide
+    // counters): how many metric batches took the planned sort/sweep path
+    // vs the small-batch scalar fallback, and the lanes through each.
+    const serve::EvalCountersSnapshot after = serve::eval_counters_snapshot();
+    *context_.log << "estimate_batch: kernel planned "
+                  << after.planned_batches - before.planned_batches
+                  << " batch(es)/" << after.planned_lanes - before.planned_lanes
+                  << " lane(s), scalar "
+                  << after.scalar_batches - before.scalar_batches
+                  << " batch(es)/" << after.scalar_lanes - before.scalar_lanes
+                  << " lane(s)\n";
   }
   return *this;
 }

@@ -56,6 +56,8 @@ CompiledModel CompiledModel::compile(const model::Ensemble& ensemble) {
     out.metrics_.push_back(metric);
     out.ranges_.push_back(range);
   }
+  out.plan_ = EvalPlan::build(
+      {out.metrics_, out.ranges_, out.x0_, out.y0_, out.x1_, out.y1_});
   return out;
 }
 
@@ -64,13 +66,19 @@ CompiledModel CompiledModel::from_file(const std::string& path) {
 }
 
 Estimate CompiledModel::estimate(DatasetView workload, Merge merge) const {
-  return estimate_tables(tables(), workload, merge);
+  return thread_eval_batch().estimate(tables(), workload, merge);
 }
 
 std::vector<Estimate> CompiledModel::estimate_batch(
     std::span<const DatasetView> workloads, util::ExecOptions exec,
     Merge merge) const {
   return estimate_batch_tables(tables(), workloads, exec, merge);
+}
+
+std::vector<EvalOutcome> CompiledModel::estimate_many(
+    std::span<const DatasetView> workloads,
+    std::span<const Merge> merges) const {
+  return thread_eval_batch().estimate_many(tables(), workloads, merges);
 }
 
 }  // namespace spire::serve

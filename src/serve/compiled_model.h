@@ -20,6 +20,12 @@
 // (serve/model_v3.h) serializes exactly those spans, which is what makes
 // file tables equal compiled tables by construction.
 //
+// compile() also builds the model's EvalPlan (serve/model_eval.h): the
+// batch kernel's per-model derived data — unified per-metric lookup
+// columns, bits-domain routing grids, interleaved piece rows — so serving
+// never pays plan construction per batch. The plan makes CompiledModel
+// move-only (its row base is an offset into an owned buffer).
+//
 // A CompiledModel is immutable after compile() and holds only value members,
 // so one instance can serve concurrent estimate calls from any number of
 // threads without locks.
@@ -49,7 +55,8 @@ class CompiledModel {
 
   /// Ensemble-wide estimate, bit-identical to Ensemble::estimate on the
   /// source ensemble: same throughput/ranking/skipped values and the same
-  /// std::invalid_argument when the workload shares no metric.
+  /// std::invalid_argument when the workload shares no metric. Evaluates
+  /// through the batch kernel (this thread's EvalBatch scratch).
   model::Estimate estimate(sampling::DatasetView workload,
                            model::Merge merge = model::Merge::kTimeWeighted) const;
 
@@ -64,6 +71,16 @@ class CompiledModel {
       util::ExecOptions exec = {},
       model::Merge merge = model::Merge::kTimeWeighted) const;
 
+  /// Coalesced single-pass evaluation with per-item error isolation: every
+  /// workload's samples for a metric join ONE planned kernel batch (one
+  /// sort + merge sweep + execute per metric for the whole set). Results
+  /// are bit-identical to estimate() per workload; a workload the scalar
+  /// path would throw on gets its outcome's error text instead. `merges`
+  /// must be workloads.size() entries (shard coalescing may mix modes).
+  std::vector<EvalOutcome> estimate_many(
+      std::span<const sampling::DatasetView> workloads,
+      std::span<const model::Merge> merges) const;
+
   /// Metrics with a compiled table, ascending by event id (the source
   /// map's iteration order).
   const std::vector<counters::Event>& metrics() const { return metrics_; }
@@ -74,10 +91,11 @@ class CompiledModel {
   /// each segment-table column.
   std::size_t piece_count() const { return x0_.size(); }
 
-  /// This model's columns in the backend-neutral evaluator shape. Spans
-  /// are valid for the lifetime of the CompiledModel.
+  /// This model's columns in the backend-neutral evaluator shape, with the
+  /// model-owned evaluation plan attached. Spans (and the plan pointer) are
+  /// valid for the lifetime of the CompiledModel.
   EvalTables tables() const {
-    return {metrics_, ranges_, x0_, y0_, x1_, y1_};
+    return {metrics_, ranges_, x0_, y0_, x1_, y1_, &plan_};
   }
 
  private:
@@ -90,6 +108,9 @@ class CompiledModel {
   // Shared SoA segment tables: piece i is the segment (x0[i], y0[i]) ->
   // (x1[i], y1[i]).
   std::vector<double> x0_, y0_, x1_, y1_;
+  // Batch-kernel plan (unified columns, routing grids, interleaved rows),
+  // built once at the end of compile(). Makes CompiledModel move-only.
+  EvalPlan plan_;
 };
 
 }  // namespace spire::serve

@@ -38,13 +38,19 @@ MappedModel MappedModel::map_file(const std::string& path,
 }
 
 Estimate MappedModel::estimate(DatasetView workload, Merge merge) const {
-  return estimate_tables(tables(), workload, merge);
+  return thread_eval_batch().estimate(tables(), workload, merge);
 }
 
 std::vector<Estimate> MappedModel::estimate_batch(
     std::span<const DatasetView> workloads, util::ExecOptions exec,
     Merge merge) const {
   return estimate_batch_tables(tables(), workloads, exec, merge);
+}
+
+std::vector<EvalOutcome> MappedModel::estimate_many(
+    std::span<const DatasetView> workloads,
+    std::span<const Merge> merges) const {
+  return thread_eval_batch().estimate_many(tables(), workloads, merges);
 }
 
 }  // namespace spire::serve

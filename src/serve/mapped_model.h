@@ -28,6 +28,8 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -64,6 +66,13 @@ class MappedModel {
       util::ExecOptions exec = {},
       model::Merge merge = model::Merge::kTimeWeighted) const;
 
+  /// Coalesced single-pass kernel evaluation with per-item error
+  /// isolation; bit-identical to CompiledModel::estimate_many on equal
+  /// tables. `merges` must be workloads.size() entries.
+  std::vector<EvalOutcome> estimate_many(
+      std::span<const sampling::DatasetView> workloads,
+      std::span<const model::Merge> merges) const;
+
   /// Metrics in table order, ascending by event id (validated at map time).
   const std::vector<counters::Event>& metrics() const { return metrics_; }
 
@@ -75,9 +84,16 @@ class MappedModel {
   std::size_t file_size() const { return file_.size(); }
 
   /// The tables in the backend-neutral evaluator shape. All spans except
-  /// `metrics` point directly into the mapping.
+  /// `metrics` point directly into the mapping. The batch-kernel plan is
+  /// built lazily on first call (so map_file keeps its O(sections) open
+  /// cost) and cached for the model's lifetime; call_once makes the build
+  /// race-free across serving threads.
   EvalTables tables() const {
-    return {metrics_, view_.ranges, view_.x0, view_.y0, view_.x1, view_.y1};
+    EvalTables t{metrics_, view_.ranges, view_.x0, view_.y0, view_.x1,
+                 view_.y1};
+    std::call_once(lazy_->once, [&] { lazy_->plan = EvalPlan::build(t); });
+    t.plan = &lazy_->plan;
+    return t;
   }
 
   /// The validated raw view (layout, derived slope/intercept columns,
@@ -87,9 +103,17 @@ class MappedModel {
  private:
   MappedModel() = default;
 
+  // Lazily built batch-kernel plan. Boxed so MappedModel stays movable
+  // (std::once_flag is not) and the plan's address survives moves.
+  struct LazyPlan {
+    std::once_flag once;
+    EvalPlan plan;
+  };
+
   util::MmapFile file_;
   model::v3::FlatView view_;            // spans into file_
   std::vector<counters::Event> metrics_;  // resolved from the strings section
+  std::unique_ptr<LazyPlan> lazy_ = std::make_unique<LazyPlan>();
 };
 
 }  // namespace spire::serve

@@ -1,0 +1,128 @@
+// 4-wide AVX2 segment select + endpoint interpolation — the vectorized
+// half of EvalBatch::search_eval's sub-pass 4. See model_eval_simd.h for
+// the contract; the proof obligations for bit-identity with select_piece:
+//
+//  * arithmetic: vsubpd/vdivpd/vmulpd/vaddpd are IEEE-exact per lane and
+//    this TU never enables FMA, so `py0 + t * (py1 - py0)` computes the
+//    identical double in every lane;
+//  * selects: blendv moves bits, never rounds. The blend order below is
+//    select_piece's priority order (degenerate piece, then at-end, then
+//    first-piece clamp — last blend wins);
+//  * predicates: `!(|px1| < inf)` is exactly `!isfinite(px1)` (NaN
+//    compares false), `px1 == px0` as a vector compare handles ±0 like
+//    the scalar `==`, and the at-end compare is integer equality on the
+//    mapped piece index.
+#include "serve/model_eval_simd.h"
+
+#if defined(SPIRE_EVAL_AVX2)
+
+#include <immintrin.h>
+
+#include <limits>
+
+namespace spire::serve::detail {
+
+namespace {
+
+/// 64-bit signed min (AVX2 has no vpminsq). Piece indices are far below
+/// 2^63, so signed compare is exact.
+inline __m256i min_epi64(__m256i a, __m256i b) {
+  const __m256i a_gt = _mm256_cmpgt_epi64(a, b);
+  return _mm256_blendv_epi8(a, b, a_gt);
+}
+
+}  // namespace
+
+bool avx2_select_supported() {
+  static const bool ok = __builtin_cpu_supports("avx2");
+  return ok;
+}
+
+std::size_t avx2_select(const Avx2SelectArgs& a) {
+  const std::size_t vec = a.count & ~std::size_t{3};
+  const double* const rows = a.rows;
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  const __m256d inf_v =
+      _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  const __m256d left_max_v = _mm256_set1_pd(a.left_max);
+  const __m256d bx0l = _mm256_set1_pd(a.bx0l);
+  const __m256d by0l = _mm256_set1_pd(a.by0l);
+  const __m256d ey1l = _mm256_set1_pd(a.ey1l);
+  const __m256d bx0r = _mm256_set1_pd(a.bx0r);
+  const __m256d by0r = _mm256_set1_pd(a.by0r);
+  const __m256d ey1r = _mm256_set1_pd(a.ey1r);
+  const __m256i end_l =
+      _mm256_set1_epi64x(static_cast<long long>(a.left_end));
+  const __m256i end_r =
+      _mm256_set1_epi64x(static_cast<long long>(a.right_end));
+  const __m256i off_l =
+      _mm256_set1_epi64x(static_cast<long long>(a.left_begin));
+  const __m256i off_r =
+      _mm256_set1_epi64x(static_cast<long long>(a.right_off));
+  const __m256i one = _mm256_set1_epi64x(1);
+
+  for (std::size_t i = 0; i < vec; i += 4) {
+    const __m256d x = _mm256_loadu_pd(a.xs + i);
+    const __m256i u = _mm256_cvtepu32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.useg + i)));
+    // Region mask: x <= left_max (ordered, so a NaN-free false on the
+    // right region), forced to all-right when the metric has none.
+    const __m256d in_left = a.has_left
+                                ? _mm256_cmp_pd(x, left_max_v, _CMP_LE_OQ)
+                                : _mm256_setzero_pd();
+    // Unified -> scalar piece index, then the region constants, all as
+    // blends off the one region mask.
+    const __m256i off = _mm256_castpd_si256(_mm256_blendv_pd(
+        _mm256_castsi256_pd(off_r), _mm256_castsi256_pd(off_l), in_left));
+    const __m256i j = _mm256_add_epi64(off, u);
+    const __m256i end = _mm256_castpd_si256(_mm256_blendv_pd(
+        _mm256_castsi256_pd(end_r), _mm256_castsi256_pd(end_l), in_left));
+    const __m256d bx0 = _mm256_blendv_pd(bx0r, bx0l, in_left);
+    const __m256d by0 = _mm256_blendv_pd(by0r, by0l, in_left);
+    const __m256d ey1 = _mm256_blendv_pd(ey1r, ey1l, in_left);
+    const __m256i jc = min_epi64(j, _mm256_sub_epi64(end, one));
+    // Four interleaved piece rows -> column registers via a 4x4 transpose
+    // (unpack + 128-bit permute). One 32-byte aligned load per lane.
+    alignas(32) long long jca[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(jca), jc);
+    const __m256d r0 = _mm256_load_pd(rows + 4 * jca[0]);
+    const __m256d r1 = _mm256_load_pd(rows + 4 * jca[1]);
+    const __m256d r2 = _mm256_load_pd(rows + 4 * jca[2]);
+    const __m256d r3 = _mm256_load_pd(rows + 4 * jca[3]);
+    const __m256d q02_lo = _mm256_unpacklo_pd(r0, r1);
+    const __m256d q02_hi = _mm256_unpackhi_pd(r0, r1);
+    const __m256d q13_lo = _mm256_unpacklo_pd(r2, r3);
+    const __m256d q13_hi = _mm256_unpackhi_pd(r2, r3);
+    const __m256d px0 = _mm256_permute2f128_pd(q02_lo, q13_lo, 0x20);
+    const __m256d py0 = _mm256_permute2f128_pd(q02_hi, q13_hi, 0x20);
+    const __m256d px1 = _mm256_permute2f128_pd(q02_lo, q13_lo, 0x31);
+    const __m256d py1 = _mm256_permute2f128_pd(q02_hi, q13_hi, 0x31);
+    // LinearPiece::at, verbatim (no FMA anywhere in this TU).
+    const __m256d t =
+        _mm256_div_pd(_mm256_sub_pd(x, px0), _mm256_sub_pd(px1, px0));
+    __m256d p =
+        _mm256_add_pd(py0, _mm256_mul_pd(t, _mm256_sub_pd(py1, py0)));
+    // (3) infinite or zero-width piece -> y0[piece].
+    const __m256d x1_finite =
+        _mm256_cmp_pd(_mm256_and_pd(px1, abs_mask), inf_v, _CMP_LT_OQ);
+    const __m256d degen = _mm256_or_pd(
+        _mm256_xor_pd(x1_finite,
+                      _mm256_castsi256_pd(_mm256_set1_epi64x(-1))),
+        _mm256_cmp_pd(px1, px0, _CMP_EQ_OQ));
+    p = _mm256_blendv_pd(p, py0, degen);
+    // (2) no piece reaches the point -> y1[end - 1].
+    const __m256d at_end =
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(j, end));
+    p = _mm256_blendv_pd(p, ey1, at_end);
+    // (1) intensity <= x0[begin] -> y0[begin] (highest priority, last).
+    const __m256d first = _mm256_cmp_pd(x, bx0, _CMP_LE_OQ);
+    p = _mm256_blendv_pd(p, by0, first);
+    _mm256_storeu_pd(a.ps + i, p);
+  }
+  return vec;
+}
+
+}  // namespace spire::serve::detail
+
+#endif  // SPIRE_EVAL_AVX2

@@ -19,6 +19,13 @@ EstimationService::EstimationService(std::shared_ptr<const MappedModel> model)
   }
 }
 
+EstimationService::EstimationService(const CompiledModel* model)
+    : model_(model) {
+  if (model == nullptr) {
+    throw std::invalid_argument("EstimationService: null compiled model");
+  }
+}
+
 EstimationService EstimationService::from_file(const std::string& path) {
   if (model::binary_model_file_version(path) ==
       model::kModelBinV3FormatVersion) {
@@ -35,11 +42,12 @@ EstimationService EstimationService::from_registry(ModelRegistry& registry,
 EvalTables EstimationService::tables() const {
   return std::visit(
       [](const auto& backend) -> EvalTables {
-        if constexpr (std::is_same_v<std::decay_t<decltype(backend)>,
-                                     std::shared_ptr<const MappedModel>>) {
-          return backend->tables();
-        } else {
+        using T = std::decay_t<decltype(backend)>;
+        if constexpr (std::is_same_v<T, CompiledModel> ||
+                      std::is_same_v<T, MappedModel>) {
           return backend.tables();
+        } else {
+          return backend->tables();  // shared_ptr or raw pointer backend
         }
       },
       model_);
@@ -61,7 +69,8 @@ std::vector<BatchResult> EstimationService::estimate_files(
           const sampling::Dataset data = sampling::Dataset::load_csv(in);
           const sampling::DatasetView view(data);
           result.samples = view.size();
-          result.estimate = estimate_tables(tables, view, options.merge);
+          result.estimate =
+              thread_eval_batch().estimate(tables, view, options.merge);
         } catch (const std::exception& e) {
           result.error = e.what();
         }
@@ -72,30 +81,55 @@ std::vector<BatchResult> EstimationService::estimate_files(
 std::vector<BatchResult> EstimationService::estimate_csvs(
     std::span<const CsvJob> jobs) const {
   const EvalTables tables = this->tables();
-  std::vector<BatchResult> results;
-  results.reserve(jobs.size());
-  for (const CsvJob& job : jobs) {
-    BatchResult result;
-    // The deadline is checked per item, not per batch: once the budget is
-    // gone every remaining item reports expiry (the clock is monotonic, so
-    // an expired batch never un-expires).
+  std::vector<BatchResult> results(jobs.size());
+
+  // Stage pass: parse every still-in-budget CSV. Deadlines are checked per
+  // item BEFORE its parse (parsing dominates per-item cost), not once per
+  // batch: once the budget is gone every remaining item reports expiry
+  // (the clock is monotonic, so an expired batch never un-expires), with
+  // results in input order exactly as the old serial loop produced them.
+  std::vector<sampling::Dataset> datasets;
+  std::vector<sampling::DatasetView> views;
+  std::vector<model::Merge> merges;
+  std::vector<std::size_t> slots;
+  datasets.reserve(jobs.size());  // no reallocation: views point into these
+  views.reserve(jobs.size());
+  merges.reserve(jobs.size());
+  slots.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const CsvJob& job = jobs[i];
+    BatchResult& result = results[i];
     if (job.has_deadline &&
         std::chrono::steady_clock::now() >= job.deadline) {
       result.deadline_expired = true;
       result.error = "deadline expired";
-      results.push_back(std::move(result));
       continue;
     }
     try {
       std::istringstream in(*job.csv);
-      const sampling::Dataset data = sampling::Dataset::load_csv(in);
-      const sampling::DatasetView view(data);
-      result.samples = view.size();
-      result.estimate = estimate_tables(tables, view, job.merge);
+      datasets.push_back(sampling::Dataset::load_csv(in));
+      views.emplace_back(datasets.back());
+      result.samples = views.back().size();
+      merges.push_back(job.merge);
+      slots.push_back(i);
     } catch (const std::exception& e) {
       result.error = e.what();
     }
-    results.push_back(std::move(result));
+  }
+
+  // Evaluate pass: every survivor joins ONE planned kernel batch (a shard
+  // pump's coalesced wakeup becomes a single sort/sweep/execute per
+  // metric). Per-item error isolation is preserved inside estimate_many.
+  const auto outcomes = thread_eval_batch().estimate_many(
+      tables, std::span<const sampling::DatasetView>(views),
+      std::span<const model::Merge>(merges));
+  for (std::size_t k = 0; k < outcomes.size(); ++k) {
+    BatchResult& result = results[slots[k]];
+    if (outcomes[k].ok()) {
+      result.estimate = outcomes[k].estimate;
+    } else {
+      result.error = outcomes[k].error;
+    }
   }
   return results;
 }

@@ -68,6 +68,10 @@ class EstimationService {
   explicit EstimationService(CompiledModel model) : model_(std::move(model)) {}
   explicit EstimationService(MappedModel model) : model_(std::move(model)) {}
   explicit EstimationService(std::shared_ptr<const MappedModel> model);
+  /// Non-owning: `model` must outlive the service. For callers that keep
+  /// the compiled model for other work (CompiledModel is move-only — its
+  /// evaluation plan cannot be copied into the service).
+  explicit EstimationService(const CompiledModel* model);
 
   /// Loads a model from `path`, picking the backend by format: binary v3
   /// maps zero-copy (MappedModel); text v1 and binary v2 deserialize and
@@ -84,7 +88,8 @@ class EstimationService {
 
   /// True when serving straight out of a file mapping (no deserialize).
   bool zero_copy() const {
-    return !std::holds_alternative<CompiledModel>(model_);
+    return std::holds_alternative<MappedModel>(model_) ||
+           std::holds_alternative<std::shared_ptr<const MappedModel>>(model_);
   }
 
   /// The active backend's tables; valid for the service's lifetime.
@@ -98,16 +103,20 @@ class EstimationService {
   std::vector<BatchResult> estimate_files(std::span<const std::string> paths,
                                           const BatchOptions& options = {}) const;
 
-  /// Estimates in-memory CSV blobs, serially in the caller's thread — this
-  /// is the coalesced inner loop of a serve::Shard pump, which already owns
-  /// a pool worker. Results come back in input order with per-item error
+  /// Estimates in-memory CSV blobs in the caller's thread — this is the
+  /// coalesced inner loop of a serve::Shard pump, which already owns a
+  /// pool worker. Items are parsed one by one (deadline checked before
+  /// each parse) and every survivor then joins ONE planned batch-kernel
+  /// pass (EvalBatch::estimate_many), so a coalesced shard wakeup is a
+  /// single sort/sweep/execute per metric rather than a loop of per-item
+  /// evaluations. Results come back in input order with per-item error
   /// isolation; an item whose deadline already expired gets
-  /// `deadline_expired` set and is never evaluated.
+  /// `deadline_expired` set and is never parsed or evaluated.
   std::vector<BatchResult> estimate_csvs(std::span<const CsvJob> jobs) const;
 
  private:
   std::variant<CompiledModel, MappedModel,
-               std::shared_ptr<const MappedModel>>
+               std::shared_ptr<const MappedModel>, const CompiledModel*>
       model_;
 };
 

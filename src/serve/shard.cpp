@@ -110,8 +110,11 @@ void Shard::run_batch(std::vector<Request>& batch) {
     if (request.begin) request.begin();
   }
   const Clock::time_point now = Clock::now();
-  // Flatten the evaluable requests' workloads into one coalesced batch;
-  // requests that waited out their deadline in the queue are completed
+  // Flatten the evaluable requests' workloads into one coalesced batch —
+  // estimate_csvs runs it as ONE planned batch-kernel pass (per metric:
+  // one sort, one merge sweep, one execute over every request's samples),
+  // so coalescing buys a genuinely batched evaluation, not just a loop.
+  // Requests that waited out their deadline in the queue are completed
   // immediately and contribute nothing to it.
   std::vector<CsvJob> jobs;
   std::vector<Request*> evaluable;

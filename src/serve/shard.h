@@ -14,7 +14,9 @@
 // the pump repeatedly drains up to max_batch queued requests, flattens
 // their workloads into one EstimationService::estimate_csvs batch, and
 // scatters the results — so a burst of same-model requests costs one
-// worker wakeup and one pass over the shared tables instead of N. At most
+// worker wakeup and ONE planned batch-kernel pass (serve/model_eval.h:
+// per metric, one sort + merge sweep + execute over every coalesced
+// request's samples) instead of N independent evaluations. At most
 // one pump runs per shard at any moment, which also serializes evaluation
 // per model while leaving cross-shard parallelism to the pool.
 //

@@ -16,6 +16,7 @@
 #endif
 
 #include "counters/events.h"
+#include "serve/model_eval.h"
 #include "util/posix_io.h"
 
 namespace spire::server {
@@ -992,6 +993,11 @@ StatsReply EstimationServer::stats_snapshot() const {
   const serve::EstimateCache::Stats cache = estimate_cache_.stats();
   const serve::ModelRegistry::CacheStats registry_cache =
       registry_.cache_stats();
+  // Process-wide batch-kernel counters (serve/model_eval.h): how much of
+  // the eval traffic went through the planned sort/sweep/execute path vs
+  // the small-batch scalar fallback — the eval-layer signals the upcoming
+  // mmap'd stats segment will export.
+  const serve::EvalCountersSnapshot eval = serve::eval_counters_snapshot();
   StatsReply stats;
   stats.counters = {
       {"accepted_connections",
@@ -1006,6 +1012,10 @@ StatsReply EstimationServer::stats_snapshot() const {
       {"deadline_expired", deadline_expired_.load(std::memory_order_relaxed)},
       {"estimate_requests",
        estimate_requests_.load(std::memory_order_relaxed)},
+      {"eval_planned_batches", eval.planned_batches},
+      {"eval_planned_lanes", eval.planned_lanes},
+      {"eval_scalar_batches", eval.scalar_batches},
+      {"eval_scalar_lanes", eval.scalar_lanes},
       {"frames_received", frames_received_.load(std::memory_order_relaxed)},
       {"io_timeouts", io_timeouts_.load(std::memory_order_relaxed)},
       {"malformed_frames", malformed_frames_.load(std::memory_order_relaxed)},

@@ -186,7 +186,9 @@ TEST(PipelineEngine, ParallelRunIsBitIdenticalToSerial) {
     engine.context().exec = exec;
     engine.context().data = trainable_dataset();
     engine.validate().train().analyze();
-    return engine.context();
+    // Move: PipelineContext is move-only now that CompiledModel owns its
+    // evaluation plan.
+    return std::move(engine.context());
   };
   const auto serial = run({});
   const auto parallel = run(util::ExecOptions{4});

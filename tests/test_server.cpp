@@ -295,9 +295,14 @@ class ServerTest : public ::testing::Test {
     return 0;
   }
 
-  /// Spins until a server counter reaches `at_least` (or ~2s elapse).
+  /// Spins until a server counter reaches `at_least` (or ~20s elapse).
+  /// The window is deliberately generous: under sanitizers on a loaded
+  /// single-core host (ctest's cost-based scheduler likes to start the
+  /// two heaviest server tests together) merely reaching the active
+  /// state can take seconds, and a healthy run returns on the first
+  /// poll regardless.
   bool wait_for_counter(const std::string& name, std::uint64_t at_least) {
-    for (int i = 0; i < 2000; ++i) {
+    for (int i = 0; i < 20000; ++i) {
       if (counter(name) >= at_least) return true;
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
