@@ -45,6 +45,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <limits>
 #include <map>
 #include <optional>
@@ -55,10 +56,12 @@
 
 #include "bench_util.h"
 #include "geom/piecewise_linear.h"
+#include "sampling/dataset.h"
 #include "sampling/dataset_view.h"
 #include "serve/compiled_model.h"
 #include "serve/mapped_model.h"
 #include "serve/model_v3.h"
+#include "serve/profile_bin.h"
 #include "spire/model_io.h"
 #include "util/thread_pool.h"
 
@@ -240,6 +243,58 @@ int main(int argc, char** argv) {
       "artifact load: text %.4f s, binary %.4f s, compile %.4f s "
       "(lossless: %s)\n",
       text_load_s, bin_load_s, compile_s, lossless ? "yes" : "NO");
+
+  // --- profile ingest: the per-request cost the wire format removes --------
+  // Three ways a profile reaches the evaluator: the legacy istream CSV
+  // parse (string copy + stream overhead, the pre-v2 request path), the
+  // in-place string_view parse the text path uses now, and the
+  // spire-profile-bin bounded parse whose result is a zero-copy view into
+  // the caller's bytes — what the server evaluates straight out of a v2
+  // frame. Medians over repeated full-suite passes; rates are profiles/s.
+  std::vector<std::string> profile_csvs;
+  std::vector<std::string> profile_bins;
+  std::size_t profile_csv_bytes = 0;
+  std::size_t profile_bin_bytes = 0;
+  for (const auto& cw : suite) {
+    std::ostringstream out;
+    cw.samples.save_csv(out);
+    profile_csvs.push_back(out.str());
+    profile_bins.push_back(
+        serve::profile_bin::compile(sampling::DatasetView(cw.samples)));
+    profile_csv_bytes += profile_csvs.back().size();
+    profile_bin_bytes += profile_bins.back().size();
+  }
+  const int ingest_reps = smoke ? 3 : 15;
+  const double istream_pass_s = median_seconds(ingest_reps, [&] {
+    for (const auto& csv : profile_csvs) {
+      std::istringstream in(csv);
+      (void)sampling::Dataset::load_csv(in);
+    }
+  });
+  const double inplace_pass_s = median_seconds(ingest_reps, [&] {
+    for (const auto& csv : profile_csvs) {
+      (void)sampling::Dataset::load_csv(std::string_view(csv));
+    }
+  });
+  const double bin_view_pass_s = median_seconds(ingest_reps, [&] {
+    for (const auto& bin : profile_bins) {
+      (void)serve::profile_bin::parse(bin);
+    }
+  });
+  const double suite_n = static_cast<double>(profile_csvs.size());
+  const double istream_pps =
+      istream_pass_s > 0.0 ? suite_n / istream_pass_s : 0.0;
+  const double inplace_pps =
+      inplace_pass_s > 0.0 ? suite_n / inplace_pass_s : 0.0;
+  const double bin_view_pps =
+      bin_view_pass_s > 0.0 ? suite_n / bin_view_pass_s : 0.0;
+  std::printf(
+      "profile ingest (%zu profiles, %zu CSV bytes -> %zu bin bytes): "
+      "istream %.0f/s, in-place %.0f/s (%.2fx), profile-bin view %.0f/s "
+      "(%.1fx over istream)\n",
+      profile_csvs.size(), profile_csv_bytes, profile_bin_bytes, istream_pps,
+      inplace_pps, istream_pps > 0.0 ? inplace_pps / istream_pps : 0.0,
+      bin_view_pps, istream_pps > 0.0 ? bin_view_pps / istream_pps : 0.0);
 
   // --- cold-start: mmap open vs deserialize, at fleet scale ----------------
   // Medians over repeated loads; the v2 number is re-measured the same way
@@ -460,6 +515,12 @@ int main(int argc, char** argv) {
        << "  \"load_seconds\": {\"text\": " << text_load_s
        << ", \"binary\": " << bin_load_s << ", \"compile\": " << compile_s
        << "},\n"
+       << "  \"profile_ingest\": {\"profiles\": " << profile_csvs.size()
+       << ", \"csv_bytes\": " << profile_csv_bytes
+       << ", \"bin_bytes\": " << profile_bin_bytes
+       << ", \"csv_istream_per_s\": " << istream_pps
+       << ", \"csv_inplace_per_s\": " << inplace_pps
+       << ", \"profile_bin_view_per_s\": " << bin_view_pps << "},\n"
        << "  \"fleet_scale\": {\"pieces\": " << fleet_compiled.piece_count()
        << ", \"v3_bytes\": " << fleet_mapped.file_size()
        << ", \"v2_deserialize_median_s\": " << bin_load_median_s

@@ -125,13 +125,19 @@ bool next_line(std::string_view& rest, std::string_view& line) {
 }  // namespace
 
 Dataset Dataset::load_csv(std::istream& in) {
-  // Hot path for the 27-workload suite (hundreds of thousands of rows per
-  // run): slurp the stream once, then parse string_views in place — no
-  // per-line stream state, no per-field substr allocations.
-  std::string buffer(std::istreambuf_iterator<char>(in), {});
+  // Slurp the stream once, then parse string_views in place — no per-line
+  // stream state, no per-field substr allocations.
+  const std::string buffer(std::istreambuf_iterator<char>(in), {});
+  return load_csv(std::string_view(buffer));
+}
+
+Dataset Dataset::load_csv(std::string_view text) {
+  // Hot path for the 27-workload suite and the serving request path
+  // (hundreds of thousands of rows per run): every field is parsed in
+  // place out of the caller's buffer.
   Dataset out;
 
-  std::string_view rest(buffer);
+  std::string_view rest(text);
   std::string_view line;
   if (!next_line(rest, line)) return out;  // empty stream
   if (line != "metric,t,w,m") {

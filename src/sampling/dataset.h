@@ -10,6 +10,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -50,6 +51,11 @@ class Dataset {
   /// Parses the save_csv format. Throws std::runtime_error on bad input
   /// (unknown metric names, non-numeric fields).
   static Dataset load_csv(std::istream& in);
+
+  /// Same parse over an in-memory buffer, reading fields in place with no
+  /// copy of the text. The serving hot path hands request payloads here
+  /// directly; the istream overload slurps and delegates.
+  static Dataset load_csv(std::string_view text);
 
  private:
   std::unordered_map<counters::Event, std::vector<Sample>> by_metric_;

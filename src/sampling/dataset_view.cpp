@@ -1,5 +1,7 @@
 #include "sampling/dataset_view.h"
 
+#include <stdexcept>
+
 namespace spire::sampling {
 
 DatasetView::DatasetView(const Dataset& data)
@@ -9,6 +11,29 @@ DatasetView::DatasetView(const Dataset& data)
     const auto& series = data.samples(metric);
     by_metric_[static_cast<std::size_t>(metric)] =
         std::span<const Sample>(series.data(), series.size());
+    size_ += series.size();
+  }
+}
+
+DatasetView::DatasetView(
+    std::span<const std::pair<counters::Event, std::span<const Sample>>>
+        columns)
+    : by_metric_(counters::kEventCount) {
+  metrics_.reserve(columns.size());
+  counters::Event previous{};
+  for (const auto& [metric, series] : columns) {
+    const auto slot = static_cast<std::size_t>(metric);
+    if (slot >= counters::kEventCount) {
+      throw std::invalid_argument("dataset view: metric id out of range");
+    }
+    if (!metrics_.empty() && metric <= previous) {
+      throw std::invalid_argument(
+          "dataset view: columns must be unique and in catalog order");
+    }
+    previous = metric;
+    if (series.empty()) continue;
+    metrics_.push_back(metric);
+    by_metric_[slot] = series;
     size_ += series.size();
   }
 }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "counters/events.h"
@@ -33,6 +34,17 @@ class DatasetView {
   /// consumer takes a DatasetView, and call sites holding a Dataset keep
   /// working unchanged.
   DatasetView(const Dataset& data);  // NOLINT(google-explicit-constructor)
+
+  /// Builds a view over caller-owned sample storage: one (metric, span)
+  /// column per entry, each span pointing into memory the caller keeps
+  /// alive for the view's lifetime. This is the zero-copy entry used by
+  /// the binary profile path — the spans alias the wire payload directly,
+  /// no Dataset is ever materialized. Metrics must be unique and in
+  /// catalog order (profile_bin's canonical layout guarantees both);
+  /// throws std::invalid_argument otherwise.
+  explicit DatasetView(
+      std::span<const std::pair<counters::Event, std::span<const Sample>>>
+          columns);
 
   /// Samples recorded for a metric (empty span if none).
   std::span<const Sample> samples(counters::Event metric) const {

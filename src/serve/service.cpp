@@ -106,8 +106,10 @@ std::vector<BatchResult> EstimationService::estimate_csvs(
       continue;
     }
     try {
-      std::istringstream in(*job.csv);
-      datasets.push_back(sampling::Dataset::load_csv(in));
+      // In-place parse: fields are read straight out of the request's CSV
+      // buffer, no istringstream copy of the payload.
+      datasets.push_back(
+          sampling::Dataset::load_csv(std::string_view(*job.csv)));
       views.emplace_back(datasets.back());
       result.samples = views.back().size();
       merges.push_back(job.merge);
@@ -120,6 +122,49 @@ std::vector<BatchResult> EstimationService::estimate_csvs(
   // Evaluate pass: every survivor joins ONE planned kernel batch (a shard
   // pump's coalesced wakeup becomes a single sort/sweep/execute per
   // metric). Per-item error isolation is preserved inside estimate_many.
+  const auto outcomes = thread_eval_batch().estimate_many(
+      tables, std::span<const sampling::DatasetView>(views),
+      std::span<const model::Merge>(merges));
+  for (std::size_t k = 0; k < outcomes.size(); ++k) {
+    BatchResult& result = results[slots[k]];
+    if (outcomes[k].ok()) {
+      result.estimate = outcomes[k].estimate;
+    } else {
+      result.error = outcomes[k].error;
+    }
+  }
+  return results;
+}
+
+std::vector<BatchResult> EstimationService::estimate_views(
+    std::span<const ViewJob> jobs) const {
+  const EvalTables tables = this->tables();
+  std::vector<BatchResult> results(jobs.size());
+
+  // No stage pass to speak of: the views already exist, so the only
+  // per-item work before the kernel is the deadline check (same monotonic
+  // once-expired-stays-expired semantics as estimate_csvs).
+  std::vector<sampling::DatasetView> views;
+  std::vector<model::Merge> merges;
+  std::vector<std::size_t> slots;
+  views.reserve(jobs.size());
+  merges.reserve(jobs.size());
+  slots.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const ViewJob& job = jobs[i];
+    BatchResult& result = results[i];
+    if (job.has_deadline &&
+        std::chrono::steady_clock::now() >= job.deadline) {
+      result.deadline_expired = true;
+      result.error = "deadline expired";
+      continue;
+    }
+    views.push_back(*job.view);  // cheap: spans, not samples
+    result.samples = views.back().size();
+    merges.push_back(job.merge);
+    slots.push_back(i);
+  }
+
   const auto outcomes = thread_eval_batch().estimate_many(
       tables, std::span<const sampling::DatasetView>(views),
       std::span<const model::Merge>(merges));

@@ -23,6 +23,7 @@
 #include <variant>
 #include <vector>
 
+#include "sampling/dataset_view.h"
 #include "serve/compiled_model.h"
 #include "serve/mapped_model.h"
 #include "spire/ensemble.h"
@@ -53,6 +54,17 @@ struct BatchResult {
 /// evaluating past the deadline.
 struct CsvJob {
   const std::string* csv = nullptr;
+  model::Merge merge = model::Merge::kTimeWeighted;
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
+};
+
+/// One pre-parsed workload for estimate_views. `view` points at a
+/// caller-owned DatasetView (a zero-copy profile_bin::ProfileView or a
+/// ProfileCache hit) that must stay alive for the call — no parse happens,
+/// the view's spans feed the batch kernel directly.
+struct ViewJob {
+  const sampling::DatasetView* view = nullptr;
   model::Merge merge = model::Merge::kTimeWeighted;
   std::chrono::steady_clock::time_point deadline{};
   bool has_deadline = false;
@@ -113,6 +125,14 @@ class EstimationService {
   /// isolation; an item whose deadline already expired gets
   /// `deadline_expired` set and is never parsed or evaluated.
   std::vector<BatchResult> estimate_csvs(std::span<const CsvJob> jobs) const;
+
+  /// The parse-free twin of estimate_csvs: every job arrives pre-parsed
+  /// (a zero-copy binary-profile view or a parsed-profile cache hit), so
+  /// the whole call is ONE planned batch-kernel pass with no Dataset
+  /// materialization and no string copies. Deadline and error semantics
+  /// match estimate_csvs; results are bit-identical to parsing the same
+  /// samples from CSV (the kernel sees the same doubles either way).
+  std::vector<BatchResult> estimate_views(std::span<const ViewJob> jobs) const;
 
  private:
   std::variant<CompiledModel, MappedModel,

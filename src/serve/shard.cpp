@@ -1,6 +1,8 @@
 #include "serve/shard.h"
 
 #include <algorithm>
+#include <exception>
+#include <string_view>
 #include <utility>
 
 namespace spire::serve {
@@ -13,13 +15,14 @@ using Clock = std::chrono::steady_clock;
 
 Shard::Shard(std::string model_id, std::shared_ptr<const MappedModel> model,
              util::ThreadPool& pool, std::size_t queue_bound,
-             std::size_t max_batch)
+             std::size_t max_batch, ProfileCache* profile_cache)
     : model_id_(std::move(model_id)),
       model_(std::move(model)),
       service_(model_),
       pool_(pool),
       queue_bound_(std::max<std::size_t>(queue_bound, 1)),
-      max_batch_(std::max<std::size_t>(max_batch, 1)) {}
+      max_batch_(std::max<std::size_t>(max_batch, 1)),
+      profile_cache_(profile_cache) {}
 
 Shard::Enqueue Shard::enqueue(Request request) {
   bool schedule = false;
@@ -110,13 +113,24 @@ void Shard::run_batch(std::vector<Request>& batch) {
     if (request.begin) request.begin();
   }
   const Clock::time_point now = Clock::now();
-  // Flatten the evaluable requests' workloads into one coalesced batch —
-  // estimate_csvs runs it as ONE planned batch-kernel pass (per metric:
-  // one sort, one merge sweep, one execute over every request's samples),
-  // so coalescing buys a genuinely batched evaluation, not just a loop.
-  // Requests that waited out their deadline in the queue are completed
-  // immediately and contribute nothing to it.
-  std::vector<CsvJob> jobs;
+  // Resolve the evaluable requests' workloads to DatasetViews, then run
+  // ONE planned batch-kernel pass over all of them (per metric: one sort,
+  // one merge sweep, one execute over every request's samples) — so
+  // coalescing buys a genuinely batched evaluation, not just a loop.
+  // Pre-parsed (binary-path) workloads resolve for free; text workloads go
+  // through the fleet-wide ProfileCache when one is attached, so only a
+  // profile the fleet has never seen pays a parse. Requests that waited
+  // out their deadline in the queue are completed immediately and
+  // contribute nothing.
+  struct Slot {
+    BatchResult early;           // parse failure or expiry at resolve time
+    bool has_early = false;
+    const sampling::DatasetView* view = nullptr;
+  };
+  std::vector<Slot> slots;
+  // Pins ProfileCache hits and fresh parses until the kernel is done with
+  // their spans (an eviction mid-batch must not free evaluated storage).
+  std::vector<std::shared_ptr<const ParsedProfile>> pinned;
   std::vector<Request*> evaluable;
   for (Request& request : batch) {
     if (request.has_deadline && now >= request.deadline) {
@@ -126,17 +140,71 @@ void Shard::run_batch(std::vector<Request>& batch) {
       continue;
     }
     evaluable.push_back(&request);
-    for (const std::string& csv : request.workload_csvs) {
-      CsvJob job;
-      job.csv = &csv;
-      job.merge = request.merge;
-      job.deadline = request.deadline;
-      job.has_deadline = request.has_deadline;
-      jobs.push_back(job);
+    for (const Workload& workload : request.workloads) {
+      Slot slot;
+      if (workload.view != nullptr) {
+        slot.view = workload.view;
+        slot.early.samples = workload.view->size();
+      } else if (request.has_deadline && Clock::now() >= request.deadline) {
+        // Same per-item semantics as estimate_csvs: the deadline is checked
+        // before each parse, because parsing dominates per-item cost.
+        slot.has_early = true;
+        slot.early.deadline_expired = true;
+        slot.early.error = "deadline expired";
+      } else {
+        std::shared_ptr<const ParsedProfile> parsed;
+        if (profile_cache_ != nullptr && workload.hash != 0) {
+          parsed = profile_cache_->lookup(workload.hash);
+        }
+        if (parsed == nullptr) {
+          try {
+            parsed = ParsedProfile::make(
+                sampling::Dataset::load_csv(std::string_view(workload.csv)));
+            if (profile_cache_ != nullptr && workload.hash != 0) {
+              profile_cache_->insert(workload.hash, parsed);
+            }
+          } catch (const std::exception& e) {
+            slot.has_early = true;
+            slot.early.error = e.what();
+          }
+        }
+        if (parsed != nullptr) {
+          slot.view = &parsed->view;
+          slot.early.samples = parsed->view.size();
+          pinned.push_back(std::move(parsed));
+        }
+      }
+      slots.push_back(std::move(slot));
     }
   }
   if (evaluable.empty()) return;
-  std::vector<BatchResult> results = service_.estimate_csvs(jobs);
+
+  std::vector<ViewJob> jobs;
+  std::vector<std::size_t> job_slot;
+  jobs.reserve(slots.size());
+  job_slot.reserve(slots.size());
+  {
+    std::size_t flat = 0;
+    for (Request* request : evaluable) {
+      for (std::size_t i = 0; i < request->workloads.size(); ++i, ++flat) {
+        if (slots[flat].has_early) continue;
+        ViewJob job;
+        job.view = slots[flat].view;
+        job.merge = request->merge;
+        job.deadline = request->deadline;
+        job.has_deadline = request->has_deadline;
+        jobs.push_back(job);
+        job_slot.push_back(flat);
+      }
+    }
+  }
+  std::vector<BatchResult> evaluated = service_.estimate_views(jobs);
+  for (std::size_t k = 0; k < evaluated.size(); ++k) {
+    Slot& slot = slots[job_slot[k]];
+    slot.early = std::move(evaluated[k]);
+    slot.has_early = true;
+  }
+
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_requests_.fetch_add(evaluable.size(), std::memory_order_relaxed);
   std::uint64_t seen = max_batch_requests_.load(std::memory_order_relaxed);
@@ -144,13 +212,15 @@ void Shard::run_batch(std::vector<Request>& batch) {
          !max_batch_requests_.compare_exchange_weak(
              seen, evaluable.size(), std::memory_order_relaxed)) {
   }
-  // Scatter the flat result vector back into per-request slices.
+  // Scatter the flat slot vector back into per-request slices.
   std::size_t offset = 0;
   for (Request* request : evaluable) {
-    const std::size_t count = request->workload_csvs.size();
-    std::vector<BatchResult> slice(
-        std::make_move_iterator(results.begin() + offset),
-        std::make_move_iterator(results.begin() + offset + count));
+    const std::size_t count = request->workloads.size();
+    std::vector<BatchResult> slice;
+    slice.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      slice.push_back(std::move(slots[offset + i].early));
+    }
     offset += count;
     completed_.fetch_add(1, std::memory_order_relaxed);
     if (request->complete) {

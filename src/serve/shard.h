@@ -11,14 +11,17 @@
 //
 // Coalescing: requests are not evaluated one-per-worker. The first enqueue
 // into an idle shard schedules one "pump" task on the shared ThreadPool;
-// the pump repeatedly drains up to max_batch queued requests, flattens
-// their workloads into one EstimationService::estimate_csvs batch, and
-// scatters the results — so a burst of same-model requests costs one
-// worker wakeup and ONE planned batch-kernel pass (serve/model_eval.h:
-// per metric, one sort + merge sweep + execute over every coalesced
-// request's samples) instead of N independent evaluations. At most
-// one pump runs per shard at any moment, which also serializes evaluation
-// per model while leaving cross-shard parallelism to the pool.
+// the pump repeatedly drains up to max_batch queued requests, resolves
+// their workloads to DatasetViews (pre-parsed binary profiles for free,
+// text CSVs through the fleet-wide ProfileCache so a known profile skips
+// its parse), feeds them all to one EstimationService::estimate_views
+// batch, and scatters the results — so a burst of same-model requests
+// costs one worker wakeup and ONE planned batch-kernel pass
+// (serve/model_eval.h: per metric, one sort + merge sweep + execute over
+// every coalesced request's samples) instead of N independent
+// evaluations. At most one pump runs per shard at any moment, which also
+// serializes evaluation per model while leaving cross-shard parallelism
+// to the pool.
 //
 // Lifecycle: retire() flips the shard to reject NEW requests (the router
 // repoints or sheds) while everything already queued still drains through
@@ -46,7 +49,9 @@
 #include <string>
 #include <vector>
 
+#include "sampling/dataset_view.h"
 #include "serve/mapped_model.h"
+#include "serve/profile_cache.h"
 #include "serve/service.h"
 #include "spire/ensemble.h"
 #include "util/thread_annotations.h"
@@ -60,8 +65,23 @@ class Shard : public std::enable_shared_from_this<Shard> {
   /// taking ownership of it; the caller sheds or re-routes.
   enum class Enqueue { kAccepted, kFull, kRetired };
 
+  /// One workload inside a request, in exactly one of two forms:
+  ///  * text — `csv` holds the CSV bytes; the pump parses them (through the
+  ///    ProfileCache when one is attached and `hash` is set);
+  ///  * pre-parsed — `view` points at a caller-owned DatasetView (the
+  ///    server's zero-copy binary-profile path); `csv` stays empty and the
+  ///    request's `keepalive` pins whatever the view aliases.
+  struct Workload {
+    std::string csv;
+    const sampling::DatasetView* view = nullptr;
+    std::uint64_t hash = 0;  // fnv1a64 of the wire bytes; 0 = uncacheable
+  };
+
   struct Request {
-    std::vector<std::string> workload_csvs;
+    std::vector<Workload> workloads;
+    /// Pins the storage view-form workloads alias (e.g. the decoded frame
+    /// payload plus its ProfileViews) until the request completes.
+    std::shared_ptr<const void> keepalive;
     model::Merge merge = model::Merge::kTimeWeighted;
     std::chrono::steady_clock::time_point deadline{};
     bool has_deadline = false;
@@ -93,10 +113,11 @@ class Shard : public std::enable_shared_from_this<Shard> {
   /// `max_batch` caps how many requests one pump round coalesces. Both are
   /// clamped to at least 1. `pool` must outlive the shard. The shard must
   /// be owned by shared_ptr before the first enqueue() (the pump task holds
-  /// a self-reference).
+  /// a self-reference). `profile_cache` (optional, must outlive the shard)
+  /// memoizes text-workload parses across the whole fleet.
   Shard(std::string model_id, std::shared_ptr<const MappedModel> model,
         util::ThreadPool& pool, std::size_t queue_bound,
-        std::size_t max_batch = 16);
+        std::size_t max_batch = 16, ProfileCache* profile_cache = nullptr);
 
   Shard(const Shard&) = delete;
   Shard& operator=(const Shard&) = delete;
@@ -123,6 +144,7 @@ class Shard : public std::enable_shared_from_this<Shard> {
   util::ThreadPool& pool_;
   const std::size_t queue_bound_;
   const std::size_t max_batch_;
+  ProfileCache* const profile_cache_;  // nullable, not owned
 
   mutable util::Mutex mutex_{util::lock_rank::Rank::kShardQueue,
                              "shard-queue"};

@@ -22,9 +22,12 @@
 // bench does exactly that, with per-thread seeds).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "server/chaos.h"
 #include "server/protocol.h"
@@ -84,6 +87,42 @@ class Client {
   /// sent to the server shrinks to the remaining budget each attempt.
   EstimateReply estimate(EstimateRequest request);
 
+  /// The binary twin: ships spire-profile-bin workloads (protocol v2,
+  /// kEstimateBinRequest) with the same retry/backoff/deadline semantics.
+  /// The request's profile string_views must stay valid for the whole call.
+  EstimateReply estimate_bin(EstimateBinRequest request);
+
+  // --- pipelining -----------------------------------------------------------
+
+  /// One frame of a pipelined batch.
+  struct PipelineRequest {
+    FrameType type = FrameType::kEstimateRequest;
+    std::string payload;
+  };
+
+  /// What one pipelined frame begat. `ok` means a complete reply frame
+  /// with this request's seq came back (its type may still be kErrorReply
+  /// — pipelining reports transport truth, not application success).
+  struct PipelineResult {
+    std::uint64_t seq = 0;
+    bool ok = false;
+    FrameHeader header{};
+    std::string payload;
+    std::string error;  // why no reply: never sent, torn, read fault, ...
+  };
+
+  /// Pipelined exchange on ONE connection, no retry: keeps up to `window`
+  /// frames in flight (0 = write everything before reading anything) and
+  /// matches replies to requests by seq — the server may reply out of
+  /// order. Chaos hooks apply per outbound frame; a torn frame stops
+  /// sending but the replies already owed are still drained, so every
+  /// FULLY sent frame reports exactly one reply. Returns the number of
+  /// results with ok = true; `results` has one entry per request, in
+  /// request order.
+  std::size_t pipeline(const std::vector<PipelineRequest>& requests,
+                       std::vector<PipelineResult>* results,
+                       std::size_t window = 32);
+
   /// Liveness probe with retry/backoff.
   void ping();
 
@@ -119,6 +158,18 @@ class Client {
                        const std::string& what);
   /// Re-encodes the estimate payload with the remaining deadline budget.
   void sleep_backoff(int completed_attempts);
+  /// Shared retry loop of estimate()/estimate_bin(): `encode` re-encodes
+  /// the payload with the remaining deadline budget each attempt.
+  EstimateReply estimate_loop(
+      FrameType request_type, FrameType expected_reply,
+      std::uint32_t budget_ms,
+      const std::function<std::string(std::uint32_t)>& encode,
+      const char* what);
+  /// Writes one frame with the chaos hooks applied; fills `error` and
+  /// returns false on a tear or transport fault (tear also disconnects
+  /// unless `keep_open` — pipelining still drains the replies it is owed).
+  bool write_frame_chaos(const std::string& frame, bool keep_open,
+                         std::string* error);
 
   ClientOptions options_;
   int fd_ = -1;

@@ -30,6 +30,19 @@ class Writer {
     u32(static_cast<std::uint32_t>(s.size()));
     out_.append(s);
   }
+  /// u32 length, zero padding to the next 8-aligned payload offset, then
+  /// the raw bytes — so a decoder reading the payload into its own buffer
+  /// sees each blob 8-aligned and can form span views over it in place.
+  void aligned_bytes(std::string_view bytes, std::size_t max,
+                     const char* field) {
+    if (bytes.size() > max) {
+      over_limit(std::string(field) + " is " + std::to_string(bytes.size()) +
+                 " bytes (limit " + std::to_string(max) + ")");
+    }
+    u32(static_cast<std::uint32_t>(bytes.size()));
+    out_.append((8u - out_.size() % 8u) % 8u, '\0');
+    out_.append(bytes);
+  }
   std::string take() { return std::move(out_); }
 
  private:
@@ -66,6 +79,29 @@ class Reader {
     }
     need(len, field);
     std::string out(bytes_.data() + pos_, len);
+    pos_ += len;
+    return out;
+  }
+
+  /// Inverse of Writer::aligned_bytes: u32 length, zeroed padding to the
+  /// next 8-aligned offset, then a string_view INTO the payload buffer —
+  /// no copy; the caller keeps the payload alive.
+  std::string_view aligned_view(std::size_t max, const char* field) {
+    const std::uint32_t len = u32(field);
+    if (len > max) {
+      over_limit(std::string(field) + " is " + std::to_string(len) +
+                 " bytes (limit " + std::to_string(max) + ")");
+    }
+    const std::size_t pad = (8u - pos_ % 8u) % 8u;
+    need(pad, field);
+    for (std::size_t i = 0; i < pad; ++i) {
+      if (bytes_[pos_ + i] != '\0') {
+        malformed(std::string("nonzero padding before ") + field);
+      }
+    }
+    pos_ += pad;
+    need(len, field);
+    const std::string_view out(bytes_.data() + pos_, len);
     pos_ += len;
     return out;
   }
@@ -165,13 +201,20 @@ const char* error_code_name(ErrorCode code) {
 
 std::string encode_header(FrameType type, std::uint64_t seq,
                           std::uint32_t payload_len) {
-  Writer w;
-  w.u32(payload_len);
-  w.u8(kProtocolVersion);
-  w.u8(static_cast<std::uint8_t>(type));
-  w.u16(0);  // reserved
-  w.u64(seq);
-  return w.take();
+  unsigned char bytes[kFrameHeaderBytes];
+  encode_header_into(type, seq, payload_len, bytes);
+  return std::string(reinterpret_cast<const char*>(bytes), sizeof bytes);
+}
+
+void encode_header_into(FrameType type, std::uint64_t seq,
+                        std::uint32_t payload_len,
+                        unsigned char out[kFrameHeaderBytes]) {
+  std::memcpy(out, &payload_len, 4);
+  out[4] = kProtocolVersion;
+  out[5] = static_cast<unsigned char>(type);
+  out[6] = 0;  // reserved
+  out[7] = 0;
+  std::memcpy(out + 8, &seq, 8);
 }
 
 FrameHeader decode_header(const unsigned char* bytes, const Limits& limits) {
@@ -182,10 +225,11 @@ FrameHeader decode_header(const unsigned char* bytes, const Limits& limits) {
   std::uint16_t reserved;
   std::memcpy(&reserved, bytes + 6, 2);
   std::memcpy(&h.seq, bytes + 8, 8);
-  if (h.version != kProtocolVersion) {
+  if (h.version < kMinProtocolVersion || h.version > kProtocolVersion) {
     throw ProtocolError(ErrorCode::kUnsupportedVersion,
                         "protocol: version " + std::to_string(h.version) +
                             " (this server speaks " +
+                            std::to_string(kMinProtocolVersion) + ".." +
                             std::to_string(kProtocolVersion) + ")");
   }
   if (reserved != 0) malformed("reserved header bytes must be zero");
@@ -246,6 +290,43 @@ EstimateRequest decode_estimate_request(const std::string& payload,
   for (std::uint32_t i = 0; i < n; ++i) {
     request.workload_csvs.push_back(
         r.str(limits.max_frame_bytes, "workload_csv"));
+  }
+  r.finish();
+  return request;
+}
+
+std::string encode_estimate_bin_request(const EstimateBinRequest& request,
+                                        const Limits& limits) {
+  Writer w;
+  w.str(request.model_class, limits.max_class_bytes, "model_class");
+  w.str(request.model_id, limits.max_class_bytes, "model_id");
+  w.u32(request.deadline_ms);
+  w.u8(request.merge);
+  if (request.profiles.size() > limits.max_workloads) {
+    over_limit("profiles count " + std::to_string(request.profiles.size()) +
+               " (limit " + std::to_string(limits.max_workloads) + ")");
+  }
+  w.u32(static_cast<std::uint32_t>(request.profiles.size()));
+  for (const std::string_view profile : request.profiles) {
+    w.aligned_bytes(profile, limits.max_frame_bytes, "profile");
+  }
+  return w.take();
+}
+
+EstimateBinRequest decode_estimate_bin_request(const std::string& payload,
+                                               const Limits& limits) {
+  Reader r(payload);
+  EstimateBinRequest request;
+  request.model_class = r.str(limits.max_class_bytes, "model_class");
+  request.model_id = r.str(limits.max_class_bytes, "model_id");
+  request.deadline_ms = r.u32("deadline_ms");
+  request.merge = r.u8("merge");
+  if (request.merge > 1) malformed("merge must be 0 or 1");
+  const std::uint32_t n = r.count(limits.max_workloads, "profiles");
+  request.profiles.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    request.profiles.push_back(
+        r.aligned_view(limits.max_frame_bytes, "profile"));
   }
   r.finish();
   return request;

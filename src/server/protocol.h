@@ -30,11 +30,17 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace spire::server {
 
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// v2 added kEstimateBinRequest (binary profiles, pipelined clients); the
+/// frame layout and every v1 payload encoding are unchanged, so a v2
+/// endpoint still accepts v1 frames (kMinProtocolVersion) — the version
+/// byte gates only what the sender may have used, not how to parse it.
+inline constexpr std::uint8_t kProtocolVersion = 2;
+inline constexpr std::uint8_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 16;
 
 /// Frame types. Requests are < 0x80; every request type has exactly one
@@ -46,11 +52,13 @@ enum class FrameType : std::uint8_t {
   kSwapRequest = 0x03,
   kStatsRequest = 0x04,
   kShardsRequest = 0x05,
+  kEstimateBinRequest = 0x06,  // v2: binary spire-profile-bin workloads
   kEstimateReply = 0x81,
   kPingReply = 0x82,
   kSwapReply = 0x83,
   kStatsReply = 0x84,
   kShardsReply = 0x85,
+  kEstimateBinReply = 0x86,  // v2: same payload encoding as kEstimateReply
   kErrorReply = 0xFF,
 };
 
@@ -96,6 +104,7 @@ struct Limits {
   std::size_t max_stats = 64;              // counters per stats reply
   std::size_t max_name_bytes = 128;        // metric/counter name strings
   std::size_t max_shards = 1024;           // rows per shards reply
+  std::size_t max_profile_samples = 1u << 22;  // samples per binary profile
 };
 
 /// Parsed frame header.
@@ -110,6 +119,13 @@ struct FrameHeader {
 /// keep within limits (encode_frame does).
 std::string encode_header(FrameType type, std::uint64_t seq,
                           std::uint32_t payload_len);
+
+/// Same encoding into a caller-provided kFrameHeaderBytes buffer — the
+/// allocation-free form the server's scatter-gather reply path uses (the
+/// header lives on the stack, the payload is written from its own buffer).
+void encode_header_into(FrameType type, std::uint64_t seq,
+                        std::uint32_t payload_len,
+                        unsigned char out[kFrameHeaderBytes]);
 
 /// Validates and decodes a 16-byte header buffer. Throws ProtocolError
 /// (kMalformedFrame / kUnsupportedVersion / kFrameTooLarge) on any defect.
@@ -135,6 +151,20 @@ struct EstimateRequest {
   std::uint32_t deadline_ms = 0;
   std::uint8_t merge = 0;              // model::Merge as u8 (0/1)
   std::vector<std::string> workload_csvs;  // <= max_workloads entries
+};
+
+/// The v2 binary twin of EstimateRequest: workloads travel as
+/// spire-profile-bin blobs (serve/profile_bin.h) instead of CSV text. The
+/// decoder is zero-copy — `profiles` are string_views INTO the payload
+/// buffer, which must outlive the decoded request — and the encoder pads
+/// each profile to an 8-aligned offset from payload start, so the server
+/// can evaluate span views straight out of the frame it read.
+struct EstimateBinRequest {
+  std::string model_class;             // <= max_class_bytes
+  std::string model_id;                // <= max_class_bytes, "" = latest slot
+  std::uint32_t deadline_ms = 0;
+  std::uint8_t merge = 0;              // model::Merge as u8 (0/1)
+  std::vector<std::string_view> profiles;  // <= max_workloads entries
 };
 
 /// Asks the server to re-resolve the registry's latest model into the
@@ -212,6 +242,15 @@ std::string encode_estimate_request(const EstimateRequest& request,
                                     const Limits& limits);
 EstimateRequest decode_estimate_request(const std::string& payload,
                                         const Limits& limits);
+
+std::string encode_estimate_bin_request(const EstimateBinRequest& request,
+                                        const Limits& limits);
+/// Zero-copy: the returned request's `profiles` alias `payload`. A reply
+/// to kEstimateBinRequest reuses the kEstimateReply payload encoding
+/// (framed as kEstimateBinReply), so cached per-workload result bytes are
+/// shared between the text and binary paths.
+EstimateBinRequest decode_estimate_bin_request(const std::string& payload,
+                                               const Limits& limits);
 
 std::string encode_swap_request(const SwapRequest& request,
                                 const Limits& limits);

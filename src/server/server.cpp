@@ -17,6 +17,7 @@
 
 #include "counters/events.h"
 #include "serve/model_eval.h"
+#include "serve/profile_bin.h"
 #include "util/posix_io.h"
 
 namespace spire::server {
@@ -75,6 +76,25 @@ struct EstimationServer::Connection {
     }
   }
 
+  /// Buffer pool: a handful of strings whose heap capacity is recycled
+  /// between frame reads and reply payloads, so a steady request stream on
+  /// this connection settles into zero per-frame payload allocations.
+  std::string acquire_buffer() SPIRE_EXCLUDES(write_mutex) {
+    util::MutexLock lock(write_mutex);
+    if (buffer_pool.empty()) return {};
+    std::string buffer = std::move(buffer_pool.back());
+    buffer_pool.pop_back();
+    return buffer;
+  }
+  void recycle_buffer(std::string buffer) SPIRE_EXCLUDES(write_mutex) {
+    buffer.clear();
+    if (buffer.capacity() == 0) return;
+    util::MutexLock lock(write_mutex);
+    if (buffer_pool.size() < kBufferPoolBound) {
+      buffer_pool.push_back(std::move(buffer));
+    }
+  }
+
   int in_fd;
   int out_fd;
   bool owns_fds;
@@ -82,6 +102,13 @@ struct EstimationServer::Connection {
   util::Mutex write_mutex{util::lock_rank::Rank::kConnectionWrite,
                           "connection-write"};
   std::atomic<bool> dead{false};
+  /// Estimates accepted onto a shard whose reply has not been sent yet. A
+  /// frame arriving while this is nonzero IS pipelining in its observable
+  /// form (the server never required one-frame-at-a-time; v2 clients
+  /// finally exploit it).
+  std::atomic<std::size_t> in_flight{0};
+  static constexpr std::size_t kBufferPoolBound = 4;
+  std::vector<std::string> buffer_pool SPIRE_GUARDED_BY(write_mutex);
   ChaosRng chaos;
 };
 
@@ -92,6 +119,9 @@ struct EstimationServer::Connection {
 struct EstimationServer::PendingEstimate {
   std::shared_ptr<Connection> conn;
   std::uint64_t seq = 0;
+  /// kEstimateReply for text requests, kEstimateBinReply for binary; the
+  /// payload encoding is identical, so cached result bytes are shared.
+  FrameType reply_type = FrameType::kEstimateReply;
   std::string model_id;
   std::uint8_t merge_byte = 0;
   std::size_t total_workloads = 0;
@@ -103,6 +133,21 @@ struct EstimationServer::PendingEstimate {
   std::vector<std::uint64_t> miss_hash;
 };
 
+/// The neutral request form both dispatch paths reduce to before the
+/// shared tail. `workloads[i].hash` doubles as the estimate-cache hash and
+/// (for text workloads) the ProfileCache key — one fnv1a64 per workload.
+struct EstimationServer::EstimateInputs {
+  FrameType reply_type = FrameType::kEstimateReply;
+  std::string model_class;
+  std::string model_id;
+  std::uint32_t deadline_ms = 0;
+  std::uint8_t merge = 0;
+  std::vector<serve::Shard::Workload> workloads;
+  /// Pins whatever view-form workloads alias (the binary frame payload and
+  /// its parsed ProfileViews) until the shard completes the request.
+  std::shared_ptr<const void> keepalive;
+};
+
 #if defined(_WIN32)
 
 // The server is POSIX-only, like the mmap serving path. Constructing one
@@ -110,7 +155,8 @@ struct EstimationServer::PendingEstimate {
 EstimationServer::EstimationServer(serve::ModelRegistry& registry,
                                    ServerOptions options)
     : registry_(registry), options_(std::move(options)),
-      estimate_cache_(options_.cache_entries) {
+      estimate_cache_(options_.cache_entries),
+      profile_cache_(options_.profile_cache_entries) {
   fail("the estimation server requires POSIX descriptors");
 }
 EstimationServer::~EstimationServer() = default;
@@ -137,12 +183,18 @@ bool EstimationServer::serve_one_frame(const std::shared_ptr<Connection>&) {
 void EstimationServer::dispatch_estimate(const std::shared_ptr<Connection>&,
                                          std::uint64_t, const std::string&,
                                          Clock::time_point) {}
+void EstimationServer::dispatch_estimate_bin(
+    const std::shared_ptr<Connection>&, std::uint64_t, std::string,
+    Clock::time_point) {}
+void EstimationServer::dispatch_estimate_common(
+    const std::shared_ptr<Connection>&, std::uint64_t, EstimateInputs,
+    Clock::time_point) {}
 void EstimationServer::finish_estimate(
     const std::shared_ptr<PendingEstimate>&, std::vector<serve::BatchResult>,
     bool) {}
 bool EstimationServer::send_frame(const std::shared_ptr<Connection>&,
                                   FrameType, std::uint64_t,
-                                  const std::string&) { return false; }
+                                  std::string) { return false; }
 bool EstimationServer::send_error(const std::shared_ptr<Connection>&,
                                   std::uint64_t, ErrorCode,
                                   const std::string&) { return false; }
@@ -158,7 +210,8 @@ void EstimationServer::rebind(const std::string&,
 EstimationServer::EstimationServer(serve::ModelRegistry& registry,
                                    ServerOptions options)
     : registry_(registry), options_(std::move(options)),
-      estimate_cache_(options_.cache_entries) {
+      estimate_cache_(options_.cache_entries),
+      profile_cache_(options_.profile_cache_entries) {
   if (options_.workers == 0) options_.workers = 1;
   if (options_.max_queue == 0) options_.max_queue = 1;
   if (options_.shard_batch == 0) options_.shard_batch = 1;
@@ -206,7 +259,8 @@ std::shared_ptr<serve::Shard> EstimationServer::shard_for_id(
     return nullptr;
   }
   auto shard = std::make_shared<serve::Shard>(
-      id, std::move(model), *pool_, shard_bound(), options_.shard_batch);
+      id, std::move(model), *pool_, shard_bound(), options_.shard_batch,
+      &profile_cache_);
   util::MutexLock lock(slots_mutex_);
   if (const auto it = shards_.find(id); it != shards_.end()) {
     return it->second;
@@ -478,7 +532,18 @@ bool EstimationServer::serve_one_frame(
     send_error(conn, seq, e.code(), e.what());
     return false;
   }
-  std::string payload(header.payload_len, '\0');
+  // The payload buffer comes from the connection's pool and (for non-binary
+  // frames) goes back into it at scope exit, so a steady stream re-reads
+  // into the same allocation.
+  std::string payload = conn->acquire_buffer();
+  payload.assign(header.payload_len, '\0');
+  struct PayloadRecycler {
+    Connection* conn;
+    std::string* payload;
+    ~PayloadRecycler() {
+      if (conn) conn->recycle_buffer(std::move(*payload));
+    }
+  } recycler{conn.get(), &payload};
   if (header.payload_len > 0) {
     st = util::read_exact(conn->in_fd, payload.data(), payload.size(),
                           options_.read_timeout_ms);
@@ -488,6 +553,13 @@ bool EstimationServer::serve_one_frame(
       }
       return false;  // torn frame: never completed, no reply owed
     }
+  }
+  bytes_read_.fetch_add(kFrameHeaderBytes + header.payload_len,
+                        std::memory_order_relaxed);
+  if (conn->in_flight.load(std::memory_order_acquire) > 0) {
+    // A complete frame arrived while earlier requests on this connection
+    // were still being evaluated: the peer is pipelining.
+    frames_pipelined_.fetch_add(1, std::memory_order_relaxed);
   }
   const Clock::time_point received = Clock::now();
   if (draining_.load(std::memory_order_acquire)) {
@@ -550,6 +622,12 @@ bool EstimationServer::serve_one_frame(
     case FrameType::kEstimateRequest:
       dispatch_estimate(conn, header.seq, payload, received);
       return true;
+    case FrameType::kEstimateBinRequest:
+      // The payload moves into the dispatcher (its decoded string_views and
+      // parsed spans alias it), so it cannot be recycled here.
+      recycler.conn = nullptr;
+      dispatch_estimate_bin(conn, header.seq, std::move(payload), received);
+      return true;
     default:
       send_error(conn, header.seq, ErrorCode::kUnknownType,
                  "unknown frame type " +
@@ -562,6 +640,7 @@ void EstimationServer::dispatch_estimate(
     const std::shared_ptr<Connection>& conn, std::uint64_t seq,
     const std::string& payload, Clock::time_point received) {
   estimate_requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_text_.fetch_add(1, std::memory_order_relaxed);
   // Chaos shed stays BEFORE parsing, like real admission under a flood.
   if (conn->chaos.force_overload()) {
     chaos_injected_.fetch_add(1, std::memory_order_relaxed);
@@ -579,23 +658,113 @@ void EstimationServer::dispatch_estimate(
     send_error(conn, seq, e.code(), e.what());
     return;
   }
+  EstimateInputs inputs;
+  inputs.reply_type = FrameType::kEstimateReply;
+  inputs.model_class = std::move(request.model_class);
+  inputs.model_id = std::move(request.model_id);
+  inputs.deadline_ms = request.deadline_ms;
+  inputs.merge = request.merge;
+  inputs.workloads.reserve(request.workload_csvs.size());
+  for (std::string& csv : request.workload_csvs) {
+    serve::Shard::Workload workload;
+    workload.hash = serve::EstimateCache::workload_hash(csv);
+    workload.csv = std::move(csv);
+    inputs.workloads.push_back(std::move(workload));
+  }
+  dispatch_estimate_common(conn, seq, std::move(inputs), received);
+}
+
+void EstimationServer::dispatch_estimate_bin(
+    const std::shared_ptr<Connection>& conn, std::uint64_t seq,
+    std::string payload, Clock::time_point received) {
+  estimate_requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_binary_.fetch_add(1, std::memory_order_relaxed);
+  if (conn->chaos.force_overload()) {
+    chaos_injected_.fetch_add(1, std::memory_order_relaxed);
+    shed_overloaded_.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, seq, ErrorCode::kOverloaded,
+               "queue full (" + std::to_string(shard_bound()) +
+                   " pending requests)");
+    return;
+  }
+  // Everything the evaluation will alias lives here: the frame payload (the
+  // decoded request's profile string_views point into it) and the parsed
+  // ProfileViews (their spans point into the payload too, or into their own
+  // owned storage for a misaligned buffer). The shared_ptr rides the shard
+  // request as its keepalive, so eviction/reply ordering can never free
+  // bytes a batch kernel is still reading.
+  struct BinKeepalive {
+    std::string payload;
+    std::vector<serve::profile_bin::ProfileView> views;
+  };
+  auto keep = std::make_shared<BinKeepalive>();
+  keep->payload = std::move(payload);
+  EstimateBinRequest request;
+  try {
+    request = decode_estimate_bin_request(keep->payload, options_.limits);
+  } catch (const ProtocolError& e) {
+    malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, seq, e.code(), e.what());
+    return;
+  }
+  serve::profile_bin::Limits bin_limits;
+  bin_limits.max_samples = options_.limits.max_profile_samples;
+  bin_limits.max_name_bytes = options_.limits.max_name_bytes;
+  keep->views.reserve(request.profiles.size());
+  for (std::size_t i = 0; i < request.profiles.size(); ++i) {
+    try {
+      keep->views.push_back(
+          serve::profile_bin::parse(request.profiles[i], bin_limits));
+    } catch (const std::exception& e) {
+      // A profile that fails the bounded parse poisons the whole request
+      // (same strictness as the frame codec): the client gets the
+      // section/offset diagnostic plus which workload tripped it.
+      malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+      send_error(conn, seq, ErrorCode::kMalformedFrame,
+                 "workload " + std::to_string(i) + ": " + e.what());
+      return;
+    }
+  }
+  EstimateInputs inputs;
+  inputs.reply_type = FrameType::kEstimateBinReply;
+  inputs.model_class = std::move(request.model_class);
+  inputs.model_id = std::move(request.model_id);
+  inputs.deadline_ms = request.deadline_ms;
+  inputs.merge = request.merge;
+  inputs.workloads.reserve(request.profiles.size());
+  for (std::size_t i = 0; i < request.profiles.size(); ++i) {
+    serve::Shard::Workload workload;
+    workload.view = &keep->views[i].view();
+    // The estimate memo-cache key hashes the exact wire bytes; binary and
+    // text encodings of the same samples hash differently, which only
+    // costs a first-time miss per representation.
+    workload.hash = serve::EstimateCache::workload_hash(request.profiles[i]);
+    inputs.workloads.push_back(std::move(workload));
+  }
+  inputs.keepalive = std::move(keep);
+  dispatch_estimate_common(conn, seq, std::move(inputs), received);
+}
+
+void EstimationServer::dispatch_estimate_common(
+    const std::shared_ptr<Connection>& conn, std::uint64_t seq,
+    EstimateInputs inputs, Clock::time_point received) {
   // Drawn on the reader thread: the connection's ChaosRng is
   // single-threaded by construction, so shard pumps never touch it.
   const bool chaos_swap = conn->chaos.swap_mid_request();
-  const bool has_deadline = request.deadline_ms > 0;
+  const bool has_deadline = inputs.deadline_ms > 0;
   const std::uint32_t deadline_ms =
-      std::min(request.deadline_ms, options_.max_deadline_ms);
+      std::min(inputs.deadline_ms, options_.max_deadline_ms);
   const Clock::time_point deadline = received + ms(deadline_ms);
-  const model::Merge merge = request.merge == 0 ? model::Merge::kTimeWeighted
-                                                : model::Merge::kUnweighted;
+  const model::Merge merge = inputs.merge == 0 ? model::Merge::kTimeWeighted
+                                               : model::Merge::kUnweighted;
 
   // At most two routing attempts: a shard retired between routing and
   // enqueue (a racing hot-swap) re-routes once to the replacement binding.
   for (int attempt = 0;; ++attempt) {
     std::string error;
     const std::shared_ptr<serve::Shard> shard =
-        request.model_id.empty() ? route_class(request.model_class, &error)
-                                 : shard_for_id(request.model_id, &error);
+        inputs.model_id.empty() ? route_class(inputs.model_class, &error)
+                                : shard_for_id(inputs.model_id, &error);
     if (!shard) {
       send_error(conn, seq, ErrorCode::kModelUnavailable, error);
       return;
@@ -604,29 +773,33 @@ void EstimationServer::dispatch_estimate(
     auto pending = std::make_shared<PendingEstimate>();
     pending->conn = conn;
     pending->seq = seq;
+    pending->reply_type = inputs.reply_type;
     pending->model_id = shard->model_id();
-    pending->merge_byte = request.merge;
-    pending->total_workloads = request.workload_csvs.size();
-    pending->cached.resize(request.workload_csvs.size());
+    pending->merge_byte = inputs.merge;
+    pending->total_workloads = inputs.workloads.size();
+    pending->cached.resize(inputs.workloads.size());
 
     serve::Shard::Request shard_request;
     shard_request.merge = merge;
     shard_request.deadline = deadline;
     shard_request.has_deadline = has_deadline;
+    shard_request.keepalive = inputs.keepalive;
     // Memo-cache consult before enqueue: only the misses ride the queue,
-    // and a fully-cached request never takes a queue slot at all.
-    for (std::size_t i = 0; i < request.workload_csvs.size(); ++i) {
+    // and a fully-cached request never takes a queue slot at all. The
+    // workloads are COPIED into the shard request (views are pointer
+    // copies, text pays one string copy) so the rare retired-shard retry
+    // can rebuild from `inputs`.
+    for (std::size_t i = 0; i < inputs.workloads.size(); ++i) {
       serve::EstimateCache::Key key;
       key.model_id = pending->model_id;
-      key.csv_hash =
-          serve::EstimateCache::workload_hash(request.workload_csvs[i]);
-      key.merge = request.merge;
+      key.csv_hash = inputs.workloads[i].hash;
+      key.merge = inputs.merge;
       if (std::optional<std::string> hit = estimate_cache_.lookup(key)) {
         pending->cached[i] = std::move(*hit);
       } else {
         pending->miss_index.push_back(i);
         pending->miss_hash.push_back(key.csv_hash);
-        shard_request.workload_csvs.push_back(request.workload_csvs[i]);
+        shard_request.workloads.push_back(inputs.workloads[i]);
       }
     }
 
@@ -638,7 +811,7 @@ void EstimationServer::dispatch_estimate(
         chaos_injected_.fetch_add(1, std::memory_order_relaxed);
         std::string id;
         std::string swap_error;
-        (void)swap_to_latest(request.model_class, &id, &swap_error);
+        (void)swap_to_latest(inputs.model_class, &id, &swap_error);
       }
       try {
         EstimateReply reply;
@@ -649,7 +822,7 @@ void EstimationServer::dispatch_estimate(
           reply.results.push_back(
               decode_workload_result(bytes, options_.limits));
         }
-        send_frame(conn, FrameType::kEstimateReply, seq,
+        send_frame(conn, inputs.reply_type, seq,
                    encode_estimate_reply(reply, options_.limits));
       } catch (const std::exception& e) {
         send_error(conn, seq, ErrorCode::kInternal, e.what());
@@ -658,7 +831,7 @@ void EstimationServer::dispatch_estimate(
     }
 
     shard_request.begin = [this, chaos_swap,
-                           model_class = request.model_class] {
+                           model_class = inputs.model_class] {
       // Dequeue: active before not-queued, so the drain predicate
       // (queued == 0 && active == 0) never observes a request in neither
       // set.
@@ -681,9 +854,13 @@ void EstimationServer::dispatch_estimate(
     };
 
     queued_.fetch_add(1, std::memory_order_acq_rel);
+    // Counted before enqueue: the pump may complete (and decrement) on
+    // another thread before enqueue() even returns here.
+    conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
     const serve::Shard::Enqueue verdict =
         shard->enqueue(std::move(shard_request));
     if (verdict == serve::Shard::Enqueue::kAccepted) return;
+    conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
     queued_.fetch_sub(1, std::memory_order_acq_rel);
     { util::MutexLock lock(drain_mutex_); }
     drain_cv_.notify_all();
@@ -707,12 +884,14 @@ void EstimationServer::finish_estimate(
     std::vector<serve::BatchResult> results, bool expired_in_queue) {
   struct DrainGuard {
     EstimationServer* server;
+    Connection* conn;
     ~DrainGuard() {
+      conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
       server->active_.fetch_sub(1, std::memory_order_acq_rel);
       { util::MutexLock lock(server->drain_mutex_); }
       server->drain_cv_.notify_all();
     }
-  } guard{this};
+  } guard{this, pending->conn.get()};
 
   if (expired_in_queue) {
     // Deadline check #1 fired at dequeue: the request was never evaluated.
@@ -778,7 +957,7 @@ void EstimationServer::finish_estimate(
       ++next_miss;
       reply.results.push_back(std::move(result));
     }
-    send_frame(pending->conn, FrameType::kEstimateReply, pending->seq,
+    send_frame(pending->conn, pending->reply_type, pending->seq,
                encode_estimate_reply(reply, options_.limits));
   } catch (const ProtocolError& e) {
     send_error(pending->conn, pending->seq, e.code(), e.what());
@@ -791,38 +970,51 @@ void EstimationServer::finish_estimate(
 
 bool EstimationServer::send_frame(const std::shared_ptr<Connection>& conn,
                                   FrameType type, std::uint64_t seq,
-                                  const std::string& payload) {
-  std::string frame;
-  try {
-    frame = encode_frame(type, seq, payload, options_.limits);
-  } catch (const ProtocolError&) {
+                                  std::string payload) {
+  if (payload.size() > options_.limits.max_frame_bytes) {
     type = FrameType::kErrorReply;
     ErrorReply fallback;
     fallback.code = ErrorCode::kInternal;
     fallback.message = "reply exceeded the frame limit";
-    frame = encode_frame(FrameType::kErrorReply, seq,
-                         encode_error_reply(fallback, options_.limits),
-                         options_.limits);
+    payload = encode_error_reply(fallback, options_.limits);
   }
-  util::MutexLock lock(conn->write_mutex);
-  if (conn->dead.load(std::memory_order_acquire)) return false;
-  const util::IoStatus st = util::write_all_deadline(
-      conn->out_fd, frame.data(), frame.size(), options_.write_timeout_ms);
-  if (st != util::IoStatus::kOk) {
-    if (st == util::IoStatus::kTimeout) {
-      io_timeouts_.fetch_add(1, std::memory_order_relaxed);
+  // Scatter-gather send: the 16-byte header lives on the stack and goes out
+  // in the same writev as the payload — no header+payload concatenation
+  // copy, no per-reply frame allocation.
+  unsigned char header[kFrameHeaderBytes];
+  encode_header_into(type, seq, static_cast<std::uint32_t>(payload.size()),
+                     header);
+  bool sent = false;
+  {
+    util::MutexLock lock(conn->write_mutex);
+    if (conn->dead.load(std::memory_order_acquire)) return false;
+    util::ConstBuffer buffers[2] = {{header, sizeof header},
+                                    {payload.data(), payload.size()}};
+    const util::IoStatus st = util::writev_all_deadline(
+        conn->out_fd, buffers, payload.empty() ? 1u : 2u,
+        options_.write_timeout_ms);
+    if (st != util::IoStatus::kOk) {
+      if (st == util::IoStatus::kTimeout) {
+        io_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      }
+      // One failed/stalled write poisons the stream (the peer would see a
+      // torn reply); everything else on this connection is dropped.
+      conn->dead.store(true, std::memory_order_release);
+      return false;
     }
-    // One failed/stalled write poisons the stream (the peer would see a
-    // torn reply); everything else on this connection is dropped.
-    conn->dead.store(true, std::memory_order_release);
-    return false;
+    sent = true;
   }
+  bytes_written_.fetch_add(kFrameHeaderBytes + payload.size(),
+                           std::memory_order_relaxed);
   if (type == FrameType::kErrorReply) {
     replies_error_.fetch_add(1, std::memory_order_relaxed);
   } else {
     replies_ok_.fetch_add(1, std::memory_order_relaxed);
   }
-  return true;
+  // The payload's heap block feeds the next frame read or reply on this
+  // connection.
+  conn->recycle_buffer(std::move(payload));
+  return sent;
 }
 
 bool EstimationServer::send_error(const std::shared_ptr<Connection>& conn,
@@ -991,6 +1183,7 @@ StatsReply EstimationServer::stats_snapshot() const {
     }
   }
   const serve::EstimateCache::Stats cache = estimate_cache_.stats();
+  const serve::ProfileCache::Stats profile_cache = profile_cache_.stats();
   const serve::ModelRegistry::CacheStats registry_cache =
       registry_.cache_stats();
   // Process-wide batch-kernel counters (serve/model_eval.h): how much of
@@ -1003,6 +1196,8 @@ StatsReply EstimationServer::stats_snapshot() const {
       {"accepted_connections",
        accepted_connections_.load(std::memory_order_relaxed)},
       {"active_requests", active_.load(std::memory_order_relaxed)},
+      {"bytes_read", bytes_read_.load(std::memory_order_relaxed)},
+      {"bytes_written", bytes_written_.load(std::memory_order_relaxed)},
       {"cache_evictions", cache.evictions},
       {"cache_hits", cache.hits},
       {"cache_misses", cache.misses},
@@ -1016,16 +1211,22 @@ StatsReply EstimationServer::stats_snapshot() const {
       {"eval_planned_lanes", eval.planned_lanes},
       {"eval_scalar_batches", eval.scalar_batches},
       {"eval_scalar_lanes", eval.scalar_lanes},
+      {"frames_pipelined", frames_pipelined_.load(std::memory_order_relaxed)},
       {"frames_received", frames_received_.load(std::memory_order_relaxed)},
       {"io_timeouts", io_timeouts_.load(std::memory_order_relaxed)},
       {"malformed_frames", malformed_frames_.load(std::memory_order_relaxed)},
       {"max_batch_requests", max_batch},
+      {"profile_parse_evictions", profile_cache.evictions},
+      {"profile_parse_hits", profile_cache.hits},
+      {"profile_parse_misses", profile_cache.misses},
       {"queue_depth", queued_.load(std::memory_order_relaxed)},
       {"registry_cache_evictions", registry_cache.evictions},
       {"registry_cache_hits", registry_cache.hits},
       {"registry_cache_misses", registry_cache.misses},
       {"replies_error", replies_error_.load(std::memory_order_relaxed)},
       {"replies_ok", replies_ok_.load(std::memory_order_relaxed)},
+      {"requests_binary", requests_binary_.load(std::memory_order_relaxed)},
+      {"requests_text", requests_text_.load(std::memory_order_relaxed)},
       {"shards_active", shards_active},
       {"shards_created", shards_created_.load(std::memory_order_relaxed)},
       {"shards_draining", shards_draining},

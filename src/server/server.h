@@ -24,7 +24,16 @@
 //  * memo-cache: a serve::EstimateCache keyed on (model id, fnv1a64 of the
 //    workload CSV bytes, merge) answers repeat requests from memory with
 //    reply payloads byte-identical to a recompute, consulted before
-//    enqueue and filled after evaluation;
+//    enqueue and filled after evaluation; a serve::ProfileCache one layer
+//    down memoizes the text-CSV parse itself, so a reply-cache miss over a
+//    profile the fleet has seen skips straight to evaluation;
+//  * binary profiles + pipelining (protocol v2): kEstimateBinRequest
+//    carries spire-profile-bin workloads the reader turns into span views
+//    over the frame payload (serve/profile_bin.h) — no CSV parse, no
+//    Dataset materialization, no string copies; replies are written
+//    scatter-gather (writev, header on the stack, payload from a pooled
+//    per-connection buffer), and a connection may keep many frames in
+//    flight — replies are matched by seq and may return out of order;
 //  * deadlines: each request's relative deadline is pinned to an absolute
 //    steady_clock instant at frame receipt and enforced twice — when the
 //    shard pump dequeues it (an expired request is never evaluated) and
@@ -59,6 +68,7 @@
 #include <vector>
 
 #include "serve/estimate_cache.h"
+#include "serve/profile_cache.h"
 #include "serve/registry.h"
 #include "serve/shard.h"
 #include "server/chaos.h"
@@ -85,6 +95,9 @@ struct ServerOptions {
   std::size_t shard_batch = 16;
   /// Estimate memo-cache entries across all models; 0 disables caching.
   std::size_t cache_entries = 256;
+  /// Parsed-profile cache entries (text workloads the fleet has already
+  /// parsed skip straight to evaluation); 0 disables it.
+  std::size_t profile_cache_entries = 256;
   /// Per-connection budget for finishing one frame read / one reply write
   /// once started; a peer that stalls mid-frame is disconnected.
   int read_timeout_ms = 10'000;
@@ -211,6 +224,19 @@ class EstimationServer {
   void dispatch_estimate(const std::shared_ptr<Connection>& conn,
                          std::uint64_t seq, const std::string& payload,
                          std::chrono::steady_clock::time_point received);
+  /// The v2 binary twin: decodes kEstimateBinRequest zero-copy, parses the
+  /// spire-profile-bin workloads into span views over the payload (which it
+  /// takes ownership of and pins until the reply is sent), and enqueues
+  /// pre-parsed Workloads — no Dataset materialization, no string copies.
+  void dispatch_estimate_bin(const std::shared_ptr<Connection>& conn,
+                             std::uint64_t seq, std::string payload,
+                             std::chrono::steady_clock::time_point received);
+  /// Both dispatch paths reduce their request to this neutral form before
+  /// the shared tail (cache consult, routing, enqueue, inline cache reply).
+  struct EstimateInputs;
+  void dispatch_estimate_common(const std::shared_ptr<Connection>& conn,
+                                std::uint64_t seq, EstimateInputs inputs,
+                                std::chrono::steady_clock::time_point received);
   /// Shard completion callback body: assembles the reply from cached and
   /// fresh results, fills the cache, sends, and settles drain accounting.
   void finish_estimate(const std::shared_ptr<PendingEstimate>& pending,
@@ -218,7 +244,7 @@ class EstimationServer {
                        bool expired_in_queue);
 
   bool send_frame(const std::shared_ptr<Connection>& conn, FrameType type,
-                  std::uint64_t seq, const std::string& payload);
+                  std::uint64_t seq, std::string payload);
   bool send_error(const std::shared_ptr<Connection>& conn, std::uint64_t seq,
                   ErrorCode code, const std::string& message);
 
@@ -263,6 +289,7 @@ class EstimationServer {
   std::atomic<std::uint64_t> shards_retired_{0};
 
   serve::EstimateCache estimate_cache_;
+  serve::ProfileCache profile_cache_;
 
   std::unique_ptr<util::ThreadPool> pool_;
 
@@ -329,6 +356,14 @@ class EstimationServer {
   std::atomic<std::uint64_t> deadline_expired_{0};
   std::atomic<std::uint64_t> io_timeouts_{0};
   std::atomic<std::uint64_t> chaos_injected_{0};
+  // Wire accounting (PR 10): raw bytes moved, text-vs-binary request mix,
+  // and how many frames arrived while earlier requests from the same
+  // connection were still in flight (the observable form of pipelining).
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> frames_pipelined_{0};
+  std::atomic<std::uint64_t> requests_text_{0};
+  std::atomic<std::uint64_t> requests_binary_{0};
 };
 
 }  // namespace spire::server

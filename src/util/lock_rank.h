@@ -50,6 +50,7 @@ enum class Rank : int {
   kSlots = 40,            // server: shard + class-binding maps
   kShardQueue = 45,       // serve::Shard pending-request FIFO
   kRegistry = 50,         // serve::ModelRegistry LRU + live-mapping maps
+  kProfileCache = 52,     // serve::ProfileCache per-stripe LRU
   kEstimateCache = 55,    // serve::EstimateCache per-stripe LRU
   kDrain = 60,            // server: drain accounting condvar mutex
   kPoolQueue = 70,        // util::ThreadPool work queue

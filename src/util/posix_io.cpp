@@ -8,6 +8,7 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
+#include <sys/uio.h>
 #include <unistd.h>
 #endif
 
@@ -48,6 +49,9 @@ void ignore_sigpipe() {}
 IoStatus wait_readable(int, int) { return IoStatus::kError; }
 IoStatus read_exact(int, void*, std::size_t, int) { return IoStatus::kError; }
 IoStatus write_all_deadline(int, const void*, std::size_t, int) {
+  return IoStatus::kError;
+}
+IoStatus writev_all_deadline(int, ConstBuffer*, std::size_t, int) {
   return IoStatus::kError;
 }
 
@@ -171,6 +175,53 @@ IoStatus write_all_deadline(int fd, const void* buf, std::size_t count,
     }
     p += n;
     left -= static_cast<std::size_t>(n);
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus writev_all_deadline(int fd, ConstBuffer* buffers, std::size_t count,
+                             int timeout_ms) {
+  const bool has_deadline = timeout_ms >= 0;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(
+                                           has_deadline ? timeout_ms : 0);
+  std::size_t first = 0;  // buffers before this index are fully written
+  while (first < count && buffers[first].size == 0) ++first;
+  while (first < count) {
+    const IoStatus ready =
+        wait_fd(fd, POLLOUT, remaining_ms(has_deadline, deadline));
+    if (ready != IoStatus::kOk) return ready;
+    // Re-point an iovec window at the unwritten tail. IOV_MAX is at least
+    // 16 everywhere; a reply is 2-3 buffers, so no chunking loop needed —
+    // a long array just takes extra wakeups.
+    struct iovec iov[16];
+    std::size_t iovcnt = 0;
+    for (std::size_t i = first; i < count && iovcnt < 16; ++i) {
+      if (buffers[i].size == 0) continue;
+      iov[iovcnt].iov_base = const_cast<void*>(buffers[i].data);
+      iov[iovcnt].iov_len = buffers[i].size;
+      ++iovcnt;
+    }
+    const ssize_t n = ::writev(fd, iov, static_cast<int>(iovcnt));
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return IoStatus::kEof;
+      return IoStatus::kError;
+    }
+    // Consume `n` bytes off the front of the buffer list in place.
+    std::size_t wrote = static_cast<std::size_t>(n);
+    while (first < count && wrote > 0) {
+      if (buffers[first].size <= wrote) {
+        wrote -= buffers[first].size;
+        buffers[first].size = 0;
+        ++first;
+      } else {
+        buffers[first].data =
+            static_cast<const char*>(buffers[first].data) + wrote;
+        buffers[first].size -= wrote;
+        wrote = 0;
+      }
+    }
+    while (first < count && buffers[first].size == 0) ++first;
   }
   return IoStatus::kOk;
 }

@@ -72,4 +72,18 @@ IoStatus read_exact(int fd, void* buf, std::size_t count, int timeout_ms);
 IoStatus write_all_deadline(int fd, const void* buf, std::size_t count,
                             int timeout_ms);
 
+/// One gather-write buffer (the platform-neutral face of struct iovec).
+struct ConstBuffer {
+  const void* data = nullptr;
+  std::size_t size = 0;
+};
+
+/// Scatter-gather write: every byte of every buffer, in order, with a
+/// per-call deadline. One writev(2) submits all buffers per wakeup, so a
+/// framed reply (header + payload living in different buffers) goes out
+/// without being copied into one contiguous allocation first. `buffers`
+/// may be clobbered (partial-write bookkeeping edits it in place).
+IoStatus writev_all_deadline(int fd, ConstBuffer* buffers, std::size_t count,
+                             int timeout_ms);
+
 }  // namespace spire::util

@@ -36,6 +36,7 @@
 
 #include "sampling/dataset.h"
 #include "sampling/dataset_view.h"
+#include "serve/profile_bin.h"
 #include "serve/registry.h"
 #include "server/client.h"
 #include "server/protocol.h"
@@ -651,13 +652,17 @@ TEST_F(ServerTest, DrainTimeoutReportsDirtyShutdown) {
   options.drain_timeout_ms = 30;
   options.limits.max_frame_bytes = 64u << 20;
   boot(options);
-  const std::string huge = workload_csv(11, 25'000);
   std::thread slow([&] {
     Client client(client_options(1));
     EstimateRequest request;
-    // Several huge slices: far more evaluation than the 30 ms drain
-    // budget, so the timeout path is deterministic.
-    request.workload_csvs = {huge, huge, huge, huge};
+    // Several huge DISTINCT slices: far more parsing and evaluation than
+    // the 30 ms drain budget, so the timeout path is deterministic.
+    // (Identical slices would defeat the point: the profile cache parses
+    // repeated bytes once, and the fast path got fast enough to finish
+    // four deduplicated slices inside the budget.)
+    request.workload_csvs = {workload_csv(11, 25'000), workload_csv(12, 25'000),
+                             workload_csv(13, 25'000),
+                             workload_csv(14, 25'000)};
     try {
       (void)client.estimate(request);
     } catch (const ServerUnavailable&) {
@@ -1085,6 +1090,309 @@ TEST_F(ServerTest, ShardsListingReflectsRoutingAndRetirement) {
   EXPECT_TRUE(all.count("registry_cache_hits"));
   EXPECT_TRUE(all.count("registry_cache_evictions"));
   EXPECT_TRUE(all.count("cache_evictions"));
+}
+
+// --------------------------------------------------------------------------
+// Protocol v2: the binary estimate path and pipelined framing
+// --------------------------------------------------------------------------
+
+/// Compiles a test workload to spire-profile-bin bytes.
+std::string workload_bin(std::uint64_t seed, int per_metric = 40) {
+  const Dataset data = mixed_workload(seed, per_metric);
+  return serve::profile_bin::compile(DatasetView(data));
+}
+
+TEST(Protocol, EstimateBinRequestRoundTripsZeroCopyAndEnforcesLimits) {
+  const Limits limits;
+  const std::string p1 = workload_bin(1, 5);
+  const std::string p2 = workload_bin(2, 5);
+  EstimateBinRequest request;
+  request.model_class = "batch";
+  request.model_id = "0123456789abcdef";
+  request.deadline_ms = 900;
+  request.merge = 1;
+  request.profiles = {p1, p2};
+
+  const std::string payload = encode_estimate_bin_request(request, limits);
+  const EstimateBinRequest back = decode_estimate_bin_request(payload, limits);
+  EXPECT_EQ(back.model_class, request.model_class);
+  EXPECT_EQ(back.model_id, request.model_id);
+  EXPECT_EQ(back.deadline_ms, request.deadline_ms);
+  EXPECT_EQ(back.merge, request.merge);
+  ASSERT_EQ(back.profiles.size(), 2u);
+  EXPECT_EQ(back.profiles[0], p1);
+  EXPECT_EQ(back.profiles[1], p2);
+  // Zero-copy: the decoded views alias the payload, not fresh storage.
+  for (const std::string_view profile : back.profiles) {
+    EXPECT_GE(profile.data(), payload.data());
+    EXPECT_LE(profile.data() + profile.size(),
+              payload.data() + payload.size());
+    // And the profile sections land 8-aligned inside the frame payload, so
+    // the parser's aliasing fast path applies when the payload itself is
+    // aligned (heap std::string storage always is).
+    EXPECT_EQ(static_cast<std::size_t>(profile.data() - payload.data()) % 8,
+              0u);
+  }
+
+  EXPECT_THROW(decode_estimate_bin_request(payload + "x", limits),
+               ProtocolError);
+  for (std::size_t cut = 0; cut < payload.size(); cut += 7) {
+    EXPECT_THROW(decode_estimate_bin_request(payload.substr(0, cut), limits),
+                 ProtocolError);
+  }
+  EstimateBinRequest crowded = request;
+  const std::string small = workload_bin(3, 1);
+  crowded.profiles.assign(limits.max_workloads + 1, small);
+  EXPECT_THROW(encode_estimate_bin_request(crowded, limits), ProtocolError);
+}
+
+TEST_F(ServerTest, BinaryEstimateIsBitIdenticalToTextAtEveryThreadCount) {
+  const Ensemble local = trained_ensemble(17);
+  for (const std::size_t workers : {1u, 4u, 8u}) {
+    server_.reset();  // release the socket (and the registry it references)
+    ServerOptions options;
+    options.workers = workers;
+    boot(options);
+    Client client(client_options());
+
+    EstimateRequest text;
+    text.workload_csvs = {workload_csv(3), workload_csv(5)};
+    const EstimateReply via_text = client.estimate(text);
+
+    EstimateBinRequest bin;
+    const std::string p1 = workload_bin(3);
+    const std::string p2 = workload_bin(5);
+    bin.profiles = {p1, p2};
+    const EstimateReply via_bin = client.estimate_bin(std::move(bin));
+
+    ASSERT_EQ(via_text.results.size(), 2u) << "workers=" << workers;
+    ASSERT_EQ(via_bin.results.size(), 2u) << "workers=" << workers;
+    const std::uint64_t seeds[] = {3, 5};
+    for (int i = 0; i < 2; ++i) {
+      const auto& t = via_text.results[i];
+      const auto& b = via_bin.results[i];
+      ASSERT_EQ(t.status, ErrorCode::kOk) << t.error;
+      ASSERT_EQ(b.status, ErrorCode::kOk) << b.error;
+      const Dataset workload = mixed_workload(seeds[i]);
+      const model::Estimate expected = local.estimate(DatasetView(workload));
+      EXPECT_EQ(b.samples, t.samples);
+      EXPECT_EQ(b.throughput, expected.throughput);  // bit-identical
+      EXPECT_EQ(b.throughput, t.throughput);
+      ASSERT_EQ(b.ranking.size(), t.ranking.size());
+      for (std::size_t j = 0; j < b.ranking.size(); ++j) {
+        EXPECT_EQ(b.ranking[j].metric, t.ranking[j].metric);
+        EXPECT_EQ(b.ranking[j].p_bar, t.ranking[j].p_bar);
+        EXPECT_EQ(b.ranking[j].samples, t.ranking[j].samples);
+      }
+    }
+    EXPECT_GE(counter("requests_binary"), 1u);
+    EXPECT_GE(counter("requests_text"), 1u);
+  }
+}
+
+TEST_F(ServerTest, MalformedBinaryProfileIsAStructuredErrorNamingTheDefect) {
+  boot();
+  Client client(client_options());
+  std::string corrupt = workload_bin(3, 5);
+  corrupt[corrupt.size() - 2] ^= 0x10;  // samples CRC mismatch
+  EstimateBinRequest request;
+  request.profiles = {corrupt};
+  try {
+    client.estimate_bin(std::move(request));
+    FAIL() << "corrupt profile accepted";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kMalformedFrame);
+    EXPECT_NE(std::string(e.what()).find("profile-bin"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("workload 0"), std::string::npos)
+        << e.what();
+  }
+  // The connection survives a rejected profile; the server stays healthy.
+  client.ping();
+  EXPECT_GE(counter("malformed_frames"), 1u);
+}
+
+TEST_F(ServerTest, PipelinedFramesMatchSequentialRepliesBySeq) {
+  ServerOptions options;
+  options.limits.max_frame_bytes = 64u << 20;
+  boot(options);
+  Client client(client_options());
+  const Limits& limits = client.options().limits;
+  const Ensemble local = trained_ensemble(17);
+
+  // Eight frames, alternating text and binary over DISTINCT workloads (a
+  // repeat would become an inline cache hit and dodge the shard), written
+  // with the whole window open before the first read. Frame 0 is huge —
+  // its evaluation pins a pump for far longer than reading the seven
+  // frames behind it takes, so the server deterministically observes the
+  // overlap the frames_pipelined counter reports.
+  constexpr int kFrames = 8;
+  const auto per_metric = [](int i) { return i == 0 ? 25'000 : 10; };
+  std::vector<Client::PipelineRequest> requests;
+  std::vector<std::string> blobs(kFrames);
+  for (int i = 0; i < kFrames; ++i) {
+    const auto seed = static_cast<std::uint64_t>(60 + i);
+    Client::PipelineRequest frame;
+    if (i % 2 == 0) {
+      EstimateRequest request;
+      request.workload_csvs = {workload_csv(seed, per_metric(i))};
+      frame.type = FrameType::kEstimateRequest;
+      frame.payload = encode_estimate_request(request, limits);
+    } else {
+      blobs[static_cast<std::size_t>(i)] = workload_bin(seed, per_metric(i));
+      EstimateBinRequest request;
+      request.profiles = {blobs[static_cast<std::size_t>(i)]};
+      frame.type = FrameType::kEstimateBinRequest;
+      frame.payload = encode_estimate_bin_request(request, limits);
+    }
+    requests.push_back(std::move(frame));
+  }
+  std::vector<Client::PipelineResult> results;
+  const std::size_t ok = client.pipeline(requests, &results, /*window=*/0);
+  ASSERT_EQ(ok, static_cast<std::size_t>(kFrames));
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(kFrames));
+  for (int i = 0; i < kFrames; ++i) {
+    const auto& res = results[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.header.seq, res.seq);
+    const FrameType want_reply = i % 2 == 0 ? FrameType::kEstimateReply
+                                            : FrameType::kEstimateBinReply;
+    ASSERT_EQ(res.header.type, want_reply) << "frame " << i;
+    const EstimateReply reply = decode_estimate_reply(res.payload, limits);
+    ASSERT_EQ(reply.results.size(), 1u);
+    ASSERT_EQ(reply.results[0].status, ErrorCode::kOk)
+        << reply.results[0].error;
+    const Dataset workload =
+        mixed_workload(static_cast<std::uint64_t>(60 + i), per_metric(i));
+    EXPECT_EQ(reply.results[0].throughput,
+              local.estimate(DatasetView(workload)).throughput);
+  }
+  // The server observed overlap: frames arrived while frame 0 was still
+  // being evaluated.
+  EXPECT_TRUE(wait_for_counter("frames_pipelined", 1));
+}
+
+// The pipelined chaos suite: torn frames interleaved ACROSS in-flight
+// requests on one connection. The invariant is the pipelined refinement of
+// exactly-one-reply: every fully sent frame gets exactly one reply matched
+// by seq (possibly out of order), a torn frame gets none and poisons only
+// the frames after it, and the server drains clean afterwards.
+TEST_F(ServerTest, PipelinedChaosFullySentSeqsGetExactlyOneReply) {
+  ServerOptions options;
+  options.workers = 2;
+  options.chaos.seed = 4321;
+  options.chaos.stall_before_read = 0.05;
+  options.chaos.force_overload = 0.05;
+  options.chaos.stall_ms = 2;
+  options.drain_timeout_ms = 20'000;
+  boot(options);
+
+  constexpr int kRounds = 24;
+  constexpr int kFramesPerRound = 6;
+  int replied = 0;
+  int torn = 0;
+  int poisoned = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    ClientOptions copts;
+    copts.socket_path = server_->socket_path();
+    copts.backoff.max_attempts = 1;
+    copts.chaos.seed = 9000 + static_cast<std::uint64_t>(round);
+    copts.chaos.tear_frame = 0.15;
+    copts.chaos.stall_mid_write = 0.05;
+    copts.chaos.stall_ms = 2;
+    Client client(copts);
+
+    std::vector<Client::PipelineRequest> requests;
+    for (int i = 0; i < kFramesPerRound; ++i) {
+      EstimateRequest request;
+      request.workload_csvs = {
+          workload_csv(static_cast<std::uint64_t>(round * 31 + i), 10)};
+      requests.push_back({FrameType::kEstimateRequest,
+                          encode_estimate_request(request, copts.limits)});
+    }
+    std::vector<Client::PipelineResult> results;
+    const std::size_t ok = client.pipeline(requests, &results, /*window=*/3);
+    ASSERT_EQ(results.size(), static_cast<std::size_t>(kFramesPerRound));
+    bool tear_seen = false;
+    std::size_t ok_seen = 0;
+    for (const auto& res : results) {
+      if (res.ok) {
+        // A fully sent frame got its one reply — and only sane types.
+        ++ok_seen;
+        ++replied;
+        if (res.header.type == FrameType::kEstimateReply) {
+          const EstimateReply reply =
+              decode_estimate_reply(res.payload, copts.limits);
+          ASSERT_EQ(reply.results.size(), 1u);
+        } else {
+          ASSERT_EQ(res.header.type, FrameType::kErrorReply);
+          const ErrorReply err = decode_error_reply(res.payload, copts.limits);
+          EXPECT_TRUE(err.code == ErrorCode::kOverloaded ||
+                      err.code == ErrorCode::kDeadlineExceeded ||
+                      err.code == ErrorCode::kShuttingDown)
+              << error_code_name(err.code) << ": " << err.message;
+        }
+      } else if (res.error.find("chaos: tore") != std::string::npos) {
+        EXPECT_FALSE(tear_seen) << "two tears on one connection";
+        tear_seen = true;
+        ++torn;
+      } else if (res.error.find("not sent") != std::string::npos) {
+        EXPECT_TRUE(tear_seen) << "unsent frame without a preceding tear";
+        ++poisoned;
+      } else {
+        FAIL() << "fully sent frame lost its reply: " << res.error;
+      }
+    }
+    EXPECT_EQ(ok, ok_seen);
+  }
+  EXPECT_EQ(replied + torn + poisoned, kRounds * kFramesPerRound);
+  EXPECT_GT(torn, 0) << "tear injection never fired";
+  EXPECT_GT(replied, 0);
+
+  // After the storm: still healthy, then drains clean.
+  Client survivor(client_options(4));
+  survivor.ping();
+  server_->begin_shutdown();
+  EXPECT_TRUE(server_->wait_until_drained());
+}
+
+TEST_F(ServerTest, WireAndProfileCacheCountersSurfaceInStats) {
+  boot();
+  const std::string second_id = registry_->publish(trained_ensemble(29));
+  Client client(client_options());
+
+  // The same CSV bytes against two different models: the first parse
+  // misses the profile cache, the second request (a reply-cache miss — the
+  // model differs) reuses the parse.
+  const std::string csv = workload_csv(44, 10);
+  EstimateRequest first;
+  first.workload_csvs = {csv};
+  ASSERT_EQ(client.estimate(first).results.size(), 1u);
+  EstimateRequest second;
+  second.model_id = second_id;
+  second.workload_csvs = {csv};
+  ASSERT_EQ(client.estimate(second).results.size(), 1u);
+
+  EstimateBinRequest bin;
+  const std::string blob = workload_bin(44, 10);
+  bin.profiles = {blob};
+  ASSERT_EQ(client.estimate_bin(std::move(bin)).results.size(), 1u);
+
+  const StatsReply stats = server_->stats_snapshot();
+  std::map<std::string, std::uint64_t> all(stats.counters.begin(),
+                                           stats.counters.end());
+  for (const char* name :
+       {"bytes_read", "bytes_written", "frames_pipelined", "requests_text",
+        "requests_binary", "profile_parse_hits", "profile_parse_misses",
+        "profile_parse_evictions"}) {
+    ASSERT_TRUE(all.count(name)) << "missing counter " << name;
+  }
+  EXPECT_GT(all["bytes_read"], 0u);
+  EXPECT_GT(all["bytes_written"], 0u);
+  EXPECT_GE(all["requests_text"], 2u);
+  EXPECT_GE(all["requests_binary"], 1u);
+  EXPECT_GE(all["profile_parse_misses"], 1u);
+  EXPECT_GE(all["profile_parse_hits"], 1u);
 }
 
 }  // namespace

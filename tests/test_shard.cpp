@@ -31,6 +31,7 @@
 #include "serve/estimate_cache.h"
 #include "serve/registry.h"
 #include "spire/ensemble.h"
+#include "util/hash.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -251,7 +252,12 @@ class ShardTest : public ::testing::Test {
                          std::vector<BatchResult>* results_out = nullptr,
                          std::atomic<int>* expired = nullptr) {
     Shard::Request request;
-    request.workload_csvs = std::move(csvs);
+    for (std::string& csv : csvs) {
+      Shard::Workload workload;
+      workload.hash = util::fnv1a64(csv);
+      workload.csv = std::move(csv);
+      request.workloads.push_back(std::move(workload));
+    }
     request.begin = [&begun] { begun.fetch_add(1); };
     request.complete = [&completed, results_out, expired](
                            std::vector<BatchResult> results,

@@ -23,6 +23,11 @@
 //       Convert a model to the binary v2 deployment artifact, the binary
 //       v3 zero-copy serving artifact (--v3), or back to text v1 (--text).
 //       Conversion is lossless in every direction.
+//   spire_cli profile compile FILE --out FILE
+//       Convert a workload profile between the sample-CSV format and the
+//       spire-profile-bin v1 binary columnar format (direction is sniffed
+//       from the input's leading bytes). Conversion is lossless in both
+//       directions: doubles travel bit-exact.
 //   spire_cli registry publish MODEL | list | pin ID | unpin ID | gc
 //               [--registry-root DIR]
 //       Content-addressed model store (default root .spire-registry).
@@ -49,7 +54,8 @@
 //   spire_cli serve --socket PATH | --stdio [--registry-root DIR]
 //               [--model ID|latest] [--workers N] [--max-queue N]
 //               [--shard-queue N] [--shard-batch N] [--cache-entries N]
-//               [--registry-cache N] [--drain-timeout-ms N]
+//               [--profile-cache N] [--registry-cache N]
+//               [--drain-timeout-ms N]
 //       Resident estimation server over the framed protocol: UNIX-domain
 //       socket (or stdin/stdout with --stdio), per-model shards with
 //       bounded queues and batch coalescing, an estimate memo-cache,
@@ -60,9 +66,16 @@
 //       the registry's latest model, or the per-shard routing table.
 //   spire_cli estimate --server SOCK FILE [FILE...]
 //               [--deadline-ms N] [--retries N] [--model-class C] [--id ID]
+//               [--binary] [--pipeline [--window N]]
 //       Client mode of `estimate`: ships the workload CSVs to a running
 //       server, with retry + exponential backoff + jitter and deadline
-//       propagation (the server sees only the remaining budget).
+//       propagation (the server sees only the remaining budget). With
+//       --binary the workloads travel as spire-profile-bin columns
+//       (protocol v2, parse-free on the server); CSV inputs are compiled
+//       on the fly, .profbin inputs pass through untouched. With
+//       --pipeline each file becomes its own frame and up to --window
+//       frames ride the connection concurrently (no retry; the server may
+//       reply out of order).
 //
 // Exit codes (uniform across subcommands):
 //   0  success
@@ -105,6 +118,7 @@
 #include "server/server.h"
 #include "quality/quality.h"
 #include "serve/model_v3.h"
+#include "serve/profile_bin.h"
 #include "serve/registry.h"
 #include "sim/core.h"
 #include "sim/trace.h"
@@ -401,6 +415,62 @@ int cmd_compile(const Args& args) {
   return 0;
 }
 
+/// Reads a whole file as raw bytes (profiles may be binary).
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+int cmd_profile(const Args& args) {
+  if (args.positional.empty()) {
+    throw UsageError("need an action: compile");
+  }
+  const std::string& action = args.positional.front();
+  if (action != "compile") {
+    throw UsageError("unknown profile action '" + action +
+                     "' (expected compile)");
+  }
+  if (args.positional.size() != 2) {
+    throw UsageError("profile compile needs exactly one input file");
+  }
+  const auto out_path = args.flag("out");
+  if (!out_path) throw UsageError("--out is required");
+  const std::string& in_path = args.positional[1];
+  const std::string bytes = slurp_file(in_path);
+
+  std::size_t metrics = 0;
+  std::size_t samples = 0;
+  const char* format = nullptr;
+  std::ofstream out(*out_path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + *out_path);
+  if (serve::profile_bin::looks_like(bytes)) {
+    // Binary -> CSV. decompile() runs the full bounded+CRC parse first.
+    const sampling::Dataset data = serve::profile_bin::decompile(bytes);
+    metrics = data.metrics().size();
+    samples = data.size();
+    data.save_csv(out);
+    format = "sample CSV";
+  } else {
+    // CSV -> binary, via the in-place string_view parse.
+    const sampling::Dataset data = sampling::Dataset::load_csv(
+        std::string_view(bytes));
+    const sampling::DatasetView view(data);
+    metrics = view.metrics().size();
+    samples = data.size();
+    const std::string compiled = serve::profile_bin::compile(view);
+    out.write(compiled.data(),
+              static_cast<std::streamsize>(compiled.size()));
+    format = "spire-profile-bin v1";
+  }
+  if (!out) throw std::runtime_error("write to " + *out_path + " failed");
+  std::fprintf(stderr, "compiled %zu metric(s) / %zu samples: %s -> %s (%s)\n",
+               metrics, samples, in_path.c_str(), out_path->c_str(), format);
+  return 0;
+}
+
 std::string registry_root(const Args& args) {
   return args.flag("registry-root")
       .value_or(std::string(serve::ModelRegistry::kDefaultRoot));
@@ -601,6 +671,8 @@ int cmd_serve(const Args& args) {
   options.shard_batch = args.flag_u64("shard-batch", options.shard_batch);
   options.cache_entries =
       args.flag_u64("cache-entries", options.cache_entries);
+  options.profile_cache_entries =
+      args.flag_u64("profile-cache", options.profile_cache_entries);
   options.drain_timeout_ms = static_cast<int>(
       args.flag_u64("drain-timeout-ms",
                     static_cast<std::uint64_t>(options.drain_timeout_ms)));
@@ -700,30 +772,34 @@ int cmd_serverctl(const Args& args) {
 }
 
 int cmd_estimate_server(const Args& args) {
-  server::EstimateRequest request;
-  request.model_class = args.flag("model-class").value_or("");
-  request.model_id = args.flag("id").value_or("");
-  request.deadline_ms =
+  const bool binary = args.has("binary");
+  const bool pipelined = args.has("pipeline");
+  const std::string model_class = args.flag("model-class").value_or("");
+  const std::string model_id = args.flag("id").value_or("");
+  const auto deadline_ms =
       static_cast<std::uint32_t>(args.flag_u64("deadline-ms", 0));
+
+  // One buffer per file. In binary mode CSV inputs are compiled to
+  // spire-profile-bin on the fly; already-binary inputs pass through.
+  std::vector<std::string> payloads;
+  payloads.reserve(args.positional.size());
   for (const auto& path : args.positional) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) throw std::runtime_error("cannot read " + path);
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    request.workload_csvs.push_back(std::move(buffer).str());
+    std::string bytes = slurp_file(path);
+    if (binary && !serve::profile_bin::looks_like(bytes)) {
+      const sampling::Dataset data =
+          sampling::Dataset::load_csv(std::string_view(bytes));
+      bytes = serve::profile_bin::compile(sampling::DatasetView(data));
+    }
+    payloads.push_back(std::move(bytes));
   }
-  server::Client client(client_options(args));
-  const server::EstimateReply reply = client.estimate(std::move(request));
 
   bool any_errors = false;
   util::TextTable table(
       {"Workload", "Samples", "Attainable P", "Top bottleneck"});
   table.set_align(1, util::Align::kRight);
   table.set_align(2, util::Align::kRight);
-  for (std::size_t i = 0; i < reply.results.size(); ++i) {
-    const auto& r = reply.results[i];
-    const std::string& source =
-        i < args.positional.size() ? args.positional[i] : "?";
+  const auto add_result = [&](const std::string& source,
+                              const server::WorkloadResult& r) {
     if (r.status == server::ErrorCode::kOk && !r.ranking.empty()) {
       table.add_row({source, std::to_string(r.samples),
                      util::format_fixed(r.throughput, 4),
@@ -736,6 +812,90 @@ int cmd_estimate_server(const Args& args) {
                                       : r.error)});
       any_errors = true;
     }
+  };
+  const auto add_error = [&](const std::string& source,
+                             const std::string& message) {
+    table.add_row({source, "0", "-", "error: " + message});
+    any_errors = true;
+  };
+
+  server::Client client(client_options(args));
+  if (pipelined) {
+    // One frame per file, up to --window in flight, no retry: the CLI face
+    // of Client::pipeline. Replies are matched to files by seq.
+    const auto& limits = client.options().limits;
+    std::vector<server::Client::PipelineRequest> requests;
+    requests.reserve(payloads.size());
+    for (const auto& payload : payloads) {
+      server::Client::PipelineRequest frame;
+      if (binary) {
+        server::EstimateBinRequest request;
+        request.model_class = model_class;
+        request.model_id = model_id;
+        request.deadline_ms = deadline_ms;
+        request.profiles = {std::string_view(payload)};
+        frame.type = server::FrameType::kEstimateBinRequest;
+        frame.payload = server::encode_estimate_bin_request(request, limits);
+      } else {
+        server::EstimateRequest request;
+        request.model_class = model_class;
+        request.model_id = model_id;
+        request.deadline_ms = deadline_ms;
+        request.workload_csvs = {payload};
+        frame.type = server::FrameType::kEstimateRequest;
+        frame.payload = server::encode_estimate_request(request, limits);
+      }
+      requests.push_back(std::move(frame));
+    }
+    std::vector<server::Client::PipelineResult> results;
+    client.pipeline(requests, &results, args.flag_u64("window", 32));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& res = results[i];
+      const std::string& source =
+          i < args.positional.size() ? args.positional[i] : "?";
+      if (!res.ok) {
+        add_error(source, res.error);
+      } else if (res.header.type == server::FrameType::kErrorReply) {
+        const auto error = server::decode_error_reply(res.payload, limits);
+        add_error(source, error.message.empty()
+                              ? std::string(server::error_code_name(error.code))
+                              : error.message);
+      } else {
+        const auto reply = server::decode_estimate_reply(res.payload, limits);
+        if (reply.results.size() == 1) {
+          add_result(source, reply.results.front());
+        } else {
+          add_error(source, "malformed reply: expected 1 result, got " +
+                                std::to_string(reply.results.size()));
+        }
+      }
+    }
+    std::printf("%s", table.render().c_str());
+    return any_errors ? 1 : 0;
+  }
+
+  server::EstimateReply reply;
+  if (binary) {
+    server::EstimateBinRequest request;
+    request.model_class = model_class;
+    request.model_id = model_id;
+    request.deadline_ms = deadline_ms;
+    for (const auto& payload : payloads) {
+      request.profiles.emplace_back(payload);
+    }
+    reply = client.estimate_bin(std::move(request));
+  } else {
+    server::EstimateRequest request;
+    request.model_class = model_class;
+    request.model_id = model_id;
+    request.deadline_ms = deadline_ms;
+    request.workload_csvs = std::move(payloads);
+    reply = client.estimate(std::move(request));
+  }
+  for (std::size_t i = 0; i < reply.results.size(); ++i) {
+    const std::string& source =
+        i < args.positional.size() ? args.positional[i] : "?";
+    add_result(source, reply.results[i]);
   }
   std::printf("%s", table.render().c_str());
   std::fprintf(stderr, "served by model %s (generation %llu)\n",
@@ -762,8 +922,9 @@ const std::vector<Command>& commands() {
       {"validate", {}, cmd_validate},
       {"lint", {"rules"}, cmd_lint},
       {"compile", {"text", "v3"}, cmd_compile},
+      {"profile", {}, cmd_profile},
       {"registry", {}, cmd_registry},
-      {"estimate", {}, cmd_estimate},
+      {"estimate", {"binary", "pipeline"}, cmd_estimate},
       {"show", {}, cmd_show},
       {"tma", {}, cmd_tma},
       {"record", {}, cmd_record},
@@ -786,11 +947,13 @@ int usage() {
                "  lint    MODEL... [--against CSV]...       check model invariants\n"
                "  lint    --rules                           list the lint rules\n"
                "  compile MODEL --out F [--text|--v3]       convert between model formats\n"
+               "  profile compile FILE --out F              workload CSV <-> profile-bin\n"
                "  registry publish MODEL | list | pin ID | unpin ID | gc\n"
                "          [--registry-root DIR]             content-addressed model store\n"
                "  estimate --model MODEL | --registry ID | --server SOCK FILE...\n"
                "          [--registry-root DIR] [--registry-cache N]\n"
                "          [--deadline-ms N] [--retries N]\n"
+               "          [--binary] [--pipeline [--window N]]\n"
                "                                            batch attainable-throughput\n"
                "  show    --model MODEL --metric EVENT\n"
                "  tma     --workload N [--config C] [--cycles N]\n"
@@ -799,7 +962,7 @@ int usage() {
                "  serve   --socket PATH | --stdio [--registry-root DIR]\n"
                "          [--model ID|latest] [--workers N] [--max-queue N]\n"
                "          [--shard-queue N] [--shard-batch N] [--cache-entries N]\n"
-               "          [--registry-cache N]\n"
+               "          [--profile-cache N] [--registry-cache N]\n"
                "          [--drain-timeout-ms N]           resident estimation server\n"
                "  serverctl ping|stats|swap|shards --server SOCK\n"
                "                                           control a running server\n"
